@@ -1,0 +1,99 @@
+// Ablation: receiver-directed Get scheduling vs. greedy Gets.
+//
+// Section II.E: for large messages FlexIO uses receiver-directed RDMA Get,
+// and "the receiver ... issues RDMA Get to fetch data according to some
+// scheduling policy". On the flow simulator the receiver NIC is the
+// bottleneck either way, so the total drain time is fixed -- what the
+// scheduler controls is *how long each transfer stays in flight*: greedy
+// Gets run all 16 transfers concurrently for the whole drain, pinning all
+// 16 senders' registered buffers (and a share of every sender NIC) for
+// ~0.7 s; bounding the in-flight count finishes transfers ~2x sooner on
+// average and caps pinned-buffer occupancy at k buffers, which is exactly
+// what the registration cache's memory threshold needs (Section II.E).
+#include <cstdio>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/flow_network.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace flexio;
+using namespace flexio::sim;
+
+struct Outcome {
+  double drain_seconds = 0;       // when the last bulk Get finished
+  double mean_transfer_end = 0;   // mean completion time of a bulk Get
+  int peak_pinned_buffers = 0;    // sender buffers registered at once
+};
+
+/// `max_inflight` <= 0 means greedy (all Gets issued immediately).
+Outcome run(int sim_nodes, double bulk_bytes, int max_inflight) {
+  const MachineDesc machine = titan();
+  EventEngine engine;
+  FlowNetwork net(&engine);
+  std::vector<LinkId> nic;
+  for (int n = 0; n < sim_nodes; ++n) {
+    nic.push_back(net.add_link(machine.nic_bw, "nic"));
+  }
+  const LinkId staging_rx = net.add_link(machine.nic_bw, "staging");
+
+  Outcome out;
+  // Bulk Gets: the staging node pulls each sim node's output. The
+  // scheduler bounds concurrency; completion of one Get launches the next.
+  int next = 0;
+  int inflight = 0;
+  double total_end = 0;
+  std::function<void(SimTime)> on_get_done = [&](SimTime t) {
+    out.drain_seconds = std::max(out.drain_seconds, t);
+    total_end += t;
+    --inflight;
+    if (next < sim_nodes) {
+      const int n = next++;
+      ++inflight;
+      out.peak_pinned_buffers = std::max(out.peak_pinned_buffers, inflight);
+      net.start_flow({nic[static_cast<std::size_t>(n)], staging_rx},
+                     bulk_bytes, on_get_done);
+    }
+  };
+  const int initial = max_inflight <= 0
+                          ? sim_nodes
+                          : std::min(max_inflight, sim_nodes);
+  for (int i = 0; i < initial; ++i) {
+    const int n = next++;
+    ++inflight;
+    out.peak_pinned_buffers = std::max(out.peak_pinned_buffers, inflight);
+    net.start_flow({nic[static_cast<std::size_t>(n)], staging_rx}, bulk_bytes,
+                   on_get_done);
+  }
+  engine.run();
+  out.mean_transfer_end = total_end / sim_nodes;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int sim_nodes = 16;
+  const double bulk = 220e6;  // one Titan node's GTS output per interval
+  std::printf("Get scheduling ablation: %d sim nodes -> 1 staging node "
+              "(Titan NICs), bulk %.0f MB each\n\n",
+              sim_nodes, bulk / 1e6);
+  std::printf("%-23s %14s %18s %14s\n", "policy", "drain (s)",
+              "mean transfer (s)", "pinned buffers");
+  const Outcome greedy = run(sim_nodes, bulk, 0);
+  std::printf("%-23s %14.3f %18.3f %14d\n", "greedy (all at once)",
+              greedy.drain_seconds, greedy.mean_transfer_end,
+              greedy.peak_pinned_buffers);
+  for (int k : {8, 4, 2, 1}) {
+    const Outcome sched = run(sim_nodes, bulk, k);
+    std::printf("scheduled (inflight=%d)  %14.3f %18.3f %14d\n", k,
+                sched.drain_seconds, sched.mean_transfer_end,
+                sched.peak_pinned_buffers);
+  }
+  std::printf("\nthe drain is receiver-bound either way; scheduling halves "
+              "mean transfer latency\nand caps how many registered sender "
+              "buffers are pinned concurrently\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 6: GTS Total Execution Time under different analytics placements,
+// weak-scaled over GTS cores, on Smoky (a) and Titan (b).
+//
+// Prints one column per paper series: Inline, Helper Core under the three
+// placement algorithms, Staging, and the solo lower bound. With --metrics
+// it additionally prints the Section IV.A cost metrics (node-hours and
+// inter-node data movement volume) per placement.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.h"
+
+namespace {
+
+using namespace flexio;
+using namespace flexio::apps;
+
+void run_csv(const sim::MachineDesc& machine, const std::vector<int>& scales) {
+  for (int cores : scales) {
+    for (GtsVariant v : kAllGtsVariants) {
+      auto result = simulate_coupled(gts_scenario(machine, cores, v));
+      if (!result.is_ok()) continue;
+      std::printf("%s,%d,%s,%.4f,%.4f,%.2f\n", machine.name.c_str(), cores,
+                  std::string(gts_variant_name(v)).c_str(),
+                  result.value().total_seconds, result.value().node_hours,
+                  result.value().inter_node_bytes / 1e9);
+    }
+  }
+}
+
+void run_machine(const sim::MachineDesc& machine,
+                 const std::vector<int>& scales, bool metrics) {
+  std::printf("\nFigure 6 (%s): GTS Total Execution Time (seconds)\n",
+              machine.name.c_str());
+  std::printf("%-10s", "GTS cores");
+  for (GtsVariant v : kAllGtsVariants) {
+    std::printf(" %32s", std::string(gts_variant_name(v)).c_str());
+  }
+  std::printf("\n");
+  for (int cores : scales) {
+    std::printf("%-10d", cores);
+    for (GtsVariant v : kAllGtsVariants) {
+      auto result = simulate_coupled(gts_scenario(machine, cores, v));
+      if (!result.is_ok()) {
+        std::printf(" %32s", result.status().to_string().c_str());
+        continue;
+      }
+      std::printf(" %32.2f", result.value().total_seconds);
+    }
+    std::printf("\n");
+  }
+
+  if (!metrics) return;
+  std::printf("\nSection IV.A cost metrics at %d cores (%s)\n", scales.back(),
+              machine.name.c_str());
+  std::printf("%-34s %12s %12s %18s\n", "placement", "nodes", "node-hours",
+              "inter-node GB");
+  for (GtsVariant v : kAllGtsVariants) {
+    auto result = simulate_coupled(gts_scenario(machine, scales.back(), v));
+    if (!result.is_ok()) continue;
+    std::printf("%-34s %12d %12.3f %18.2f\n",
+                std::string(gts_variant_name(v)).c_str(),
+                result.value().nodes_used, result.value().node_hours,
+                result.value().inter_node_bytes / 1e9);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine_arg = "both";
+  bool metrics = true;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
+      metrics = false;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;  // machine,cores,series,total_s,node_hours,internode_gb
+    }
+  }
+  if (csv) std::printf("machine,cores,series,total_s,node_hours,internode_gb\n");
+  if (machine_arg == "smoky" || machine_arg == "both") {
+    if (csv) run_csv(flexio::sim::smoky(), {128, 256, 512, 1024});
+    else run_machine(flexio::sim::smoky(), {128, 256, 512, 1024}, metrics);
+  }
+  if (machine_arg == "titan" || machine_arg == "both") {
+    if (csv) run_csv(flexio::sim::titan(), {128, 256, 512, 1024, 2048, 4096});
+    else run_machine(flexio::sim::titan(), {128, 256, 512, 1024, 2048, 4096},
+                     metrics);
+  }
+  return 0;
+}

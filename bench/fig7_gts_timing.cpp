@@ -1,0 +1,64 @@
+// Figure 7: Detailed timing of GTS and analytics, 128 MPI processes on
+// Smoky.
+//
+// Case 1 -- GTS with 3 OpenMP threads, analytics on the freed helper core;
+// Case 2 -- GTS with 4 OpenMP threads, analytics inline;
+// Case 3 -- GTS with 3 OpenMP threads, solo (no I/O, no analytics).
+// Per-interval phases are printed as the paper's stacked bars: the two
+// simulation cycles, I/O, analysis, and idle time, plus the derived
+// headline numbers (the ~2.7% cost of yielding one core, the ~23.6% inline
+// analytics weight, and the ~67% helper idle fraction).
+#include <cstdio>
+
+#include "apps/scenarios.h"
+
+int main() {
+  using namespace flexio;
+  using namespace flexio::apps;
+  const sim::MachineDesc machine = sim::smoky();
+  // 128 MPI processes x 4 cores each = 512 GTS cores.
+  const int cores = 512;
+
+  const auto helper =
+      simulate_coupled(gts_scenario(machine, cores, GtsVariant::kHelperTopoAware));
+  const auto inline_r =
+      simulate_coupled(gts_scenario(machine, cores, GtsVariant::kInline));
+  auto solo_cfg = gts_scenario(machine, cores, GtsVariant::kSolo);
+  solo_cfg.threads_per_rank = 3;  // Case 3 runs GTS with 3 threads, solo
+  const auto solo3 = simulate_coupled(solo_cfg);
+  if (!helper.is_ok() || !inline_r.is_ok() || !solo3.is_ok()) {
+    std::fprintf(stderr, "model failed\n");
+    return 1;
+  }
+
+  std::printf("Figure 7: Detailed timing, GTS with 128 MPI processes on %s\n",
+              machine.name.c_str());
+  std::printf("(per I/O interval; cycle1/cycle2 = the two simulation cycles)\n\n");
+  std::printf("%-44s %8s %8s %8s %9s %8s\n", "case", "cycle1", "cycle2", "I/O",
+              "analysis", "idle");
+  auto row = [](const char* name, const apps::PhaseBreakdown& ph,
+                bool analytics_on_side) {
+    std::printf("%-44s %8.3f %8.3f %8.4f %9.3f %8.3f\n", name,
+                ph.sim_compute / 2, ph.sim_compute / 2, ph.sim_io,
+                ph.analytics, analytics_on_side ? ph.analytics_idle : 0.0);
+  };
+  row("Case 1: helper core (GTS 3 threads)", helper.value().interval, true);
+  row("Case 2: inline (GTS 4 threads)", inline_r.value().interval, false);
+  row("Case 3: solo (GTS 3 threads)", solo3.value().interval, false);
+
+  const auto& h = helper.value().interval;
+  const auto& i = inline_r.value().interval;
+  const auto& s = solo3.value().interval;
+  // Thread-count cost: 4-thread solo compute vs 3-thread solo compute.
+  auto solo4_cfg = gts_scenario(machine, cores, GtsVariant::kSolo);
+  const auto solo4 = simulate_coupled(solo4_cfg);
+  std::printf("\ncost of yielding one core to analytics: +%.1f%%\n",
+              100.0 * (s.sim_compute / solo4.value().interval.sim_compute - 1));
+  std::printf("inline analytics weight in GTS runtime: %.1f%%\n",
+              100.0 * i.analytics / (i.sim_compute + i.sim_mpi + i.analytics));
+  std::printf("helper-core analytics idle fraction: %.1f%%\n",
+              100.0 * h.analytics_idle / (h.analytics + h.analytics_idle));
+  std::printf("helper-core I/O visibility: %.2f%% of the interval\n",
+              100.0 * h.sim_io / (h.sim_compute + h.sim_mpi + h.sim_io));
+  return 0;
+}

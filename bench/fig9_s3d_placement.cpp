@@ -1,0 +1,78 @@
+// Figure 9: S3D_Box Total Execution Time under different visualization
+// placements, scaled over S3D cores, on Smoky (a) and Titan (b).
+//
+// Series: Inline, Hybrid (data-aware mapping), Staging under holistic and
+// node-topology-aware placement, and the solo lower bound. Also prints the
+// staging-vs-inline improvement (paper: up to 19% on Smoky and 30% on
+// Titan, with <1% extra resources).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.h"
+
+namespace {
+
+using namespace flexio;
+using namespace flexio::apps;
+
+void run_machine(const sim::MachineDesc& machine,
+                 const std::vector<int>& scales) {
+  std::printf("\nFigure 9 (%s): S3D_Box Total Execution Time (seconds)\n",
+              machine.name.c_str());
+  std::printf("%-10s", "S3D cores");
+  for (S3dVariant v : kAllS3dVariants) {
+    std::printf(" %30s", std::string(s3d_variant_name(v)).c_str());
+  }
+  std::printf(" %14s\n", "staging gain");
+  for (int cores : scales) {
+    std::printf("%-10d", cores);
+    double inline_t = 0, staging_t = 0;
+    for (S3dVariant v : kAllS3dVariants) {
+      auto result = simulate_coupled(s3d_scenario(machine, cores, v));
+      if (!result.is_ok()) {
+        std::printf(" %30s", result.status().to_string().c_str());
+        continue;
+      }
+      if (v == S3dVariant::kInline) inline_t = result.value().total_seconds;
+      if (v == S3dVariant::kStagingTopoAware) {
+        staging_t = result.value().total_seconds;
+      }
+      std::printf(" %30.2f", result.value().total_seconds);
+    }
+    if (inline_t > 0) {
+      std::printf(" %13.1f%%", 100.0 * (inline_t - staging_t) / inline_t);
+    }
+    std::printf("\n");
+  }
+
+  // Resource cost of staging (paper: "0.78% additional resources").
+  auto staging = simulate_coupled(
+      s3d_scenario(machine, scales.back(), S3dVariant::kStagingTopoAware));
+  if (staging.is_ok()) {
+    std::printf("staging extra resources at %d cores: %d of %d nodes (%.2f%%)\n",
+                scales.back(), staging.value().analytics_nodes,
+                staging.value().nodes_used,
+                100.0 * staging.value().analytics_nodes /
+                    staging.value().sim_nodes);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine_arg = "both";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machine_arg = argv[++i];
+    }
+  }
+  if (machine_arg == "smoky" || machine_arg == "both") {
+    run_machine(flexio::sim::smoky(), {128, 256, 512, 1024});
+  }
+  if (machine_arg == "titan" || machine_arg == "both") {
+    run_machine(flexio::sim::titan(), {256, 512, 1024, 2048, 4096});
+  }
+  return 0;
+}

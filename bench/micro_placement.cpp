@@ -1,0 +1,113 @@
+// Ablation benchmarks for the placement stack (google-benchmark).
+//
+// Quantifies the design choices behind Section III: multilevel
+// partitioning quality vs. a round-robin binding (reported as cut-ratio
+// counters), the cost of the three policies, and mapping onto two-level vs.
+// NUMA-aware trees.
+#include <benchmark/benchmark.h>
+
+#include "placement/mapper.h"
+#include "placement/partitioner.h"
+#include "placement/policies.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace flexio;
+using namespace flexio::placement;
+
+CommGraph clustered_graph(int n, int pockets, std::uint64_t seed) {
+  Rng rng(seed);
+  CommGraph g(n);
+  const int pocket = std::max(2, n / pockets);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < std::min(n, i + pocket / 2 + 1); ++j) {
+      g.add_edge(i, j, 10.0 + rng.next_double());
+    }
+    g.add_edge(i, static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))), 0.5);
+  }
+  return g;
+}
+
+void BM_PartitionQuality(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int parts = 8;
+  const CommGraph g = clustered_graph(n, parts, 11);
+  double cut = 0, rr_cut = 0;
+  for (auto _ : state) {
+    auto result = partition(g, parts);
+    if (!result.is_ok()) state.SkipWithError("partition failed");
+    cut = g.cut_weight(result.value());
+    benchmark::DoNotOptimize(result.value().data());
+  }
+  std::vector<int> rr(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) rr[static_cast<std::size_t>(i)] = i % parts;
+  rr_cut = g.cut_weight(rr);
+  state.counters["cut_vs_roundrobin"] = cut / rr_cut;  // smaller is better
+}
+BENCHMARK(BM_PartitionQuality)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PolicyEndToEnd(benchmark::State& state) {
+  // Full placement decision for a GTS-like coupled job.
+  const int writers = static_cast<int>(state.range(0));
+  const int readers = writers / 3 + 1;
+  PlacementRequest req;
+  req.machine = sim::smoky();
+  req.policy = static_cast<Policy>(state.range(1));
+  req.sim_processes = writers;
+  req.analytics_processes = readers;
+  req.inter.assign(static_cast<std::size_t>(writers),
+                   std::vector<std::uint64_t>(
+                       static_cast<std::size_t>(readers), 0));
+  for (int w = 0; w < writers; ++w) {
+    req.inter[static_cast<std::size_t>(w)]
+             [static_cast<std::size_t>(w % readers)] = 110ull << 20;
+  }
+  req.sim_intra = grid2d_traffic(writers, 1 << 20);
+  req.analytics_intra = grid2d_traffic(readers, 1 << 18);
+  double cost = 0;
+  for (auto _ : state) {
+    auto result = place(req);
+    if (!result.is_ok()) state.SkipWithError("place failed");
+    cost = result.value().cost;
+    benchmark::DoNotOptimize(result.value().sim_core.data());
+  }
+  state.counters["mapping_cost"] = cost;
+}
+BENCHMARK(BM_PolicyEndToEnd)
+    ->Args({48, static_cast<int>(Policy::kDataAware)})
+    ->Args({48, static_cast<int>(Policy::kHolistic)})
+    ->Args({48, static_cast<int>(Policy::kTopologyAware)})
+    ->Args({192, static_cast<int>(Policy::kTopologyAware)})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeMapping(benchmark::State& state) {
+  // Ablation: mapping the same NUMA-affine graph onto the two-level tree
+  // vs. the topology-aware tree; the counter reports the cost evaluated on
+  // the *detailed* tree either way (what the machine actually charges).
+  const bool topo = state.range(0) != 0;
+  const sim::MachineDesc m = sim::smoky();
+  const int n = 32;  // two nodes' worth of processes
+  Rng rng(5);
+  CommGraph g(n);
+  for (int i = 0; i + 1 < n; i += 2) g.add_edge(i, i + 1, 1000);  // hot pairs
+  for (int i = 0; i < n; ++i) {
+    g.add_edge(i, (i + 4) % n, 5 + rng.next_double());
+  }
+  const ArchTree coarse = ArchTree::two_level(m, 2);
+  const ArchTree detailed = ArchTree::topology_aware(m, 2);
+  double cost = 0;
+  for (auto _ : state) {
+    auto cores = map_graph(g, topo ? detailed : coarse);
+    if (!cores.is_ok()) state.SkipWithError("map failed");
+    cost = mapping_cost(g, detailed, cores.value());
+    benchmark::DoNotOptimize(cores.value().data());
+  }
+  state.counters["detailed_tree_cost"] = cost;
+}
+BENCHMARK(BM_TreeMapping)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+// Micro-benchmarks of the real data plane (google-benchmark).
+//
+// Ablations for the design choices DESIGN.md calls out: the FastForward
+// SPSC queue, the shm channel's three send paths (inline / pool / xpmem),
+// the buffer pool, the RDMA registration cache (persistent vs dynamic
+// registration -- the functional analog of Figure 4), MxN re-distribution
+// planning, and the hyperslab copy kernel.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "adios/array.h"
+#include "core/redistribution.h"
+#include "nnti/nnti.h"
+#include "nnti/registration_cache.h"
+#include "shm/buffer_pool.h"
+#include "shm/channel.h"
+#include "shm/spsc_queue.h"
+
+namespace {
+
+using namespace flexio;
+
+void BM_SpscQueueRoundTrip(benchmark::State& state) {
+  shm::SpscQueue queue(64, 256);
+  std::vector<std::byte> msg(static_cast<std::size_t>(state.range(0)),
+                             std::byte{42});
+  std::vector<std::byte> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.try_enqueue(ByteView(msg)));
+    benchmark::DoNotOptimize(queue.try_dequeue(&out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SpscQueueRoundTrip)->Arg(16)->Arg(64)->Arg(192);
+
+void BM_SpscQueueCrossThread(benchmark::State& state) {
+  shm::SpscQueue queue(256, 128);
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    std::vector<std::byte> out;
+    while (!stop.load(std::memory_order_relaxed)) {
+      queue.try_dequeue(&out);
+    }
+  });
+  std::vector<std::byte> msg(64, std::byte{1});
+  for (auto _ : state) {
+    while (!queue.try_enqueue(ByteView(msg))) {
+    }
+  }
+  stop.store(true);
+  consumer.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscQueueCrossThread);
+
+void BM_ShmChannelSend(benchmark::State& state) {
+  shm::ChannelOptions options;
+  options.pool_bytes = 256u << 20;
+  shm::Channel channel(options);
+  const bool sync = state.range(1) != 0;
+  std::vector<std::byte> msg(static_cast<std::size_t>(state.range(0)),
+                             std::byte{7});
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    std::vector<std::byte> out;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<std::byte> tmp;
+      (void)channel.receive_for(&tmp, std::chrono::milliseconds(1));
+    }
+  });
+  for (auto _ : state) {
+    const Status st =
+        sync ? channel.send_sync(ByteView(msg)) : channel.send(ByteView(msg));
+    if (!st.is_ok()) state.SkipWithError(st.to_string().c_str());
+  }
+  stop.store(true);
+  consumer.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+// {message size, sync?}: inline path, pool path (async 2-copy), xpmem path
+// (sync 1-copy).
+BENCHMARK(BM_ShmChannelSend)
+    ->Args({128, 0})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+void BM_BufferPoolAcquireRelease(benchmark::State& state) {
+  shm::BufferPool pool(1u << 30);
+  for (auto _ : state) {
+    auto buf = pool.acquire(static_cast<std::size_t>(state.range(0)));
+    if (!buf.is_ok()) state.SkipWithError("acquire failed");
+    pool.release(buf.value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BufferPoolAcquireRelease)->Arg(4096)->Arg(1 << 20);
+
+void BM_RegistrationPersistent(benchmark::State& state) {
+  // Figure 4's point, functionally: reusing a registered buffer vs paying
+  // allocation + registration every transfer.
+  nnti::Fabric fabric;
+  auto nic = fabric.create_nic("bench").value();
+  nnti::RegistrationCache cache(nic.get(), 1u << 30);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto buf = cache.acquire(size);
+    if (!buf.is_ok()) state.SkipWithError("acquire failed");
+    benchmark::DoNotOptimize(buf.value().data);
+    cache.release(buf.value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistrationPersistent)->Arg(1 << 20);
+
+void BM_RegistrationDynamic(benchmark::State& state) {
+  nnti::Fabric fabric;
+  auto nic = fabric.create_nic("bench").value();
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto* data = new std::byte[size];
+    auto region = nic->register_memory(data, size);
+    if (!region.is_ok()) state.SkipWithError("register failed");
+    benchmark::DoNotOptimize(data);
+    (void)nic->unregister_memory(region.value());
+    delete[] data;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistrationDynamic)->Arg(1 << 20);
+
+void BM_PlanTransfers(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const int readers = writers / 4 + 1;
+  const adios::Dims global{static_cast<std::uint64_t>(writers) * 16, 64};
+  std::vector<wire::BlockInfo> blocks;
+  for (int w = 0; w < writers; ++w) {
+    wire::BlockInfo b;
+    b.writer_rank = w;
+    b.meta = adios::global_array_var(
+        "field", serial::DataType::kDouble, global,
+        adios::block_decompose(global, writers, w, 0));
+    blocks.push_back(std::move(b));
+  }
+  wire::ReadRequest req;
+  for (int r = 0; r < readers; ++r) {
+    req.selections.push_back(wire::SelectionInfo{
+        r, "field", adios::block_decompose(global, readers, r, 1)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_transfers(blocks, req));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          writers);
+}
+BENCHMARK(BM_PlanTransfers)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CopyRegion(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const adios::Box src{{0, 0}, {n, n}};
+  const adios::Box dst{{n / 4, n / 4}, {n, n}};
+  adios::Box overlap;
+  FLEXIO_CHECK(intersect(src, dst, &overlap));
+  std::vector<double> a(src.elements()), b(dst.elements());
+  for (auto _ : state) {
+    adios::copy_region(src, reinterpret_cast<const std::byte*>(a.data()), dst,
+                       reinterpret_cast<std::byte*>(b.data()), overlap,
+                       sizeof(double));
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(overlap.elements() * sizeof(double)));
+}
+BENCHMARK(BM_CopyRegion)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

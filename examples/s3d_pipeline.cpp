@@ -1,0 +1,120 @@
+// S3D pipeline: the paper's combustion use case end to end (Section IV.B).
+//
+// Four S3D_Box ranks output species fields as 3-D global arrays through a
+// FlexIO stream (global-array pattern with MxN re-distribution: the
+// visualization asks for z-slabs that cut across the writers' 3-D blocks).
+// One visualization rank volume-renders each requested species and writes
+// a PPM image per step, exactly the paper's "parallel volume rendering
+// code ... writing rendered image to files in PPM format".
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/s3d.h"
+#include "apps/volume_renderer.h"
+#include "core/stream_reader.h"
+#include "core/stream_writer.h"
+
+using namespace flexio;
+
+namespace {
+constexpr int kSimRanks = 4;
+constexpr int kSteps = 2;
+const adios::Dims kGlobal{24, 20, 16};
+const int kRenderSpecies[] = {0, 8, 21};  // H2, CO, N2
+}  // namespace
+
+int main() {
+  Runtime runtime;
+  Program sim("s3d", kSimRanks);
+  Program viz("render", 1);
+
+  xml::MethodConfig method;
+  method.method = "FLEXIO";
+  // The S3D tuning of Section IV.B.1: fixed distributions allow full
+  // handshake caching; batching + async hide movement from the solver.
+  FLEXIO_CHECK(xml::apply_method_params("caching=all; batching=yes; async=yes",
+                                        &method)
+                   .is_ok());
+
+  auto s3d_rank = [&](int rank) {
+    StreamSpec spec;
+    spec.stream = "species";
+    spec.endpoint = EndpointSpec{&sim, rank, evpath::Location{rank % 2, rank}};
+    spec.method = method;
+    auto writer = runtime.open_writer(spec);
+    FLEXIO_CHECK(writer.is_ok());
+    apps::S3dRank s3d(kGlobal, apps::s3d_decompose(kSimRanks), rank);
+    for (int step = 0; step < kSteps; ++step) {
+      for (int c = 0; c < 10; ++c) s3d.advance();  // ten cycles per output
+      FLEXIO_CHECK(writer.value()->begin_step(step).is_ok());
+      for (int s = 0; s < apps::kS3dSpecies; ++s) {
+        FLEXIO_CHECK(writer.value()
+                         ->write(s3d.species_meta(s),
+                                 as_bytes_view(std::span<const double>(
+                                     s3d.species(s))))
+                         .is_ok());
+      }
+      FLEXIO_CHECK(writer.value()->end_step().is_ok());
+    }
+    FLEXIO_CHECK(writer.value()->close().is_ok());
+  };
+
+  auto render_rank = [&] {
+    StreamSpec spec;
+    spec.stream = "species";
+    spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{5, 0}};
+    spec.method = method;
+    auto reader = runtime.open_reader(spec);
+    FLEXIO_CHECK(reader.is_ok());
+
+    const adios::Box full{{0, 0, 0}, kGlobal};
+    std::vector<std::vector<double>> fields(std::size(kRenderSpecies));
+    for (auto& f : fields) f.resize(full.elements());
+    for (;;) {
+      auto step = reader.value()->begin_step();
+      if (step.status().code() == ErrorCode::kEndOfStream) break;
+      FLEXIO_CHECK(step.is_ok());
+      for (std::size_t i = 0; i < std::size(kRenderSpecies); ++i) {
+        FLEXIO_CHECK(
+            reader.value()
+                ->schedule_read(apps::S3dRank::species_name(kRenderSpecies[i]),
+                                full,
+                                MutableByteView(std::as_writable_bytes(
+                                    std::span<double>(fields[i]))))
+                .is_ok());
+      }
+      FLEXIO_CHECK(reader.value()->perform_reads().is_ok());
+      for (std::size_t i = 0; i < std::size(kRenderSpecies); ++i) {
+        const auto fragment =
+            apps::render_slab(full, std::span<const double>(fields[i]));
+        auto image = apps::composite({fragment});
+        FLEXIO_CHECK(image.is_ok());
+        const std::string path =
+            "s3d_" + apps::S3dRank::species_name(kRenderSpecies[i]) +
+            "_step" + std::to_string(step.value()) + ".ppm";
+        FLEXIO_CHECK(apps::write_ppm(path, static_cast<int>(kGlobal[0]),
+                                     static_cast<int>(kGlobal[1]),
+                                     image.value())
+                         .is_ok());
+        std::printf("[render] wrote %s\n", path.c_str());
+      }
+      FLEXIO_CHECK(reader.value()->end_step().is_ok());
+    }
+    // Writer-side monitoring shipped at close (Section II.G).
+    const auto& report = reader.value()->writer_report();
+    std::printf("[render] writer report: %llu steps, %llu handshakes "
+                "performed, %llu skipped via CACHING_ALL\n",
+                static_cast<unsigned long long>(report->steps),
+                static_cast<unsigned long long>(report->handshakes_performed),
+                static_cast<unsigned long long>(report->handshakes_skipped));
+  };
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kSimRanks; ++r) {
+    threads.emplace_back([&, r] { s3d_rank(r); });
+  }
+  threads.emplace_back(render_rank);
+  for (auto& t : threads) t.join();
+  return 0;
+}

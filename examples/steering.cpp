@@ -1,0 +1,120 @@
+// Computational steering through a feedback stream.
+//
+// FlexIO streams are symmetric: nothing stops the analytics program from
+// *writing* a stream the simulation reads. This example closes the loop
+// the paper's runtime management hints at (Section II.G): the simulation
+// publishes its state each step; the analytics watch a diagnostic and
+// steer a simulation parameter back through a second stream.
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/stream_reader.h"
+#include "core/stream_writer.h"
+
+using namespace flexio;
+
+namespace {
+constexpr int kSteps = 6;
+constexpr std::uint64_t kCells = 64;
+}  // namespace
+
+int main() {
+  Runtime rt;
+  Program sim("sim", 1), ctrl("controller", 1);
+
+  std::thread simulation([&] {
+    StreamSpec out_spec;
+    out_spec.stream = "state";
+    out_spec.endpoint = EndpointSpec{&sim, 0, {0, 0}};
+    out_spec.method.method = "FLEXIO";
+    auto out = rt.open_writer(out_spec);
+    FLEXIO_CHECK(out.is_ok());
+    StreamSpec in_spec;
+    in_spec.stream = "control";
+    in_spec.endpoint = EndpointSpec{&sim, 0, {0, 0}};
+    in_spec.method.method = "FLEXIO";
+    auto feedback = rt.open_reader(in_spec);
+    FLEXIO_CHECK(feedback.is_ok());
+
+    // A diffusion-ish field whose damping coefficient is steered online.
+    std::vector<double> field(kCells);
+    for (std::uint64_t i = 0; i < kCells; ++i) {
+      field[i] = std::sin(0.3 * static_cast<double>(i)) * 10.0;
+    }
+    double damping = 0.02;
+    for (int step = 0; step < kSteps; ++step) {
+      for (double& v : field) v *= (1.0 - damping);
+      FLEXIO_CHECK(out.value()->begin_step(step).is_ok());
+      FLEXIO_CHECK(out.value()
+                       ->write(adios::global_array_var(
+                                   "field", serial::DataType::kDouble,
+                                   {kCells}, adios::Box{{0}, {kCells}}),
+                               as_bytes_view(std::span<const double>(field)))
+                       .is_ok());
+      FLEXIO_CHECK(out.value()->write_scalar("damping", damping).is_ok());
+      FLEXIO_CHECK(out.value()->end_step().is_ok());
+
+      // Apply the controller's response before the next step.
+      auto fb_step = feedback.value()->begin_step();
+      FLEXIO_CHECK(fb_step.is_ok());
+      FLEXIO_CHECK(feedback.value()->perform_reads().is_ok());
+      const double new_damping =
+          feedback.value()->scalar_double("damping").value();
+      FLEXIO_CHECK(feedback.value()->end_step().is_ok());
+      std::printf("[sim] step %d: damping %.4f -> %.4f (steered)\n", step,
+                  damping, new_damping);
+      damping = new_damping;
+    }
+    FLEXIO_CHECK(out.value()->close().is_ok());
+  });
+
+  std::thread controller([&] {
+    StreamSpec in_spec;
+    in_spec.stream = "state";
+    in_spec.endpoint = EndpointSpec{&ctrl, 0, {2, 0}};
+    in_spec.method.method = "FLEXIO";
+    auto in = rt.open_reader(in_spec);
+    FLEXIO_CHECK(in.is_ok());
+    StreamSpec out_spec;
+    out_spec.stream = "control";
+    out_spec.endpoint = EndpointSpec{&ctrl, 0, {2, 0}};
+    out_spec.method.method = "FLEXIO";
+    auto out = rt.open_writer(out_spec);
+    FLEXIO_CHECK(out.is_ok());
+
+    std::vector<double> field(kCells);
+    const double target_energy = 500.0;
+    for (;;) {
+      auto step = in.value()->begin_step();
+      if (step.status().code() == ErrorCode::kEndOfStream) break;
+      FLEXIO_CHECK(step.is_ok());
+      FLEXIO_CHECK(in.value()
+                       ->schedule_read("field", adios::Box{{0}, {kCells}},
+                                       MutableByteView(std::as_writable_bytes(
+                                           std::span<double>(field))))
+                       .is_ok());
+      FLEXIO_CHECK(in.value()->perform_reads().is_ok());
+      const double damping = in.value()->scalar_double("damping").value();
+      FLEXIO_CHECK(in.value()->end_step().is_ok());
+
+      // Diagnostic: field energy. Steer damping toward the target.
+      double energy = 0;
+      for (double v : field) energy += v * v;
+      const double new_damping =
+          energy > target_energy ? damping * 1.5 : damping * 0.7;
+      std::printf("[controller] step %lld: energy %.1f -> damping %.4f\n",
+                  static_cast<long long>(step.value()), energy, new_damping);
+      FLEXIO_CHECK(out.value()->begin_step(step.value()).is_ok());
+      FLEXIO_CHECK(out.value()->write_scalar("damping", new_damping).is_ok());
+      FLEXIO_CHECK(out.value()->end_step().is_ok());
+    }
+    FLEXIO_CHECK(out.value()->close().is_ok());
+  });
+
+  simulation.join();
+  controller.join();
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "adios/array.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace flexio::adios {
+
+std::uint64_t volume(const Dims& d) {
+  std::uint64_t v = 1;
+  for (std::uint64_t x : d) v *= x;
+  return v;
+}
+
+std::string dims_to_string(const Dims& d) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i) out += "x";
+    out += std::to_string(d[i]);
+  }
+  out += "]";
+  return out;
+}
+
+bool intersect(const Box& a, const Box& b, Box* out) {
+  FLEXIO_CHECK(a.valid() && b.valid());
+  FLEXIO_CHECK(a.ndim() == b.ndim());
+  const std::size_t n = a.ndim();
+  out->offset.resize(n);
+  out->count.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t lo = std::max(a.offset[i], b.offset[i]);
+    const std::uint64_t hi =
+        std::min(a.offset[i] + a.count[i], b.offset[i] + b.count[i]);
+    if (hi <= lo) return false;
+    out->offset[i] = lo;
+    out->count[i] = hi - lo;
+  }
+  return true;
+}
+
+bool contains(const Box& outer, const Box& inner) {
+  FLEXIO_CHECK(outer.ndim() == inner.ndim());
+  for (std::size_t i = 0; i < outer.ndim(); ++i) {
+    if (inner.offset[i] < outer.offset[i]) return false;
+    if (inner.offset[i] + inner.count[i] > outer.offset[i] + outer.count[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t flat_index(const Box& box, const Dims& coord) {
+  FLEXIO_CHECK(coord.size() == box.ndim());
+  std::uint64_t idx = 0;
+  for (std::size_t i = 0; i < box.ndim(); ++i) {
+    FLEXIO_CHECK(coord[i] >= box.offset[i]);
+    FLEXIO_CHECK(coord[i] < box.offset[i] + box.count[i]);
+    idx = idx * box.count[i] + (coord[i] - box.offset[i]);
+  }
+  return idx;
+}
+
+namespace {
+
+/// Recursive row-major walk: iterate all but the last dimension, memcpy
+/// contiguous runs along the last.
+void copy_recursive(const Box& src_box, const std::byte* src,
+                    const Box& dst_box, std::byte* dst, const Box& region,
+                    std::size_t elem_size, Dims& coord, std::size_t dim) {
+  const std::size_t n = region.ndim();
+  if (dim + 1 == n || n == 0) {
+    // Innermost run (whole region for 0-d/1-d).
+    const std::uint64_t run =
+        n == 0 ? 1 : region.count[n - 1];
+    if (n > 0) coord[n - 1] = region.offset[n - 1];
+    const std::uint64_t s = n == 0 ? 0 : flat_index(src_box, coord);
+    const std::uint64_t d = n == 0 ? 0 : flat_index(dst_box, coord);
+    std::memcpy(dst + d * elem_size, src + s * elem_size, run * elem_size);
+    return;
+  }
+  for (std::uint64_t i = 0; i < region.count[dim]; ++i) {
+    coord[dim] = region.offset[dim] + i;
+    copy_recursive(src_box, src, dst_box, dst, region, elem_size, coord,
+                   dim + 1);
+  }
+}
+
+}  // namespace
+
+void copy_region(const Box& src_box, const std::byte* src, const Box& dst_box,
+                 std::byte* dst, const Box& region, std::size_t elem_size) {
+  FLEXIO_CHECK(contains(src_box, region));
+  FLEXIO_CHECK(contains(dst_box, region));
+  FLEXIO_CHECK(elem_size > 0);
+  if (region.elements() == 0) return;
+  Dims coord(region.ndim(), 0);
+  copy_recursive(src_box, src, dst_box, dst, region, elem_size, coord, 0);
+}
+
+Box block_decompose(const Dims& global, int parts, int part, int dim) {
+  FLEXIO_CHECK(parts > 0);
+  FLEXIO_CHECK(part >= 0 && part < parts);
+  FLEXIO_CHECK(static_cast<std::size_t>(dim) < global.size());
+  Box box;
+  box.offset.assign(global.size(), 0);
+  box.count = global;
+  const std::uint64_t total = global[static_cast<std::size_t>(dim)];
+  const std::uint64_t base = total / static_cast<std::uint64_t>(parts);
+  const std::uint64_t extra = total % static_cast<std::uint64_t>(parts);
+  const auto p = static_cast<std::uint64_t>(part);
+  const std::uint64_t begin = p * base + std::min(p, extra);
+  const std::uint64_t size = base + (p < extra ? 1 : 0);
+  box.offset[static_cast<std::size_t>(dim)] = begin;
+  box.count[static_cast<std::size_t>(dim)] = size;
+  return box;
+}
+
+}  // namespace flexio::adios

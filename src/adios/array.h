@@ -1,0 +1,62 @@
+// Multi-dimensional array boxes (hyperslabs) and region copies.
+//
+// The workhorse of both the BP-like file reader and FlexIO's MxN global
+// array re-distribution (paper Figure 3): a Box describes where a block of
+// a global array sits; intersect() finds the overlap between what a writer
+// wrote and what a reader asked for; copy_region() moves exactly that
+// overlap between the two blocks' memory layouts (row-major, C order),
+// using contiguous memcpy runs along the innermost dimension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace flexio::adios {
+
+/// Extents or coordinates, one entry per dimension. Row-major (C order):
+/// the last dimension is contiguous in memory.
+using Dims = std::vector<std::uint64_t>;
+
+/// Number of elements spanned by `d` (1 for scalars / empty dims).
+std::uint64_t volume(const Dims& d);
+
+/// "[4x7x2]" - for diagnostics.
+std::string dims_to_string(const Dims& d);
+
+/// A hyperslab of a global array: offset (per-dim start) + count (extent).
+struct Box {
+  Dims offset;
+  Dims count;
+
+  std::size_t ndim() const { return offset.size(); }
+  std::uint64_t elements() const { return volume(count); }
+  bool valid() const { return offset.size() == count.size(); }
+
+  friend bool operator==(const Box&, const Box&) = default;
+};
+
+/// Intersection of two boxes (same rank). Returns false when disjoint.
+bool intersect(const Box& a, const Box& b, Box* out);
+
+/// True when `inner` lies entirely within `outer`.
+bool contains(const Box& outer, const Box& inner);
+
+/// Copy `region` (given in *global* coordinates) from a buffer holding the
+/// block `src_box` into a buffer holding the block `dst_box`. The region
+/// must be contained in both boxes. `elem_size` is bytes per element.
+/// Buffers are dense row-major layouts of their boxes.
+void copy_region(const Box& src_box, const std::byte* src, const Box& dst_box,
+                 std::byte* dst, const Box& region, std::size_t elem_size);
+
+/// Flat element offset of global coordinate `coord` within block `box`.
+std::uint64_t flat_index(const Box& box, const Dims& coord);
+
+/// Standard block decomposition of a global array over `parts` ranks along
+/// dimension `dim` (remainder spread over the first ranks). Used by tests,
+/// examples, and the workload generators.
+Box block_decompose(const Dims& global, int parts, int part, int dim = 0);
+
+}  // namespace flexio::adios

@@ -1,0 +1,326 @@
+#include "adios/bp_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <set>
+
+#include "util/strings.h"
+
+namespace flexio::adios {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'X', 'B', 'P'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint8_t kStepMarker = 1;
+constexpr std::uint8_t kEndMarker = 0;
+
+std::vector<std::byte> read_all(std::ifstream& in) {
+  std::vector<char> chars((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  std::vector<std::byte> out(chars.size());
+  std::memcpy(out.data(), chars.data(), chars.size());
+  return out;
+}
+}  // namespace
+
+std::string bp_metadata_path(const std::string& dir, const std::string& stream) {
+  return dir + "/" + stream + ".bp";
+}
+
+std::string bp_subfile_path(const std::string& dir, const std::string& stream,
+                            int rank) {
+  return dir + "/" + stream + ".bp.d/" + std::to_string(rank) + ".bp";
+}
+
+StatusOr<std::unique_ptr<BpWriter>> BpWriter::create(const std::string& dir,
+                                                     const std::string& stream,
+                                                     int rank,
+                                                     int num_writers) {
+  if (rank < 0 || rank >= num_writers) {
+    return make_error(ErrorCode::kInvalidArgument, "bad writer rank");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/" + stream + ".bp.d", ec);
+  if (ec) {
+    return make_error(ErrorCode::kInternal,
+                      "cannot create stream dir: " + ec.message());
+  }
+  if (rank == 0) {
+    std::ofstream meta(bp_metadata_path(dir, stream), std::ios::binary);
+    if (!meta) {
+      return make_error(ErrorCode::kInternal, "cannot write metadata file");
+    }
+    serial::BufWriter w;
+    w.put_raw(kMagic, sizeof kMagic);
+    w.put_u32(kVersion);
+    w.put_u32(static_cast<std::uint32_t>(num_writers));
+    w.put_string(stream);
+    meta.write(reinterpret_cast<const char*>(w.view().data()),
+               static_cast<std::streamsize>(w.size()));
+  }
+  auto writer = std::unique_ptr<BpWriter>(new BpWriter());
+  writer->out_.open(bp_subfile_path(dir, stream, rank), std::ios::binary);
+  if (!writer->out_) {
+    return make_error(ErrorCode::kInternal, "cannot open subfile for rank " +
+                                                std::to_string(rank));
+  }
+  serial::BufWriter header;
+  header.put_raw(kMagic, sizeof kMagic);
+  header.put_u32(kVersion);
+  header.put_u32(static_cast<std::uint32_t>(rank));
+  writer->out_.write(reinterpret_cast<const char*>(header.view().data()),
+                     static_cast<std::streamsize>(header.size()));
+  writer->bytes_written_ += header.size();
+  return writer;
+}
+
+BpWriter::~BpWriter() { (void)close(); }
+
+Status BpWriter::begin_step(StepId step) {
+  if (closed_) {
+    return make_error(ErrorCode::kFailedPrecondition, "writer closed");
+  }
+  if (in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "step already open");
+  }
+  if (step <= last_step_) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "step ids must strictly increase");
+  }
+  in_step_ = true;
+  current_step_ = step;
+  step_var_count_ = 0;
+  step_buffer_ = serial::BufWriter();
+  return Status::ok();
+}
+
+Status BpWriter::write(const VarMeta& meta, ByteView payload) {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "write outside step");
+  }
+  FLEXIO_RETURN_IF_ERROR(meta.validate());
+  if (payload.size() != meta.payload_bytes()) {
+    return make_error(
+        ErrorCode::kInvalidArgument,
+        str_format("payload size %zu != %llu implied by metadata of '%s'",
+                   payload.size(),
+                   static_cast<unsigned long long>(meta.payload_bytes()),
+                   meta.name.c_str()));
+  }
+  meta.encode(&step_buffer_);
+  step_buffer_.put_bytes(payload);
+  ++step_var_count_;
+  return Status::ok();
+}
+
+Status BpWriter::end_step() {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "no step open");
+  }
+  serial::BufWriter frame;
+  frame.put_u8(kStepMarker);
+  frame.put_i64(current_step_);
+  frame.put_varint(step_var_count_);
+  out_.write(reinterpret_cast<const char*>(frame.view().data()),
+             static_cast<std::streamsize>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(step_buffer_.view().data()),
+             static_cast<std::streamsize>(step_buffer_.size()));
+  out_.flush();
+  if (!out_) {
+    return make_error(ErrorCode::kInternal, "subfile write failed");
+  }
+  bytes_written_ += frame.size() + step_buffer_.size();
+  last_step_ = current_step_;
+  in_step_ = false;
+  step_buffer_ = serial::BufWriter();
+  return Status::ok();
+}
+
+Status BpWriter::close() {
+  if (closed_) return Status::ok();
+  if (in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "close with an open step");
+  }
+  closed_ = true;
+  const char end = static_cast<char>(kEndMarker);
+  out_.write(&end, 1);
+  out_.flush();
+  ++bytes_written_;
+  out_.close();
+  return Status::ok();
+}
+
+StatusOr<std::unique_ptr<BpReader>> BpReader::open(const std::string& dir,
+                                                   const std::string& stream) {
+  std::ifstream meta(bp_metadata_path(dir, stream), std::ios::binary);
+  if (!meta) {
+    return make_error(ErrorCode::kNotFound,
+                      "no stream metadata: " + bp_metadata_path(dir, stream));
+  }
+  std::vector<std::byte> raw = read_all(meta);
+  serial::BufReader r{ByteView(raw)};
+  char magic[4];
+  FLEXIO_RETURN_IF_ERROR(r.get_raw(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return make_error(ErrorCode::kInvalidArgument, "bad metadata magic");
+  }
+  std::uint32_t version = 0, writers = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_u32(&version));
+  if (version != kVersion) {
+    return make_error(ErrorCode::kInvalidArgument, "unsupported BP version");
+  }
+  FLEXIO_RETURN_IF_ERROR(r.get_u32(&writers));
+  std::string stream_name;
+  FLEXIO_RETURN_IF_ERROR(r.get_string(&stream_name));
+  if (stream_name != stream) {
+    return make_error(ErrorCode::kInvalidArgument, "stream name mismatch");
+  }
+
+  auto reader = std::unique_ptr<BpReader>(new BpReader());
+  reader->dir_ = dir;
+  reader->stream_ = stream;
+  reader->num_writers_ = static_cast<int>(writers);
+  for (int rank = 0; rank < reader->num_writers_; ++rank) {
+    const std::string path = bp_subfile_path(dir, stream, rank);
+    FLEXIO_RETURN_IF_ERROR(reader->index_subfile(path, rank));
+    reader->subfile_paths_.push_back(path);
+  }
+  return reader;
+}
+
+Status BpReader::index_subfile(const std::string& path, int rank) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "missing subfile: " + path);
+  }
+  std::vector<std::byte> raw = read_all(in);
+  serial::BufReader r{ByteView(raw)};
+  char magic[4];
+  FLEXIO_RETURN_IF_ERROR(r.get_raw(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return make_error(ErrorCode::kInvalidArgument, "bad subfile magic");
+  }
+  std::uint32_t version = 0, file_rank = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_u32(&version));
+  FLEXIO_RETURN_IF_ERROR(r.get_u32(&file_rank));
+  if (file_rank != static_cast<std::uint32_t>(rank)) {
+    return make_error(ErrorCode::kInvalidArgument, "subfile rank mismatch");
+  }
+  for (;;) {
+    std::uint8_t marker = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_u8(&marker));
+    if (marker == kEndMarker) return Status::ok();
+    if (marker != kStepMarker) {
+      return make_error(ErrorCode::kInvalidArgument, "corrupt step marker");
+    }
+    StepId step = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_i64(&step));
+    std::uint64_t nvars = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&nvars));
+    for (std::uint64_t v = 0; v < nvars; ++v) {
+      auto meta = VarMeta::decode(&r);
+      if (!meta.is_ok()) return meta.status();
+      std::uint64_t len = 0;
+      FLEXIO_RETURN_IF_ERROR(r.get_varint(&len));
+      BpBlockRef ref;
+      ref.writer_rank = rank;
+      ref.step = step;
+      ref.meta = std::move(meta).value();
+      ref.payload_offset = r.position();
+      ref.payload_bytes = len;
+      if (len != ref.meta.payload_bytes()) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "payload/metadata size mismatch in subfile");
+      }
+      FLEXIO_RETURN_IF_ERROR(r.seek(r.position() + len));
+      index_[{step, ref.meta.name}].push_back(std::move(ref));
+    }
+  }
+}
+
+std::vector<StepId> BpReader::steps() const {
+  std::set<StepId> uniq;
+  for (const auto& [key, blocks] : index_) uniq.insert(key.first);
+  return std::vector<StepId>(uniq.begin(), uniq.end());
+}
+
+std::vector<BpBlockRef> BpReader::blocks_for_writer(StepId step,
+                                                    int writer_rank) const {
+  std::vector<BpBlockRef> out;
+  for (const auto& [key, blocks] : index_) {
+    if (key.first != step) continue;
+    for (const BpBlockRef& ref : blocks) {
+      if (ref.writer_rank == writer_rank) out.push_back(ref);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<BpBlockRef>> BpReader::inquire(
+    StepId step, const std::string& name) const {
+  const auto it = index_.find({step, name});
+  if (it == index_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no variable '" + name + "' at step " +
+                          std::to_string(step));
+  }
+  return it->second;
+}
+
+Status BpReader::read_block(const BpBlockRef& ref, MutableByteView out) {
+  if (out.size() != ref.payload_bytes) {
+    return make_error(ErrorCode::kInvalidArgument, "block buffer size wrong");
+  }
+  std::ifstream in(subfile_paths_[static_cast<std::size_t>(ref.writer_rank)],
+                   std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "subfile vanished");
+  }
+  in.seekg(static_cast<std::streamoff>(ref.payload_offset));
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  if (static_cast<std::uint64_t>(in.gcount()) != out.size()) {
+    return make_error(ErrorCode::kInternal, "short block read");
+  }
+  return Status::ok();
+}
+
+Status BpReader::read_global(StepId step, const std::string& name,
+                             const Box& selection, MutableByteView dst) {
+  auto blocks = inquire(step, name);
+  if (!blocks.is_ok()) return blocks.status();
+  if (blocks.value().empty()) {
+    return make_error(ErrorCode::kNotFound, "no blocks for " + name);
+  }
+  const std::size_t elem = serial::size_of(blocks.value()[0].meta.type);
+  if (dst.size() != selection.elements() * elem) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "selection buffer size wrong");
+  }
+  std::uint64_t covered = 0;
+  std::vector<std::byte> block_data;
+  for (const BpBlockRef& ref : blocks.value()) {
+    if (ref.meta.shape != ShapeKind::kGlobalArray) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        name + " is not a global array");
+    }
+    Box overlap;
+    if (!intersect(ref.meta.block, selection, &overlap)) continue;
+    block_data.resize(ref.payload_bytes);
+    FLEXIO_RETURN_IF_ERROR(read_block(ref, MutableByteView(block_data)));
+    copy_region(ref.meta.block, block_data.data(), selection, dst.data(),
+                overlap, elem);
+    covered += overlap.elements();
+  }
+  // Writers produce disjoint blocks, so coverage equals the element count
+  // exactly when the union covers the selection.
+  if (covered < selection.elements()) {
+    return make_error(ErrorCode::kOutOfRange,
+                      "writer blocks do not cover the selection of " + name);
+  }
+  return Status::ok();
+}
+
+}  // namespace flexio::adios

@@ -1,0 +1,114 @@
+// BP-like self-describing file engine (ADIOS file mode).
+//
+// FlexIO's file mode exists for backwards compatibility and for seamlessly
+// switching analytics offline (paper Section II.B). Layout mirrors ADIOS
+// BP's spirit without copying its bytes:
+//   <dir>/<stream>.bp            -- stream metadata (writer count, group)
+//   <dir>/<stream>.bp.d/<r>.bp   -- one subfile per writer rank
+// Each subfile is a sequence of step frames, every frame holding the step
+// id and the self-describing variables (VarMeta + payload) that rank wrote.
+// Readers index subfiles on open and serve block reads or global-array
+// selections (reassembled with adios::copy_region).
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adios/var.h"
+#include "util/status.h"
+
+namespace flexio::adios {
+
+class BpWriter {
+ public:
+  /// Create the subfile for `rank`. Rank 0 also writes the stream metadata
+  /// file. `dir` must exist or be creatable.
+  static StatusOr<std::unique_ptr<BpWriter>> create(const std::string& dir,
+                                                    const std::string& stream,
+                                                    int rank, int num_writers);
+  ~BpWriter();
+
+  /// Step ids must be strictly increasing.
+  Status begin_step(StepId step);
+  /// Buffer one variable (meta validated; payload size must match meta).
+  Status write(const VarMeta& meta, ByteView payload);
+  /// Flush the buffered step frame to the subfile.
+  Status end_step();
+  /// Finalize (writes the end marker). Idempotent.
+  Status close();
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  BpWriter() = default;
+
+  std::ofstream out_;
+  serial::BufWriter step_buffer_;
+  bool in_step_ = false;
+  bool closed_ = false;
+  StepId current_step_ = -1;
+  StepId last_step_ = -1;
+  std::uint64_t step_var_count_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Where one variable block lives inside a subfile.
+struct BpBlockRef {
+  int writer_rank = 0;
+  StepId step = 0;
+  VarMeta meta;
+  std::uint64_t payload_offset = 0;  // byte offset within the subfile
+  std::uint64_t payload_bytes = 0;
+};
+
+class BpReader {
+ public:
+  /// Open a finished stream (all writers closed). Scans and indexes every
+  /// subfile.
+  static StatusOr<std::unique_ptr<BpReader>> open(const std::string& dir,
+                                                  const std::string& stream);
+
+  int num_writers() const { return num_writers_; }
+
+  /// Steps present (sorted). Writers are expected to advance uniformly;
+  /// the union is returned.
+  std::vector<StepId> steps() const;
+
+  /// All blocks of `name` at `step`, across writers.
+  StatusOr<std::vector<BpBlockRef>> inquire(StepId step,
+                                            const std::string& name) const;
+
+  /// Every block a given writer rank wrote at `step` (process-group reads
+  /// in offline mode). Empty when that writer wrote nothing.
+  std::vector<BpBlockRef> blocks_for_writer(StepId step, int writer_rank) const;
+
+  /// Read one block's raw payload.
+  Status read_block(const BpBlockRef& ref, MutableByteView out);
+
+  /// Read a selection of a global array at `step` into `dst` (dense
+  /// row-major buffer of the selection). Fails unless the union of writer
+  /// blocks covers the selection.
+  Status read_global(StepId step, const std::string& name, const Box& selection,
+                     MutableByteView dst);
+
+ private:
+  BpReader() = default;
+  Status index_subfile(const std::string& path, int rank);
+
+  std::string dir_;
+  std::string stream_;
+  int num_writers_ = 0;
+  std::vector<std::string> subfile_paths_;
+  // (step, var name) -> blocks across writers.
+  std::map<std::pair<StepId, std::string>, std::vector<BpBlockRef>> index_;
+};
+
+/// Path helpers shared with the FlexIO runtime's offline mode.
+std::string bp_metadata_path(const std::string& dir, const std::string& stream);
+std::string bp_subfile_path(const std::string& dir, const std::string& stream,
+                            int rank);
+
+}  // namespace flexio::adios

@@ -1,0 +1,162 @@
+#include "adios/describe.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace flexio::adios {
+
+namespace {
+
+/// Fold a payload's numeric values into [min, max]. Strings/bytes skipped.
+void fold_min_max(const VarMeta& meta, ByteView payload, double* min_v,
+                  double* max_v) {
+  const std::size_t elem = serial::size_of(meta.type);
+  if (elem == 0) return;
+  const std::size_t n = payload.size() / elem;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::byte* p = payload.data() + i * elem;
+    double v = 0;
+    switch (meta.type) {
+      case serial::DataType::kDouble: {
+        double x;
+        std::memcpy(&x, p, 8);
+        v = x;
+        break;
+      }
+      case serial::DataType::kFloat: {
+        float x;
+        std::memcpy(&x, p, 4);
+        v = x;
+        break;
+      }
+      case serial::DataType::kInt64: {
+        std::int64_t x;
+        std::memcpy(&x, p, 8);
+        v = static_cast<double>(x);
+        break;
+      }
+      case serial::DataType::kInt32: {
+        std::int32_t x;
+        std::memcpy(&x, p, 4);
+        v = static_cast<double>(x);
+        break;
+      }
+      case serial::DataType::kInt16: {
+        std::int16_t x;
+        std::memcpy(&x, p, 2);
+        v = static_cast<double>(x);
+        break;
+      }
+      case serial::DataType::kInt8: {
+        std::int8_t x;
+        std::memcpy(&x, p, 1);
+        v = static_cast<double>(x);
+        break;
+      }
+      case serial::DataType::kUInt64: {
+        std::uint64_t x;
+        std::memcpy(&x, p, 8);
+        v = static_cast<double>(x);
+        break;
+      }
+      case serial::DataType::kUInt32: {
+        std::uint32_t x;
+        std::memcpy(&x, p, 4);
+        v = static_cast<double>(x);
+        break;
+      }
+      case serial::DataType::kUInt16: {
+        std::uint16_t x;
+        std::memcpy(&x, p, 2);
+        v = static_cast<double>(x);
+        break;
+      }
+      case serial::DataType::kUInt8: {
+        std::uint8_t x;
+        std::memcpy(&x, p, 1);
+        v = static_cast<double>(x);
+        break;
+      }
+      default:
+        return;
+    }
+    *min_v = std::min(*min_v, v);
+    *max_v = std::max(*max_v, v);
+  }
+}
+
+std::string shape_string(const VarMeta& meta) {
+  switch (meta.shape) {
+    case ShapeKind::kScalar:
+      return "scalar";
+    case ShapeKind::kLocalArray:
+      return "local " + dims_to_string(meta.block.count);
+    case ShapeKind::kGlobalArray:
+      return "global " + dims_to_string(meta.global_dims);
+  }
+  return "?";
+}
+
+}  // namespace
+
+StatusOr<std::vector<VarSummary>> summarize_step(BpReader* reader,
+                                                 StepId step) {
+  FLEXIO_CHECK(reader != nullptr);
+  // Variable names at this step: walk every writer's blocks.
+  std::set<std::string> names;
+  for (int w = 0; w < reader->num_writers(); ++w) {
+    for (const BpBlockRef& ref : reader->blocks_for_writer(step, w)) {
+      names.insert(ref.meta.name);
+    }
+  }
+  std::vector<VarSummary> out;
+  std::vector<std::byte> payload;
+  for (const std::string& name : names) {
+    auto blocks = reader->inquire(step, name);
+    if (!blocks.is_ok()) return blocks.status();
+    VarSummary summary;
+    summary.representative = blocks.value()[0].meta;
+    summary.min = std::numeric_limits<double>::infinity();
+    summary.max = -std::numeric_limits<double>::infinity();
+    for (const BpBlockRef& ref : blocks.value()) {
+      ++summary.blocks;
+      summary.elements += ref.meta.block_elements();
+      payload.resize(ref.payload_bytes);
+      FLEXIO_RETURN_IF_ERROR(
+          reader->read_block(ref, MutableByteView(payload)));
+      fold_min_max(ref.meta, ByteView(payload), &summary.min, &summary.max);
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+StatusOr<std::string> describe(const std::string& dir,
+                               const std::string& stream) {
+  auto reader = BpReader::open(dir, stream);
+  if (!reader.is_ok()) return reader.status();
+  std::string out = str_format("stream '%s': %d writer(s), %zu step(s)\n",
+                               stream.c_str(), reader.value()->num_writers(),
+                               reader.value()->steps().size());
+  for (StepId step : reader.value()->steps()) {
+    out += str_format("step %lld:\n", static_cast<long long>(step));
+    auto summaries = summarize_step(reader.value().get(), step);
+    if (!summaries.is_ok()) return summaries.status();
+    for (const VarSummary& s : summaries.value()) {
+      out += str_format(
+          "  %-16s %-8s %-20s blocks=%-3d elements=%-10llu min=%g max=%g\n",
+          s.representative.name.c_str(),
+          std::string(serial::datatype_name(s.representative.type)).c_str(),
+          shape_string(s.representative).c_str(), s.blocks,
+          static_cast<unsigned long long>(s.elements), s.min, s.max);
+    }
+  }
+  return out;
+}
+
+}  // namespace flexio::adios

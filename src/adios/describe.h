@@ -1,0 +1,27 @@
+// Human-readable description of a BP stream (the `bpls` utility's core).
+#pragma once
+
+#include <string>
+
+#include "adios/bp_file.h"
+
+namespace flexio::adios {
+
+/// Summary statistics of one variable at one step, across writers.
+struct VarSummary {
+  VarMeta representative;      // one block's metadata (shape info)
+  int blocks = 0;              // writer blocks at this step
+  std::uint64_t elements = 0;  // total elements across blocks
+  double min = 0, max = 0;     // over numeric payloads
+};
+
+/// Collect per-variable summaries for one step.
+StatusOr<std::vector<VarSummary>> summarize_step(BpReader* reader,
+                                                 StepId step);
+
+/// Render the whole stream like ADIOS's bpls: steps, variables, shapes,
+/// block counts, and (for numeric data) min/max.
+StatusOr<std::string> describe(const std::string& dir,
+                               const std::string& stream);
+
+}  // namespace flexio::adios

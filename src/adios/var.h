@@ -1,0 +1,55 @@
+// Variable metadata: the self-describing unit of the ADIOS data model.
+//
+// Each timestep a writer process emits a group of variables; every variable
+// carries its name, element type, and shape. Global arrays additionally
+// carry the global extents and this writer's block within them, which is
+// what the file reader and the MxN re-distribution use to route data.
+#pragma once
+
+#include <string>
+
+#include "adios/array.h"
+#include "serial/buffer.h"
+#include "serial/schema.h"
+#include "util/status.h"
+
+namespace flexio::adios {
+
+enum class ShapeKind : std::uint8_t {
+  kScalar = 0,       // single element
+  kLocalArray = 1,   // per-writer block, no global space (process-group I/O)
+  kGlobalArray = 2,  // block of a distributed global array
+};
+
+struct VarMeta {
+  std::string name;
+  serial::DataType type = serial::DataType::kDouble;
+  ShapeKind shape = ShapeKind::kScalar;
+  Dims global_dims;  // kGlobalArray only
+  Box block;         // kLocalArray: zero offsets; kGlobalArray: global coords
+
+  /// Payload size this metadata implies (elements x element size).
+  std::uint64_t payload_bytes() const {
+    return block_elements() * serial::size_of(type);
+  }
+  std::uint64_t block_elements() const {
+    return shape == ShapeKind::kScalar ? 1 : block.elements();
+  }
+
+  /// Sanity rules: dims consistent with the shape kind, block inside the
+  /// global space, fixed-size element type.
+  Status validate() const;
+
+  void encode(serial::BufWriter* w) const;
+  static StatusOr<VarMeta> decode(serial::BufReader* r);
+
+  friend bool operator==(const VarMeta&, const VarMeta&) = default;
+};
+
+/// Convenience constructors.
+VarMeta scalar_var(std::string name, serial::DataType type);
+VarMeta local_array_var(std::string name, serial::DataType type, Dims count);
+VarMeta global_array_var(std::string name, serial::DataType type,
+                         Dims global_dims, Box block);
+
+}  // namespace flexio::adios

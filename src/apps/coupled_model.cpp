@@ -1,0 +1,213 @@
+#include "apps/coupled_model.h"
+
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexio::apps {
+
+std::string_view analytics_placement_name(AnalyticsPlacement p) {
+  switch (p) {
+    case AnalyticsPlacement::kInline: return "inline";
+    case AnalyticsPlacement::kHelperCore: return "helper-core";
+    case AnalyticsPlacement::kStaging: return "staging";
+    case AnalyticsPlacement::kHybrid: return "hybrid";
+    case AnalyticsPlacement::kNone: return "solo";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Amdahl compute time for one interval.
+double compute_time(const CoupledConfig& c) {
+  const double w = c.interval_compute_1t;
+  return c.serial_fraction * w +
+         (1.0 - c.serial_fraction) * w / c.threads_per_rank;
+}
+
+/// Movement makespan for staging/hybrid placements: every simulation node
+/// pushes its aggregated output to the analytics nodes across the machine's
+/// actual interconnect (3-D torus on Titan-like machines, fat tree on
+/// Smoky-like ones); receiver NICs and shared hops contend under max-min
+/// fairness, capturing the incast.
+double staging_movement_seconds(const CoupledConfig& c, int sim_nodes,
+                                int analytics_nodes, double bytes_per_node) {
+  sim::EventEngine engine;
+  sim::FlowNetwork net(&engine);
+  const auto topology =
+      sim::make_topology(&net, c.machine, sim_nodes + analytics_nodes);
+  double last = 0;
+  for (int s = 0; s < sim_nodes; ++s) {
+    // Each sim node's volume is spread across receivers round-robin; the
+    // analytics nodes occupy ids [sim_nodes, sim_nodes + analytics_nodes).
+    const double per_receiver = bytes_per_node / analytics_nodes;
+    for (int r = 0; r < analytics_nodes; ++r) {
+      topology->transfer(&net, s, sim_nodes + r, per_receiver,
+                         [&last](sim::SimTime t) { last = std::max(last, t); });
+    }
+  }
+  engine.run();
+  return last + c.machine.nic_latency;
+}
+
+/// Shared-file-system write time for `bytes` written by `writer_nodes`
+/// nodes concurrently (the non-scaling Lustre model).
+double fs_write_seconds(const CoupledConfig& c, double bytes,
+                        int writer_nodes) {
+  if (bytes <= 0) return 0;
+  const double bw = std::min(c.machine.fs_aggregate_bw,
+                             c.machine.fs_per_node_bw * writer_nodes);
+  return c.machine.fs_open_latency + bytes / bw;
+}
+
+}  // namespace
+
+StatusOr<CoupledResult> simulate_coupled(const CoupledConfig& c) {
+  if (c.sim_ranks <= 0 || c.threads_per_rank <= 0 || c.intervals <= 0) {
+    return make_error(ErrorCode::kInvalidArgument, "bad coupled config");
+  }
+  const int cores = c.machine.cores_per_node();
+  const bool helper = c.placement == AnalyticsPlacement::kHelperCore;
+  const bool inline_run = c.placement == AnalyticsPlacement::kInline;
+  const bool solo = c.placement == AnalyticsPlacement::kNone;
+  const bool staging = c.placement == AnalyticsPlacement::kStaging;
+  const bool hybrid = c.placement == AnalyticsPlacement::kHybrid;
+
+  CoupledResult r;
+
+  // ---- resource geometry --------------------------------------------------
+  // Simulation nodes host ranks x threads cores; helper-core placements
+  // additionally host the analytics on the same nodes.
+  const int sim_cores_needed =
+      c.sim_ranks * c.threads_per_rank + (helper ? c.analytics_ranks : 0);
+  r.sim_nodes = (sim_cores_needed + cores - 1) / cores;
+  r.analytics_nodes = 0;
+  if (staging) {
+    r.analytics_nodes = std::max(1, (c.analytics_ranks + cores - 1) / cores);
+  } else if (hybrid) {
+    // Data-aware S3D: analytics squeeze onto sim nodes *and* spill, which
+    // also spreads the simulation across extra nodes.
+    r.analytics_nodes = std::max(1, (c.analytics_ranks + cores - 1) / cores);
+  }
+  r.nodes_used = r.sim_nodes + r.analytics_nodes;
+  if (r.nodes_used > c.machine.num_nodes) {
+    return make_error(ErrorCode::kResourceExhausted, "machine too small");
+  }
+
+  // ---- cache interference (Figure 8) --------------------------------------
+  const double l3 = c.machine.l3_bytes_per_socket;
+  r.l3_mpki_solo = sim::inflated_mpki(
+      c.sim_cache, sim::effective_l3(l3, c.sim_cache.working_set_bytes, 0));
+  if (helper || inline_run || hybrid) {
+    // Analytics share the socket's L3 with the simulation threads.
+    r.l3_mpki_corun = sim::inflated_mpki(
+        c.sim_cache, sim::effective_l3(l3, c.sim_cache.working_set_bytes,
+                                       c.analytics_ws_bytes));
+  } else {
+    r.l3_mpki_corun = r.l3_mpki_solo;
+  }
+  r.cache_slowdown = sim::slowdown_factor(c.sim_cache, r.l3_mpki_corun) /
+                     sim::slowdown_factor(c.sim_cache, r.l3_mpki_solo);
+
+  // ---- simulation phases ---------------------------------------------------
+  double t_compute = compute_time(c) * r.cache_slowdown;
+  if (!c.numa_aligned_threads) {
+    // OpenMP threads straddling NUMA domains (holistic / data-aware on a
+    // Figure-5 style node): remote-domain memory traffic on the parallel
+    // region.
+    const double numa_penalty =
+        1.0 + 0.07 * (1.0 - c.machine.mem_bw_remote / c.machine.mem_bw_local) /
+                  0.5 * (1.0 - c.serial_fraction) * 2.0;
+    t_compute *= numa_penalty;
+  }
+  double t_mpi = c.sim_mpi_seconds * c.mpi_spread_penalty;
+
+  // ---- analytics time -------------------------------------------------------
+  const double total_analytics_work =
+      c.analytics_work_per_sim_rank * c.sim_ranks;
+  double t_analytics = 0;
+  if (inline_run) {
+    // Runs inside every simulation rank: scalable part parallelizes over
+    // the sim ranks; the merge/output path grows with the rank count.
+    t_analytics = total_analytics_work / c.sim_ranks + c.nonscalable_base +
+                  c.nonscalable_log * std::log2(double(c.sim_ranks) + 1) +
+                  fs_write_seconds(c, c.analytics_file_bytes, r.sim_nodes);
+  } else if (!solo) {
+    t_analytics =
+        total_analytics_work / std::max(1, c.analytics_ranks) +
+        c.nonscalable_base +
+        c.nonscalable_log * std::log2(double(c.analytics_ranks) + 1) +
+        fs_write_seconds(c, c.analytics_file_bytes,
+                         std::max(1, r.analytics_nodes));
+  }
+
+  // ---- data movement ---------------------------------------------------------
+  double t_io_visible = 0;   // simulation-visible
+  double movement = 0;       // wherever it runs
+  const double total_output = c.output_bytes_per_rank * c.sim_ranks;
+  const double handshake =
+      c.handshake_cached ? 100e-6 : 3e-3;  // control-message cost
+  if (helper) {
+    // FastForward shm: two copies per message on the async pool path; the
+    // copy bandwidth depends on where the queues/pools are pinned.
+    const double copy_bw = c.numa_aligned_buffers ? c.machine.mem_bw_local
+                                                  : c.machine.mem_bw_remote;
+    movement = 2.0 * c.output_bytes_per_rank / copy_bw;
+    t_io_visible = handshake + movement;  // producer-side copy is visible
+    r.inter_node_bytes = 0;
+  } else if (staging || hybrid) {
+    const double bytes_per_node =
+        total_output / r.sim_nodes *
+        (hybrid ? 0.5 : 1.0);  // hybrid keeps roughly half on-node
+    movement = staging_movement_seconds(c, r.sim_nodes,
+                                        std::max(1, r.analytics_nodes),
+                                        bytes_per_node);
+    r.inter_node_bytes =
+        bytes_per_node * r.sim_nodes * c.intervals;
+    if (c.async_movement) {
+      // Async bulk movement overlaps compute but contends with the
+      // simulation's MPI traffic on the NICs; the scheduling policy keeps
+      // the slowdown bounded (paper: "under 15%").
+      const double interval_estimate = t_compute + t_mpi;
+      const double utilization =
+          std::min(1.0, movement / std::max(interval_estimate, 1e-9));
+      t_io_visible = handshake;
+      t_mpi *= 1.0 + 0.12 * utilization;
+      // Bulk RDMA steals memory and NIC bandwidth from the application;
+      // the Get scheduling policy caps the damage (paper: "under 15%").
+      t_compute *= 1.0 + std::min(0.15, 0.18 * utilization);
+    } else {
+      t_io_visible = handshake + movement;
+    }
+  }
+
+  // ---- pipeline assembly -------------------------------------------------------
+  PhaseBreakdown& ph = r.interval;
+  ph.sim_compute = t_compute;
+  ph.sim_mpi = t_mpi;
+  ph.sim_io = t_io_visible;
+  const double stage_sim =
+      t_compute + t_mpi + t_io_visible + (inline_run ? t_analytics : 0.0);
+  double stage_analytics = 0;
+  if (!inline_run && !solo) {
+    // The consumer stage: finish receiving (async movement tail) + compute.
+    stage_analytics = t_analytics + (c.async_movement ? 0.0 : 0.0);
+    if (c.async_movement && (staging || hybrid)) {
+      stage_analytics = std::max(stage_analytics, movement);
+    }
+  }
+  ph.analytics = inline_run ? t_analytics : stage_analytics;
+  ph.analytics_idle =
+      (inline_run || solo) ? 0.0 : std::max(0.0, stage_sim - stage_analytics);
+
+  const double steady = std::max(stage_sim, stage_analytics);
+  const double fill = (inline_run || solo) ? 0.0 : stage_analytics;
+  r.total_seconds = c.intervals * steady + fill;
+  r.movement_seconds = movement;
+  r.node_hours = r.nodes_used * r.total_seconds / 3600.0;
+  return r;
+}
+
+}  // namespace flexio::apps

@@ -1,0 +1,108 @@
+// Performance model of a coupled simulation + analytics run.
+//
+// This is the performance plane of the reproduction (DESIGN.md section 2):
+// given a machine description, an application profile, and a placement
+// decision, compute the Total Execution Time, node-hours, per-phase
+// breakdown, data-movement volume, and cache behaviour that the paper's
+// evaluation section reports. Compute phases follow an Amdahl model
+// ("there are code regions in GTS where only the main thread is active"),
+// movement runs on the max-min flow network (incast onto staging nodes,
+// non-scaling file system), co-located analytics interfere through the
+// shared-L3 model, and the coupled run executes as a two-stage pipeline.
+#pragma once
+
+#include "sim/cache.h"
+#include "sim/engine.h"
+#include "sim/flow_network.h"
+#include "sim/machine.h"
+#include "util/status.h"
+
+namespace flexio::apps {
+
+enum class AnalyticsPlacement {
+  kInline,      // called from the simulation ranks, same address space
+  kHelperCore,  // dedicated cores on the simulation's nodes, via shm
+  kStaging,     // dedicated nodes, via RDMA
+  kHybrid,      // analytics spread over sim + remote nodes (data-aware S3D)
+  kNone,        // solo run: the lower-bound series of Figs. 6 and 9
+};
+
+std::string_view analytics_placement_name(AnalyticsPlacement p);
+
+struct CoupledConfig {
+  sim::MachineDesc machine;
+
+  // --- simulation shape --------------------------------------------------
+  int sim_ranks = 4;
+  int threads_per_rank = 4;
+  /// Compute work of one I/O interval at one thread, seconds per rank.
+  double interval_compute_1t = 4.0;
+  /// Fraction of that work that cannot use extra threads (Amdahl).
+  double serial_fraction = 0.74;
+  /// Internal MPI time per interval per rank, when unperturbed.
+  double sim_mpi_seconds = 0.05;
+  /// Extra multiplier on internal MPI when ranks spread across more nodes
+  /// than the compact placement would use (hybrid placements).
+  double mpi_spread_penalty = 1.0;
+  /// Output volume per rank per I/O interval.
+  double output_bytes_per_rank = 110e6;
+
+  // --- analytics shape ---------------------------------------------------
+  int analytics_ranks = 4;
+  /// Scalable analytics work per simulation rank's data, core-seconds.
+  double analytics_work_per_sim_rank = 1.0;
+  /// Non-scalable per-interval cost (global merges, compositing, shared
+  /// file-system output) as a function of participating processes P:
+  /// nonscalable_base + nonscalable_log * log2(P)  (reduction-tree cost).
+  double nonscalable_base = 0.0;
+  double nonscalable_log = 0.0;
+  /// Bytes of rendered/derived output the analytics write to the shared
+  /// file system each interval (S3D images; 0 for GTS).
+  double analytics_file_bytes = 0.0;
+
+  // --- placement & transports --------------------------------------------
+  AnalyticsPlacement placement = AnalyticsPlacement::kHelperCore;
+  bool async_movement = true;
+  /// Thread/process binding respects NUMA domains (false costs the
+  /// cross-domain memory penalty -- the holistic-vs-topology gap).
+  bool numa_aligned_threads = true;
+  /// FlexIO shm queues/pools pinned in the producer's NUMA domain.
+  bool numa_aligned_buffers = true;
+  /// Handshake caching level reduces per-interval control cost.
+  bool handshake_cached = true;
+
+  // --- cache model ---------------------------------------------------------
+  sim::CacheWorkload sim_cache{3.0 * (1 << 20), 8.0, 0.09};
+  double analytics_ws_bytes = 3.5 * (1 << 20);
+
+  int intervals = 10;
+};
+
+/// Per-interval phase times (Figure 7's bars).
+struct PhaseBreakdown {
+  double sim_compute = 0;     // cycle1 + cycle2
+  double sim_mpi = 0;
+  double sim_io = 0;          // simulation-visible data movement
+  double analytics = 0;       // analytics busy time
+  double analytics_idle = 0;  // per interval, when pipelined
+};
+
+struct CoupledResult {
+  double total_seconds = 0;      // Total Execution Time (Section III.A)
+  double node_hours = 0;         // Total CPU Hours metric: nodes x hours
+  int nodes_used = 0;
+  int sim_nodes = 0;
+  int analytics_nodes = 0;       // extra staging nodes
+  double inter_node_bytes = 0;   // per whole run, sim->analytics movement
+  double movement_seconds = 0;   // per interval, wherever it runs
+  PhaseBreakdown interval;
+  // Figure 8 outputs.
+  double l3_mpki_solo = 0;
+  double l3_mpki_corun = 0;
+  double cache_slowdown = 1.0;   // multiplier applied to sim compute
+};
+
+/// Evaluate the model. Deterministic.
+StatusOr<CoupledResult> simulate_coupled(const CoupledConfig& config);
+
+}  // namespace flexio::apps

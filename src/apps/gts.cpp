@@ -1,0 +1,76 @@
+#include "apps/gts.h"
+
+#include <cmath>
+
+namespace flexio::apps {
+
+GtsRank::GtsRank(int rank, std::uint64_t particles_per_rank,
+                 std::uint64_t seed)
+    : rank_(rank),
+      rng_(seed * 1000003ULL + static_cast<std::uint64_t>(rank)),
+      next_id_(static_cast<std::uint64_t>(rank) << 40) {
+  init_table(&zion_, particles_per_rank);
+  init_table(&electron_, particles_per_rank);
+}
+
+void GtsRank::init_table(std::vector<double>* table, std::uint64_t count) {
+  table->resize(count * kGtsAttrs);
+  for (std::uint64_t p = 0; p < count; ++p) {
+    double* row = table->data() + p * kGtsAttrs;
+    row[kX] = rng_.next_in(0.0, 2.0 * 3.14159265358979);   // toroidal angle
+    row[kY] = rng_.next_in(0.0, 2.0 * 3.14159265358979);   // poloidal angle
+    row[kZ] = rng_.next_in(0.2, 1.0);                      // radial position
+    row[kVPar] = rng_.next_gaussian() * 1.0;
+    row[kVPerp] = std::fabs(rng_.next_gaussian()) * 0.8;
+    row[kWeight] = rng_.next_in(0.5, 1.5);
+    row[kId] = static_cast<double>(next_id_++);
+  }
+}
+
+void GtsRank::advance_table(std::vector<double>* table) {
+  const std::uint64_t count = table->size() / kGtsAttrs;
+  for (std::uint64_t p = 0; p < count; ++p) {
+    double* row = table->data() + p * kGtsAttrs;
+    // Gyro-drift along the field line plus small stochastic scattering.
+    row[kX] = std::fmod(row[kX] + 0.01 * row[kVPar] + 6.28318530718,
+                        6.28318530718);
+    row[kY] = std::fmod(row[kY] + 0.02 * row[kVPerp] + 6.28318530718,
+                        6.28318530718);
+    row[kZ] += 0.001 * row[kVPar] * std::sin(row[kY]);
+    row[kVPar] += 0.05 * rng_.next_gaussian();
+    row[kVPerp] = std::fabs(row[kVPerp] + 0.03 * rng_.next_gaussian());
+  }
+  // Particle migration: ~1% leave, a comparable number arrive. This keeps
+  // per-step output sizes changing like the production code's.
+  const std::uint64_t leave = count / 100;
+  for (std::uint64_t i = 0; i < leave; ++i) {
+    const std::uint64_t victim = rng_.next_below(table->size() / kGtsAttrs);
+    // Swap-remove the victim row.
+    const std::uint64_t last = table->size() / kGtsAttrs - 1;
+    for (std::uint64_t a = 0; a < kGtsAttrs; ++a) {
+      (*table)[victim * kGtsAttrs + a] = (*table)[last * kGtsAttrs + a];
+    }
+    table->resize(last * kGtsAttrs);
+  }
+  const std::uint64_t arrive = rng_.next_below(2 * leave + 1);
+  std::vector<double> fresh;
+  init_table(&fresh, arrive);
+  table->insert(table->end(), fresh.begin(), fresh.end());
+}
+
+void GtsRank::advance() {
+  advance_table(&zion_);
+  advance_table(&electron_);
+}
+
+adios::VarMeta GtsRank::zion_meta() const {
+  return adios::local_array_var("zion", serial::DataType::kDouble,
+                                {zion_count(), kGtsAttrs});
+}
+
+adios::VarMeta GtsRank::electron_meta() const {
+  return adios::local_array_var("electron", serial::DataType::kDouble,
+                                {electron_count(), kGtsAttrs});
+}
+
+}  // namespace flexio::apps

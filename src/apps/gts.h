@@ -1,0 +1,61 @@
+// GTS-like particle-in-cell workload generator.
+//
+// GTS (Gyrokinetic Tokamak Simulation) outputs two 2-D particle arrays,
+// zions and electrons, with seven attributes per particle -- coordinates,
+// velocity components, weight, and particle id (paper Section IV.A). This
+// skeleton reproduces that output profile with deterministic synthetic
+// physics: particles drift and scatter each cycle, and the per-rank
+// particle count varies across steps (the property that stresses the RDMA
+// registration cache in Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adios/var.h"
+#include "util/rng.h"
+
+namespace flexio::apps {
+
+/// Attribute order within a particle row.
+enum GtsAttr : int {
+  kX = 0, kY = 1, kZ = 2,
+  kVPar = 3, kVPerp = 4,
+  kWeight = 5, kId = 6,
+};
+inline constexpr std::uint64_t kGtsAttrs = 7;
+
+class GtsRank {
+ public:
+  /// One simulation rank holding ~`particles_per_rank` particles of each
+  /// species. Deterministic in (seed, rank).
+  GtsRank(int rank, std::uint64_t particles_per_rank, std::uint64_t seed = 42);
+
+  int rank() const { return rank_; }
+
+  /// Advance one simulation cycle: drift positions, jitter velocities, and
+  /// migrate a small fraction of particles in/out (count changes).
+  void advance();
+
+  /// Current particle tables, row-major [count x 7].
+  const std::vector<double>& zion() const { return zion_; }
+  const std::vector<double>& electron() const { return electron_; }
+  std::uint64_t zion_count() const { return zion_.size() / kGtsAttrs; }
+  std::uint64_t electron_count() const { return electron_.size() / kGtsAttrs; }
+
+  /// ADIOS metadata for the current tables (process-group pattern).
+  adios::VarMeta zion_meta() const;
+  adios::VarMeta electron_meta() const;
+
+ private:
+  void init_table(std::vector<double>* table, std::uint64_t count);
+  void advance_table(std::vector<double>* table);
+
+  int rank_;
+  Rng rng_;
+  std::uint64_t next_id_;
+  std::vector<double> zion_;
+  std::vector<double> electron_;
+};
+
+}  // namespace flexio::apps

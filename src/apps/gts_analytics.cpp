@@ -1,0 +1,187 @@
+#include "apps/gts_analytics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "apps/gts.h"
+
+namespace flexio::apps {
+
+std::uint64_t Histogram1D::total() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t b : bins) t += b;
+  return t;
+}
+
+Status Histogram1D::merge(const Histogram1D& other) {
+  if (other.bins.size() != bins.size() || other.lo != lo || other.hi != hi) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "histogram shapes differ; cannot merge");
+  }
+  for (std::size_t i = 0; i < bins.size(); ++i) bins[i] += other.bins[i];
+  return Status::ok();
+}
+
+std::uint64_t Histogram2D::total() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t b : bins) t += b;
+  return t;
+}
+
+Status Histogram2D::merge(const Histogram2D& other) {
+  if (other.nx != nx || other.ny != ny || other.xlo != xlo ||
+      other.xhi != xhi || other.ylo != ylo || other.yhi != yhi) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "histogram shapes differ; cannot merge");
+  }
+  for (std::size_t i = 0; i < bins.size(); ++i) bins[i] += other.bins[i];
+  return Status::ok();
+}
+
+namespace {
+
+double vmag(const double* row) {
+  return std::sqrt(row[kVPar] * row[kVPar] + row[kVPerp] * row[kVPerp]);
+}
+
+int bin_of(double v, double lo, double hi, int bins) {
+  if (v <= lo) return 0;
+  if (v >= hi) return bins - 1;
+  return static_cast<int>((v - lo) / (hi - lo) * bins);
+}
+
+}  // namespace
+
+double query_threshold(std::span<const double> particles,
+                       double keep_fraction) {
+  const std::size_t count = particles.size() / kGtsAttrs;
+  if (count == 0) return 0.0;
+  std::vector<double> mags(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    mags[p] = vmag(particles.data() + p * kGtsAttrs);
+  }
+  const auto kth = static_cast<std::size_t>(
+      static_cast<double>(count) * std::clamp(1.0 - keep_fraction, 0.0, 1.0));
+  const std::size_t idx = std::min(kth, count - 1);
+  std::nth_element(mags.begin(),
+                   mags.begin() + static_cast<std::ptrdiff_t>(idx),
+                   mags.end());
+  return mags[idx];
+}
+
+GtsAnalysisResult analyze_particles(std::span<const double> particles,
+                                    const GtsAnalysisConfig& config) {
+  GtsAnalysisResult result;
+  const std::size_t count = particles.size() / kGtsAttrs;
+  result.input_particles = count;
+
+  // Pass 1: velocity extents + distribution function over |v|.
+  double max_v = 1e-9;
+  for (std::size_t p = 0; p < count; ++p) {
+    max_v = std::max(max_v, vmag(particles.data() + p * kGtsAttrs));
+  }
+  result.distribution.lo = 0;
+  result.distribution.hi = max_v;
+  result.distribution.bins.assign(
+      static_cast<std::size_t>(config.distribution_bins), 0);
+  for (std::size_t p = 0; p < count; ++p) {
+    const double v = vmag(particles.data() + p * kGtsAttrs);
+    ++result.distribution.bins[static_cast<std::size_t>(
+        bin_of(v, 0, max_v, config.distribution_bins))];
+  }
+
+  // Range query on the velocity attributes: keep the fastest ~20%.
+  const double threshold =
+      query_threshold(particles, config.query_keep_fraction);
+  double max_vpar = 1e-9, max_vperp = 1e-9, min_vpar = -1e-9;
+  for (std::size_t p = 0; p < count; ++p) {
+    const double* row = particles.data() + p * kGtsAttrs;
+    if (vmag(row) >= threshold) {
+      result.query.insert(result.query.end(), row, row + kGtsAttrs);
+      max_vpar = std::max(max_vpar, row[kVPar]);
+      min_vpar = std::min(min_vpar, row[kVPar]);
+      max_vperp = std::max(max_vperp, row[kVPerp]);
+    }
+  }
+  result.selected_particles = result.query.size() / kGtsAttrs;
+
+  // 1-D histogram of v_parallel over the query results.
+  result.vpar_hist.lo = min_vpar;
+  result.vpar_hist.hi = max_vpar;
+  result.vpar_hist.bins.assign(static_cast<std::size_t>(config.hist1d_bins),
+                               0);
+  // 2-D (v_par, v_perp) histogram.
+  result.vspace_hist.xlo = min_vpar;
+  result.vspace_hist.xhi = max_vpar;
+  result.vspace_hist.ylo = 0;
+  result.vspace_hist.yhi = max_vperp;
+  result.vspace_hist.nx = config.hist2d_bins;
+  result.vspace_hist.ny = config.hist2d_bins;
+  result.vspace_hist.bins.assign(
+      static_cast<std::size_t>(config.hist2d_bins) *
+          static_cast<std::size_t>(config.hist2d_bins),
+      0);
+  for (std::size_t p = 0; p < result.selected_particles; ++p) {
+    const double* row = result.query.data() + p * kGtsAttrs;
+    ++result.vpar_hist.bins[static_cast<std::size_t>(
+        bin_of(row[kVPar], min_vpar, max_vpar, config.hist1d_bins))];
+    const int bx =
+        bin_of(row[kVPar], min_vpar, max_vpar, config.hist2d_bins);
+    const int by = bin_of(row[kVPerp], 0, max_vperp, config.hist2d_bins);
+    ++result.vspace_hist.bins[static_cast<std::size_t>(by) *
+                                  static_cast<std::size_t>(config.hist2d_bins) +
+                              static_cast<std::size_t>(bx)];
+  }
+  return result;
+}
+
+Status write_histograms(const GtsAnalysisResult& result,
+                        const std::string& path_prefix) {
+  {
+    std::ofstream out(path_prefix + ".dist.csv");
+    if (!out) {
+      return make_error(ErrorCode::kInternal, "cannot write histogram file");
+    }
+    out << "bin_lo,count\n";
+    const double width = (result.distribution.hi - result.distribution.lo) /
+                         static_cast<double>(result.distribution.bins.size());
+    for (std::size_t i = 0; i < result.distribution.bins.size(); ++i) {
+      out << result.distribution.lo + width * static_cast<double>(i) << ","
+          << result.distribution.bins[i] << "\n";
+    }
+  }
+  {
+    std::ofstream out(path_prefix + ".v1d.csv");
+    if (!out) {
+      return make_error(ErrorCode::kInternal, "cannot write histogram file");
+    }
+    out << "bin_lo,count\n";
+    const double width = (result.vpar_hist.hi - result.vpar_hist.lo) /
+                         static_cast<double>(result.vpar_hist.bins.size());
+    for (std::size_t i = 0; i < result.vpar_hist.bins.size(); ++i) {
+      out << result.vpar_hist.lo + width * static_cast<double>(i) << ","
+          << result.vpar_hist.bins[i] << "\n";
+    }
+  }
+  {
+    std::ofstream out(path_prefix + ".v2d.csv");
+    if (!out) {
+      return make_error(ErrorCode::kInternal, "cannot write histogram file");
+    }
+    out << "x_bin,y_bin,count\n";
+    for (int y = 0; y < result.vspace_hist.ny; ++y) {
+      for (int x = 0; x < result.vspace_hist.nx; ++x) {
+        out << x << "," << y << ","
+            << result.vspace_hist.bins[static_cast<std::size_t>(y) *
+                                           static_cast<std::size_t>(
+                                               result.vspace_hist.nx) +
+                                       static_cast<std::size_t>(x)]
+            << "\n";
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace flexio::apps

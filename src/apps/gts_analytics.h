@@ -1,0 +1,69 @@
+// The GTS analysis chain (paper Section IV.A).
+//
+// "The particle data is processed by a series of analysis steps, including
+// the calculation of particle distribution function and a range query on
+// the velocity attributes of all particles. The query result is ~20% of
+// the original output particles. 1D and 2D histograms are generated from
+// the query results and written to files which can then be used for
+// parallel coordinates visualization."
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexio::apps {
+
+/// Fixed-bin 1-D histogram.
+struct Histogram1D {
+  double lo = 0, hi = 1;
+  std::vector<std::uint64_t> bins;
+
+  std::uint64_t total() const;
+  /// Merge a peer's histogram (same shape) -- the parallel reduction.
+  Status merge(const Histogram1D& other);
+};
+
+/// Fixed-bin 2-D histogram (row-major bins[y * nx + x]).
+struct Histogram2D {
+  double xlo = 0, xhi = 1, ylo = 0, yhi = 1;
+  int nx = 0, ny = 0;
+  std::vector<std::uint64_t> bins;
+
+  std::uint64_t total() const;
+  Status merge(const Histogram2D& other);
+};
+
+struct GtsAnalysisResult {
+  Histogram1D distribution;   // particle distribution over |v|
+  std::vector<double> query;  // particles passing the velocity range query
+  Histogram1D vpar_hist;      // 1-D histogram of the query results
+  Histogram2D vspace_hist;    // 2-D (vpar, vperp) histogram of the results
+  std::uint64_t input_particles = 0;
+  std::uint64_t selected_particles = 0;
+};
+
+struct GtsAnalysisConfig {
+  int distribution_bins = 64;
+  int hist1d_bins = 64;
+  int hist2d_bins = 32;        // per axis
+  double query_keep_fraction = 0.2;  // paper: result is ~20% of particles
+};
+
+/// Run the full chain on one particle table ([count x 7] doubles).
+GtsAnalysisResult analyze_particles(std::span<const double> particles,
+                                    const GtsAnalysisConfig& config = {});
+
+/// Velocity-magnitude threshold so that `keep_fraction` of particles pass
+/// (|v| above the (1-f) quantile). Exposed for tests.
+double query_threshold(std::span<const double> particles,
+                       double keep_fraction);
+
+/// Write the histograms as CSV for the downstream parallel-coordinates
+/// visualization (one file per histogram, suffixes .dist/.v1d/.v2d).
+Status write_histograms(const GtsAnalysisResult& result,
+                        const std::string& path_prefix);
+
+}  // namespace flexio::apps

@@ -1,0 +1,116 @@
+#include "apps/s3d.h"
+
+#include <cmath>
+
+namespace flexio::apps {
+
+std::array<int, 3> s3d_decompose(int ranks) {
+  int x = static_cast<int>(std::cbrt(static_cast<double>(ranks)));
+  while (x > 1 && ranks % x != 0) --x;
+  const int rest = ranks / x;
+  int y = static_cast<int>(std::sqrt(static_cast<double>(rest)));
+  while (y > 1 && rest % y != 0) --y;
+  return {x, y, rest / y};
+}
+
+namespace {
+
+adios::Box block_for(const adios::Dims& global,
+                     const std::array<int, 3>& ranks_per_dim, int rank) {
+  FLEXIO_CHECK(global.size() == 3);
+  const int rx = ranks_per_dim[0], ry = ranks_per_dim[1], rz = ranks_per_dim[2];
+  const int ix = rank / (ry * rz);
+  const int iy = (rank / rz) % ry;
+  const int iz = rank % rz;
+  adios::Box box;
+  box.offset.resize(3);
+  box.count.resize(3);
+  const adios::Box bx = adios::block_decompose(global, rx, ix, 0);
+  const adios::Box by = adios::block_decompose(global, ry, iy, 1);
+  const adios::Box bz = adios::block_decompose(global, rz, iz, 2);
+  box.offset = {bx.offset[0], by.offset[1], bz.offset[2]};
+  box.count = {bx.count[0], by.count[1], bz.count[2]};
+  return box;
+}
+
+}  // namespace
+
+S3dRank::S3dRank(const adios::Dims& global,
+                 const std::array<int, 3>& ranks_per_dim, int rank,
+                 std::uint64_t seed)
+    : rank_(rank),
+      global_(global),
+      block_(block_for(global, ranks_per_dim, rank)),
+      rng_(seed * 7919ULL + static_cast<std::uint64_t>(rank)) {
+  fields_.resize(kS3dSpecies);
+  const std::uint64_t n = block_.elements();
+  for (int s = 0; s < kS3dSpecies; ++s) {
+    auto& field = fields_[static_cast<std::size_t>(s)];
+    field.resize(n);
+    // Smooth species blobs: a species-specific plane wave plus noise, in
+    // global coordinates so neighbouring blocks line up seamlessly.
+    const double kx = 0.07 * (s + 1);
+    const double ky = 0.05 * (s % 5 + 1);
+    const double kz = 0.09 * (s % 3 + 1);
+    std::size_t i = 0;
+    for (std::uint64_t x = 0; x < block_.count[0]; ++x) {
+      for (std::uint64_t y = 0; y < block_.count[1]; ++y) {
+        for (std::uint64_t z = 0; z < block_.count[2]; ++z) {
+          const double gx = static_cast<double>(block_.offset[0] + x);
+          const double gy = static_cast<double>(block_.offset[1] + y);
+          const double gz = static_cast<double>(block_.offset[2] + z);
+          field[i++] = 0.5 + 0.4 * std::sin(kx * gx + ky * gy + kz * gz) +
+                       0.02 * rng_.next_gaussian();
+        }
+      }
+    }
+  }
+}
+
+void S3dRank::advance() {
+  const auto nx = block_.count[0];
+  const auto ny = block_.count[1];
+  const auto nz = block_.count[2];
+  auto at = [&](std::uint64_t x, std::uint64_t y, std::uint64_t z) {
+    return (x * ny + y) * nz + z;
+  };
+  std::vector<double> next;
+  for (int s = 0; s < kS3dSpecies; ++s) {
+    auto& field = fields_[static_cast<std::size_t>(s)];
+    next = field;
+    for (std::uint64_t x = 0; x < nx; ++x) {
+      for (std::uint64_t y = 0; y < ny; ++y) {
+        for (std::uint64_t z = 0; z < nz; ++z) {
+          const double c = field[at(x, y, z)];
+          // Diffusion (clamped 6-point stencil) ...
+          double lap = -6.0 * c;
+          lap += field[at(x > 0 ? x - 1 : x, y, z)];
+          lap += field[at(x + 1 < nx ? x + 1 : x, y, z)];
+          lap += field[at(x, y > 0 ? y - 1 : y, z)];
+          lap += field[at(x, y + 1 < ny ? y + 1 : y, z)];
+          lap += field[at(x, y, z > 0 ? z - 1 : z)];
+          lap += field[at(x, y, z + 1 < nz ? z + 1 : z)];
+          // ... plus a logistic reaction source.
+          next[at(x, y, z)] = c + 0.08 * lap + 0.02 * c * (1.0 - c);
+        }
+      }
+    }
+    field.swap(next);
+  }
+}
+
+adios::VarMeta S3dRank::species_meta(int s) const {
+  return adios::global_array_var(species_name(s), serial::DataType::kDouble,
+                                 global_, block_);
+}
+
+std::string S3dRank::species_name(int s) {
+  static const char* kNames[kS3dSpecies] = {
+      "H2", "O2", "O",   "OH",   "H2O",  "H",    "HO2",  "H2O2",
+      "CO", "CO2", "HCO", "CH2O", "CH3",  "CH4",  "CH3O", "C2H2",
+      "C2H4", "C2H6", "NO", "NO2", "N2O", "N2"};
+  FLEXIO_CHECK(s >= 0 && s < kS3dSpecies);
+  return kNames[s];
+}
+
+}  // namespace flexio::apps

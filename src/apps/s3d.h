@@ -1,0 +1,54 @@
+// S3D_Box-like combustion workload generator.
+//
+// S3D performs direct numerical simulation of turbulent combustion; the
+// paper's S3D_Box variant periodically outputs species data as 22 3-D
+// double arrays, ~1.7 MB total per process per I/O action, decomposed in
+// 3-D blocks (Section IV.B). The skeleton reproduces that profile with a
+// cheap reaction-diffusion-style update, deterministic in (seed, rank).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adios/var.h"
+#include "util/rng.h"
+
+namespace flexio::apps {
+
+inline constexpr int kS3dSpecies = 22;
+
+class S3dRank {
+ public:
+  /// One rank of an S3D_Box run over `global` grid points, decomposed in
+  /// 3-D blocks across `ranks_per_dim[d]` ranks per dimension.
+  S3dRank(const adios::Dims& global, const std::array<int, 3>& ranks_per_dim,
+          int rank, std::uint64_t seed = 7);
+
+  int rank() const { return rank_; }
+  const adios::Box& block() const { return block_; }
+  const adios::Dims& global() const { return global_; }
+
+  /// One solver cycle: diffusion + reaction source terms per species.
+  void advance();
+
+  /// Species field s, dense row-major over this rank's block.
+  const std::vector<double>& species(int s) const {
+    return fields_[static_cast<std::size_t>(s)];
+  }
+  adios::VarMeta species_meta(int s) const;
+  static std::string species_name(int s);
+
+ private:
+  int rank_;
+  adios::Dims global_;
+  adios::Box block_;
+  Rng rng_;
+  std::vector<std::vector<double>> fields_;
+};
+
+/// Most-cubic factorization of `ranks` into 3 factors (x, y, z).
+std::array<int, 3> s3d_decompose(int ranks);
+
+}  // namespace flexio::apps

@@ -1,0 +1,56 @@
+// Calibrated evaluation scenarios for the paper's two applications.
+//
+// These builders encode the experimental setups of Section IV as
+// CoupledConfig instances: GTS production runs (110 MB per process every
+// two cycles, OpenMP/MPI hybrid, analytics = distribution function + range
+// query + histograms) and S3D_Box runs (22 species arrays, 1.7 MB per
+// process every ten cycles, analytics = parallel volume rendering), each
+// under every placement variant the figures compare. Calibration targets
+// the paper's published ratios, not absolute times: the 2.7% cost of
+// yielding one core, the 23.6% inline analytics weight, the 67% helper
+// idle fraction, the <15% staging interference, and the 128:1 S3D
+// simulation-to-analytics ratio.
+#pragma once
+
+#include "apps/coupled_model.h"
+
+namespace flexio::apps {
+
+/// The series of Figure 6 (GTS) in plot order.
+enum class GtsVariant {
+  kInline,
+  kHelperDataAware,
+  kHelperHolistic,
+  kHelperTopoAware,
+  kStaging,
+  kSolo,  // lower bound
+};
+std::string_view gts_variant_name(GtsVariant v);
+inline constexpr GtsVariant kAllGtsVariants[] = {
+    GtsVariant::kInline,         GtsVariant::kHelperDataAware,
+    GtsVariant::kHelperHolistic, GtsVariant::kHelperTopoAware,
+    GtsVariant::kStaging,        GtsVariant::kSolo};
+
+/// Build the GTS scenario for `gts_cores` total simulation cores.
+CoupledConfig gts_scenario(const sim::MachineDesc& machine, int gts_cores,
+                           GtsVariant variant);
+
+/// The series of Figure 9 (S3D_Box) in plot order.
+enum class S3dVariant {
+  kInline,
+  kHybridDataAware,
+  kStagingHolistic,
+  kStagingTopoAware,
+  kSolo,  // lower bound
+};
+std::string_view s3d_variant_name(S3dVariant v);
+inline constexpr S3dVariant kAllS3dVariants[] = {
+    S3dVariant::kInline, S3dVariant::kHybridDataAware,
+    S3dVariant::kStagingHolistic, S3dVariant::kStagingTopoAware,
+    S3dVariant::kSolo};
+
+/// Build the S3D_Box scenario for `s3d_cores` total simulation cores.
+CoupledConfig s3d_scenario(const sim::MachineDesc& machine, int s3d_cores,
+                           S3dVariant variant);
+
+}  // namespace flexio::apps

@@ -1,0 +1,118 @@
+#include "apps/volume_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace flexio::apps {
+
+namespace {
+
+/// Cool-to-warm transfer function: value in [0,1] -> RGB.
+void colormap(double t, float* rgb) {
+  t = std::clamp(t, 0.0, 1.0);
+  rgb[0] = static_cast<float>(0.23 + 0.71 * t);        // red rises
+  rgb[1] = static_cast<float>(0.30 + 0.45 * (1.0 - std::fabs(2 * t - 1)));
+  rgb[2] = static_cast<float>(0.75 - 0.60 * t);        // blue falls
+}
+
+}  // namespace
+
+ImageFragment render_slab(const adios::Box& slab,
+                          std::span<const double> field,
+                          const RenderConfig& config) {
+  FLEXIO_CHECK(slab.ndim() == 3);
+  FLEXIO_CHECK(field.size() == slab.elements());
+  ImageFragment frag;
+  frag.width = static_cast<int>(slab.count[0]);
+  frag.height = static_cast<int>(slab.count[1]);
+  frag.z_offset = slab.offset[2];
+  const auto pixels =
+      static_cast<std::size_t>(frag.width) * static_cast<std::size_t>(frag.height);
+  frag.rgb.assign(pixels * 3, 0.0f);
+  frag.transmittance.assign(pixels, 1.0f);
+
+  const auto nz = slab.count[2];
+  const double range = std::max(config.value_hi - config.value_lo, 1e-12);
+  for (std::uint64_t x = 0; x < slab.count[0]; ++x) {
+    for (std::uint64_t y = 0; y < slab.count[1]; ++y) {
+      const std::size_t pixel =
+          static_cast<std::size_t>(y) * static_cast<std::size_t>(frag.width) +
+          static_cast<std::size_t>(x);
+      float t = 1.0f;  // transmittance so far
+      float rgb[3] = {0, 0, 0};
+      for (std::uint64_t z = 0; z < nz && t > 1e-4f; ++z) {
+        const double raw = field[(x * slab.count[1] + y) * nz + z];
+        const double v = (raw - config.value_lo) / range;
+        float sample_rgb[3];
+        colormap(v, sample_rgb);
+        const float alpha = static_cast<float>(
+            std::clamp(v, 0.0, 1.0) * config.opacity_scale);
+        for (int c = 0; c < 3; ++c) {
+          rgb[c] += t * alpha * sample_rgb[c];
+        }
+        t *= 1.0f - alpha;
+      }
+      frag.rgb[pixel * 3 + 0] = rgb[0];
+      frag.rgb[pixel * 3 + 1] = rgb[1];
+      frag.rgb[pixel * 3 + 2] = rgb[2];
+      frag.transmittance[pixel] = t;
+    }
+  }
+  return frag;
+}
+
+StatusOr<std::vector<std::uint8_t>> composite(
+    std::vector<ImageFragment> fragments) {
+  if (fragments.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "no fragments");
+  }
+  std::sort(fragments.begin(), fragments.end(),
+            [](const ImageFragment& a, const ImageFragment& b) {
+              return a.z_offset < b.z_offset;
+            });
+  const int width = fragments[0].width;
+  const int height = fragments[0].height;
+  const auto pixels =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  std::vector<float> rgb(pixels * 3, 0.0f);
+  std::vector<float> transmittance(pixels, 1.0f);
+  for (const ImageFragment& frag : fragments) {
+    if (frag.width != width || frag.height != height) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "fragment image sizes differ");
+    }
+    for (std::size_t p = 0; p < pixels; ++p) {
+      for (int c = 0; c < 3; ++c) {
+        rgb[p * 3 + static_cast<std::size_t>(c)] +=
+            transmittance[p] * frag.rgb[p * 3 + static_cast<std::size_t>(c)];
+      }
+      transmittance[p] *= frag.transmittance[p];
+    }
+  }
+  std::vector<std::uint8_t> out(pixels * 3);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::clamp(rgb[i], 0.0f, 1.0f) * 255.0f);
+  }
+  return out;
+}
+
+Status write_ppm(const std::string& path, int width, int height,
+                 std::span<const std::uint8_t> rgb) {
+  if (rgb.size() != static_cast<std::size_t>(width) *
+                        static_cast<std::size_t>(height) * 3) {
+    return make_error(ErrorCode::kInvalidArgument, "rgb buffer size wrong");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kInternal, "cannot open " + path);
+  }
+  out << "P6\n" << width << " " << height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(rgb.data()),
+            static_cast<std::streamsize>(rgb.size()));
+  return out ? Status::ok()
+             : make_error(ErrorCode::kInternal, "ppm write failed");
+}
+
+}  // namespace flexio::apps

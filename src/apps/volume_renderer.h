@@ -1,0 +1,50 @@
+// Parallel volume renderer (the S3D visualization code of Section IV.B).
+//
+// Orthographic emission-absorption ray casting along the Z axis of a 3-D
+// scalar field. Each analytics rank renders the Z-slab it received from
+// FlexIO into an RGBA image fragment with per-pixel transmittance; the
+// fragments composite front-to-back in slab order ("over" operator) into
+// the final frame, written as a binary PPM -- the paper's per-species
+// images written in PPM format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adios/array.h"
+#include "util/status.h"
+
+namespace flexio::apps {
+
+/// One rank's rendering of its slab: RGB premultiplied by alpha, plus the
+/// slab's remaining transmittance per pixel.
+struct ImageFragment {
+  int width = 0, height = 0;
+  std::uint64_t z_offset = 0;  // slab position along the ray (composite order)
+  std::vector<float> rgb;           // 3 floats per pixel, premultiplied
+  std::vector<float> transmittance; // 1 float per pixel
+};
+
+struct RenderConfig {
+  double value_lo = 0.0;   // transfer-function domain
+  double value_hi = 1.0;
+  double opacity_scale = 0.15;  // extinction per sample
+};
+
+/// Render a slab (dense row-major block of the global field; the X and Y
+/// extents of the block become the image plane, Z is the ray direction).
+ImageFragment render_slab(const adios::Box& slab,
+                          std::span<const double> field,
+                          const RenderConfig& config = {});
+
+/// Composite fragments (any order given; sorted internally by z_offset)
+/// into an 8-bit RGB image. All fragments must share width/height.
+StatusOr<std::vector<std::uint8_t>> composite(
+    std::vector<ImageFragment> fragments);
+
+/// Write an 8-bit RGB image as binary PPM (P6).
+Status write_ppm(const std::string& path, int width, int height,
+                 std::span<const std::uint8_t> rgb);
+
+}  // namespace flexio::apps

@@ -1,0 +1,75 @@
+// Abstract syntax tree for CoD-mini.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cod/token.h"
+
+namespace flexio::cod {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kNumber,  // literal
+    kVar,     // local or environment global
+    kUnary,   // op args[0]
+    kBinary,  // args[0] op args[1]
+    kCall,    // name(args...)
+    kIndex,   // name[args[0]] -- environment arrays only
+  };
+  Kind kind = Kind::kNumber;
+  int line = 1;
+  double number = 0;
+  std::string name;
+  Tok op = Tok::kEnd;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kDecl,    // type name (= a)?
+    kAssign,  // name = a
+    kIf,      // if (a) body else else_body
+    kWhile,   // while (a) body
+    kFor,     // for (init; a; step) body
+    kReturn,  // return a?
+    kExpr,    // a;
+    kBlock,   // { body }
+  };
+  Kind kind = Kind::kExpr;
+  int line = 1;
+  std::string name;
+  ExprPtr a;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  StmtPtr init;  // for
+  StmtPtr step;  // for
+};
+
+struct FunctionAst {
+  std::string name;
+  bool returns_value = false;  // void vs int/double (both map to double)
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 1;
+};
+
+struct ProgramAst {
+  std::vector<FunctionAst> functions;
+
+  const FunctionAst* find(std::string_view name) const {
+    for (const auto& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace flexio::cod

@@ -1,0 +1,369 @@
+#include <map>
+
+#include "cod/program.h"
+#include "util/strings.h"
+
+namespace flexio::cod {
+
+void Environment::add_global(const std::string& name, double value) {
+  globals_.emplace_back(name, value);
+}
+
+void Environment::add_array(const std::string& name,
+                            std::span<const double> values) {
+  arrays_.emplace_back(name, values);
+}
+
+void Environment::add_builtin(const std::string& name, int arity, Builtin fn) {
+  builtins_.emplace_back(name, arity, std::move(fn));
+}
+
+int Environment::global_index(std::string_view name) const {
+  for (std::size_t i = 0; i < globals_.size(); ++i) {
+    if (globals_[i].first == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Environment::array_index(std::string_view name) const {
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (arrays_[i].first == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Environment::builtin_index(std::string_view name) const {
+  for (std::size_t i = 0; i < builtins_.size(); ++i) {
+    if (std::get<0>(builtins_[i]) == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CompiledProgram::function_index(std::string_view name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+/// Compiles one function's AST into bytecode with scoped locals.
+class FunctionCompiler {
+ public:
+  FunctionCompiler(const ProgramAst& ast, const Environment& env)
+      : ast_(ast), env_(env) {}
+
+  StatusOr<CompiledFunction> compile_fn(const FunctionAst& fn) {
+    out_ = CompiledFunction{};
+    out_.name = fn.name;
+    out_.num_params = static_cast<int>(fn.params.size());
+    scopes_.clear();
+    next_slot_ = 0;
+    max_slot_ = 0;
+    push_scope();
+    for (const std::string& p : fn.params) {
+      if (declare(p) < 0) return error(fn.line, "duplicate parameter: " + p);
+    }
+    FLEXIO_RETURN_IF_ERROR(compile_block(fn.body));
+    pop_scope();
+    emit(Op::kRetVoid);  // implicit return at end
+    out_.num_locals = max_slot_;
+    return std::move(out_);
+  }
+
+ private:
+  Status error(int line, const std::string& what) const {
+    return make_error(ErrorCode::kInvalidArgument,
+                      str_format("cod line %d: %s", line, what.c_str()));
+  }
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() {
+    next_slot_ -= static_cast<int>(scopes_.back().size());
+    scopes_.pop_back();
+  }
+  int declare(const std::string& name) {
+    auto& scope = scopes_.back();
+    if (scope.count(name)) return -1;
+    const int slot = next_slot_++;
+    max_slot_ = std::max(max_slot_, next_slot_);
+    scope[name] = slot;
+    return slot;
+  }
+  int lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return -1;
+  }
+
+  int emit(Op op, int a = 0, int b = 0, double imm = 0) {
+    out_.code.push_back(Instr{op, a, b, imm});
+    return static_cast<int>(out_.code.size() - 1);
+  }
+  void patch(int at, int target) {
+    out_.code[static_cast<std::size_t>(at)].a = target;
+  }
+  int here() const { return static_cast<int>(out_.code.size()); }
+
+  Status compile_block(const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& stmt : body) {
+      FLEXIO_RETURN_IF_ERROR(compile_stmt(*stmt));
+    }
+    return Status::ok();
+  }
+
+  Status compile_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kDecl: {
+        const int slot = declare(stmt.name);
+        if (slot < 0) {
+          return error(stmt.line, "redeclaration of " + stmt.name);
+        }
+        if (stmt.a) {
+          FLEXIO_RETURN_IF_ERROR(compile_expr(*stmt.a));
+        } else {
+          emit(Op::kConst, 0, 0, 0.0);
+        }
+        emit(Op::kStoreLocal, slot);
+        return Status::ok();
+      }
+      case Stmt::Kind::kAssign: {
+        const int slot = lookup(stmt.name);
+        if (slot < 0) {
+          return error(stmt.line, "assignment to undeclared " + stmt.name);
+        }
+        FLEXIO_RETURN_IF_ERROR(compile_expr(*stmt.a));
+        emit(Op::kStoreLocal, slot);
+        return Status::ok();
+      }
+      case Stmt::Kind::kIf: {
+        FLEXIO_RETURN_IF_ERROR(compile_expr(*stmt.a));
+        const int jfalse = emit(Op::kJmpIfFalse);
+        push_scope();
+        FLEXIO_RETURN_IF_ERROR(compile_block(stmt.body));
+        pop_scope();
+        if (stmt.else_body.empty()) {
+          patch(jfalse, here());
+        } else {
+          const int jend = emit(Op::kJmp);
+          patch(jfalse, here());
+          push_scope();
+          FLEXIO_RETURN_IF_ERROR(compile_block(stmt.else_body));
+          pop_scope();
+          patch(jend, here());
+        }
+        return Status::ok();
+      }
+      case Stmt::Kind::kWhile: {
+        const int top = here();
+        FLEXIO_RETURN_IF_ERROR(compile_expr(*stmt.a));
+        const int jfalse = emit(Op::kJmpIfFalse);
+        push_scope();
+        FLEXIO_RETURN_IF_ERROR(compile_block(stmt.body));
+        pop_scope();
+        emit(Op::kJmp, top);
+        patch(jfalse, here());
+        return Status::ok();
+      }
+      case Stmt::Kind::kFor: {
+        push_scope();
+        if (stmt.init) FLEXIO_RETURN_IF_ERROR(compile_stmt(*stmt.init));
+        const int top = here();
+        int jfalse = -1;
+        if (stmt.a) {
+          FLEXIO_RETURN_IF_ERROR(compile_expr(*stmt.a));
+          jfalse = emit(Op::kJmpIfFalse);
+        }
+        push_scope();
+        FLEXIO_RETURN_IF_ERROR(compile_block(stmt.body));
+        pop_scope();
+        if (stmt.step) FLEXIO_RETURN_IF_ERROR(compile_stmt(*stmt.step));
+        emit(Op::kJmp, top);
+        if (jfalse >= 0) patch(jfalse, here());
+        pop_scope();
+        return Status::ok();
+      }
+      case Stmt::Kind::kReturn:
+        if (stmt.a) {
+          FLEXIO_RETURN_IF_ERROR(compile_expr(*stmt.a));
+          emit(Op::kRet);
+        } else {
+          emit(Op::kRetVoid);
+        }
+        return Status::ok();
+      case Stmt::Kind::kExpr:
+        FLEXIO_RETURN_IF_ERROR(compile_expr(*stmt.a));
+        emit(Op::kPop);
+        return Status::ok();
+      case Stmt::Kind::kBlock:
+        push_scope();
+        FLEXIO_RETURN_IF_ERROR(compile_block(stmt.body));
+        pop_scope();
+        return Status::ok();
+    }
+    return error(stmt.line, "bad statement kind");
+  }
+
+  Status compile_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kNumber:
+        emit(Op::kConst, 0, 0, expr.number);
+        return Status::ok();
+      case Expr::Kind::kVar: {
+        const int slot = lookup(expr.name);
+        if (slot >= 0) {
+          emit(Op::kLoadLocal, slot);
+          return Status::ok();
+        }
+        const int global = env_.global_index(expr.name);
+        if (global >= 0) {
+          emit(Op::kLoadGlobal, global);
+          return Status::ok();
+        }
+        return error(expr.line, "unknown variable: " + expr.name);
+      }
+      case Expr::Kind::kUnary:
+        FLEXIO_RETURN_IF_ERROR(compile_expr(*expr.args[0]));
+        emit(expr.op == Tok::kMinus ? Op::kNeg : Op::kNot);
+        return Status::ok();
+      case Expr::Kind::kBinary: {
+        // Short-circuit && and ||.
+        if (expr.op == Tok::kAndAnd) {
+          FLEXIO_RETURN_IF_ERROR(compile_expr(*expr.args[0]));
+          const int jfalse = emit(Op::kJmpIfFalse);
+          FLEXIO_RETURN_IF_ERROR(compile_expr(*expr.args[1]));
+          emit(Op::kNot);
+          emit(Op::kNot);  // normalize to 0/1
+          const int jend = emit(Op::kJmp);
+          patch(jfalse, here());
+          emit(Op::kConst, 0, 0, 0.0);
+          patch(jend, here());
+          return Status::ok();
+        }
+        if (expr.op == Tok::kOrOr) {
+          FLEXIO_RETURN_IF_ERROR(compile_expr(*expr.args[0]));
+          const int jfalse = emit(Op::kJmpIfFalse);
+          emit(Op::kConst, 0, 0, 1.0);
+          const int jend = emit(Op::kJmp);
+          patch(jfalse, here());
+          FLEXIO_RETURN_IF_ERROR(compile_expr(*expr.args[1]));
+          emit(Op::kNot);
+          emit(Op::kNot);
+          patch(jend, here());
+          return Status::ok();
+        }
+        FLEXIO_RETURN_IF_ERROR(compile_expr(*expr.args[0]));
+        FLEXIO_RETURN_IF_ERROR(compile_expr(*expr.args[1]));
+        switch (expr.op) {
+          case Tok::kPlus: emit(Op::kAdd); break;
+          case Tok::kMinus: emit(Op::kSub); break;
+          case Tok::kStar: emit(Op::kMul); break;
+          case Tok::kSlash: emit(Op::kDiv); break;
+          case Tok::kPercent: emit(Op::kMod); break;
+          case Tok::kEq: emit(Op::kEq); break;
+          case Tok::kNe: emit(Op::kNe); break;
+          case Tok::kLt: emit(Op::kLt); break;
+          case Tok::kLe: emit(Op::kLe); break;
+          case Tok::kGt: emit(Op::kGt); break;
+          case Tok::kGe: emit(Op::kGe); break;
+          default:
+            return error(expr.line, "bad binary operator");
+        }
+        return Status::ok();
+      }
+      case Expr::Kind::kCall: {
+        // User functions shadow builtins.
+        const FunctionAst* fn = ast_.find(expr.name);
+        if (fn != nullptr) {
+          if (fn->params.size() != expr.args.size()) {
+            return error(expr.line,
+                         str_format("%s expects %zu args, got %zu",
+                                    expr.name.c_str(), fn->params.size(),
+                                    expr.args.size()));
+          }
+          for (const ExprPtr& arg : expr.args) {
+            FLEXIO_RETURN_IF_ERROR(compile_expr(*arg));
+          }
+          int idx = 0;
+          for (const auto& f : ast_.functions) {
+            if (f.name == expr.name) break;
+            ++idx;
+          }
+          emit(Op::kCallFn, idx, static_cast<int>(expr.args.size()));
+          return Status::ok();
+        }
+        const int builtin = env_.builtin_index(expr.name);
+        if (builtin < 0) {
+          return error(expr.line, "unknown function: " + expr.name);
+        }
+        const int arity = env_.builtin_arity(builtin);
+        if (arity >= 0 && static_cast<std::size_t>(arity) != expr.args.size()) {
+          return error(expr.line,
+                       str_format("%s expects %d args, got %zu",
+                                  expr.name.c_str(), arity,
+                                  expr.args.size()));
+        }
+        for (const ExprPtr& arg : expr.args) {
+          FLEXIO_RETURN_IF_ERROR(compile_expr(*arg));
+        }
+        emit(Op::kBuiltin, builtin, static_cast<int>(expr.args.size()));
+        return Status::ok();
+      }
+      case Expr::Kind::kIndex: {
+        const int array = env_.array_index(expr.name);
+        if (array < 0) {
+          return error(expr.line, "unknown array: " + expr.name);
+        }
+        FLEXIO_RETURN_IF_ERROR(compile_expr(*expr.args[0]));
+        emit(Op::kIndexArray, array);
+        return Status::ok();
+      }
+    }
+    return error(expr.line, "bad expression kind");
+  }
+
+  const ProgramAst& ast_;
+  const Environment& env_;
+  CompiledFunction out_;
+  std::vector<std::map<std::string, int>> scopes_;
+  int next_slot_ = 0;
+  int max_slot_ = 0;
+};
+
+}  // namespace
+
+StatusOr<CompiledProgram> compile(const ProgramAst& ast,
+                                  const Environment& env) {
+  CompiledProgram program;
+  FunctionCompiler compiler(ast, env);
+  for (const FunctionAst& fn : ast.functions) {
+    auto compiled = compiler.compile_fn(fn);
+    if (!compiled.is_ok()) return compiled.status();
+    program.functions.push_back(std::move(compiled).value());
+  }
+  // Record referenced environment names for run-time cross-checks.
+  for (const auto& fn : program.functions) {
+    for (const Instr& instr : fn.code) {
+      auto remember = [](std::vector<std::string>* names, int idx,
+                         const std::string& name) {
+        if (idx >= static_cast<int>(names->size())) {
+          names->resize(static_cast<std::size_t>(idx) + 1);
+        }
+        (*names)[static_cast<std::size_t>(idx)] = name;
+      };
+      if (instr.op == Op::kLoadGlobal) {
+        remember(&program.global_names, instr.a, env.global_name(instr.a));
+      } else if (instr.op == Op::kIndexArray) {
+        remember(&program.array_names, instr.a, env.array_name(instr.a));
+      } else if (instr.op == Op::kBuiltin) {
+        remember(&program.builtin_names, instr.a, env.builtin_name(instr.a));
+      }
+    }
+  }
+  return program;
+}
+
+}  // namespace flexio::cod

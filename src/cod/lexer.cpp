@@ -1,0 +1,195 @@
+#include "cod/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace flexio::cod {
+
+std::string_view tok_name(Tok kind) {
+  switch (kind) {
+    case Tok::kNumber: return "number";
+    case Tok::kIdent: return "identifier";
+    case Tok::kInt: return "'int'";
+    case Tok::kDouble: return "'double'";
+    case Tok::kVoid: return "'void'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemicolon: return "';'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kBang: return "'!'";
+    case Tok::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+Tok keyword_or_ident(std::string_view word) {
+  if (word == "int") return Tok::kInt;
+  if (word == "double") return Tok::kDouble;
+  if (word == "void") return Tok::kVoid;
+  if (word == "if") return Tok::kIf;
+  if (word == "else") return Tok::kElse;
+  if (word == "while") return Tok::kWhile;
+  if (word == "for") return Tok::kFor;
+  if (word == "return") return Tok::kReturn;
+  return Tok::kIdent;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> tokenize(std::string_view source) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  auto error = [&line](const std::string& what) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      str_format("cod line %d: %s", line, what.c_str()));
+  };
+  auto push = [&](Tok kind, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < source.size()) {
+      if (source[i + 1] == '/') {
+        while (i < source.size() && source[i] != '\n') ++i;
+        continue;
+      }
+      if (source[i + 1] == '*') {
+        i += 2;
+        while (i + 1 < source.size() &&
+               !(source[i] == '*' && source[i + 1] == '/')) {
+          if (source[i] == '\n') ++line;
+          ++i;
+        }
+        if (i + 1 >= source.size()) return error("unterminated comment");
+        i += 2;
+        continue;
+      }
+    }
+    // Numbers (ints, decimals, exponents).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[i])) ||
+              source[i] == '.')) {
+        ++i;
+      }
+      if (i < source.size() && (source[i] == 'e' || source[i] == 'E')) {
+        ++i;
+        if (i < source.size() && (source[i] == '+' || source[i] == '-')) ++i;
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+      }
+      const std::string text(source.substr(start, i - start));
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        return error("malformed number: " + text);
+      }
+      Token t;
+      t.kind = Tok::kNumber;
+      t.text = text;
+      t.number = value;
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      const std::string word(source.substr(start, i - start));
+      push(keyword_or_ident(word), word);
+      continue;
+    }
+    // Operators & punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < source.size() && source[i + 1] == b;
+    };
+    if (two('=', '=')) { push(Tok::kEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::kNe); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::kLe); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::kGe); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::kAndAnd); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::kOrOr); i += 2; continue; }
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case '{': push(Tok::kLBrace); break;
+      case '}': push(Tok::kRBrace); break;
+      case '[': push(Tok::kLBracket); break;
+      case ']': push(Tok::kRBracket); break;
+      case ',': push(Tok::kComma); break;
+      case ';': push(Tok::kSemicolon); break;
+      case '=': push(Tok::kAssign); break;
+      case '+': push(Tok::kPlus); break;
+      case '-': push(Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      case '%': push(Tok::kPercent); break;
+      case '<': push(Tok::kLt); break;
+      case '>': push(Tok::kGt); break;
+      case '!': push(Tok::kBang); break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  Token end;
+  end.kind = Tok::kEnd;
+  end.line = line;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace flexio::cod

@@ -1,0 +1,13 @@
+// Hand-written lexer for CoD-mini.
+#pragma once
+
+#include "cod/token.h"
+#include "util/status.h"
+
+namespace flexio::cod {
+
+/// Tokenize a whole source string. Errors carry line numbers. Supports
+/// //-line and /* block */ comments.
+StatusOr<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace flexio::cod

@@ -1,0 +1,343 @@
+#include "cod/parser.h"
+
+#include "cod/lexer.h"
+#include "util/strings.h"
+
+namespace flexio::cod {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ProgramAst> parse_program() {
+    ProgramAst program;
+    while (peek().kind != Tok::kEnd) {
+      auto fn = parse_function();
+      if (!fn.is_ok()) return fn.status();
+      if (program.find(fn.value().name) != nullptr) {
+        return error("duplicate function: " + fn.value().name);
+      }
+      program.functions.push_back(std::move(fn).value());
+    }
+    return program;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool match(Tok kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status error(const std::string& what) const {
+    return make_error(ErrorCode::kInvalidArgument,
+                      str_format("cod line %d: %s", peek().line, what.c_str()));
+  }
+
+  Status expect(Tok kind) {
+    if (peek().kind != kind) {
+      return error(std::string("expected ") + std::string(tok_name(kind)) +
+                   ", got " + std::string(tok_name(peek().kind)));
+    }
+    ++pos_;
+    return Status::ok();
+  }
+
+  static bool is_type(Tok kind) {
+    return kind == Tok::kInt || kind == Tok::kDouble || kind == Tok::kVoid;
+  }
+
+  StatusOr<FunctionAst> parse_function() {
+    FunctionAst fn;
+    fn.line = peek().line;
+    if (!is_type(peek().kind)) {
+      return error("expected a function definition (int/double/void)");
+    }
+    fn.returns_value = peek().kind != Tok::kVoid;
+    advance();
+    if (peek().kind != Tok::kIdent) return error("expected function name");
+    fn.name = advance().text;
+    FLEXIO_RETURN_IF_ERROR(expect(Tok::kLParen));
+    if (!match(Tok::kRParen)) {
+      for (;;) {
+        if (!is_type(peek().kind) || peek().kind == Tok::kVoid) {
+          return error("expected parameter type");
+        }
+        advance();
+        if (peek().kind != Tok::kIdent) return error("expected parameter name");
+        fn.params.push_back(advance().text);
+        if (match(Tok::kRParen)) break;
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kComma));
+      }
+    }
+    FLEXIO_RETURN_IF_ERROR(expect(Tok::kLBrace));
+    while (!match(Tok::kRBrace)) {
+      if (peek().kind == Tok::kEnd) return error("unterminated function body");
+      auto stmt = parse_statement();
+      if (!stmt.is_ok()) return stmt.status();
+      fn.body.push_back(std::move(stmt).value());
+    }
+    return fn;
+  }
+
+  StatusOr<StmtPtr> parse_statement() {
+    const int line = peek().line;
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = line;
+    switch (peek().kind) {
+      case Tok::kInt:
+      case Tok::kDouble: {
+        advance();
+        stmt->kind = Stmt::Kind::kDecl;
+        if (peek().kind != Tok::kIdent) return error("expected variable name");
+        stmt->name = advance().text;
+        if (match(Tok::kAssign)) {
+          auto init = parse_expression();
+          if (!init.is_ok()) return init.status();
+          stmt->a = std::move(init).value();
+        }
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kSemicolon));
+        return stmt;
+      }
+      case Tok::kIf: {
+        advance();
+        stmt->kind = Stmt::Kind::kIf;
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kLParen));
+        auto cond = parse_expression();
+        if (!cond.is_ok()) return cond.status();
+        stmt->a = std::move(cond).value();
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kRParen));
+        auto body = parse_statement();
+        if (!body.is_ok()) return body.status();
+        stmt->body.push_back(std::move(body).value());
+        if (match(Tok::kElse)) {
+          auto else_body = parse_statement();
+          if (!else_body.is_ok()) return else_body.status();
+          stmt->else_body.push_back(std::move(else_body).value());
+        }
+        return stmt;
+      }
+      case Tok::kWhile: {
+        advance();
+        stmt->kind = Stmt::Kind::kWhile;
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kLParen));
+        auto cond = parse_expression();
+        if (!cond.is_ok()) return cond.status();
+        stmt->a = std::move(cond).value();
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kRParen));
+        auto body = parse_statement();
+        if (!body.is_ok()) return body.status();
+        stmt->body.push_back(std::move(body).value());
+        return stmt;
+      }
+      case Tok::kFor: {
+        advance();
+        stmt->kind = Stmt::Kind::kFor;
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kLParen));
+        if (!match(Tok::kSemicolon)) {
+          auto init = parse_statement();  // decl or expr/assign stmt eats ';'
+          if (!init.is_ok()) return init.status();
+          stmt->init = std::move(init).value();
+        }
+        if (!match(Tok::kSemicolon)) {
+          auto cond = parse_expression();
+          if (!cond.is_ok()) return cond.status();
+          stmt->a = std::move(cond).value();
+          FLEXIO_RETURN_IF_ERROR(expect(Tok::kSemicolon));
+        }
+        if (peek().kind != Tok::kRParen) {
+          auto step = parse_simple_statement(/*consume_semicolon=*/false);
+          if (!step.is_ok()) return step.status();
+          stmt->step = std::move(step).value();
+        }
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kRParen));
+        auto body = parse_statement();
+        if (!body.is_ok()) return body.status();
+        stmt->body.push_back(std::move(body).value());
+        return stmt;
+      }
+      case Tok::kReturn: {
+        advance();
+        stmt->kind = Stmt::Kind::kReturn;
+        if (!match(Tok::kSemicolon)) {
+          auto value = parse_expression();
+          if (!value.is_ok()) return value.status();
+          stmt->a = std::move(value).value();
+          FLEXIO_RETURN_IF_ERROR(expect(Tok::kSemicolon));
+        }
+        return stmt;
+      }
+      case Tok::kLBrace: {
+        advance();
+        stmt->kind = Stmt::Kind::kBlock;
+        while (!match(Tok::kRBrace)) {
+          if (peek().kind == Tok::kEnd) return error("unterminated block");
+          auto inner = parse_statement();
+          if (!inner.is_ok()) return inner.status();
+          stmt->body.push_back(std::move(inner).value());
+        }
+        return stmt;
+      }
+      default:
+        return parse_simple_statement(/*consume_semicolon=*/true);
+    }
+  }
+
+  /// Assignment or expression statement (the only statements legal in a
+  /// for-step position).
+  StatusOr<StmtPtr> parse_simple_statement(bool consume_semicolon) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+    if (peek().kind == Tok::kIdent && peek(1).kind == Tok::kAssign) {
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->name = advance().text;
+      advance();  // '='
+      auto value = parse_expression();
+      if (!value.is_ok()) return value.status();
+      stmt->a = std::move(value).value();
+    } else {
+      stmt->kind = Stmt::Kind::kExpr;
+      auto value = parse_expression();
+      if (!value.is_ok()) return value.status();
+      stmt->a = std::move(value).value();
+    }
+    if (consume_semicolon) FLEXIO_RETURN_IF_ERROR(expect(Tok::kSemicolon));
+    return stmt;
+  }
+
+  // Precedence climbing: || < && < ==/!= < comparisons < +- < */% < unary.
+  StatusOr<ExprPtr> parse_expression() { return parse_or(); }
+
+  StatusOr<ExprPtr> parse_binary_level(
+      StatusOr<ExprPtr> (Parser::*next)(), std::initializer_list<Tok> ops) {
+    auto lhs = (this->*next)();
+    if (!lhs.is_ok()) return lhs.status();
+    ExprPtr result = std::move(lhs).value();
+    for (;;) {
+      bool matched = false;
+      for (Tok op : ops) {
+        if (peek().kind == op) {
+          const int line = peek().line;
+          advance();
+          auto rhs = (this->*next)();
+          if (!rhs.is_ok()) return rhs.status();
+          auto node = std::make_unique<Expr>();
+          node->kind = Expr::Kind::kBinary;
+          node->op = op;
+          node->line = line;
+          node->args.push_back(std::move(result));
+          node->args.push_back(std::move(rhs).value());
+          result = std::move(node);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return result;
+    }
+  }
+
+  StatusOr<ExprPtr> parse_or() {
+    return parse_binary_level(&Parser::parse_and, {Tok::kOrOr});
+  }
+  StatusOr<ExprPtr> parse_and() {
+    return parse_binary_level(&Parser::parse_equality, {Tok::kAndAnd});
+  }
+  StatusOr<ExprPtr> parse_equality() {
+    return parse_binary_level(&Parser::parse_comparison,
+                              {Tok::kEq, Tok::kNe});
+  }
+  StatusOr<ExprPtr> parse_comparison() {
+    return parse_binary_level(&Parser::parse_additive,
+                              {Tok::kLt, Tok::kLe, Tok::kGt, Tok::kGe});
+  }
+  StatusOr<ExprPtr> parse_additive() {
+    return parse_binary_level(&Parser::parse_multiplicative,
+                              {Tok::kPlus, Tok::kMinus});
+  }
+  StatusOr<ExprPtr> parse_multiplicative() {
+    return parse_binary_level(&Parser::parse_unary,
+                              {Tok::kStar, Tok::kSlash, Tok::kPercent});
+  }
+
+  StatusOr<ExprPtr> parse_unary() {
+    if (peek().kind == Tok::kMinus || peek().kind == Tok::kBang) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->op = peek().kind;
+      node->line = peek().line;
+      advance();
+      auto operand = parse_unary();
+      if (!operand.is_ok()) return operand.status();
+      node->args.push_back(std::move(operand).value());
+      return node;
+    }
+    return parse_primary();
+  }
+
+  StatusOr<ExprPtr> parse_primary() {
+    auto node = std::make_unique<Expr>();
+    node->line = peek().line;
+    switch (peek().kind) {
+      case Tok::kNumber:
+        node->kind = Expr::Kind::kNumber;
+        node->number = advance().number;
+        return node;
+      case Tok::kLParen: {
+        advance();
+        auto inner = parse_expression();
+        if (!inner.is_ok()) return inner.status();
+        FLEXIO_RETURN_IF_ERROR(expect(Tok::kRParen));
+        return std::move(inner).value();
+      }
+      case Tok::kIdent: {
+        node->name = advance().text;
+        if (match(Tok::kLParen)) {
+          node->kind = Expr::Kind::kCall;
+          if (!match(Tok::kRParen)) {
+            for (;;) {
+              auto arg = parse_expression();
+              if (!arg.is_ok()) return arg.status();
+              node->args.push_back(std::move(arg).value());
+              if (match(Tok::kRParen)) break;
+              FLEXIO_RETURN_IF_ERROR(expect(Tok::kComma));
+            }
+          }
+          return node;
+        }
+        if (match(Tok::kLBracket)) {
+          node->kind = Expr::Kind::kIndex;
+          auto index = parse_expression();
+          if (!index.is_ok()) return index.status();
+          node->args.push_back(std::move(index).value());
+          FLEXIO_RETURN_IF_ERROR(expect(Tok::kRBracket));
+          return node;
+        }
+        node->kind = Expr::Kind::kVar;
+        return node;
+      }
+      default:
+        return error(std::string("unexpected ") +
+                     std::string(tok_name(peek().kind)) + " in expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ProgramAst> parse(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.is_ok()) return tokens.status();
+  return Parser(std::move(tokens).value()).parse_program();
+}
+
+}  // namespace flexio::cod

@@ -1,0 +1,12 @@
+// Recursive-descent parser for CoD-mini.
+#pragma once
+
+#include "cod/ast.h"
+#include "util/status.h"
+
+namespace flexio::cod {
+
+/// Parse a whole plug-in source (a sequence of function definitions).
+StatusOr<ProgramAst> parse(std::string_view source);
+
+}  // namespace flexio::cod

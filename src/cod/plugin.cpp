@@ -1,0 +1,245 @@
+#include "cod/plugin.h"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "cod/parser.h"
+
+namespace flexio::cod {
+
+namespace {
+
+using serial::DataType;
+
+bool supported_type(DataType t) {
+  switch (t) {
+    case DataType::kDouble:
+    case DataType::kFloat:
+    case DataType::kInt32:
+    case DataType::kInt64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+StatusOr<std::vector<double>> payload_to_doubles(const wire::DataPiece& piece) {
+  const std::size_t elem = serial::size_of(piece.meta.type);
+  const std::size_t n = piece.payload.size() / elem;
+  std::vector<double> out(n);
+  const std::byte* p = piece.payload.data();
+  switch (piece.meta.type) {
+    case DataType::kDouble:
+      std::memcpy(out.data(), p, n * sizeof(double));
+      break;
+    case DataType::kFloat:
+      for (std::size_t i = 0; i < n; ++i) {
+        float v;
+        std::memcpy(&v, p + i * 4, 4);
+        out[i] = static_cast<double>(v);
+      }
+      break;
+    case DataType::kInt32:
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int32_t v;
+        std::memcpy(&v, p + i * 4, 4);
+        out[i] = static_cast<double>(v);
+      }
+      break;
+    case DataType::kInt64:
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t v;
+        std::memcpy(&v, p + i * 8, 8);
+        out[i] = static_cast<double>(v);
+      }
+      break;
+    default:
+      return make_error(ErrorCode::kUnimplemented,
+                        "plug-ins support double/float/int32/int64 payloads");
+  }
+  return out;
+}
+
+std::vector<std::byte> doubles_to_payload(const std::vector<double>& values,
+                                          DataType type) {
+  const std::size_t elem = serial::size_of(type);
+  std::vector<std::byte> out(values.size() * elem);
+  std::byte* p = out.data();
+  switch (type) {
+    case DataType::kDouble:
+      std::memcpy(p, values.data(), out.size());
+      break;
+    case DataType::kFloat:
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const auto v = static_cast<float>(values[i]);
+        std::memcpy(p + i * 4, &v, 4);
+      }
+      break;
+    case DataType::kInt32:
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const auto v = static_cast<std::int32_t>(values[i]);
+        std::memcpy(p + i * 4, &v, 4);
+      }
+      break;
+    case DataType::kInt64:
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const auto v = static_cast<std::int64_t>(values[i]);
+        std::memcpy(p + i * 8, &v, 8);
+      }
+      break;
+    default:
+      FLEXIO_CHECK(false);
+  }
+  return out;
+}
+
+/// Build the per-execution environment. `emitted`/`used_emit` are owned by
+/// the caller; `input` must outlive the run.
+void build_env(Environment* env, std::span<const double> input,
+               std::uint64_t rows, std::uint64_t cols,
+               std::vector<double>* emitted, bool* used_emit) {
+  env->add_global("n", static_cast<double>(input.size()));
+  env->add_global("rows", static_cast<double>(rows));
+  env->add_global("cols", static_cast<double>(cols));
+  env->add_array("input", input);
+  env->add_builtin("emit", 1,
+                   [emitted, used_emit](std::span<const double> args) {
+                     *used_emit = true;
+                     emitted->push_back(args[0]);
+                     return StatusOr<double>(0.0);
+                   });
+  env->add_builtin(
+      "keep_row", 1,
+      [emitted, used_emit, input, cols](std::span<const double> args)
+          -> StatusOr<double> {
+        *used_emit = true;
+        const auto row = static_cast<std::int64_t>(args[0]);
+        if (row < 0 ||
+            static_cast<std::uint64_t>(row) * cols + cols > input.size()) {
+          return make_error(ErrorCode::kOutOfRange,
+                            "keep_row out of bounds");
+        }
+        const auto base = static_cast<std::size_t>(row) * cols;
+        for (std::uint64_t c = 0; c < cols; ++c) {
+          emitted->push_back(input[base + c]);
+        }
+        return 0.0;
+      });
+  env->add_builtin("sqrt", 1, [](std::span<const double> a) {
+    return StatusOr<double>(std::sqrt(a[0]));
+  });
+  env->add_builtin("fabs", 1, [](std::span<const double> a) {
+    return StatusOr<double>(std::fabs(a[0]));
+  });
+  env->add_builtin("pow", 2, [](std::span<const double> a) {
+    return StatusOr<double>(std::pow(a[0], a[1]));
+  });
+  env->add_builtin("floor", 1, [](std::span<const double> a) {
+    return StatusOr<double>(std::floor(a[0]));
+  });
+  env->add_builtin("min", 2, [](std::span<const double> a) {
+    return StatusOr<double>(std::min(a[0], a[1]));
+  });
+  env->add_builtin("max", 2, [](std::span<const double> a) {
+    return StatusOr<double>(std::max(a[0], a[1]));
+  });
+  env->add_builtin("exp", 1, [](std::span<const double> a) {
+    return StatusOr<double>(std::exp(a[0]));
+  });
+  env->add_builtin("log", 1, [](std::span<const double> a) -> StatusOr<double> {
+    if (a[0] <= 0) {
+      return make_error(ErrorCode::kInvalidArgument, "log of non-positive");
+    }
+    return std::log(a[0]);
+  });
+  env->add_builtin("sin", 1, [](std::span<const double> a) {
+    return StatusOr<double>(std::sin(a[0]));
+  });
+  env->add_builtin("cos", 1, [](std::span<const double> a) {
+    return StatusOr<double>(std::cos(a[0]));
+  });
+}
+
+/// Shape of the piece as (rows, cols): 2-D blocks expose their natural
+/// shape; everything else is a flat row-major vector with cols == 1.
+void piece_shape(const wire::DataPiece& piece, std::uint64_t n,
+                 std::uint64_t* rows, std::uint64_t* cols) {
+  const adios::Box& box = piece.meta.shape == adios::ShapeKind::kLocalArray
+                              ? piece.meta.block
+                              : piece.region;
+  if (box.ndim() == 2) {
+    *rows = box.count[0];
+    *cols = box.count[1];
+  } else {
+    *rows = n;
+    *cols = 1;
+  }
+}
+
+}  // namespace
+
+StatusOr<PluginFn> compile_plugin(const std::string& source,
+                                  const VmLimits& limits) {
+  auto ast = parse(source);
+  if (!ast.is_ok()) return ast.status();
+  if (ast.value().find("transform") == nullptr) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "plug-in must define void transform()");
+  }
+  // Compile against a prototype environment with the canonical shape; the
+  // values are rebound per execution.
+  Environment proto;
+  std::vector<double> proto_emitted;
+  bool proto_used = false;
+  build_env(&proto, {}, 0, 1, &proto_emitted, &proto_used);
+  auto compiled = compile(ast.value(), proto);
+  if (!compiled.is_ok()) return compiled.status();
+
+  auto program = std::make_shared<CompiledProgram>(std::move(compiled).value());
+  return PluginFn([program, limits](const wire::DataPiece& piece)
+                      -> StatusOr<wire::DataPiece> {
+    if (!supported_type(piece.meta.type)) {
+      return make_error(ErrorCode::kUnimplemented,
+                        "unsupported payload type for plug-in");
+    }
+    auto input = payload_to_doubles(piece);
+    if (!input.is_ok()) return input.status();
+    std::uint64_t rows = 0, cols = 1;
+    piece_shape(piece, input.value().size(), &rows, &cols);
+
+    std::vector<double> emitted;
+    bool used_emit = false;
+    Environment env;
+    build_env(&env, std::span<const double>(input.value()), rows, cols,
+              &emitted, &used_emit);
+    auto result = run(*program, "transform", {}, env, limits);
+    if (!result.is_ok()) return result.status();
+
+    if (!used_emit) return piece;  // annotation-only plug-in: pass through
+
+    wire::DataPiece out = piece;
+    if (piece.meta.shape == adios::ShapeKind::kLocalArray) {
+      if (cols > 1 && emitted.size() % cols != 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "plug-in emitted a partial row");
+      }
+      out.meta.block.count[0] = cols > 0 ? emitted.size() / cols : 0;
+      out.region = out.meta.block;
+    } else if (emitted.size() != input.value().size()) {
+      return make_error(
+          ErrorCode::kInvalidArgument,
+          "plug-ins on global arrays must preserve the element count");
+    }
+    out.payload = doubles_to_payload(emitted, piece.meta.type);
+    return out;
+  });
+}
+
+PluginCompiler make_plugin_compiler(const VmLimits& limits) {
+  return [limits](const std::string& source) {
+    return compile_plugin(source, limits);
+  };
+}
+
+}  // namespace flexio::cod

@@ -1,0 +1,130 @@
+// Bytecode program, execution environment, and VM for CoD-mini.
+//
+// Plug-in source is compiled once (where it lands, after travelling as a
+// string) into a small stack-machine program; executions then bind a fresh
+// Environment holding the data being conditioned (globals like n/rows/cols,
+// read-only arrays like input, and host builtins like emit/keep_row). The
+// VM enforces an instruction budget and stack limits -- mobile code from
+// the analytics side must not be able to wedge the simulation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cod/ast.h"
+#include "util/status.h"
+
+namespace flexio::cod {
+
+enum class Op : std::uint8_t {
+  kConst,       // push imm
+  kLoadLocal,   // push locals[a]
+  kStoreLocal,  // locals[a] = pop
+  kLoadGlobal,  // push env.global(a)
+  kIndexArray,  // idx = pop; push env.array(a)[idx]
+  kAdd, kSub, kMul, kDiv, kMod,
+  kNeg, kNot,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kJmp,          // pc = a
+  kJmpIfFalse,   // if pop()==0 pc = a
+  kCallFn,       // call function a (its arity is popped off the stack)
+  kBuiltin,      // call builtin a with b args
+  kRet,          // return pop()
+  kRetVoid,      // return 0.0
+  kPop,
+};
+
+struct Instr {
+  Op op = Op::kPop;
+  int a = 0;
+  int b = 0;
+  double imm = 0;
+};
+
+/// Host-side function callable from plug-in code.
+using Builtin = std::function<StatusOr<double>(std::span<const double> args)>;
+
+/// Names+values visible to a plug-in. The same construction order must be
+/// used at compile time and at every execution (indices are baked into the
+/// bytecode); run() cross-checks names to catch mismatches.
+class Environment {
+ public:
+  /// Read-only scalar (e.g. n, rows, cols).
+  void add_global(const std::string& name, double value);
+  /// Read-only indexable array (e.g. input).
+  void add_array(const std::string& name, std::span<const double> values);
+  /// Host function; arity -1 accepts any argument count.
+  void add_builtin(const std::string& name, int arity, Builtin fn);
+
+  int global_index(std::string_view name) const;
+  int array_index(std::string_view name) const;
+  int builtin_index(std::string_view name) const;
+
+  double global(int idx) const { return globals_[static_cast<std::size_t>(idx)].second; }
+  std::span<const double> array(int idx) const {
+    return arrays_[static_cast<std::size_t>(idx)].second;
+  }
+  const std::string& global_name(int idx) const {
+    return globals_[static_cast<std::size_t>(idx)].first;
+  }
+  const std::string& array_name(int idx) const {
+    return arrays_[static_cast<std::size_t>(idx)].first;
+  }
+  const std::string& builtin_name(int idx) const {
+    return std::get<0>(builtins_[static_cast<std::size_t>(idx)]);
+  }
+  int builtin_arity(int idx) const {
+    return std::get<1>(builtins_[static_cast<std::size_t>(idx)]);
+  }
+  StatusOr<double> call_builtin(int idx, std::span<const double> args) const {
+    return std::get<2>(builtins_[static_cast<std::size_t>(idx)])(args);
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> globals_;
+  std::vector<std::pair<std::string, std::span<const double>>> arrays_;
+  std::vector<std::tuple<std::string, int, Builtin>> builtins_;
+};
+
+struct CompiledFunction {
+  std::string name;
+  int num_params = 0;
+  int num_locals = 0;  // includes params
+  std::vector<Instr> code;
+};
+
+struct CompiledProgram {
+  std::vector<CompiledFunction> functions;
+  // Names referenced from the environment, for run-time cross-checking.
+  std::vector<std::string> global_names;
+  std::vector<std::string> array_names;
+  std::vector<std::string> builtin_names;
+
+  int function_index(std::string_view name) const;
+};
+
+/// Compile a parsed program against the *shape* of an environment (its
+/// names and arities; values are ignored at compile time).
+StatusOr<CompiledProgram> compile(const ProgramAst& ast,
+                                  const Environment& env);
+
+/// Execution limits for mobile code.
+struct VmLimits {
+  std::uint64_t max_instructions = 100'000'000;
+  std::size_t max_stack = 4096;
+  std::size_t max_call_depth = 128;
+};
+
+/// Run `function` with `args`, binding `env` for globals/arrays/builtins.
+/// Returns the function's value (0.0 for void functions).
+StatusOr<double> run(const CompiledProgram& program, std::string_view function,
+                     std::span<const double> args, const Environment& env,
+                     const VmLimits& limits = {});
+
+/// Human-readable bytecode listing (debugging aid for plug-in authors).
+std::string disassemble(const CompiledProgram& program);
+
+}  // namespace flexio::cod

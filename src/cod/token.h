@@ -1,0 +1,40 @@
+// Token definitions for CoD-mini.
+//
+// CoD-mini reproduces the role of ECho/EVPath's CoD ("C on demand"): Data
+// Conditioning plug-ins travel between address spaces as C-subset *source
+// strings* and are compiled where they land (paper Section II.F). The
+// subset: int/double/void functions, locals, control flow (if/while/for),
+// arithmetic/comparison/logic, calls, and host-provided builtins for the
+// data being conditioned.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexio::cod {
+
+enum class Tok : std::uint8_t {
+  // literals / identifiers
+  kNumber, kIdent,
+  // keywords
+  kInt, kDouble, kVoid, kIf, kElse, kWhile, kFor, kReturn,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon,
+  // operators
+  kAssign, kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe, kAndAnd, kOrOr, kBang,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // identifier name / literal text
+  double number = 0;  // kNumber value
+  int line = 1;
+};
+
+std::string_view tok_name(Tok kind);
+
+}  // namespace flexio::cod

@@ -1,0 +1,275 @@
+#include <cmath>
+
+#include "cod/program.h"
+#include "util/strings.h"
+
+namespace flexio::cod {
+
+namespace {
+
+struct Frame {
+  int fn = 0;
+  std::size_t pc = 0;
+  std::vector<double> locals;
+};
+
+Status vm_error(const std::string& what) {
+  return make_error(ErrorCode::kInvalidArgument, "cod vm: " + what);
+}
+
+}  // namespace
+
+StatusOr<double> run(const CompiledProgram& program, std::string_view function,
+                     std::span<const double> args, const Environment& env,
+                     const VmLimits& limits) {
+  const int entry = program.function_index(function);
+  if (entry < 0) {
+    return vm_error("no function named " + std::string(function));
+  }
+  // Cross-check that the bound environment matches the compile-time shape.
+  for (std::size_t i = 0; i < program.global_names.size(); ++i) {
+    if (program.global_names[i].empty()) continue;
+    if (env.global_index(program.global_names[i]) != static_cast<int>(i)) {
+      return vm_error("environment mismatch: global " + program.global_names[i]);
+    }
+  }
+  for (std::size_t i = 0; i < program.array_names.size(); ++i) {
+    if (program.array_names[i].empty()) continue;
+    if (env.array_index(program.array_names[i]) != static_cast<int>(i)) {
+      return vm_error("environment mismatch: array " + program.array_names[i]);
+    }
+  }
+  for (std::size_t i = 0; i < program.builtin_names.size(); ++i) {
+    if (program.builtin_names[i].empty()) continue;
+    if (env.builtin_index(program.builtin_names[i]) != static_cast<int>(i)) {
+      return vm_error("environment mismatch: builtin " +
+                      program.builtin_names[i]);
+    }
+  }
+
+  const CompiledFunction& entry_fn =
+      program.functions[static_cast<std::size_t>(entry)];
+  if (args.size() != static_cast<std::size_t>(entry_fn.num_params)) {
+    return vm_error(str_format("%s expects %d args, got %zu",
+                               entry_fn.name.c_str(), entry_fn.num_params,
+                               args.size()));
+  }
+
+  std::vector<double> stack;
+  std::vector<Frame> frames;
+  frames.push_back(Frame{entry, 0, {}});
+  frames.back().locals.assign(
+      static_cast<std::size_t>(entry_fn.num_locals), 0.0);
+  std::copy(args.begin(), args.end(), frames.back().locals.begin());
+
+  std::uint64_t executed = 0;
+  auto pop = [&stack]() {
+    const double v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  for (;;) {
+    if (++executed > limits.max_instructions) {
+      return vm_error("instruction budget exhausted (runaway plug-in?)");
+    }
+    Frame& frame = frames.back();
+    const CompiledFunction& fn =
+        program.functions[static_cast<std::size_t>(frame.fn)];
+    FLEXIO_CHECK(frame.pc < fn.code.size());
+    const Instr instr = fn.code[frame.pc++];
+    switch (instr.op) {
+      case Op::kConst:
+        stack.push_back(instr.imm);
+        break;
+      case Op::kLoadLocal:
+        stack.push_back(frame.locals[static_cast<std::size_t>(instr.a)]);
+        break;
+      case Op::kStoreLocal:
+        frame.locals[static_cast<std::size_t>(instr.a)] = pop();
+        break;
+      case Op::kLoadGlobal:
+        stack.push_back(env.global(instr.a));
+        break;
+      case Op::kIndexArray: {
+        const double idx = pop();
+        const auto arr = env.array(instr.a);
+        const auto i = static_cast<std::int64_t>(idx);
+        if (i < 0 || static_cast<std::size_t>(i) >= arr.size()) {
+          return vm_error(str_format("index %lld out of bounds for %s[%zu]",
+                                     static_cast<long long>(i),
+                                     env.array_name(instr.a).c_str(),
+                                     arr.size()));
+        }
+        stack.push_back(arr[static_cast<std::size_t>(i)]);
+        break;
+      }
+      case Op::kAdd: { const double b = pop(); stack.back() += b; break; }
+      case Op::kSub: { const double b = pop(); stack.back() -= b; break; }
+      case Op::kMul: { const double b = pop(); stack.back() *= b; break; }
+      case Op::kDiv: {
+        const double b = pop();
+        if (b == 0.0) return vm_error("division by zero");
+        stack.back() /= b;
+        break;
+      }
+      case Op::kMod: {
+        const double b = pop();
+        if (b == 0.0) return vm_error("modulo by zero");
+        stack.back() = std::fmod(stack.back(), b);
+        break;
+      }
+      case Op::kNeg: stack.back() = -stack.back(); break;
+      case Op::kNot: stack.back() = stack.back() == 0.0 ? 1.0 : 0.0; break;
+      case Op::kEq: { const double b = pop(); stack.back() = stack.back() == b; break; }
+      case Op::kNe: { const double b = pop(); stack.back() = stack.back() != b; break; }
+      case Op::kLt: { const double b = pop(); stack.back() = stack.back() < b; break; }
+      case Op::kLe: { const double b = pop(); stack.back() = stack.back() <= b; break; }
+      case Op::kGt: { const double b = pop(); stack.back() = stack.back() > b; break; }
+      case Op::kGe: { const double b = pop(); stack.back() = stack.back() >= b; break; }
+      case Op::kJmp:
+        frame.pc = static_cast<std::size_t>(instr.a);
+        break;
+      case Op::kJmpIfFalse:
+        if (pop() == 0.0) frame.pc = static_cast<std::size_t>(instr.a);
+        break;
+      case Op::kCallFn: {
+        if (frames.size() >= limits.max_call_depth) {
+          return vm_error("call depth exceeded");
+        }
+        const auto& callee =
+            program.functions[static_cast<std::size_t>(instr.a)];
+        Frame next;
+        next.fn = instr.a;
+        next.locals.assign(static_cast<std::size_t>(callee.num_locals), 0.0);
+        for (int i = instr.b - 1; i >= 0; --i) {
+          next.locals[static_cast<std::size_t>(i)] = pop();
+        }
+        frames.push_back(std::move(next));
+        break;
+      }
+      case Op::kBuiltin: {
+        const auto nargs = static_cast<std::size_t>(instr.b);
+        FLEXIO_CHECK(stack.size() >= nargs);
+        const std::span<const double> call_args(stack.data() + stack.size() -
+                                                    nargs,
+                                                nargs);
+        auto result = env.call_builtin(instr.a, call_args);
+        if (!result.is_ok()) return result.status();
+        stack.resize(stack.size() - nargs);
+        stack.push_back(result.value());
+        break;
+      }
+      case Op::kRet:
+      case Op::kRetVoid: {
+        const double value = instr.op == Op::kRet ? pop() : 0.0;
+        frames.pop_back();
+        if (frames.empty()) return value;
+        stack.push_back(value);
+        break;
+      }
+      case Op::kPop:
+        pop();
+        break;
+    }
+    if (stack.size() > limits.max_stack) {
+      return vm_error("value stack overflow");
+    }
+  }
+}
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kLoadLocal: return "load";
+    case Op::kStoreLocal: return "store";
+    case Op::kLoadGlobal: return "global";
+    case Op::kIndexArray: return "index";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kNeg: return "neg";
+    case Op::kNot: return "not";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kJmp: return "jmp";
+    case Op::kJmpIfFalse: return "jz";
+    case Op::kCallFn: return "call";
+    case Op::kBuiltin: return "builtin";
+    case Op::kRet: return "ret";
+    case Op::kRetVoid: return "retv";
+    case Op::kPop: return "pop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string disassemble(const CompiledProgram& program) {
+  std::string out;
+  for (const CompiledFunction& fn : program.functions) {
+    out += str_format("%s (params=%d, locals=%d):\n", fn.name.c_str(),
+                      fn.num_params, fn.num_locals);
+    for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+      const Instr& instr = fn.code[pc];
+      switch (instr.op) {
+        case Op::kConst:
+          out += str_format("  %4zu  %-8s %g\n", pc, op_name(instr.op),
+                            instr.imm);
+          break;
+        case Op::kLoadLocal:
+        case Op::kStoreLocal:
+        case Op::kJmp:
+        case Op::kJmpIfFalse:
+          out += str_format("  %4zu  %-8s %d\n", pc, op_name(instr.op),
+                            instr.a);
+          break;
+        case Op::kLoadGlobal:
+          out += str_format(
+              "  %4zu  %-8s %s\n", pc, op_name(instr.op),
+              instr.a < static_cast<int>(program.global_names.size())
+                  ? program.global_names[static_cast<std::size_t>(instr.a)]
+                        .c_str()
+                  : "?");
+          break;
+        case Op::kIndexArray:
+          out += str_format(
+              "  %4zu  %-8s %s\n", pc, op_name(instr.op),
+              instr.a < static_cast<int>(program.array_names.size())
+                  ? program.array_names[static_cast<std::size_t>(instr.a)]
+                        .c_str()
+                  : "?");
+          break;
+        case Op::kCallFn:
+          out += str_format(
+              "  %4zu  %-8s %s/%d\n", pc, op_name(instr.op),
+              program.functions[static_cast<std::size_t>(instr.a)].name.c_str(),
+              instr.b);
+          break;
+        case Op::kBuiltin:
+          out += str_format(
+              "  %4zu  %-8s %s/%d\n", pc, op_name(instr.op),
+              instr.a < static_cast<int>(program.builtin_names.size())
+                  ? program.builtin_names[static_cast<std::size_t>(instr.a)]
+                        .c_str()
+                  : "?",
+              instr.b);
+          break;
+        default:
+          out += str_format("  %4zu  %-8s\n", pc, op_name(instr.op));
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace flexio::cod

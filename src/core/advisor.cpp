@@ -1,0 +1,24 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+namespace flexio {
+
+PluginPlacementInputs inputs_from_reports(const wire::MonitorReport& writer,
+                                          double var_bytes_per_step,
+                                          double reduction_ratio,
+                                          double plugin_seconds_per_step,
+                                          double movement_bandwidth) {
+  PluginPlacementInputs in;
+  in.bytes_per_step = var_bytes_per_step;
+  in.reduction_ratio = reduction_ratio;
+  in.plugin_seconds_per_step = plugin_seconds_per_step;
+  in.movement_bandwidth = movement_bandwidth;
+  // Headroom estimate: the writer's visible send time per step is what it
+  // already tolerates; a simulation whose sends are instant has no slack.
+  const double steps = std::max<double>(1.0, static_cast<double>(writer.steps));
+  in.writer_headroom_seconds = writer.send_seconds / steps;
+  return in;
+}
+
+}  // namespace flexio

@@ -1,0 +1,80 @@
+#include "core/config_glue.h"
+
+#include "util/strings.h"
+
+namespace flexio {
+
+StatusOr<StreamSpec> spec_from_config(const xml::Config& config,
+                                      const std::string& group_name,
+                                      const EndpointSpec& endpoint,
+                                      const std::string& file_dir) {
+  const xml::GroupConfig* group = config.group(group_name);
+  if (group == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no adios-group named " + group_name + " in config");
+  }
+  StreamSpec spec;
+  spec.stream = group_name;
+  spec.endpoint = endpoint;
+  spec.file_dir = file_dir;
+  if (const xml::MethodConfig* method = config.method_for(group_name)) {
+    spec.method = *method;
+  } else {
+    // ADIOS default: no <method> element means file output.
+    spec.method.group = group_name;
+    spec.method.method = "BP";
+  }
+  return spec;
+}
+
+Status validate_against_group(const xml::GroupConfig& group,
+                              const adios::VarMeta& meta) {
+  const xml::VarConfig* declared = nullptr;
+  for (const xml::VarConfig& var : group.vars) {
+    if (var.name == meta.name) {
+      declared = &var;
+      break;
+    }
+  }
+  if (declared == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "variable not declared in group '" + group.name +
+                          "': " + meta.name);
+  }
+  auto declared_type = serial::parse_datatype(declared->type);
+  if (!declared_type.is_ok()) return declared_type.status();
+  if (declared_type.value() != meta.type) {
+    return make_error(
+        ErrorCode::kInvalidArgument,
+        str_format("variable '%s' declared as %s but written as %s",
+                   meta.name.c_str(), declared->type.c_str(),
+                   std::string(serial::datatype_name(meta.type)).c_str()));
+  }
+  const std::size_t declared_rank = declared->dimensions.size();
+  const std::size_t written_rank =
+      meta.shape == adios::ShapeKind::kScalar ? 0 : meta.block.ndim();
+  if (declared_rank != written_rank) {
+    return make_error(
+        ErrorCode::kInvalidArgument,
+        str_format("variable '%s' declared with %zu dimensions, written with "
+                   "%zu",
+                   meta.name.c_str(), declared_rank, written_rank));
+  }
+  for (std::size_t d = 0; d < declared_rank; ++d) {
+    long long literal = 0;
+    if (!parse_int(declared->dimensions[d], &literal)) {
+      continue;  // symbolic extent: any runtime value is fine
+    }
+    if (static_cast<std::uint64_t>(literal) != meta.block.count[d]) {
+      return make_error(
+          ErrorCode::kInvalidArgument,
+          str_format("variable '%s' dimension %zu declared as %lld, written "
+                     "as %llu",
+                     meta.name.c_str(), d, literal,
+                     static_cast<unsigned long long>(meta.block.count[d])));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace flexio

@@ -1,0 +1,33 @@
+// Gluing the XML configuration to stream opening.
+//
+// The paper's workflow: applications never construct transport settings in
+// code; they name an adios-group, and the external XML file decides the
+// method (file vs. stream) and its tuning hints. These helpers resolve a
+// group against a parsed xml::Config into the StreamSpec the Runtime
+// consumes, and validate written variables against the group's declared
+// schema (name + type, with symbolic dimensions left to runtime values).
+#pragma once
+
+#include <string>
+
+#include "core/runtime.h"
+
+namespace flexio {
+
+/// Build the StreamSpec for `group_name` from `config`. The stream name is
+/// the group name; the method comes from the group's <method> element (a
+/// group without one defaults to the BP file engine, matching ADIOS
+/// semantics). `file_dir` applies to file-mode methods.
+StatusOr<StreamSpec> spec_from_config(const xml::Config& config,
+                                      const std::string& group_name,
+                                      const EndpointSpec& endpoint,
+                                      const std::string& file_dir = ".");
+
+/// Check a variable about to be written against the group's declaration:
+/// it must be declared with the same element type; array rank must match
+/// the declared dimension count. Literal extents in the declaration are
+/// enforced; symbolic ones (e.g. "nparticles") accept any runtime value.
+Status validate_against_group(const xml::GroupConfig& group,
+                              const adios::VarMeta& meta);
+
+}  // namespace flexio

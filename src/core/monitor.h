@@ -1,0 +1,74 @@
+// Runtime performance monitoring (paper Section II.G).
+//
+// Measurement points at every level of the FlexIO stack feed named metrics
+// here: data-movement timings, handshake costs, transferred volumes, DC
+// plug-in execution time, and buffer-pool memory usage. The data is used
+// two ways, both reproduced: dumped to trace files for offline tuning
+// (dump_csv) and shipped to the analytics side at runtime (the stream
+// writer aggregates a wire::MonitorReport from these metrics at close).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace flexio {
+
+class PerfMonitor {
+ public:
+  /// Record one timing sample, in seconds, under a metric name such as
+  /// "write.pack" or "handshake.exchange".
+  void record_time(const std::string& metric, double seconds);
+
+  /// Accumulate a counter such as "bytes.sent" or "handshake.skipped".
+  void add_count(const std::string& metric, std::uint64_t n);
+
+  /// Timing statistics for one metric (zeros when never recorded).
+  RunningStats time_stats(const std::string& metric) const;
+
+  /// Counter value (0 when never touched).
+  std::uint64_t count(const std::string& metric) const;
+
+  /// Total seconds recorded under a metric.
+  double total_time(const std::string& metric) const {
+    return time_stats(metric).sum();
+  }
+
+  /// Human-readable summary of all metrics.
+  std::string report() const;
+
+  /// Dump all metrics as CSV (metric,kind,count,total,mean,min,max).
+  Status dump_csv(const std::string& path) const;
+
+  /// RAII timing helper: records the scope's wall time under `metric`.
+  class ScopedTimer {
+   public:
+    ScopedTimer(PerfMonitor* monitor, std::string metric)
+        : monitor_(monitor),
+          metric_(std::move(metric)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+      const auto end = std::chrono::steady_clock::now();
+      monitor_->record_time(
+          metric_, std::chrono::duration<double>(end - start_).count());
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+   private:
+    PerfMonitor* monitor_;
+    std::string metric_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RunningStats> times_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace flexio

@@ -1,0 +1,97 @@
+#include "core/program.h"
+
+namespace flexio {
+
+Program::Program(std::string name, int size)
+    : name_(std::move(name)), size_(size) {
+  FLEXIO_CHECK(size >= 1);
+}
+
+// Each collective follows the same round structure:
+//  entry    -- wait until no previous round is draining, then contribute;
+//  complete -- wait for all ranks to arrive;
+//  drain    -- last rank out resets the slot for the next round.
+// A collective timeout poisons the program (some rank is stuck); callers
+// treat it as fatal, mirroring an MPI collective hang.
+
+Status Program::gather(int rank, ByteView contribution,
+                       std::vector<std::vector<std::byte>>* all,
+                       std::chrono::nanoseconds timeout) {
+  FLEXIO_CHECK(rank >= 0 && rank < size_);
+  Slot& s = gather_slot_;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived < size_; })) {
+    return make_error(ErrorCode::kTimeout, "gather entry stalled");
+  }
+  if (s.contributions.empty()) s.contributions.resize(size_);
+  s.contributions[static_cast<std::size_t>(rank)] =
+      std::vector<std::byte>(contribution.begin(), contribution.end());
+  ++s.arrived;
+  s.cv.notify_all();
+  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived == size_; })) {
+    return make_error(ErrorCode::kTimeout, "gather stalled waiting for ranks");
+  }
+  if (rank == kCoordinator && all != nullptr) {
+    *all = s.contributions;
+  }
+  if (++s.departed == size_) {
+    s.arrived = 0;
+    s.departed = 0;
+    s.contributions.clear();
+    ++s.generation;
+    s.cv.notify_all();
+  }
+  return Status::ok();
+}
+
+Status Program::broadcast(int rank, std::vector<std::byte>* data,
+                          std::chrono::nanoseconds timeout) {
+  FLEXIO_CHECK(rank >= 0 && rank < size_);
+  FLEXIO_CHECK(data != nullptr);
+  Slot& s = bcast_slot_;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived < size_; })) {
+    return make_error(ErrorCode::kTimeout, "broadcast entry stalled");
+  }
+  if (rank == kCoordinator) s.bcast_data = *data;
+  ++s.arrived;
+  s.cv.notify_all();
+  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived == size_; })) {
+    return make_error(ErrorCode::kTimeout, "broadcast stalled");
+  }
+  if (rank != kCoordinator) *data = s.bcast_data;
+  if (++s.departed == size_) {
+    s.arrived = 0;
+    s.departed = 0;
+    s.bcast_data.clear();
+    ++s.generation;
+    s.cv.notify_all();
+  }
+  return Status::ok();
+}
+
+Status Program::barrier(int rank, std::chrono::nanoseconds timeout) {
+  FLEXIO_CHECK(rank >= 0 && rank < size_);
+  Slot& s = barrier_slot_;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived < size_; })) {
+    return make_error(ErrorCode::kTimeout, "barrier entry stalled");
+  }
+  ++s.arrived;
+  s.cv.notify_all();
+  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived == size_; })) {
+    return make_error(ErrorCode::kTimeout, "barrier stalled");
+  }
+  if (++s.departed == size_) {
+    s.arrived = 0;
+    s.departed = 0;
+    ++s.generation;
+    s.cv.notify_all();
+  }
+  return Status::ok();
+}
+
+}  // namespace flexio

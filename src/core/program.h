@@ -1,0 +1,70 @@
+// In-process "parallel program" with coordinator collectives.
+//
+// The reproduction runs each MPI program (simulation, analytics) as a set
+// of threads, one per rank. FlexIO's connection/handshake protocol needs
+// exactly three program-local collectives (paper Section II.C): gather to
+// the elected coordinator (Steps 1.s/1.a), broadcast from the coordinator
+// (Step 3), and a barrier. Rank 0 is the coordinator, matching the paper's
+// "elect a local coordinator".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace flexio {
+
+class Program {
+ public:
+  /// A program named `name` with `size` ranks.
+  Program(std::string name, int size);
+
+  const std::string& name() const { return name_; }
+  int size() const { return size_; }
+  static constexpr int kCoordinator = 0;
+
+  /// Endpoint name for one rank, shared convention across the runtime.
+  std::string endpoint_name(int rank) const {
+    return name_ + "." + std::to_string(rank);
+  }
+
+  /// Gather: every rank contributes a byte blob; the coordinator's
+  /// `all` receives them indexed by rank (others get an empty vector).
+  /// All ranks must call; completes when everyone arrives.
+  Status gather(int rank, ByteView contribution,
+                std::vector<std::vector<std::byte>>* all,
+                std::chrono::nanoseconds timeout);
+
+  /// Broadcast: the coordinator's `data` is distributed to every rank.
+  Status broadcast(int rank, std::vector<std::byte>* data,
+                   std::chrono::nanoseconds timeout);
+
+  /// Barrier across all ranks.
+  Status barrier(int rank, std::chrono::nanoseconds timeout);
+
+ private:
+  /// One reusable collective slot with generation counting so back-to-back
+  /// collectives do not bleed into each other.
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::uint64_t generation = 0;
+    int arrived = 0;
+    int departed = 0;
+    std::vector<std::vector<std::byte>> contributions;
+    std::vector<std::byte> bcast_data;
+  };
+
+  std::string name_;
+  int size_;
+  Slot gather_slot_;
+  Slot bcast_slot_;
+  Slot barrier_slot_;
+};
+
+}  // namespace flexio

@@ -1,0 +1,84 @@
+#include "core/redistribution.h"
+
+#include <algorithm>
+
+namespace flexio {
+
+std::vector<TransferPiece> plan_transfers(
+    const std::vector<wire::BlockInfo>& blocks, const wire::ReadRequest& req) {
+  std::vector<TransferPiece> plan;
+  // Global-array selections: every (block, selection) overlap is a piece.
+  for (const wire::BlockInfo& b : blocks) {
+    if (b.meta.shape == adios::ShapeKind::kGlobalArray) {
+      for (const wire::SelectionInfo& s : req.selections) {
+        if (s.var != b.meta.name) continue;
+        adios::Box overlap;
+        if (!intersect(b.meta.block, s.box, &overlap)) continue;
+        TransferPiece p;
+        p.writer_rank = b.writer_rank;
+        p.reader_rank = s.reader_rank;
+        p.var = b.meta.name;
+        p.meta = b.meta;
+        p.region = overlap;
+        plan.push_back(std::move(p));
+      }
+    } else if (b.meta.shape == adios::ShapeKind::kLocalArray) {
+      // Process-group pattern: the whole block goes to every reader that
+      // asked for this writer rank.
+      for (const wire::PgRequestInfo& pg : req.pg_requests) {
+        if (pg.writer_rank != b.writer_rank) continue;
+        TransferPiece p;
+        p.writer_rank = b.writer_rank;
+        p.reader_rank = pg.reader_rank;
+        p.var = b.meta.name;
+        p.meta = b.meta;
+        p.region = b.meta.block;
+        p.whole_block = true;
+        plan.push_back(std::move(p));
+      }
+    }
+    // Scalars ride the StepAnnounce metadata; they never generate pieces.
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const TransferPiece& a, const TransferPiece& b) {
+                     if (a.writer_rank != b.writer_rank) {
+                       return a.writer_rank < b.writer_rank;
+                     }
+                     return a.reader_rank < b.reader_rank;
+                   });
+  return plan;
+}
+
+std::vector<TransferPiece> pieces_from_writer(
+    const std::vector<TransferPiece>& plan, int writer_rank) {
+  std::vector<TransferPiece> out;
+  for (const TransferPiece& p : plan) {
+    if (p.writer_rank == writer_rank) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<TransferPiece> pieces_to_reader(
+    const std::vector<TransferPiece>& plan, int reader_rank) {
+  std::vector<TransferPiece> out;
+  for (const TransferPiece& p : plan) {
+    if (p.reader_rank == reader_rank) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> comm_matrix(
+    const std::vector<TransferPiece>& plan, int num_writers,
+    int num_readers) {
+  std::vector<std::vector<std::uint64_t>> m(
+      static_cast<std::size_t>(num_writers),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(num_readers), 0));
+  for (const TransferPiece& p : plan) {
+    FLEXIO_CHECK(p.writer_rank < num_writers && p.reader_rank < num_readers);
+    m[static_cast<std::size_t>(p.writer_rank)]
+     [static_cast<std::size_t>(p.reader_rank)] += p.bytes();
+  }
+  return m;
+}
+
+}  // namespace flexio

@@ -1,0 +1,53 @@
+// MxN re-distribution planning (paper Figure 3 and Section II.C.2).
+//
+// Given the writer-side distributions (which rank wrote which block of
+// which array) and the reader-side requests (which rank wants which
+// selection, or which whole process group), compute the exact set of
+// (writer, reader, region) transfer pieces. Both sides run this planner on
+// identical inputs after the handshake, so each process derives the mapping
+// independently -- the writer knows what to send, the reader knows exactly
+// what to expect. Determinism of the output order is therefore part of the
+// contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wire.h"
+
+namespace flexio {
+
+struct TransferPiece {
+  int writer_rank = 0;
+  int reader_rank = 0;
+  std::string var;
+  adios::VarMeta meta;   // the writer block's metadata
+  adios::Box region;     // global coords of the overlap (== block for PG)
+  bool whole_block = false;  // process-group transfer of the full block
+
+  /// Bytes this piece moves.
+  std::uint64_t bytes() const {
+    return region.elements() * serial::size_of(meta.type);
+  }
+};
+
+/// Plan all pieces for one step. Ordering: writer rank, then reader rank,
+/// then announce order of blocks, then request order of selections.
+std::vector<TransferPiece> plan_transfers(
+    const std::vector<wire::BlockInfo>& blocks, const wire::ReadRequest& req);
+
+/// Pieces sent by one writer rank (stable sub-order of plan_transfers).
+std::vector<TransferPiece> pieces_from_writer(
+    const std::vector<TransferPiece>& plan, int writer_rank);
+
+/// Pieces expected by one reader rank.
+std::vector<TransferPiece> pieces_to_reader(
+    const std::vector<TransferPiece>& plan, int reader_rank);
+
+/// Inter-program communication volume matrix, matrix[w][r] = bytes moved
+/// from writer rank w to reader rank r. Input to the data-aware and
+/// holistic placement policies (paper Section III.B).
+std::vector<std::vector<std::uint64_t>> comm_matrix(
+    const std::vector<TransferPiece>& plan, int num_writers, int num_readers);
+
+}  // namespace flexio

@@ -1,0 +1,32 @@
+#include "core/runtime.h"
+
+#include "core/stream_reader.h"
+#include "core/stream_writer.h"
+
+namespace flexio {
+
+StatusOr<std::unique_ptr<StreamWriter>> Runtime::open_writer(
+    const StreamSpec& spec) {
+  auto writer = std::unique_ptr<StreamWriter>(new StreamWriter());
+  FLEXIO_RETURN_IF_ERROR(writer->open(this, spec));
+  return writer;
+}
+
+StatusOr<std::unique_ptr<StreamReader>> Runtime::open_reader(
+    const StreamSpec& spec) {
+  auto reader = std::unique_ptr<StreamReader>(new StreamReader());
+  FLEXIO_RETURN_IF_ERROR(reader->open(this, spec));
+  return reader;
+}
+
+void Runtime::set_plugin_compiler(PluginCompiler compiler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plugin_compiler_ = std::move(compiler);
+}
+
+PluginCompiler Runtime::plugin_compiler() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plugin_compiler_;
+}
+
+}  // namespace flexio

@@ -1,0 +1,750 @@
+#include "core/stream_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "util/log.h"
+
+namespace flexio {
+
+namespace {
+
+std::chrono::nanoseconds ns_from_ms(double ms) {
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(ms * 1e6));
+}
+
+/// Encoded per-rank contribution to the read request (Step 1.a payload).
+std::vector<std::byte> encode_rank_request(const wire::ReadRequest& req) {
+  return wire::encode(req);
+}
+
+}  // namespace
+
+StreamReader::~StreamReader() { (void)close(); }
+
+Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
+  rt_ = rt;
+  spec_ = spec;
+  program_ = spec.endpoint.program;
+  rank_ = spec.endpoint.rank;
+  timeout_ = ns_from_ms(spec.method.timeout_ms);
+  FLEXIO_CHECK(program_ != nullptr);
+  FLEXIO_CHECK(rank_ >= 0 && rank_ < program_->size());
+
+  if (spec.method.method != "FLEXIO") {
+    // Offline mode: wait (bounded) for the writer to finish its files --
+    // this is the "seamlessly switch analytics to run offline" path.
+    const auto deadline = std::chrono::steady_clock::now() + timeout_;
+    for (;;) {
+      auto bp = adios::BpReader::open(spec.file_dir, spec.stream);
+      if (bp.is_ok()) {
+        bp_ = std::move(bp).value();
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) return bp.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    writer_size_ = bp_->num_writers();
+    bp_steps_ = bp_->steps();
+    return Status::ok();
+  }
+
+  evpath::LinkOptions lopts;
+  lopts.queue_entries = spec.method.queue_entries;
+  lopts.queue_payload_bytes = spec.method.queue_payload_bytes;
+  lopts.pool_bytes = spec.method.pool_bytes;
+  lopts.rdma_pool_bytes = spec.method.rdma_pool_bytes;
+  lopts.timeout = timeout_;
+  lopts.max_retries = spec.method.max_retries;
+  auto ep = rt->bus().create_endpoint(
+      Runtime::endpoint_name(spec.stream, program_->name(), rank_),
+      spec.endpoint.location, lopts);
+  if (!ep.is_ok()) return ep.status();
+  endpoint_ = std::move(ep).value();
+
+  std::vector<std::byte> info;
+  if (rank_ == Program::kCoordinator) {
+    // Directory lookup, then the open handshake with the writer coordinator.
+    auto contact = rt->directory().lookup(spec.stream, timeout_);
+    if (!contact.is_ok()) return contact.status();
+    writer_coord_ = contact.value();
+    wire::OpenRequest req;
+    req.reader_program = program_->name();
+    req.reader_size = program_->size();
+    FLEXIO_RETURN_IF_ERROR(
+        endpoint_->send(writer_coord_, ByteView(wire::encode(req))));
+    evpath::Message msg;
+    FLEXIO_RETURN_IF_ERROR(endpoint_->recv_from(writer_coord_, &msg, timeout_));
+    auto reply = wire::decode_open_reply(ByteView(msg.payload));
+    if (!reply.is_ok()) return reply.status();
+    writer_program_ = reply.value().writer_program;
+    writer_size_ = reply.value().writer_size;
+    caching_ = static_cast<xml::CachingLevel>(reply.value().caching);
+    batching_ = reply.value().batching;
+    serial::BufWriter w;
+    w.put_string(writer_program_);
+    w.put_string(writer_coord_);
+    w.put_varint(static_cast<std::uint64_t>(writer_size_));
+    w.put_u8(reply.value().caching);
+    info = w.take();
+  }
+  FLEXIO_RETURN_IF_ERROR(program_->broadcast(rank_, &info, timeout_));
+  if (rank_ != Program::kCoordinator) {
+    serial::BufReader r{ByteView(info)};
+    FLEXIO_RETURN_IF_ERROR(r.get_string(&writer_program_));
+    FLEXIO_RETURN_IF_ERROR(r.get_string(&writer_coord_));
+    std::uint64_t size = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&size));
+    writer_size_ = static_cast<int>(size);
+    std::uint8_t caching = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_u8(&caching));
+    caching_ = static_cast<xml::CachingLevel>(caching);
+  }
+  return Status::ok();
+}
+
+Status StreamReader::next_control(std::vector<std::byte>* out) {
+  // Coordinator-only: pull messages until a control frame appears; stash
+  // data that raced ahead of the announce.
+  if (!control_stash_.empty()) {
+    *out = std::move(control_stash_.front());
+    control_stash_.pop_front();
+    return Status::ok();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  for (;;) {
+    evpath::Message msg;
+    FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
+    if (msg.eos) continue;  // link teardown marker, not a protocol frame
+    auto type = wire::peek_type(ByteView(msg.payload));
+    if (!type.is_ok()) return type.status();
+    if (type.value() == wire::MsgType::kData) {
+      auto data = wire::decode_data(ByteView(msg.payload));
+      if (!data.is_ok()) return data.status();
+      stash_.push_back(std::move(data).value());
+      if (std::chrono::steady_clock::now() > deadline) {
+        return make_error(ErrorCode::kTimeout, "control frame never arrived");
+      }
+      continue;
+    }
+    *out = std::move(msg.payload);
+    return Status::ok();
+  }
+}
+
+StatusOr<StepId> StreamReader::begin_step_file() {
+  if (bp_cursor_ >= bp_steps_.size()) {
+    return make_error(ErrorCode::kEndOfStream, "no more steps in file");
+  }
+  step_ = bp_steps_[bp_cursor_];
+  in_step_ = true;
+  return step_;
+}
+
+StatusOr<StepId> StreamReader::begin_step_stream() {
+  const bool do_exchange =
+      steps_completed_ == 0 || caching_ != xml::CachingLevel::kAll;
+  // Coordinator resolves the step (or EOS), everyone else learns by bcast.
+  std::vector<std::byte> frame;
+  if (rank_ == Program::kCoordinator) {
+    if (do_exchange) {
+      if (eos_ && control_stash_.empty() && step_ >= close_last_step_) {
+        // The Close frame was already consumed during perform_reads (it
+        // can arrive interleaved with the final step's data) and no
+        // announces are stashed: go straight to the EOS broadcast instead
+        // of waiting for a control frame that will never come.
+        frame = writer_report_ ? wire::encode(*writer_report_)
+                               : wire::encode_close(close_last_step_);
+        FLEXIO_RETURN_IF_ERROR(program_->broadcast(rank_, &frame, timeout_));
+        eos_delivered_ = true;
+        return make_error(ErrorCode::kEndOfStream, "writer closed the stream");
+      }
+      Status st = next_control(&frame);
+      if (!st.is_ok()) return st;
+      auto type = wire::peek_type(ByteView(frame));
+      if (!type.is_ok()) return type.status();
+      if (type.value() == wire::MsgType::kMonitorReport) {
+        auto report = wire::decode_monitor_report(ByteView(frame));
+        if (!report.is_ok()) return report.status();
+        writer_report_ = report.value();
+        st = next_control(&frame);
+        if (!st.is_ok()) return st;
+        type = wire::peek_type(ByteView(frame));
+        if (!type.is_ok()) return type.status();
+      }
+      if (type.value() == wire::MsgType::kClose) {
+        // EOS: propagate the writer-side monitoring report to every rank
+        // by broadcasting it in place of the close frame.
+        auto last = wire::decode_close(ByteView(frame));
+        if (!last.is_ok()) return last.status();
+        close_last_step_ = last.value();
+        frame = writer_report_ ? wire::encode(*writer_report_)
+                               : wire::encode_close(close_last_step_);
+      } else if (type.value() != wire::MsgType::kStepAnnounce) {
+        return make_error(ErrorCode::kInternal,
+                          "unexpected control frame in begin_step");
+      }
+    } else {
+      // Fully cached handshake: the next step is identified by the first
+      // data message to arrive (or the close frame).
+      for (;;) {
+        StepId next = -1;
+        for (const wire::DataMsg& m : stash_) {
+          if (m.step > step_ && (next < 0 || m.step < next)) next = m.step;
+        }
+        if (next >= 0) {
+          wire::StepAnnounce ann;
+          ann.step = next;
+          frame = wire::encode(ann);  // blocks omitted; ranks reuse cache
+          break;
+        }
+        if (eos_ && step_ >= close_last_step_) {
+          // All steps up to the writer's last are consumed: really done.
+          frame = writer_report_ ? wire::encode(*writer_report_)
+                                 : wire::encode_close(close_last_step_);
+          break;
+        }
+        evpath::Message msg;
+        FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
+        if (msg.eos) continue;
+        auto type = wire::peek_type(ByteView(msg.payload));
+        if (!type.is_ok()) return type.status();
+        switch (type.value()) {
+          case wire::MsgType::kData: {
+            auto data = wire::decode_data(ByteView(msg.payload));
+            if (!data.is_ok()) return data.status();
+            stash_.push_back(std::move(data).value());
+            break;
+          }
+          case wire::MsgType::kClose: {
+            auto last = wire::decode_close(ByteView(msg.payload));
+            if (!last.is_ok()) return last.status();
+            close_last_step_ = last.value();
+            eos_ = true;
+            break;
+          }
+          case wire::MsgType::kMonitorReport: {
+            auto report = wire::decode_monitor_report(ByteView(msg.payload));
+            if (!report.is_ok()) return report.status();
+            writer_report_ = report.value();
+            break;
+          }
+          default:
+            return make_error(ErrorCode::kInternal,
+                              "unexpected frame while pacing cached steps");
+        }
+      }
+    }
+  }
+  FLEXIO_RETURN_IF_ERROR(program_->broadcast(rank_, &frame, timeout_));
+  auto frame_type = wire::peek_type(ByteView(frame));
+  if (!frame_type.is_ok()) return frame_type.status();
+  if (frame_type.value() == wire::MsgType::kClose ||
+      frame_type.value() == wire::MsgType::kMonitorReport) {
+    if (frame_type.value() == wire::MsgType::kMonitorReport) {
+      auto report = wire::decode_monitor_report(ByteView(frame));
+      if (!report.is_ok()) return report.status();
+      writer_report_ = report.value();
+    }
+    eos_ = true;
+    eos_delivered_ = true;
+    return make_error(ErrorCode::kEndOfStream, "writer closed the stream");
+  }
+  auto ann = wire::decode_step_announce(ByteView(frame));
+  if (!ann.is_ok()) return ann.status();
+  step_ = ann.value().step;
+  if (!ann.value().blocks.empty() || steps_completed_ == 0) {
+    step_blocks_ = std::move(ann.value().blocks);
+  }
+  in_step_ = true;
+  return step_;
+}
+
+StatusOr<StepId> StreamReader::begin_step() {
+  if (closed_) {
+    return make_error(ErrorCode::kFailedPrecondition, "reader closed");
+  }
+  if (in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "step already open");
+  }
+  if (eos_delivered_) {
+    // EOS is collective: it is only final once begin_step broadcast it to
+    // every rank (the raw Close frame can race ahead of the final steps'
+    // data and is tracked separately via close_last_step_).
+    return make_error(ErrorCode::kEndOfStream, "stream already ended");
+  }
+  pending_reads_.clear();
+  pending_pg_.clear();
+  pg_blocks_.clear();
+  return bp_ ? begin_step_file() : begin_step_stream();
+}
+
+Status StreamReader::schedule_read(const std::string& var,
+                                   const adios::Box& selection,
+                                   MutableByteView dst) {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "schedule_read outside step");
+  }
+  // Validate against the announced metadata (stream mode) or the file
+  // index (file mode) and check the destination size.
+  serial::DataType type = serial::DataType::kDouble;
+  adios::Dims global_dims;
+  bool found = false;
+  if (bp_) {
+    auto blocks = bp_->inquire(step_, var);
+    if (!blocks.is_ok()) return blocks.status();
+    type = blocks.value()[0].meta.type;
+    global_dims = blocks.value()[0].meta.global_dims;
+    found = true;
+  } else {
+    for (const wire::BlockInfo& b : step_blocks_) {
+      if (b.meta.name == var &&
+          b.meta.shape == adios::ShapeKind::kGlobalArray) {
+        type = b.meta.type;
+        global_dims = b.meta.global_dims;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    return make_error(ErrorCode::kNotFound, "no global array named " + var);
+  }
+  // The selection must live inside the announced global space. (Within it,
+  // the reader receives whatever the writers covered; asking beyond the
+  // array's bounds is a caller bug and would otherwise stall silently.)
+  if (selection.ndim() != global_dims.size() ||
+      !contains(adios::Box{adios::Dims(global_dims.size(), 0), global_dims},
+                selection)) {
+    return make_error(ErrorCode::kOutOfRange,
+                      "selection outside the global space of " + var);
+  }
+  if (dst.size() != selection.elements() * serial::size_of(type)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "destination buffer size mismatch for " + var);
+  }
+  pending_reads_.push_back(PendingRead{var, selection, dst});
+  return Status::ok();
+}
+
+Status StreamReader::schedule_read_pg(int writer_rank) {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "schedule_read_pg outside step");
+  }
+  if (writer_rank < 0 || writer_rank >= writer_size_) {
+    return make_error(ErrorCode::kOutOfRange, "no such writer rank");
+  }
+  pending_pg_.push_back(writer_rank);
+  return Status::ok();
+}
+
+Status StreamReader::install_plugin(const std::string& var,
+                                    const std::string& source,
+                                    bool run_at_writer) {
+  if (rank_ != Program::kCoordinator) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "plug-ins are installed by the coordinator rank");
+  }
+  if (bp_) {
+    return make_error(ErrorCode::kUnimplemented,
+                      "plug-ins require stream mode");
+  }
+  pending_plugins_.push_back(wire::PluginInstall{var, source, run_at_writer});
+  return Status::ok();
+}
+
+Status StreamReader::remove_plugin(const std::string& var, bool from_writer) {
+  return install_plugin(var, "", from_writer);
+}
+
+Status StreamReader::migrate_plugin(const std::string& var,
+                                    const std::string& source,
+                                    bool to_writer) {
+  FLEXIO_RETURN_IF_ERROR(remove_plugin(var, /*from_writer=*/!to_writer));
+  return install_plugin(var, source, to_writer);
+}
+
+Status StreamReader::place_piece(const wire::DataPiece& piece,
+                                 int writer_rank) {
+  if (piece.meta.shape == adios::ShapeKind::kLocalArray) {
+    PgBlock block;
+    block.writer_rank = writer_rank;
+    block.meta = piece.meta;
+    block.payload = piece.payload;
+    const auto plug = reader_plugins_.find(piece.meta.name);
+    if (plug != reader_plugins_.end()) {
+      PerfMonitor::ScopedTimer pt(&monitor_, "plugin.exec");
+      auto transformed = plug->second(piece);
+      if (!transformed.is_ok()) return transformed.status();
+      block.meta = transformed.value().meta;
+      block.payload = std::move(transformed.value().payload);
+    }
+    pg_blocks_.push_back(std::move(block));
+    return Status::ok();
+  }
+  // Global-array piece: route the region into every overlapping pending
+  // read (normally exactly one).
+  const wire::DataPiece* effective = &piece;
+  wire::DataPiece transformed_storage;
+  const auto plug = reader_plugins_.find(piece.meta.name);
+  if (plug != reader_plugins_.end()) {
+    PerfMonitor::ScopedTimer pt(&monitor_, "plugin.exec");
+    auto transformed = plug->second(piece);
+    if (!transformed.is_ok()) return transformed.status();
+    transformed_storage = std::move(transformed).value();
+    if (transformed_storage.payload.size() != piece.payload.size()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "reader-side plug-in changed global-array size");
+    }
+    effective = &transformed_storage;
+  }
+  const std::size_t elem = serial::size_of(effective->meta.type);
+  bool placed = false;
+  for (PendingRead& pr : pending_reads_) {
+    if (pr.var != effective->meta.name) continue;
+    adios::Box overlap;
+    if (!intersect(pr.selection, effective->region, &overlap)) continue;
+    adios::copy_region(effective->region, effective->payload.data(),
+                       pr.selection, pr.dst.data(), overlap, elem);
+    placed = true;
+  }
+  if (!placed) {
+    return make_error(ErrorCode::kInternal,
+                      "received piece matches no pending read: " +
+                          effective->meta.name);
+  }
+  return Status::ok();
+}
+
+Status StreamReader::perform_reads_file() {
+  PerfMonitor::ScopedTimer t(&monitor_, "read.file");
+  for (const PendingRead& pr : pending_reads_) {
+    FLEXIO_RETURN_IF_ERROR(bp_->read_global(step_, pr.var, pr.selection,
+                                            pr.dst));
+    monitor_.add_count("bytes.read", pr.dst.size());
+  }
+  for (int w : pending_pg_) {
+    for (const adios::BpBlockRef& ref : bp_->blocks_for_writer(step_, w)) {
+      if (ref.meta.shape != adios::ShapeKind::kLocalArray) continue;
+      PgBlock block;
+      block.writer_rank = w;
+      block.meta = ref.meta;
+      block.payload.resize(ref.payload_bytes);
+      FLEXIO_RETURN_IF_ERROR(
+          bp_->read_block(ref, MutableByteView(block.payload)));
+      monitor_.add_count("bytes.read", block.payload.size());
+      pg_blocks_.push_back(std::move(block));
+    }
+  }
+  return Status::ok();
+}
+
+Status StreamReader::perform_reads_stream() {
+  const bool do_exchange =
+      steps_completed_ == 0 || caching_ != xml::CachingLevel::kAll;
+
+  // Assemble this rank's request.
+  wire::ReadRequest mine;
+  mine.step = step_;
+  for (const PendingRead& pr : pending_reads_) {
+    mine.selections.push_back(wire::SelectionInfo{rank_, pr.var, pr.selection});
+  }
+  for (int w : pending_pg_) {
+    mine.pg_requests.push_back(wire::PgRequestInfo{rank_, w});
+  }
+
+  if (do_exchange) {
+    PerfMonitor::ScopedTimer t(&monitor_, "handshake.exchange");
+    // Step 1.a: gather selections at the coordinator.
+    std::vector<std::vector<std::byte>> all;
+    FLEXIO_RETURN_IF_ERROR(program_->gather(
+        rank_, ByteView(encode_rank_request(mine)), &all, timeout_));
+    std::vector<std::byte> merged_raw;
+    if (rank_ == Program::kCoordinator) {
+      wire::ReadRequest merged;
+      merged.step = step_;
+      for (const auto& raw : all) {
+        auto part = wire::decode_read_request(ByteView(raw));
+        if (!part.is_ok()) return part.status();
+        for (auto& s : part.value().selections) {
+          merged.selections.push_back(std::move(s));
+        }
+        for (auto& p : part.value().pg_requests) {
+          merged.pg_requests.push_back(p);
+        }
+      }
+      merged.plugins = pending_plugins_;
+      pending_plugins_.clear();
+      merged_raw = wire::encode(merged);
+      // Step 2: ship the reader-side distribution to the writer side.
+      FLEXIO_RETURN_IF_ERROR(
+          endpoint_->send(writer_coord_, ByteView(merged_raw)));
+    }
+    // Step 3: every reader rank learns the full request (and plug-ins).
+    FLEXIO_RETURN_IF_ERROR(program_->broadcast(rank_, &merged_raw, timeout_));
+    auto merged = wire::decode_read_request(ByteView(merged_raw));
+    if (!merged.is_ok()) return merged.status();
+    cached_request_ = std::move(merged).value();
+    have_cached_request_ = true;
+    monitor_.add_count("handshake.performed", 1);
+
+    for (const wire::PluginInstall& p : cached_request_.plugins) {
+      if (p.run_at_writer) continue;
+      if (p.source.empty()) {
+        reader_plugins_.erase(p.var);
+        continue;
+      }
+      PluginCompiler compiler = rt_->plugin_compiler();
+      if (!compiler) {
+        return make_error(ErrorCode::kUnimplemented,
+                          "no plug-in compiler installed in runtime");
+      }
+      auto fn = compiler(p.source);
+      if (!fn.is_ok()) return fn.status();
+      reader_plugins_[p.var] = std::move(fn).value();
+    }
+    // Expected pieces for this rank.
+    cached_expected_ =
+        pieces_to_reader(plan_transfers(step_blocks_, cached_request_), rank_);
+  } else {
+    monitor_.add_count("handshake.skipped", 1);
+    if (rank_ == Program::kCoordinator && !pending_plugins_.empty()) {
+      return make_error(ErrorCode::kFailedPrecondition,
+                        "plug-in (un)installation needs handshakes; "
+                        "CACHING_ALL skips them after the first step");
+    }
+    // CACHING_ALL contract: selections must not change across steps.
+    wire::ReadRequest cached_mine;
+    cached_mine.step = step_;
+    for (const auto& s : cached_request_.selections) {
+      if (s.reader_rank == rank_) cached_mine.selections.push_back(s);
+    }
+    for (const auto& p : cached_request_.pg_requests) {
+      if (p.reader_rank == rank_) cached_mine.pg_requests.push_back(p);
+    }
+    if (cached_mine.selections.size() != mine.selections.size() ||
+        cached_mine.pg_requests.size() != mine.pg_requests.size()) {
+      return make_error(ErrorCode::kFailedPrecondition,
+                        "CACHING_ALL requires identical selections each step");
+    }
+    for (std::size_t i = 0; i < mine.selections.size(); ++i) {
+      if (mine.selections[i].var != cached_mine.selections[i].var ||
+          !(mine.selections[i].box == cached_mine.selections[i].box)) {
+        return make_error(
+            ErrorCode::kFailedPrecondition,
+            "CACHING_ALL requires identical selections each step");
+      }
+    }
+  }
+
+  // Step 4.a: receive the packed strides.
+  PerfMonitor::ScopedTimer t(&monitor_, "read.receive");
+  struct Expected {
+    const TransferPiece* piece;
+    bool done = false;
+  };
+  std::vector<Expected> remaining;
+  remaining.reserve(cached_expected_.size());
+  for (const TransferPiece& p : cached_expected_) {
+    remaining.push_back(Expected{&p, false});
+  }
+  auto try_match = [&](const wire::DataMsg& msg) -> StatusOr<bool> {
+    bool any = false;
+    for (const wire::DataPiece& piece : msg.pieces) {
+      bool matched = false;
+      for (Expected& e : remaining) {
+        if (e.done) continue;
+        if (e.piece->writer_rank != msg.writer_rank) continue;
+        if (e.piece->var != piece.meta.name) continue;
+        if (!e.piece->whole_block && !(e.piece->region == piece.region)) {
+          continue;
+        }
+        e.done = true;
+        matched = true;
+        break;
+      }
+      if (!matched) {
+        return make_error(ErrorCode::kInternal,
+                          "unexpected data piece for " + piece.meta.name);
+      }
+      FLEXIO_RETURN_IF_ERROR(place_piece(piece, msg.writer_rank));
+      monitor_.add_count("bytes.received", piece.payload.size());
+      any = true;
+    }
+    return any;
+  };
+
+  // Drain the stash first (messages that raced ahead).
+  for (std::size_t i = 0; i < stash_.size();) {
+    if (stash_[i].step == step_) {
+      auto matched = try_match(stash_[i]);
+      if (!matched.is_ok()) return matched.status();
+      stash_[i] = std::move(stash_.back());
+      stash_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  auto outstanding = [&] {
+    return std::any_of(remaining.begin(), remaining.end(),
+                       [](const Expected& e) { return !e.done; });
+  };
+  while (outstanding()) {
+    evpath::Message msg;
+    FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
+    if (msg.eos) continue;
+    auto type = wire::peek_type(ByteView(msg.payload));
+    if (!type.is_ok()) return type.status();
+    switch (type.value()) {
+      case wire::MsgType::kData: {
+        auto data = wire::decode_data(ByteView(msg.payload));
+        if (!data.is_ok()) return data.status();
+        if (data.value().step == step_) {
+          auto matched = try_match(data.value());
+          if (!matched.is_ok()) return matched.status();
+        } else if (data.value().step > step_) {
+          stash_.push_back(std::move(data).value());
+        } else {
+          return make_error(ErrorCode::kInternal, "stale data message");
+        }
+        break;
+      }
+      case wire::MsgType::kClose: {
+        // Data for this step may still be in flight on other links; record
+        // the close and keep waiting for the remaining pieces.
+        auto last = wire::decode_close(ByteView(msg.payload));
+        if (!last.is_ok()) return last.status();
+        close_last_step_ = last.value();
+        eos_ = true;
+        break;
+      }
+      case wire::MsgType::kMonitorReport: {
+        auto report = wire::decode_monitor_report(ByteView(msg.payload));
+        if (!report.is_ok()) return report.status();
+        writer_report_ = report.value();
+        break;
+      }
+      case wire::MsgType::kStepAnnounce:
+        // The writer ran ahead: the next step's announce overtook the tail
+        // of this step's data on other links. Keep it for begin_step.
+        control_stash_.push_back(std::move(msg.payload));
+        break;
+      default:
+        return make_error(ErrorCode::kInternal,
+                          "unexpected control frame during perform_reads");
+    }
+  }
+  return Status::ok();
+}
+
+Status StreamReader::perform_reads() {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "perform_reads outside step");
+  }
+  return bp_ ? perform_reads_file() : perform_reads_stream();
+}
+
+StatusOr<double> StreamReader::scalar_double(const std::string& name) const {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "no step open");
+  }
+  if (bp_) {
+    auto blocks = bp_->inquire(step_, name);
+    if (!blocks.is_ok()) return blocks.status();
+    const auto& ref = blocks.value()[0];
+    if (ref.meta.type != serial::DataType::kDouble) {
+      return make_error(ErrorCode::kInvalidArgument, name + " is not double");
+    }
+    double v = 0;
+    std::vector<std::byte> raw(sizeof v);
+    FLEXIO_RETURN_IF_ERROR(
+        const_cast<adios::BpReader*>(bp_.get())
+            ->read_block(ref, MutableByteView(raw)));
+    std::memcpy(&v, raw.data(), sizeof v);
+    return v;
+  }
+  for (const wire::BlockInfo& b : step_blocks_) {
+    if (b.meta.name == name && b.meta.shape == adios::ShapeKind::kScalar &&
+        b.meta.type == serial::DataType::kDouble) {
+      double v = 0;
+      if (b.scalar_payload.size() != sizeof v) {
+        return make_error(ErrorCode::kInternal, "scalar payload size");
+      }
+      std::memcpy(&v, b.scalar_payload.data(), sizeof v);
+      return v;
+    }
+  }
+  return make_error(ErrorCode::kNotFound, "no double scalar named " + name);
+}
+
+StatusOr<std::int64_t> StreamReader::scalar_int(const std::string& name) const {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "no step open");
+  }
+  if (bp_) {
+    auto blocks = bp_->inquire(step_, name);
+    if (!blocks.is_ok()) return blocks.status();
+    const auto& ref = blocks.value()[0];
+    std::int64_t v = 0;
+    std::vector<std::byte> raw(sizeof v);
+    FLEXIO_RETURN_IF_ERROR(
+        const_cast<adios::BpReader*>(bp_.get())
+            ->read_block(ref, MutableByteView(raw)));
+    std::memcpy(&v, raw.data(), sizeof v);
+    return v;
+  }
+  for (const wire::BlockInfo& b : step_blocks_) {
+    if (b.meta.name == name && b.meta.shape == adios::ShapeKind::kScalar &&
+        b.meta.type == serial::DataType::kInt64) {
+      std::int64_t v = 0;
+      if (b.scalar_payload.size() != sizeof v) {
+        return make_error(ErrorCode::kInternal, "scalar payload size");
+      }
+      std::memcpy(&v, b.scalar_payload.data(), sizeof v);
+      return v;
+    }
+  }
+  return make_error(ErrorCode::kNotFound, "no int scalar named " + name);
+}
+
+StatusOr<std::vector<adios::VarMeta>> StreamReader::inquire(
+    const std::string& var) const {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "no step open");
+  }
+  std::vector<adios::VarMeta> out;
+  if (bp_) {
+    auto blocks = bp_->inquire(step_, var);
+    if (!blocks.is_ok()) return blocks.status();
+    for (const auto& ref : blocks.value()) out.push_back(ref.meta);
+    return out;
+  }
+  for (const wire::BlockInfo& b : step_blocks_) {
+    if (b.meta.name == var) out.push_back(b.meta);
+  }
+  if (out.empty()) {
+    return make_error(ErrorCode::kNotFound, "no variable named " + var);
+  }
+  return out;
+}
+
+Status StreamReader::end_step() {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "no step open");
+  }
+  in_step_ = false;
+  ++steps_completed_;
+  if (bp_) ++bp_cursor_;
+  return Status::ok();
+}
+
+Status StreamReader::close() {
+  closed_ = true;
+  return Status::ok();
+}
+
+}  // namespace flexio

@@ -1,0 +1,167 @@
+// Reader side of a FlexIO stream.
+//
+// Analytics open the stream by name (directory lookup behind the scenes),
+// then loop: begin_step -> schedule reads (global-array selections and/or
+// whole process groups) -> perform_reads -> end_step, until begin_step
+// returns End-of-Stream. The same API runs against BP files for offline
+// placement. All ranks of the reader program call collectively.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adios/bp_file.h"
+#include "core/redistribution.h"
+#include "core/runtime.h"
+
+namespace flexio {
+
+/// One process-group block delivered by perform_reads.
+struct PgBlock {
+  int writer_rank = 0;
+  adios::VarMeta meta;
+  std::vector<std::byte> payload;
+};
+
+class StreamReader {
+ public:
+  ~StreamReader();
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+
+  /// Advance to the next step. Returns its id, or kEndOfStream once the
+  /// writer closed the stream.
+  StatusOr<StepId> begin_step();
+
+  /// Schedule a read of `selection` of global array `var` into `dst`
+  /// (dense row-major buffer of the selection; must stay alive through
+  /// perform_reads).
+  Status schedule_read(const std::string& var, const adios::Box& selection,
+                       MutableByteView dst);
+
+  /// Schedule a read of one writer rank's whole process group.
+  Status schedule_read_pg(int writer_rank);
+
+  /// Deploy a Data Conditioning plug-in against `var`. Writer-side
+  /// plug-ins are shipped with the next read request and compiled inside
+  /// the simulation's address space; reader-side ones run here after
+  /// receive. Coordinator-rank call (plug-ins are program-wide).
+  Status install_plugin(const std::string& var, const std::string& source,
+                        bool run_at_writer);
+
+  /// Remove a previously installed plug-in from one side (effective at the
+  /// next handshake exchange).
+  Status remove_plugin(const std::string& var, bool from_writer);
+
+  /// Migrate a plug-in between address spaces at runtime (paper Section
+  /// II.F: "they can be migrated across address spaces at runtime"):
+  /// removes it from one side and installs the same source on the other,
+  /// atomically within one handshake.
+  Status migrate_plugin(const std::string& var, const std::string& source,
+                        bool to_writer);
+
+  /// Execute the data movement for everything scheduled this step. Must be
+  /// called once per step in stream mode even when nothing is scheduled:
+  /// the writer's end_step rendezvouses with this call's read request
+  /// (except under CACHING_ALL, where the handshake is skipped).
+  Status perform_reads();
+
+  /// Process-group blocks delivered to this rank by the last perform_reads.
+  const std::vector<PgBlock>& pg_blocks() const { return pg_blocks_; }
+
+  /// Read a scalar announced this step (valid after begin_step). Scalars
+  /// travel with the step metadata; with handshake caching enabled they
+  /// refresh only on the first step.
+  StatusOr<double> scalar_double(const std::string& name) const;
+  StatusOr<std::int64_t> scalar_int(const std::string& name) const;
+
+  /// Variable metadata visible this step (all writer blocks of `var`).
+  StatusOr<std::vector<adios::VarMeta>> inquire(const std::string& var) const;
+
+  Status end_step();
+  Status close();
+
+  bool file_mode() const { return bp_ != nullptr; }
+  int num_writers() const { return writer_size_; }
+
+  /// Reader-side monitoring.
+  const PerfMonitor& monitor() const { return monitor_; }
+
+  /// Writer-side monitoring shipped at stream close (stream mode only;
+  /// valid after begin_step returned kEndOfStream).
+  const std::optional<wire::MonitorReport>& writer_report() const {
+    return writer_report_;
+  }
+
+ private:
+  friend class Runtime;
+  StreamReader() = default;
+
+  Status open(Runtime* rt, const StreamSpec& spec);
+  StatusOr<StepId> begin_step_stream();
+  StatusOr<StepId> begin_step_file();
+  Status perform_reads_stream();
+  Status perform_reads_file();
+  /// Coordinator helper: receive the next control message from the writer
+  /// coordinator, stashing any early data messages.
+  Status next_control(std::vector<std::byte>* out);
+  Status place_piece(const wire::DataPiece& piece, int writer_rank);
+
+  Runtime* rt_ = nullptr;
+  StreamSpec spec_;
+  Program* program_ = nullptr;
+  int rank_ = 0;
+  std::chrono::nanoseconds timeout_{};
+
+  // Stream mode.
+  std::shared_ptr<evpath::Endpoint> endpoint_;
+  std::string writer_program_;
+  int writer_size_ = 0;
+  std::string writer_coord_;
+  xml::CachingLevel caching_ = xml::CachingLevel::kNone;
+  bool batching_ = false;
+
+  // Step state.
+  bool in_step_ = false;
+  bool closed_ = false;
+  bool eos_ = false;            // coordinator saw the writer's Close frame
+  bool eos_delivered_ = false;  // EOS was collectively broadcast to this rank
+  StepId close_last_step_ = -1;  // last step id announced by the Close frame
+  StepId step_ = -1;
+  std::uint64_t steps_completed_ = 0;
+  std::vector<wire::BlockInfo> step_blocks_;  // writer distributions
+  struct PendingRead {
+    std::string var;
+    adios::Box selection;
+    MutableByteView dst;
+  };
+  std::vector<PendingRead> pending_reads_;
+  std::vector<int> pending_pg_;
+  std::vector<wire::PluginInstall> pending_plugins_;  // coordinator only
+  std::vector<PgBlock> pg_blocks_;
+  std::map<std::string, PluginFn> reader_plugins_;
+
+  // Handshake caches.
+  wire::ReadRequest cached_request_;
+  bool have_cached_request_ = false;
+  std::vector<TransferPiece> cached_expected_;  // pieces destined to me
+
+  // Early-arrival stashes: data messages for future steps, and control
+  // frames (the next StepAnnounce can overtake the tail of the current
+  // step's data on other links -- writers run ahead).
+  std::vector<wire::DataMsg> stash_;
+  std::deque<std::vector<std::byte>> control_stash_;
+  std::optional<wire::MonitorReport> writer_report_;
+
+  // File mode.
+  std::unique_ptr<adios::BpReader> bp_;
+  std::vector<StepId> bp_steps_;
+  std::size_t bp_cursor_ = 0;
+
+  PerfMonitor monitor_;
+};
+
+}  // namespace flexio

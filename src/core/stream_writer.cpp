@@ -1,0 +1,397 @@
+#include "core/stream_writer.h"
+
+#include <cstring>
+
+#include "util/log.h"
+
+namespace flexio {
+
+namespace {
+std::chrono::nanoseconds ns_from_ms(double ms) {
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(ms * 1e6));
+}
+}  // namespace
+
+StreamWriter::~StreamWriter() {
+  if (!closed_ && !in_step_) (void)close();
+}
+
+Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
+  rt_ = rt;
+  spec_ = spec;
+  program_ = spec.endpoint.program;
+  rank_ = spec.endpoint.rank;
+  timeout_ = ns_from_ms(spec.method.timeout_ms);
+  FLEXIO_CHECK(program_ != nullptr);
+  FLEXIO_CHECK(rank_ >= 0 && rank_ < program_->size());
+
+  if (spec.method.method != "FLEXIO") {
+    // File mode: any ADIOS-style file method name maps to the BP engine.
+    auto bp = adios::BpWriter::create(spec.file_dir, spec.stream, rank_,
+                                      program_->size());
+    if (!bp.is_ok()) return bp.status();
+    bp_ = std::move(bp).value();
+    return Status::ok();
+  }
+
+  // Stream mode: create this rank's endpoint and rendezvous with the
+  // reader program through the directory server (Section II.C.1).
+  evpath::LinkOptions lopts;
+  lopts.queue_entries = spec.method.queue_entries;
+  lopts.queue_payload_bytes = spec.method.queue_payload_bytes;
+  lopts.pool_bytes = spec.method.pool_bytes;
+  lopts.rdma_pool_bytes = spec.method.rdma_pool_bytes;
+  lopts.timeout = timeout_;
+  lopts.max_retries = spec.method.max_retries;
+  auto ep = rt->bus().create_endpoint(
+      Runtime::endpoint_name(spec.stream, program_->name(), rank_),
+      spec.endpoint.location, lopts);
+  if (!ep.is_ok()) return ep.status();
+  endpoint_ = std::move(ep).value();
+
+  std::vector<std::byte> reader_info;
+  if (rank_ == Program::kCoordinator) {
+    FLEXIO_RETURN_IF_ERROR(
+        rt->directory().register_stream(spec.stream, endpoint_->name()));
+    // Wait for the reader coordinator's OpenRequest.
+    evpath::Message msg;
+    FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
+    auto req = wire::decode_open_request(ByteView(msg.payload));
+    if (!req.is_ok()) return req.status();
+    reader_program_ = req.value().reader_program;
+    reader_size_ = req.value().reader_size;
+    reader_coord_ = msg.from;
+    wire::OpenReply reply;
+    reply.writer_program = program_->name();
+    reply.writer_size = program_->size();
+    reply.caching = static_cast<std::uint8_t>(spec.method.caching);
+    reply.batching = spec.method.batching;
+    reply.async_writes = spec.method.async_writes;
+    FLEXIO_RETURN_IF_ERROR(
+        endpoint_->send(reader_coord_, ByteView(wire::encode(reply))));
+    serial::BufWriter w;
+    w.put_string(reader_program_);
+    w.put_varint(static_cast<std::uint64_t>(reader_size_));
+    reader_info = w.take();
+  }
+  FLEXIO_RETURN_IF_ERROR(program_->broadcast(rank_, &reader_info, timeout_));
+  if (rank_ != Program::kCoordinator) {
+    serial::BufReader r{ByteView(reader_info)};
+    FLEXIO_RETURN_IF_ERROR(r.get_string(&reader_program_));
+    std::uint64_t size = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&size));
+    reader_size_ = static_cast<int>(size);
+  }
+  return Status::ok();
+}
+
+Status StreamWriter::begin_step(StepId step) {
+  if (closed_) {
+    return make_error(ErrorCode::kFailedPrecondition, "writer closed");
+  }
+  if (in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "step already open");
+  }
+  if (step <= last_step_) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "step ids must strictly increase");
+  }
+  if (bp_) FLEXIO_RETURN_IF_ERROR(bp_->begin_step(step));
+  in_step_ = true;
+  step_ = step;
+  my_blocks_.clear();
+  my_payloads_.clear();
+  return Status::ok();
+}
+
+Status StreamWriter::write(const adios::VarMeta& meta, ByteView payload) {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "write outside step");
+  }
+  FLEXIO_RETURN_IF_ERROR(meta.validate());
+  if (payload.size() != meta.payload_bytes()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "payload size does not match metadata of " + meta.name);
+  }
+  PerfMonitor::ScopedTimer t(&monitor_, "write.pack");
+  if (bp_) return bp_->write(meta, payload);
+
+  for (const wire::BlockInfo& existing : my_blocks_) {
+    if (existing.meta.name == meta.name) {
+      return make_error(ErrorCode::kAlreadyExists,
+                        "variable written twice this step: " + meta.name);
+    }
+  }
+  wire::BlockInfo block;
+  block.writer_rank = rank_;
+  block.meta = meta;
+  if (meta.shape == adios::ShapeKind::kScalar) {
+    block.scalar_payload.assign(payload.begin(), payload.end());
+    my_blocks_.push_back(std::move(block));
+    my_payloads_.emplace_back();
+  } else {
+    my_blocks_.push_back(std::move(block));
+    my_payloads_.emplace_back(payload.begin(), payload.end());
+  }
+  monitor_.add_count("bytes.written", payload.size());
+  return Status::ok();
+}
+
+Status StreamWriter::write_scalar(const std::string& name, double value) {
+  return write(adios::scalar_var(name, serial::DataType::kDouble),
+               ByteView(reinterpret_cast<const std::byte*>(&value),
+                        sizeof value));
+}
+
+Status StreamWriter::write_scalar(const std::string& name,
+                                  std::int64_t value) {
+  return write(adios::scalar_var(name, serial::DataType::kInt64),
+               ByteView(reinterpret_cast<const std::byte*>(&value),
+                        sizeof value));
+}
+
+Status StreamWriter::end_step() {
+  if (!in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition, "no step open");
+  }
+  const Status st = bp_ ? end_step_file() : end_step_stream();
+  if (st.is_ok()) {
+    last_step_ = step_;
+    ++steps_completed_;
+    in_step_ = false;
+  }
+  return st;
+}
+
+Status StreamWriter::end_step_file() {
+  PerfMonitor::ScopedTimer t(&monitor_, "write.file_flush");
+  return bp_->end_step();
+}
+
+Status StreamWriter::run_handshake(bool* did_exchange) {
+  using xml::CachingLevel;
+  const CachingLevel caching = spec_.method.caching;
+  const bool first = steps_completed_ == 0;
+
+  // Step 1.s: gather local distributions at the coordinator, unless the
+  // local side is cached (CACHING_LOCAL and CACHING_ALL skip it).
+  const bool do_gather = first || caching == CachingLevel::kNone;
+  if (do_gather) {
+    PerfMonitor::ScopedTimer t(&monitor_, "handshake.gather");
+    wire::StepAnnounce mine;
+    mine.step = step_;
+    mine.blocks = my_blocks_;
+    std::vector<std::vector<std::byte>> all;
+    FLEXIO_RETURN_IF_ERROR(
+        program_->gather(rank_, ByteView(wire::encode(mine)), &all, timeout_));
+    if (rank_ == Program::kCoordinator) {
+      cached_all_blocks_.clear();
+      for (const auto& raw : all) {
+        auto ann = wire::decode_step_announce(ByteView(raw));
+        if (!ann.is_ok()) return ann.status();
+        for (auto& b : ann.value().blocks) {
+          cached_all_blocks_.push_back(std::move(b));
+        }
+      }
+    }
+  } else {
+    monitor_.add_count("handshake.gather_skipped", 1);
+  }
+
+  // Steps 2+3: exchange with the peer side, unless fully cached.
+  const bool do_exchange = first || caching != CachingLevel::kAll;
+  *did_exchange = do_exchange;
+  if (do_exchange) {
+    PerfMonitor::ScopedTimer t(&monitor_, "handshake.exchange");
+    std::vector<std::byte> request_raw;
+    if (rank_ == Program::kCoordinator) {
+      wire::StepAnnounce ann;
+      ann.step = step_;
+      ann.blocks = cached_all_blocks_;
+      FLEXIO_RETURN_IF_ERROR(
+          endpoint_->send(reader_coord_, ByteView(wire::encode(ann))));
+      evpath::Message msg;
+      FLEXIO_RETURN_IF_ERROR(
+          endpoint_->recv_from(reader_coord_, &msg, timeout_));
+      if (msg.eos) {
+        return make_error(ErrorCode::kEndOfStream,
+                          "reader disappeared mid-stream");
+      }
+      request_raw = std::move(msg.payload);
+    }
+    // Step 3: broadcast the peer-side distribution (the read request) so
+    // every writer rank can compute its mapping independently.
+    FLEXIO_RETURN_IF_ERROR(
+        program_->broadcast(rank_, &request_raw, timeout_));
+    auto req = wire::decode_read_request(ByteView(request_raw));
+    if (!req.is_ok()) return req.status();
+    cached_request_ = std::move(req).value();
+    have_cached_request_ = true;
+    monitor_.add_count("handshake.performed", 1);
+
+    // Install any plug-ins that rode along with the request. An empty
+    // source removes the plug-in: that is how the reader migrates a
+    // codelet out of the simulation's address space at runtime.
+    for (const wire::PluginInstall& p : cached_request_.plugins) {
+      if (!p.run_at_writer) continue;
+      if (p.source.empty()) {
+        plugins_.erase(p.var);
+        monitor_.add_count("plugin.removed", 1);
+        continue;
+      }
+      PluginCompiler compiler = rt_->plugin_compiler();
+      if (!compiler) {
+        return make_error(ErrorCode::kUnimplemented,
+                          "no plug-in compiler installed in runtime");
+      }
+      auto fn = compiler(p.source);
+      if (!fn.is_ok()) return fn.status();
+      plugins_[p.var] = std::move(fn).value();
+      monitor_.add_count("plugin.installed", 1);
+    }
+  } else {
+    monitor_.add_count("handshake.skipped", 1);
+  }
+  if (!have_cached_request_) {
+    return make_error(ErrorCode::kInternal, "no read request available");
+  }
+  return Status::ok();
+}
+
+Status StreamWriter::send_pieces() {
+  PerfMonitor::ScopedTimer t(&monitor_, "write.send");
+  // Step 4.s: compute this rank's pieces and pack strides per receiver.
+  const std::vector<TransferPiece> mine =
+      pieces_from_writer(plan_transfers(my_blocks_, cached_request_), rank_);
+
+  // Group by destination reader for batching.
+  std::map<int, std::vector<const TransferPiece*>> by_reader;
+  for (const TransferPiece& p : mine) by_reader[p.reader_rank].push_back(&p);
+
+  const auto send_mode = spec_.method.async_writes ? evpath::SendMode::kAsync
+                                                   : evpath::SendMode::kSync;
+  for (const auto& [reader, piece_ptrs] : by_reader) {
+    const std::string dest =
+        Runtime::endpoint_name(spec_.stream, reader_program_, reader);
+    std::vector<wire::DataPiece> packed;
+    packed.reserve(piece_ptrs.size());
+    for (const TransferPiece* p : piece_ptrs) {
+      // Locate the buffered payload for this block.
+      const std::vector<std::byte>* payload = nullptr;
+      const wire::BlockInfo* block = nullptr;
+      for (std::size_t i = 0; i < my_blocks_.size(); ++i) {
+        if (my_blocks_[i].meta.name == p->var &&
+            my_blocks_[i].meta.block == p->meta.block) {
+          payload = &my_payloads_[i];
+          block = &my_blocks_[i];
+          break;
+        }
+      }
+      FLEXIO_CHECK(payload != nullptr && block != nullptr);
+      wire::DataPiece piece;
+      piece.meta = block->meta;
+      piece.region = p->region;
+      if (p->whole_block) {
+        piece.payload = *payload;  // full local-array block
+      } else {
+        // Pack the overlap region densely.
+        const std::size_t elem = serial::size_of(block->meta.type);
+        piece.payload.resize(p->region.elements() * elem);
+        adios::copy_region(block->meta.block, payload->data(), p->region,
+                           piece.payload.data(), p->region, elem);
+      }
+      // Writer-side DC plug-in, if deployed against this variable.
+      const auto plug = plugins_.find(p->var);
+      if (plug != plugins_.end()) {
+        PerfMonitor::ScopedTimer pt(&monitor_, "plugin.exec");
+        auto transformed = plug->second(piece);
+        if (!transformed.is_ok()) return transformed.status();
+        piece = std::move(transformed).value();
+        monitor_.add_count("plugin.pieces", 1);
+      }
+      packed.push_back(std::move(piece));
+    }
+    auto send_batch = [&](std::vector<wire::DataPiece> pieces) -> Status {
+      wire::DataMsg msg;
+      msg.step = step_;
+      msg.writer_rank = rank_;
+      msg.pieces = std::move(pieces);
+      std::uint64_t bytes = 0;
+      for (const auto& p : msg.pieces) bytes += p.payload.size();
+      monitor_.add_count("bytes.sent", bytes);
+      monitor_.add_count("msgs.sent", 1);
+      return endpoint_->send(dest, ByteView(wire::encode(msg)), send_mode);
+    };
+    if (spec_.method.batching) {
+      FLEXIO_RETURN_IF_ERROR(send_batch(std::move(packed)));
+      monitor_.add_count("msgs.batched", 1);
+    } else {
+      for (auto& piece : packed) {
+        std::vector<wire::DataPiece> one;
+        one.push_back(std::move(piece));
+        FLEXIO_RETURN_IF_ERROR(send_batch(std::move(one)));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status StreamWriter::end_step_stream() {
+  bool did_exchange = false;
+  FLEXIO_RETURN_IF_ERROR(run_handshake(&did_exchange));
+  return send_pieces();
+}
+
+wire::MonitorReport StreamWriter::build_report() const {
+  wire::MonitorReport r;
+  r.steps = steps_completed_;
+  r.bytes_sent = monitor_.count("bytes.sent");
+  r.pack_seconds = monitor_.total_time("write.pack");
+  r.handshake_seconds = monitor_.total_time("handshake.gather") +
+                        monitor_.total_time("handshake.exchange");
+  r.send_seconds = monitor_.total_time("write.send");
+  r.handshakes_performed = monitor_.count("handshake.performed");
+  r.handshakes_skipped = monitor_.count("handshake.skipped");
+  return r;
+}
+
+Status StreamWriter::close() {
+  if (closed_) return Status::ok();
+  if (in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "close with an open step");
+  }
+  closed_ = true;
+  if (bp_) return bp_->close();
+  // Ensure every rank finished sending before announcing the close.
+  FLEXIO_RETURN_IF_ERROR(program_->barrier(rank_, timeout_));
+  if (rank_ == Program::kCoordinator) {
+    // Ship writer-side monitoring to the analytics side, then EOS. A
+    // reader that already exited cannot receive either; that is not a
+    // writer-side failure.
+    Status st = endpoint_->send(reader_coord_,
+                                ByteView(wire::encode(build_report())));
+    if (st.is_ok()) {
+      st = endpoint_->send(reader_coord_,
+                           ByteView(wire::encode_close(last_step_)));
+    }
+    if (!st.is_ok() && st.code() != ErrorCode::kUnavailable) return st;
+    FLEXIO_RETURN_IF_ERROR(rt_->directory().unregister_stream(spec_.stream));
+  }
+  // Drain the data links before the writer's buffers go away: closing an
+  // RDMA link blocks until every in-flight rendezvous transfer has been
+  // fetched and acked by its reader (Section II.E buffer ownership).
+  for (int r = 0; r < reader_size_; ++r) {
+    const Status st = endpoint_->close_to(
+        Runtime::endpoint_name(spec_.stream, reader_program_, r));
+    // kNotFound: we never sent to that rank. kUnavailable: the reader is
+    // already gone, so there is nothing left to drain.
+    if (!st.is_ok() && st.code() != ErrorCode::kNotFound &&
+        st.code() != ErrorCode::kUnavailable) {
+      return st;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace flexio

@@ -1,0 +1,108 @@
+// Writer side of a FlexIO stream.
+//
+// Implements the ADIOS-compatible write API over either transport mode:
+//  * stream mode ("FLEXIO"): the 4-step handshake of Section II.C with the
+//    three caching levels, optional variable batching, sync/async delivery,
+//    and writer-side DC plug-in execution;
+//  * file mode ("BP"): the offline path through the BP-like file engine.
+// All ranks of the writer program call every method collectively (SPMD).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "adios/bp_file.h"
+#include "core/redistribution.h"
+#include "core/runtime.h"
+
+namespace flexio {
+
+class StreamWriter {
+ public:
+  ~StreamWriter();
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  /// Start a new output step (strictly increasing ids).
+  Status begin_step(StepId step);
+
+  /// Declare + buffer one variable. The payload is copied, so the caller
+  /// may reuse its buffer immediately (this is what makes async mode safe).
+  Status write(const adios::VarMeta& meta, ByteView payload);
+
+  /// Convenience scalar writers.
+  Status write_scalar(const std::string& name, double value);
+  Status write_scalar(const std::string& name, std::int64_t value);
+
+  /// Complete the step: run the handshake (as far as the caching level
+  /// demands) and move the data.
+  Status end_step();
+
+  /// Close the stream: in stream mode ships the monitoring report and the
+  /// End-of-Stream to the reader program.
+  Status close();
+
+  bool file_mode() const { return bp_ != nullptr; }
+
+  /// Transport the runtime auto-configured towards a reader rank (valid
+  /// after data has been sent to it). Lets callers verify that a placement
+  /// decision was enforced: same node -> shm, across nodes -> rdma.
+  StatusOr<evpath::TransportKind> transport_to_reader(int reader_rank) const {
+    if (!endpoint_) {
+      return make_error(ErrorCode::kFailedPrecondition, "file mode");
+    }
+    return endpoint_->transport_to(
+        Runtime::endpoint_name(spec_.stream, reader_program_, reader_rank));
+  }
+
+  /// Writer-side monitoring (Section II.G).
+  const PerfMonitor& monitor() const { return monitor_; }
+
+ private:
+  friend class Runtime;
+  StreamWriter() = default;
+
+  Status open(Runtime* rt, const StreamSpec& spec);
+  Status end_step_stream();
+  Status end_step_file();
+  Status run_handshake(bool* did_exchange);
+  Status send_pieces();
+  wire::MonitorReport build_report() const;
+
+  Runtime* rt_ = nullptr;
+  StreamSpec spec_;
+  Program* program_ = nullptr;
+  int rank_ = 0;
+  std::chrono::nanoseconds timeout_{};
+
+  // Stream mode.
+  std::shared_ptr<evpath::Endpoint> endpoint_;
+  std::string reader_program_;
+  int reader_size_ = 0;
+  std::string reader_coord_;  // endpoint name of reader rank 0
+
+  // Step state.
+  bool in_step_ = false;
+  bool closed_ = false;
+  StepId step_ = -1;
+  StepId last_step_ = -1;
+  std::uint64_t steps_completed_ = 0;
+  std::vector<wire::BlockInfo> my_blocks_;
+  std::vector<std::vector<std::byte>> my_payloads_;  // parallel to my_blocks_
+
+  // Handshake caches (paper Section II.C.2, third optimization).
+  std::vector<wire::BlockInfo> cached_all_blocks_;  // coordinator only
+  wire::ReadRequest cached_request_;
+  bool have_cached_request_ = false;
+
+  // Writer-side DC plug-ins, keyed by variable name.
+  std::map<std::string, PluginFn> plugins_;
+
+  // File mode.
+  std::unique_ptr<adios::BpWriter> bp_;
+
+  PerfMonitor monitor_;
+};
+
+}  // namespace flexio

@@ -1,0 +1,302 @@
+#include "core/wire.h"
+
+namespace flexio::wire {
+
+namespace {
+
+using serial::BufReader;
+using serial::BufWriter;
+
+void put_box(BufWriter* w, const adios::Box& box) {
+  w->put_varint(box.offset.size());
+  for (std::uint64_t o : box.offset) w->put_varint(o);
+  for (std::uint64_t c : box.count) w->put_varint(c);
+}
+
+Status get_box(BufReader* r, adios::Box* box) {
+  std::uint64_t n = 0;
+  FLEXIO_RETURN_IF_ERROR(r->get_varint(&n));
+  box->offset.resize(n);
+  box->count.resize(n);
+  for (auto& o : box->offset) FLEXIO_RETURN_IF_ERROR(r->get_varint(&o));
+  for (auto& c : box->count) FLEXIO_RETURN_IF_ERROR(r->get_varint(&c));
+  return Status::ok();
+}
+
+Status expect_type(BufReader* r, MsgType want) {
+  std::uint8_t tag = 0;
+  FLEXIO_RETURN_IF_ERROR(r->get_u8(&tag));
+  if (tag != static_cast<std::uint8_t>(want)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "unexpected message type tag");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+StatusOr<MsgType> peek_type(ByteView raw) {
+  if (raw.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty message");
+  }
+  const auto tag = static_cast<std::uint8_t>(raw[0]);
+  if (tag < static_cast<std::uint8_t>(MsgType::kOpenRequest) ||
+      tag > static_cast<std::uint8_t>(MsgType::kMonitorReport)) {
+    return make_error(ErrorCode::kInvalidArgument, "unknown message type");
+  }
+  return static_cast<MsgType>(tag);
+}
+
+std::vector<std::byte> encode(const OpenRequest& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kOpenRequest));
+  w.put_string(m.reader_program);
+  w.put_varint(static_cast<std::uint64_t>(m.reader_size));
+  return w.take();
+}
+
+StatusOr<OpenRequest> decode_open_request(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kOpenRequest));
+  OpenRequest m;
+  FLEXIO_RETURN_IF_ERROR(r.get_string(&m.reader_program));
+  std::uint64_t size = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&size));
+  m.reader_size = static_cast<int>(size);
+  return m;
+}
+
+std::vector<std::byte> encode(const OpenReply& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kOpenReply));
+  w.put_string(m.writer_program);
+  w.put_varint(static_cast<std::uint64_t>(m.writer_size));
+  w.put_u8(m.caching);
+  w.put_u8(m.batching ? 1 : 0);
+  w.put_u8(m.async_writes ? 1 : 0);
+  return w.take();
+}
+
+StatusOr<OpenReply> decode_open_reply(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kOpenReply));
+  OpenReply m;
+  FLEXIO_RETURN_IF_ERROR(r.get_string(&m.writer_program));
+  std::uint64_t size = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&size));
+  m.writer_size = static_cast<int>(size);
+  FLEXIO_RETURN_IF_ERROR(r.get_u8(&m.caching));
+  std::uint8_t b = 0, a = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_u8(&b));
+  FLEXIO_RETURN_IF_ERROR(r.get_u8(&a));
+  m.batching = b != 0;
+  m.async_writes = a != 0;
+  return m;
+}
+
+std::vector<std::byte> encode(const StepAnnounce& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kStepAnnounce));
+  w.put_i64(m.step);
+  w.put_varint(m.blocks.size());
+  for (const BlockInfo& b : m.blocks) {
+    w.put_varint(static_cast<std::uint64_t>(b.writer_rank));
+    b.meta.encode(&w);
+    w.put_bytes(ByteView(b.scalar_payload));
+  }
+  return w.take();
+}
+
+StatusOr<StepAnnounce> decode_step_announce(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kStepAnnounce));
+  StepAnnounce m;
+  FLEXIO_RETURN_IF_ERROR(r.get_i64(&m.step));
+  std::uint64_t n = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&n));
+  m.blocks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    BlockInfo b;
+    std::uint64_t rank = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&rank));
+    b.writer_rank = static_cast<int>(rank);
+    auto meta = adios::VarMeta::decode(&r);
+    if (!meta.is_ok()) return meta.status();
+    b.meta = std::move(meta).value();
+    ByteView payload;
+    FLEXIO_RETURN_IF_ERROR(r.get_bytes(&payload));
+    b.scalar_payload.assign(payload.begin(), payload.end());
+    m.blocks.push_back(std::move(b));
+  }
+  return m;
+}
+
+std::vector<std::byte> encode(const ReadRequest& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kReadRequest));
+  w.put_i64(m.step);
+  w.put_varint(m.selections.size());
+  for (const SelectionInfo& s : m.selections) {
+    w.put_varint(static_cast<std::uint64_t>(s.reader_rank));
+    w.put_string(s.var);
+    put_box(&w, s.box);
+  }
+  w.put_varint(m.pg_requests.size());
+  for (const PgRequestInfo& p : m.pg_requests) {
+    w.put_varint(static_cast<std::uint64_t>(p.reader_rank));
+    w.put_varint(static_cast<std::uint64_t>(p.writer_rank));
+  }
+  w.put_varint(m.plugins.size());
+  for (const PluginInstall& p : m.plugins) {
+    w.put_string(p.var);
+    w.put_string(p.source);
+    w.put_u8(p.run_at_writer ? 1 : 0);
+  }
+  return w.take();
+}
+
+StatusOr<ReadRequest> decode_read_request(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kReadRequest));
+  ReadRequest m;
+  FLEXIO_RETURN_IF_ERROR(r.get_i64(&m.step));
+  std::uint64_t n = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&n));
+  m.selections.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SelectionInfo s;
+    std::uint64_t rank = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&rank));
+    s.reader_rank = static_cast<int>(rank);
+    FLEXIO_RETURN_IF_ERROR(r.get_string(&s.var));
+    FLEXIO_RETURN_IF_ERROR(get_box(&r, &s.box));
+    m.selections.push_back(std::move(s));
+  }
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&n));
+  m.pg_requests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PgRequestInfo p;
+    std::uint64_t a = 0, b = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&a));
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&b));
+    p.reader_rank = static_cast<int>(a);
+    p.writer_rank = static_cast<int>(b);
+    m.pg_requests.push_back(p);
+  }
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&n));
+  m.plugins.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PluginInstall p;
+    FLEXIO_RETURN_IF_ERROR(r.get_string(&p.var));
+    FLEXIO_RETURN_IF_ERROR(r.get_string(&p.source));
+    std::uint8_t at_writer = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_u8(&at_writer));
+    p.run_at_writer = at_writer != 0;
+    m.plugins.push_back(std::move(p));
+  }
+  return m;
+}
+
+std::vector<std::byte> encode(const DataMsg& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kData));
+  w.put_i64(m.step);
+  w.put_varint(static_cast<std::uint64_t>(m.writer_rank));
+  w.put_varint(m.pieces.size());
+  for (const DataPiece& p : m.pieces) {
+    p.meta.encode(&w);
+    put_box(&w, p.region);
+    w.put_bytes(ByteView(p.payload));
+  }
+  return w.take();
+}
+
+StatusOr<DataMsg> decode_data(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kData));
+  DataMsg m;
+  FLEXIO_RETURN_IF_ERROR(r.get_i64(&m.step));
+  std::uint64_t rank = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&rank));
+  m.writer_rank = static_cast<int>(rank);
+  std::uint64_t n = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&n));
+  m.pieces.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DataPiece p;
+    auto meta = adios::VarMeta::decode(&r);
+    if (!meta.is_ok()) return meta.status();
+    p.meta = std::move(meta).value();
+    FLEXIO_RETURN_IF_ERROR(get_box(&r, &p.region));
+    ByteView payload;
+    FLEXIO_RETURN_IF_ERROR(r.get_bytes(&payload));
+    p.payload.assign(payload.begin(), payload.end());
+    m.pieces.push_back(std::move(p));
+  }
+  return m;
+}
+
+std::vector<std::byte> encode(const PluginInstall& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kPluginInstall));
+  w.put_string(m.var);
+  w.put_string(m.source);
+  w.put_u8(m.run_at_writer ? 1 : 0);
+  return w.take();
+}
+
+StatusOr<PluginInstall> decode_plugin_install(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kPluginInstall));
+  PluginInstall m;
+  FLEXIO_RETURN_IF_ERROR(r.get_string(&m.var));
+  FLEXIO_RETURN_IF_ERROR(r.get_string(&m.source));
+  std::uint8_t at_writer = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_u8(&at_writer));
+  m.run_at_writer = at_writer != 0;
+  return m;
+}
+
+std::vector<std::byte> encode(const MonitorReport& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kMonitorReport));
+  w.put_u64(m.steps);
+  w.put_u64(m.bytes_sent);
+  w.put_f64(m.pack_seconds);
+  w.put_f64(m.handshake_seconds);
+  w.put_f64(m.send_seconds);
+  w.put_u64(m.handshakes_performed);
+  w.put_u64(m.handshakes_skipped);
+  return w.take();
+}
+
+StatusOr<MonitorReport> decode_monitor_report(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kMonitorReport));
+  MonitorReport m;
+  FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.steps));
+  FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.bytes_sent));
+  FLEXIO_RETURN_IF_ERROR(r.get_f64(&m.pack_seconds));
+  FLEXIO_RETURN_IF_ERROR(r.get_f64(&m.handshake_seconds));
+  FLEXIO_RETURN_IF_ERROR(r.get_f64(&m.send_seconds));
+  FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.handshakes_performed));
+  FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.handshakes_skipped));
+  return m;
+}
+
+std::vector<std::byte> encode_close(StepId last_step) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kClose));
+  w.put_i64(last_step);
+  return w.take();
+}
+
+StatusOr<StepId> decode_close(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kClose));
+  StepId last = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_i64(&last));
+  return last;
+}
+
+}  // namespace flexio::wire

@@ -1,0 +1,149 @@
+// Control- and data-plane wire messages of the FlexIO stream protocol.
+//
+// The stream protocol (paper Section II.C) exchanges:
+//  * open request/reply between the two coordinators (connection setup via
+//    the directory server),
+//  * StepAnnounce (writer-side distributions, Steps 1.s + 2),
+//  * ReadRequest (reader-side selections, Steps 1.a + 2),
+//  * Data messages carrying packed strides (Step 4), optionally batched,
+//  * plug-in installation, shipped monitoring records, and stream close.
+// All messages are length-checked on decode; a corrupt frame yields an
+// error instead of undefined behaviour.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adios/var.h"
+#include "serial/buffer.h"
+#include "util/status.h"
+
+namespace flexio::wire {
+
+enum class MsgType : std::uint8_t {
+  kOpenRequest = 1,
+  kOpenReply = 2,
+  kStepAnnounce = 3,
+  kReadRequest = 4,
+  kData = 5,
+  kClose = 6,
+  kPluginInstall = 7,
+  kMonitorReport = 8,
+};
+
+/// Reader coordinator -> writer coordinator when opening a stream.
+struct OpenRequest {
+  std::string reader_program;
+  int reader_size = 0;
+};
+
+/// Writer coordinator -> reader coordinator reply: stream shape and the
+/// transport tuning the writer side was configured with (both sides must
+/// agree on caching/batching, so the writer's config wins).
+struct OpenReply {
+  std::string writer_program;
+  int writer_size = 0;
+  std::uint8_t caching = 0;   // xml::CachingLevel
+  bool batching = false;
+  bool async_writes = false;
+};
+
+/// One writer rank's declared variable (with inline payload for scalars,
+/// which ride the metadata channel like ADIOS attributes).
+struct BlockInfo {
+  int writer_rank = 0;
+  adios::VarMeta meta;
+  std::vector<std::byte> scalar_payload;  // non-empty only for scalars
+};
+
+/// Writer coordinator -> reader coordinator: everything written this step.
+struct StepAnnounce {
+  StepId step = 0;
+  std::vector<BlockInfo> blocks;
+};
+
+/// One reader rank's selection of a global array.
+struct SelectionInfo {
+  int reader_rank = 0;
+  std::string var;
+  adios::Box box;
+};
+
+/// One reader rank's request for a writer rank's whole process group.
+struct PgRequestInfo {
+  int reader_rank = 0;
+  int writer_rank = 0;
+};
+
+/// Reader -> writer: deploy a Data Conditioning plug-in (mobile codelet
+/// source) against a variable, executing at the chosen side. Plug-ins ride
+/// inside the ReadRequest so every writer rank installs them at a
+/// deterministic point of its SPMD schedule.
+struct PluginInstall {
+  std::string var;
+  std::string source;       // CoD-mini source text
+  bool run_at_writer = true;
+};
+
+/// Reader coordinator -> writer coordinator: all reader selections.
+struct ReadRequest {
+  StepId step = 0;
+  std::vector<SelectionInfo> selections;
+  std::vector<PgRequestInfo> pg_requests;
+  std::vector<PluginInstall> plugins;
+};
+
+/// One transferred piece: a region of a global array (region == the
+/// overlap, payload is its dense pack) or a whole local-array block
+/// (process-group pattern; region == meta.block).
+struct DataPiece {
+  adios::VarMeta meta;
+  adios::Box region;
+  std::vector<std::byte> payload;
+};
+
+/// Writer rank -> reader rank. One piece per message without batching;
+/// all pieces of the (writer, reader, step) triple in one message with it.
+struct DataMsg {
+  StepId step = 0;
+  int writer_rank = 0;
+  std::vector<DataPiece> pieces;
+};
+
+/// Writer coordinator -> reader coordinator at close: aggregated writer-
+/// side monitoring (Section II.G "transferred to the analytics side").
+struct MonitorReport {
+  std::uint64_t steps = 0;
+  std::uint64_t bytes_sent = 0;
+  double pack_seconds = 0;
+  double handshake_seconds = 0;
+  double send_seconds = 0;
+  std::uint64_t handshakes_performed = 0;
+  std::uint64_t handshakes_skipped = 0;
+};
+
+/// Peek the type tag of an encoded message.
+StatusOr<MsgType> peek_type(ByteView raw);
+
+std::vector<std::byte> encode(const OpenRequest& m);
+std::vector<std::byte> encode(const OpenReply& m);
+std::vector<std::byte> encode(const StepAnnounce& m);
+std::vector<std::byte> encode(const ReadRequest& m);
+std::vector<std::byte> encode(const DataMsg& m);
+std::vector<std::byte> encode(const PluginInstall& m);
+std::vector<std::byte> encode(const MonitorReport& m);
+/// Close carries the final step id so readers that cache handshakes can
+/// tell whether data for earlier steps is still in flight on other links.
+std::vector<std::byte> encode_close(StepId last_step);
+StatusOr<StepId> decode_close(ByteView raw);
+
+StatusOr<OpenRequest> decode_open_request(ByteView raw);
+StatusOr<OpenReply> decode_open_reply(ByteView raw);
+StatusOr<StepAnnounce> decode_step_announce(ByteView raw);
+StatusOr<ReadRequest> decode_read_request(ByteView raw);
+StatusOr<DataMsg> decode_data(ByteView raw);
+StatusOr<PluginInstall> decode_plugin_install(ByteView raw);
+StatusOr<MonitorReport> decode_monitor_report(ByteView raw);
+
+}  // namespace flexio::wire

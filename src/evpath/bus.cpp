@@ -1,0 +1,161 @@
+#include "evpath/bus.h"
+
+#include <thread>
+
+#include "util/log.h"
+
+namespace flexio::evpath {
+
+Endpoint::Endpoint(MessageBus* bus, std::string name, Location location,
+                   LinkOptions options)
+    : bus_(bus),
+      name_(std::move(name)),
+      location_(location),
+      options_(options) {}
+
+Endpoint::~Endpoint() { bus_->remove(name_); }
+
+SendLink* Endpoint::outbound(const std::string& to) const {
+  const auto it = send_links_.find(to);
+  return it == send_links_.end() ? nullptr : it->second.get();
+}
+
+Status Endpoint::send(const std::string& to, ByteView msg, SendMode mode) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  SendLink* link = outbound(to);
+  if (link == nullptr) {
+    auto created = bus_->connect(this, to);
+    if (!created.is_ok()) return created.status();
+    link = created.value().get();
+    send_links_.emplace(to, std::move(created).value());
+  }
+  return link->send(msg, mode);
+}
+
+Status Endpoint::close_to(const std::string& to) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  SendLink* link = outbound(to);
+  if (link == nullptr) {
+    return make_error(ErrorCode::kNotFound, "no link to " + to);
+  }
+  return link->close();
+}
+
+Status Endpoint::recv(Message* out, std::chrono::nanoseconds timeout) {
+  return recv_from("", out, timeout);
+}
+
+Status Endpoint::recv_from(const std::string& from, Message* out,
+                           std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(recv_mutex_);
+      const std::size_t n = recv_links_.size();
+      for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t i = (rr_cursor_ + step) % n;
+        Inbound& in = recv_links_[i];
+        if (!from.empty() && in.from != from) continue;
+        bool got = false;
+        FLEXIO_RETURN_IF_ERROR(in.link->try_receive(out, &got));
+        if (!got) continue;
+        rr_cursor_ = (i + 1) % n;
+        if (out->eos) {
+          // Drop the link after its EOS is observed.
+          recv_links_.erase(recv_links_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+          if (rr_cursor_ >= recv_links_.size()) rr_cursor_ = 0;
+        }
+        return Status::ok();
+      }
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return make_error(ErrorCode::kTimeout,
+                        "recv timed out at " + name_ +
+                            (from.empty() ? "" : " waiting for " + from));
+    }
+    std::this_thread::yield();
+  }
+}
+
+StatusOr<TransportKind> Endpoint::transport_to(const std::string& to) const {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  const SendLink* link = outbound(to);
+  if (link == nullptr) {
+    return make_error(ErrorCode::kNotFound, "no link to " + to);
+  }
+  return link->kind();
+}
+
+LinkStats Endpoint::outbound_stats(const std::string& to) const {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  const SendLink* link = outbound(to);
+  return link == nullptr ? LinkStats{} : link->stats();
+}
+
+void Endpoint::attach_recv_link(const std::string& from,
+                                std::unique_ptr<RecvLink> link) {
+  std::lock_guard<std::mutex> lock(recv_mutex_);
+  recv_links_.push_back(Inbound{from, std::move(link)});
+}
+
+StatusOr<std::shared_ptr<Endpoint>> MessageBus::create_endpoint(
+    const std::string& name, Location location, LinkOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(name);
+  if (it != endpoints_.end() && !it->second.expired()) {
+    return make_error(ErrorCode::kAlreadyExists, "endpoint exists: " + name);
+  }
+  std::shared_ptr<Endpoint> ep(new Endpoint(this, name, location, options));
+  endpoints_[name] = ep;
+  return ep;
+}
+
+StatusOr<std::unique_ptr<SendLink>> MessageBus::connect(Endpoint* from,
+                                                        const std::string& to) {
+  std::shared_ptr<Endpoint> target;
+  std::uint64_t link_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(to);
+    if (it != endpoints_.end()) target = it->second.lock();
+    if (!target) {
+      return make_error(ErrorCode::kNotFound, "no such endpoint: " + to);
+    }
+    link_id = next_link_id_++;
+  }
+
+  std::pair<std::unique_ptr<SendLink>, std::unique_ptr<RecvLink>> pair;
+  if (from->location() == target->location()) {
+    pair = make_inproc_link(from->name(), from->options_);
+  } else if (from->location().node == target->location().node) {
+    pair = make_shm_link(from->name(), from->options_);
+  } else {
+    const std::string base = "link" + std::to_string(link_id);
+    auto tx = fabric_.create_nic(base + ":tx");
+    if (!tx.is_ok()) return tx.status();
+    auto rx = fabric_.create_nic(base + ":rx");
+    if (!rx.is_ok()) return rx.status();
+    FLEXIO_RETURN_IF_ERROR(
+        fabric_.connect(tx.value()->name(), rx.value()->name()));
+    pair = make_rdma_link(from->name(), from->options_, tx.value(),
+                          rx.value());
+  }
+  FLEXIO_LOG(kDebug) << from->name() << " -> " << to << " via "
+                     << transport_kind_name(pair.first->kind());
+  target->attach_recv_link(from->name(), std::move(pair.second));
+  return std::move(pair.first);
+}
+
+std::shared_ptr<Endpoint> MessageBus::lookup(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second.lock();
+}
+
+void MessageBus::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_.erase(name);
+}
+
+}  // namespace flexio::evpath

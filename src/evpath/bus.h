@@ -1,0 +1,116 @@
+// Endpoints and the message bus (EVPath process + connection management).
+//
+// An Endpoint stands in for one process's EVPath stack: it sends to named
+// peers and multiplexes receives over all inbound links. The MessageBus is
+// the in-process "network": it tracks endpoints by name and, on first
+// contact, builds the right link for the pair -- shared memory when both
+// endpoints sit on the same (simulated) node, the NNTI RDMA protocol when
+// they do not (paper Section II.B: transports are configured automatically
+// from placement). Endpoints on the same node *and* same rank slot use the
+// trivial in-process transport (inline placement).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "evpath/link.h"
+#include "evpath/message.h"
+#include "nnti/nnti.h"
+#include "util/status.h"
+
+namespace flexio::evpath {
+
+class MessageBus;
+
+class Endpoint {
+ public:
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Location& location() const { return location_; }
+
+  /// Send to a named endpoint, creating the link on first use.
+  Status send(const std::string& to, ByteView msg,
+              SendMode mode = SendMode::kAsync);
+
+  /// Close the outbound link to a peer (delivers EOS on its side).
+  Status close_to(const std::string& to);
+
+  /// Receive the next message from any peer. EOS messages are delivered
+  /// once per closed link (out->eos == true), after which the link is
+  /// dropped. Times out with kTimeout.
+  Status recv(Message* out, std::chrono::nanoseconds timeout);
+
+  /// Receive the next message from one specific peer; messages from other
+  /// peers stay queued on their links.
+  Status recv_from(const std::string& from, Message* out,
+                   std::chrono::nanoseconds timeout);
+
+  /// Transport used to reach a peer; kNotFound before the first send.
+  StatusOr<TransportKind> transport_to(const std::string& to) const;
+
+  /// Counters for the outbound link to `to` (zeroes before first send).
+  LinkStats outbound_stats(const std::string& to) const;
+
+ private:
+  friend class MessageBus;
+  Endpoint(MessageBus* bus, std::string name, Location location,
+           LinkOptions options);
+
+  void attach_recv_link(const std::string& from,
+                        std::unique_ptr<RecvLink> link);
+  SendLink* outbound(const std::string& to) const;
+
+  MessageBus* bus_;
+  std::string name_;
+  Location location_;
+  LinkOptions options_;
+
+  mutable std::mutex send_mutex_;
+  std::map<std::string, std::unique_ptr<SendLink>> send_links_;
+
+  mutable std::mutex recv_mutex_;
+  struct Inbound {
+    std::string from;
+    std::unique_ptr<RecvLink> link;
+  };
+  std::vector<Inbound> recv_links_;
+  std::size_t rr_cursor_ = 0;  // round-robin fairness across inbound links
+};
+
+class MessageBus {
+ public:
+  MessageBus() = default;
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Create a named endpoint at a location. Names must be unique among
+  /// live endpoints. The bus must outlive all endpoints it created.
+  StatusOr<std::shared_ptr<Endpoint>> create_endpoint(
+      const std::string& name, Location location, LinkOptions options = {});
+
+  /// The underlying fabric (fault injection for tests).
+  nnti::Fabric& fabric() { return fabric_; }
+
+ private:
+  friend class Endpoint;
+
+  /// Build a (send, recv) pair between two endpoints and attach the recv
+  /// side to the target. Called under the sender's send_mutex_.
+  StatusOr<std::unique_ptr<SendLink>> connect(Endpoint* from,
+                                              const std::string& to);
+  std::shared_ptr<Endpoint> lookup(const std::string& name);
+  void remove(const std::string& name);
+
+  std::mutex mutex_;
+  std::map<std::string, std::weak_ptr<Endpoint>> endpoints_;
+  nnti::Fabric fabric_;
+  std::uint64_t next_link_id_ = 1;
+};
+
+}  // namespace flexio::evpath

@@ -1,0 +1,50 @@
+#include "evpath/directory.h"
+
+namespace flexio::evpath {
+
+Status DirectoryServer::register_stream(const std::string& stream_name,
+                                        const std::string& coordinator_contact) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = streams_.emplace(stream_name, coordinator_contact);
+  if (!inserted) {
+    return make_error(ErrorCode::kAlreadyExists,
+                      "stream already registered: " + stream_name);
+  }
+  ++stats_.registrations;
+  cv_.notify_all();
+  return Status::ok();
+}
+
+Status DirectoryServer::unregister_stream(const std::string& stream_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (streams_.erase(stream_name) == 0) {
+    return make_error(ErrorCode::kNotFound,
+                      "stream not registered: " + stream_name);
+  }
+  return Status::ok();
+}
+
+StatusOr<std::string> DirectoryServer::lookup(const std::string& stream_name,
+                                              std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  auto it = streams_.find(stream_name);
+  if (it == streams_.end()) {
+    ++stats_.lookup_waits;
+    if (!cv_.wait_for(lock, timeout, [&] {
+          it = streams_.find(stream_name);
+          return it != streams_.end();
+        })) {
+      return make_error(ErrorCode::kNotFound,
+                        "stream never registered: " + stream_name);
+    }
+  }
+  return it->second;
+}
+
+DirectoryStats DirectoryServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace flexio::evpath

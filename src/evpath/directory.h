@@ -1,0 +1,52 @@
+// Directory server for stream discovery.
+//
+// Before any data moves, simulation and analytics find each other through
+// an external directory server (paper Section II.C.1): the writer's
+// coordinator registers a file name with its contact information; the
+// reader's coordinator looks the name up and connects. The server is only
+// involved in discovery -- it never sits on the data path -- which the
+// monitoring counters here make checkable.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace flexio::evpath {
+
+struct DirectoryStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t lookup_waits = 0;  // lookups that had to block for a writer
+};
+
+class DirectoryServer {
+ public:
+  /// Register a stream name with the writer coordinator's contact (its
+  /// endpoint name). Re-registering a live name fails.
+  Status register_stream(const std::string& stream_name,
+                         const std::string& coordinator_contact);
+
+  /// Remove a registration (stream closed).
+  Status unregister_stream(const std::string& stream_name);
+
+  /// Look up a stream's coordinator contact, waiting up to `timeout` for a
+  /// writer to register it (readers may open before writers create).
+  StatusOr<std::string> lookup(const std::string& stream_name,
+                               std::chrono::nanoseconds timeout);
+
+  DirectoryStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::string> streams_;
+  DirectoryStats stats_;
+};
+
+}  // namespace flexio::evpath

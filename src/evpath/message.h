@@ -1,0 +1,41 @@
+// Message and addressing types for the EVPath-like layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace flexio::evpath {
+
+/// Placement of an endpoint on the (real or simulated) machine. Transport
+/// selection keys off it: same node -> shared memory, different node ->
+/// RDMA (paper Section II.B: "intra- vs inter-node transports are
+/// automatically configured according to the placements").
+struct Location {
+  int node = 0;
+  int rank = 0;  // slot within its program, for diagnostics
+
+  friend bool operator==(const Location&, const Location&) = default;
+};
+
+/// Which low-level transport a link uses.
+enum class TransportKind { kInproc, kShm, kRdma };
+
+std::string_view transport_kind_name(TransportKind kind);
+
+/// One received message. `eos` marks the peer's clean close of the link;
+/// payload is empty in that case.
+struct Message {
+  std::string from;
+  std::vector<std::byte> payload;
+  bool eos = false;
+};
+
+/// Delivery semantics for sends.
+enum class SendMode {
+  kAsync,  // return once the payload is safely buffered
+  kSync,   // return once the receiver has consumed the payload
+};
+
+}  // namespace flexio::evpath

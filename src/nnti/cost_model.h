@@ -1,0 +1,50 @@
+// Timing model for RDMA transfers on the simulated interconnects.
+//
+// Drives the Figure 4 reproduction (point-to-point RDMA Get bandwidth with
+// dynamic vs. static buffer allocation+registration on the Cray XK6) and
+// the data-movement costs inside the coupled-pipeline simulations. A
+// transfer costs one NIC latency plus serialization at the NIC bandwidth;
+// dynamically-registered transfers additionally pay a fixed setup (page
+// table walks, NIC doorbells) plus a per-byte pinning cost.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/machine.h"
+
+namespace flexio::nnti {
+
+class RdmaCostModel {
+ public:
+  explicit RdmaCostModel(const sim::MachineDesc& machine)
+      : bw_(machine.nic_bw),
+        latency_(machine.nic_latency),
+        reg_base_(machine.rdma_reg_base),
+        reg_per_byte_(machine.rdma_reg_per_byte) {}
+
+  /// Seconds for a point-to-point transfer of `bytes`.
+  double transfer_time(std::size_t bytes, bool dynamic_registration) const {
+    double t = latency_ + static_cast<double>(bytes) / bw_;
+    if (dynamic_registration) {
+      t += reg_base_ + static_cast<double>(bytes) * reg_per_byte_;
+    }
+    return t;
+  }
+
+  /// Achieved bandwidth (bytes/s) for the Figure 4 sweep.
+  double bandwidth(std::size_t bytes, bool dynamic_registration) const {
+    return static_cast<double>(bytes) /
+           transfer_time(bytes, dynamic_registration);
+  }
+
+  /// Peak link bandwidth (the asymptote of the static curve).
+  double peak_bandwidth() const { return bw_; }
+
+ private:
+  double bw_;
+  double latency_;
+  double reg_base_;
+  double reg_per_byte_;
+};
+
+}  // namespace flexio::nnti

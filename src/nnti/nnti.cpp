@@ -1,0 +1,178 @@
+#include "nnti/nnti.h"
+
+#include <cstring>
+
+namespace flexio::nnti {
+
+Nic::Nic(Fabric* fabric, std::string name, std::size_t queue_depth)
+    : fabric_(fabric), name_(std::move(name)), queue_depth_(queue_depth) {}
+
+Nic::~Nic() { fabric_->remove(name_); }
+
+StatusOr<MemRegion> Nic::register_memory(void* addr, std::size_t len) {
+  if (addr == nullptr || len == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "cannot register empty region");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t key = next_key_++;
+  regions_[key] = Region{static_cast<std::byte*>(addr), len};
+  ++stats_.registrations;
+  return MemRegion{key, len};
+}
+
+Status Nic::unregister_memory(const MemRegion& region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (regions_.erase(region.key) == 0) {
+    return make_error(ErrorCode::kNotFound, "region not registered");
+  }
+  ++stats_.deregistrations;
+  return Status::ok();
+}
+
+Status Nic::put_message(const std::string& peer, ByteView msg) {
+  FLEXIO_RETURN_IF_ERROR(fabric_->inject(Op::kPutMessage, name_, peer));
+  std::shared_ptr<Nic> target = fabric_->lookup(peer);
+  if (!target) {
+    return make_error(ErrorCode::kUnavailable, "peer gone: " + peer);
+  }
+  const Status st = target->deliver(msg);
+  if (st.is_ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.messages_sent;
+  }
+  return st;
+}
+
+Status Nic::deliver(ByteView msg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (message_queue_.size() >= queue_depth_) {
+    return make_error(ErrorCode::kResourceExhausted,
+                      "message queue full at " + name_);
+  }
+  message_queue_.emplace_back(msg.begin(), msg.end());
+  queue_cv_.notify_one();
+  return Status::ok();
+}
+
+Status Nic::poll_message(std::vector<std::byte>* out,
+                         std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!queue_cv_.wait_for(lock, timeout,
+                          [this] { return !message_queue_.empty(); })) {
+    return make_error(ErrorCode::kTimeout, "poll_message timed out");
+  }
+  *out = std::move(message_queue_.front());
+  message_queue_.pop_front();
+  ++stats_.messages_received;
+  return Status::ok();
+}
+
+Status Nic::read_region(std::uint64_t key, std::uint64_t offset,
+                        MutableByteView dst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = regions_.find(key);
+  if (it == regions_.end()) {
+    return make_error(ErrorCode::kNotFound, "remote region not registered");
+  }
+  if (offset + dst.size() > it->second.len) {
+    return make_error(ErrorCode::kOutOfRange, "RDMA get out of bounds");
+  }
+  std::memcpy(dst.data(), it->second.addr + offset, dst.size());
+  return Status::ok();
+}
+
+Status Nic::write_region(std::uint64_t key, std::uint64_t offset,
+                         ByteView src) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = regions_.find(key);
+  if (it == regions_.end()) {
+    return make_error(ErrorCode::kNotFound, "remote region not registered");
+  }
+  if (offset + src.size() > it->second.len) {
+    return make_error(ErrorCode::kOutOfRange, "RDMA put out of bounds");
+  }
+  std::memcpy(it->second.addr + offset, src.data(), src.size());
+  return Status::ok();
+}
+
+Status Nic::get(const std::string& peer, const MemRegion& remote,
+                std::uint64_t offset, MutableByteView dst) {
+  FLEXIO_RETURN_IF_ERROR(fabric_->inject(Op::kGet, name_, peer));
+  std::shared_ptr<Nic> target = fabric_->lookup(peer);
+  if (!target) {
+    return make_error(ErrorCode::kUnavailable, "peer gone: " + peer);
+  }
+  FLEXIO_RETURN_IF_ERROR(target->read_region(remote.key, offset, dst));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.gets;
+  stats_.bytes_get += dst.size();
+  return Status::ok();
+}
+
+Status Nic::put(const std::string& peer, ByteView src, const MemRegion& remote,
+                std::uint64_t offset) {
+  FLEXIO_RETURN_IF_ERROR(fabric_->inject(Op::kPut, name_, peer));
+  std::shared_ptr<Nic> target = fabric_->lookup(peer);
+  if (!target) {
+    return make_error(ErrorCode::kUnavailable, "peer gone: " + peer);
+  }
+  FLEXIO_RETURN_IF_ERROR(target->write_region(remote.key, offset, src));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.puts;
+  stats_.bytes_put += src.size();
+  return Status::ok();
+}
+
+NicStats Nic::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+StatusOr<std::shared_ptr<Nic>> Fabric::create_nic(const std::string& name,
+                                                  std::size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = nics_.find(name);
+  if (it != nics_.end() && !it->second.expired()) {
+    return make_error(ErrorCode::kAlreadyExists, "nic exists: " + name);
+  }
+  std::shared_ptr<Nic> nic(new Nic(this, name, queue_depth));
+  nics_[name] = nic;
+  return nic;
+}
+
+Status Fabric::connect(const std::string& from, const std::string& to) {
+  FLEXIO_RETURN_IF_ERROR(inject(Op::kConnect, from, to));
+  if (!lookup(to)) {
+    return make_error(ErrorCode::kNotFound, "no such peer: " + to);
+  }
+  return Status::ok();
+}
+
+void Fabric::set_fault_injector(FaultInjector injector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  injector_ = std::move(injector);
+}
+
+std::shared_ptr<Nic> Fabric::lookup(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = nics_.find(name);
+  return it == nics_.end() ? nullptr : it->second.lock();
+}
+
+Status Fabric::inject(Op op, const std::string& local,
+                      const std::string& peer) {
+  FaultInjector injector;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injector = injector_;
+  }
+  return injector ? injector(op, local, peer) : Status::ok();
+}
+
+void Fabric::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nics_.erase(name);
+}
+
+}  // namespace flexio::nnti

@@ -1,0 +1,96 @@
+#include "nnti/registration_cache.h"
+
+#include <bit>
+
+namespace flexio::nnti {
+
+RegistrationCache::RegistrationCache(Nic* nic, std::size_t capacity_bytes)
+    : nic_(nic), capacity_bytes_(capacity_bytes) {
+  FLEXIO_CHECK(nic != nullptr);
+  FLEXIO_CHECK(capacity_bytes >= kMinClassBytes);
+}
+
+RegistrationCache::~RegistrationCache() {
+  for (auto& shelf : shelves_) {
+    for (RegisteredBuffer& buf : shelf) {
+      (void)nic_->unregister_memory(buf.region);
+      delete[] buf.data;
+    }
+  }
+}
+
+std::uint32_t RegistrationCache::class_for(std::size_t size) {
+  if (size <= kMinClassBytes) return 0;
+  const auto rounded = std::bit_ceil(size);
+  return static_cast<std::uint32_t>(std::countr_zero(rounded) -
+                                    std::countr_zero(kMinClassBytes));
+}
+
+std::size_t RegistrationCache::class_capacity(std::uint32_t size_class) {
+  return kMinClassBytes << size_class;
+}
+
+StatusOr<RegisteredBuffer> RegistrationCache::acquire(std::size_t size) {
+  const std::uint32_t cls = class_for(size);
+  const std::size_t cap = class_capacity(cls);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.acquisitions;
+  if (cls >= shelves_.size()) shelves_.resize(cls + 1);
+  auto& shelf = shelves_[cls];
+  if (!shelf.empty()) {
+    RegisteredBuffer buf = shelf.back();
+    shelf.pop_back();
+    ++stats_.hits;
+    return buf;
+  }
+  // Reclaim free buffers elsewhere if we're over budget before growing.
+  if (stats_.bytes_held + cap > capacity_bytes_) {
+    for (auto& other : shelves_) {
+      while (!other.empty() && stats_.bytes_held + cap > capacity_bytes_) {
+        reclaim_locked(other.back());
+        other.pop_back();
+      }
+    }
+  }
+  RegisteredBuffer buf;
+  buf.data = new std::byte[cap];
+  buf.capacity = cap;
+  buf.size_class = cls;
+  auto region = nic_->register_memory(buf.data, cap);
+  if (!region.is_ok()) {
+    delete[] buf.data;
+    return region.status();
+  }
+  buf.region = region.value();
+  ++stats_.registrations;
+  stats_.bytes_held += cap;
+  return buf;
+}
+
+void RegistrationCache::release(RegisteredBuffer buffer) {
+  if (!buffer) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.bytes_held > capacity_bytes_) {
+    reclaim_locked(buffer);
+    return;
+  }
+  FLEXIO_CHECK(buffer.size_class < shelves_.size());
+  shelves_[buffer.size_class].push_back(buffer);
+}
+
+void RegistrationCache::reclaim_locked(RegisteredBuffer& buf) {
+  (void)nic_->unregister_memory(buf.region);
+  delete[] buf.data;
+  FLEXIO_CHECK(stats_.bytes_held >= buf.capacity);
+  stats_.bytes_held -= buf.capacity;
+  ++stats_.reclamations;
+  buf.data = nullptr;
+}
+
+RegistrationCacheStats RegistrationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace flexio::nnti

@@ -1,0 +1,71 @@
+// Persistent buffer + registration cache for RDMA transfers.
+//
+// Dynamic buffer allocation and memory registration dominate RDMA costs
+// (paper Figure 4), especially for particle codes whose output size changes
+// every timestep. Like MPI and Charm++, FlexIO keeps allocated *and
+// registered* buffers in a pool and reuses them whenever possible; a
+// configurable threshold bounds total memory and triggers reclamation
+// (Section II.E).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "nnti/nnti.h"
+#include "util/status.h"
+
+namespace flexio::nnti {
+
+/// A pooled, registered buffer. `region` is what remote peers Get from.
+struct RegisteredBuffer {
+  std::byte* data = nullptr;
+  std::size_t capacity = 0;
+  std::uint32_t size_class = 0;
+  MemRegion region;
+
+  explicit operator bool() const { return data != nullptr; }
+};
+
+struct RegistrationCacheStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t hits = 0;           // registration avoided
+  std::uint64_t registrations = 0;  // fresh allocate+register
+  std::uint64_t reclamations = 0;   // freed+deregistered over threshold
+  std::size_t bytes_held = 0;       // free + in-use
+};
+
+class RegistrationCache {
+ public:
+  /// `nic` must outlive the cache. `capacity_bytes` is the reclamation
+  /// threshold on total held memory.
+  RegistrationCache(Nic* nic, std::size_t capacity_bytes);
+  ~RegistrationCache();
+
+  RegistrationCache(const RegistrationCache&) = delete;
+  RegistrationCache& operator=(const RegistrationCache&) = delete;
+
+  /// A registered buffer with capacity >= size, reused when possible.
+  StatusOr<RegisteredBuffer> acquire(std::size_t size);
+
+  /// Return a buffer to the pool (kept registered) or reclaim it when the
+  /// pool is over threshold (freed and deregistered).
+  void release(RegisteredBuffer buffer);
+
+  RegistrationCacheStats stats() const;
+
+  static constexpr std::size_t kMinClassBytes = 256;
+  static std::uint32_t class_for(std::size_t size);
+  static std::size_t class_capacity(std::uint32_t size_class);
+
+ private:
+  void reclaim_locked(RegisteredBuffer& buf);
+
+  Nic* nic_;
+  std::size_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<RegisteredBuffer>> shelves_;
+  RegistrationCacheStats stats_;
+};
+
+}  // namespace flexio::nnti

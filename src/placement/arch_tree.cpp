@@ -1,0 +1,93 @@
+#include "placement/arch_tree.h"
+
+namespace flexio::placement {
+
+namespace {
+
+/// Relative costs derived from the machine's bandwidth ratios: talking
+/// within a NUMA domain is cheapest, across domains dearer, across nodes
+/// dearest. Only the ordering matters to the mapper.
+double node_cost(const sim::MachineDesc& m) { return 1.0 / m.nic_bw; }
+double socket_cost(const sim::MachineDesc& m) { return 1.0 / m.mem_bw_remote; }
+double core_cost(const sim::MachineDesc& m) { return 1.0 / m.mem_bw_local; }
+
+}  // namespace
+
+ArchTree ArchTree::two_level(const sim::MachineDesc& machine, int nodes_used) {
+  FLEXIO_CHECK(nodes_used >= 1 && nodes_used <= machine.num_nodes);
+  ArchTree tree;
+  tree.machine_ = machine;
+  tree.root_ = std::make_unique<ArchNode>();
+  tree.root_->link_cost = node_cost(machine);
+  tree.root_->first_core = 0;
+  tree.root_->cores = static_cast<long>(nodes_used) * machine.cores_per_node();
+  for (int n = 0; n < nodes_used; ++n) {
+    auto node = std::make_unique<ArchNode>();
+    node->link_cost = core_cost(machine);
+    node->first_core = static_cast<long>(n) * machine.cores_per_node();
+    node->cores = machine.cores_per_node();
+    for (int c = 0; c < machine.cores_per_node(); ++c) {
+      auto core = std::make_unique<ArchNode>();
+      core->link_cost = 0;
+      core->first_core = node->first_core + c;
+      core->cores = 1;
+      node->children.push_back(std::move(core));
+    }
+    tree.root_->children.push_back(std::move(node));
+  }
+  return tree;
+}
+
+ArchTree ArchTree::topology_aware(const sim::MachineDesc& machine,
+                                  int nodes_used) {
+  FLEXIO_CHECK(nodes_used >= 1 && nodes_used <= machine.num_nodes);
+  ArchTree tree;
+  tree.machine_ = machine;
+  tree.root_ = std::make_unique<ArchNode>();
+  tree.root_->link_cost = node_cost(machine);
+  tree.root_->first_core = 0;
+  tree.root_->cores = static_cast<long>(nodes_used) * machine.cores_per_node();
+  for (int n = 0; n < nodes_used; ++n) {
+    auto node = std::make_unique<ArchNode>();
+    node->link_cost = socket_cost(machine);
+    node->first_core = static_cast<long>(n) * machine.cores_per_node();
+    node->cores = machine.cores_per_node();
+    for (int s = 0; s < machine.sockets_per_node; ++s) {
+      auto socket = std::make_unique<ArchNode>();
+      socket->link_cost = core_cost(machine);
+      socket->first_core =
+          node->first_core + static_cast<long>(s) * machine.cores_per_socket;
+      socket->cores = machine.cores_per_socket;
+      for (int c = 0; c < machine.cores_per_socket; ++c) {
+        auto core = std::make_unique<ArchNode>();
+        core->link_cost = 0;
+        core->first_core = socket->first_core + c;
+        core->cores = 1;
+        socket->children.push_back(std::move(core));
+      }
+      node->children.push_back(std::move(socket));
+    }
+    tree.root_->children.push_back(std::move(node));
+  }
+  return tree;
+}
+
+double ArchTree::core_distance(long a, long b) const {
+  if (a == b) return 0;
+  const ArchNode* node = root_.get();
+  for (;;) {
+    const ArchNode* child_with_both = nullptr;
+    for (const auto& child : node->children) {
+      const long lo = child->first_core;
+      const long hi = child->first_core + child->cores;
+      if (a >= lo && a < hi && b >= lo && b < hi) {
+        child_with_both = child.get();
+        break;
+      }
+    }
+    if (child_with_both == nullptr) return node->link_cost;
+    node = child_with_both;
+  }
+}
+
+}  // namespace flexio::placement

@@ -1,0 +1,54 @@
+// Architecture trees: the machine model placement maps onto.
+//
+// The holistic policy models the target machine as a two-level tree (cores
+// of one node are siblings with cheaper communication than cores on
+// different nodes); the node-topology-aware policy extends it to a
+// multi-level hierarchy whose intermediate levels follow the cache/NUMA
+// topology (paper Section III.B.2-3, Figure 5). Leaves are cores,
+// identified by the global core id of sim::MachineDesc.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/status.h"
+
+namespace flexio::placement {
+
+struct ArchNode {
+  // Relative cost of communication between children of this node; smaller
+  // is closer (used by the mapper to prioritize keeping heavy edges deep).
+  double link_cost = 1.0;
+  long first_core = 0;  // leaves covered: [first_core, first_core + cores)
+  long cores = 1;
+  std::vector<std::unique_ptr<ArchNode>> children;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+class ArchTree {
+ public:
+  /// Two-level tree over the first `nodes_used` nodes: machine -> node ->
+  /// core (the holistic policy's model).
+  static ArchTree two_level(const sim::MachineDesc& machine, int nodes_used);
+
+  /// Multi-level tree: machine -> node -> socket (NUMA domain) -> core
+  /// (the node-topology-aware policy's model).
+  static ArchTree topology_aware(const sim::MachineDesc& machine,
+                                 int nodes_used);
+
+  const ArchNode& root() const { return *root_; }
+  long total_cores() const { return root_->cores; }
+  const sim::MachineDesc& machine() const { return machine_; }
+
+  /// Relative communication cost between two cores: the link cost of their
+  /// lowest common ancestor (0 for the same core).
+  double core_distance(long a, long b) const;
+
+ private:
+  std::unique_ptr<ArchNode> root_;
+  sim::MachineDesc machine_;
+};
+
+}  // namespace flexio::placement

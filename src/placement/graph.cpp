@@ -1,0 +1,143 @@
+#include "placement/graph.h"
+
+#include <cmath>
+
+namespace flexio::placement {
+
+CommGraph::CommGraph(int num_vertices)
+    : adjacency_(static_cast<std::size_t>(num_vertices)) {
+  FLEXIO_CHECK(num_vertices >= 0);
+}
+
+void CommGraph::add_edge(int u, int v, double weight) {
+  FLEXIO_CHECK(u >= 0 && u < size() && v >= 0 && v < size());
+  if (u == v || weight <= 0) return;
+  adjacency_[static_cast<std::size_t>(u)][v] += weight;
+  adjacency_[static_cast<std::size_t>(v)][u] += weight;
+}
+
+double CommGraph::edge_weight(int u, int v) const {
+  const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+  const auto it = adj.find(v);
+  return it == adj.end() ? 0.0 : it->second;
+}
+
+double CommGraph::total_weight() const {
+  double total = 0;
+  for (int u = 0; u < size(); ++u) {
+    for (const auto& [v, w] : neighbors(u)) {
+      if (v > u) total += w;
+    }
+  }
+  return total;
+}
+
+double CommGraph::cut_weight(const std::vector<int>& part) const {
+  FLEXIO_CHECK(part.size() == adjacency_.size());
+  double cut = 0;
+  for (int u = 0; u < size(); ++u) {
+    for (const auto& [v, w] : neighbors(u)) {
+      if (v > u && part[static_cast<std::size_t>(u)] !=
+                       part[static_cast<std::size_t>(v)]) {
+        cut += w;
+      }
+    }
+  }
+  return cut;
+}
+
+CommGraph build_coupled_graph(
+    const std::vector<std::vector<std::uint64_t>>& inter,
+    const std::vector<std::vector<double>>& sim_intra,
+    const std::vector<std::vector<double>>& analytics_intra) {
+  const int writers = static_cast<int>(inter.size());
+  const int readers = writers > 0 ? static_cast<int>(inter[0].size()) : 0;
+  CommGraph graph(writers + readers);
+  for (int w = 0; w < writers; ++w) {
+    for (int r = 0; r < readers; ++r) {
+      graph.add_edge(w, writers + r,
+                     static_cast<double>(inter[static_cast<std::size_t>(w)]
+                                              [static_cast<std::size_t>(r)]));
+    }
+  }
+  for (std::size_t u = 0; u < sim_intra.size(); ++u) {
+    for (std::size_t v = u + 1; v < sim_intra[u].size(); ++v) {
+      graph.add_edge(static_cast<int>(u), static_cast<int>(v),
+                     sim_intra[u][v]);
+    }
+  }
+  for (std::size_t u = 0; u < analytics_intra.size(); ++u) {
+    for (std::size_t v = u + 1; v < analytics_intra[u].size(); ++v) {
+      graph.add_edge(writers + static_cast<int>(u),
+                     writers + static_cast<int>(v), analytics_intra[u][v]);
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// Most-square factorization of n into (rows, cols).
+std::pair<int, int> square_factor(int n) {
+  int rows = static_cast<int>(std::sqrt(static_cast<double>(n)));
+  while (rows > 1 && n % rows != 0) --rows;
+  return {rows, n / rows};
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> grid2d_traffic(int ranks,
+                                                double bytes_per_neighbor) {
+  std::vector<std::vector<double>> m(
+      static_cast<std::size_t>(ranks),
+      std::vector<double>(static_cast<std::size_t>(ranks), 0.0));
+  const auto [rows, cols] = square_factor(ranks);
+  auto id = [cols = cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (r + 1 < rows) {
+        m[static_cast<std::size_t>(id(r, c))]
+         [static_cast<std::size_t>(id(r + 1, c))] = bytes_per_neighbor;
+        m[static_cast<std::size_t>(id(r + 1, c))]
+         [static_cast<std::size_t>(id(r, c))] = bytes_per_neighbor;
+      }
+      if (c + 1 < cols) {
+        m[static_cast<std::size_t>(id(r, c))]
+         [static_cast<std::size_t>(id(r, c + 1))] = bytes_per_neighbor;
+        m[static_cast<std::size_t>(id(r, c + 1))]
+         [static_cast<std::size_t>(id(r, c))] = bytes_per_neighbor;
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> grid3d_traffic(int ranks,
+                                                double bytes_per_neighbor) {
+  // Factor into the most-cubic (x, y, z).
+  int x = static_cast<int>(std::cbrt(static_cast<double>(ranks)));
+  while (x > 1 && ranks % x != 0) --x;
+  const auto [y, z] = square_factor(ranks / x);
+  std::vector<std::vector<double>> m(
+      static_cast<std::size_t>(ranks),
+      std::vector<double>(static_cast<std::size_t>(ranks), 0.0));
+  auto id = [y = y, z = z](int i, int j, int k) { return (i * y + j) * z + k; };
+  auto link = [&m, bytes_per_neighbor](int a, int b) {
+    m[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+        bytes_per_neighbor;
+    m[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] =
+        bytes_per_neighbor;
+  };
+  for (int i = 0; i < x; ++i) {
+    for (int j = 0; j < y; ++j) {
+      for (int k = 0; k < z; ++k) {
+        if (i + 1 < x) link(id(i, j, k), id(i + 1, j, k));
+        if (j + 1 < y) link(id(i, j, k), id(i, j + 1, k));
+        if (k + 1 < z) link(id(i, j, k), id(i, j, k + 1));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace flexio::placement

@@ -1,0 +1,64 @@
+// Weighted communication graphs for placement decisions.
+//
+// Vertices are processes (simulation ranks followed by analytics ranks);
+// edge weights are bytes moved per I/O interval. The holistic policy
+// records both inter-program movement (from the FlexIO transfer plan) and
+// intra-program MPI traffic (from the application's communication pattern)
+// in one graph (paper Section III.B.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace flexio::placement {
+
+class CommGraph {
+ public:
+  explicit CommGraph(int num_vertices);
+
+  int size() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Accumulate symmetric edge weight (self-edges are ignored).
+  void add_edge(int u, int v, double weight);
+
+  /// Neighbors of u with accumulated weights.
+  const std::map<int, double>& neighbors(int u) const {
+    return adjacency_[static_cast<std::size_t>(u)];
+  }
+
+  double edge_weight(int u, int v) const;
+
+  /// Sum of all edge weights (each edge once).
+  double total_weight() const;
+
+  /// Sum of weights of edges crossing between different parts.
+  double cut_weight(const std::vector<int>& part) const;
+
+ private:
+  std::vector<std::map<int, double>> adjacency_;
+};
+
+/// Build the coupled-run graph: vertices [0, W) are simulation ranks,
+/// [W, W+R) analytics ranks. `inter` is the W x R transfer volume matrix;
+/// `sim_intra` / `analytics_intra` are optional square matrices of
+/// program-internal traffic (pass empty to ignore, as data-aware mapping
+/// does).
+CommGraph build_coupled_graph(
+    const std::vector<std::vector<std::uint64_t>>& inter,
+    const std::vector<std::vector<double>>& sim_intra,
+    const std::vector<std::vector<double>>& analytics_intra);
+
+/// Intra-program traffic of a 2-D nearest-neighbour halo pattern (GTS-like
+/// grids): ranks arranged in the most-square grid, each exchanging
+/// `bytes_per_neighbor` with each grid neighbour.
+std::vector<std::vector<double>> grid2d_traffic(int ranks,
+                                                double bytes_per_neighbor);
+
+/// Same for a 3-D block decomposition (S3D-like).
+std::vector<std::vector<double>> grid3d_traffic(int ranks,
+                                                double bytes_per_neighbor);
+
+}  // namespace flexio::placement

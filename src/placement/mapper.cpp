@@ -1,0 +1,75 @@
+#include "placement/mapper.h"
+
+#include "placement/partitioner.h"
+
+namespace flexio::placement {
+
+namespace {
+
+Status assign(const CommGraph& graph, const ArchNode& node,
+              const std::vector<int>& vertices, std::vector<long>* core_of) {
+  if (vertices.empty()) return Status::ok();
+  if (node.is_leaf()) {
+    if (vertices.size() != 1) {
+      return make_error(ErrorCode::kInternal, "leaf overcommitted");
+    }
+    (*core_of)[static_cast<std::size_t>(vertices[0])] = node.first_core;
+    return Status::ok();
+  }
+  // First-fit capacities.
+  std::vector<int> sizes;
+  int remaining = static_cast<int>(vertices.size());
+  for (const auto& child : node.children) {
+    const int take = std::min<int>(static_cast<int>(child->cores), remaining);
+    sizes.push_back(take);
+    remaining -= take;
+  }
+  if (remaining > 0) {
+    return make_error(ErrorCode::kResourceExhausted,
+                      "more processes than cores in subtree");
+  }
+  auto parts = partition_subset(graph, vertices, sizes);
+  if (!parts.is_ok()) return parts.status();
+  for (std::size_t child = 0; child < node.children.size(); ++child) {
+    std::vector<int> sub;
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      if (parts.value()[i] == static_cast<int>(child)) {
+        sub.push_back(vertices[i]);
+      }
+    }
+    FLEXIO_RETURN_IF_ERROR(
+        assign(graph, *node.children[child], sub, core_of));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<long>> map_graph(const CommGraph& graph,
+                                      const ArchTree& tree) {
+  if (graph.size() > tree.total_cores()) {
+    return make_error(ErrorCode::kResourceExhausted,
+                      "more processes than cores");
+  }
+  std::vector<long> core_of(static_cast<std::size_t>(graph.size()), -1);
+  std::vector<int> all(static_cast<std::size_t>(graph.size()));
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  FLEXIO_RETURN_IF_ERROR(assign(graph, tree.root(), all, &core_of));
+  return core_of;
+}
+
+double mapping_cost(const CommGraph& graph, const ArchTree& tree,
+                    const std::vector<long>& core_of) {
+  double cost = 0;
+  for (int u = 0; u < graph.size(); ++u) {
+    for (const auto& [v, w] : graph.neighbors(u)) {
+      if (v > u) {
+        cost += w * tree.core_distance(core_of[static_cast<std::size_t>(u)],
+                                       core_of[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace flexio::placement

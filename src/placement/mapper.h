@@ -1,0 +1,27 @@
+// Graph-to-architecture-tree mapping (SCOTCH-style dual recursive
+// bipartitioning).
+//
+// At each tree node the vertex set is partitioned among the children with
+// sizes bounded by each child's core capacity; heavy edges therefore sink
+// as deep into the hierarchy as possible (same socket before same node
+// before same machine). The result assigns every process a distinct core.
+#pragma once
+
+#include "placement/arch_tree.h"
+#include "placement/graph.h"
+#include "util/status.h"
+
+namespace flexio::placement {
+
+/// Map every vertex of `graph` to a distinct core of `tree`. Requires
+/// graph.size() <= tree.total_cores(). Children are filled first-fit, so
+/// the mapping is compact (uses the fewest nodes the capacities allow).
+StatusOr<std::vector<long>> map_graph(const CommGraph& graph,
+                                      const ArchTree& tree);
+
+/// Communication cost of a mapping: sum over edges of weight x
+/// core_distance (the mapper's objective; exposed for tests/benches).
+double mapping_cost(const CommGraph& graph, const ArchTree& tree,
+                    const std::vector<long>& core_of);
+
+}  // namespace flexio::placement

@@ -1,0 +1,345 @@
+#include "placement/partitioner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace flexio::placement {
+
+namespace {
+
+/// Compact weighted graph used internally (vertex weights track how many
+/// original vertices a coarse vertex represents).
+struct WGraph {
+  std::vector<std::vector<std::pair<int, double>>> adj;
+  std::vector<int> vweight;
+
+  int size() const { return static_cast<int>(adj.size()); }
+};
+
+WGraph subgraph_of(const CommGraph& graph, const std::vector<int>& vertices) {
+  std::vector<int> local(static_cast<std::size_t>(graph.size()), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    local[static_cast<std::size_t>(vertices[i])] = static_cast<int>(i);
+  }
+  WGraph out;
+  out.adj.resize(vertices.size());
+  out.vweight.assign(vertices.size(), 1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (const auto& [v, w] : graph.neighbors(vertices[i])) {
+      const int lv = local[static_cast<std::size_t>(v)];
+      if (lv >= 0 && lv != static_cast<int>(i)) {
+        out.adj[i].emplace_back(lv, w);
+      }
+    }
+  }
+  return out;
+}
+
+/// Heavy-edge matching coarsening: returns the coarse graph and the map
+/// fine-vertex -> coarse-vertex.
+std::pair<WGraph, std::vector<int>> coarsen(const WGraph& g) {
+  const int n = g.size();
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  // Visit vertices in order of decreasing total weight for better matches.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> degree(static_cast<std::size_t>(n), 0.0);
+  for (int u = 0; u < n; ++u) {
+    for (const auto& [v, w] : g.adj[static_cast<std::size_t>(u)]) degree[static_cast<std::size_t>(u)] += w;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return degree[static_cast<std::size_t>(a)] >
+           degree[static_cast<std::size_t>(b)];
+  });
+  for (int u : order) {
+    if (match[static_cast<std::size_t>(u)] >= 0) continue;
+    int best = -1;
+    double best_w = -1;
+    for (const auto& [v, w] : g.adj[static_cast<std::size_t>(u)]) {
+      if (match[static_cast<std::size_t>(v)] < 0 && v != u && w > best_w) {
+        best = v;
+        best_w = w;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(u)] = best;
+      match[static_cast<std::size_t>(best)] = u;
+    } else {
+      match[static_cast<std::size_t>(u)] = u;  // unmatched stays alone
+    }
+  }
+  std::vector<int> coarse_of(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  for (int u = 0; u < n; ++u) {
+    if (coarse_of[static_cast<std::size_t>(u)] >= 0) continue;
+    const int m = match[static_cast<std::size_t>(u)];
+    coarse_of[static_cast<std::size_t>(u)] = next;
+    coarse_of[static_cast<std::size_t>(m)] = next;
+    ++next;
+  }
+  WGraph coarse;
+  coarse.adj.resize(static_cast<std::size_t>(next));
+  coarse.vweight.assign(static_cast<std::size_t>(next), 0);
+  for (int u = 0; u < n; ++u) {
+    coarse.vweight[static_cast<std::size_t>(
+        coarse_of[static_cast<std::size_t>(u)])] +=
+        g.vweight[static_cast<std::size_t>(u)];
+  }
+  // Accumulate coarse edges through a map per coarse vertex.
+  std::vector<std::map<int, double>> acc(static_cast<std::size_t>(next));
+  for (int u = 0; u < n; ++u) {
+    const int cu = coarse_of[static_cast<std::size_t>(u)];
+    for (const auto& [v, w] : g.adj[static_cast<std::size_t>(u)]) {
+      const int cv = coarse_of[static_cast<std::size_t>(v)];
+      if (cu != cv) acc[static_cast<std::size_t>(cu)][cv] += w;
+    }
+  }
+  for (int c = 0; c < next; ++c) {
+    for (const auto& [v, w] : acc[static_cast<std::size_t>(c)]) {
+      coarse.adj[static_cast<std::size_t>(c)].emplace_back(v, w);
+    }
+  }
+  return {std::move(coarse), std::move(coarse_of)};
+}
+
+/// Greedy region growing on the (coarsest) graph: grow side 0 from the
+/// heaviest vertex until its vertex weight reaches `target0`.
+std::vector<int> grow_bisection(const WGraph& g, int target0) {
+  const int n = g.size();
+  std::vector<int> side(static_cast<std::size_t>(n), 1);
+  if (target0 <= 0) return side;
+  std::vector<double> attraction(static_cast<std::size_t>(n), 0.0);
+  // Seed: heaviest-degree vertex.
+  int seed = 0;
+  double best = -1;
+  for (int u = 0; u < n; ++u) {
+    double d = 0;
+    for (const auto& [v, w] : g.adj[static_cast<std::size_t>(u)]) d += w;
+    if (d > best) {
+      best = d;
+      seed = u;
+    }
+  }
+  int weight0 = 0;
+  auto add = [&](int u) {
+    side[static_cast<std::size_t>(u)] = 0;
+    weight0 += g.vweight[static_cast<std::size_t>(u)];
+    for (const auto& [v, w] : g.adj[static_cast<std::size_t>(u)]) {
+      attraction[static_cast<std::size_t>(v)] += w;
+    }
+  };
+  add(seed);
+  while (weight0 < target0) {
+    int pick = -1;
+    double pick_attr = -1;
+    for (int u = 0; u < n; ++u) {
+      if (side[static_cast<std::size_t>(u)] == 0) continue;
+      if (attraction[static_cast<std::size_t>(u)] > pick_attr) {
+        pick_attr = attraction[static_cast<std::size_t>(u)];
+        pick = u;
+      }
+    }
+    if (pick < 0) break;
+    add(pick);
+  }
+  return side;
+}
+
+/// Gain of flipping u to the other side (positive = cut shrinks).
+double flip_gain(const WGraph& g, const std::vector<int>& side, int u) {
+  double gain = 0;
+  for (const auto& [v, w] : g.adj[static_cast<std::size_t>(u)]) {
+    gain += side[static_cast<std::size_t>(v)] ==
+                    side[static_cast<std::size_t>(u)]
+                ? -w
+                : w;
+  }
+  return gain;
+}
+
+/// Exact-balance fixup: move lowest-cost vertices until side 0 holds
+/// exactly `target0` weight (only meaningful at the finest level where all
+/// vertex weights are 1).
+void rebalance(const WGraph& g, std::vector<int>* side, int target0) {
+  int weight0 = 0;
+  for (int u = 0; u < g.size(); ++u) {
+    if ((*side)[static_cast<std::size_t>(u)] == 0) {
+      weight0 += g.vweight[static_cast<std::size_t>(u)];
+    }
+  }
+  while (weight0 != target0) {
+    const int from = weight0 > target0 ? 0 : 1;
+    const int imbalance = std::abs(weight0 - target0);
+    int pick = -1;
+    double pick_gain = -1e300;
+    for (int u = 0; u < g.size(); ++u) {
+      if ((*side)[static_cast<std::size_t>(u)] != from) continue;
+      // Only moves that strictly reduce the imbalance are candidates; at
+      // coarse levels (vertex weights > 1) an exact fixup may be
+      // impossible and is deferred to the finest level.
+      const int vw = g.vweight[static_cast<std::size_t>(u)];
+      if (std::abs(weight0 + (from == 0 ? -vw : vw) - target0) >= imbalance) {
+        continue;
+      }
+      const double gain = flip_gain(g, *side, u);
+      if (gain > pick_gain) {
+        pick_gain = gain;
+        pick = u;
+      }
+    }
+    if (pick < 0) break;  // best effort at coarse levels
+    const int vw = g.vweight[static_cast<std::size_t>(pick)];
+    (*side)[static_cast<std::size_t>(pick)] = 1 - from;
+    weight0 += from == 0 ? -vw : vw;
+  }
+}
+
+/// Kernighan-Lin style refinement: best positive-gain swaps across the cut,
+/// keeping sizes intact. A few passes suffice in practice.
+void refine(const WGraph& g, std::vector<int>* side) {
+  constexpr int kPasses = 4;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    bool improved = false;
+    for (int u = 0; u < g.size(); ++u) {
+      if ((*side)[static_cast<std::size_t>(u)] != 0) continue;
+      const double gain_u = flip_gain(g, *side, u);
+      if (gain_u <= 0) continue;
+      // Find the best partner on side 1.
+      int best_v = -1;
+      double best_total = 0;
+      for (int v = 0; v < g.size(); ++v) {
+        if ((*side)[static_cast<std::size_t>(v)] != 1) continue;
+        if (g.vweight[static_cast<std::size_t>(u)] !=
+            g.vweight[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        const double total =
+            gain_u + flip_gain(g, *side, v) - 2 * [&] {
+              for (const auto& [n2, w] : g.adj[static_cast<std::size_t>(u)]) {
+                if (n2 == v) return w;
+              }
+              return 0.0;
+            }();
+        if (total > best_total) {
+          best_total = total;
+          best_v = v;
+        }
+      }
+      if (best_v >= 0) {
+        (*side)[static_cast<std::size_t>(u)] = 1;
+        (*side)[static_cast<std::size_t>(best_v)] = 0;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+/// Multilevel bisection of a WGraph into exact (target0, rest).
+std::vector<int> bisect(const WGraph& g, int target0) {
+  constexpr int kCoarsestSize = 48;
+  if (g.size() > kCoarsestSize) {
+    auto [coarse, coarse_of] = coarsen(g);
+    if (coarse.size() < g.size()) {
+      std::vector<int> coarse_side = bisect(coarse, target0);
+      std::vector<int> side(static_cast<std::size_t>(g.size()));
+      for (int u = 0; u < g.size(); ++u) {
+        side[static_cast<std::size_t>(u)] =
+            coarse_side[static_cast<std::size_t>(
+                coarse_of[static_cast<std::size_t>(u)])];
+      }
+      rebalance(g, &side, target0);
+      refine(g, &side);
+      return side;
+    }
+  }
+  std::vector<int> side = grow_bisection(g, target0);
+  rebalance(g, &side, target0);
+  refine(g, &side);
+  return side;
+}
+
+/// Recursive k-way over a vertex subset of the original graph.
+void kway(const CommGraph& graph, const std::vector<int>& vertices,
+          const std::vector<int>& targets, int first_part,
+          std::vector<int>* out) {
+  if (targets.size() == 1) {
+    for (int v : vertices) (*out)[static_cast<std::size_t>(v)] = first_part;
+    return;
+  }
+  const std::size_t half = targets.size() / 2;
+  int target0 = 0;
+  for (std::size_t i = 0; i < half; ++i) target0 += targets[i];
+  const WGraph sub = subgraph_of(graph, vertices);
+  const std::vector<int> side = bisect(sub, target0);
+  std::vector<int> left, right;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    (side[i] == 0 ? left : right).push_back(vertices[i]);
+  }
+  kway(graph, left, {targets.begin(), targets.begin() + static_cast<std::ptrdiff_t>(half)},
+       first_part, out);
+  kway(graph, right,
+       {targets.begin() + static_cast<std::ptrdiff_t>(half), targets.end()},
+       first_part + static_cast<int>(half), out);
+}
+
+}  // namespace
+
+StatusOr<std::vector<int>> partition_sizes(const CommGraph& graph,
+                                           const std::vector<int>& targets) {
+  int total = 0;
+  for (int t : targets) {
+    if (t < 0) {
+      return make_error(ErrorCode::kInvalidArgument, "negative part size");
+    }
+    total += t;
+  }
+  if (total != graph.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "part sizes must sum to the vertex count");
+  }
+  if (targets.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "no parts requested");
+  }
+  std::vector<int> out(static_cast<std::size_t>(graph.size()), -1);
+  std::vector<int> all(static_cast<std::size_t>(graph.size()));
+  std::iota(all.begin(), all.end(), 0);
+  kway(graph, all, targets, 0, &out);
+  return out;
+}
+
+StatusOr<std::vector<int>> partition_subset(const CommGraph& graph,
+                                            const std::vector<int>& vertices,
+                                            const std::vector<int>& targets) {
+  int total = 0;
+  for (int t : targets) {
+    if (t < 0) {
+      return make_error(ErrorCode::kInvalidArgument, "negative part size");
+    }
+    total += t;
+  }
+  if (total != static_cast<int>(vertices.size()) || targets.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "part sizes must sum to the subset size");
+  }
+  std::vector<int> global(static_cast<std::size_t>(graph.size()), -1);
+  kway(graph, vertices, targets, 0, &global);
+  std::vector<int> out(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    out[i] = global[static_cast<std::size_t>(vertices[i])];
+  }
+  return out;
+}
+
+StatusOr<std::vector<int>> partition(const CommGraph& graph, int parts) {
+  if (parts <= 0) {
+    return make_error(ErrorCode::kInvalidArgument, "parts must be positive");
+  }
+  const int n = graph.size();
+  std::vector<int> targets(static_cast<std::size_t>(parts), n / parts);
+  for (int i = 0; i < n % parts; ++i) ++targets[static_cast<std::size_t>(i)];
+  return partition_sizes(graph, targets);
+}
+
+}  // namespace flexio::placement

@@ -1,0 +1,33 @@
+// Multilevel graph partitioner (the SCOTCH stand-in).
+//
+// Recursive bisection with the classic multilevel scheme: heavy-edge
+// matching coarsens the graph, a greedy region-growing heuristic bisects
+// the coarsest level, and the cut is refined on the way back up with
+// swap-based Kernighan-Lin passes. Part sizes are exact (process-to-core
+// binding requires it), and results are deterministic.
+#pragma once
+
+#include <vector>
+
+#include "placement/graph.h"
+#include "util/status.h"
+
+namespace flexio::placement {
+
+/// Partition into parts with exact target sizes (targets must sum to the
+/// vertex count; every target >= 0). Returns part id per vertex.
+StatusOr<std::vector<int>> partition_sizes(const CommGraph& graph,
+                                           const std::vector<int>& targets);
+
+/// Equal-size convenience: n need not divide evenly; remainders spread
+/// over the first parts.
+StatusOr<std::vector<int>> partition(const CommGraph& graph, int parts);
+
+/// Partition only `vertices` (a subset of the graph) into parts with exact
+/// `targets` sizes. Returns one part id per entry of `vertices`, in order.
+/// Used by the tree mapper's dual recursive bipartitioning.
+StatusOr<std::vector<int>> partition_subset(const CommGraph& graph,
+                                            const std::vector<int>& vertices,
+                                            const std::vector<int>& targets);
+
+}  // namespace flexio::placement

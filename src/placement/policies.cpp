@@ -1,0 +1,128 @@
+#include "placement/policies.h"
+
+#include <set>
+
+namespace flexio::placement {
+
+std::string_view policy_name(Policy p) {
+  switch (p) {
+    case Policy::kDataAware: return "data-aware";
+    case Policy::kHolistic: return "holistic";
+    case Policy::kTopologyAware: return "topology-aware";
+  }
+  return "?";
+}
+
+std::string_view placement_kind_name(PlacementKind k) {
+  switch (k) {
+    case PlacementKind::kInline: return "inline";
+    case PlacementKind::kHelperCore: return "helper-core";
+    case PlacementKind::kStaging: return "staging";
+    case PlacementKind::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+int allocate_analytics(const AllocationModel& model, bool async_movement) {
+  FLEXIO_CHECK(model.analytics_time != nullptr);
+  const double movement =
+      async_movement ? model.bytes_per_step / model.p2p_bandwidth : 0.0;
+  for (int p = model.min_processes; p <= model.max_processes; ++p) {
+    if (movement + model.analytics_time(p) <= model.sim_interval) return p;
+  }
+  return model.max_processes;
+}
+
+StatusOr<PlacementResult> place(const PlacementRequest& request) {
+  const int writers = request.sim_processes;
+  const int readers = request.analytics_processes;
+  if (writers <= 0 || readers < 0) {
+    return make_error(ErrorCode::kInvalidArgument, "bad process counts");
+  }
+  if (static_cast<int>(request.inter.size()) != writers) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "inter matrix rows != sim processes");
+  }
+
+  const bool include_intra = request.policy != Policy::kDataAware;
+  const CommGraph graph = build_coupled_graph(
+      request.inter, include_intra ? request.sim_intra : std::vector<std::vector<double>>{},
+      include_intra ? request.analytics_intra
+                    : std::vector<std::vector<double>>{});
+
+  const int cores_per_node = request.machine.cores_per_node();
+  const int total = writers + readers;
+  const int nodes_used = (total + cores_per_node - 1) / cores_per_node;
+  if (nodes_used > request.machine.num_nodes) {
+    return make_error(ErrorCode::kResourceExhausted,
+                      "machine too small for the coupled run");
+  }
+  const ArchTree tree =
+      request.policy == Policy::kTopologyAware
+          ? ArchTree::topology_aware(request.machine, nodes_used)
+          : ArchTree::two_level(request.machine, nodes_used);
+
+  auto mapped = map_graph(graph, tree);
+  if (!mapped.is_ok()) return mapped.status();
+  const std::vector<long>& core_of = mapped.value();
+
+  PlacementResult result;
+  result.nodes_used = nodes_used;
+  result.cost = mapping_cost(graph, tree, core_of);
+  result.sim_core.assign(core_of.begin(), core_of.begin() + writers);
+  result.analytics_core.assign(core_of.begin() + writers, core_of.end());
+
+  // Classify: which nodes hold simulation ranks vs analytics ranks?
+  std::set<int> sim_nodes, analytics_nodes;
+  for (long c : result.sim_core) {
+    sim_nodes.insert(request.machine.locate(c).node);
+  }
+  bool all_shared = true, none_shared = true;
+  for (long c : result.analytics_core) {
+    const int node = request.machine.locate(c).node;
+    analytics_nodes.insert(node);
+    if (sim_nodes.count(node)) {
+      none_shared = false;
+    } else {
+      all_shared = false;
+    }
+  }
+  if (readers == 0 || all_shared) {
+    result.kind = PlacementKind::kHelperCore;
+  } else if (none_shared) {
+    result.kind = PlacementKind::kStaging;
+  } else {
+    result.kind = PlacementKind::kHybrid;
+  }
+
+  // Inter-program volume split by locality (the Data Movement Volume
+  // metric of Section III.A / IV.A).
+  for (int w = 0; w < writers; ++w) {
+    for (int r = 0; r < readers; ++r) {
+      const double bytes = static_cast<double>(
+          request.inter[static_cast<std::size_t>(w)]
+                       [static_cast<std::size_t>(r)]);
+      if (bytes <= 0) continue;
+      const int wn = request.machine.locate(result.sim_core[static_cast<std::size_t>(w)]).node;
+      const int rn = request.machine.locate(
+          result.analytics_core[static_cast<std::size_t>(r)]).node;
+      if (wn == rn) {
+        result.intra_node_bytes += bytes;
+      } else {
+        result.inter_node_bytes += bytes;
+      }
+    }
+  }
+
+  // NUMA pinning decision (topology-aware policy): FlexIO's queues and
+  // buffer pools live in the producing simulation rank's domain.
+  if (request.policy == Policy::kTopologyAware) {
+    result.buffer_numa_domain.reserve(result.sim_core.size());
+    for (long c : result.sim_core) {
+      result.buffer_numa_domain.push_back(request.machine.locate(c).socket);
+    }
+  }
+  return result;
+}
+
+}  // namespace flexio::placement

@@ -1,0 +1,82 @@
+// Placement policies (paper Section III).
+//
+// Three heuristic policies decide where analytics processes run and which
+// core every process binds to:
+//  * data-aware mapping  -- graph-partition only the inter-program
+//    communication matrix into node-sized groups (Section III.B.1);
+//  * holistic placement  -- also performs resource allocation (scale the
+//    analytics to match the simulation's data production rate, sync or
+//    async variant) and includes intra-program MPI traffic, mapping onto a
+//    two-level machine tree (Section III.B.2);
+//  * node-topology-aware -- the holistic policy on a multi-level
+//    cache/NUMA tree, additionally pinning FlexIO's shared-memory buffers
+//    in the simulation's NUMA domain (Section III.B.3).
+#pragma once
+
+#include <functional>
+
+#include "placement/mapper.h"
+#include "util/status.h"
+
+namespace flexio::placement {
+
+enum class Policy { kDataAware, kHolistic, kTopologyAware };
+
+std::string_view policy_name(Policy p);
+
+/// Where the analytics ended up relative to the simulation.
+enum class PlacementKind { kInline, kHelperCore, kStaging, kHybrid };
+
+std::string_view placement_kind_name(PlacementKind k);
+
+/// Inputs to the resource-allocation step (holistic policy).
+struct AllocationModel {
+  double sim_interval = 1.0;    // seconds between simulation output steps
+  double bytes_per_step = 0;    // total inter-program volume per step
+  /// Strong-scaling analytics compute time T(P) in seconds.
+  std::function<double(int)> analytics_time;
+  /// Conservative point-to-point movement bandwidth (bytes/s); the async
+  /// variant budgets movement time as bytes_per_step / p2p_bandwidth, which
+  /// deliberately over-provisions (paper: sequential-movement assumption).
+  double p2p_bandwidth = 1e9;
+  int min_processes = 1;
+  int max_processes = 1 << 16;
+};
+
+/// Smallest analytics process count that keeps the pipeline from stalling:
+/// sync:  T(P) <= interval;  async: bytes/bw + T(P) <= interval.
+/// Returns max_processes when no count satisfies the constraint.
+int allocate_analytics(const AllocationModel& model, bool async_movement);
+
+struct PlacementRequest {
+  sim::MachineDesc machine;
+  Policy policy = Policy::kHolistic;
+  int sim_processes = 1;
+  int analytics_processes = 1;
+  /// Inter-program volume matrix [sim][analytics], bytes per step.
+  std::vector<std::vector<std::uint64_t>> inter;
+  /// Intra-program traffic (empty to ignore; data-aware ignores anyway).
+  std::vector<std::vector<double>> sim_intra;
+  std::vector<std::vector<double>> analytics_intra;
+};
+
+struct PlacementResult {
+  std::vector<long> sim_core;        // global core id per simulation rank
+  std::vector<long> analytics_core;  // per analytics rank
+  int nodes_used = 0;
+  PlacementKind kind = PlacementKind::kHelperCore;
+  double cost = 0;               // mapper objective value
+  double inter_node_bytes = 0;   // inter-program bytes crossing nodes
+  double intra_node_bytes = 0;   // inter-program bytes staying on-node
+  /// Topology-aware only: NUMA domain (per sim rank) where FlexIO pins its
+  /// shared-memory queues and buffer pool -- always the writer's domain
+  /// (paper Section III.B.3 default policy).
+  std::vector<int> buffer_numa_domain;
+};
+
+/// Run the policy. The number of nodes is the fewest that hold all
+/// processes (resource binding packs; separate staging nodes emerge when
+/// the partitioner keeps the programs apart).
+StatusOr<PlacementResult> place(const PlacementRequest& request);
+
+}  // namespace flexio::placement

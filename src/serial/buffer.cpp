@@ -1,0 +1,58 @@
+#include "serial/buffer.h"
+
+namespace flexio::serial {
+
+void BufWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void BufWriter::put_string(std::string_view s) {
+  put_varint(s.size());
+  put_raw(s.data(), s.size());
+}
+
+void BufWriter::put_bytes(ByteView bytes) {
+  put_varint(bytes.size());
+  put_raw(bytes.data(), bytes.size());
+}
+
+Status BufReader::get_varint(std::uint64_t* v) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  for (;;) {
+    std::uint8_t byte = 0;
+    FLEXIO_RETURN_IF_ERROR(get_u8(&byte));
+    if (shift >= 64 || (shift == 63 && (byte & 0x7e))) {
+      return make_error(ErrorCode::kInvalidArgument, "varint overflow");
+    }
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = result;
+  return Status::ok();
+}
+
+Status BufReader::get_string(std::string* s) {
+  std::uint64_t n = 0;
+  FLEXIO_RETURN_IF_ERROR(get_varint(&n));
+  if (pos_ + n > data_.size()) {
+    return make_error(ErrorCode::kOutOfRange, "string underrun");
+  }
+  s->assign(reinterpret_cast<const char*>(data_.data() + pos_),
+            static_cast<std::size_t>(n));
+  pos_ += n;
+  return Status::ok();
+}
+
+Status BufReader::get_bytes(ByteView* bytes) {
+  std::uint64_t n = 0;
+  FLEXIO_RETURN_IF_ERROR(get_varint(&n));
+  return get_view(static_cast<std::size_t>(n), bytes);
+}
+
+}  // namespace flexio::serial

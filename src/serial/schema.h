@@ -1,0 +1,111 @@
+// FFS-like self-describing record marshaling.
+//
+// EVPath's FFS transmits typed, named records whose schema travels with (or
+// ahead of) the data, letting receivers decode messages from senders they
+// were not compiled with. This module reproduces that capability: a Schema
+// names typed fields, records encode against it, and the schema itself is
+// serializable with a stable fingerprint so endpoints can detect mismatches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "serial/buffer.h"
+#include "util/status.h"
+
+namespace flexio::serial {
+
+/// Element types understood by the middleware. Matches the ADIOS basic-type
+/// set the paper's applications use (double arrays, int ids, ...).
+enum class DataType : std::uint8_t {
+  kInt8, kInt16, kInt32, kInt64,
+  kUInt8, kUInt16, kUInt32, kUInt64,
+  kFloat, kDouble,
+  kString, kBytes,
+};
+
+/// Size in bytes of one element; 0 for variable-size types (string, bytes).
+std::size_t size_of(DataType t);
+
+/// "double" -> kDouble, etc. Returns error for unknown names.
+StatusOr<DataType> parse_datatype(std::string_view name);
+
+/// Canonical name of a type ("double", "int32", ...).
+std::string_view datatype_name(DataType t);
+
+/// One field of a record: scalar or variable-length array of a basic type.
+struct FieldDesc {
+  std::string name;
+  DataType type = DataType::kDouble;
+  bool is_array = false;
+
+  friend bool operator==(const FieldDesc&, const FieldDesc&) = default;
+};
+
+/// Dynamic field value. Integral types widen to (u)int64 in memory; the
+/// schema's declared type governs the wire width.
+using Value = std::variant<std::int64_t, std::uint64_t, double, std::string,
+                           std::vector<std::byte>, std::vector<std::int64_t>,
+                           std::vector<double>>;
+
+/// Named, ordered field list with a stable fingerprint.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<FieldDesc> fields);
+
+  const std::string& name() const { return name_; }
+  const std::vector<FieldDesc>& fields() const { return fields_; }
+
+  /// Index of a field by name, or -1 when absent.
+  int field_index(std::string_view field_name) const;
+
+  /// FNV-1a over the canonical encoding; equal schemas hash equal.
+  std::uint64_t fingerprint() const;
+
+  /// Self-description: schemas travel ahead of first use on a connection.
+  void encode(BufWriter* w) const;
+  static StatusOr<Schema> decode(BufReader* r);
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::string name_;
+  std::vector<FieldDesc> fields_;
+};
+
+/// A record bound to a schema: one Value per field, in schema order.
+class Record {
+ public:
+  explicit Record(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Set a field by name. Aborts on unknown field (programmer error);
+  /// returns error on a value/type mismatch (data error).
+  Status set(std::string_view field, Value value);
+
+  /// Access a field by name; aborts on unknown field.
+  const Value& get(std::string_view field) const;
+
+  /// Typed convenience getters; return error on type mismatch.
+  StatusOr<std::int64_t> get_int(std::string_view field) const;
+  StatusOr<double> get_double(std::string_view field) const;
+  StatusOr<std::string> get_string(std::string_view field) const;
+
+  /// Wire encoding (schema fingerprint + field payloads).
+  void encode(BufWriter* w) const;
+
+  /// Decode against a known schema; checks the fingerprint first.
+  static StatusOr<Record> decode(const Schema& schema, BufReader* r);
+
+ private:
+  const Schema* schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace flexio::serial

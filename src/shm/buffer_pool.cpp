@@ -1,0 +1,102 @@
+#include "shm/buffer_pool.h"
+
+#include <bit>
+
+#include "util/strings.h"
+
+namespace flexio::shm {
+
+BufferPool::BufferPool(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  FLEXIO_CHECK(capacity_bytes >= kMinClassBytes);
+}
+
+BufferPool::~BufferPool() {
+  for (auto& shelf : shelves_) {
+    for (std::byte* p : shelf.free_buffers) delete[] p;
+  }
+}
+
+std::uint32_t BufferPool::class_for(std::size_t size) {
+  if (size <= kMinClassBytes) return 0;
+  const auto rounded = std::bit_ceil(size);
+  return static_cast<std::uint32_t>(std::countr_zero(rounded) -
+                                    std::countr_zero(kMinClassBytes));
+}
+
+std::size_t BufferPool::class_capacity(std::uint32_t size_class) {
+  return kMinClassBytes << size_class;
+}
+
+StatusOr<PoolBuffer> BufferPool::acquire(std::size_t size) {
+  const std::uint32_t cls = class_for(size);
+  const std::size_t cap = class_capacity(cls);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.acquisitions;
+  if (cls >= shelves_.size()) shelves_.resize(cls + 1);
+
+  Shelf& shelf = shelves_[cls];
+  PoolBuffer out;
+  out.capacity = cap;
+  out.size_class = cls;
+  out.id = next_id_++;
+  if (!shelf.free_buffers.empty()) {
+    out.data = shelf.free_buffers.back();
+    shelf.free_buffers.pop_back();
+    ++stats_.reuses;
+    stats_.bytes_in_use += cap;
+    return out;
+  }
+
+  // Nothing free in this class. Reclaim free buffers from other classes if
+  // we are over the threshold, then allocate fresh memory. Allow in-use
+  // overshoot up to 2x the threshold so a single oversized transfer cannot
+  // deadlock the pipeline, but refuse beyond that.
+  if (stats_.bytes_allocated + cap > capacity_bytes_) {
+    for (auto& other : shelves_) {
+      while (!other.free_buffers.empty() &&
+             stats_.bytes_allocated + cap > capacity_bytes_) {
+        delete[] other.free_buffers.back();
+        other.free_buffers.pop_back();
+        const std::size_t freed =
+            class_capacity(static_cast<std::uint32_t>(&other - shelves_.data()));
+        stats_.bytes_allocated -= freed;
+        ++stats_.reclamations;
+      }
+    }
+  }
+  if (stats_.bytes_allocated + cap > 2 * capacity_bytes_) {
+    return make_error(
+        ErrorCode::kResourceExhausted,
+        str_format("buffer pool over budget: need %zu, allocated %zu, cap %zu",
+                   cap, stats_.bytes_allocated, capacity_bytes_));
+  }
+  out.data = new std::byte[cap];
+  ++stats_.allocations;
+  stats_.bytes_allocated += cap;
+  stats_.bytes_in_use += cap;
+  return out;
+}
+
+void BufferPool::release(PoolBuffer buffer) {
+  if (!buffer) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  FLEXIO_CHECK(buffer.size_class < shelves_.size());
+  FLEXIO_CHECK(stats_.bytes_in_use >= buffer.capacity);
+  stats_.bytes_in_use -= buffer.capacity;
+  if (stats_.bytes_allocated > capacity_bytes_) {
+    delete[] buffer.data;
+    stats_.bytes_allocated -= buffer.capacity;
+    ++stats_.reclamations;
+    return;
+  }
+  shelves_[buffer.size_class].free_buffers.push_back(buffer.data);
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace flexio::shm

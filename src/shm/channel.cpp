@@ -1,0 +1,209 @@
+#include "shm/channel.h"
+
+#include <cstring>
+#include <thread>
+
+namespace flexio::shm {
+
+namespace {
+constexpr std::size_t kControlBytes = 1 + 8 + 8 + 8 + 4 + 8 + 8;
+}
+
+Channel::Channel(ChannelOptions options)
+    : options_(options),
+      queue_(options.queue_entries,
+             std::max(options.queue_payload_bytes,
+                      kControlBytes + options.inline_threshold)),
+      pool_(options.pool_bytes) {}
+
+void Channel::encode_control(const Control& ctl, ByteView inline_payload,
+                             std::vector<std::byte>* out) {
+  out->resize(kControlBytes + inline_payload.size());
+  std::byte* p = out->data();
+  auto put = [&p](const void* src, std::size_t n) {
+    std::memcpy(p, src, n);
+    p += n;
+  };
+  const auto tag = static_cast<std::uint8_t>(ctl.tag);
+  put(&tag, 1);
+  put(&ctl.size, 8);
+  put(&ctl.addr, 8);
+  put(&ctl.pool_capacity, 8);
+  put(&ctl.pool_class, 4);
+  put(&ctl.pool_id, 8);
+  put(&ctl.ack_addr, 8);
+  if (!inline_payload.empty()) {
+    put(inline_payload.data(), inline_payload.size());
+  }
+}
+
+Status Channel::decode_control(ByteView raw, Control* ctl,
+                               ByteView* inline_payload) {
+  if (raw.size() < kControlBytes) {
+    return make_error(ErrorCode::kInternal, "short shm control message");
+  }
+  const std::byte* p = raw.data();
+  auto get = [&p](void* dst, std::size_t n) {
+    std::memcpy(dst, p, n);
+    p += n;
+  };
+  std::uint8_t tag = 0;
+  get(&tag, 1);
+  if (tag > static_cast<std::uint8_t>(Tag::kEos)) {
+    return make_error(ErrorCode::kInternal, "bad shm control tag");
+  }
+  ctl->tag = static_cast<Tag>(tag);
+  get(&ctl->size, 8);
+  get(&ctl->addr, 8);
+  get(&ctl->pool_capacity, 8);
+  get(&ctl->pool_class, 4);
+  get(&ctl->pool_id, 8);
+  get(&ctl->ack_addr, 8);
+  *inline_payload = raw.subspan(kControlBytes);
+  return Status::ok();
+}
+
+Status Channel::send_control(const Control& ctl, ByteView inline_payload) {
+  std::vector<std::byte> wire;
+  encode_control(ctl, inline_payload, &wire);
+  return queue_.enqueue(ByteView(wire), options_.timeout);
+}
+
+Status Channel::send(ByteView msg) {
+  if (closed_.load(std::memory_order_relaxed)) {
+    return make_error(ErrorCode::kFailedPrecondition, "channel closed");
+  }
+  Control ctl{};
+  if (msg.size() <= options_.inline_threshold) {
+    ctl.tag = Tag::kInline;
+    ctl.size = msg.size();
+    inline_sends_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(msg.size(), std::memory_order_relaxed);
+    copies_.fetch_add(2, std::memory_order_relaxed);  // in + out of entry
+    return send_control(ctl, msg);
+  }
+  // Pool path: copy into a pooled buffer (copy #1); the consumer copies out
+  // (copy #2) and returns the buffer to our free list.
+  auto buffer = pool_.acquire(msg.size());
+  if (!buffer.is_ok()) return buffer.status();
+  PoolBuffer buf = buffer.value();
+  std::memcpy(buf.data, msg.data(), msg.size());
+  ctl.tag = Tag::kPool;
+  ctl.size = msg.size();
+  ctl.addr = reinterpret_cast<std::uint64_t>(buf.data);
+  ctl.pool_capacity = buf.capacity;
+  ctl.pool_class = buf.size_class;
+  ctl.pool_id = buf.id;
+  pool_sends_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(msg.size(), std::memory_order_relaxed);
+  copies_.fetch_add(2, std::memory_order_relaxed);
+  const Status st = send_control(ctl, {});
+  if (!st.is_ok()) pool_.release(buf);  // undo so the buffer is not leaked
+  return st;
+}
+
+Status Channel::send_sync(ByteView msg) {
+  if (!options_.use_xpmem || msg.size() <= options_.inline_threshold) {
+    // Fall back to the copying path; queue completion is good enough for
+    // small messages since the payload left the caller's buffer already.
+    return send(msg);
+  }
+  if (closed_.load(std::memory_order_relaxed)) {
+    return make_error(ErrorCode::kFailedPrecondition, "channel closed");
+  }
+  // XPMEM path: publish the caller's buffer, wait for the consumer's ack.
+  std::atomic<std::uint32_t> ack{0};
+  Control ctl{};
+  ctl.tag = Tag::kXpmem;
+  ctl.size = msg.size();
+  ctl.addr = reinterpret_cast<std::uint64_t>(msg.data());
+  ctl.ack_addr = reinterpret_cast<std::uint64_t>(&ack);
+  xpmem_sends_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(msg.size(), std::memory_order_relaxed);
+  copies_.fetch_add(1, std::memory_order_relaxed);  // single consumer copy
+  FLEXIO_RETURN_IF_ERROR(send_control(ctl, {}));
+
+  const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  int spins = 0;
+  while (ack.load(std::memory_order_acquire) == 0) {
+    if (++spins > 64) std::this_thread::yield();
+    if (std::chrono::steady_clock::now() > deadline) {
+      // The consumer may still touch `msg` and `ack` after we give up, so a
+      // timeout here is unrecoverable for the channel: poison it.
+      closed_.store(true, std::memory_order_relaxed);
+      return make_error(ErrorCode::kTimeout,
+                        "xpmem sync send: consumer never copied");
+    }
+  }
+  return Status::ok();
+}
+
+Status Channel::receive(std::vector<std::byte>* out) {
+  return receive_for(out, options_.timeout);
+}
+
+Status Channel::receive_for(std::vector<std::byte>* out,
+                            std::chrono::nanoseconds timeout) {
+  if (eos_received_) {
+    return make_error(ErrorCode::kEndOfStream, "stream closed by producer");
+  }
+  std::vector<std::byte> wire;
+  FLEXIO_RETURN_IF_ERROR(queue_.dequeue(&wire, timeout));
+  Control ctl{};
+  ByteView inline_payload;
+  FLEXIO_RETURN_IF_ERROR(decode_control(ByteView(wire), &ctl, &inline_payload));
+  switch (ctl.tag) {
+    case Tag::kInline:
+      out->assign(inline_payload.begin(),
+                  inline_payload.begin() + static_cast<std::ptrdiff_t>(ctl.size));
+      return Status::ok();
+    case Tag::kPool: {
+      auto* data = reinterpret_cast<std::byte*>(ctl.addr);
+      out->resize(ctl.size);
+      std::memcpy(out->data(), data, ctl.size);
+      PoolBuffer buf;
+      buf.data = data;
+      buf.capacity = ctl.pool_capacity;
+      buf.size_class = ctl.pool_class;
+      buf.id = ctl.pool_id;
+      pool_.release(buf);  // back to the producer's free list
+      return Status::ok();
+    }
+    case Tag::kXpmem: {
+      // "Map" the producer's segment and copy straight from its source
+      // buffer, then ack so the producer may reuse it.
+      const auto* src = reinterpret_cast<const std::byte*>(ctl.addr);
+      out->assign(src, src + ctl.size);
+      auto* ack = reinterpret_cast<std::atomic<std::uint32_t>*>(ctl.ack_addr);
+      ack->store(1, std::memory_order_release);
+      return Status::ok();
+    }
+    case Tag::kEos:
+      eos_received_ = true;
+      return make_error(ErrorCode::kEndOfStream, "stream closed by producer");
+  }
+  return make_error(ErrorCode::kInternal, "unreachable");
+}
+
+Status Channel::close() {
+  bool expected = false;
+  if (!closed_.compare_exchange_strong(expected, true,
+                                       std::memory_order_relaxed)) {
+    return Status::ok();  // idempotent
+  }
+  Control ctl{};
+  ctl.tag = Tag::kEos;
+  return send_control(ctl, {});
+}
+
+ChannelStats Channel::stats() const {
+  ChannelStats s;
+  s.inline_sends = inline_sends_.load(std::memory_order_relaxed);
+  s.pool_sends = pool_sends_.load(std::memory_order_relaxed);
+  s.xpmem_sends = xpmem_sends_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.memory_copies = copies_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace flexio::shm

@@ -1,0 +1,109 @@
+// Intra-node message channel: control queue + buffer pool + XPMEM-style path.
+//
+// Implements the paper's full shared-memory transport protocol
+// (Section II.D) for one producer -> consumer direction:
+//  * small messages ride inline in FastForward data-queue entries;
+//  * large asynchronous messages go through the shared buffer pool
+//    (producer copy-in + consumer copy-out = the paper's "two memory
+//    copies"), with the consumer returning the buffer to the producer's
+//    free list;
+//  * large synchronous messages can use the XPMEM-style path: the producer
+//    publishes its source buffer as a segment and blocks until the consumer
+//    copies directly out of it ("one memory copy"), mirroring
+//    xpmem_make()/xpmem_attach().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "shm/buffer_pool.h"
+#include "shm/spsc_queue.h"
+#include "util/status.h"
+
+namespace flexio::shm {
+
+/// Transfer statistics for the monitoring layer.
+struct ChannelStats {
+  std::uint64_t inline_sends = 0;
+  std::uint64_t pool_sends = 0;
+  std::uint64_t xpmem_sends = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t memory_copies = 0;  // copies of message payloads, both sides
+};
+
+/// Tuning knobs, fed from the XML method config.
+struct ChannelOptions {
+  std::size_t queue_entries = 64;
+  std::size_t queue_payload_bytes = 256;
+  std::size_t pool_bytes = 64ull << 20;
+  /// Messages <= this ride inline in a queue entry. Must be smaller than
+  /// queue_payload_bytes minus the control header.
+  std::size_t inline_threshold = 192;
+  /// Use the XPMEM one-copy path for synchronous sends of large messages.
+  bool use_xpmem = true;
+  std::chrono::nanoseconds timeout = std::chrono::seconds(30);
+};
+
+class Channel {
+ public:
+  explicit Channel(ChannelOptions options);
+
+  /// Asynchronous send: returns once the message is enqueued (inline) or
+  /// copied into a pool buffer. The caller may reuse `msg` immediately.
+  Status send(ByteView msg);
+
+  /// Synchronous send: additionally guarantees the consumer has copied the
+  /// data out before returning. Uses the XPMEM one-copy path when enabled.
+  Status send_sync(ByteView msg);
+
+  /// Receive the next message. Returns kEndOfStream after close() has been
+  /// received, kTimeout if nothing arrives in time.
+  Status receive(std::vector<std::byte>* out);
+
+  /// Like receive() but with an explicit deadline; a zero timeout polls once
+  /// (used by upper layers multiplexing several inbound links).
+  Status receive_for(std::vector<std::byte>* out,
+                     std::chrono::nanoseconds timeout);
+
+  /// Signal end-of-stream to the consumer (paper: analytics see EOS from
+  /// their read calls when the simulation closes the file).
+  Status close();
+
+  ChannelStats stats() const;
+  const ChannelOptions& options() const { return options_; }
+
+ private:
+  enum class Tag : std::uint8_t { kInline = 0, kPool = 1, kXpmem = 2, kEos = 3 };
+
+  struct Control {  // fixed-size control message, fits any queue entry
+    Tag tag;
+    std::uint64_t size;
+    std::uint64_t addr;        // pool buffer / xpmem segment address
+    std::uint64_t pool_capacity;
+    std::uint32_t pool_class;
+    std::uint64_t pool_id;
+    std::uint64_t ack_addr;    // producer-side completion flag (xpmem path)
+  };
+
+  Status send_control(const Control& ctl, ByteView inline_payload);
+  static void encode_control(const Control& ctl, ByteView inline_payload,
+                             std::vector<std::byte>* out);
+  static Status decode_control(ByteView raw, Control* ctl,
+                               ByteView* inline_payload);
+
+  ChannelOptions options_;
+  SpscQueue queue_;
+  BufferPool pool_;
+
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> inline_sends_{0};
+  std::atomic<std::uint64_t> pool_sends_{0};
+  std::atomic<std::uint64_t> xpmem_sends_{0};
+  std::atomic<std::uint64_t> copies_{0};
+  std::atomic<bool> closed_{false};
+  bool eos_received_ = false;  // consumer-side only
+};
+
+}  // namespace flexio::shm

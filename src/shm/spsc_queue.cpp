@@ -1,0 +1,102 @@
+#include "shm/spsc_queue.h"
+
+namespace flexio::shm {
+
+namespace {
+constexpr std::uint32_t kEmpty = 0;
+constexpr std::uint32_t kFull = 1;
+}  // namespace
+
+SpscQueue::SpscQueue(std::size_t entries, std::size_t payload_bytes)
+    : entries_(entries),
+      payload_bytes_(payload_bytes),
+      stride_(align_up(sizeof(EntryHeader) + payload_bytes, kCacheLineSize)) {
+  FLEXIO_CHECK(entries >= 2);
+  FLEXIO_CHECK(payload_bytes >= 1);
+  // Over-allocate one cache line so we can align the base.
+  storage_raw_size_ = entries_ * stride_ + kCacheLineSize;
+  auto* raw = new std::byte[storage_raw_size_];
+  storage_.reset(raw);
+  const auto base = reinterpret_cast<std::uintptr_t>(raw);
+  aligned_offset_ = align_up(base, kCacheLineSize) - base;
+  for (std::size_t i = 0; i < entries_; ++i) {
+    auto* h = header(i);
+    new (&h->state) std::atomic<std::uint32_t>(kEmpty);
+    h->size = 0;
+  }
+}
+
+SpscQueue::~SpscQueue() = default;
+
+bool SpscQueue::try_enqueue(ByteView msg) {
+  FLEXIO_CHECK(msg.size() <= payload_bytes_);
+  const std::size_t idx = producer_.head % entries_;
+  EntryHeader* h = header(idx);
+  if (h->state.load(std::memory_order_acquire) != kEmpty) {
+    producer_.full_spins.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  h->size = static_cast<std::uint32_t>(msg.size());
+  if (!msg.empty()) std::memcpy(payload(idx), msg.data(), msg.size());
+  h->state.store(kFull, std::memory_order_release);
+  ++producer_.head;
+  producer_.enqueued.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SpscQueue::try_dequeue(std::vector<std::byte>* out) {
+  const std::size_t idx = consumer_.tail % entries_;
+  EntryHeader* h = header(idx);
+  if (h->state.load(std::memory_order_acquire) != kFull) {
+    consumer_.empty_spins.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  out->resize(h->size);
+  if (h->size > 0) std::memcpy(out->data(), payload(idx), h->size);
+  h->state.store(kEmpty, std::memory_order_release);
+  ++consumer_.tail;
+  consumer_.dequeued.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+namespace {
+
+/// Spin-with-yield until `fn` succeeds or the deadline passes.
+template <typename Fn>
+Status spin_until(Fn&& fn, std::chrono::nanoseconds timeout, const char* what) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  int spins = 0;
+  while (!fn()) {
+    // Back off gently: pure spinning starves the peer on oversubscribed
+    // hosts (the test machine has fewer cores than threads).
+    if (++spins > 64) std::this_thread::yield();
+    if (std::chrono::steady_clock::now() > deadline) {
+      return make_error(ErrorCode::kTimeout, what);
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status SpscQueue::enqueue(ByteView msg, std::chrono::nanoseconds timeout) {
+  return spin_until([&] { return try_enqueue(msg); }, timeout,
+                    "shm queue enqueue timed out (consumer stalled)");
+}
+
+Status SpscQueue::dequeue(std::vector<std::byte>* out,
+                          std::chrono::nanoseconds timeout) {
+  return spin_until([&] { return try_dequeue(out); }, timeout,
+                    "shm queue dequeue timed out (producer stalled)");
+}
+
+QueueStats SpscQueue::stats() const {
+  QueueStats s;
+  s.enqueued = producer_.enqueued.load(std::memory_order_relaxed);
+  s.dequeued = consumer_.dequeued.load(std::memory_order_relaxed);
+  s.enqueue_full_spins = producer_.full_spins.load(std::memory_order_relaxed);
+  s.dequeue_empty_spins = consumer_.empty_spins.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace flexio::shm

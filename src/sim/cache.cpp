@@ -1,0 +1,42 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexio::sim {
+
+double effective_l3(double l3_bytes, double own_ws_bytes,
+                    double corunner_ws_bytes) {
+  FLEXIO_CHECK(l3_bytes > 0);
+  if (own_ws_bytes <= 0) return l3_bytes;
+  const double total_demand = own_ws_bytes + corunner_ws_bytes;
+  if (total_demand <= l3_bytes) {
+    // Everything fits: each workload keeps its full working set resident.
+    return l3_bytes - corunner_ws_bytes;
+  }
+  // Demand exceeds capacity: LRU approximately partitions by demand share.
+  return l3_bytes * own_ws_bytes / total_demand;
+}
+
+double inflated_mpki(const CacheWorkload& w, double effective_l3_bytes) {
+  FLEXIO_CHECK(effective_l3_bytes > 0);
+  if (w.working_set_bytes <= effective_l3_bytes) return w.base_mpki;
+  constexpr double kAlpha = 0.5;  // sqrt miss-curve law
+  return w.base_mpki *
+         std::pow(w.working_set_bytes / effective_l3_bytes, kAlpha);
+}
+
+double slowdown_factor(const CacheWorkload& w, double new_mpki) {
+  if (w.base_mpki <= 0) return 1.0;
+  const double miss_ratio = new_mpki / w.base_mpki;
+  return 1.0 + w.mem_sensitivity * (miss_ratio - 1.0);
+}
+
+double corun_slowdown(const CacheWorkload& w, double l3_bytes,
+                      double corunner_ws_bytes) {
+  const double eff = effective_l3(l3_bytes, w.working_set_bytes,
+                                  corunner_ws_bytes);
+  return slowdown_factor(w, inflated_mpki(w, std::max(eff, 1.0)));
+}
+
+}  // namespace flexio::sim

@@ -1,0 +1,41 @@
+// Shared last-level cache interference model.
+//
+// Figure 8 of the paper shows GTS suffering 47% more L3 misses per kilo-
+// instruction (and 4.1% longer simulation time) when analytics share its
+// L3. We model the effect with a capacity-partitioning law: co-runners on
+// one socket receive L3 space in proportion to their working-set demand,
+// and an application's miss rate grows as a power law of its lost capacity
+// (the standard sqrt-law approximation of cache miss curves, alpha = 0.5).
+#pragma once
+
+#include "util/common.h"
+
+namespace flexio::sim {
+
+/// One workload's cache behaviour on a socket.
+struct CacheWorkload {
+  double working_set_bytes = 0;  // L3-resident demand
+  double base_mpki = 0;          // misses/kilo-instruction with full L3
+  double mem_sensitivity = 0;    // fraction of runtime bound by L3 misses
+};
+
+/// Effective L3 capacity a workload receives when sharing a socket cache
+/// with co-runners whose demands sum to `corunner_ws_bytes`.
+double effective_l3(double l3_bytes, double own_ws_bytes,
+                    double corunner_ws_bytes);
+
+/// Miss rate (MPKI) after capacity loss. With the full cache the base rate
+/// applies; shrinking capacity below the working set inflates misses as
+/// (ws / effective)^alpha with alpha = 0.5.
+double inflated_mpki(const CacheWorkload& w, double effective_l3_bytes);
+
+/// Runtime multiplier caused by a miss-rate increase: the memory-bound
+/// fraction of execution scales with the miss ratio, the rest is unchanged.
+double slowdown_factor(const CacheWorkload& w, double new_mpki);
+
+/// Convenience: slowdown of workload `w` when co-located on a socket of
+/// `l3_bytes` with co-runners of total working set `corunner_ws_bytes`.
+double corun_slowdown(const CacheWorkload& w, double l3_bytes,
+                      double corunner_ws_bytes);
+
+}  // namespace flexio::sim

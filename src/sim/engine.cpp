@@ -1,0 +1,57 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace flexio::sim {
+
+EventId EventEngine::schedule_at(SimTime when, std::function<void()> fn) {
+  FLEXIO_CHECK(when >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_pending_;
+  return id;
+}
+
+bool EventEngine::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_pending_;
+  return true;
+}
+
+SimTime EventEngine::run() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_pending_;
+    now_ = e.when;
+    ++executed_;
+    fn();
+  }
+  return now_;
+}
+
+SimTime EventEngine::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_pending_;
+    now_ = e.when;
+    ++executed_;
+    fn();
+  }
+  now_ = std::max(now_, until);
+  return now_;
+}
+
+}  // namespace flexio::sim

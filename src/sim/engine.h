@@ -1,0 +1,75 @@
+// Discrete-event simulation engine.
+//
+// The performance plane of this reproduction: Titan and Smoky are not
+// available, so the figure harnesses replay the coupled simulation+analytics
+// pipelines on a deterministic event simulator (see DESIGN.md section 2).
+// The engine is deliberately minimal: a time-ordered queue of closures with
+// stable FIFO tie-breaking so runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace flexio::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+class EventEngine {
+ public:
+  /// Current simulated time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (>= now). Returns an id
+  /// that cancel() accepts. Events at equal times run in scheduling order.
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay relative to now.
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false when it already ran or was
+  /// cancelled (both benign: cancellation is used for re-planned transfers).
+  bool cancel(EventId id);
+
+  /// Run until no events remain. Returns the final time.
+  SimTime run();
+
+  /// Run until the given time; events scheduled at exactly `until` run.
+  SimTime run_until(SimTime until);
+
+  /// Number of events executed so far (for tests and sanity bounds).
+  std::uint64_t executed() const { return executed_; }
+  /// Number of events still pending.
+  std::size_t pending() const { return live_pending_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;  // also the FIFO tie-breaker
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // id -> callback; erased on run/cancel. Cancelled ids simply vanish here,
+  // and the matching queue entry is skipped lazily when popped.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace flexio::sim

@@ -1,0 +1,141 @@
+#include "sim/flow_network.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace flexio::sim {
+
+namespace {
+// Completion slop: fluid-model arithmetic leaves sub-byte residues.
+constexpr double kEpsilonBytes = 1e-6;
+}
+
+LinkId FlowNetwork::add_link(double capacity_bps, std::string name) {
+  FLEXIO_CHECK(capacity_bps > 0);
+  links_.push_back(Link{capacity_bps, std::move(name), {}, 0, 0});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+void FlowNetwork::start_flow(std::vector<LinkId> path, double bytes,
+                             std::function<void(SimTime)> on_done) {
+  FLEXIO_CHECK(bytes >= 0);
+  progress_to(engine_->now());
+  if (bytes <= kEpsilonBytes || path.empty()) {
+    // Degenerate flows complete "immediately" but still asynchronously so
+    // callers can rely on callback ordering.
+    engine_->schedule_after(0.0, [cb = std::move(on_done), this] {
+      cb(engine_->now());
+    });
+    return;
+  }
+  for (LinkId l : path) {
+    Link& link = links_[static_cast<std::size_t>(l)];
+    if (link.active == 0) link.last_busy_start = engine_->now();
+    ++link.active;
+    link.stats.bytes_carried += bytes;
+  }
+  flows_.push_back(Flow{std::move(path), bytes, 0.0, std::move(on_done)});
+  replan();
+}
+
+void FlowNetwork::progress_to(SimTime now) {
+  const double dt = now - last_progress_;
+  if (dt > 0) {
+    for (Flow& f : flows_) f.remaining -= f.rate * dt;
+  }
+  last_progress_ = now;
+}
+
+void FlowNetwork::replan() {
+  // Progressive filling: repeatedly saturate the tightest link, freezing
+  // the rates of flows that cross it.
+  const std::size_t nf = flows_.size();
+  std::vector<bool> fixed(nf, false);
+  std::vector<double> residual(links_.size());
+  std::vector<int> unfixed_count(links_.size(), 0);
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    residual[l] = links_[l].capacity;
+  }
+  for (std::size_t i = 0; i < nf; ++i) {
+    for (LinkId l : flows_[i].path) {
+      ++unfixed_count[static_cast<std::size_t>(l)];
+    }
+  }
+  std::size_t fixed_flows = 0;
+  while (fixed_flows < nf) {
+    // Find the bottleneck link: smallest per-flow fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = links_.size();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (unfixed_count[l] == 0) continue;
+      // Clamp: floating-point residue can drive residual slightly negative.
+      const double share = std::max(residual[l], 0.0) / unfixed_count[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    if (best_link == links_.size()) break;  // no constrained flows remain
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (fixed[i]) continue;
+      const auto& path = flows_[i].path;
+      if (std::find(path.begin(), path.end(),
+                    static_cast<LinkId>(best_link)) == path.end()) {
+        continue;
+      }
+      // Floor keeps completion times finite even in pathological cases.
+      flows_[i].rate = std::max(best_share, 1.0);
+      fixed[i] = true;
+      ++fixed_flows;
+      for (LinkId l : path) {
+        const auto lu = static_cast<std::size_t>(l);
+        residual[lu] -= best_share;
+        --unfixed_count[lu];
+      }
+    }
+    residual[best_link] = 0;
+    unfixed_count[best_link] = 0;
+  }
+
+  // Schedule the next completion.
+  if (pending_event_ != 0) {
+    engine_->cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  if (flows_.empty()) return;
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const Flow& f : flows_) {
+    FLEXIO_CHECK(f.rate > 0);
+    earliest = std::min(earliest, f.remaining / f.rate);
+  }
+  pending_event_ = engine_->schedule_after(std::max(earliest, 0.0),
+                                           [this] { on_completion_event(); });
+}
+
+void FlowNetwork::on_completion_event() {
+  pending_event_ = 0;
+  progress_to(engine_->now());
+  // Collect finished flows first: their callbacks may start new flows.
+  std::vector<std::function<void(SimTime)>> done;
+  for (std::size_t i = 0; i < flows_.size();) {
+    if (flows_[i].remaining <= kEpsilonBytes) {
+      for (LinkId l : flows_[i].path) {
+        Link& link = links_[static_cast<std::size_t>(l)];
+        --link.active;
+        if (link.active == 0) {
+          link.stats.busy_time += engine_->now() - link.last_busy_start;
+        }
+      }
+      done.push_back(std::move(flows_[i].on_done));
+      flows_[i] = std::move(flows_.back());
+      flows_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  replan();
+  const SimTime now = engine_->now();
+  for (auto& cb : done) cb(now);
+}
+
+}  // namespace flexio::sim

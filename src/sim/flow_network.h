@@ -1,0 +1,83 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// Data movements in the simulated cluster are modeled as fluid flows across
+// capacitated links (NIC injection/ejection, network core, filesystem
+// servers, NUMA memory channels). Whenever a flow starts or finishes, every
+// active flow's rate is recomputed with progressive filling (true max-min
+// fairness), which captures the contention effects the paper observes:
+// N-to-1 incast onto staging nodes, async bulk movement interfering with
+// simulation MPI traffic, and the non-scaling file system.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/common.h"
+
+namespace flexio::sim {
+
+/// Identifies a link within one FlowNetwork.
+using LinkId = int;
+
+/// Per-link accounting for the monitoring/metrics layer.
+struct LinkStats {
+  double bytes_carried = 0;
+  double busy_time = 0;  // total time with >=1 active flow
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(EventEngine* engine) : engine_(engine) {
+    FLEXIO_CHECK(engine != nullptr);
+  }
+
+  /// Create a link with the given capacity in bytes/second.
+  LinkId add_link(double capacity_bps, std::string name);
+
+  /// Start a flow of `bytes` across `path` (ordered list of links; order is
+  /// irrelevant to the model). `on_done` runs at the simulated completion
+  /// time. A zero-byte flow completes immediately (next event).
+  void start_flow(std::vector<LinkId> path, double bytes,
+                  std::function<void(SimTime)> on_done);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  const LinkStats& link_stats(LinkId link) const {
+    return links_[static_cast<std::size_t>(link)].stats;
+  }
+  const std::string& link_name(LinkId link) const {
+    return links_[static_cast<std::size_t>(link)].name;
+  }
+
+ private:
+  struct Link {
+    double capacity;
+    std::string name;
+    LinkStats stats;
+    int active = 0;          // flows currently crossing this link
+    double last_busy_start = 0;
+  };
+
+  struct Flow {
+    std::vector<LinkId> path;
+    double remaining;
+    double rate = 0;
+    std::function<void(SimTime)> on_done;
+  };
+
+  /// Advance all flows to `now` at their current rates.
+  void progress_to(SimTime now);
+  /// Recompute all flow rates (max-min progressive filling) and reschedule
+  /// the next completion event.
+  void replan();
+  void on_completion_event();
+
+  EventEngine* engine_;
+  std::vector<Link> links_;
+  std::vector<Flow> flows_;
+  SimTime last_progress_ = 0;
+  EventId pending_event_ = 0;
+};
+
+}  // namespace flexio::sim

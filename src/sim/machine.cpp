@@ -1,0 +1,45 @@
+#include "sim/machine.h"
+
+namespace flexio::sim {
+
+MachineDesc titan() {
+  MachineDesc m;
+  m.name = "titan";
+  m.num_nodes = 18688;
+  m.sockets_per_node = 2;   // Interlagos: 2 NUMA domains of 8 cores
+  m.cores_per_socket = 8;
+  m.core_ghz = 2.2;
+  m.l3_bytes_per_socket = 8.0 * (1 << 20);
+  m.mem_bw_local = 8e9;
+  m.mem_bw_remote = 4.5e9;
+  m.nic_bw = 5e9;           // Gemini per-direction effective
+  m.nic_latency = 1.5e-6;
+  m.rdma_reg_base = 60e-6;
+  m.rdma_reg_per_byte = 1.0 / 30e9;
+  m.fs_aggregate_bw = 40e9; // center-wide Lustre (Spider)
+  m.fs_per_node_bw = 1.2e9;
+  m.fs_open_latency = 5e-3;
+  return m;
+}
+
+MachineDesc smoky() {
+  MachineDesc m;
+  m.name = "smoky";
+  m.num_nodes = 80;
+  m.sockets_per_node = 4;   // Figure 5: four quad-core Barcelona packages
+  m.cores_per_socket = 4;
+  m.core_ghz = 2.0;
+  m.l3_bytes_per_socket = 2.0 * (1 << 20);
+  m.mem_bw_local = 6e9;
+  m.mem_bw_remote = 3e9;
+  m.nic_bw = 1.5e9;         // DDR InfiniBand per-direction effective
+  m.nic_latency = 5e-6;
+  m.rdma_reg_base = 100e-6;
+  m.rdma_reg_per_byte = 1.0 / 20e9;
+  m.fs_aggregate_bw = 10e9;
+  m.fs_per_node_bw = 0.8e9;
+  m.fs_open_latency = 8e-3;
+  return m;
+}
+
+}  // namespace flexio::sim

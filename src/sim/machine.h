@@ -1,0 +1,96 @@
+// Machine descriptions for the simulated clusters.
+//
+// The paper evaluates on two ORNL machines; their topology drives every
+// placement experiment:
+//  * Titan (Cray XK6): 18,688 nodes, one 16-core AMD Opteron 6274
+//    "Interlagos" @2.2 GHz per node organized as 2 NUMA domains x 8 cores,
+//    8 MB shared L3 per domain, 32 GB RAM, Gemini 3-D torus interconnect.
+//  * Smoky: 80 nodes, four quad-core AMD Opteron "Barcelona" @2.0 GHz per
+//    node (4 NUMA domains, 2 MB shared L3 each, Figure 5), 32 GB RAM,
+//    DDR InfiniBand.
+// Bandwidth/latency values are calibrated to public specs of the era; the
+// figure harnesses depend on their *ratios* (NIC vs. memory vs. file
+// system), not absolute values.
+#pragma once
+
+#include <string>
+
+#include "util/common.h"
+
+namespace flexio::sim {
+
+/// Where a core sits in the node/socket hierarchy.
+struct CoreLocation {
+  int node = 0;
+  int socket = 0;        // NUMA domain within the node
+  int core_in_socket = 0;
+
+  friend bool operator==(const CoreLocation&, const CoreLocation&) = default;
+};
+
+struct MachineDesc {
+  std::string name;
+  int num_nodes = 1;
+  int sockets_per_node = 1;   // == NUMA domains per node
+  int cores_per_socket = 1;
+  double core_ghz = 2.0;
+
+  // Per-socket shared last-level cache.
+  double l3_bytes_per_socket = 2.0 * (1 << 20);
+
+  // Memory-copy bandwidth for the shared-memory transport (bytes/s).
+  double mem_bw_local = 6e9;    // producer and consumer in one NUMA domain
+  double mem_bw_remote = 3e9;   // copy crosses NUMA domains
+
+  // Interconnect (per-node NIC injection/ejection, bytes/s) and latency.
+  double nic_bw = 1.5e9;
+  double nic_latency = 5e-6;
+
+  // RDMA dynamic allocation+registration cost model: extra time for a
+  // dynamically-registered transfer = reg_base + bytes * reg_per_byte
+  // (page pinning walks the buffer). Static registration avoids it.
+  double rdma_reg_base = 100e-6;
+  double rdma_reg_per_byte = 1.0 / 40e9;
+
+  // Center-wide shared parallel file system (Lustre-like). The aggregate
+  // cap is what makes file I/O non-scaling in Figure 9.
+  double fs_aggregate_bw = 20e9;
+  double fs_per_node_bw = 1.0e9;
+  double fs_open_latency = 5e-3;
+
+  int cores_per_node() const { return sockets_per_node * cores_per_socket; }
+  long total_cores() const {
+    return static_cast<long>(num_nodes) * cores_per_node();
+  }
+
+  /// Decompose a global core id (0 .. total_cores-1) into its location.
+  CoreLocation locate(long core_id) const {
+    FLEXIO_CHECK(core_id >= 0 && core_id < total_cores());
+    CoreLocation loc;
+    loc.node = static_cast<int>(core_id / cores_per_node());
+    const int within = static_cast<int>(core_id % cores_per_node());
+    loc.socket = within / cores_per_socket;
+    loc.core_in_socket = within % cores_per_socket;
+    return loc;
+  }
+
+  /// Inverse of locate().
+  long core_id(const CoreLocation& loc) const {
+    return static_cast<long>(loc.node) * cores_per_node() +
+           loc.socket * cores_per_socket + loc.core_in_socket;
+  }
+
+  /// Memory-copy bandwidth between two cores on the same node.
+  double copy_bw(const CoreLocation& a, const CoreLocation& b) const {
+    FLEXIO_CHECK(a.node == b.node);
+    return a.socket == b.socket ? mem_bw_local : mem_bw_remote;
+  }
+};
+
+/// ORNL Titan (Cray XK6, Gemini).
+MachineDesc titan();
+
+/// ORNL Smoky (80-node InfiniBand cluster, Figure 5 node architecture).
+MachineDesc smoky();
+
+}  // namespace flexio::sim

@@ -1,0 +1,80 @@
+#include "sim/machine_xml.h"
+
+#include "util/strings.h"
+
+namespace flexio::sim {
+
+namespace {
+
+/// Parse attribute `key` as double when present; leaves *out untouched
+/// otherwise. Malformed values are errors.
+Status maybe_double(const xml::Element& e, std::string_view key, double* out) {
+  if (!e.has_attr(key)) return Status::ok();
+  double v = 0;
+  if (!parse_double(e.attr(key), &v) || v <= 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bad machine attribute: " + std::string(key));
+  }
+  *out = v;
+  return Status::ok();
+}
+
+Status maybe_int(const xml::Element& e, std::string_view key, int* out) {
+  if (!e.has_attr(key)) return Status::ok();
+  long long v = 0;
+  if (!parse_int(e.attr(key), &v) || v <= 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bad machine attribute: " + std::string(key));
+  }
+  *out = static_cast<int>(v);
+  return Status::ok();
+}
+
+}  // namespace
+
+StatusOr<MachineDesc> machine_from_xml(const xml::Element& element) {
+  if (element.name != "machine") {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "expected <machine>, got <" + element.name + ">");
+  }
+  MachineDesc m;
+  m.name = std::string(element.attr("name"));
+  if (m.name.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "<machine> needs a name");
+  }
+  FLEXIO_RETURN_IF_ERROR(maybe_int(element, "nodes", &m.num_nodes));
+  FLEXIO_RETURN_IF_ERROR(maybe_int(element, "sockets", &m.sockets_per_node));
+  FLEXIO_RETURN_IF_ERROR(
+      maybe_int(element, "cores-per-socket", &m.cores_per_socket));
+  FLEXIO_RETURN_IF_ERROR(maybe_double(element, "ghz", &m.core_ghz));
+
+  double l3_mb = m.l3_bytes_per_socket / (1 << 20);
+  FLEXIO_RETURN_IF_ERROR(maybe_double(element, "l3-mb", &l3_mb));
+  m.l3_bytes_per_socket = l3_mb * (1 << 20);
+
+  auto gbps = [&element](std::string_view key, double* field) -> Status {
+    double v = *field / 1e9;
+    FLEXIO_RETURN_IF_ERROR(maybe_double(element, key, &v));
+    *field = v * 1e9;
+    return Status::ok();
+  };
+  FLEXIO_RETURN_IF_ERROR(gbps("nic-gbps", &m.nic_bw));
+  FLEXIO_RETURN_IF_ERROR(gbps("mem-local-gbps", &m.mem_bw_local));
+  FLEXIO_RETURN_IF_ERROR(gbps("mem-remote-gbps", &m.mem_bw_remote));
+  FLEXIO_RETURN_IF_ERROR(gbps("fs-aggregate-gbps", &m.fs_aggregate_bw));
+  FLEXIO_RETURN_IF_ERROR(gbps("fs-per-node-gbps", &m.fs_per_node_bw));
+
+  double nic_latency_us = m.nic_latency * 1e6;
+  FLEXIO_RETURN_IF_ERROR(
+      maybe_double(element, "nic-latency-us", &nic_latency_us));
+  m.nic_latency = nic_latency_us * 1e-6;
+  return m;
+}
+
+StatusOr<MachineDesc> machine_from_xml_text(std::string_view text) {
+  auto doc = xml::parse(text);
+  if (!doc.is_ok()) return doc.status();
+  return machine_from_xml(doc.value().root());
+}
+
+}  // namespace flexio::sim

@@ -1,0 +1,27 @@
+// User-defined machine descriptions from XML.
+//
+// The built-in titan()/smoky() models cover the paper's testbeds; sites
+// reproducing the experiments on their own cluster describe it once:
+//
+//   <machine name="mycluster" nodes="128" sockets="2" cores-per-socket="12"
+//            ghz="2.4" l3-mb="16" nic-gbps="12.5" nic-latency-us="1.0"
+//            mem-local-gbps="10" mem-remote-gbps="6"
+//            fs-aggregate-gbps="30" fs-per-node-gbps="1.5"/>
+//
+// Unspecified attributes keep MachineDesc's defaults.
+#pragma once
+
+#include "sim/machine.h"
+#include "util/status.h"
+#include "xml/xml.h"
+
+namespace flexio::sim {
+
+/// Parse a <machine> element. Bandwidth attributes are in GB/s (decimal),
+/// cache in MiB, latency in microseconds.
+StatusOr<MachineDesc> machine_from_xml(const xml::Element& element);
+
+/// Parse from XML text whose root is <machine>.
+StatusOr<MachineDesc> machine_from_xml_text(std::string_view text);
+
+}  // namespace flexio::sim

@@ -1,0 +1,40 @@
+// Event-driven two-stage pipeline simulation.
+//
+// Cross-validates the closed-form assembly in apps::simulate_coupled: a
+// producer (the simulation) emits one data interval at a time, each
+// interval's movement serializes on the transport channel, and a consumer
+// (the analytics) processes intervals in order. The discrete-event version
+// makes no steady-state assumption, so agreement with the closed form (see
+// tests/pipeline_sim_test.cpp) is evidence the figures' totals are not an
+// artifact of the algebra.
+#pragma once
+
+#include "sim/engine.h"
+
+namespace flexio::sim {
+
+struct PipelineSpec {
+  int intervals = 1;
+  /// Producer time per interval (compute + MPI + producer-visible I/O).
+  double producer_seconds = 1.0;
+  /// Transport occupancy per interval; transfers serialize on the channel.
+  double movement_seconds = 0.0;
+  /// Consumer processing time per interval.
+  double consumer_seconds = 0.0;
+  /// Synchronous movement blocks the producer (it cannot start the next
+  /// interval until the transfer completed); asynchronous movement
+  /// overlaps the producer's next interval.
+  bool async_movement = true;
+};
+
+struct PipelineTrace {
+  double total_seconds = 0;      // completion of the last consumer interval
+  double producer_finish = 0;    // when the producer finished its last work
+  double consumer_busy = 0;      // total consumer processing time
+  double consumer_idle = 0;      // gaps while waiting for data
+};
+
+/// Run the pipeline on a fresh event engine. Deterministic.
+PipelineTrace simulate_pipeline(const PipelineSpec& spec);
+
+}  // namespace flexio::sim

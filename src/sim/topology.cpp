@@ -1,0 +1,118 @@
+#include "sim/topology.h"
+
+#include <cmath>
+
+namespace flexio::sim {
+
+TorusTopology::TorusTopology(FlowNetwork* net, std::array<int, 3> dims,
+                             double nic_bw, double link_bw)
+    : dims_(dims) {
+  FLEXIO_CHECK(dims[0] >= 1 && dims[1] >= 1 && dims[2] >= 1);
+  const int n = num_nodes();
+  nic_tx_.reserve(static_cast<std::size_t>(n));
+  nic_rx_.reserve(static_cast<std::size_t>(n));
+  torus_links_.reserve(static_cast<std::size_t>(n) * 6);
+  for (int node = 0; node < n; ++node) {
+    nic_tx_.push_back(net->add_link(nic_bw, "nic_tx" + std::to_string(node)));
+    nic_rx_.push_back(net->add_link(nic_bw, "nic_rx" + std::to_string(node)));
+  }
+  for (int node = 0; node < n; ++node) {
+    for (int dim = 0; dim < 3; ++dim) {
+      for (int dir = 0; dir < 2; ++dir) {
+        torus_links_.push_back(net->add_link(
+            link_bw, "torus" + std::to_string(node) + "d" +
+                         std::to_string(dim) + (dir == 0 ? "+" : "-")));
+      }
+    }
+  }
+}
+
+std::array<int, 3> TorusTopology::coords(int node) const {
+  return {node / (dims_[1] * dims_[2]), (node / dims_[2]) % dims_[1],
+          node % dims_[2]};
+}
+
+int TorusTopology::node_at(const std::array<int, 3>& c) const {
+  return (c[0] * dims_[1] + c[1]) * dims_[2] + c[2];
+}
+
+std::vector<LinkId> TorusTopology::route(int src_node, int dst_node) const {
+  std::vector<LinkId> path;
+  if (src_node == dst_node) return path;
+  path.push_back(nic_tx_[static_cast<std::size_t>(src_node)]);
+  std::array<int, 3> at = coords(src_node);
+  const std::array<int, 3> goal = coords(dst_node);
+  for (int dim = 0; dim < 3; ++dim) {
+    while (at[dim] != goal[dim]) {
+      const int size = dims_[static_cast<std::size_t>(dim)];
+      // Shorter wrap-around direction; ties go +.
+      const int forward = (goal[dim] - at[dim] + size) % size;
+      const int dir = forward <= size - forward ? 0 : 1;
+      path.push_back(torus_link(node_at(at), dim, dir));
+      at[dim] = (at[dim] + (dir == 0 ? 1 : size - 1)) % size;
+    }
+  }
+  path.push_back(nic_rx_[static_cast<std::size_t>(dst_node)]);
+  return path;
+}
+
+int TorusTopology::hop_count(int src_node, int dst_node) const {
+  if (src_node == dst_node) return 0;
+  return static_cast<int>(route(src_node, dst_node).size()) - 2;
+}
+
+FatTreeTopology::FatTreeTopology(FlowNetwork* net, int nodes, int leaf_radix,
+                                 double nic_bw, double oversubscription)
+    : leaf_radix_(leaf_radix) {
+  FLEXIO_CHECK(nodes >= 1 && leaf_radix >= 1);
+  FLEXIO_CHECK(oversubscription > 0);
+  for (int node = 0; node < nodes; ++node) {
+    nic_tx_.push_back(net->add_link(nic_bw, "nic_tx" + std::to_string(node)));
+    nic_rx_.push_back(net->add_link(nic_bw, "nic_rx" + std::to_string(node)));
+  }
+  const int leaves = (nodes + leaf_radix - 1) / leaf_radix;
+  const double trunk_bw = nic_bw * leaf_radix / oversubscription;
+  for (int leaf = 0; leaf < leaves; ++leaf) {
+    leaf_up_.push_back(
+        net->add_link(trunk_bw, "leaf_up" + std::to_string(leaf)));
+    leaf_down_.push_back(
+        net->add_link(trunk_bw, "leaf_down" + std::to_string(leaf)));
+  }
+}
+
+std::vector<LinkId> FatTreeTopology::route(int src_node, int dst_node) const {
+  std::vector<LinkId> path;
+  if (src_node == dst_node) return path;
+  path.push_back(nic_tx_[static_cast<std::size_t>(src_node)]);
+  const int src_leaf = leaf_of(src_node);
+  const int dst_leaf = leaf_of(dst_node);
+  if (src_leaf != dst_leaf) {
+    // Up through the source leaf's trunk, across the core, down the
+    // destination leaf's trunk.
+    path.push_back(leaf_up_[static_cast<std::size_t>(src_leaf)]);
+    path.push_back(leaf_down_[static_cast<std::size_t>(dst_leaf)]);
+  }
+  path.push_back(nic_rx_[static_cast<std::size_t>(dst_node)]);
+  return path;
+}
+
+std::unique_ptr<Topology> make_topology(FlowNetwork* net,
+                                        const MachineDesc& machine,
+                                        int nodes_used) {
+  FLEXIO_CHECK(nodes_used >= 1);
+  if (machine.sockets_per_node == 2) {
+    // Titan-like: smallest near-cubic torus holding nodes_used.
+    int x = std::max(1, static_cast<int>(std::cbrt(double(nodes_used))));
+    int y = x;
+    while (x * y * ((nodes_used + x * y - 1) / (x * y)) < nodes_used) ++y;
+    const int z = (nodes_used + x * y - 1) / (x * y);
+    return std::make_unique<TorusTopology>(
+        net, std::array<int, 3>{x, y, z}, machine.nic_bw,
+        machine.nic_bw * 1.6);  // Gemini per-link > per-node injection
+  }
+  return std::make_unique<FatTreeTopology>(net, nodes_used, 16,
+                                           machine.nic_bw,
+                                           /*oversubscription=*/2.0);
+}
+
+}  // namespace flexio::sim

@@ -1,0 +1,98 @@
+// Interconnect topologies over the flow network.
+//
+// Builds the link graph of the two machine families the paper evaluates on
+// and routes node-to-node transfers across them:
+//  * a 3-D torus with bidirectional links and dimension-ordered routing
+//    (Gemini / Cray XK6 -- Titan),
+//  * a two-level fat tree with leaf switches and a core switch layer
+//    (InfiniBand -- Smoky).
+// Every hop is a FlowNetwork link, so concurrent transfers contend for
+// shared links under max-min fairness; NIC injection/ejection links model
+// the per-node bandwidth cap.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/flow_network.h"
+#include "sim/machine.h"
+#include "util/status.h"
+
+namespace flexio::sim {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Links a transfer from `src` to `dst` crosses (including both NICs).
+  /// src == dst yields an empty path (loopback costs nothing here).
+  virtual std::vector<LinkId> route(int src_node, int dst_node) const = 0;
+
+  virtual int num_nodes() const = 0;
+
+  /// Start a node-to-node transfer over the routed path.
+  void transfer(FlowNetwork* net, int src_node, int dst_node, double bytes,
+                std::function<void(SimTime)> on_done) const {
+    net->start_flow(route(src_node, dst_node), bytes, std::move(on_done));
+  }
+};
+
+/// 3-D torus (Gemini-like). Each node has NIC injection/ejection links;
+/// each torus edge is a pair of directed links. Routing is dimension-
+/// ordered (X, then Y, then Z), taking the shorter wrap-around direction.
+class TorusTopology : public Topology {
+ public:
+  /// Builds links in `net` for a dims[0] x dims[1] x dims[2] torus. NIC
+  /// links carry `nic_bw`; torus links carry `link_bw`.
+  TorusTopology(FlowNetwork* net, std::array<int, 3> dims, double nic_bw,
+                double link_bw);
+
+  std::vector<LinkId> route(int src_node, int dst_node) const override;
+  int num_nodes() const override { return dims_[0] * dims_[1] * dims_[2]; }
+
+  /// Coordinates of a node id (x-major order).
+  std::array<int, 3> coords(int node) const;
+  int node_at(const std::array<int, 3>& c) const;
+
+  /// Number of torus hops the route takes (for tests).
+  int hop_count(int src_node, int dst_node) const;
+
+ private:
+  // Directed link ids: link_[node][dim][dir] with dir 0 = +, 1 = -.
+  LinkId torus_link(int node, int dim, int dir) const {
+    return torus_links_[static_cast<std::size_t>((node * 3 + dim) * 2 + dir)];
+  }
+
+  std::array<int, 3> dims_;
+  std::vector<LinkId> nic_tx_, nic_rx_;
+  std::vector<LinkId> torus_links_;
+};
+
+/// Two-level fat tree (InfiniBand-like): nodes attach to leaf switches of
+/// `leaf_radix` ports; every leaf has an uplink trunk to the core with
+/// `oversubscription` controlling its capacity (1.0 = full bisection).
+class FatTreeTopology : public Topology {
+ public:
+  FatTreeTopology(FlowNetwork* net, int nodes, int leaf_radix, double nic_bw,
+                  double oversubscription = 1.0);
+
+  std::vector<LinkId> route(int src_node, int dst_node) const override;
+  int num_nodes() const override { return static_cast<int>(nic_tx_.size()); }
+
+  int leaf_of(int node) const { return node / leaf_radix_; }
+
+ private:
+  int leaf_radix_;
+  std::vector<LinkId> nic_tx_, nic_rx_;
+  std::vector<LinkId> leaf_up_, leaf_down_;  // per-leaf trunks to the core
+};
+
+/// Topology for a machine description: Titan-style machines (2 NUMA
+/// domains) get a torus sized to hold `nodes_used`; others get a fat tree.
+std::unique_ptr<Topology> make_topology(FlowNetwork* net,
+                                        const MachineDesc& machine,
+                                        int nodes_used);
+
+}  // namespace flexio::sim

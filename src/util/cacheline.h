@@ -1,0 +1,26 @@
+// Cache-line utilities for the shared-memory transport.
+//
+// The paper's FastForward-style queues require that producer and consumer
+// cursors live on different cache lines and that queue entries are aligned
+// and padded so entries never share a line (Section II.D).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace flexio {
+
+/// Assumed destructive interference size. GCC 12 defines
+/// std::hardware_destructive_interference_size but warns that it is ABI
+/// fragile; the paper's target machines (Interlagos, Barcelona) use 64 bytes.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that consecutive Padded<T> never share a cache line.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+};
+static_assert(sizeof(Padded<char>) == kCacheLineSize);
+static_assert(alignof(Padded<char>) == kCacheLineSize);
+
+}  // namespace flexio

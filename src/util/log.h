@@ -1,0 +1,51 @@
+// Leveled logging. The middleware logs placement decisions, transport
+// selection, and retries; tests silence it by raising the threshold.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace flexio {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+bool log_enabled(LogLevel level);
+void log_emit(LogLevel level, const char* file, int line,
+              const std::string& message);
+
+/// Stream-builder so call sites can write FLEXIO_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { log_emit(level_, file_, line_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace flexio
+
+#define FLEXIO_LOG(level)                                            \
+  if (!::flexio::detail::log_enabled(::flexio::LogLevel::level)) {   \
+  } else                                                             \
+    ::flexio::detail::LogLine(::flexio::LogLevel::level, __FILE__, __LINE__)

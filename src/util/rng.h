@@ -1,0 +1,54 @@
+// Deterministic random numbers.
+//
+// The simulator and the workload generators must be reproducible run-to-run
+// so the figure harnesses regenerate identical series; every consumer takes
+// an explicit seed instead of touching global state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace flexio {
+
+/// SplitMix64: tiny, fast, well-distributed; good enough for workload
+/// synthesis and simulator jitter (not cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Modulo bias is negligible for the bounds used here (<< 2^64).
+    return next_u64() % bound;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Approximate standard normal via sum of uniforms (Irwin-Hall, n=12).
+  double next_gaussian() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += next_double();
+    return s - 6.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace flexio

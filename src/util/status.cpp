@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace flexio {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kEndOfStream: return "end_of_stream";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnimplemented: return "unimplemented";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status make_error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+}  // namespace flexio

@@ -1,0 +1,112 @@
+// Error handling for the FlexIO reproduction.
+//
+// Recoverable failures (bad config, timeouts, end-of-stream, missing files)
+// travel through Status / StatusOr<T>; programmer errors abort via
+// FLEXIO_CHECK. This mirrors the middleware's C heritage (ADIOS returns error
+// codes) while staying idiomatic C++.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "util/common.h"
+
+namespace flexio {
+
+/// Error category, stable across the public API.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // name lookup failed (stream, variable, file)
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// call sequencing violated (write before open, ...)
+  kOutOfRange,        // index / selection outside bounds
+  kResourceExhausted, // buffer pool / queue / memory limits
+  kTimeout,           // data movement timed out (paper: timeout-and-retry)
+  kEndOfStream,       // writer closed the stream (normal termination signal)
+  kUnavailable,       // transient transport failure, retryable
+  kInternal,          // invariant broke inside the runtime
+  kUnimplemented,
+};
+
+/// Human-readable name of an ErrorCode ("kTimeout" -> "timeout").
+std::string_view error_code_name(ErrorCode code);
+
+/// Value-semantic error carrier; cheap when OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "timeout: fetch of var 'zion' exceeded 5000ms" or "ok".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+Status make_error(ErrorCode code, std::string message);
+
+/// Either a T or an error Status. Minimal expected<T, Status>.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    FLEXIO_CHECK(!std::get<Status>(rep_).is_ok());
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Status of the operation; ok when a value is present.
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(rep_);
+  }
+
+  /// The contained value. Aborts when called on an error.
+  T& value() & {
+    FLEXIO_CHECK(is_ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    FLEXIO_CHECK(is_ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    FLEXIO_CHECK(is_ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace flexio
+
+/// Propagate an error Status from the current function.
+#define FLEXIO_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::flexio::Status flexio_status_ = (expr);         \
+    if (!flexio_status_.is_ok()) return flexio_status_; \
+  } while (0)

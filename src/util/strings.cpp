@@ -1,0 +1,92 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flexio {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool parse_size(std::string_view s, std::size_t* out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  std::size_t mult = 1;
+  switch (s.back()) {
+    case 'K': case 'k': mult = 1ULL << 10; s.remove_suffix(1); break;
+    case 'M': case 'm': mult = 1ULL << 20; s.remove_suffix(1); break;
+    case 'G': case 'g': mult = 1ULL << 30; s.remove_suffix(1); break;
+    default: break;
+  }
+  long long v = 0;
+  if (!parse_int(s, &v) || v < 0) return false;
+  *out = static_cast<std::size_t>(v) * mult;
+  return true;
+}
+
+bool parse_int(std::string_view s, long long* out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(std::string_view s, double* out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace flexio

@@ -1,0 +1,33 @@
+// Small string helpers shared by the XML parser, config handling, and the
+// CoD-mini lexer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexio {
+
+/// Remove leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Case-sensitive prefix test.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a non-negative size with optional K/M/G (binary) suffix, e.g.
+/// "64M" -> 67108864. Returns false on malformed input.
+bool parse_size(std::string_view s, std::size_t* out);
+
+/// Parse a signed integer; returns false on malformed input or overflow.
+bool parse_int(std::string_view s, long long* out);
+
+/// Parse a double; returns false on malformed input.
+bool parse_double(std::string_view s, double* out);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace flexio

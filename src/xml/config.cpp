@@ -1,0 +1,177 @@
+#include "xml/config.h"
+
+#include "util/strings.h"
+
+namespace flexio::xml {
+
+const MethodConfig* Config::method_for(std::string_view group_name) const {
+  for (const auto& m : methods) {
+    if (m.group == group_name) return &m;
+  }
+  return nullptr;
+}
+
+const GroupConfig* Config::group(std::string_view name) const {
+  for (const auto& g : groups) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status parse_caching(std::string_view v, CachingLevel* out) {
+  if (v == "none") *out = CachingLevel::kNone;
+  else if (v == "local") *out = CachingLevel::kLocal;
+  else if (v == "all") *out = CachingLevel::kAll;
+  else
+    return make_error(ErrorCode::kInvalidArgument,
+                      "unknown caching level: " + std::string(v));
+  return Status::ok();
+}
+
+Status parse_bool(std::string_view v, bool* out) {
+  if (v == "yes" || v == "true" || v == "1") *out = true;
+  else if (v == "no" || v == "false" || v == "0") *out = false;
+  else
+    return make_error(ErrorCode::kInvalidArgument,
+                      "expected boolean, got: " + std::string(v));
+  return Status::ok();
+}
+
+}  // namespace
+
+Status apply_method_params(std::string_view params, MethodConfig* method) {
+  for (std::string_view kv : split(params, ';')) {
+    kv = trim(kv);
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "method param missing '=': " + std::string(kv));
+    }
+    const std::string_view key = trim(kv.substr(0, eq));
+    const std::string_view val = trim(kv.substr(eq + 1));
+    if (key == "caching") {
+      FLEXIO_RETURN_IF_ERROR(parse_caching(val, &method->caching));
+    } else if (key == "batching") {
+      FLEXIO_RETURN_IF_ERROR(parse_bool(val, &method->batching));
+    } else if (key == "async") {
+      FLEXIO_RETURN_IF_ERROR(parse_bool(val, &method->async_writes));
+    } else if (key == "queue_entries") {
+      long long n = 0;
+      if (!parse_int(val, &n) || n <= 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad queue_entries: " + std::string(val));
+      }
+      method->queue_entries = static_cast<std::size_t>(n);
+    } else if (key == "queue_payload") {
+      if (!parse_size(val, &method->queue_payload_bytes)) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad queue_payload: " + std::string(val));
+      }
+    } else if (key == "pool") {
+      if (!parse_size(val, &method->pool_bytes)) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad pool size: " + std::string(val));
+      }
+    } else if (key == "rdma_pool") {
+      if (!parse_size(val, &method->rdma_pool_bytes)) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad rdma_pool size: " + std::string(val));
+      }
+    } else if (key == "timeout_ms") {
+      if (!parse_double(val, &method->timeout_ms) || method->timeout_ms <= 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad timeout_ms: " + std::string(val));
+      }
+    } else if (key == "max_retries") {
+      long long n = 0;
+      if (!parse_int(val, &n) || n < 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad max_retries: " + std::string(val));
+      }
+      method->max_retries = static_cast<int>(n);
+    } else {
+      method->extra.emplace(std::string(key), std::string(val));
+    }
+  }
+  return Status::ok();
+}
+
+namespace {
+
+StatusOr<Config> config_from_root(const Element& root) {
+  if (root.name != "adios-config") {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "config root must be <adios-config>, got <" + root.name +
+                          ">");
+  }
+
+  Config cfg;
+  for (const Element* g : root.children_named("adios-group")) {
+    GroupConfig group;
+    group.name = std::string(g->attr("name"));
+    if (group.name.empty()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "<adios-group> requires name attribute");
+    }
+    for (const Element* v : g->children_named("var")) {
+      VarConfig var;
+      var.name = std::string(v->attr("name"));
+      var.type = std::string(v->attr("type"));
+      if (var.name.empty() || var.type.empty()) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "<var> requires name and type attributes");
+      }
+      for (std::string_view d : split(v->attr("dimensions"), ',')) {
+        d = trim(d);
+        if (!d.empty()) var.dimensions.emplace_back(d);
+      }
+      group.vars.push_back(std::move(var));
+    }
+    cfg.groups.push_back(std::move(group));
+  }
+
+  for (const Element* m : root.children_named("method")) {
+    MethodConfig method;
+    method.group = std::string(m->attr("group"));
+    method.method = std::string(m->attr("method"));
+    if (method.group.empty() || method.method.empty()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "<method> requires group and method attributes");
+    }
+    if (cfg.group(method.group) == nullptr) {
+      return make_error(ErrorCode::kNotFound,
+                        "<method> references unknown group: " + method.group);
+    }
+    FLEXIO_RETURN_IF_ERROR(apply_method_params(m->text, &method));
+    cfg.methods.push_back(std::move(method));
+  }
+
+  if (const Element* buf = root.child("buffer")) {
+    long long mb = 0;
+    if (!parse_int(buf->attr("size-MB"), &mb) || mb <= 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "<buffer> requires positive size-MB");
+    }
+    cfg.buffer_mb = static_cast<std::size_t>(mb);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+StatusOr<Config> parse_config(std::string_view text) {
+  auto doc = parse(text);
+  if (!doc.is_ok()) return doc.status();
+  return config_from_root(doc.value().root());
+}
+
+StatusOr<Config> parse_config_file(const std::string& path) {
+  auto doc = parse_file(path);
+  if (!doc.is_ok()) return doc.status();
+  return config_from_root(doc.value().root());
+}
+
+}  // namespace flexio::xml

@@ -1,0 +1,80 @@
+// FlexIO/ADIOS-style run configuration parsed from XML.
+//
+// Mirrors the paper's usage: an external XML file declares I/O groups and
+// their variables, selects the I/O method per group (file engine vs. FlexIO
+// stream), and passes transport tuning hints ("caching", "batching", "async",
+// buffer sizes) so that changing placement or transport never touches
+// application code (Sections II.A-II.B).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/xml.h"
+
+namespace flexio::xml {
+
+/// Handshake-distribution caching levels from Section II.C.
+enum class CachingLevel {
+  kNone,   // full 4-step handshake every variable, every timestep
+  kLocal,  // reuse local-side distribution (skip Step 1)
+  kAll,    // reuse both sides' distributions (skip Steps 1-4)
+};
+
+/// Per-group I/O method selection. A one-line change of `method` switches a
+/// group between offline files and online streaming.
+struct MethodConfig {
+  std::string group;            // adios-group this method applies to
+  std::string method;           // "POSIX", "BP", "FLEXIO", ...
+  CachingLevel caching = CachingLevel::kNone;
+  bool batching = false;        // pack all variables of a step into one batch
+  bool async_writes = false;    // writer returns before delivery completes
+  std::size_t queue_entries = 64;        // shm data-queue depth
+  std::size_t queue_payload_bytes = 256; // shm data-queue entry payload size
+  std::size_t pool_bytes = 64ull << 20;  // shm / rdma buffer pool cap
+  std::size_t rdma_pool_bytes = 256ull << 20;  // registration-cache cap
+  double timeout_ms = 30000.0;  // data-movement timeout before retry
+  int max_retries = 3;          // paper: "simple timeout-and-retry"
+  std::map<std::string, std::string> extra;  // unrecognized hints, passed through
+};
+
+/// One variable declaration inside a group.
+struct VarConfig {
+  std::string name;
+  std::string type;                     // "double", "int32", "byte", ...
+  std::vector<std::string> dimensions;  // symbolic or literal extents
+};
+
+/// One adios-group: a named set of variables written together each step.
+struct GroupConfig {
+  std::string name;
+  std::vector<VarConfig> vars;
+};
+
+/// Whole parsed configuration file.
+struct Config {
+  std::vector<GroupConfig> groups;
+  std::vector<MethodConfig> methods;
+  std::size_t buffer_mb = 40;  // ADIOS-style staging buffer size
+
+  /// Method for a group; nullptr when the group has no <method> entry.
+  const MethodConfig* method_for(std::string_view group) const;
+  /// Group by name; nullptr when absent.
+  const GroupConfig* group(std::string_view name) const;
+};
+
+/// Parse a config from XML text (root element <adios-config>).
+StatusOr<Config> parse_config(std::string_view text);
+
+/// Parse a config from a file.
+StatusOr<Config> parse_config_file(const std::string& path);
+
+/// Parse "key=value;key=value" method parameter strings (the text content of
+/// a <method> element) into a MethodConfig, layered over defaults.
+Status apply_method_params(std::string_view params, MethodConfig* method);
+
+}  // namespace flexio::xml

@@ -1,0 +1,214 @@
+#include "xml/xml.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace flexio::xml {
+
+std::string_view Element::attr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+bool Element::has_attr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Element* Element::child(std::string_view tag) const {
+  for (const auto& c : children) {
+    if (c->name == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view tag) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children) {
+    if (c->name == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view with line tracking.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Document> parse() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.is_ok()) return root.status();
+    skip_misc();
+    if (pos_ != text_.size()) {
+      return error("trailing content after document root");
+    }
+    return Document(std::move(root).value());
+  }
+
+ private:
+  Status error(const std::string& what) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      str_format("xml line %d: %s", line_, what.c_str()));
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return eof() ? '\0' : text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) return false;
+    for (std::size_t i = 0; i < token.size(); ++i) advance();
+    return true;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  /// Skip comments and whitespace outside elements.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (consume("<!--")) {
+        while (!eof() && !consume("-->")) advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (consume("<?xml")) {
+      while (!eof() && !consume("?>")) advance();
+    }
+    skip_misc();
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!eof() && is_name_char(peek())) name.push_back(advance());
+    return name;
+  }
+
+  /// Decode the five predefined entities inside `raw`.
+  static std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const std::string_view rest = raw.substr(i);
+      if (starts_with(rest, "&lt;")) { out.push_back('<'); i += 3; }
+      else if (starts_with(rest, "&gt;")) { out.push_back('>'); i += 3; }
+      else if (starts_with(rest, "&amp;")) { out.push_back('&'); i += 4; }
+      else if (starts_with(rest, "&quot;")) { out.push_back('"'); i += 5; }
+      else if (starts_with(rest, "&apos;")) { out.push_back('\''); i += 5; }
+      else out.push_back('&');  // tolerate bare ampersands in config files
+    }
+    return out;
+  }
+
+  StatusOr<std::pair<std::string, std::string>> parse_attribute() {
+    const std::string key = parse_name();
+    if (key.empty()) return error("expected attribute name");
+    skip_ws();
+    if (eof() || advance() != '=') return error("expected '=' after attribute");
+    skip_ws();
+    if (eof()) return error("unterminated attribute");
+    const char quote = advance();
+    if (quote != '"' && quote != '\'') return error("expected quoted value");
+    std::string raw;
+    while (!eof() && peek() != quote) raw.push_back(advance());
+    if (eof()) return error("unterminated attribute value");
+    advance();  // closing quote
+    return std::make_pair(key, decode_entities(raw));
+  }
+
+  StatusOr<std::unique_ptr<Element>> parse_element() {
+    if (!consume("<")) return error("expected '<'");
+    auto elem = std::make_unique<Element>();
+    elem->name = parse_name();
+    if (elem->name.empty()) return error("expected element name");
+    for (;;) {
+      skip_ws();
+      if (consume("/>")) return elem;  // self-closing
+      if (consume(">")) break;
+      auto attr = parse_attribute();
+      if (!attr.is_ok()) return attr.status();
+      elem->attributes.push_back(std::move(attr).value());
+    }
+    // Content: text, comments, child elements, until matching close tag.
+    std::string text;
+    for (;;) {
+      if (eof()) return error("unexpected end inside <" + elem->name + ">");
+      if (consume("<!--")) {
+        while (!eof() && !consume("-->")) advance();
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "</") {
+        consume("</");
+        const std::string close = parse_name();
+        skip_ws();
+        if (!consume(">")) return error("malformed close tag");
+        if (close != elem->name) {
+          return error("mismatched close tag </" + close + "> for <" +
+                       elem->name + ">");
+        }
+        elem->text = std::string(trim(decode_entities(text)));
+        return elem;
+      }
+      if (peek() == '<') {
+        auto kid = parse_element();
+        if (!kid.is_ok()) return kid.status();
+        elem->children.push_back(std::move(kid).value());
+        continue;
+      }
+      text.push_back(advance());
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+StatusOr<Document> parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+StatusOr<Document> parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "cannot open xml file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace flexio::xml

@@ -1,0 +1,56 @@
+// Minimal XML parser for FlexIO/ADIOS-style configuration files.
+//
+// The paper (Section II.B) configures transports and their tuning hints via
+// an external XML file so that switching file I/O <-> stream transports needs
+// no application code change. This parser supports exactly what those config
+// files need: nested elements, attributes, text content, comments, XML
+// declarations, and the five predefined entities. No namespaces, DTDs, or
+// processing instructions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexio::xml {
+
+/// One parsed element; children are owned.
+struct Element {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;  // concatenated character data directly inside this element
+  std::vector<std::unique_ptr<Element>> children;
+
+  /// First attribute value by name, or empty view when absent.
+  std::string_view attr(std::string_view key) const;
+  /// Whether the attribute is present.
+  bool has_attr(std::string_view key) const;
+  /// First child element with the given tag name, or nullptr.
+  const Element* child(std::string_view tag) const;
+  /// All children with the given tag name.
+  std::vector<const Element*> children_named(std::string_view tag) const;
+};
+
+/// Parsed document; root() aborts if parsing produced no root.
+class Document {
+ public:
+  explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
+  const Element& root() const {
+    FLEXIO_CHECK(root_ != nullptr);
+    return *root_;
+  }
+
+ private:
+  std::unique_ptr<Element> root_;
+};
+
+/// Parse an XML document from text. Errors carry line numbers.
+StatusOr<Document> parse(std::string_view text);
+
+/// Parse the file at `path`.
+StatusOr<Document> parse_file(const std::string& path);
+
+}  // namespace flexio::xml

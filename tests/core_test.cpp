@@ -1,0 +1,717 @@
+// Integration tests for the FlexIO core runtime: program collectives, wire
+// messages, redistribution planning, and full writer/reader pipelines over
+// every transport mode, caching level, and I/O pattern.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <thread>
+
+#include "core/program.h"
+#include "core/redistribution.h"
+#include "core/runtime.h"
+#include "core/stream_reader.h"
+#include "core/stream_writer.h"
+#include "util/strings.h"
+
+namespace flexio {
+namespace {
+
+using namespace std::chrono_literals;
+using adios::Box;
+using adios::Dims;
+using serial::DataType;
+
+/// Run fn(rank) on `size` threads, one per rank; propagate gtest failures.
+void run_ranks(int size, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&fn, r] { fn(r); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(ProgramTest, GatherCollectsAllRanks) {
+  Program prog("p", 4);
+  std::vector<std::vector<std::byte>> result;
+  run_ranks(4, [&](int rank) {
+    std::byte payload{static_cast<unsigned char>(rank * 3)};
+    std::vector<std::vector<std::byte>> all;
+    ASSERT_TRUE(prog.gather(rank, ByteView(&payload, 1), &all, 5s).is_ok());
+    if (rank == 0) result = std::move(all);
+  });
+  ASSERT_EQ(result.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(result[static_cast<std::size_t>(r)].size(), 1u);
+    EXPECT_EQ(result[static_cast<std::size_t>(r)][0],
+              std::byte{static_cast<unsigned char>(r * 3)});
+  }
+}
+
+TEST(ProgramTest, BroadcastDistributesCoordinatorData) {
+  Program prog("p", 3);
+  run_ranks(3, [&](int rank) {
+    std::vector<std::byte> data;
+    if (rank == 0) data = {std::byte{7}, std::byte{8}};
+    ASSERT_TRUE(prog.broadcast(rank, &data, 5s).is_ok());
+    ASSERT_EQ(data.size(), 2u);
+    EXPECT_EQ(data[0], std::byte{7});
+  });
+}
+
+TEST(ProgramTest, RepeatedRoundsDoNotBleed) {
+  Program prog("p", 3);
+  run_ranks(3, [&](int rank) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<std::byte> data;
+      if (rank == 0) data = {std::byte{static_cast<unsigned char>(round)}};
+      ASSERT_TRUE(prog.broadcast(rank, &data, 5s).is_ok());
+      ASSERT_EQ(data.size(), 1u);
+      ASSERT_EQ(data[0], std::byte{static_cast<unsigned char>(round)});
+      ASSERT_TRUE(prog.barrier(rank, 5s).is_ok());
+    }
+  });
+}
+
+TEST(ProgramTest, SingleRankProgramTrivial) {
+  Program prog("solo", 1);
+  std::vector<std::vector<std::byte>> all;
+  EXPECT_TRUE(prog.gather(0, {}, &all, 1s).is_ok());
+  EXPECT_TRUE(prog.barrier(0, 1s).is_ok());
+}
+
+TEST(WireTest, AllMessagesRoundTrip) {
+  wire::OpenRequest openreq{"viz", 4};
+  auto decoded_req =
+      wire::decode_open_request(ByteView(wire::encode(openreq)));
+  ASSERT_TRUE(decoded_req.is_ok());
+  EXPECT_EQ(decoded_req.value().reader_program, "viz");
+  EXPECT_EQ(decoded_req.value().reader_size, 4);
+
+  wire::OpenReply reply{"sim", 16, 2, true, true};
+  auto decoded_reply = wire::decode_open_reply(ByteView(wire::encode(reply)));
+  ASSERT_TRUE(decoded_reply.is_ok());
+  EXPECT_EQ(decoded_reply.value().writer_size, 16);
+  EXPECT_EQ(decoded_reply.value().caching, 2);
+  EXPECT_TRUE(decoded_reply.value().batching);
+
+  wire::StepAnnounce ann;
+  ann.step = 9;
+  wire::BlockInfo b;
+  b.writer_rank = 3;
+  b.meta = adios::global_array_var("T", DataType::kDouble, {100}, Box{{0}, {50}});
+  ann.blocks.push_back(b);
+  auto decoded_ann =
+      wire::decode_step_announce(ByteView(wire::encode(ann)));
+  ASSERT_TRUE(decoded_ann.is_ok());
+  EXPECT_EQ(decoded_ann.value().step, 9);
+  ASSERT_EQ(decoded_ann.value().blocks.size(), 1u);
+  EXPECT_EQ(decoded_ann.value().blocks[0].meta.name, "T");
+
+  wire::ReadRequest req;
+  req.step = 9;
+  req.selections.push_back(wire::SelectionInfo{1, "T", Box{{10}, {20}}});
+  req.pg_requests.push_back(wire::PgRequestInfo{0, 5});
+  req.plugins.push_back(wire::PluginInstall{"T", "x * 2", true});
+  auto decoded = wire::decode_read_request(ByteView(wire::encode(req)));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().selections[0].var, "T");
+  EXPECT_EQ(decoded.value().pg_requests[0].writer_rank, 5);
+  ASSERT_EQ(decoded.value().plugins.size(), 1u);
+  EXPECT_EQ(decoded.value().plugins[0].source, "x * 2");
+
+  wire::DataMsg data;
+  data.step = 9;
+  data.writer_rank = 2;
+  wire::DataPiece piece;
+  piece.meta = b.meta;
+  piece.region = Box{{10}, {5}};
+  piece.payload.resize(40);
+  data.pieces.push_back(piece);
+  auto decoded_data = wire::decode_data(ByteView(wire::encode(data)));
+  ASSERT_TRUE(decoded_data.is_ok());
+  EXPECT_EQ(decoded_data.value().pieces[0].payload.size(), 40u);
+
+  EXPECT_EQ(wire::peek_type(ByteView(wire::encode_close(7))).value(),
+            wire::MsgType::kClose);
+
+  wire::MonitorReport report{5, 1000, 0.5, 0.25, 0.125, 4, 1};
+  auto decoded_rep =
+      wire::decode_monitor_report(ByteView(wire::encode(report)));
+  ASSERT_TRUE(decoded_rep.is_ok());
+  EXPECT_EQ(decoded_rep.value().steps, 5u);
+  EXPECT_DOUBLE_EQ(decoded_rep.value().handshake_seconds, 0.25);
+}
+
+TEST(WireTest, CorruptFramesRejected) {
+  EXPECT_FALSE(wire::peek_type({}).is_ok());
+  std::vector<std::byte> junk{std::byte{0xee}};
+  EXPECT_FALSE(wire::peek_type(ByteView(junk)).is_ok());
+  std::vector<std::byte> truncated = wire::encode(wire::OpenRequest{"x", 1});
+  truncated.resize(1);
+  EXPECT_FALSE(wire::decode_open_request(ByteView(truncated)).is_ok());
+}
+
+// ------------------------------------------------------- planning tests --
+
+std::vector<wire::BlockInfo> make_blocks(const Dims& global, int writers) {
+  std::vector<wire::BlockInfo> blocks;
+  for (int w = 0; w < writers; ++w) {
+    wire::BlockInfo b;
+    b.writer_rank = w;
+    b.meta = adios::global_array_var(
+        "A", DataType::kDouble, global,
+        adios::block_decompose(global, writers, w, 0));
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+TEST(PlanTest, Figure3MappingNineToTwo) {
+  // Paper Figure 3: a 2-D array distributed among 9 simulation processes is
+  // passed to 2 analytics processes with a different decomposition.
+  const Dims global{9, 6};
+  auto blocks = make_blocks(global, 9);  // row-wise strips
+  wire::ReadRequest req;
+  req.step = 0;
+  for (int r = 0; r < 2; ++r) {
+    req.selections.push_back(wire::SelectionInfo{
+        r, "A", adios::block_decompose(global, 2, r, 1)});  // column halves
+  }
+  const auto plan = plan_transfers(blocks, req);
+  // Every writer overlaps both readers: 18 pieces.
+  EXPECT_EQ(plan.size(), 18u);
+  // Total bytes moved == one full copy of the array.
+  std::uint64_t bytes = 0;
+  for (const auto& p : plan) bytes += p.bytes();
+  EXPECT_EQ(bytes, adios::volume(global) * sizeof(double));
+  // Each reader receives exactly its half.
+  const auto mine = pieces_to_reader(plan, 0);
+  std::uint64_t reader0 = 0;
+  for (const auto& p : mine) reader0 += p.bytes();
+  EXPECT_EQ(reader0, 9u * 3u * sizeof(double));
+}
+
+TEST(PlanTest, DisjointSelectionsNoPieces) {
+  auto blocks = make_blocks({10}, 1);
+  wire::ReadRequest req;
+  req.selections.push_back(wire::SelectionInfo{0, "B", Box{{0}, {10}}});
+  EXPECT_TRUE(plan_transfers(blocks, req).empty());  // wrong name
+}
+
+TEST(PlanTest, PgRequestsTransferWholeBlocks) {
+  std::vector<wire::BlockInfo> blocks;
+  for (int w = 0; w < 3; ++w) {
+    wire::BlockInfo b;
+    b.writer_rank = w;
+    b.meta = adios::local_array_var("particles", DataType::kDouble,
+                                    {10 + static_cast<std::uint64_t>(w), 7});
+    blocks.push_back(b);
+  }
+  wire::ReadRequest req;
+  req.pg_requests.push_back(wire::PgRequestInfo{0, 1});
+  req.pg_requests.push_back(wire::PgRequestInfo{1, 2});
+  const auto plan = plan_transfers(blocks, req);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_TRUE(plan[0].whole_block);
+  EXPECT_EQ(plan[0].writer_rank, 1);
+  EXPECT_EQ(plan[0].reader_rank, 0);
+  EXPECT_EQ(plan[0].bytes(), 11u * 7u * sizeof(double));
+}
+
+TEST(PlanTest, CommMatrixAggregatesBytes) {
+  auto blocks = make_blocks({8}, 2);
+  wire::ReadRequest req;
+  req.selections.push_back(wire::SelectionInfo{0, "A", Box{{0}, {8}}});
+  const auto plan = plan_transfers(blocks, req);
+  const auto m = comm_matrix(plan, 2, 1);
+  EXPECT_EQ(m[0][0], 4u * sizeof(double));
+  EXPECT_EQ(m[1][0], 4u * sizeof(double));
+}
+
+TEST(PlanTest, DeterministicOrder) {
+  auto blocks = make_blocks({100, 4}, 7);
+  wire::ReadRequest req;
+  for (int r = 0; r < 3; ++r) {
+    req.selections.push_back(wire::SelectionInfo{
+        r, "A", adios::block_decompose({100, 4}, 3, r, 0)});
+  }
+  const auto a = plan_transfers(blocks, req);
+  const auto b = plan_transfers(blocks, req);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].writer_rank, b[i].writer_rank);
+    EXPECT_EQ(a[i].reader_rank, b[i].reader_rank);
+    EXPECT_EQ(a[i].region, b[i].region);
+  }
+}
+
+// ------------------------------------------------- end-to-end pipelines --
+
+struct PipelineConfig {
+  int writers = 3;
+  int readers = 2;
+  int steps = 3;
+  std::string method_params;
+  bool writers_remote = false;  // place readers on another node (RDMA)
+  const char* name = "";
+};
+
+xml::MethodConfig stream_method(const std::string& params) {
+  xml::MethodConfig m;
+  m.method = "FLEXIO";
+  m.timeout_ms = 20000;
+  FLEXIO_CHECK(xml::apply_method_params(params, &m).is_ok());
+  return m;
+}
+
+/// Full coupled pipeline: `writers` ranks produce a 2-D global array and a
+/// per-rank particle array each step; `readers` ranks pull a column-block
+/// decomposition of the global array plus assigned process groups. Verifies
+/// every element end to end.
+void run_pipeline(const PipelineConfig& cfg) {
+  Runtime rt;
+  Program sim("sim", cfg.writers);
+  Program viz("viz", cfg.readers);
+  const Dims global{24, 10};
+
+  auto writer_fn = [&](int rank) {
+    StreamSpec spec;
+    spec.stream = std::string("pipe_") + cfg.name;
+    spec.endpoint = EndpointSpec{&sim, rank, evpath::Location{0, rank}};
+    spec.method = stream_method(cfg.method_params);
+    auto writer = rt.open_writer(spec);
+    ASSERT_TRUE(writer.is_ok()) << writer.status().to_string();
+    StreamWriter& w = *writer.value();
+
+    const Box box = adios::block_decompose(global, cfg.writers, rank, 0);
+    std::vector<double> field(box.elements());
+    const std::uint64_t nparticles = 5 + static_cast<std::uint64_t>(rank);
+    std::vector<double> particles(nparticles * 7);
+
+    for (int step = 0; step < cfg.steps; ++step) {
+      // Field value encodes (step, global row, global col).
+      std::size_t i = 0;
+      for (std::uint64_t r = 0; r < box.count[0]; ++r) {
+        for (std::uint64_t c = 0; c < box.count[1]; ++c) {
+          field[i++] = step * 1e6 + (box.offset[0] + r) * 1e3 +
+                       (box.offset[1] + c);
+        }
+      }
+      for (std::size_t p = 0; p < particles.size(); ++p) {
+        particles[p] = rank * 1e4 + step * 1e2 + static_cast<double>(p);
+      }
+      ASSERT_TRUE(w.begin_step(step).is_ok());
+      ASSERT_TRUE(w.write(adios::global_array_var("field", DataType::kDouble,
+                                                  global, box),
+                          as_bytes_view(std::span<const double>(field)))
+                      .is_ok());
+      ASSERT_TRUE(
+          w.write(adios::local_array_var("particles", DataType::kDouble,
+                                         {nparticles, 7}),
+                  as_bytes_view(std::span<const double>(particles)))
+              .is_ok());
+      ASSERT_TRUE(w.write_scalar("time", step * 0.5).is_ok());
+      const Status st = w.end_step();
+      ASSERT_TRUE(st.is_ok()) << st.to_string();
+    }
+    ASSERT_TRUE(w.close().is_ok());
+  };
+
+  auto reader_fn = [&](int rank) {
+    StreamSpec spec;
+    spec.stream = std::string("pipe_") + cfg.name;
+    spec.endpoint = EndpointSpec{
+        &viz, rank,
+        evpath::Location{cfg.writers_remote ? 7 : 0, 100 + rank}};
+    spec.method = stream_method(cfg.method_params);
+    auto reader = rt.open_reader(spec);
+    ASSERT_TRUE(reader.is_ok()) << reader.status().to_string();
+    StreamReader& r = *reader.value();
+    EXPECT_EQ(r.num_writers(), cfg.writers);
+
+    const Box sel = adios::block_decompose(global, cfg.readers, rank, 1);
+    std::vector<double> out(sel.elements());
+    int steps_seen = 0;
+    for (;;) {
+      auto step = r.begin_step();
+      if (step.status().code() == ErrorCode::kEndOfStream) break;
+      ASSERT_TRUE(step.is_ok()) << step.status().to_string();
+      ASSERT_EQ(step.value(), steps_seen);
+      std::fill(out.begin(), out.end(), -1.0);
+      ASSERT_TRUE(r.schedule_read("field", sel,
+                                  MutableByteView(std::as_writable_bytes(
+                                      std::span<double>(out))))
+                      .is_ok());
+      // Round-robin process groups across readers.
+      for (int w = rank; w < cfg.writers; w += cfg.readers) {
+        ASSERT_TRUE(r.schedule_read_pg(w).is_ok());
+      }
+      const Status st = r.perform_reads();
+      ASSERT_TRUE(st.is_ok()) << st.to_string();
+
+      // Verify the field selection.
+      std::size_t i = 0;
+      for (std::uint64_t row = 0; row < sel.count[0]; ++row) {
+        for (std::uint64_t col = 0; col < sel.count[1]; ++col) {
+          ASSERT_DOUBLE_EQ(out[i++],
+                           step.value() * 1e6 + (sel.offset[0] + row) * 1e3 +
+                               (sel.offset[1] + col));
+        }
+      }
+      // Verify the process groups.
+      int expected_pgs = 0;
+      for (int w = rank; w < cfg.writers; w += cfg.readers) ++expected_pgs;
+      ASSERT_EQ(r.pg_blocks().size(), static_cast<std::size_t>(expected_pgs));
+      for (const PgBlock& block : r.pg_blocks()) {
+        const auto n = 5 + static_cast<std::uint64_t>(block.writer_rank);
+        ASSERT_EQ(block.meta.block.count[0], n);
+        const auto* vals =
+            reinterpret_cast<const double*>(block.payload.data());
+        for (std::uint64_t p = 0; p < n * 7; ++p) {
+          ASSERT_DOUBLE_EQ(vals[p], block.writer_rank * 1e4 +
+                                        step.value() * 1e2 +
+                                        static_cast<double>(p));
+        }
+      }
+      // Scalars ride the announce; with caching they refresh on step 0 only.
+      auto time = r.scalar_double("time");
+      ASSERT_TRUE(time.is_ok());
+      ASSERT_TRUE(r.end_step().is_ok());
+      ++steps_seen;
+    }
+    EXPECT_EQ(steps_seen, cfg.steps);
+    ASSERT_TRUE(r.writer_report().has_value());
+    EXPECT_EQ(r.writer_report()->steps, static_cast<std::uint64_t>(cfg.steps));
+  };
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < cfg.writers; ++w) {
+    threads.emplace_back([&, w] { writer_fn(w); });
+  }
+  for (int r = 0; r < cfg.readers; ++r) {
+    threads.emplace_back([&, r] { reader_fn(r); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+class PipelineTest : public ::testing::TestWithParam<PipelineConfig> {};
+
+TEST_P(PipelineTest, EndToEnd) { run_pipeline(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, PipelineTest,
+    ::testing::Values(
+        PipelineConfig{3, 2, 3, "caching=none", false, "none_shm"},
+        PipelineConfig{3, 2, 3, "caching=local", false, "local_shm"},
+        PipelineConfig{3, 2, 4, "caching=all", false, "all_shm"},
+        PipelineConfig{3, 2, 3, "caching=all; batching=yes; async=yes", false,
+                       "tuned_shm"},
+        PipelineConfig{3, 2, 3, "caching=none; batching=yes", true,
+                       "batched_rdma"},
+        PipelineConfig{2, 2, 3, "caching=all; async=yes", true, "all_rdma"},
+        PipelineConfig{1, 1, 2, "caching=none", false, "minimal"},
+        PipelineConfig{4, 1, 2, "caching=local; batching=yes", false,
+                       "fan_in"},
+        PipelineConfig{1, 3, 2, "caching=none", true, "fan_out"}),
+    [](const auto& suite_info) { return std::string(suite_info.param.name); });
+
+TEST(PipelineModesTest, CachingSkipsHandshakes) {
+  // Run a caching=all pipeline and confirm the writer-side report shows
+  // exactly one performed handshake and the rest skipped.
+  Runtime rt;
+  Program sim("sim", 1);
+  Program viz("viz", 1);
+  const int kSteps = 5;
+  std::optional<wire::MonitorReport> report;
+
+  std::thread writer([&] {
+    StreamSpec spec;
+    spec.stream = "cachetest";
+    spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+    spec.method = stream_method("caching=all");
+    auto w = rt.open_writer(spec);
+    ASSERT_TRUE(w.is_ok());
+    std::vector<double> data(8, 1.0);
+    for (int s = 0; s < kSteps; ++s) {
+      ASSERT_TRUE(w.value()->begin_step(s).is_ok());
+      ASSERT_TRUE(w.value()
+                      ->write(adios::global_array_var("v", DataType::kDouble,
+                                                      {8}, Box{{0}, {8}}),
+                              as_bytes_view(std::span<const double>(data)))
+                      .is_ok());
+      ASSERT_TRUE(w.value()->end_step().is_ok());
+    }
+    ASSERT_TRUE(w.value()->close().is_ok());
+  });
+  std::thread reader([&] {
+    StreamSpec spec;
+    spec.stream = "cachetest";
+    spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{0, 1}};
+    spec.method = stream_method("caching=all");
+    auto r = rt.open_reader(spec);
+    ASSERT_TRUE(r.is_ok());
+    std::vector<double> out(8);
+    for (;;) {
+      auto step = r.value()->begin_step();
+      if (step.status().code() == ErrorCode::kEndOfStream) break;
+      ASSERT_TRUE(step.is_ok());
+      ASSERT_TRUE(r.value()
+                      ->schedule_read("v", Box{{0}, {8}},
+                                      MutableByteView(std::as_writable_bytes(
+                                          std::span<double>(out))))
+                      .is_ok());
+      ASSERT_TRUE(r.value()->perform_reads().is_ok());
+      ASSERT_TRUE(r.value()->end_step().is_ok());
+    }
+    report = r.value()->writer_report();
+  });
+  writer.join();
+  reader.join();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->handshakes_performed, 1u);
+  EXPECT_EQ(report->handshakes_skipped, static_cast<std::uint64_t>(kSteps - 1));
+}
+
+TEST(PipelineModesTest, WriterSidePluginFiltersParticles) {
+  // A hand-rolled plug-in compiler standing in for CoD: the "source" is a
+  // threshold; the plug-in keeps particle rows whose first attribute is
+  // above it (the paper's range-query example, run inside the simulation's
+  // address space).
+  Runtime rt;
+  rt.set_plugin_compiler([](const std::string& source) -> StatusOr<PluginFn> {
+    double threshold = 0;
+    if (!flexio::parse_double(source, &threshold)) {
+      return make_error(ErrorCode::kInvalidArgument, "bad plugin source");
+    }
+    return PluginFn([threshold](const wire::DataPiece& in)
+                        -> StatusOr<wire::DataPiece> {
+      const auto cols = in.meta.block.count[1];
+      const auto* vals = reinterpret_cast<const double*>(in.payload.data());
+      std::vector<double> kept;
+      for (std::uint64_t row = 0; row < in.meta.block.count[0]; ++row) {
+        if (vals[row * cols] > threshold) {
+          kept.insert(kept.end(), vals + row * cols, vals + (row + 1) * cols);
+        }
+      }
+      wire::DataPiece out = in;
+      out.meta.block.count[0] = kept.size() / cols;
+      out.region = out.meta.block;
+      out.payload.resize(kept.size() * sizeof(double));
+      std::memcpy(out.payload.data(), kept.data(), out.payload.size());
+      return out;
+    });
+  });
+
+  Program sim("sim", 1);
+  Program viz("viz", 1);
+  std::thread writer([&] {
+    StreamSpec spec;
+    spec.stream = "plugtest";
+    spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+    spec.method = stream_method("caching=none");
+    auto w = rt.open_writer(spec);
+    ASSERT_TRUE(w.is_ok());
+    // 6 particles, first attribute 0..5.
+    std::vector<double> particles(6 * 2);
+    for (int p = 0; p < 6; ++p) {
+      particles[static_cast<std::size_t>(p) * 2] = p;
+      particles[static_cast<std::size_t>(p) * 2 + 1] = 100.0 + p;
+    }
+    ASSERT_TRUE(w.value()->begin_step(0).is_ok());
+    ASSERT_TRUE(
+        w.value()
+            ->write(adios::local_array_var("zion", DataType::kDouble, {6, 2}),
+                    as_bytes_view(std::span<const double>(particles)))
+            .is_ok());
+    ASSERT_TRUE(w.value()->end_step().is_ok());
+    ASSERT_TRUE(w.value()->close().is_ok());
+    // The plug-in ran inside the writer's address space.
+    EXPECT_EQ(w.value()->monitor().count("plugin.pieces"), 1u);
+  });
+  std::thread reader([&] {
+    StreamSpec spec;
+    spec.stream = "plugtest";
+    spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{0, 1}};
+    spec.method = stream_method("caching=none");
+    auto r = rt.open_reader(spec);
+    ASSERT_TRUE(r.is_ok());
+    ASSERT_TRUE(
+        r.value()->install_plugin("zion", "2.5", /*run_at_writer=*/true)
+            .is_ok());
+    auto step = r.value()->begin_step();
+    ASSERT_TRUE(step.is_ok());
+    ASSERT_TRUE(r.value()->schedule_read_pg(0).is_ok());
+    ASSERT_TRUE(r.value()->perform_reads().is_ok());
+    ASSERT_EQ(r.value()->pg_blocks().size(), 1u);
+    const PgBlock& block = r.value()->pg_blocks()[0];
+    // Particles 3,4,5 survive the >2.5 filter.
+    ASSERT_EQ(block.meta.block.count[0], 3u);
+    const auto* vals = reinterpret_cast<const double*>(block.payload.data());
+    EXPECT_DOUBLE_EQ(vals[0], 3.0);
+    EXPECT_DOUBLE_EQ(vals[1], 103.0);
+    ASSERT_TRUE(r.value()->end_step().is_ok());
+    while (r.value()->begin_step().status().code() !=
+           ErrorCode::kEndOfStream) {
+    }
+  });
+  writer.join();
+  reader.join();
+}
+
+TEST(FileModeTest, SameApiThroughBpFiles) {
+  // The one-line switch: identical application logic, method "BP" instead
+  // of "FLEXIO". Writer finishes first (offline semantics), reader follows.
+  const std::string dir = ::testing::TempDir() + "/flexio_filemode";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Runtime rt;
+  Program sim("sim", 2);
+  Program viz("viz", 1);
+  const Dims global{8, 4};
+
+  run_ranks(2, [&](int rank) {
+    StreamSpec spec;
+    spec.stream = "offline";
+    spec.endpoint = EndpointSpec{&sim, rank, evpath::Location{0, rank}};
+    spec.method.method = "BP";
+    spec.file_dir = dir;
+    auto w = rt.open_writer(spec);
+    ASSERT_TRUE(w.is_ok()) << w.status().to_string();
+    const Box box = adios::block_decompose(global, 2, rank, 0);
+    std::vector<double> data(box.elements());
+    for (int s = 0; s < 2; ++s) {
+      std::iota(data.begin(), data.end(), s * 100.0 + rank * 10.0);
+      ASSERT_TRUE(w.value()->begin_step(s).is_ok());
+      ASSERT_TRUE(w.value()
+                      ->write(adios::global_array_var("g", DataType::kDouble,
+                                                      global, box),
+                              as_bytes_view(std::span<const double>(data)))
+                      .is_ok());
+      ASSERT_TRUE(w.value()->write_scalar("step_time", s * 1.5).is_ok());
+      ASSERT_TRUE(w.value()->end_step().is_ok());
+    }
+    ASSERT_TRUE(w.value()->close().is_ok());
+  });
+
+  StreamSpec spec;
+  spec.stream = "offline";
+  spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{1, 0}};
+  spec.method.method = "BP";
+  spec.file_dir = dir;
+  auto r = rt.open_reader(spec);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_TRUE(r.value()->file_mode());
+  EXPECT_EQ(r.value()->num_writers(), 2);
+  int steps = 0;
+  std::vector<double> out(adios::volume(global));
+  for (;;) {
+    auto step = r.value()->begin_step();
+    if (step.status().code() == ErrorCode::kEndOfStream) break;
+    ASSERT_TRUE(step.is_ok());
+    ASSERT_TRUE(r.value()
+                    ->schedule_read("g", Box{{0, 0}, global},
+                                    MutableByteView(std::as_writable_bytes(
+                                        std::span<double>(out))))
+                    .is_ok());
+    ASSERT_TRUE(r.value()->perform_reads().is_ok());
+    EXPECT_DOUBLE_EQ(out[0], step.value() * 100.0);
+    auto t = r.value()->scalar_double("step_time");
+    ASSERT_TRUE(t.is_ok());
+    EXPECT_DOUBLE_EQ(t.value(), step.value() * 1.5);
+    ASSERT_TRUE(r.value()->end_step().is_ok());
+    ++steps;
+  }
+  EXPECT_EQ(steps, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StreamApiTest, SequencingErrorsSurfaced) {
+  Runtime rt;
+  Program sim("sim", 1);
+  Program viz("viz", 1);
+  std::thread writer([&] {
+    StreamSpec spec;
+    spec.stream = "seq";
+    spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+    spec.method = stream_method("caching=none");
+    auto w = rt.open_writer(spec);
+    ASSERT_TRUE(w.is_ok());
+    std::vector<double> d(4, 0.0);
+    const auto meta =
+        adios::global_array_var("x", DataType::kDouble, {4}, Box{{0}, {4}});
+    // Write before begin_step.
+    EXPECT_FALSE(
+        w.value()
+            ->write(meta, as_bytes_view(std::span<const double>(d)))
+            .is_ok());
+    EXPECT_FALSE(w.value()->end_step().is_ok());
+    ASSERT_TRUE(w.value()->begin_step(0).is_ok());
+    EXPECT_FALSE(w.value()->begin_step(1).is_ok());  // nested
+    EXPECT_FALSE(w.value()->close().is_ok());        // open step
+    ASSERT_TRUE(w.value()
+                    ->write(meta, as_bytes_view(std::span<const double>(d)))
+                    .is_ok());
+    ASSERT_TRUE(w.value()->end_step().is_ok());
+    ASSERT_TRUE(w.value()->close().is_ok());
+  });
+  std::thread reader([&] {
+    StreamSpec spec;
+    spec.stream = "seq";
+    spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{0, 1}};
+    spec.method = stream_method("caching=none");
+    auto r = rt.open_reader(spec);
+    ASSERT_TRUE(r.is_ok());
+    std::vector<double> out(4);
+    auto dst = MutableByteView(std::as_writable_bytes(std::span<double>(out)));
+    // Reads outside a step.
+    EXPECT_FALSE(r.value()->schedule_read("x", Box{{0}, {4}}, dst).is_ok());
+    EXPECT_FALSE(r.value()->perform_reads().is_ok());
+    auto step = r.value()->begin_step();
+    ASSERT_TRUE(step.is_ok());
+    // Unknown variable.
+    EXPECT_EQ(
+        r.value()->schedule_read("ghost", Box{{0}, {4}}, dst).code(),
+        ErrorCode::kNotFound);
+    // Wrong buffer size.
+    EXPECT_EQ(r.value()
+                  ->schedule_read("x", Box{{0}, {4}}, dst.subspan(0, 8))
+                  .code(),
+              ErrorCode::kInvalidArgument);
+    // Bad pg rank.
+    EXPECT_EQ(r.value()->schedule_read_pg(99).code(), ErrorCode::kOutOfRange);
+    ASSERT_TRUE(r.value()->schedule_read("x", Box{{0}, {4}}, dst).is_ok());
+    ASSERT_TRUE(r.value()->perform_reads().is_ok());
+    ASSERT_TRUE(r.value()->end_step().is_ok());
+    EXPECT_EQ(r.value()->begin_step().status().code(),
+              ErrorCode::kEndOfStream);
+    // Sticky EOS.
+    EXPECT_EQ(r.value()->begin_step().status().code(),
+              ErrorCode::kEndOfStream);
+  });
+  writer.join();
+  reader.join();
+}
+
+TEST(MonitorTest, MetricsAccumulate) {
+  PerfMonitor m;
+  m.record_time("phase.a", 0.5);
+  m.record_time("phase.a", 1.5);
+  m.add_count("bytes", 100);
+  m.add_count("bytes", 50);
+  EXPECT_EQ(m.time_stats("phase.a").count(), 2u);
+  EXPECT_DOUBLE_EQ(m.total_time("phase.a"), 2.0);
+  EXPECT_EQ(m.count("bytes"), 150u);
+  EXPECT_EQ(m.count("missing"), 0u);
+  EXPECT_NE(m.report().find("phase.a"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/monitor.csv";
+  ASSERT_TRUE(m.dump_csv(path).is_ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "metric,kind,count,total,mean,min,max");
+}
+
+}  // namespace
+}  // namespace flexio

@@ -1,0 +1,440 @@
+// Cross-module integration: placement decisions driving the live runtime.
+//
+// The paper's pitch in one test file: a placement policy computes where
+// every process goes; FlexIO "automatically configures the underlying
+// transport to enforce any placement decision" (Section III). We run the
+// policy, place the actual rank threads at the decided locations, run the
+// coupled pipeline for real, and verify both the data and the transports.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "adios/array.h"
+
+#include "apps/gts.h"
+#include "apps/gts_analytics.h"
+#include "core/redistribution.h"
+#include "core/stream_reader.h"
+#include "core/stream_writer.h"
+#include "placement/policies.h"
+
+namespace flexio {
+namespace {
+
+using adios::Box;
+using serial::DataType;
+
+struct PlacedPipelineCase {
+  const char* name;
+  int writers;
+  int readers;
+  // Traffic shaping: affine -> co-location (helper core);
+  // internal-heavy -> separation (staging).
+  bool affine_traffic;
+  evpath::TransportKind expected_transport;
+};
+
+class PlacedPipelineTest
+    : public ::testing::TestWithParam<PlacedPipelineCase> {};
+
+TEST_P(PlacedPipelineTest, PolicyDecisionIsEnforcedByTransports) {
+  const PlacedPipelineCase& pc = GetParam();
+  // A small machine: nodes with 4 cores so the decision is interesting.
+  sim::MachineDesc machine = sim::smoky();
+  machine.cores_per_socket = 2;
+  machine.sockets_per_node = 2;
+
+  // 1. Plan the inter-program traffic with the real planner.
+  std::vector<wire::BlockInfo> blocks;
+  for (int w = 0; w < pc.writers; ++w) {
+    wire::BlockInfo b;
+    b.writer_rank = w;
+    b.meta = adios::local_array_var("zion", DataType::kDouble, {1000, 7});
+    blocks.push_back(std::move(b));
+  }
+  wire::ReadRequest request;
+  for (int w = 0; w < pc.writers; ++w) {
+    request.pg_requests.push_back(
+        wire::PgRequestInfo{w % pc.readers, w});
+  }
+  const auto plan = plan_transfers(blocks, request);
+
+  // 2. Run the placement policy.
+  placement::PlacementRequest req;
+  req.machine = machine;
+  req.policy = placement::Policy::kTopologyAware;
+  req.sim_processes = pc.writers;
+  req.analytics_processes = pc.readers;
+  req.inter = comm_matrix(plan, pc.writers, pc.readers);
+  if (!pc.affine_traffic) {
+    // Make each program's internal traffic dominate: the partitioner then
+    // separates the programs onto different nodes (staging).
+    req.sim_intra.assign(static_cast<std::size_t>(pc.writers),
+                         std::vector<double>(
+                             static_cast<std::size_t>(pc.writers), 1e9));
+    req.analytics_intra.assign(
+        static_cast<std::size_t>(pc.readers),
+        std::vector<double>(static_cast<std::size_t>(pc.readers), 1e9));
+  }
+  auto placed = placement::place(req);
+  ASSERT_TRUE(placed.is_ok()) << placed.status().to_string();
+
+  // 3. Enforce it: each rank's Location comes from the placement result.
+  auto location_of = [&machine](long core, int rank) {
+    return evpath::Location{machine.locate(core).node, rank};
+  };
+  Runtime rt;
+  Program sim_prog("sim", pc.writers);
+  Program viz_prog("viz", pc.readers);
+  std::vector<std::thread> threads;
+  std::vector<StatusOr<evpath::TransportKind>> transports(
+      static_cast<std::size_t>(pc.writers),
+      make_error(ErrorCode::kUnimplemented, "unset"));
+
+  for (int w = 0; w < pc.writers; ++w) {
+    threads.emplace_back([&, w] {
+      StreamSpec spec;
+      spec.stream = std::string("placed_") + pc.name;
+      spec.endpoint = EndpointSpec{
+          &sim_prog, w,
+          location_of(placed.value().sim_core[static_cast<std::size_t>(w)], w)};
+      spec.method.method = "FLEXIO";
+      auto writer = rt.open_writer(spec);
+      ASSERT_TRUE(writer.is_ok());
+      apps::GtsRank gts(w, 500);
+      for (int s = 0; s < 2; ++s) {
+        gts.advance();
+        ASSERT_TRUE(writer.value()->begin_step(s).is_ok());
+        ASSERT_TRUE(
+            writer.value()
+                ->write(gts.zion_meta(),
+                        as_bytes_view(std::span<const double>(gts.zion())))
+                .is_ok());
+        ASSERT_TRUE(writer.value()->end_step().is_ok());
+      }
+      // Record the transport the bus picked for this writer's reader.
+      transports[static_cast<std::size_t>(w)] =
+          writer.value()->transport_to_reader(w % pc.readers);
+      ASSERT_TRUE(writer.value()->close().is_ok());
+    });
+  }
+  for (int r = 0; r < pc.readers; ++r) {
+    threads.emplace_back([&, r] {
+      StreamSpec spec;
+      spec.stream = std::string("placed_") + pc.name;
+      spec.endpoint = EndpointSpec{
+          &viz_prog, r,
+          location_of(
+              placed.value().analytics_core[static_cast<std::size_t>(r)],
+              1000 + r)};
+      spec.method.method = "FLEXIO";
+      auto reader = rt.open_reader(spec);
+      ASSERT_TRUE(reader.is_ok());
+      std::uint64_t particles = 0;
+      for (;;) {
+        auto step = reader.value()->begin_step();
+        if (step.status().code() == ErrorCode::kEndOfStream) break;
+        ASSERT_TRUE(step.is_ok());
+        for (int w = 0; w < pc.writers; ++w) {
+          if (w % pc.readers == r) {
+            ASSERT_TRUE(reader.value()->schedule_read_pg(w).is_ok());
+          }
+        }
+        ASSERT_TRUE(reader.value()->perform_reads().is_ok());
+        for (const PgBlock& block : reader.value()->pg_blocks()) {
+          particles += block.meta.block.count[0];
+        }
+        ASSERT_TRUE(reader.value()->end_step().is_ok());
+      }
+      EXPECT_GT(particles, 0u);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // 4. The policy's classification must match what the bus actually did.
+  const auto expected_kind = pc.affine_traffic
+                                 ? placement::PlacementKind::kHelperCore
+                                 : placement::PlacementKind::kStaging;
+  EXPECT_EQ(placed.value().kind, expected_kind);
+  for (int w = 0; w < pc.writers; ++w) {
+    ASSERT_TRUE(transports[static_cast<std::size_t>(w)].is_ok());
+    EXPECT_EQ(transports[static_cast<std::size_t>(w)].value(),
+              pc.expected_transport)
+        << "writer " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decisions, PlacedPipelineTest,
+    ::testing::Values(
+        // Affine traffic + room on the nodes -> helper cores -> shm.
+        PlacedPipelineCase{"helper", 3, 1, true,
+                           evpath::TransportKind::kShm},
+        // Internal-heavy traffic -> program separation -> RDMA.
+        PlacedPipelineCase{"staging", 4, 4, false,
+                           evpath::TransportKind::kRdma}),
+    [](const auto& suite_info) { return std::string(suite_info.param.name); });
+
+// PreDatA-style chained pipeline: sim -> preparatory analytics -> deep
+// analytics. The middle program reads one stream and writes another, which
+// the runtime supports because endpoints are per (stream, program, rank).
+TEST(ChainedPipelineTest, ThreeStagePipeline) {
+  Runtime rt;
+  Program sim_prog("sim", 1), prep_prog("prep", 1), deep_prog("deep", 1);
+  const adios::Dims global{32};
+
+  std::thread sim([&] {
+    StreamSpec spec;
+    spec.stream = "stage1";
+    spec.endpoint = EndpointSpec{&sim_prog, 0, {0, 0}};
+    spec.method.method = "FLEXIO";
+    auto w = rt.open_writer(spec);
+    ASSERT_TRUE(w.is_ok());
+    std::vector<double> data(32);
+    for (int s = 0; s < 3; ++s) {
+      std::iota(data.begin(), data.end(), s * 100.0);
+      ASSERT_TRUE(w.value()->begin_step(s).is_ok());
+      ASSERT_TRUE(w.value()
+                      ->write(adios::global_array_var("raw", DataType::kDouble,
+                                                      global, Box{{0}, global}),
+                              as_bytes_view(std::span<const double>(data)))
+                      .is_ok());
+      ASSERT_TRUE(w.value()->end_step().is_ok());
+    }
+    ASSERT_TRUE(w.value()->close().is_ok());
+  });
+
+  std::thread prep([&] {
+    // Reader of stage1 AND writer of stage2, in one rank.
+    StreamSpec rspec;
+    rspec.stream = "stage1";
+    rspec.endpoint = EndpointSpec{&prep_prog, 0, {1, 0}};
+    rspec.method.method = "FLEXIO";
+    auto r = rt.open_reader(rspec);
+    ASSERT_TRUE(r.is_ok());
+    StreamSpec wspec;
+    wspec.stream = "stage2";
+    wspec.endpoint = EndpointSpec{&prep_prog, 0, {1, 0}};
+    wspec.method.method = "FLEXIO";
+    auto w = rt.open_writer(wspec);
+    ASSERT_TRUE(w.is_ok());
+
+    std::vector<double> data(32);
+    for (;;) {
+      auto step = r.value()->begin_step();
+      if (step.status().code() == ErrorCode::kEndOfStream) break;
+      ASSERT_TRUE(step.is_ok());
+      ASSERT_TRUE(r.value()
+                      ->schedule_read("raw", Box{{0}, global},
+                                      MutableByteView(std::as_writable_bytes(
+                                          std::span<double>(data))))
+                      .is_ok());
+      ASSERT_TRUE(r.value()->perform_reads().is_ok());
+      ASSERT_TRUE(r.value()->end_step().is_ok());
+      // Preparatory step: downsample by 4.
+      std::vector<double> reduced(8);
+      for (int i = 0; i < 8; ++i) reduced[static_cast<std::size_t>(i)] = data[static_cast<std::size_t>(i) * 4];
+      ASSERT_TRUE(w.value()->begin_step(step.value()).is_ok());
+      ASSERT_TRUE(w.value()
+                      ->write(adios::global_array_var("reduced",
+                                                      DataType::kDouble, {8},
+                                                      Box{{0}, {8}}),
+                              as_bytes_view(std::span<const double>(reduced)))
+                      .is_ok());
+      ASSERT_TRUE(w.value()->end_step().is_ok());
+    }
+    ASSERT_TRUE(w.value()->close().is_ok());
+  });
+
+  std::thread deep([&] {
+    StreamSpec spec;
+    spec.stream = "stage2";
+    spec.endpoint = EndpointSpec{&deep_prog, 0, {2, 0}};
+    spec.method.method = "FLEXIO";
+    auto r = rt.open_reader(spec);
+    ASSERT_TRUE(r.is_ok());
+    std::vector<double> reduced(8);
+    int steps = 0;
+    for (;;) {
+      auto step = r.value()->begin_step();
+      if (step.status().code() == ErrorCode::kEndOfStream) break;
+      ASSERT_TRUE(step.is_ok());
+      ASSERT_TRUE(r.value()
+                      ->schedule_read("reduced", Box{{0}, {8}},
+                                      MutableByteView(std::as_writable_bytes(
+                                          std::span<double>(reduced))))
+                      .is_ok());
+      ASSERT_TRUE(r.value()->perform_reads().is_ok());
+      EXPECT_DOUBLE_EQ(reduced[0], step.value() * 100.0);
+      EXPECT_DOUBLE_EQ(reduced[7], step.value() * 100.0 + 28.0);
+      ASSERT_TRUE(r.value()->end_step().is_ok());
+      ++steps;
+    }
+    EXPECT_EQ(steps, 3);
+  });
+  sim.join();
+  prep.join();
+  deep.join();
+}
+
+// Feedback loop: a second stream flowing analytics -> simulation carries
+// steering data derived from the analysis (the runtime-management pattern
+// of Section II.G generalized to computational steering).
+TEST(ChainedPipelineTest, FeedbackStreamSteersTheSimulation) {
+  Runtime rt;
+  Program sim_prog("sim", 1), viz_prog("viz", 1);
+  std::vector<double> applied_feedback;
+
+  std::thread sim([&] {
+    StreamSpec out_spec;
+    out_spec.stream = "forward";
+    out_spec.endpoint = EndpointSpec{&sim_prog, 0, {0, 0}};
+    out_spec.method.method = "FLEXIO";
+    auto w = rt.open_writer(out_spec);
+    ASSERT_TRUE(w.is_ok());
+    StreamSpec in_spec;
+    in_spec.stream = "feedback";
+    in_spec.endpoint = EndpointSpec{&sim_prog, 0, {0, 0}};
+    in_spec.method.method = "FLEXIO";
+    auto fb = rt.open_reader(in_spec);
+    ASSERT_TRUE(fb.is_ok());
+
+    double parameter = 1.0;
+    for (int s = 0; s < 3; ++s) {
+      std::vector<double> data(4, parameter);
+      ASSERT_TRUE(w.value()->begin_step(s).is_ok());
+      ASSERT_TRUE(w.value()
+                      ->write(adios::global_array_var("field",
+                                                      DataType::kDouble, {4},
+                                                      Box{{0}, {4}}),
+                              as_bytes_view(std::span<const double>(data)))
+                      .is_ok());
+      ASSERT_TRUE(w.value()->end_step().is_ok());
+      // Consume one steering step: the analytics' response to this output.
+      auto step = fb.value()->begin_step();
+      ASSERT_TRUE(step.is_ok());
+      // Even scalar-only steps call perform_reads: the writer's end_step
+      // rendezvouses with the reader's request (outside CACHING_ALL).
+      ASSERT_TRUE(fb.value()->perform_reads().is_ok());
+      auto knob = fb.value()->scalar_double("knob");
+      ASSERT_TRUE(knob.is_ok());
+      applied_feedback.push_back(knob.value());
+      parameter = knob.value();
+      ASSERT_TRUE(fb.value()->end_step().is_ok());
+    }
+    ASSERT_TRUE(w.value()->close().is_ok());
+  });
+
+  std::thread viz([&] {
+    StreamSpec in_spec;
+    in_spec.stream = "forward";
+    in_spec.endpoint = EndpointSpec{&viz_prog, 0, {1, 0}};
+    in_spec.method.method = "FLEXIO";
+    auto r = rt.open_reader(in_spec);
+    ASSERT_TRUE(r.is_ok());
+    StreamSpec out_spec;
+    out_spec.stream = "feedback";
+    out_spec.endpoint = EndpointSpec{&viz_prog, 0, {1, 0}};
+    out_spec.method.method = "FLEXIO";
+    auto w = rt.open_writer(out_spec);
+    ASSERT_TRUE(w.is_ok());
+
+    std::vector<double> data(4);
+    for (;;) {
+      auto step = r.value()->begin_step();
+      if (step.status().code() == ErrorCode::kEndOfStream) break;
+      ASSERT_TRUE(step.is_ok());
+      ASSERT_TRUE(r.value()
+                      ->schedule_read("field", Box{{0}, {4}},
+                                      MutableByteView(std::as_writable_bytes(
+                                          std::span<double>(data))))
+                      .is_ok());
+      ASSERT_TRUE(r.value()->perform_reads().is_ok());
+      ASSERT_TRUE(r.value()->end_step().is_ok());
+      // Steering decision: double the simulation's parameter each step.
+      ASSERT_TRUE(w.value()->begin_step(step.value()).is_ok());
+      ASSERT_TRUE(w.value()->write_scalar("knob", data[0] * 2.0).is_ok());
+      ASSERT_TRUE(w.value()->end_step().is_ok());
+    }
+    ASSERT_TRUE(w.value()->close().is_ok());
+  });
+  sim.join();
+  viz.join();
+  // parameter 1 -> fed back 2 -> 4 -> 8.
+  EXPECT_EQ(applied_feedback, (std::vector<double>{2.0, 4.0, 8.0}));
+}
+
+// The full stack in one scenario: placement + stream + analytics chain.
+TEST(FullStackTest, GtsQueryPipelineProducesConsistentHistograms) {
+  Runtime rt;
+  Program sim_prog("sim", 2);
+  Program viz_prog("viz", 1);
+  apps::Histogram1D from_stream;
+  std::uint64_t direct_selected = 0, stream_selected = 0;
+
+  // Reference: run the analytics directly on the same deterministic data.
+  {
+    std::uint64_t n = 0;
+    for (int w = 0; w < 2; ++w) {
+      apps::GtsRank gts(w, 2000, /*seed=*/99);
+      gts.advance();
+      const auto result =
+          apps::analyze_particles(std::span<const double>(gts.zion()));
+      direct_selected += result.selected_particles;
+      n += result.input_particles;
+    }
+    ASSERT_GT(n, 0u);
+  }
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      StreamSpec spec;
+      spec.stream = "fullstack";
+      spec.endpoint = EndpointSpec{&sim_prog, w, {0, w}};
+      spec.method.method = "FLEXIO";
+      auto writer = rt.open_writer(spec);
+      ASSERT_TRUE(writer.is_ok());
+      apps::GtsRank gts(w, 2000, /*seed=*/99);
+      gts.advance();
+      ASSERT_TRUE(writer.value()->begin_step(0).is_ok());
+      ASSERT_TRUE(writer.value()
+                      ->write(gts.zion_meta(),
+                              as_bytes_view(std::span<const double>(gts.zion())))
+                      .is_ok());
+      ASSERT_TRUE(writer.value()->end_step().is_ok());
+      ASSERT_TRUE(writer.value()->close().is_ok());
+    });
+  }
+  threads.emplace_back([&] {
+    StreamSpec spec;
+    spec.stream = "fullstack";
+    spec.endpoint = EndpointSpec{&viz_prog, 0, {4, 0}};
+    spec.method.method = "FLEXIO";
+    auto reader = rt.open_reader(spec);
+    ASSERT_TRUE(reader.is_ok());
+    auto step = reader.value()->begin_step();
+    ASSERT_TRUE(step.is_ok());
+    ASSERT_TRUE(reader.value()->schedule_read_pg(0).is_ok());
+    ASSERT_TRUE(reader.value()->schedule_read_pg(1).is_ok());
+    ASSERT_TRUE(reader.value()->perform_reads().is_ok());
+    for (const PgBlock& block : reader.value()->pg_blocks()) {
+      const auto result = apps::analyze_particles(std::span<const double>(
+          reinterpret_cast<const double*>(block.payload.data()),
+          block.payload.size() / sizeof(double)));
+      stream_selected += result.selected_particles;
+    }
+    ASSERT_TRUE(reader.value()->end_step().is_ok());
+    while (reader.value()->begin_step().status().code() !=
+           ErrorCode::kEndOfStream) {
+    }
+  });
+  for (auto& t : threads) t.join();
+  // Moving the data through FlexIO must not change the analytics result.
+  EXPECT_EQ(stream_selected, direct_selected);
+}
+
+}  // namespace
+}  // namespace flexio

@@ -1,0 +1,127 @@
+// Cross-validation: the event-driven pipeline vs. the closed-form coupled
+// model used by the figure harnesses.
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "sim/pipeline.h"
+
+namespace flexio {
+namespace {
+
+using apps::CoupledConfig;
+using apps::GtsVariant;
+using sim::PipelineSpec;
+using sim::PipelineTrace;
+
+TEST(PipelineSimTest, ProducerBoundPipeline) {
+  PipelineSpec spec;
+  spec.intervals = 10;
+  spec.producer_seconds = 2.0;
+  spec.movement_seconds = 0.1;
+  spec.consumer_seconds = 0.5;
+  const PipelineTrace t = simulate_pipeline(spec);
+  // Steady state is producer-bound: total = 10 x 2.0 + fill (0.1 + 0.5).
+  EXPECT_NEAR(t.total_seconds, 10 * 2.0 + 0.6, 1e-9);
+  EXPECT_NEAR(t.consumer_busy, 5.0, 1e-9);
+  EXPECT_GT(t.consumer_idle, 0.0);
+}
+
+TEST(PipelineSimTest, ConsumerBoundPipeline) {
+  PipelineSpec spec;
+  spec.intervals = 10;
+  spec.producer_seconds = 0.5;
+  spec.movement_seconds = 0.0;
+  spec.consumer_seconds = 2.0;
+  const PipelineTrace t = simulate_pipeline(spec);
+  // Consumer is the bottleneck: total = fill (0.5) + 10 x 2.0.
+  EXPECT_NEAR(t.total_seconds, 0.5 + 10 * 2.0, 1e-9);
+  EXPECT_NEAR(t.consumer_idle, 0.0, 1e-9);
+}
+
+TEST(PipelineSimTest, ChannelBoundPipeline) {
+  PipelineSpec spec;
+  spec.intervals = 10;
+  spec.producer_seconds = 0.5;
+  spec.movement_seconds = 2.0;   // transfers serialize on the channel
+  spec.consumer_seconds = 0.5;
+  const PipelineTrace t = simulate_pipeline(spec);
+  // Channel-bound: transfers end at 0.5 + 2k; last consumer ends +0.5.
+  EXPECT_NEAR(t.total_seconds, 0.5 + 10 * 2.0 + 0.5, 1e-9);
+}
+
+TEST(PipelineSimTest, SyncMovementStretchesProducer) {
+  PipelineSpec spec;
+  spec.intervals = 5;
+  spec.producer_seconds = 1.0;
+  spec.movement_seconds = 0.5;
+  spec.consumer_seconds = 0.1;
+  spec.async_movement = false;
+  const PipelineTrace t = simulate_pipeline(spec);
+  // Each interval costs producer 1.0 + 0.5 when sync.
+  EXPECT_NEAR(t.producer_finish, 5 * 1.5, 1e-9);
+  spec.async_movement = true;
+  const PipelineTrace a = simulate_pipeline(spec);
+  EXPECT_NEAR(a.producer_finish, 5 * 1.0, 1e-9);
+  EXPECT_LT(a.total_seconds, t.total_seconds);
+}
+
+TEST(PipelineSimTest, SingleIntervalDegenerate) {
+  PipelineSpec spec;
+  spec.intervals = 1;
+  spec.producer_seconds = 3.0;
+  spec.movement_seconds = 1.0;
+  spec.consumer_seconds = 2.0;
+  const PipelineTrace t = simulate_pipeline(spec);
+  EXPECT_NEAR(t.total_seconds, 6.0, 1e-9);
+  EXPECT_NEAR(t.consumer_idle, 0.0, 1e-9);  // only fill, which is excluded
+}
+
+// The cross-validation proper: rebuild each GTS scenario's pipeline from
+// the coupled model's own interval phases, run it event-driven, and demand
+// agreement with the closed-form Total Execution Time.
+class CrossValidationTest : public ::testing::TestWithParam<GtsVariant> {};
+
+TEST_P(CrossValidationTest, DesMatchesClosedForm) {
+  const CoupledConfig config =
+      apps::gts_scenario(sim::smoky(), 512, GetParam());
+  auto model = apps::simulate_coupled(config);
+  ASSERT_TRUE(model.is_ok());
+  const auto& m = model.value();
+
+  PipelineSpec spec;
+  spec.intervals = config.intervals;
+  spec.producer_seconds =
+      m.interval.sim_compute + m.interval.sim_mpi + m.interval.sim_io +
+      (config.placement == apps::AnalyticsPlacement::kInline
+           ? m.interval.analytics
+           : 0.0);
+  const bool coupled =
+      config.placement != apps::AnalyticsPlacement::kInline &&
+      config.placement != apps::AnalyticsPlacement::kNone;
+  spec.movement_seconds =
+      coupled && config.placement != apps::AnalyticsPlacement::kHelperCore
+          ? m.movement_seconds
+          : 0.0;
+  spec.consumer_seconds = coupled ? m.interval.analytics : 0.0;
+  spec.async_movement = config.async_movement;
+  const PipelineTrace t = simulate_pipeline(spec);
+
+  // Agreement within 2%: the closed form approximates the fill term.
+  EXPECT_NEAR(t.total_seconds, m.total_seconds, 0.02 * m.total_seconds)
+      << apps::gts_variant_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CrossValidationTest,
+    ::testing::Values(GtsVariant::kInline, GtsVariant::kHelperTopoAware,
+                      GtsVariant::kStaging, GtsVariant::kSolo),
+    [](const auto& suite_info) {
+      std::string name(apps::gts_variant_name(suite_info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace flexio

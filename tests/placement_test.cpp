@@ -1,0 +1,398 @@
+// Tests for the placement library: communication graphs, the multilevel
+// partitioner, architecture trees, the tree mapper, and the three policies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "placement/arch_tree.h"
+#include "placement/graph.h"
+#include "placement/mapper.h"
+#include "placement/partitioner.h"
+#include "placement/policies.h"
+#include "util/rng.h"
+
+namespace flexio::placement {
+namespace {
+
+TEST(CommGraphTest, EdgesAccumulateSymmetrically) {
+  CommGraph g(4);
+  g.add_edge(0, 1, 10);
+  g.add_edge(1, 0, 5);
+  g.add_edge(2, 2, 99);  // self-edge ignored
+  g.add_edge(1, 3, 0);   // zero weight ignored
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 15);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 15);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 2), 0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 15);
+}
+
+TEST(CommGraphTest, CutWeight) {
+  CommGraph g(4);
+  g.add_edge(0, 1, 10);
+  g.add_edge(2, 3, 20);
+  g.add_edge(1, 2, 5);
+  EXPECT_DOUBLE_EQ(g.cut_weight({0, 0, 1, 1}), 5);
+  EXPECT_DOUBLE_EQ(g.cut_weight({0, 1, 0, 1}), 35);
+}
+
+TEST(CommGraphTest, CoupledGraphLayout) {
+  // 2 writers, 2 readers; writer w sends to reader w.
+  std::vector<std::vector<std::uint64_t>> inter{{100, 0}, {0, 200}};
+  auto sim_intra = grid2d_traffic(2, 7.0);
+  const CommGraph g = build_coupled_graph(inter, sim_intra, {});
+  EXPECT_EQ(g.size(), 4);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 100);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 3), 200);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 7);   // sim intra
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 3), 0);   // analytics intra empty
+}
+
+TEST(TrafficPatternTest, Grid2dNeighborCounts) {
+  const auto m = grid2d_traffic(6, 1.0);  // 2x3 grid
+  double total = 0;
+  for (const auto& row : m) {
+    for (double v : row) total += v;
+  }
+  // 2x3 grid: 7 undirected edges, counted twice.
+  EXPECT_DOUBLE_EQ(total, 14);
+}
+
+TEST(TrafficPatternTest, Grid3dNeighborCounts) {
+  const auto m = grid3d_traffic(8, 1.0);  // 2x2x2
+  double total = 0;
+  for (const auto& row : m) {
+    for (double v : row) total += v;
+  }
+  // 2x2x2 cube: 12 undirected edges.
+  EXPECT_DOUBLE_EQ(total, 24);
+}
+
+TEST(PartitionerTest, ExactSizesRespected) {
+  CommGraph g(10);
+  for (int i = 0; i < 9; ++i) g.add_edge(i, i + 1, 1);
+  auto parts = partition_sizes(g, {3, 3, 4});
+  ASSERT_TRUE(parts.is_ok()) << parts.status().to_string();
+  std::vector<int> counts(3, 0);
+  for (int p : parts.value()) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 3);
+    ++counts[static_cast<std::size_t>(p)];
+  }
+  EXPECT_EQ(counts, (std::vector<int>{3, 3, 4}));
+}
+
+TEST(PartitionerTest, ObviousClustersFound) {
+  // Two 5-cliques joined by one weak edge: the bisection must cut the
+  // weak edge, not the cliques.
+  CommGraph g(10);
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) {
+      g.add_edge(a, b, 100);
+      g.add_edge(a + 5, b + 5, 100);
+    }
+  }
+  g.add_edge(4, 5, 1);
+  auto parts = partition(g, 2);
+  ASSERT_TRUE(parts.is_ok());
+  EXPECT_DOUBLE_EQ(g.cut_weight(parts.value()), 1);
+}
+
+TEST(PartitionerTest, InvalidInputsRejected) {
+  CommGraph g(4);
+  EXPECT_FALSE(partition_sizes(g, {2, 3}).is_ok());  // sums to 5
+  EXPECT_FALSE(partition_sizes(g, {}).is_ok());
+  EXPECT_FALSE(partition_sizes(g, {5, -1}).is_ok());
+  EXPECT_FALSE(partition(g, 0).is_ok());
+}
+
+TEST(PartitionerTest, Deterministic) {
+  Rng rng(3);
+  CommGraph g(40);
+  for (int i = 0; i < 200; ++i) {
+    g.add_edge(static_cast<int>(rng.next_below(40)),
+               static_cast<int>(rng.next_below(40)),
+               1.0 + rng.next_double() * 9);
+  }
+  auto a = partition(g, 5);
+  auto b = partition(g, 5);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+// Property: partitions always have exact sizes and beat a round-robin
+// baseline's cut on clustered graphs.
+class PartitionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionPropertyTest, SizesExactAndCutReasonable) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 24 + static_cast<int>(rng.next_below(60));
+  const int parts = 2 + static_cast<int>(rng.next_below(5));
+  CommGraph g(n);
+  // Clustered topology: ring of dense pockets.
+  const int pocket = std::max(2, n / parts);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < std::min(n, i + pocket / 2 + 1); ++j) {
+      g.add_edge(i, j, 10.0 + rng.next_double());
+    }
+    g.add_edge(i, static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))),
+               0.5);
+  }
+  auto result = partition(g, parts);
+  ASSERT_TRUE(result.is_ok());
+  std::vector<int> counts(static_cast<std::size_t>(parts), 0);
+  for (int p : result.value()) ++counts[static_cast<std::size_t>(p)];
+  for (int i = 0; i < parts; ++i) {
+    const int expect = n / parts + (i < n % parts ? 1 : 0);
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], expect);
+  }
+  // Round-robin baseline.
+  std::vector<int> rr(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) rr[static_cast<std::size_t>(i)] = i % parts;
+  EXPECT_LE(g.cut_weight(result.value()), g.cut_weight(rr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionPropertyTest, ::testing::Range(0, 15));
+
+TEST(PartitionerTest, SubsetSizesExact) {
+  CommGraph g(12);
+  for (int i = 0; i < 11; ++i) g.add_edge(i, i + 1, 1);
+  // Partition only the even vertices into parts of 2, 2, 2.
+  std::vector<int> subset{0, 2, 4, 6, 8, 10};
+  auto parts = partition_subset(g, subset, {2, 2, 2});
+  ASSERT_TRUE(parts.is_ok()) << parts.status().to_string();
+  std::vector<int> counts(3, 0);
+  for (int p : parts.value()) ++counts[static_cast<std::size_t>(p)];
+  EXPECT_EQ(counts, (std::vector<int>{2, 2, 2}));
+  // Bad sizes rejected.
+  EXPECT_FALSE(partition_subset(g, subset, {3, 2}).is_ok());
+  EXPECT_FALSE(partition_subset(g, subset, {}).is_ok());
+}
+
+TEST(ArchTreeTest, TwoLevelShape) {
+  const ArchTree tree = ArchTree::two_level(sim::smoky(), 3);
+  EXPECT_EQ(tree.total_cores(), 48);
+  EXPECT_EQ(tree.root().children.size(), 3u);
+  EXPECT_EQ(tree.root().children[0]->children.size(), 16u);
+  EXPECT_TRUE(tree.root().children[0]->children[0]->is_leaf());
+}
+
+TEST(ArchTreeTest, TopologyAwareShape) {
+  const ArchTree tree = ArchTree::topology_aware(sim::smoky(), 2);
+  EXPECT_EQ(tree.root().children.size(), 2u);                  // nodes
+  EXPECT_EQ(tree.root().children[0]->children.size(), 4u);     // sockets
+  EXPECT_EQ(tree.root().children[0]->children[0]->children.size(), 4u);
+}
+
+TEST(ArchTreeTest, CoreDistanceOrdering) {
+  const ArchTree tree = ArchTree::topology_aware(sim::smoky(), 2);
+  const double same_core = tree.core_distance(0, 0);
+  const double same_socket = tree.core_distance(0, 1);
+  const double same_node = tree.core_distance(0, 5);    // socket 0 vs 1
+  const double cross_node = tree.core_distance(0, 20);  // node 0 vs 1
+  EXPECT_EQ(same_core, 0);
+  EXPECT_LT(same_socket, same_node);
+  EXPECT_LT(same_node, cross_node);
+}
+
+TEST(MapperTest, AssignsDistinctCores) {
+  const ArchTree tree = ArchTree::two_level(sim::smoky(), 2);
+  CommGraph g(20);
+  for (int i = 0; i < 19; ++i) g.add_edge(i, i + 1, 1);
+  auto cores = map_graph(g, tree);
+  ASSERT_TRUE(cores.is_ok()) << cores.status().to_string();
+  std::set<long> used(cores.value().begin(), cores.value().end());
+  EXPECT_EQ(used.size(), 20u);
+  for (long c : cores.value()) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 32);
+  }
+}
+
+TEST(MapperTest, HeavyPairsStayClose) {
+  // Pairs (2i, 2i+1) talk heavily; the mapper must co-locate them at the
+  // lowest tree level available.
+  const ArchTree tree = ArchTree::topology_aware(sim::smoky(), 1);
+  CommGraph g(8);
+  for (int i = 0; i < 8; i += 2) g.add_edge(i, i + 1, 1000);
+  for (int i = 0; i < 8; ++i) g.add_edge(i, (i + 2) % 8, 1);
+  auto cores = map_graph(g, tree);
+  ASSERT_TRUE(cores.is_ok());
+  for (int i = 0; i < 8; i += 2) {
+    const auto a = sim::smoky().locate(cores.value()[static_cast<std::size_t>(i)]);
+    const auto b =
+        sim::smoky().locate(cores.value()[static_cast<std::size_t>(i) + 1]);
+    EXPECT_EQ(a.socket, b.socket) << "pair " << i;
+  }
+}
+
+TEST(MapperTest, OvercommitRejected) {
+  const ArchTree tree = ArchTree::two_level(sim::smoky(), 1);
+  CommGraph g(17);  // 16 cores per Smoky node
+  EXPECT_EQ(map_graph(g, tree).status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(AllocationTest, SyncMatchesProductionRate) {
+  AllocationModel model;
+  model.sim_interval = 2.0;
+  model.analytics_time = [](int p) { return 8.0 / p; };  // perfect scaling
+  EXPECT_EQ(allocate_analytics(model, /*async=*/false), 4);
+}
+
+TEST(AllocationTest, AsyncBudgetsMovementTime) {
+  AllocationModel model;
+  model.sim_interval = 2.0;
+  model.bytes_per_step = 1e9;
+  model.p2p_bandwidth = 1e9;  // movement costs 1s of the 2s budget
+  model.analytics_time = [](int p) { return 8.0 / p; };
+  EXPECT_EQ(allocate_analytics(model, /*async=*/true), 8);
+}
+
+TEST(AllocationTest, InfeasibleReturnsMax) {
+  AllocationModel model;
+  model.sim_interval = 0.001;
+  model.max_processes = 64;
+  model.analytics_time = [](int) { return 1.0; };  // never fits
+  EXPECT_EQ(allocate_analytics(model, false), 64);
+}
+
+PlacementRequest gts_like_request(Policy policy) {
+  // 12 sim ranks + 4 analytics ranks on Smoky (16 cores/node): all fit on
+  // one node; inter-program traffic is rank-affine (w -> w % 4).
+  PlacementRequest req;
+  req.machine = sim::smoky();
+  req.policy = policy;
+  req.sim_processes = 12;
+  req.analytics_processes = 4;
+  req.inter.assign(12, std::vector<std::uint64_t>(4, 0));
+  for (int w = 0; w < 12; ++w) {
+    req.inter[static_cast<std::size_t>(w)][static_cast<std::size_t>(w % 4)] =
+        110ull << 20;
+  }
+  req.sim_intra = grid2d_traffic(12, 1 << 20);
+  req.analytics_intra = grid2d_traffic(4, 1 << 18);
+  return req;
+}
+
+TEST(PolicyTest, HelperCorePlacementWhenEverythingFits) {
+  for (Policy policy :
+       {Policy::kDataAware, Policy::kHolistic, Policy::kTopologyAware}) {
+    auto result = place(gts_like_request(policy));
+    ASSERT_TRUE(result.is_ok()) << policy_name(policy);
+    EXPECT_EQ(result.value().nodes_used, 1);
+    EXPECT_EQ(result.value().kind, PlacementKind::kHelperCore)
+        << policy_name(policy);
+    // Everything on one node: no inter-node movement at all.
+    EXPECT_DOUBLE_EQ(result.value().inter_node_bytes, 0);
+    EXPECT_GT(result.value().intra_node_bytes, 0);
+  }
+}
+
+TEST(PolicyTest, MultiNodeKeepsAffinePairsTogether) {
+  // 24 sim + 8 analytics on Smoky = 2 nodes; rank-affine traffic means the
+  // partitioner should co-locate each analytics rank with its senders.
+  PlacementRequest req;
+  req.machine = sim::smoky();
+  req.policy = Policy::kHolistic;
+  req.sim_processes = 24;
+  req.analytics_processes = 8;
+  req.inter.assign(24, std::vector<std::uint64_t>(8, 0));
+  for (int w = 0; w < 24; ++w) {
+    req.inter[static_cast<std::size_t>(w)][static_cast<std::size_t>(w / 3)] =
+        110ull << 20;
+  }
+  req.sim_intra = grid2d_traffic(24, 1 << 16);  // weak internal traffic
+  auto result = place(req);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().nodes_used, 2);
+  EXPECT_EQ(result.value().kind, PlacementKind::kHelperCore);
+  // Most inter-program volume should stay on-node (paper: helper-core
+  // placement avoids moving particle data through the interconnect).
+  EXPECT_GT(result.value().intra_node_bytes,
+            4 * result.value().inter_node_bytes);
+}
+
+TEST(PolicyTest, DominantInternalTrafficYieldsStaging) {
+  // S3D-like: tiny inter-program volume, heavy internal MPI traffic on
+  // both sides -> the partitioner separates the programs (staging).
+  PlacementRequest req;
+  req.machine = sim::smoky();
+  req.policy = Policy::kHolistic;
+  req.sim_processes = 16;
+  req.analytics_processes = 16;
+  req.inter.assign(16, std::vector<std::uint64_t>(16, 0));
+  for (int w = 0; w < 16; ++w) {
+    for (int r = 0; r < 16; ++r) {
+      req.inter[static_cast<std::size_t>(w)][static_cast<std::size_t>(r)] = 1024;
+    }
+  }
+  // Make each program a clique of heavy traffic.
+  req.sim_intra.assign(16, std::vector<double>(16, 100e6));
+  req.analytics_intra.assign(16, std::vector<double>(16, 100e6));
+  auto result = place(req);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().nodes_used, 2);
+  EXPECT_EQ(result.value().kind, PlacementKind::kStaging);
+}
+
+TEST(PolicyTest, TopologyAwareReportsNumaPinning) {
+  auto result = place(gts_like_request(Policy::kTopologyAware));
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result.value().buffer_numa_domain.size(), 12u);
+  for (std::size_t w = 0; w < 12; ++w) {
+    const auto loc =
+        sim::smoky().locate(result.value().sim_core[w]);
+    EXPECT_EQ(result.value().buffer_numa_domain[w], loc.socket);
+  }
+  // Holistic does not emit pinning decisions.
+  auto holistic = place(gts_like_request(Policy::kHolistic));
+  ASSERT_TRUE(holistic.is_ok());
+  EXPECT_TRUE(holistic.value().buffer_numa_domain.empty());
+}
+
+TEST(PolicyTest, TopologyAwareNeverWorseOnTopoCost) {
+  // Mapping cost evaluated on the detailed tree: the topology-aware policy
+  // optimizes that objective directly, so it must not lose to holistic.
+  PlacementRequest req = gts_like_request(Policy::kHolistic);
+  auto holistic = place(req);
+  req.policy = Policy::kTopologyAware;
+  auto topo = place(req);
+  ASSERT_TRUE(holistic.is_ok());
+  ASSERT_TRUE(topo.is_ok());
+  const ArchTree detailed = ArchTree::topology_aware(sim::smoky(), 1);
+  const CommGraph graph = build_coupled_graph(
+      req.inter, req.sim_intra, req.analytics_intra);
+  std::vector<long> holistic_cores = holistic.value().sim_core;
+  holistic_cores.insert(holistic_cores.end(),
+                        holistic.value().analytics_core.begin(),
+                        holistic.value().analytics_core.end());
+  std::vector<long> topo_cores = topo.value().sim_core;
+  topo_cores.insert(topo_cores.end(), topo.value().analytics_core.begin(),
+                    topo.value().analytics_core.end());
+  EXPECT_LE(mapping_cost(graph, detailed, topo_cores),
+            mapping_cost(graph, detailed, holistic_cores) + 1e-9);
+}
+
+TEST(PolicyTest, BadInputsRejected) {
+  PlacementRequest req;
+  req.machine = sim::smoky();
+  req.sim_processes = 0;
+  EXPECT_FALSE(place(req).is_ok());
+  req.sim_processes = 4;
+  req.inter.assign(2, {});  // wrong row count
+  EXPECT_FALSE(place(req).is_ok());
+  // Too big for the machine.
+  PlacementRequest big = gts_like_request(Policy::kHolistic);
+  big.sim_processes = sim::smoky().num_nodes * 16 + 1;
+  big.analytics_processes = 0;
+  big.inter.assign(static_cast<std::size_t>(big.sim_processes),
+                   std::vector<std::uint64_t>{});
+  big.sim_intra.clear();
+  big.analytics_intra.clear();
+  EXPECT_FALSE(place(big).is_ok());
+}
+
+}  // namespace
+}  // namespace flexio::placement

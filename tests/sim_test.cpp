@@ -1,0 +1,323 @@
+// Tests for the discrete-event engine, the max-min flow network, the
+// machine descriptions, and the cache interference model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/engine.h"
+#include "sim/flow_network.h"
+#include "sim/machine.h"
+#include "sim/machine_xml.h"
+
+namespace flexio::sim {
+namespace {
+
+TEST(EventEngineTest, RunsEventsInTimeOrder) {
+  EventEngine eng;
+  std::vector<int> order;
+  eng.schedule_at(2.0, [&] { order.push_back(2); });
+  eng.schedule_at(1.0, [&] { order.push_back(1); });
+  eng.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(eng.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventEngineTest, EqualTimesRunFifo) {
+  EventEngine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventEngineTest, EventsCanScheduleEvents) {
+  EventEngine eng;
+  double fired_at = -1;
+  eng.schedule_at(1.0, [&] {
+    eng.schedule_after(2.5, [&] { fired_at = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+  EXPECT_EQ(eng.executed(), 2u);
+}
+
+TEST(EventEngineTest, CancelPreventsExecution) {
+  EventEngine eng;
+  bool ran = false;
+  const EventId id = eng.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id));  // second cancel is a no-op
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(eng.executed(), 0u);
+}
+
+TEST(EventEngineTest, RunUntilStopsAtBoundary) {
+  EventEngine eng;
+  int count = 0;
+  eng.schedule_at(1.0, [&] { ++count; });
+  eng.schedule_at(2.0, [&] { ++count; });
+  eng.schedule_at(3.0, [&] { ++count; });
+  eng.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+  EXPECT_EQ(eng.pending(), 1u);
+  eng.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(FlowNetworkTest, SingleFlowTakesFullCapacity) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  const LinkId l = net.add_link(100.0, "link");
+  double done_at = -1;
+  net.start_flow({l}, 500.0, [&](SimTime t) { done_at = t; });
+  eng.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, TwoFlowsShareFairly) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  const LinkId l = net.add_link(100.0, "link");
+  double a = -1, b = -1;
+  net.start_flow({l}, 500.0, [&](SimTime t) { a = t; });
+  net.start_flow({l}, 500.0, [&](SimTime t) { b = t; });
+  eng.run();
+  // Both get 50 B/s: each 500-byte flow finishes at t=10.
+  EXPECT_NEAR(a, 10.0, 1e-9);
+  EXPECT_NEAR(b, 10.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, ShortFlowFreesBandwidthForLong) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  const LinkId l = net.add_link(100.0, "link");
+  double a = -1, b = -1;
+  net.start_flow({l}, 100.0, [&](SimTime t) { a = t; });  // short
+  net.start_flow({l}, 500.0, [&](SimTime t) { b = t; });  // long
+  eng.run();
+  // Share 50/50 until the short one ends at t=2 (100/50); the long one then
+  // has 400 left at 100 B/s -> finishes at t=6.
+  EXPECT_NEAR(a, 2.0, 1e-9);
+  EXPECT_NEAR(b, 6.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, MaxMinAcrossTwoLinks) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  const LinkId narrow = net.add_link(10.0, "narrow");
+  const LinkId wide = net.add_link(100.0, "wide");
+  double via_both = -1, wide_only = -1;
+  // Flow A crosses narrow+wide; flow B only wide. Max-min: A is capped at
+  // 10 by the narrow link, B soaks up the remaining 90 on the wide link.
+  net.start_flow({narrow, wide}, 100.0, [&](SimTime t) { via_both = t; });
+  net.start_flow({wide}, 900.0, [&](SimTime t) { wide_only = t; });
+  eng.run();
+  EXPECT_NEAR(via_both, 10.0, 1e-9);
+  EXPECT_NEAR(wide_only, 10.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, IncastDividesReceiverBandwidth) {
+  // The staging-placement effect: N senders into one receiver NIC.
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  std::vector<LinkId> tx;
+  for (int i = 0; i < 8; ++i) {
+    tx.push_back(net.add_link(100.0, "tx" + std::to_string(i)));
+  }
+  const LinkId rx = net.add_link(100.0, "rx");
+  int finished = 0;
+  double last = 0;
+  for (int i = 0; i < 8; ++i) {
+    net.start_flow({tx[static_cast<std::size_t>(i)], rx}, 100.0,
+                   [&](SimTime t) {
+                     ++finished;
+                     last = t;
+                   });
+  }
+  eng.run();
+  EXPECT_EQ(finished, 8);
+  // Each sender could do 100 B/s alone, but the shared receiver gives each
+  // 12.5 B/s -> 8 seconds.
+  EXPECT_NEAR(last, 8.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, ZeroByteFlowCompletesImmediately) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  const LinkId l = net.add_link(100.0, "link");
+  double t = -1;
+  net.start_flow({l}, 0.0, [&](SimTime when) { t = when; });
+  eng.run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(FlowNetworkTest, CompletionCallbackCanChainFlows) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  const LinkId l = net.add_link(100.0, "link");
+  double second_done = -1;
+  net.start_flow({l}, 100.0, [&](SimTime) {
+    net.start_flow({l}, 100.0, [&](SimTime t) { second_done = t; });
+  });
+  eng.run();
+  EXPECT_NEAR(second_done, 2.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, LinkStatsAccumulate) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  const LinkId l = net.add_link(100.0, "link");
+  net.start_flow({l}, 300.0, [](SimTime) {});
+  eng.run();
+  EXPECT_DOUBLE_EQ(net.link_stats(l).bytes_carried, 300.0);
+  EXPECT_NEAR(net.link_stats(l).busy_time, 3.0, 1e-9);
+  EXPECT_EQ(net.link_name(l), "link");
+}
+
+TEST(FlowNetworkTest, ManyFlowsConserveWork) {
+  // Property: total bytes / capacity <= makespan <= sum bytes / capacity.
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  const LinkId l = net.add_link(1000.0, "link");
+  double total = 0;
+  int finished = 0;
+  for (int i = 1; i <= 20; ++i) {
+    const double bytes = 100.0 * i;
+    total += bytes;
+    net.start_flow({l}, bytes, [&](SimTime) { ++finished; });
+  }
+  const SimTime makespan = eng.run();
+  EXPECT_EQ(finished, 20);
+  // One link, all flows start at t=0: the link is continuously busy, so
+  // makespan equals total bytes / capacity.
+  EXPECT_NEAR(makespan, total / 1000.0, 1e-6);
+}
+
+TEST(MachineTest, TitanShape) {
+  const MachineDesc m = titan();
+  EXPECT_EQ(m.num_nodes, 18688);
+  EXPECT_EQ(m.cores_per_node(), 16);
+  EXPECT_EQ(m.sockets_per_node, 2);
+  EXPECT_EQ(m.total_cores(), 18688L * 16);
+}
+
+TEST(MachineTest, SmokyShape) {
+  const MachineDesc m = smoky();
+  EXPECT_EQ(m.num_nodes, 80);
+  EXPECT_EQ(m.cores_per_node(), 16);
+  EXPECT_EQ(m.sockets_per_node, 4);
+  EXPECT_DOUBLE_EQ(m.l3_bytes_per_socket, 2.0 * (1 << 20));
+}
+
+TEST(MachineTest, LocateRoundTrips) {
+  const MachineDesc m = smoky();
+  for (long id : {0L, 1L, 15L, 16L, 37L, 1279L}) {
+    const CoreLocation loc = m.locate(id);
+    EXPECT_EQ(m.core_id(loc), id);
+  }
+  const CoreLocation loc = m.locate(21);  // node 1, second socket, core 1
+  EXPECT_EQ(loc.node, 1);
+  EXPECT_EQ(loc.socket, 1);
+  EXPECT_EQ(loc.core_in_socket, 1);
+}
+
+TEST(MachineTest, CopyBandwidthRespectsNuma) {
+  const MachineDesc m = smoky();
+  const CoreLocation a{0, 0, 0}, b{0, 0, 3}, c{0, 2, 0};
+  EXPECT_DOUBLE_EQ(m.copy_bw(a, b), m.mem_bw_local);
+  EXPECT_DOUBLE_EQ(m.copy_bw(a, c), m.mem_bw_remote);
+}
+
+TEST(MachineXmlTest, ParsesUserDefinedMachine) {
+  auto m = machine_from_xml_text(R"(
+    <machine name="mycluster" nodes="128" sockets="2" cores-per-socket="12"
+             ghz="2.4" l3-mb="16" nic-gbps="12.5" nic-latency-us="1.0"
+             mem-local-gbps="10" mem-remote-gbps="6"
+             fs-aggregate-gbps="30" fs-per-node-gbps="1.5"/>)");
+  ASSERT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_EQ(m.value().name, "mycluster");
+  EXPECT_EQ(m.value().num_nodes, 128);
+  EXPECT_EQ(m.value().cores_per_node(), 24);
+  EXPECT_DOUBLE_EQ(m.value().core_ghz, 2.4);
+  EXPECT_DOUBLE_EQ(m.value().l3_bytes_per_socket, 16.0 * (1 << 20));
+  EXPECT_DOUBLE_EQ(m.value().nic_bw, 12.5e9);
+  EXPECT_DOUBLE_EQ(m.value().nic_latency, 1e-6);
+  EXPECT_DOUBLE_EQ(m.value().mem_bw_remote, 6e9);
+  EXPECT_DOUBLE_EQ(m.value().fs_aggregate_bw, 30e9);
+}
+
+TEST(MachineXmlTest, DefaultsPreservedWhenOmitted) {
+  auto m = machine_from_xml_text(R"(<machine name="tiny" nodes="4"/>)");
+  ASSERT_TRUE(m.is_ok());
+  const MachineDesc defaults;
+  EXPECT_EQ(m.value().num_nodes, 4);
+  EXPECT_EQ(m.value().sockets_per_node, defaults.sockets_per_node);
+  EXPECT_DOUBLE_EQ(m.value().nic_bw, defaults.nic_bw);
+}
+
+TEST(MachineXmlTest, RejectsBadInput) {
+  EXPECT_FALSE(machine_from_xml_text("<machine/>").is_ok());  // unnamed
+  EXPECT_FALSE(machine_from_xml_text("<cluster name=\"x\"/>").is_ok());
+  EXPECT_FALSE(
+      machine_from_xml_text("<machine name=\"x\" nodes=\"-3\"/>").is_ok());
+  EXPECT_FALSE(
+      machine_from_xml_text("<machine name=\"x\" nic-gbps=\"fast\"/>")
+          .is_ok());
+}
+
+TEST(CacheTest, NoCorunnerNoSlowdownWhenFits) {
+  CacheWorkload w{1 << 20, 2.0, 0.3};
+  EXPECT_DOUBLE_EQ(corun_slowdown(w, 2.0 * (1 << 20), 0.0), 1.0);
+}
+
+TEST(CacheTest, EffectiveCapacityPartitioning) {
+  const double l3 = 2.0 * (1 << 20);
+  // Fits: co-runner carves out its share.
+  EXPECT_DOUBLE_EQ(effective_l3(l3, 1 << 20, 512 << 10),
+                   l3 - (512 << 10));
+  // Overcommitted: proportional share.
+  EXPECT_DOUBLE_EQ(effective_l3(l3, 3 << 20, 3 << 20), l3 / 2);
+}
+
+TEST(CacheTest, MissInflationFollowsSqrtLaw) {
+  CacheWorkload w{4.0 * (1 << 20), 2.0, 1.0};
+  const double full = inflated_mpki(w, 4.0 * (1 << 20));
+  const double quarter = inflated_mpki(w, 1.0 * (1 << 20));
+  EXPECT_DOUBLE_EQ(full, 2.0);
+  EXPECT_DOUBLE_EQ(quarter, 4.0);  // (4x demand/capacity)^0.5 = 2x misses
+}
+
+TEST(CacheTest, SlowdownScalesWithSensitivity) {
+  CacheWorkload insensitive{4 << 20, 2.0, 0.0};
+  CacheWorkload sensitive{4 << 20, 2.0, 0.5};
+  EXPECT_DOUBLE_EQ(slowdown_factor(insensitive, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(slowdown_factor(sensitive, 4.0), 1.5);
+}
+
+TEST(CacheTest, Figure8ShapeReproducible) {
+  // Calibration used by the Fig. 8 harness: GTS-like workload sharing a
+  // 2 MB Smoky L3 with an analytics co-runner suffers ~1.4-1.5x misses and
+  // a few percent runtime loss -- the paper reports +47% and +4.1%.
+  const double l3 = 2.0 * (1 << 20);
+  CacheWorkload gts{3.0 * (1 << 20), 8.0, 0.09};
+  const double cws = 3.5 * (1 << 20);
+  const double solo = inflated_mpki(gts, effective_l3(l3, gts.working_set_bytes, 0));
+  const double corun =
+      inflated_mpki(gts, effective_l3(l3, gts.working_set_bytes, cws));
+  const double miss_increase = corun / solo;
+  EXPECT_GT(miss_increase, 1.3);
+  EXPECT_LT(miss_increase, 1.6);
+  const double slowdown =
+      slowdown_factor(gts, gts.base_mpki * miss_increase) /
+      slowdown_factor(gts, gts.base_mpki * 1.0);
+  EXPECT_GT(slowdown, 1.01);
+  EXPECT_LT(slowdown, 1.08);
+}
+
+}  // namespace
+}  // namespace flexio::sim

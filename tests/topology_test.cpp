@@ -1,0 +1,137 @@
+// Tests for the torus and fat-tree interconnect models.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/topology.h"
+
+namespace flexio::sim {
+namespace {
+
+TEST(TorusTest, CoordsRoundTrip) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  TorusTopology torus(&net, {3, 4, 5}, 100, 200);
+  EXPECT_EQ(torus.num_nodes(), 60);
+  for (int node : {0, 1, 17, 42, 59}) {
+    EXPECT_EQ(torus.node_at(torus.coords(node)), node);
+  }
+}
+
+TEST(TorusTest, RoutesAreDimensionOrderedAndMinimal) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  TorusTopology torus(&net, {4, 4, 4}, 100, 200);
+  // Neighbour: 1 hop; opposite corner: wrap-aware distance.
+  EXPECT_EQ(torus.hop_count(0, torus.node_at({1, 0, 0})), 1);
+  EXPECT_EQ(torus.hop_count(0, torus.node_at({0, 0, 3})), 1);  // wrap-around
+  EXPECT_EQ(torus.hop_count(0, torus.node_at({2, 2, 2})), 6);  // 2+2+2
+  EXPECT_EQ(torus.hop_count(5, 5), 0);
+  // Path endpoints are the NICs; intermediate links are distinct.
+  const auto path = torus.route(0, torus.node_at({2, 1, 3}));
+  std::set<LinkId> uniq(path.begin(), path.end());
+  EXPECT_EQ(uniq.size(), path.size());
+}
+
+TEST(TorusTest, LinkContentionSlowsSharedPaths) {
+  // Two transfers sharing every torus hop take twice as long as one.
+  auto run = [](int transfers) {
+    EventEngine eng;
+    FlowNetwork net(&eng);
+    TorusTopology torus(&net, {4, 1, 1}, 1e9, 1e9);
+    double last = 0;
+    for (int i = 0; i < transfers; ++i) {
+      // Same src/dst: identical path -> full contention. (Distinct flows.)
+      torus.transfer(&net, 0, 2, 1e9,
+                     [&last](SimTime t) { last = std::max(last, t); });
+    }
+    eng.run();
+    return last;
+  };
+  const double one = run(1);
+  const double two = run(2);
+  EXPECT_NEAR(two, 2 * one, 1e-6);
+}
+
+TEST(TorusTest, DisjointPathsDontContend) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  TorusTopology torus(&net, {4, 4, 1}, 1e9, 1e9);
+  double a = 0, b = 0;
+  torus.transfer(&net, torus.node_at({0, 0, 0}), torus.node_at({1, 0, 0}),
+                 1e9, [&a](SimTime t) { a = t; });
+  torus.transfer(&net, torus.node_at({0, 2, 0}), torus.node_at({1, 2, 0}),
+                 1e9, [&b](SimTime t) { b = t; });
+  eng.run();
+  EXPECT_NEAR(a, 1.0, 1e-6);  // full bandwidth each
+  EXPECT_NEAR(b, 1.0, 1e-6);
+}
+
+TEST(FatTreeTest, IntraLeafSkipsTheCore) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  FatTreeTopology tree(&net, 32, 16, 1e9);
+  EXPECT_EQ(tree.leaf_of(0), 0);
+  EXPECT_EQ(tree.leaf_of(15), 0);
+  EXPECT_EQ(tree.leaf_of(16), 1);
+  EXPECT_EQ(tree.route(0, 5).size(), 2u);   // two NICs only
+  EXPECT_EQ(tree.route(0, 20).size(), 4u);  // NICs + up + down trunks
+  EXPECT_TRUE(tree.route(7, 7).empty());
+}
+
+TEST(FatTreeTest, OversubscriptionThrottlesCrossLeafTraffic) {
+  // All 16 nodes of leaf 0 send to leaf 1 concurrently: with 2:1
+  // oversubscription the trunk (8 GB/s) is the bottleneck, not the NICs.
+  auto run = [](double oversub) {
+    EventEngine eng;
+    FlowNetwork net(&eng);
+    FatTreeTopology tree(&net, 32, 16, 1e9, oversub);
+    double last = 0;
+    for (int n = 0; n < 16; ++n) {
+      tree.transfer(&net, n, 16 + n, 1e9,
+                    [&last](SimTime t) { last = std::max(last, t); });
+    }
+    eng.run();
+    return last;
+  };
+  const double full_bisection = run(1.0);
+  const double oversubscribed = run(2.0);
+  EXPECT_NEAR(full_bisection, 1.0, 1e-6);   // NIC-bound
+  EXPECT_NEAR(oversubscribed, 2.0, 1e-6);   // trunk-bound
+}
+
+TEST(MakeTopologyTest, PicksFamilyFromMachine) {
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  auto titan_topo = make_topology(&net, titan(), 64);
+  EXPECT_GE(titan_topo->num_nodes(), 64);
+  EXPECT_NE(dynamic_cast<TorusTopology*>(titan_topo.get()), nullptr);
+
+  FlowNetwork net2(&eng);
+  auto smoky_topo = make_topology(&net2, smoky(), 48);
+  EXPECT_EQ(smoky_topo->num_nodes(), 48);
+  EXPECT_NE(dynamic_cast<FatTreeTopology*>(smoky_topo.get()), nullptr);
+}
+
+TEST(MakeTopologyTest, IncastThroughRealTopology) {
+  // The staging incast of the coupled model, now across torus hops: 8
+  // senders into one receiver still serializes at the receiver NIC.
+  EventEngine eng;
+  FlowNetwork net(&eng);
+  auto topo = make_topology(&net, titan(), 9);
+  double last = 0;
+  int done = 0;
+  for (int s = 1; s < 9; ++s) {
+    topo->transfer(&net, s, 0, 220e6, [&](SimTime t) {
+      last = std::max(last, t);
+      ++done;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(done, 8);
+  // Receiver NIC at 5 GB/s, 1.76 GB inbound: >= 0.352 s.
+  EXPECT_GE(last, 8 * 220e6 / titan().nic_bw - 1e-9);
+}
+
+}  // namespace
+}  // namespace flexio::sim

@@ -1,0 +1,193 @@
+// Unit tests for the XML parser and the FlexIO/ADIOS config schema.
+#include <gtest/gtest.h>
+
+#include "xml/config.h"
+#include "xml/xml.h"
+
+namespace flexio::xml {
+namespace {
+
+TEST(XmlTest, ParsesSimpleElement) {
+  auto doc = parse("<root/>");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc.value().root().name, "root");
+}
+
+TEST(XmlTest, ParsesAttributes) {
+  auto doc = parse(R"(<var name="zion" type="double" dimensions="n,7"/>)");
+  ASSERT_TRUE(doc.is_ok());
+  const Element& e = doc.value().root();
+  EXPECT_EQ(e.attr("name"), "zion");
+  EXPECT_EQ(e.attr("type"), "double");
+  EXPECT_EQ(e.attr("dimensions"), "n,7");
+  EXPECT_TRUE(e.has_attr("name"));
+  EXPECT_FALSE(e.has_attr("missing"));
+  EXPECT_EQ(e.attr("missing"), "");
+}
+
+TEST(XmlTest, ParsesNestedChildren) {
+  auto doc = parse(R"(
+    <adios-config>
+      <adios-group name="particles">
+        <var name="zion" type="double"/>
+        <var name="electron" type="double"/>
+      </adios-group>
+      <method group="particles" method="FLEXIO">caching=all</method>
+    </adios-config>)");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const Element& root = doc.value().root();
+  ASSERT_NE(root.child("adios-group"), nullptr);
+  EXPECT_EQ(root.child("adios-group")->children_named("var").size(), 2u);
+  EXPECT_EQ(root.child("method")->text, "caching=all");
+  EXPECT_EQ(root.child("nope"), nullptr);
+}
+
+TEST(XmlTest, SkipsDeclarationAndComments) {
+  auto doc = parse(
+      "<?xml version=\"1.0\"?>\n<!-- top -->\n<a><!-- in -->"
+      "<b/><!-- between --><c/></a><!-- after -->");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc.value().root().children.size(), 2u);
+}
+
+TEST(XmlTest, DecodesEntities) {
+  auto doc = parse(R"(<m note="a&lt;b &amp; c&gt;d">x &quot;y&apos;</m>)");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().root().attr("note"), "a<b & c>d");
+  EXPECT_EQ(doc.value().root().text, "x \"y'");
+}
+
+TEST(XmlTest, SingleQuotedAttributes) {
+  auto doc = parse("<m a='hi there'/>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().root().attr("a"), "hi there");
+}
+
+TEST(XmlTest, RejectsMismatchedClose) {
+  auto doc = parse("<a><b></a></b>");
+  EXPECT_FALSE(doc.is_ok());
+  EXPECT_EQ(doc.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(XmlTest, RejectsTrailingContent) {
+  EXPECT_FALSE(parse("<a/><b/>").is_ok());
+}
+
+TEST(XmlTest, RejectsUnterminated) {
+  EXPECT_FALSE(parse("<a><b>").is_ok());
+  EXPECT_FALSE(parse("<a attr=\"x").is_ok());
+  EXPECT_FALSE(parse("<a attr=x/>").is_ok());
+}
+
+TEST(XmlTest, ErrorsCarryLineNumbers) {
+  auto doc = parse("<a>\n\n<b></c>\n</a>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().to_string();
+}
+
+constexpr const char* kGtsConfig = R"(
+<adios-config>
+  <adios-group name="particles">
+    <var name="zion" type="double" dimensions="nz,7"/>
+    <var name="electron" type="double" dimensions="ne,7"/>
+    <var name="nz" type="int64"/>
+    <var name="ne" type="int64"/>
+  </adios-group>
+  <method group="particles" method="FLEXIO">
+    caching=local; batching=yes; async=no; pool=64M; timeout_ms=500; max_retries=2
+  </method>
+  <buffer size-MB="100"/>
+</adios-config>)";
+
+TEST(ConfigTest, ParsesFullGtsStyleConfig) {
+  auto cfg = parse_config(kGtsConfig);
+  ASSERT_TRUE(cfg.is_ok()) << cfg.status().to_string();
+  const Config& c = cfg.value();
+  ASSERT_EQ(c.groups.size(), 1u);
+  EXPECT_EQ(c.groups[0].name, "particles");
+  ASSERT_EQ(c.groups[0].vars.size(), 4u);
+  EXPECT_EQ(c.groups[0].vars[0].name, "zion");
+  ASSERT_EQ(c.groups[0].vars[0].dimensions.size(), 2u);
+  EXPECT_EQ(c.groups[0].vars[0].dimensions[1], "7");
+  EXPECT_EQ(c.buffer_mb, 100u);
+
+  const MethodConfig* m = c.method_for("particles");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->method, "FLEXIO");
+  EXPECT_EQ(m->caching, CachingLevel::kLocal);
+  EXPECT_TRUE(m->batching);
+  EXPECT_FALSE(m->async_writes);
+  EXPECT_EQ(m->pool_bytes, 64u << 20);
+  EXPECT_DOUBLE_EQ(m->timeout_ms, 500.0);
+  EXPECT_EQ(m->max_retries, 2);
+}
+
+TEST(ConfigTest, MethodLookupMissReturnsNull) {
+  auto cfg = parse_config(kGtsConfig);
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().method_for("nonexistent"), nullptr);
+  EXPECT_EQ(cfg.value().group("nonexistent"), nullptr);
+}
+
+TEST(ConfigTest, RejectsWrongRoot) {
+  EXPECT_FALSE(parse_config("<wrong/>").is_ok());
+}
+
+TEST(ConfigTest, RejectsMethodForUnknownGroup) {
+  auto cfg = parse_config(R"(
+    <adios-config>
+      <method group="ghost" method="FLEXIO"/>
+    </adios-config>)");
+  ASSERT_FALSE(cfg.is_ok());
+  EXPECT_EQ(cfg.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ConfigTest, RejectsBadCachingLevel) {
+  MethodConfig m;
+  EXPECT_FALSE(apply_method_params("caching=sometimes", &m).is_ok());
+}
+
+TEST(ConfigTest, RejectsMalformedParam) {
+  MethodConfig m;
+  EXPECT_FALSE(apply_method_params("caching", &m).is_ok());
+  EXPECT_FALSE(apply_method_params("queue_entries=0", &m).is_ok());
+  EXPECT_FALSE(apply_method_params("timeout_ms=-1", &m).is_ok());
+}
+
+TEST(ConfigTest, UnknownParamsPreservedAsHints) {
+  MethodConfig m;
+  ASSERT_TRUE(apply_method_params("custom_hint=abc; async=yes", &m).is_ok());
+  EXPECT_TRUE(m.async_writes);
+  ASSERT_EQ(m.extra.count("custom_hint"), 1u);
+  EXPECT_EQ(m.extra.at("custom_hint"), "abc");
+}
+
+TEST(ConfigTest, EmptyParamsKeepDefaults) {
+  MethodConfig m;
+  ASSERT_TRUE(apply_method_params("  ;  ; ", &m).is_ok());
+  EXPECT_EQ(m.caching, CachingLevel::kNone);
+  EXPECT_FALSE(m.batching);
+}
+
+TEST(ConfigTest, OneLineSwitchFileToStream) {
+  // The paper's headline usability claim: switching a group between file
+  // I/O and online streaming is a one-line change of the method element.
+  auto file_cfg = parse_config(R"(
+    <adios-config>
+      <adios-group name="g"><var name="x" type="double"/></adios-group>
+      <method group="g" method="BP"/>
+    </adios-config>)");
+  auto stream_cfg = parse_config(R"(
+    <adios-config>
+      <adios-group name="g"><var name="x" type="double"/></adios-group>
+      <method group="g" method="FLEXIO"/>
+    </adios-config>)");
+  ASSERT_TRUE(file_cfg.is_ok());
+  ASSERT_TRUE(stream_cfg.is_ok());
+  EXPECT_EQ(file_cfg.value().method_for("g")->method, "BP");
+  EXPECT_EQ(stream_cfg.value().method_for("g")->method, "FLEXIO");
+}
+
+}  // namespace
+}  // namespace flexio::xml

@@ -1,0 +1,22 @@
+// bpls: list the contents of a FlexIO BP stream (ADIOS's bpls analog).
+//
+// Usage: bpls <dir> <stream>
+//   dir     directory holding <stream>.bp and <stream>.bp.d/
+//   stream  stream name used at write time
+#include <cstdio>
+
+#include "adios/describe.h"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <dir> <stream>\n", argv[0]);
+    return 2;
+  }
+  auto text = flexio::adios::describe(argv[1], argv[2]);
+  if (!text.is_ok()) {
+    std::fprintf(stderr, "bpls: %s\n", text.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(text.value().c_str(), stdout);
+  return 0;
+}
