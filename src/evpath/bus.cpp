@@ -131,7 +131,12 @@ StatusOr<std::unique_ptr<SendLink>> MessageBus::connect(Endpoint* from,
   } else if (from->location().node == target->location().node) {
     pair = make_shm_link(from->name(), from->options_);
   } else {
-    const std::string base = "link" + std::to_string(link_id);
+    // Name the per-link NICs after the endpoint pair so fabric-level
+    // diagnostics and fault rules can address links deterministically; the
+    // "#id" suffix keeps names unique across link generations (fault
+    // matching strips it -- see tests/harness/fault_plan.h).
+    const std::string base =
+        from->name() + ">" + to + "#" + std::to_string(link_id);
     auto tx = fabric_.create_nic(base + ":tx");
     if (!tx.is_ok()) return tx.status();
     auto rx = fabric_.create_nic(base + ":rx");

@@ -240,7 +240,9 @@ class RdmaSendLink final : public SendLink {
   }
 
   Status send(ByteView msg, SendMode mode) override {
-    drain_acks(std::chrono::nanoseconds(0));
+    // Opportunistic poll; a transient ack error here surfaces on the next
+    // blocking drain instead.
+    (void)drain_acks(std::chrono::nanoseconds(0));
     Status st;
     if (msg.size() <= options_.rdma_eager_threshold) {
       st = send_eager(msg);
@@ -366,12 +368,19 @@ class RdmaRecvLink final : public RecvLink {
     FLEXIO_RETURN_IF_ERROR(decode_rdma_control(ByteView(raw), &ctl, &payload));
     switch (ctl.tag) {
       case RdmaTag::kEager:
+        if (ctl.seq <= last_data_seq_) return Status::ok();  // duplicate frame
+        last_data_seq_ = ctl.seq;
         out->from = peer_;
         out->payload.assign(payload.begin(), payload.end());
         out->eos = false;
         *got = true;
         return Status::ok();
       case RdmaTag::kRendezvous: {
+        // Duplicate detection matters most here: the first copy of the
+        // frame was Get+acked already, so the sender may have reused (or
+        // freed) the registered buffer a second Get would touch.
+        if (ctl.seq <= last_data_seq_) return Status::ok();
+        last_data_seq_ = ctl.seq;
         // Receiver-directed Get (paper: "we use receiver-directed RDMA Get
         // for data movement"), then ack so the sender can reuse its buffer.
         out->payload.resize(ctl.len);
@@ -412,6 +421,9 @@ class RdmaRecvLink final : public RecvLink {
   std::string sender_nic_name_;
   LinkOptions options_;
   std::shared_ptr<nnti::Nic> nic_;
+  // Highest data-frame sequence seen; eager and rendezvous frames share one
+  // monotone per-link sequence, so anything at or below it is a duplicate.
+  std::uint64_t last_data_seq_ = 0;
 };
 
 }  // namespace

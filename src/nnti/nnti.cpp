@@ -1,8 +1,20 @@
 #include "nnti/nnti.h"
 
 #include <cstring>
+#include <thread>
 
 namespace flexio::nnti {
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::kConnect: return "connect";
+    case Op::kPutMessage: return "putmsg";
+    case Op::kGet: return "get";
+    case Op::kPut: return "put";
+    case Op::kRegister: return "register";
+  }
+  return "unknown";
+}
 
 Nic::Nic(Fabric* fabric, std::string name, std::size_t queue_depth)
     : fabric_(fabric), name_(std::move(name)), queue_depth_(queue_depth) {}
@@ -14,6 +26,7 @@ StatusOr<MemRegion> Nic::register_memory(void* addr, std::size_t len) {
     return make_error(ErrorCode::kInvalidArgument,
                       "cannot register empty region");
   }
+  FLEXIO_RETURN_IF_ERROR(fabric_->inject(Op::kRegister, name_, ""));
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t key = next_key_++;
   regions_[key] = Region{static_cast<std::byte*>(addr), len};
@@ -31,7 +44,10 @@ Status Nic::unregister_memory(const MemRegion& region) {
 }
 
 Status Nic::put_message(const std::string& peer, ByteView msg) {
-  FLEXIO_RETURN_IF_ERROR(fabric_->inject(Op::kPutMessage, name_, peer));
+  const FaultAction action =
+      fabric_->inject_action(Op::kPutMessage, name_, peer);
+  if (!action.status.is_ok()) return action.status;
+  if (action.drop) return Status::ok();  // fire-and-forget: silently lost
   std::shared_ptr<Nic> target = fabric_->lookup(peer);
   if (!target) {
     return make_error(ErrorCode::kUnavailable, "peer gone: " + peer);
@@ -40,6 +56,14 @@ Status Nic::put_message(const std::string& peer, ByteView msg) {
   if (st.is_ok()) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.messages_sent;
+  }
+  if (st.is_ok() && action.duplicate) {
+    // A duplicated frame that finds the peer queue full is simply dropped;
+    // the original delivery decides the caller-visible outcome.
+    if (target->deliver(msg).is_ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.messages_sent;
+    }
   }
   return st;
 }
@@ -98,29 +122,45 @@ Status Nic::write_region(std::uint64_t key, std::uint64_t offset,
 
 Status Nic::get(const std::string& peer, const MemRegion& remote,
                 std::uint64_t offset, MutableByteView dst) {
-  FLEXIO_RETURN_IF_ERROR(fabric_->inject(Op::kGet, name_, peer));
+  const FaultAction action = fabric_->inject_action(Op::kGet, name_, peer);
+  if (!action.status.is_ok()) return action.status;
+  if (action.drop) {
+    // A one-sided read that vanishes on the wire is a timeout at the
+    // initiator: nothing ever lands in dst.
+    return make_error(ErrorCode::kTimeout, "injected drop of RDMA get");
+  }
   std::shared_ptr<Nic> target = fabric_->lookup(peer);
   if (!target) {
     return make_error(ErrorCode::kUnavailable, "peer gone: " + peer);
   }
-  FLEXIO_RETURN_IF_ERROR(target->read_region(remote.key, offset, dst));
+  const int transfers = action.duplicate ? 2 : 1;
+  for (int i = 0; i < transfers; ++i) {
+    FLEXIO_RETURN_IF_ERROR(target->read_region(remote.key, offset, dst));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.gets;
-  stats_.bytes_get += dst.size();
+  stats_.gets += static_cast<std::uint64_t>(transfers);
+  stats_.bytes_get += static_cast<std::uint64_t>(transfers) * dst.size();
   return Status::ok();
 }
 
 Status Nic::put(const std::string& peer, ByteView src, const MemRegion& remote,
                 std::uint64_t offset) {
-  FLEXIO_RETURN_IF_ERROR(fabric_->inject(Op::kPut, name_, peer));
+  const FaultAction action = fabric_->inject_action(Op::kPut, name_, peer);
+  if (!action.status.is_ok()) return action.status;
+  if (action.drop) {
+    return make_error(ErrorCode::kTimeout, "injected drop of RDMA put");
+  }
   std::shared_ptr<Nic> target = fabric_->lookup(peer);
   if (!target) {
     return make_error(ErrorCode::kUnavailable, "peer gone: " + peer);
   }
-  FLEXIO_RETURN_IF_ERROR(target->write_region(remote.key, offset, src));
+  const int transfers = action.duplicate ? 2 : 1;
+  for (int i = 0; i < transfers; ++i) {
+    FLEXIO_RETURN_IF_ERROR(target->write_region(remote.key, offset, src));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.puts;
-  stats_.bytes_put += src.size();
+  stats_.puts += static_cast<std::uint64_t>(transfers);
+  stats_.bytes_put += static_cast<std::uint64_t>(transfers) * src.size();
   return Status::ok();
 }
 
@@ -150,8 +190,22 @@ Status Fabric::connect(const std::string& from, const std::string& to) {
 }
 
 void Fabric::set_fault_injector(FaultInjector injector) {
+  if (!injector) {
+    set_fault_hook(nullptr);
+    return;
+  }
+  set_fault_hook([injector = std::move(injector)](
+                     Op op, const std::string& local,
+                     const std::string& peer) {
+    FaultAction action;
+    action.status = injector(op, local, peer);
+    return action;
+  });
+}
+
+void Fabric::set_fault_hook(FaultHook hook) {
   std::lock_guard<std::mutex> lock(mutex_);
-  injector_ = std::move(injector);
+  hook_ = std::move(hook);
 }
 
 std::shared_ptr<Nic> Fabric::lookup(const std::string& name) {
@@ -162,12 +216,29 @@ std::shared_ptr<Nic> Fabric::lookup(const std::string& name) {
 
 Status Fabric::inject(Op op, const std::string& local,
                       const std::string& peer) {
-  FaultInjector injector;
+  const FaultAction action = inject_action(op, local, peer);
+  if (!action.status.is_ok()) return action.status;
+  if (action.drop) {
+    // Ops routed through this helper (connect, register) are synchronous:
+    // losing one on the wire looks like a timeout to the initiator.
+    return make_error(ErrorCode::kTimeout,
+                      std::string("injected drop of ") +
+                          std::string(op_name(op)));
+  }
+  return Status::ok();
+}
+
+FaultAction Fabric::inject_action(Op op, const std::string& local,
+                                  const std::string& peer) {
+  FaultHook hook;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    injector = injector_;
+    hook = hook_;
   }
-  return injector ? injector(op, local, peer) : Status::ok();
+  if (!hook) return FaultAction{};
+  FaultAction action = hook(op, local, peer);
+  if (action.delay.count() > 0) std::this_thread::sleep_for(action.delay);
+  return action;
 }
 
 void Fabric::remove(const std::string& name) {

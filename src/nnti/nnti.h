@@ -35,11 +35,29 @@ struct MemRegion {
 };
 
 /// Which operation a fault injector intercepts.
-enum class Op { kConnect, kPutMessage, kGet, kPut };
+enum class Op { kConnect, kPutMessage, kGet, kPut, kRegister };
+
+std::string_view op_name(Op op);
 
 /// Test hook: return non-OK to make the next matching operation fail.
 using FaultInjector =
     std::function<Status(Op op, const std::string& local, const std::string& peer)>;
+
+/// Richer fault decision for one intercepted operation. The default action
+/// lets the operation through untouched.
+struct FaultAction {
+  Status status;                      // non-OK: the operation fails with this
+  std::chrono::nanoseconds delay{0};  // sleep before acting (reordering/jitter)
+  bool duplicate = false;             // perform the side effect twice
+  /// Swallow the operation: report success without performing it. Only
+  /// put_message can be silently lost (fire-and-forget); the synchronous
+  /// one-sided ops and connect surface a dropped attempt as kTimeout.
+  bool drop = false;
+};
+
+/// Full-featured test hook; FaultInjector is the fail-only special case.
+using FaultHook = std::function<FaultAction(
+    Op op, const std::string& local, const std::string& peer)>;
 
 struct NicStats {
   std::uint64_t registrations = 0;
@@ -129,18 +147,25 @@ class Fabric {
   /// this is also the retryable step the timeout-and-retry logic wraps.
   Status connect(const std::string& from, const std::string& to);
 
-  /// Install (or clear, with nullptr) the fault injector.
+  /// Install (or clear, with nullptr) the fail-only fault injector.
+  /// Convenience wrapper over set_fault_hook.
   void set_fault_injector(FaultInjector injector);
+
+  /// Install (or clear, with nullptr) the full fault hook (fail, delay,
+  /// duplicate, drop). Replaces any previously installed hook/injector.
+  void set_fault_hook(FaultHook hook);
 
  private:
   friend class Nic;
   std::shared_ptr<Nic> lookup(const std::string& name);
   Status inject(Op op, const std::string& local, const std::string& peer);
+  FaultAction inject_action(Op op, const std::string& local,
+                            const std::string& peer);
   void remove(const std::string& name);
 
   std::mutex mutex_;
   std::map<std::string, std::weak_ptr<Nic>> nics_;
-  FaultInjector injector_;
+  FaultHook hook_;
 };
 
 }  // namespace flexio::nnti

@@ -38,9 +38,13 @@ bool SpscQueue::try_enqueue(ByteView msg) {
   }
   h->size = static_cast<std::uint32_t>(msg.size());
   if (!msg.empty()) std::memcpy(payload(idx), msg.data(), msg.size());
+  // Count before publishing: the release-store below orders the increment
+  // ahead of the consumer's acquire of the flag, so a third-thread stats()
+  // snapshot can never see dequeued > enqueued (found by
+  // SpscStressTest.ThirdThreadStatsSnapshotsAreRaceFree).
+  producer_.enqueued.fetch_add(1, std::memory_order_relaxed);
   h->state.store(kFull, std::memory_order_release);
   ++producer_.head;
-  producer_.enqueued.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -55,7 +59,9 @@ bool SpscQueue::try_dequeue(std::vector<std::byte>* out) {
   if (h->size > 0) std::memcpy(out->data(), payload(idx), h->size);
   h->state.store(kEmpty, std::memory_order_release);
   ++consumer_.tail;
-  consumer_.dequeued.fetch_add(1, std::memory_order_relaxed);
+  // Release so stats() can chain: enqueue-count -> flag release -> flag
+  // acquire (above) -> this increment -> monitor's acquire load.
+  consumer_.dequeued.fetch_add(1, std::memory_order_release);
   return true;
 }
 
@@ -92,8 +98,12 @@ Status SpscQueue::dequeue(std::vector<std::byte>* out,
 
 QueueStats SpscQueue::stats() const {
   QueueStats s;
+  // Read dequeued first, with acquire: every counted dequeue was preceded
+  // (in the happens-before order) by its enqueue's increment, so reading in
+  // this order keeps the snapshot consistent (dequeued <= enqueued) even
+  // while both sides are running.
+  s.dequeued = consumer_.dequeued.load(std::memory_order_acquire);
   s.enqueued = producer_.enqueued.load(std::memory_order_relaxed);
-  s.dequeued = consumer_.dequeued.load(std::memory_order_relaxed);
   s.enqueue_full_spins = producer_.full_spins.load(std::memory_order_relaxed);
   s.dequeue_empty_spins = consumer_.empty_spins.load(std::memory_order_relaxed);
   return s;

@@ -1,0 +1,48 @@
+#include "util/event_log.h"
+
+#include <algorithm>
+
+namespace flexio {
+
+void EventLog::append(std::string line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(std::move(line));
+}
+
+std::vector<std::string> EventLog::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+std::string EventLog::canonical() const {
+  std::vector<std::string> sorted = lines();
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const std::string& line : sorted) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t EventLog::fingerprint() const {
+  const std::string text = canonical();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+}
+
+}  // namespace flexio

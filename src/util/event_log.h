@@ -1,0 +1,47 @@
+// Thread-safe append-only event log for deterministic replay checks.
+//
+// The torture harness records every fault-injection decision here. Threads
+// append concurrently, so insertion order is interleaving-dependent; the
+// canonical() form sorts lines so two runs of the same seeded plan over the
+// same workload compare byte-for-byte regardless of scheduling. The
+// fingerprint is a cheap stand-in for full-log comparison in assertions and
+// failure banners.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace flexio {
+
+class EventLog {
+ public:
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Append one event line (any thread).
+  void append(std::string line);
+
+  /// Snapshot in insertion order (interleaving-dependent across threads).
+  std::vector<std::string> lines() const;
+
+  /// Deterministic serialization: lines sorted lexicographically, joined
+  /// with '\n'. Identical seeded runs produce identical canonical forms.
+  std::string canonical() const;
+
+  /// FNV-1a hash of canonical(); cheap equality proxy for replay checks.
+  std::uint64_t fingerprint() const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace flexio

@@ -40,6 +40,9 @@ class Rng {
     return lo + (hi - lo) * next_double();
   }
 
+  /// Bernoulli draw: true with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
   /// Approximate standard normal via sum of uniforms (Irwin-Hall, n=12).
   double next_gaussian() {
     double s = 0.0;

@@ -390,10 +390,12 @@ TEST(DirectoryTest, UnregisterUnknownFails) {
 TEST(DirectoryTest, LookupWaitsForLateWriter) {
   DirectoryServer dir;
   std::thread writer([&] {
-    std::this_thread::sleep_for(20ms);
+    // Register only once the reader is observably blocked inside lookup();
+    // a fixed sleep races with the reader on loaded single-core machines.
+    while (dir.stats().lookup_waits == 0) std::this_thread::yield();
     ASSERT_TRUE(dir.register_stream("late", "writer:coord").is_ok());
   });
-  auto contact = dir.lookup("late", 2s);  // reader arrives first
+  auto contact = dir.lookup("late", 10s);  // reader arrives first
   ASSERT_TRUE(contact.is_ok());
   EXPECT_EQ(contact.value(), "writer:coord");
   EXPECT_GE(dir.stats().lookup_waits, 1u);

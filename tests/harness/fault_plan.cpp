@@ -1,0 +1,433 @@
+#include "harness/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace flexio::torture {
+namespace {
+
+// Stateless 64-bit mix for random-layer decisions. Depends only on the
+// (seed, op, pair, occurrence, lane) coordinates so the draw is identical
+// no matter how threads interleave.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_str(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Uniform [0,1) draw for a fault decision "lane" (fail/drop/delay/dup each
+// get their own lane so probabilities are independent).
+double draw(std::uint64_t seed, nnti::Op op, std::string_view local,
+            std::string_view peer, std::uint64_t n, int lane) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  h = hash_str(h, nnti::op_name(op));
+  h = hash_str(h, local);
+  h = hash_str(h, peer);
+  h ^= n * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(lane) << 56;
+  return static_cast<double>(mix64(h) >> 11) * 0x1.0p-53;
+}
+
+constexpr int kLaneFail = 0;
+constexpr int kLaneDrop = 1;
+constexpr int kLaneDelay = 2;
+constexpr int kLaneDup = 3;
+
+StatusOr<nnti::Op> parse_op(std::string_view token) {
+  if (token == "connect") return nnti::Op::kConnect;
+  if (token == "register") return nnti::Op::kRegister;
+  if (token == "putmsg") return nnti::Op::kPutMessage;
+  if (token == "get") return nnti::Op::kGet;
+  if (token == "put") return nnti::Op::kPut;
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown fault op '" + std::string(token) + "'");
+}
+
+StatusOr<ErrorCode> parse_code(std::string_view token) {
+  if (token == "unavailable") return ErrorCode::kUnavailable;
+  if (token == "timeout") return ErrorCode::kTimeout;
+  if (token == "resource_exhausted") return ErrorCode::kResourceExhausted;
+  if (token == "internal") return ErrorCode::kInternal;
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown error code '" + std::string(token) + "'");
+}
+
+std::string code_token(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    default: return "internal";
+  }
+}
+
+bool random_fails_op(const RandomProfile& profile, nnti::Op op) {
+  return std::find(profile.fail_ops.begin(), profile.fail_ops.end(), op) !=
+         profile.fail_ops.end();
+}
+
+// Random drops are confined to ops where a drop surfaces as a retryable
+// kTimeout (get/put). Dropping a putmsg is silent loss -- fire-and-forget
+// success with no delivery -- which no retry can recover; that failure mode
+// is for *scripted* drop rules that tests pair with explicit timeout
+// assertions.
+bool random_drops_op(const RandomProfile& profile, nnti::Op op) {
+  return (op == nnti::Op::kGet || op == nnti::Op::kPut) &&
+         random_fails_op(profile, op);
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "dup";
+  }
+  return "?";
+}
+
+std::string normalize_nic_name(const std::string& name) {
+  // "sim|x.0>viz|x.0#17:tx" -> "sim|x.0>viz|x.0:tx"
+  const std::size_t hash = name.rfind('#');
+  if (hash == std::string::npos) return name;
+  std::size_t end = hash + 1;
+  while (end < name.size() && std::isdigit(static_cast<unsigned char>(name[end]))) {
+    ++end;
+  }
+  if (end == hash + 1) return name;  // '#' with no digits: leave alone
+  return name.substr(0, hash) + name.substr(end);
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  if (pattern.empty() || pattern == "*") return true;
+  // Iterative glob with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+StatusOr<FaultPlan> FaultPlan::parse(std::string_view script) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  for (std::string_view raw : split(script, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    const std::size_t comment = line.find('#');
+    if (comment != std::string_view::npos) line = trim(line.substr(0, comment));
+    if (line.empty()) continue;
+
+    std::vector<std::string_view> tokens;
+    for (std::string_view tok : split(line, ' ')) {
+      tok = trim(tok);
+      if (!tok.empty()) tokens.push_back(tok);
+    }
+    if (tokens.size() < 2) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        str_format("fault script line %zu: want '<action> <op> "
+                                   "[key=value...]', got '%.*s'",
+                                   line_no, static_cast<int>(line.size()),
+                                   line.data()));
+    }
+
+    FaultRule rule;
+    if (tokens[0] == "fail") {
+      rule.kind = FaultKind::kFail;
+    } else if (tokens[0] == "drop") {
+      rule.kind = FaultKind::kDrop;
+    } else if (tokens[0] == "delay") {
+      rule.kind = FaultKind::kDelay;
+      rule.delay = std::chrono::microseconds(100);
+    } else if (tokens[0] == "dup") {
+      rule.kind = FaultKind::kDuplicate;
+    } else {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "unknown fault action '" + std::string(tokens[0]) +
+                            "' (want fail|drop|delay|dup)");
+    }
+    auto op_or = parse_op(tokens[1]);
+    if (!op_or.is_ok()) return op_or.status();
+    rule.op = op_or.value();
+
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      if (eq == std::string_view::npos) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "fault script: expected key=value, got '" +
+                              std::string(tokens[i]) + "'");
+      }
+      const std::string_view key = tokens[i].substr(0, eq);
+      const std::string_view value = tokens[i].substr(eq + 1);
+      if (key == "nth") {
+        long long n = 0;
+        if (!parse_int(value, &n) || n < 1) {
+          return make_error(ErrorCode::kInvalidArgument,
+                            "fault script: nth must be an integer >= 1");
+        }
+        rule.nth = static_cast<std::uint64_t>(n);
+      } else if (key == "times") {
+        long long n = 0;
+        if (!parse_int(value, &n) || n < 1) {
+          return make_error(ErrorCode::kInvalidArgument,
+                            "fault script: times must be an integer >= 1");
+        }
+        rule.times = static_cast<std::uint64_t>(n);
+      } else if (key == "from") {
+        rule.local = std::string(value);
+      } else if (key == "to") {
+        rule.peer = std::string(value);
+      } else if (key == "code") {
+        auto code_or = parse_code(value);
+        if (!code_or.is_ok()) return code_or.status();
+        rule.code = code_or.value();
+      } else if (key == "delay_us") {
+        long long us = 0;
+        if (!parse_int(value, &us) || us < 0) {
+          return make_error(ErrorCode::kInvalidArgument,
+                            "fault script: delay_us must be an integer >= 0");
+        }
+        rule.delay = std::chrono::microseconds(us);
+      } else {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "fault script: unknown key '" + std::string(key) +
+                              "'");
+      }
+    }
+    plan.add(rule);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomProfile& profile) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  plan.random_enabled_ = true;
+  plan.profile_ = profile;
+  return plan;
+}
+
+void FaultPlan::add(const FaultRule& rule) { rules_.push_back(rule); }
+
+std::string FaultPlan::script() const {
+  std::string out;
+  for (const FaultRule& rule : rules_) {
+    out += fault_kind_name(rule.kind);
+    out += ' ';
+    out += nnti::op_name(rule.op);
+    out += str_format(" nth=%llu", static_cast<unsigned long long>(rule.nth));
+    if (rule.times != 1) {
+      out += str_format(" times=%llu",
+                        static_cast<unsigned long long>(rule.times));
+    }
+    if (!rule.local.empty() && rule.local != "*") out += " from=" + rule.local;
+    if (!rule.peer.empty() && rule.peer != "*") out += " to=" + rule.peer;
+    if (rule.kind == FaultKind::kFail) out += " code=" + code_token(rule.code);
+    if (rule.kind == FaultKind::kDelay) {
+      out += str_format(
+          " delay_us=%lld",
+          static_cast<long long>(
+              std::chrono::duration_cast<std::chrono::microseconds>(rule.delay)
+                  .count()));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FaultPlan::banner() const {
+  std::ostringstream out;
+  out << "=== fault plan ===\n";
+  if (random_enabled_) {
+    out << "seed=" << seed_ << " fail_prob=" << profile_.fail_prob
+        << " drop_prob=" << profile_.drop_prob
+        << " delay_prob=" << profile_.delay_prob
+        << " dup_prob=" << profile_.dup_prob
+        << " delay_us=" << profile_.delay_us
+        << " max_consecutive_fails=" << profile_.max_consecutive_fails << "\n";
+  }
+  const std::string rules = script();
+  if (!rules.empty()) out << rules;
+  if (!random_enabled_ && rules.empty()) out << "(empty)\n";
+  out << "==================";
+  return out.str();
+}
+
+nnti::FaultHook FaultPlan::hook() const {
+  // The lambda captures by value; shared state keeps counters/log alive and
+  // common to every copy of the hook.
+  auto state = state_;
+  auto rules = rules_;
+  const bool random_on = random_enabled_;
+  const std::uint64_t seed = seed_;
+  const RandomProfile profile = profile_;
+  return [state, rules, random_on, seed, profile](
+             nnti::Op op, const std::string& raw_local,
+             const std::string& raw_peer) -> nnti::FaultAction {
+    const std::string local = normalize_nic_name(raw_local);
+    const std::string peer = normalize_nic_name(raw_peer);
+
+    std::uint64_t n = 0;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      std::string key;
+      key.reserve(local.size() + peer.size() + 12);
+      key += nnti::op_name(op);
+      key += '|';
+      key += local;
+      key += '|';
+      key += peer;
+      n = ++state->counters[key];
+    }
+
+    nnti::FaultAction action;
+    auto record = [&](std::string_view what, std::string_view detail) {
+      std::string line;
+      line += what;
+      line += ' ';
+      line += nnti::op_name(op);
+      line += " local=";
+      line += local;
+      line += " peer=";
+      line += peer;
+      line += str_format(" n=%llu", static_cast<unsigned long long>(n));
+      if (!detail.empty()) {
+        line += ' ';
+        line += detail;
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->log.append(std::move(line));
+      ++state->fired;
+    };
+
+    // Scripted rules first; the first matching rule of each effect class
+    // wins. A fail short-circuits everything else.
+    for (const FaultRule& rule : rules) {
+      if (rule.op != op) continue;
+      if (!glob_match(rule.local, local)) continue;
+      if (!glob_match(rule.peer, peer)) continue;
+      if (n < rule.nth || n >= rule.nth + rule.times) continue;
+      switch (rule.kind) {
+        case FaultKind::kFail:
+          if (action.status.ok()) {
+            action.status = make_error(
+                rule.code, str_format("injected %s failure (occurrence %llu)",
+                                      std::string(nnti::op_name(op)).c_str(),
+                                      static_cast<unsigned long long>(n)));
+            record("fail", "code=" + code_token(rule.code));
+          }
+          break;
+        case FaultKind::kDrop:
+          if (!action.drop) {
+            action.drop = true;
+            record("drop", "");
+          }
+          break;
+        case FaultKind::kDelay:
+          if (action.delay.count() == 0) {
+            action.delay = rule.delay;
+            record("delay", "");
+          }
+          break;
+        case FaultKind::kDuplicate:
+          if (!action.duplicate) {
+            action.duplicate = true;
+            record("dup", "");
+          }
+          break;
+      }
+    }
+
+    if (random_on) {
+      if (action.status.ok() && !action.drop && random_fails_op(profile, op)) {
+        // Cap consecutive failures below the transport's retry budget by
+        // re-deriving the previous occurrences' draws (stateless, so this
+        // costs max_consecutive_fails extra hashes, no shared state).
+        const bool droppable = random_drops_op(profile, op);
+        auto fails_at = [&](std::uint64_t occ) {
+          return occ >= 1 &&
+                 (draw(seed, op, local, peer, occ, kLaneFail) <
+                      profile.fail_prob ||
+                  (droppable && draw(seed, op, local, peer, occ, kLaneDrop) <
+                                    profile.drop_prob));
+        };
+        bool capped = false;
+        if (profile.max_consecutive_fails > 0) {
+          capped = true;
+          for (int back = 1; back <= profile.max_consecutive_fails; ++back) {
+            if (n < static_cast<std::uint64_t>(back) + 1 ||
+                !fails_at(n - static_cast<std::uint64_t>(back))) {
+              capped = false;
+              break;
+            }
+          }
+        }
+        if (!capped) {
+          if (draw(seed, op, local, peer, n, kLaneFail) < profile.fail_prob) {
+            action.status =
+                make_error(ErrorCode::kUnavailable,
+                           str_format("injected random %s failure",
+                                      std::string(nnti::op_name(op)).c_str()));
+            record("fail", "code=unavailable rand=1");
+          } else if (droppable && draw(seed, op, local, peer, n, kLaneDrop) <
+                                      profile.drop_prob) {
+            action.drop = true;
+            record("drop", "rand=1");
+          }
+        }
+      }
+      if (action.delay.count() == 0 &&
+          draw(seed, op, local, peer, n, kLaneDelay) < profile.delay_prob) {
+        action.delay = std::chrono::microseconds(profile.delay_us);
+        record("delay", "rand=1");
+      }
+      if (!action.duplicate && op == nnti::Op::kPutMessage &&
+          draw(seed, op, local, peer, n, kLaneDup) < profile.dup_prob) {
+        action.duplicate = true;
+        record("dup", "rand=1");
+      }
+    }
+    return action;
+  };
+}
+
+void FaultPlan::install(nnti::Fabric* fabric) const {
+  fabric->set_fault_hook(hook());
+}
+
+void FaultPlan::uninstall(nnti::Fabric* fabric) {
+  fabric->set_fault_hook(nullptr);
+}
+
+std::uint64_t FaultPlan::faults_fired() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->fired;
+}
+
+}  // namespace flexio::torture

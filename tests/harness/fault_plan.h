@@ -1,0 +1,137 @@
+// Deterministic, seed-driven fault planning for the NNTI fabric.
+//
+// A FaultPlan compiles declarative fault scripts -- fail / drop / delay /
+// duplicate the Nth connect / register / putmsg / get / put, per peer pair
+// or globally -- into an nnti::FaultHook, and records every decision it
+// makes in an EventLog. Two layers compose:
+//
+//  * Scripted rules ("fail put nth=3 to=*viz.0* code=unavailable times=2").
+//    Each rule keeps one occurrence counter per concrete (local, peer) pair
+//    it matches, so firing is deterministic: ops on one pair are issued by
+//    a single thread in program order.
+//  * A seeded random layer. Decisions are *stateless*: occurrence n of op o
+//    on pair (l, p) draws from hash(seed, o, l*, p*, n), where l*/p* are the
+//    NIC names with their "#<id>" uniquifier stripped. The draw depends only
+//    on those coordinates, never on cross-thread interleaving, so replaying
+//    a seed reproduces the same faults byte-for-byte (compare
+//    log().canonical()).
+//
+// Faults only apply to traffic that crosses the simulated interconnect
+// (inter-node / RDMA links); shared-memory and in-proc links never touch
+// the fabric.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nnti/nnti.h"
+#include "util/event_log.h"
+#include "util/status.h"
+
+namespace flexio::torture {
+
+enum class FaultKind { kFail, kDrop, kDelay, kDuplicate };
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// One declarative rule. `local` / `peer` are glob patterns ('*' wildcard)
+/// matched against normalized NIC names; empty matches everything.
+struct FaultRule {
+  FaultKind kind = FaultKind::kFail;
+  nnti::Op op = nnti::Op::kPutMessage;
+  std::string local;                      // glob; "" or "*" = any
+  std::string peer;                       // glob; "" or "*" = any
+  std::uint64_t nth = 1;                  // 1-based occurrence, per pair
+  std::uint64_t times = 1;                // consecutive occurrences hit
+  ErrorCode code = ErrorCode::kUnavailable;  // for kFail
+  std::chrono::nanoseconds delay{0};         // for kDelay
+};
+
+/// Seed-driven random fault mix. Probabilities are per op occurrence.
+struct RandomProfile {
+  double fail_prob = 0.0;    // transient kUnavailable failures
+  double drop_prob = 0.0;    // silently lost frames
+  double delay_prob = 0.0;   // jitter of delay_us
+  double dup_prob = 0.0;     // duplicated deliveries
+  std::uint64_t delay_us = 50;
+  /// Never fail more than this many consecutive occurrences on one pair, so
+  /// the transport's timeout-and-retry (max_retries) can always make
+  /// progress. Keep below xml::MethodConfig::max_retries.
+  int max_consecutive_fails = 2;
+  /// Ops eligible for fail/drop. Delay/dup may hit any op. Defaults to the
+  /// retry-wrapped data-movement ops.
+  std::vector<nnti::Op> fail_ops = {nnti::Op::kPutMessage, nnti::Op::kGet,
+                                    nnti::Op::kPut};
+};
+
+/// Strip the "#<id>" uniquifier the bus appends to per-link NIC names, so
+/// rules and hashes see stable pair identities across runs.
+std::string normalize_nic_name(const std::string& name);
+
+/// '*'-wildcard glob match (anchored; '*' matches any run of characters).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parse a script: one rule per line, '#' comments, blank lines ignored.
+  ///   <fail|drop|delay|dup> <connect|register|putmsg|get|put>
+  ///       [nth=<N>] [times=<K>] [from=<glob>] [to=<glob>]
+  ///       [code=<unavailable|timeout|resource_exhausted|internal>]
+  ///       [delay_us=<U>]
+  static StatusOr<FaultPlan> parse(std::string_view script);
+
+  /// Seeded random plan. Deterministic per (seed, profile).
+  static FaultPlan random(std::uint64_t seed, const RandomProfile& profile);
+
+  void add(const FaultRule& rule);
+
+  /// Canonical script of the explicit rules (random layer noted separately
+  /// in banner()).
+  std::string script() const;
+
+  /// Seed of the random layer (0 = none).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Human-readable replay header: seed, profile, and rules. Print this on
+  /// failure; feeding the same seed/script back reproduces the run.
+  std::string banner() const;
+
+  /// Install on a fabric. The plan's shared state outlives the returned
+  /// hook, so the plan object may go out of scope after install.
+  void install(nnti::Fabric* fabric) const;
+
+  /// Remove any hook from the fabric.
+  static void uninstall(nnti::Fabric* fabric);
+
+  /// Build the hook without installing (for composing with other hooks).
+  nnti::FaultHook hook() const;
+
+  /// Decisions taken so far. Lives as long as any installed hook.
+  const EventLog& log() const { return state_->log; }
+
+  /// Total decisions that altered an operation.
+  std::uint64_t faults_fired() const;
+
+ private:
+  struct State {
+    std::mutex mutex;
+    // Occurrence counters per (op, normalized local, normalized peer).
+    std::map<std::string, std::uint64_t> counters;
+    EventLog log;
+    std::uint64_t fired = 0;
+  };
+
+  std::vector<FaultRule> rules_;
+  std::uint64_t seed_ = 0;
+  bool random_enabled_ = false;
+  RandomProfile profile_;
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+}  // namespace flexio::torture

@@ -1,0 +1,315 @@
+#include "harness/stress_driver.h"
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/stream_reader.h"
+#include "core/stream_writer.h"
+#include "util/strings.h"
+#include "xml/config.h"
+
+namespace flexio::torture {
+namespace {
+
+using adios::Box;
+using adios::Dims;
+using serial::DataType;
+
+/// First-error sink shared by all rank threads.
+class ErrorSink {
+ public:
+  void record(const Status& status) {
+    if (status.is_ok()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (first_.is_ok()) first_ = status;
+  }
+  Status first() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_;
+  }
+  bool failed() const { return !first().is_ok(); }
+
+ private:
+  mutable std::mutex mutex_;
+  Status first_;
+};
+
+Status expect(bool cond, const std::string& what) {
+  if (cond) return Status::ok();
+  return make_error(ErrorCode::kInternal, "stress check failed: " + what);
+}
+
+Status expect_value(double got, double want, const std::string& what) {
+  if (got == want) return Status::ok();
+  return make_error(ErrorCode::kInternal,
+                    str_format("stress value mismatch at %s: got %.3f want "
+                               "%.3f",
+                               what.c_str(), got, want));
+}
+
+xml::MethodConfig make_method(const StressConfig& cfg) {
+  xml::MethodConfig m;
+  m.method = cfg.placement == PlacementMode::kFile ? "BP" : "FLEXIO";
+  m.timeout_ms = cfg.timeout_ms;
+  std::string params = "caching=" + cfg.caching;
+  if (cfg.async_writes) params += "; async=yes";
+  FLEXIO_CHECK(xml::apply_method_params(params, &m).is_ok());
+  return m;
+}
+
+evpath::Location writer_location(const StressConfig&, int rank) {
+  return evpath::Location{0, rank};
+}
+
+evpath::Location reader_location(const StressConfig& cfg, int rank) {
+  // Same node => shm links; different node => simulated RDMA. File mode
+  // never opens online links, placement is moot.
+  const int node = cfg.placement == PlacementMode::kRdma ? 7 : 0;
+  return evpath::Location{node, 100 + rank};
+}
+
+Status writer_rank(Runtime& rt, const StressConfig& cfg, Program& sim,
+                   int rank) {
+  StreamSpec spec;
+  spec.stream = cfg.stream;
+  spec.endpoint = EndpointSpec{&sim, rank, writer_location(cfg, rank)};
+  spec.method = make_method(cfg);
+  if (cfg.placement == PlacementMode::kFile) spec.file_dir = cfg.file_dir;
+  auto writer = rt.open_writer(spec);
+  FLEXIO_RETURN_IF_ERROR(writer.status());
+  StreamWriter& w = *writer.value();
+
+  const Dims global{cfg.rows, cfg.cols};
+  const Box box = adios::block_decompose(global, cfg.writers, rank, 0);
+  std::vector<double> field(box.elements());
+  const std::uint64_t nparticles = golden_particle_count(rank);
+  std::vector<double> particles(nparticles * 7);
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    std::size_t i = 0;
+    for (std::uint64_t r = 0; r < box.count[0]; ++r) {
+      for (std::uint64_t c = 0; c < box.count[1]; ++c) {
+        field[i++] = golden_field(step, box.offset[0] + r, box.offset[1] + c);
+      }
+    }
+    for (std::uint64_t p = 0; p < particles.size(); ++p) {
+      particles[p] = golden_particle(rank, step, p);
+    }
+    FLEXIO_RETURN_IF_ERROR(w.begin_step(step));
+    FLEXIO_RETURN_IF_ERROR(
+        w.write(adios::global_array_var("field", DataType::kDouble, global,
+                                        box),
+                as_bytes_view(std::span<const double>(field))));
+    FLEXIO_RETURN_IF_ERROR(
+        w.write(adios::local_array_var("particles", DataType::kDouble,
+                                       {nparticles, 7}),
+                as_bytes_view(std::span<const double>(particles))));
+    FLEXIO_RETURN_IF_ERROR(w.write_scalar("time", step * 0.5));
+    FLEXIO_RETURN_IF_ERROR(w.end_step());
+  }
+  return w.close();
+}
+
+Status reader_rank(Runtime& rt, const StressConfig& cfg, Program& viz,
+                   int rank, std::atomic<std::uint64_t>* verified,
+                   std::optional<wire::MonitorReport>* report_out) {
+  StreamSpec spec;
+  spec.stream = cfg.stream;
+  spec.endpoint = EndpointSpec{&viz, rank, reader_location(cfg, rank)};
+  spec.method = make_method(cfg);
+  if (cfg.placement == PlacementMode::kFile) spec.file_dir = cfg.file_dir;
+  auto reader = rt.open_reader(spec);
+  FLEXIO_RETURN_IF_ERROR(reader.status());
+  StreamReader& r = *reader.value();
+  FLEXIO_RETURN_IF_ERROR(expect(r.num_writers() == cfg.writers,
+                                "num_writers mismatch"));
+
+  const Dims global{cfg.rows, cfg.cols};
+  const Box sel = adios::block_decompose(global, cfg.readers, rank, 1);
+  std::vector<double> out(sel.elements());
+  std::uint64_t checked = 0;
+  int steps_seen = 0;
+  for (;;) {
+    auto step = r.begin_step();
+    if (step.status().code() == ErrorCode::kEndOfStream) break;
+    FLEXIO_RETURN_IF_ERROR(step.status());
+    FLEXIO_RETURN_IF_ERROR(expect(step.value() == steps_seen,
+                                  str_format("step order: got %lld want %d",
+                                             static_cast<long long>(
+                                                 step.value()),
+                                             steps_seen)));
+    std::fill(out.begin(), out.end(), -1.0);
+    FLEXIO_RETURN_IF_ERROR(r.schedule_read(
+        "field", sel,
+        MutableByteView(std::as_writable_bytes(std::span<double>(out)))));
+    for (int w = rank; w < cfg.writers; w += cfg.readers) {
+      FLEXIO_RETURN_IF_ERROR(r.schedule_read_pg(w));
+    }
+    FLEXIO_RETURN_IF_ERROR(r.perform_reads());
+
+    // Field selection against the golden model.
+    std::size_t i = 0;
+    for (std::uint64_t row = 0; row < sel.count[0]; ++row) {
+      for (std::uint64_t col = 0; col < sel.count[1]; ++col) {
+        FLEXIO_RETURN_IF_ERROR(expect_value(
+            out[i++],
+            golden_field(steps_seen, sel.offset[0] + row, sel.offset[1] + col),
+            str_format("field[%llu,%llu] step %d",
+                       static_cast<unsigned long long>(sel.offset[0] + row),
+                       static_cast<unsigned long long>(sel.offset[1] + col),
+                       steps_seen)));
+        ++checked;
+      }
+    }
+    // Whole process-group blocks.
+    std::size_t expected_pgs = 0;
+    for (int w = rank; w < cfg.writers; w += cfg.readers) ++expected_pgs;
+    FLEXIO_RETURN_IF_ERROR(
+        expect(r.pg_blocks().size() == expected_pgs, "pg block count"));
+    for (const PgBlock& block : r.pg_blocks()) {
+      const std::uint64_t n = golden_particle_count(block.writer_rank);
+      FLEXIO_RETURN_IF_ERROR(
+          expect(block.meta.block.count[0] == n, "pg block rows"));
+      FLEXIO_RETURN_IF_ERROR(
+          expect(block.payload.size() == n * 7 * sizeof(double),
+                 "pg block payload size"));
+      const auto* vals = reinterpret_cast<const double*>(block.payload.data());
+      for (std::uint64_t p = 0; p < n * 7; ++p) {
+        FLEXIO_RETURN_IF_ERROR(expect_value(
+            vals[p], golden_particle(block.writer_rank, steps_seen, p),
+            str_format("particles[%llu] writer %d step %d",
+                       static_cast<unsigned long long>(p), block.writer_rank,
+                       steps_seen)));
+        ++checked;
+      }
+    }
+    auto time = r.scalar_double("time");
+    FLEXIO_RETURN_IF_ERROR(time.status());
+    FLEXIO_RETURN_IF_ERROR(r.end_step());
+    ++steps_seen;
+  }
+  FLEXIO_RETURN_IF_ERROR(expect(
+      steps_seen == cfg.steps,
+      str_format("steps seen: got %d want %d", steps_seen, cfg.steps)));
+  verified->fetch_add(checked, std::memory_order_relaxed);
+  if (rank == 0 && report_out != nullptr) *report_out = r.writer_report();
+  return Status::ok();
+}
+
+}  // namespace
+
+std::string_view placement_name(PlacementMode mode) {
+  switch (mode) {
+    case PlacementMode::kShm: return "shm";
+    case PlacementMode::kRdma: return "rdma";
+    case PlacementMode::kFile: return "file";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const StressConfig& cfg) {
+  return os << cfg.label() << " writers=" << cfg.writers
+            << " readers=" << cfg.readers << " steps=" << cfg.steps;
+}
+
+std::string StressConfig::label() const {
+  return str_format("%s_%s_%s", caching.c_str(),
+                    async_writes ? "async" : "sync",
+                    std::string(placement_name(placement)).c_str());
+}
+
+std::uint64_t expected_handshakes_performed(const StressConfig& cfg) {
+  return cfg.caching == "all" ? 1u : static_cast<std::uint64_t>(cfg.steps);
+}
+
+std::uint64_t expected_handshakes_skipped(const StressConfig& cfg) {
+  return cfg.caching == "all" ? static_cast<std::uint64_t>(cfg.steps) - 1 : 0u;
+}
+
+Status check_handshake_invariant(const StressConfig& cfg,
+                                 const wire::MonitorReport& report) {
+  const std::uint64_t want_performed = expected_handshakes_performed(cfg);
+  const std::uint64_t want_skipped = expected_handshakes_skipped(cfg);
+  if (report.steps != static_cast<std::uint64_t>(cfg.steps)) {
+    return make_error(ErrorCode::kInternal,
+                      str_format("monitor steps: got %llu want %d",
+                                 static_cast<unsigned long long>(report.steps),
+                                 cfg.steps));
+  }
+  if (report.handshakes_performed != want_performed ||
+      report.handshakes_skipped != want_skipped) {
+    return make_error(
+        ErrorCode::kInternal,
+        str_format("handshake invariant (caching=%s): performed %llu/%llu "
+                   "skipped %llu/%llu (got/want)",
+                   cfg.caching.c_str(),
+                   static_cast<unsigned long long>(report.handshakes_performed),
+                   static_cast<unsigned long long>(want_performed),
+                   static_cast<unsigned long long>(report.handshakes_skipped),
+                   static_cast<unsigned long long>(want_skipped)));
+  }
+  return Status::ok();
+}
+
+StressResult run_stress(const StressConfig& cfg) {
+  StressResult result;
+  Runtime rt;
+  if (cfg.faults != nullptr) cfg.faults->install(&rt.bus().fabric());
+  Program sim("sim", cfg.writers);
+  Program viz("viz", cfg.readers);
+  ErrorSink errors;
+  std::atomic<std::uint64_t> verified{0};
+
+  if (cfg.placement == PlacementMode::kFile) {
+    FLEXIO_CHECK(!cfg.file_dir.empty());
+    std::filesystem::create_directories(cfg.file_dir);
+    // Offline semantics: all writers complete before any reader opens.
+    std::vector<std::thread> writers;
+    for (int w = 0; w < cfg.writers; ++w) {
+      writers.emplace_back(
+          [&, w] { errors.record(writer_rank(rt, cfg, sim, w)); });
+    }
+    for (auto& t : writers) t.join();
+    if (!errors.failed()) {
+      std::vector<std::thread> readers;
+      for (int r = 0; r < cfg.readers; ++r) {
+        readers.emplace_back([&, r] {
+          errors.record(
+              reader_rank(rt, cfg, viz, r, &verified, &result.report));
+        });
+      }
+      for (auto& t : readers) t.join();
+    }
+  } else {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < cfg.writers; ++w) {
+      threads.emplace_back(
+          [&, w] { errors.record(writer_rank(rt, cfg, sim, w)); });
+    }
+    for (int r = 0; r < cfg.readers; ++r) {
+      threads.emplace_back([&, r] {
+        errors.record(reader_rank(rt, cfg, viz, r, &verified, &result.report));
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  result.status = errors.first();
+  result.elements_verified = verified.load(std::memory_order_relaxed);
+  if (result.status.is_ok() && cfg.placement != PlacementMode::kFile) {
+    if (!result.report.has_value()) {
+      result.status =
+          make_error(ErrorCode::kInternal, "missing writer monitor report");
+    } else {
+      result.status = check_handshake_invariant(cfg, *result.report);
+    }
+  }
+  return result;
+}
+
+}  // namespace flexio::torture

@@ -1,0 +1,92 @@
+// Multi-threaded stress driver for the data-movement runtime.
+//
+// Runs real writer and reader rank threads through the full
+// Runtime / StreamWriter / StreamReader path -- open handshake, step
+// announces, redistribution, data movement, close -- and cross-checks every
+// received element against a golden model. Unlike the gtest pipelines this
+// driver reports failures as Status (threads record the first error instead
+// of asserting), so torture tests can run it under injected faults, print
+// the seed + fault plan, and decide per-run whether a failure is expected.
+//
+// Placement selects the transport the bus auto-picks:
+//   kShm  -- readers on the writers' node (FastForward shm queues)
+//   kRdma -- readers on another node (simulated NNTI RDMA; faults apply)
+//   kFile -- method "BP": writers finish first, readers replay from files
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "core/wire.h"
+#include "harness/fault_plan.h"
+#include "util/status.h"
+
+namespace flexio::torture {
+
+enum class PlacementMode { kShm, kRdma, kFile };
+
+std::string_view placement_name(PlacementMode mode);
+
+struct StressConfig {
+  int writers = 2;
+  int readers = 2;
+  int steps = 4;
+  std::string caching = "none";  // none | local | all
+  bool async_writes = false;
+  PlacementMode placement = PlacementMode::kShm;
+  std::string stream = "torture";
+  int timeout_ms = 20000;
+  std::string file_dir;  // required for kFile
+  const FaultPlan* faults = nullptr;  // installed on the runtime's fabric
+  // Global 2-D field dimensions; must decompose evenly enough for
+  // block_decompose on both sides.
+  std::uint64_t rows = 24;
+  std::uint64_t cols = 10;
+
+  std::string label() const;
+};
+
+/// gtest-friendly printer (used by parameterized test listings).
+std::ostream& operator<<(std::ostream& os, const StressConfig& cfg);
+
+struct StressResult {
+  Status status;  // first error observed by any rank thread
+  /// Writer coordinator's close-time report as seen by reader rank 0
+  /// (absent in file mode).
+  std::optional<wire::MonitorReport> report;
+  std::uint64_t elements_verified = 0;  // field + particle values checked
+};
+
+/// Golden model: field value at (step, global row, global col).
+inline double golden_field(int step, std::uint64_t row, std::uint64_t col) {
+  return step * 1e6 + static_cast<double>(row) * 1e3 +
+         static_cast<double>(col);
+}
+
+/// Golden model: particle attribute `idx` of writer `rank` at `step`.
+inline double golden_particle(int rank, int step, std::uint64_t idx) {
+  return rank * 1e4 + step * 1e2 + static_cast<double>(idx);
+}
+
+/// Particle count written by a rank (rank-dependent so redistribution of
+/// unequal blocks is exercised).
+inline std::uint64_t golden_particle_count(int rank) {
+  return 5 + static_cast<std::uint64_t>(rank);
+}
+
+/// Handshake-count invariants from the paper's caching levels: caching=all
+/// performs exactly one handshake and skips steps-1; none/local perform one
+/// per step. Checked against the writer coordinator's MonitorReport.
+std::uint64_t expected_handshakes_performed(const StressConfig& cfg);
+std::uint64_t expected_handshakes_skipped(const StressConfig& cfg);
+Status check_handshake_invariant(const StressConfig& cfg,
+                                 const wire::MonitorReport& report);
+
+/// Run one configuration to completion and verify all data; returns the
+/// first failure (or ok) plus the writer report for invariant checks. Each
+/// call uses a fresh Runtime.
+StressResult run_stress(const StressConfig& cfg);
+
+}  // namespace flexio::torture

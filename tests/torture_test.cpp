@@ -1,0 +1,278 @@
+// Torture tests: the full writer/reader runtime under the stress driver's
+// caching x sync/async x placement matrix, plus seed-driven random fault
+// injection with byte-for-byte replay. A failing seeded run prints the seed
+// and fault plan; re-running with FLEXIO_TORTURE_SEED=<seed> reproduces the
+// identical decision log.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "harness/fault_plan.h"
+#include "harness/stress_driver.h"
+
+namespace flexio::torture {
+namespace {
+
+constexpr std::uint64_t kDefaultSeed = 0x20260806ULL;
+
+/// Seed override for replaying a failure printed by a previous run.
+std::uint64_t torture_seed() {
+  const char* env = std::getenv("FLEXIO_TORTURE_SEED");
+  if (env == nullptr || *env == '\0') return kDefaultSeed;
+  // Reject garbage loudly: a mistyped replay seed silently parsing to 0
+  // would "not reproduce" the failure the user is chasing.
+  char* end = nullptr;
+  const std::uint64_t seed = std::strtoull(env, &end, 0);
+  if (end == env || *end != '\0') {
+    ADD_FAILURE() << "FLEXIO_TORTURE_SEED must be an integer, got \"" << env
+                  << "\"";
+    return kDefaultSeed;
+  }
+  return seed;
+}
+
+// ------------------------------------------------ fault-plan unit tests --
+
+TEST(FaultPlanTest, ScriptRoundTrips) {
+  const std::string script =
+      "fail putmsg nth=3 times=2 to=*viz.0* code=timeout\n"
+      "drop get nth=1 from=*sim*\n"
+      "delay put nth=5 delay_us=250\n"
+      "dup putmsg nth=2\n";
+  auto plan = FaultPlan::parse(script);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  EXPECT_EQ(plan.value().script(), script);
+  // Reparse of the canonical form is identical again.
+  auto again = FaultPlan::parse(plan.value().script());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().script(), script);
+}
+
+TEST(FaultPlanTest, CommentsAndBlanksIgnored) {
+  auto plan = FaultPlan::parse("# header\n\n  fail get nth=1  # trailing\n");
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan.value().script(), "fail get nth=1 code=unavailable\n");
+}
+
+TEST(FaultPlanTest, MalformedScriptsRejected) {
+  EXPECT_EQ(FaultPlan::parse("fail").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::parse("explode putmsg").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::parse("fail warp nth=1").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::parse("fail get nth=0").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::parse("fail get nth=1 code=sideways").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::parse("fail get nth=1 bogus=1").status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(FaultPlanTest, GlobMatch) {
+  EXPECT_TRUE(glob_match("", "anything"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*viz.0*", "pipe|viz.0>pipe|sim.0:tx"));
+  EXPECT_TRUE(glob_match("a*c", "abc"));
+  EXPECT_TRUE(glob_match("a*c", "ac"));
+  EXPECT_FALSE(glob_match("a*c", "ab"));
+  EXPECT_TRUE(glob_match("*:rx", "x>y:rx"));
+  EXPECT_FALSE(glob_match("*:rx", "x>y:tx"));
+}
+
+TEST(FaultPlanTest, NicNameNormalization) {
+  EXPECT_EQ(normalize_nic_name("a>b#17:tx"), "a>b:tx");
+  EXPECT_EQ(normalize_nic_name("a>b#9:rx"), "a>b:rx");
+  EXPECT_EQ(normalize_nic_name("plain"), "plain");
+  EXPECT_EQ(normalize_nic_name("odd#tag"), "odd#tag");  // no digits: kept
+}
+
+TEST(FaultPlanTest, NthRuleFiresOnExactOccurrencePerPair) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.kind = FaultKind::kFail;
+  rule.op = nnti::Op::kPutMessage;
+  rule.nth = 2;
+  rule.code = ErrorCode::kUnavailable;
+  plan.add(rule);
+  auto hook = plan.hook();
+  // Occurrences count per (local, peer) pair, so a second pair has its own
+  // counter; the "#id" suffix is normalized away.
+  EXPECT_TRUE(hook(nnti::Op::kPutMessage, "a#1:tx", "b").status.is_ok());
+  EXPECT_FALSE(hook(nnti::Op::kPutMessage, "a#2:tx", "b").status.is_ok());
+  EXPECT_TRUE(hook(nnti::Op::kPutMessage, "a#3:tx", "b").status.is_ok());
+  EXPECT_TRUE(hook(nnti::Op::kPutMessage, "c", "d").status.is_ok());
+  EXPECT_FALSE(hook(nnti::Op::kPutMessage, "c", "d").status.is_ok());
+  // Different op: separate counter, rule does not apply.
+  EXPECT_TRUE(hook(nnti::Op::kGet, "a:tx", "b").status.is_ok());
+  EXPECT_EQ(plan.faults_fired(), 2u);
+  EXPECT_EQ(plan.log().size(), 2u);
+}
+
+TEST(FaultPlanTest, RandomPlanIsStatelessAcrossInterleavings) {
+  RandomProfile profile;
+  profile.fail_prob = 0.2;
+  profile.delay_prob = 0.1;
+  profile.dup_prob = 0.1;
+  FaultPlan a = FaultPlan::random(42, profile);
+  FaultPlan b = FaultPlan::random(42, profile);
+  auto ha = a.hook();
+  auto hb = b.hook();
+  // Feed the same per-pair op sequences in different global orders; the
+  // decision logs must agree in canonical form.
+  for (int i = 0; i < 200; ++i) {
+    ha(nnti::Op::kPutMessage, "x:tx", "y:rx");
+    ha(nnti::Op::kGet, "p:tx", "q:rx");
+  }
+  for (int i = 0; i < 200; ++i) hb(nnti::Op::kGet, "p:tx", "q:rx");
+  for (int i = 0; i < 200; ++i) hb(nnti::Op::kPutMessage, "x:tx", "y:rx");
+  EXPECT_EQ(a.log().canonical(), b.log().canonical());
+  EXPECT_EQ(a.log().fingerprint(), b.log().fingerprint());
+  EXPECT_GT(a.log().size(), 0u);  // p=0.2 over 400 draws: fires w.p. ~1
+}
+
+TEST(FaultPlanTest, ConsecutiveRandomFailuresCapped) {
+  RandomProfile profile;
+  profile.fail_prob = 1.0;  // every draw wants to fail...
+  profile.max_consecutive_fails = 2;
+  FaultPlan plan = FaultPlan::random(7, profile);
+  auto hook = plan.hook();
+  int longest = 0, run = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!hook(nnti::Op::kPut, "a:tx", "b:rx").status.is_ok()) {
+      run++;
+      longest = std::max(longest, run);
+    } else {
+      run = 0;
+    }
+  }
+  // ...but the cap guarantees every 3rd occurrence succeeds, keeping the
+  // transport's retry budget (max_retries=3) sufficient.
+  EXPECT_EQ(longest, 2);
+}
+
+// ------------------------------------------------- clean stress matrix --
+
+class StressMatrixTest : public ::testing::TestWithParam<StressConfig> {};
+
+TEST_P(StressMatrixTest, DeliversAndVerifies) {
+  StressConfig cfg = GetParam();
+  cfg.stream = "matrix_" + cfg.label();
+  if (cfg.placement == PlacementMode::kFile) {
+    cfg.file_dir = ::testing::TempDir() + "/flexio_matrix_" + cfg.label();
+    std::filesystem::remove_all(cfg.file_dir);
+  }
+  const StressResult result = run_stress(cfg);
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_GT(result.elements_verified, 0u);
+  if (!cfg.file_dir.empty()) std::filesystem::remove_all(cfg.file_dir);
+}
+
+std::vector<StressConfig> full_matrix() {
+  std::vector<StressConfig> cfgs;
+  for (const char* caching : {"none", "local", "all"}) {
+    for (const bool async : {false, true}) {
+      for (const PlacementMode placement :
+           {PlacementMode::kShm, PlacementMode::kRdma, PlacementMode::kFile}) {
+        StressConfig cfg;
+        cfg.writers = 3;
+        cfg.readers = 2;
+        cfg.steps = 3;
+        cfg.caching = caching;
+        cfg.async_writes = async;
+        cfg.placement = placement;
+        cfgs.push_back(cfg);
+      }
+    }
+  }
+  return cfgs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, StressMatrixTest, ::testing::ValuesIn(full_matrix()),
+    [](const auto& suite_info) { return suite_info.param.label(); });
+
+// --------------------------------------------- seeded random fault runs --
+
+RandomProfile torture_profile() {
+  RandomProfile profile;
+  profile.fail_prob = 0.08;   // transient failures, absorbed by retries
+  profile.drop_prob = 0.05;   // get/put drops -> retryable timeouts
+  profile.delay_prob = 0.10;  // scheduling jitter
+  profile.dup_prob = 0.08;    // duplicated frames, absorbed by seq dedup
+  profile.delay_us = 200;
+  return profile;
+}
+
+StressConfig torture_config(const char* stream, const FaultPlan* plan) {
+  StressConfig cfg;
+  cfg.writers = 2;
+  cfg.readers = 2;
+  cfg.steps = 4;
+  cfg.caching = "none";
+  cfg.placement = PlacementMode::kRdma;  // faults only hit the fabric
+  cfg.stream = stream;
+  cfg.faults = plan;
+  return cfg;
+}
+
+TEST(TortureTest, SeededFaultsStillDeliverEverything) {
+  const std::uint64_t seed = torture_seed();
+  const FaultPlan plan = FaultPlan::random(seed, torture_profile());
+  const StressResult result = run_stress(torture_config("torture_rand", &plan));
+  EXPECT_TRUE(result.status.is_ok())
+      << result.status.to_string() << "\n"
+      << plan.banner() << "\nreplay with: FLEXIO_TORTURE_SEED=" << seed
+      << "\nevent log:\n"
+      << plan.log().canonical();
+  EXPECT_GT(result.elements_verified, 0u);
+  if (seed == kDefaultSeed) {
+    // The default seed is known to fire faults; an override seed may not.
+    EXPECT_GT(plan.faults_fired(), 0u)
+        << "default torture seed stopped exercising the fault paths";
+  }
+}
+
+TEST(TortureTest, SeededRunReplaysByteForByte) {
+  const std::uint64_t seed = torture_seed();
+  std::string first_log;
+  std::uint64_t first_fp = 0;
+  for (int run = 0; run < 2; ++run) {
+    const FaultPlan plan = FaultPlan::random(seed, torture_profile());
+    const StressResult result =
+        run_stress(torture_config("torture_replay", &plan));
+    ASSERT_TRUE(result.status.is_ok())
+        << "run " << run << ": " << result.status.to_string() << "\n"
+        << plan.banner() << "\nreplay with: FLEXIO_TORTURE_SEED=" << seed;
+    if (run == 0) {
+      first_log = plan.log().canonical();
+      first_fp = plan.log().fingerprint();
+    } else {
+      // Byte-for-byte: same seed => identical fault decisions, regardless
+      // of how the rank threads happened to interleave.
+      EXPECT_EQ(plan.log().canonical(), first_log)
+          << plan.banner() << "\nreplay with: FLEXIO_TORTURE_SEED=" << seed;
+      EXPECT_EQ(plan.log().fingerprint(), first_fp);
+    }
+  }
+}
+
+TEST(TortureTest, CachingAllSurvivesFaultsWithHandshakeInvariant) {
+  const std::uint64_t seed = torture_seed() ^ 0xa11ULL;
+  const FaultPlan plan = FaultPlan::random(seed, torture_profile());
+  StressConfig cfg = torture_config("torture_caching_all", &plan);
+  cfg.caching = "all";
+  cfg.async_writes = true;
+  const StressResult result = run_stress(cfg);
+  // run_stress checks performed==1 / skipped==steps-1 internally; transport
+  // retries must never leak into the handshake counters.
+  EXPECT_TRUE(result.status.is_ok())
+      << result.status.to_string() << "\n"
+      << plan.banner() << "\nreplay with: FLEXIO_TORTURE_SEED=" << (seed)
+      << "\nevent log:\n"
+      << plan.log().canonical();
+}
+
+}  // namespace
+}  // namespace flexio::torture
