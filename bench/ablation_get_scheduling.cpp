@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/report.h"
 #include "sim/engine.h"
 #include "sim/flow_network.h"
 #include "sim/machine.h"
@@ -75,6 +76,7 @@ Outcome run(int sim_nodes, double bulk_bytes, int max_inflight) {
 }  // namespace
 
 int main() {
+  using namespace flexio;
   const int sim_nodes = 16;
   const double bulk = 220e6;  // one Titan node's GTS output per interval
   std::printf("Get scheduling ablation: %d sim nodes -> 1 staging node "
@@ -82,18 +84,28 @@ int main() {
               sim_nodes, bulk / 1e6);
   std::printf("%-23s %14s %18s %14s\n", "policy", "drain (s)",
               "mean transfer (s)", "pinned buffers");
+  bench::Report report("ablation_get_scheduling");
   const Outcome greedy = run(sim_nodes, bulk, 0);
   std::printf("%-23s %14.3f %18.3f %14d\n", "greedy (all at once)",
               greedy.drain_seconds, greedy.mean_transfer_end,
               greedy.peak_pinned_buffers);
+  report.add_samples("greedy/mean_transfer", "s", 0, 1,
+                     {greedy.mean_transfer_end});
+  report.add_counter("greedy/pinned_buffers",
+                     static_cast<std::uint64_t>(greedy.peak_pinned_buffers));
   for (int k : {8, 4, 2, 1}) {
     const Outcome sched = run(sim_nodes, bulk, k);
     std::printf("scheduled (inflight=%d)  %14.3f %18.3f %14d\n", k,
                 sched.drain_seconds, sched.mean_transfer_end,
                 sched.peak_pinned_buffers);
+    const std::string prefix = "inflight" + std::to_string(k);
+    report.add_samples(prefix + "/mean_transfer", "s", 0, 1,
+                       {sched.mean_transfer_end});
+    report.add_counter(prefix + "/pinned_buffers",
+                       static_cast<std::uint64_t>(sched.peak_pinned_buffers));
   }
   std::printf("\nthe drain is receiver-bound either way; scheduling halves "
               "mean transfer latency\nand caps how many registered sender "
               "buffers are pinned concurrently\n");
-  return 0;
+  return report.write().is_ok() ? 0 : 1;
 }

@@ -10,13 +10,18 @@
 #include <string>
 #include <vector>
 
+#include "bench/report.h"
 #include "nnti/cost_model.h"
 #include "nnti/nnti.h"
 #include "nnti/registration_cache.h"
 #include "sim/machine.h"
+#include "util/metrics.h"
 
 int main() {
   using namespace flexio;
+  metrics::set_enabled(true);
+  bench::Report report("fig4_rdma_registration");
+  bench::CounterDelta delta;
   const sim::MachineDesc machine = sim::titan();
   const nnti::RdmaCostModel model(machine);
 
@@ -24,11 +29,18 @@ int main() {
               machine.name.c_str());
   std::printf("%-12s %22s %22s %8s\n", "msg bytes", "static reg (MB/s)",
               "dynamic reg (MB/s)", "ratio");
+  std::vector<double> static_mbps, dynamic_mbps;
   for (std::size_t bytes = 1 << 10; bytes <= (64u << 20); bytes <<= 1) {
     const double stat = model.bandwidth(bytes, /*dynamic=*/false) / 1e6;
     const double dyn = model.bandwidth(bytes, /*dynamic=*/true) / 1e6;
+    static_mbps.push_back(stat);
+    dynamic_mbps.push_back(dyn);
     std::printf("%-12zu %22.1f %22.1f %8.2f\n", bytes, stat, dyn, stat / dyn);
   }
+  report.add_samples("static_reg_bandwidth", "MB/s", 0,
+                     static_cast<int>(static_mbps.size()), static_mbps);
+  report.add_samples("dynamic_reg_bandwidth", "MB/s", 0,
+                     static_cast<int>(dynamic_mbps.size()), dynamic_mbps);
 
   // Functional cross-check: a GTS-like stream of varying message sizes
   // against the real registration cache; with the persistent pool nearly
@@ -52,5 +64,8 @@ int main() {
       static_cast<unsigned long long>(stats.registrations),
       100.0 * static_cast<double>(stats.hits) /
           static_cast<double>(stats.acquisitions));
-  return 0;
+  report.add_counter("regcache.acquisitions", stats.acquisitions);
+  report.add_counter("regcache.registrations", stats.registrations);
+  delta.drain(&report);
+  return report.write().is_ok() ? 0 : 1;
 }

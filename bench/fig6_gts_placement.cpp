@@ -11,11 +11,28 @@
 #include <vector>
 
 #include "apps/scenarios.h"
+#include "bench/report.h"
 
 namespace {
 
 using namespace flexio;
 using namespace flexio::apps;
+
+/// Per-series total_seconds over the weak-scaling sweep, summarized into
+/// the bench report as one metric per (machine, series).
+void report_machine(bench::Report* report, const sim::MachineDesc& machine,
+                    const std::vector<int>& scales) {
+  for (GtsVariant v : kAllGtsVariants) {
+    std::vector<double> totals;
+    for (int cores : scales) {
+      auto result = simulate_coupled(gts_scenario(machine, cores, v));
+      if (result.is_ok()) totals.push_back(result.value().total_seconds);
+    }
+    report->add_samples(machine.name + "/" + std::string(gts_variant_name(v)),
+                        "s", 0, static_cast<int>(totals.size()),
+                        std::move(totals));
+  }
+}
 
 void run_csv(const sim::MachineDesc& machine, const std::vector<int>& scales) {
   for (int cores : scales) {
@@ -85,14 +102,18 @@ int main(int argc, char** argv) {
     }
   }
   if (csv) std::printf("machine,cores,series,total_s,node_hours,internode_gb\n");
+  flexio::bench::Report report("fig6_gts_placement");
   if (machine_arg == "smoky" || machine_arg == "both") {
     if (csv) run_csv(flexio::sim::smoky(), {128, 256, 512, 1024});
     else run_machine(flexio::sim::smoky(), {128, 256, 512, 1024}, metrics);
+    report_machine(&report, flexio::sim::smoky(), {128, 256, 512, 1024});
   }
   if (machine_arg == "titan" || machine_arg == "both") {
     if (csv) run_csv(flexio::sim::titan(), {128, 256, 512, 1024, 2048, 4096});
     else run_machine(flexio::sim::titan(), {128, 256, 512, 1024, 2048, 4096},
                      metrics);
+    report_machine(&report, flexio::sim::titan(),
+                   {128, 256, 512, 1024, 2048, 4096});
   }
-  return 0;
+  return report.write().is_ok() ? 0 : 1;
 }

@@ -11,10 +11,12 @@
 #include <cstdio>
 
 #include "apps/scenarios.h"
+#include "bench/report.h"
 
 int main() {
   using namespace flexio;
   using namespace flexio::apps;
+  bench::Report report("fig7_gts_timing");
   const sim::MachineDesc machine = sim::smoky();
   // 128 MPI processes x 4 cores each = 512 GTS cores.
   const int cores = 512;
@@ -60,5 +62,17 @@ int main() {
               100.0 * h.analytics_idle / (h.analytics + h.analytics_idle));
   std::printf("helper-core I/O visibility: %.2f%% of the interval\n",
               100.0 * h.sim_io / (h.sim_compute + h.sim_mpi + h.sim_io));
-  return 0;
+
+  auto headline = [&report](const std::string& name, double value) {
+    report.add_samples(name, "%", 0, 1, {value});
+  };
+  headline("yield_one_core_cost",
+           100.0 * (s.sim_compute / solo4.value().interval.sim_compute - 1));
+  headline("inline_analytics_weight",
+           100.0 * i.analytics / (i.sim_compute + i.sim_mpi + i.analytics));
+  headline("helper_idle_fraction",
+           100.0 * h.analytics_idle / (h.analytics + h.analytics_idle));
+  headline("helper_io_visibility",
+           100.0 * h.sim_io / (h.sim_compute + h.sim_mpi + h.sim_io));
+  return report.write().is_ok() ? 0 : 1;
 }

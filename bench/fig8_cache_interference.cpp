@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/scenarios.h"
+#include "bench/report.h"
 
 int main() {
   using namespace flexio;
@@ -28,5 +29,13 @@ int main() {
               100.0 * (r.l3_mpki_corun / r.l3_mpki_solo - 1));
   std::printf("simulation time increase from cache interference: +%.1f%%\n",
               100.0 * (r.cache_slowdown - 1));
-  return 0;
+
+  bench::Report report("fig8_cache_interference");
+  report.add_samples("l3_mpki_solo", "mpki", 0, 1, {r.l3_mpki_solo});
+  report.add_samples("l3_mpki_corun", "mpki", 0, 1, {r.l3_mpki_corun});
+  report.add_samples("miss_rate_increase", "%", 0, 1,
+                     {100.0 * (r.l3_mpki_corun / r.l3_mpki_solo - 1)});
+  report.add_samples("sim_time_increase", "%", 0, 1,
+                     {100.0 * (r.cache_slowdown - 1)});
+  return report.write().is_ok() ? 0 : 1;
 }

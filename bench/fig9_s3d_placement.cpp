@@ -11,11 +11,26 @@
 #include <vector>
 
 #include "apps/scenarios.h"
+#include "bench/report.h"
 
 namespace {
 
 using namespace flexio;
 using namespace flexio::apps;
+
+void report_machine(bench::Report* report, const sim::MachineDesc& machine,
+                    const std::vector<int>& scales) {
+  for (S3dVariant v : kAllS3dVariants) {
+    std::vector<double> totals;
+    for (int cores : scales) {
+      auto result = simulate_coupled(s3d_scenario(machine, cores, v));
+      if (result.is_ok()) totals.push_back(result.value().total_seconds);
+    }
+    report->add_samples(machine.name + "/" + std::string(s3d_variant_name(v)),
+                        "s", 0, static_cast<int>(totals.size()),
+                        std::move(totals));
+  }
+}
 
 void run_machine(const sim::MachineDesc& machine,
                  const std::vector<int>& scales) {
@@ -68,11 +83,14 @@ int main(int argc, char** argv) {
       machine_arg = argv[++i];
     }
   }
+  flexio::bench::Report report("fig9_s3d_placement");
   if (machine_arg == "smoky" || machine_arg == "both") {
     run_machine(flexio::sim::smoky(), {128, 256, 512, 1024});
+    report_machine(&report, flexio::sim::smoky(), {128, 256, 512, 1024});
   }
   if (machine_arg == "titan" || machine_arg == "both") {
     run_machine(flexio::sim::titan(), {256, 512, 1024, 2048, 4096});
+    report_machine(&report, flexio::sim::titan(), {256, 512, 1024, 2048, 4096});
   }
-  return 0;
+  return report.write().is_ok() ? 0 : 1;
 }

@@ -1,0 +1,96 @@
+// Shared main() for the google-benchmark binaries: runs the registered
+// benchmarks with the normal console output AND captures every
+// per-repetition run into a bench::Report, so micro_* binaries emit the
+// same BENCH_<name>.json artifact as the figure harnesses.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+
+namespace flexio::bench {
+
+/// Display reporter that forwards to the normal console reporter while
+/// recording per-repetition adjusted real time (per iteration, in the
+/// benchmark's time unit). Aggregate rows are skipped: Report computes its
+/// own median/p99 from the raw repetitions. Wrapping the display reporter
+/// (rather than acting as a file reporter) sidesteps the library's
+/// file-reporter-requires---benchmark_out check.
+class CaptureReporter : public ::benchmark::BenchmarkReporter {
+ public:
+  explicit CaptureReporter(::benchmark::BenchmarkReporter* inner)
+      : inner_(inner) {}
+
+  bool ReportContext(const Context& context) override {
+    return inner_->ReportContext(context);
+  }
+
+  void Finalize() override { inner_->Finalize(); }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    inner_->ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;
+      Series& s = series_[run.benchmark_name()];
+      s.unit = ::benchmark::GetTimeUnitString(run.time_unit);
+      s.samples.push_back(run.GetAdjustedRealTime());
+    }
+  }
+
+  void flush(Report* report) const {
+    for (const auto& [name, s] : series_) {
+      report->add_samples(name, s.unit, /*warmup=*/0,
+                          static_cast<int>(s.samples.size()), s.samples);
+    }
+  }
+
+ private:
+  struct Series {
+    std::string unit;
+    std::vector<double> samples;
+  };
+  ::benchmark::BenchmarkReporter* inner_;
+  std::map<std::string, Series> series_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN(): unless the caller passed its
+/// own --benchmark_repetitions, each benchmark runs `default_reps` times so
+/// the report's median/p99 are over real repetitions.
+inline int run_benchmarks_with_report(int argc, char** argv,
+                                      const std::string& name,
+                                      int default_reps = 5) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string reps_flag =
+      "--benchmark_repetitions=" + std::to_string(default_reps);
+  bool has_reps = false;
+  for (char* a : args) {
+    if (std::strncmp(a, "--benchmark_repetitions", 23) == 0) has_reps = true;
+  }
+  if (!has_reps) args.push_back(reps_flag.data());
+  int n = static_cast<int>(args.size());
+  ::benchmark::Initialize(&n, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+
+  Report report(name);
+  CounterDelta delta;
+  ::benchmark::ConsoleReporter console;
+  CaptureReporter capture(&console);
+  ::benchmark::RunSpecifiedBenchmarks(&capture);
+  capture.flush(&report);
+  delta.drain(&report);
+  const Status st = report.write();
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace flexio::bench

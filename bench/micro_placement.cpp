@@ -6,6 +6,7 @@
 // NUMA-aware trees.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.h"
 #include "placement/mapper.h"
 #include "placement/partitioner.h"
 #include "placement/policies.h"
@@ -110,4 +111,7 @@ BENCHMARK(BM_TreeMapping)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return flexio::bench::run_benchmarks_with_report(argc, argv,
+                                                   "micro_placement");
+}

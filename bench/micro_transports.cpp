@@ -10,12 +10,15 @@
 #include <thread>
 
 #include "adios/array.h"
+#include "bench/gbench_main.h"
 #include "core/redistribution.h"
 #include "nnti/nnti.h"
 #include "nnti/registration_cache.h"
 #include "shm/buffer_pool.h"
 #include "shm/channel.h"
 #include "shm/spsc_queue.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -176,6 +179,51 @@ void BM_CopyRegion(benchmark::State& state) {
 }
 BENCHMARK(BM_CopyRegion)->Arg(64)->Arg(512);
 
+// ------------------------------------------------- observability overhead --
+// The CI perf-smoke gate compares these two: a disabled counter add must be
+// a branch, not a fetch_add (docs/OBSERVABILITY.md cost model).
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+  const bool was = metrics::enabled();
+  metrics::set_enabled(false);
+  metrics::Counter& c = metrics::counter("bench.overhead.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::ClobberMemory();
+  }
+  metrics::set_enabled(was);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterDisabled);
+
+void BM_MetricsCounterEnabled(benchmark::State& state) {
+  const bool was = metrics::enabled();
+  metrics::set_enabled(true);
+  metrics::Counter& c = metrics::counter("bench.overhead.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::ClobberMemory();
+  }
+  metrics::set_enabled(was);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterEnabled);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  const bool was = trace::enabled();
+  trace::set_enabled(false);
+  for (auto _ : state) {
+    trace::Span span("bench.overhead.span");
+    benchmark::ClobberMemory();
+  }
+  trace::set_enabled(was);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return flexio::bench::run_benchmarks_with_report(argc, argv,
+                                                   "micro_transports");
+}

@@ -1,0 +1,124 @@
+#include "bench/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace flexio::bench {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  // Bench numbers are nanoseconds and rates; fixed precision keeps the
+  // files diffable without losing anything CI compares.
+  return str_format("%.3f", v);
+}
+
+}  // namespace
+
+double Report::quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::min(std::max(q, 0.0), 1.0);
+  const std::size_t rank = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(samples.size()))));
+  return samples[rank - 1];
+}
+
+void Report::add_samples(const std::string& label, const std::string& unit,
+                         int warmup, int reps, std::vector<double> samples) {
+  MetricSummary m;
+  m.name = label;
+  m.unit = unit;
+  m.warmup = warmup;
+  m.reps = reps;
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    m.min = samples.front();
+    m.max = samples.back();
+    m.median = quantile(samples, 0.5);
+    m.p99 = quantile(samples, 0.99);
+    double sum = 0;
+    for (double s : samples) sum += s;
+    m.mean = sum / static_cast<double>(samples.size());
+  }
+  metrics_.push_back(std::move(m));
+}
+
+std::string Report::json() const {
+  std::string out = "{\n";
+  out += str_format("  \"schema\": \"flexio-bench-v1\",\n");
+  out += str_format("  \"name\": \"%s\",\n", json_escape(name_).c_str());
+  out += "  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const MetricSummary& m = metrics_[i];
+    if (i) out += ",";
+    out += "\n    {";
+    out += str_format("\"name\": \"%s\", ", json_escape(m.name).c_str());
+    out += str_format("\"unit\": \"%s\", ", json_escape(m.unit).c_str());
+    out += str_format("\"warmup\": %d, \"reps\": %d, ", m.warmup, m.reps);
+    out += str_format("\"median\": %s, ", format_double(m.median).c_str());
+    out += str_format("\"p99\": %s, ", format_double(m.p99).c_str());
+    out += str_format("\"mean\": %s, ", format_double(m.mean).c_str());
+    out += str_format("\"min\": %s, ", format_double(m.min).c_str());
+    out += str_format("\"max\": %s}", format_double(m.max).c_str());
+  }
+  out += metrics_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += str_format("\n    \"%s\": %llu", json_escape(name).c_str(),
+                      static_cast<unsigned long long>(value));
+  }
+  out += counters_.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status Report::write() const {
+  const char* dir = std::getenv("FLEXIO_BENCH_DIR");
+  std::string path = dir && *dir ? std::string(dir) + "/" : std::string();
+  path += "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kInternal, "cannot open " + path);
+  }
+  out << json();
+  return out ? Status::ok()
+             : make_error(ErrorCode::kInternal, "write failed: " + path);
+}
+
+CounterDelta::CounterDelta() {
+  for (const auto& [name, m] : metrics::snapshot_all()) {
+    if (m.kind == metrics::MetricSnapshot::Kind::kCounter) {
+      base_[name] = m.counter;
+    }
+  }
+}
+
+void CounterDelta::drain(Report* report) const {
+  for (const auto& [name, m] : metrics::snapshot_all()) {
+    if (m.kind != metrics::MetricSnapshot::Kind::kCounter) continue;
+    const auto it = base_.find(name);
+    const std::uint64_t before = it == base_.end() ? 0 : it->second;
+    if (m.counter > before) report->add_counter(name, m.counter - before);
+  }
+}
+
+}  // namespace flexio::bench

@@ -1,0 +1,99 @@
+// Uniform JSON reporting for the bench/ binaries.
+//
+// Every fig* harness and micro_* binary funnels its numbers through a
+// Report so CI (and humans) get one machine-readable artifact per binary:
+// BENCH_<name>.json, schema "flexio-bench-v1" (docs/OBSERVABILITY.md).
+// A metric is a sample set summarized as median/p99/mean/min/max over
+// `reps` measured repetitions after `warmup` unmeasured ones; counters are
+// point-in-time values, typically metrics-registry deltas captured around
+// the timed section.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexio::bench {
+
+struct MetricSummary {
+  std::string name;
+  std::string unit;
+  int warmup = 0;
+  int reps = 0;
+  double median = 0;
+  double p99 = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+};
+
+class Report {
+ public:
+  /// `name` becomes the file stem: BENCH_<name>.json.
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  /// Run `fn` warmup times unmeasured, then `reps` times measured, and
+  /// record the per-repetition wall time in nanoseconds.
+  template <typename Fn>
+  void measure(const std::string& label, int warmup, int reps, Fn&& fn) {
+    for (int i = 0; i < warmup; ++i) fn();
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    }
+    add_samples(label, "ns", warmup, reps, std::move(samples));
+  }
+
+  /// Summarize an externally-collected sample set.
+  void add_samples(const std::string& label, const std::string& unit,
+                   int warmup, int reps, std::vector<double> samples);
+
+  /// Record a pre-summarized metric (e.g. from google-benchmark runs).
+  void add_summary(MetricSummary summary) {
+    metrics_.push_back(std::move(summary));
+  }
+
+  void add_counter(const std::string& name, std::uint64_t value) {
+    counters_[name] = value;
+  }
+
+  /// Nearest-rank quantile of an unsorted sample set.
+  static double quantile(std::vector<double> samples, double q);
+
+  std::string json() const;
+
+  /// Write BENCH_<name>.json into $FLEXIO_BENCH_DIR (or the cwd).
+  Status write() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<MetricSummary>& metrics() const { return metrics_; }
+
+ private:
+  std::string name_;
+  std::vector<MetricSummary> metrics_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Captures metrics-registry counter values at construction; drain() adds
+/// the delta of every counter that moved to the report.
+class CounterDelta {
+ public:
+  CounterDelta();
+  void drain(Report* report) const;
+
+ private:
+  std::map<std::string, std::uint64_t> base_;
+};
+
+}  // namespace flexio::bench

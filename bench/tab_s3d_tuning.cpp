@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "apps/s3d.h"
+#include "bench/report.h"
 #include "core/stream_reader.h"
 #include "core/stream_writer.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -152,6 +154,10 @@ struct Tuning {
 }  // namespace
 
 int main() {
+  using namespace flexio;
+  metrics::set_enabled(true);  // this harness drives the real data plane
+  bench::Report report("tab_s3d_tuning");
+  bench::CounterDelta delta;
   const Tuning tunings[] = {
       {"untuned  (caching=none, per-var, sync)",
        "caching=none; batching=no; async=no", false, false, false},
@@ -184,9 +190,14 @@ int main() {
                 static_cast<unsigned long long>(r.handshakes_performed),
                 static_cast<unsigned long long>(r.handshakes_skipped),
                 r.msgs_per_step, model);
+    report.add_samples(std::string("host_visible/") + tuning.params, "ms", 1,
+                       1, {r.median_visible_ms});
+    report.add_samples(std::string("titan_model/") + tuning.params, "s", 0, 1,
+                       {model});
   }
   std::printf("\nmodeled tuning speedup on Titan: %.1fx  (paper: 1.2 s -> "
               "0.053 s = 22.6x)\n",
               untuned_model / tuned_model);
-  return 0;
+  delta.drain(&report);
+  return report.write().is_ok() ? 0 : 1;
 }

@@ -2,10 +2,25 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace flexio {
+
+namespace {
+metrics::Counter& plans_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.redistribution.plans");
+  return c;
+}
+metrics::Counter& pieces_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.redistribution.pieces");
+  return c;
+}
+}  // namespace
 
 std::vector<TransferPiece> plan_transfers(
     const std::vector<wire::BlockInfo>& blocks, const wire::ReadRequest& req) {
+  trace::Span span("redistribution.plan");
   std::vector<TransferPiece> plan;
   // Global-array selections: every (block, selection) overlap is a piece.
   for (const wire::BlockInfo& b : blocks) {
@@ -46,6 +61,10 @@ std::vector<TransferPiece> plan_transfers(
                      }
                      return a.reader_rank < b.reader_rank;
                    });
+  if (metrics::enabled()) {
+    plans_counter().inc();
+    pieces_counter().add(plan.size());
+  }
   return plan;
 }
 

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "util/log.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace flexio {
 
@@ -12,6 +14,21 @@ namespace {
 
 std::chrono::nanoseconds ns_from_ms(double ms) {
   return std::chrono::nanoseconds(static_cast<std::int64_t>(ms * 1e6));
+}
+
+// Shared with StreamWriter: the same "flexio.handshake.*" registry counters
+// count both sides, so a colocated run sees 2x the per-side totals.
+metrics::Counter& handshakes_performed_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.handshake.performed");
+  return c;
+}
+metrics::Counter& handshakes_skipped_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.handshake.skipped");
+  return c;
+}
+metrics::Counter& stream_bytes_received_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.bytes.received");
+  return c;
 }
 
 /// Encoded per-rank contribution to the read request (Step 1.a payload).
@@ -24,6 +41,7 @@ std::vector<std::byte> encode_rank_request(const wire::ReadRequest& req) {
 StreamReader::~StreamReader() { (void)close(); }
 
 Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
+  trace::Span span("reader.open");
   rt_ = rt;
   spec_ = spec;
   program_ = spec.endpoint.program;
@@ -143,6 +161,7 @@ StatusOr<StepId> StreamReader::begin_step_file() {
 }
 
 StatusOr<StepId> StreamReader::begin_step_stream() {
+  trace::Span span("reader.begin_step");
   const bool do_exchange =
       steps_completed_ == 0 || caching_ != xml::CachingLevel::kAll;
   // Coordinator resolves the step (or EOS), everyone else learns by bcast.
@@ -443,6 +462,7 @@ Status StreamReader::perform_reads_file() {
 }
 
 Status StreamReader::perform_reads_stream() {
+  trace::Span span("reader.perform_reads");
   const bool do_exchange =
       steps_completed_ == 0 || caching_ != xml::CachingLevel::kAll;
 
@@ -457,6 +477,7 @@ Status StreamReader::perform_reads_stream() {
   }
 
   if (do_exchange) {
+    trace::Span hs_span("reader.handshake");
     PerfMonitor::ScopedTimer t(&monitor_, "handshake.exchange");
     // Step 1.a: gather selections at the coordinator.
     std::vector<std::vector<std::byte>> all;
@@ -490,6 +511,7 @@ Status StreamReader::perform_reads_stream() {
     cached_request_ = std::move(merged).value();
     have_cached_request_ = true;
     monitor_.add_count("handshake.performed", 1);
+    handshakes_performed_counter().inc();
 
     for (const wire::PluginInstall& p : cached_request_.plugins) {
       if (p.run_at_writer) continue;
@@ -511,6 +533,7 @@ Status StreamReader::perform_reads_stream() {
         pieces_to_reader(plan_transfers(step_blocks_, cached_request_), rank_);
   } else {
     monitor_.add_count("handshake.skipped", 1);
+    handshakes_skipped_counter().inc();
     if (rank_ == Program::kCoordinator && !pending_plugins_.empty()) {
       return make_error(ErrorCode::kFailedPrecondition,
                         "plug-in (un)installation needs handshakes; "
@@ -572,6 +595,7 @@ Status StreamReader::perform_reads_stream() {
       }
       FLEXIO_RETURN_IF_ERROR(place_piece(piece, msg.writer_rank));
       monitor_.add_count("bytes.received", piece.payload.size());
+      stream_bytes_received_counter().add(piece.payload.size());
       any = true;
     }
     return any;

@@ -3,12 +3,31 @@
 #include <cstring>
 
 #include "util/log.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace flexio {
 
 namespace {
 std::chrono::nanoseconds ns_from_ms(double ms) {
   return std::chrono::nanoseconds(static_cast<std::int64_t>(ms * 1e6));
+}
+
+// Process-wide handshake accounting, shared with StreamReader: both sides
+// bump the same registry counters, so in a colocated test the totals are
+// 2x the per-side expectation. The per-instance PerfMonitor keeps exact
+// per-endpoint numbers for wire::MonitorReport.
+metrics::Counter& handshakes_performed_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.handshake.performed");
+  return c;
+}
+metrics::Counter& handshakes_skipped_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.handshake.skipped");
+  return c;
+}
+metrics::Counter& stream_bytes_sent_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.bytes.sent");
+  return c;
 }
 }  // namespace
 
@@ -17,6 +36,7 @@ StreamWriter::~StreamWriter() {
 }
 
 Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
+  trace::Span span("writer.open");
   rt_ = rt;
   spec_ = spec;
   program_ = spec.endpoint.program;
@@ -169,6 +189,7 @@ Status StreamWriter::end_step_file() {
 }
 
 Status StreamWriter::run_handshake(bool* did_exchange) {
+  trace::Span span("writer.handshake");
   using xml::CachingLevel;
   const CachingLevel caching = spec_.method.caching;
   const bool first = steps_completed_ == 0;
@@ -228,6 +249,7 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
     cached_request_ = std::move(req).value();
     have_cached_request_ = true;
     monitor_.add_count("handshake.performed", 1);
+    handshakes_performed_counter().inc();
 
     // Install any plug-ins that rode along with the request. An empty
     // source removes the plug-in: that is how the reader migrates a
@@ -251,6 +273,7 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
     }
   } else {
     monitor_.add_count("handshake.skipped", 1);
+    handshakes_skipped_counter().inc();
   }
   if (!have_cached_request_) {
     return make_error(ErrorCode::kInternal, "no read request available");
@@ -259,6 +282,7 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
 }
 
 Status StreamWriter::send_pieces() {
+  trace::Span span("writer.send_pieces");
   PerfMonitor::ScopedTimer t(&monitor_, "write.send");
   // Step 4.s: compute this rank's pieces and pack strides per receiver.
   const std::vector<TransferPiece> mine =
@@ -320,6 +344,7 @@ Status StreamWriter::send_pieces() {
       for (const auto& p : msg.pieces) bytes += p.payload.size();
       monitor_.add_count("bytes.sent", bytes);
       monitor_.add_count("msgs.sent", 1);
+      stream_bytes_sent_counter().add(bytes);
       return endpoint_->send(dest, ByteView(wire::encode(msg)), send_mode);
     };
     if (spec_.method.batching) {
@@ -337,6 +362,7 @@ Status StreamWriter::send_pieces() {
 }
 
 Status StreamWriter::end_step_stream() {
+  trace::Span span("writer.end_step");
   bool did_exchange = false;
   FLEXIO_RETURN_IF_ERROR(run_handshake(&did_exchange));
   return send_pieces();
@@ -356,6 +382,7 @@ wire::MonitorReport StreamWriter::build_report() const {
 }
 
 Status StreamWriter::close() {
+  trace::Span span("writer.close");
   if (closed_) return Status::ok();
   if (in_step_) {
     return make_error(ErrorCode::kFailedPrecondition,

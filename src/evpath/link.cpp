@@ -6,8 +6,53 @@
 
 #include "serial/buffer.h"
 #include "util/log.h"
+#include "util/metrics.h"
 
 namespace flexio::evpath {
+
+namespace {
+
+// Transport-level observability shared by every link in the process:
+// per-transport send latency (enqueue-to-accepted for shm/inproc; control
+// message placed + rendezvous data registered for rdma), frame/byte
+// volumes, and the retry pressure of the timeout-and-retry wrapper.
+metrics::Histogram& send_latency_hist(TransportKind kind) {
+  static metrics::Histogram& inproc = metrics::histogram("evpath.inproc.send.ns");
+  static metrics::Histogram& shm = metrics::histogram("evpath.shm.send.ns");
+  static metrics::Histogram& rdma = metrics::histogram("evpath.rdma.send.ns");
+  switch (kind) {
+    case TransportKind::kInproc: return inproc;
+    case TransportKind::kShm: return shm;
+    case TransportKind::kRdma: return rdma;
+  }
+  return inproc;
+}
+
+metrics::Counter& send_bytes_counter() {
+  static metrics::Counter& c = metrics::counter("evpath.send.bytes");
+  return c;
+}
+metrics::Counter& send_msgs_counter() {
+  static metrics::Counter& c = metrics::counter("evpath.send.msgs");
+  return c;
+}
+metrics::Counter& recv_msgs_counter() {
+  static metrics::Counter& c = metrics::counter("evpath.recv.msgs");
+  return c;
+}
+metrics::Counter& retry_counter() {
+  static metrics::Counter& c = metrics::counter("evpath.send.retries");
+  return c;
+}
+
+void note_send(TransportKind kind, std::size_t bytes, std::uint64_t start_ns) {
+  if (!metrics::enabled()) return;
+  send_msgs_counter().inc();
+  send_bytes_counter().add(bytes);
+  send_latency_hist(kind).record(metrics::now_ns() - start_ns);
+}
+
+}  // namespace
 
 std::string_view transport_kind_name(TransportKind kind) {
   switch (kind) {
@@ -33,6 +78,7 @@ class InprocSendLink final : public SendLink {
   InprocSendLink(std::shared_ptr<InprocState> state) : state_(std::move(state)) {}
 
   Status send(ByteView msg, SendMode) override {
+    const std::uint64_t start_ns = metrics::enabled() ? metrics::now_ns() : 0;
     std::lock_guard<std::mutex> lock(state_->mutex);
     if (state_->closed) {
       return make_error(ErrorCode::kFailedPrecondition, "link closed");
@@ -40,6 +86,7 @@ class InprocSendLink final : public SendLink {
     state_->queue.emplace_back(msg.begin(), msg.end());
     ++stats_.messages;
     stats_.bytes += msg.size();
+    note_send(TransportKind::kInproc, msg.size(), start_ns);
     return Status::ok();
   }
 
@@ -70,6 +117,7 @@ class InprocRecvLink final : public RecvLink {
       out->eos = false;
       state_->queue.pop_front();
       *got = true;
+      if (metrics::enabled()) recv_msgs_counter().inc();
       return Status::ok();
     }
     if (state_->closed && !eos_delivered_) {
@@ -100,11 +148,13 @@ class ShmSendLink final : public SendLink {
       : channel_(std::move(channel)) {}
 
   Status send(ByteView msg, SendMode mode) override {
+    const std::uint64_t start_ns = metrics::enabled() ? metrics::now_ns() : 0;
     const Status st = mode == SendMode::kSync ? channel_->send_sync(msg)
                                               : channel_->send(msg);
     if (st.is_ok()) {
       ++stats_.messages;
       stats_.bytes += msg.size();
+      note_send(TransportKind::kShm, msg.size(), start_ns);
     }
     return st;
   }
@@ -148,6 +198,7 @@ class ShmRecvLink final : public RecvLink {
     out->payload = std::move(payload);
     out->eos = false;
     *got = true;
+    if (metrics::enabled()) recv_msgs_counter().inc();
     return Status::ok();
   }
 
@@ -217,6 +268,7 @@ Status with_retries(Fn&& fn, int max_retries, LinkStats* stats) {
     }
     if (attempt < max_retries) {
       ++stats->retries;
+      retry_counter().inc();
       std::this_thread::yield();
     }
   }
@@ -240,6 +292,7 @@ class RdmaSendLink final : public SendLink {
   }
 
   Status send(ByteView msg, SendMode mode) override {
+    const std::uint64_t start_ns = metrics::enabled() ? metrics::now_ns() : 0;
     // Opportunistic poll; a transient ack error here surfaces on the next
     // blocking drain instead.
     (void)drain_acks(std::chrono::nanoseconds(0));
@@ -252,6 +305,7 @@ class RdmaSendLink final : public SendLink {
     if (st.is_ok()) {
       ++stats_.messages;
       stats_.bytes += msg.size();
+      note_send(TransportKind::kRdma, msg.size(), start_ns);
     }
     return st;
   }
@@ -374,6 +428,7 @@ class RdmaRecvLink final : public RecvLink {
         out->payload.assign(payload.begin(), payload.end());
         out->eos = false;
         *got = true;
+        if (metrics::enabled()) recv_msgs_counter().inc();
         return Status::ok();
       case RdmaTag::kRendezvous: {
         // Duplicate detection matters most here: the first copy of the
@@ -399,6 +454,7 @@ class RdmaRecvLink final : public RecvLink {
         out->from = peer_;
         out->eos = false;
         *got = true;
+        if (metrics::enabled()) recv_msgs_counter().inc();
         return Status::ok();
       }
       case RdmaTag::kEos:

@@ -3,7 +3,48 @@
 #include <cstring>
 #include <thread>
 
+#include "util/metrics.h"
+
 namespace flexio::nnti {
+
+namespace {
+// Fabric-wide frame accounting. The putmsg counters obey, by construction:
+//   delivered == sent_ok - dropped + duplicated
+// and a consumer that drains every queue observes received == delivered.
+// tests/trace_test.cpp checks these against the FaultPlan's decision log.
+metrics::Counter& putmsg_sent() {
+  static metrics::Counter& c = metrics::counter("nnti.putmsg.sent");
+  return c;
+}
+metrics::Counter& putmsg_delivered() {
+  static metrics::Counter& c = metrics::counter("nnti.putmsg.delivered");
+  return c;
+}
+metrics::Counter& putmsg_dropped() {
+  static metrics::Counter& c = metrics::counter("nnti.putmsg.dropped");
+  return c;
+}
+metrics::Counter& putmsg_duplicated() {
+  static metrics::Counter& c = metrics::counter("nnti.putmsg.duplicated");
+  return c;
+}
+metrics::Counter& putmsg_received() {
+  static metrics::Counter& c = metrics::counter("nnti.putmsg.received");
+  return c;
+}
+metrics::Counter& get_bytes_counter() {
+  static metrics::Counter& c = metrics::counter("nnti.get.bytes");
+  return c;
+}
+metrics::Counter& put_bytes_counter() {
+  static metrics::Counter& c = metrics::counter("nnti.put.bytes");
+  return c;
+}
+metrics::Counter& register_counter() {
+  static metrics::Counter& c = metrics::counter("nnti.registrations");
+  return c;
+}
+}  // namespace
 
 std::string_view op_name(Op op) {
   switch (op) {
@@ -31,6 +72,7 @@ StatusOr<MemRegion> Nic::register_memory(void* addr, std::size_t len) {
   const std::uint64_t key = next_key_++;
   regions_[key] = Region{static_cast<std::byte*>(addr), len};
   ++stats_.registrations;
+  if (metrics::enabled()) register_counter().inc();
   return MemRegion{key, len};
 }
 
@@ -47,7 +89,13 @@ Status Nic::put_message(const std::string& peer, ByteView msg) {
   const FaultAction action =
       fabric_->inject_action(Op::kPutMessage, name_, peer);
   if (!action.status.is_ok()) return action.status;
-  if (action.drop) return Status::ok();  // fire-and-forget: silently lost
+  if (action.drop) {
+    // Fire-and-forget: silently lost. The caller sees success, so this
+    // counts as a sent frame that never gets delivered.
+    putmsg_sent().inc();
+    putmsg_dropped().inc();
+    return Status::ok();
+  }
   std::shared_ptr<Nic> target = fabric_->lookup(peer);
   if (!target) {
     return make_error(ErrorCode::kUnavailable, "peer gone: " + peer);
@@ -56,6 +104,11 @@ Status Nic::put_message(const std::string& peer, ByteView msg) {
   if (st.is_ok()) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.messages_sent;
+    // One gate check for both touches on the send fast path.
+    if (metrics::enabled()) {
+      putmsg_sent().inc();
+      putmsg_delivered().inc();
+    }
   }
   if (st.is_ok() && action.duplicate) {
     // A duplicated frame that finds the peer queue full is simply dropped;
@@ -63,6 +116,10 @@ Status Nic::put_message(const std::string& peer, ByteView msg) {
     if (target->deliver(msg).is_ok()) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.messages_sent;
+      if (metrics::enabled()) {
+        putmsg_delivered().inc();
+        putmsg_duplicated().inc();
+      }
     }
   }
   return st;
@@ -89,6 +146,7 @@ Status Nic::poll_message(std::vector<std::byte>* out,
   *out = std::move(message_queue_.front());
   message_queue_.pop_front();
   ++stats_.messages_received;
+  if (metrics::enabled()) putmsg_received().inc();
   return Status::ok();
 }
 
@@ -140,6 +198,10 @@ Status Nic::get(const std::string& peer, const MemRegion& remote,
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.gets += static_cast<std::uint64_t>(transfers);
   stats_.bytes_get += static_cast<std::uint64_t>(transfers) * dst.size();
+  if (metrics::enabled()) {
+    get_bytes_counter().add(static_cast<std::uint64_t>(transfers) *
+                            dst.size());
+  }
   return Status::ok();
 }
 
@@ -161,6 +223,10 @@ Status Nic::put(const std::string& peer, ByteView src, const MemRegion& remote,
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.puts += static_cast<std::uint64_t>(transfers);
   stats_.bytes_put += static_cast<std::uint64_t>(transfers) * src.size();
+  if (metrics::enabled()) {
+    put_bytes_counter().add(static_cast<std::uint64_t>(transfers) *
+                            src.size());
+  }
   return Status::ok();
 }
 

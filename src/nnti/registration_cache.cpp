@@ -2,7 +2,26 @@
 
 #include <bit>
 
+#include "util/metrics.h"
+
 namespace flexio::nnti {
+
+namespace {
+// Process-wide hit/miss/eviction accounting across every cache instance
+// (each RDMA send link owns one); the per-instance stats() stays exact.
+metrics::Counter& hit_counter() {
+  static metrics::Counter& c = metrics::counter("nnti.regcache.hits");
+  return c;
+}
+metrics::Counter& miss_counter() {
+  static metrics::Counter& c = metrics::counter("nnti.regcache.misses");
+  return c;
+}
+metrics::Counter& evict_counter() {
+  static metrics::Counter& c = metrics::counter("nnti.regcache.evictions");
+  return c;
+}
+}  // namespace
 
 RegistrationCache::RegistrationCache(Nic* nic, std::size_t capacity_bytes)
     : nic_(nic), capacity_bytes_(capacity_bytes) {
@@ -12,9 +31,9 @@ RegistrationCache::RegistrationCache(Nic* nic, std::size_t capacity_bytes)
 
 RegistrationCache::~RegistrationCache() {
   for (auto& shelf : shelves_) {
-    for (RegisteredBuffer& buf : shelf) {
-      (void)nic_->unregister_memory(buf.region);
-      delete[] buf.data;
+    for (FreeEntry& entry : shelf) {
+      (void)nic_->unregister_memory(entry.buf.region);
+      delete[] entry.buf.data;
     }
   }
 }
@@ -39,19 +58,21 @@ StatusOr<RegisteredBuffer> RegistrationCache::acquire(std::size_t size) {
   if (cls >= shelves_.size()) shelves_.resize(cls + 1);
   auto& shelf = shelves_[cls];
   if (!shelf.empty()) {
-    RegisteredBuffer buf = shelf.back();
+    // Reuse the most recently released buffer of this class (the back of
+    // the shelf carries the largest stamp: releases push_back in order).
+    RegisteredBuffer buf = shelf.back().buf;
     shelf.pop_back();
     ++stats_.hits;
+    // Gate outside the accessor so the disabled fast path stays one
+    // load+branch (no static-init guard load).
+    if (metrics::enabled()) hit_counter().inc();
     return buf;
   }
-  // Reclaim free buffers elsewhere if we're over budget before growing.
+  ++stats_.misses;
+  if (metrics::enabled()) miss_counter().inc();
+  // Over budget: evict least recently used free buffers before growing.
   if (stats_.bytes_held + cap > capacity_bytes_) {
-    for (auto& other : shelves_) {
-      while (!other.empty() && stats_.bytes_held + cap > capacity_bytes_) {
-        reclaim_locked(other.back());
-        other.pop_back();
-      }
-    }
+    evict_lru_locked(cap);
   }
   RegisteredBuffer buf;
   buf.data = new std::byte[cap];
@@ -76,7 +97,26 @@ void RegistrationCache::release(RegisteredBuffer buffer) {
     return;
   }
   FLEXIO_CHECK(buffer.size_class < shelves_.size());
-  shelves_[buffer.size_class].push_back(buffer);
+  shelves_[buffer.size_class].push_back(FreeEntry{buffer, ++use_clock_});
+}
+
+void RegistrationCache::evict_lru_locked(std::size_t needed) {
+  while (stats_.bytes_held + needed > capacity_bytes_) {
+    // Victim: the free buffer with the globally smallest release stamp.
+    // Shelves are stamp-ordered, so only fronts need comparing; the scan
+    // is over size classes (a few dozen), not buffers.
+    std::vector<FreeEntry>* victim_shelf = nullptr;
+    for (auto& shelf : shelves_) {
+      if (shelf.empty()) continue;
+      if (victim_shelf == nullptr ||
+          shelf.front().last_use < victim_shelf->front().last_use) {
+        victim_shelf = &shelf;
+      }
+    }
+    if (victim_shelf == nullptr) return;  // nothing free to evict
+    reclaim_locked(victim_shelf->front().buf);
+    victim_shelf->erase(victim_shelf->begin());
+  }
 }
 
 void RegistrationCache::reclaim_locked(RegisteredBuffer& buf) {
@@ -85,6 +125,7 @@ void RegistrationCache::reclaim_locked(RegisteredBuffer& buf) {
   FLEXIO_CHECK(stats_.bytes_held >= buf.capacity);
   stats_.bytes_held -= buf.capacity;
   ++stats_.reclamations;
+  if (metrics::enabled()) evict_counter().inc();
   buf.data = nullptr;
 }
 

@@ -30,6 +30,7 @@ struct RegisteredBuffer {
 struct RegistrationCacheStats {
   std::uint64_t acquisitions = 0;
   std::uint64_t hits = 0;           // registration avoided
+  std::uint64_t misses = 0;         // no pooled buffer of the right class
   std::uint64_t registrations = 0;  // fresh allocate+register
   std::uint64_t reclamations = 0;   // freed+deregistered over threshold
   std::size_t bytes_held = 0;       // free + in-use
@@ -46,6 +47,8 @@ class RegistrationCache {
   RegistrationCache& operator=(const RegistrationCache&) = delete;
 
   /// A registered buffer with capacity >= size, reused when possible.
+  /// Within a size class the most recently released buffer is reused first
+  /// (it is the most likely to be cache- and TLB-warm).
   StatusOr<RegisteredBuffer> acquire(std::size_t size);
 
   /// Return a buffer to the pool (kept registered) or reclaim it when the
@@ -59,13 +62,25 @@ class RegistrationCache {
   static std::size_t class_capacity(std::uint32_t size_class);
 
  private:
+  /// A pooled free buffer plus its release stamp. Stamps order eviction:
+  /// when the pool must shrink, the least recently used free buffer (the
+  /// smallest stamp, across all size classes) is deregistered first.
+  struct FreeEntry {
+    RegisteredBuffer buf;
+    std::uint64_t last_use = 0;
+  };
+
   void reclaim_locked(RegisteredBuffer& buf);
+  /// Evict LRU free buffers until freeing `needed` more bytes would fit
+  /// under the threshold (or nothing free remains).
+  void evict_lru_locked(std::size_t needed);
 
   Nic* nic_;
   std::size_t capacity_bytes_;
   mutable std::mutex mutex_;
-  std::vector<std::vector<RegisteredBuffer>> shelves_;
+  std::vector<std::vector<FreeEntry>> shelves_;
   RegistrationCacheStats stats_;
+  std::uint64_t use_clock_ = 0;
 };
 
 }  // namespace flexio::nnti

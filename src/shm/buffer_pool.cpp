@@ -2,9 +2,31 @@
 
 #include <bit>
 
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace flexio::shm {
+
+namespace {
+// Pool-wide observability across every BufferPool in the process: reuse
+// hit rate and current memory footprint (gauge mirrors bytes_in_use).
+metrics::Counter& acquire_counter() {
+  static metrics::Counter& c = metrics::counter("shm.pool.acquisitions");
+  return c;
+}
+metrics::Counter& reuse_counter() {
+  static metrics::Counter& c = metrics::counter("shm.pool.reuses");
+  return c;
+}
+metrics::Counter& reclaim_counter() {
+  static metrics::Counter& c = metrics::counter("shm.pool.reclamations");
+  return c;
+}
+metrics::Gauge& in_use_gauge() {
+  static metrics::Gauge& g = metrics::gauge("shm.pool.bytes_in_use");
+  return g;
+}
+}  // namespace
 
 BufferPool::BufferPool(std::size_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {
@@ -46,6 +68,12 @@ StatusOr<PoolBuffer> BufferPool::acquire(std::size_t size) {
     shelf.free_buffers.pop_back();
     ++stats_.reuses;
     stats_.bytes_in_use += cap;
+    // One gate check for the whole reuse fast path.
+    if (metrics::enabled()) {
+      acquire_counter().inc();
+      reuse_counter().inc();
+      in_use_gauge().add(static_cast<std::int64_t>(cap));
+    }
     return out;
   }
 
@@ -63,6 +91,7 @@ StatusOr<PoolBuffer> BufferPool::acquire(std::size_t size) {
             class_capacity(static_cast<std::uint32_t>(&other - shelves_.data()));
         stats_.bytes_allocated -= freed;
         ++stats_.reclamations;
+        reclaim_counter().inc();
       }
     }
   }
@@ -76,6 +105,10 @@ StatusOr<PoolBuffer> BufferPool::acquire(std::size_t size) {
   ++stats_.allocations;
   stats_.bytes_allocated += cap;
   stats_.bytes_in_use += cap;
+  if (metrics::enabled()) {
+    acquire_counter().inc();
+    in_use_gauge().add(static_cast<std::int64_t>(cap));
+  }
   return out;
 }
 
@@ -85,10 +118,14 @@ void BufferPool::release(PoolBuffer buffer) {
   FLEXIO_CHECK(buffer.size_class < shelves_.size());
   FLEXIO_CHECK(stats_.bytes_in_use >= buffer.capacity);
   stats_.bytes_in_use -= buffer.capacity;
+  if (metrics::enabled()) {
+    in_use_gauge().sub(static_cast<std::int64_t>(buffer.capacity));
+  }
   if (stats_.bytes_allocated > capacity_bytes_) {
     delete[] buffer.data;
     stats_.bytes_allocated -= buffer.capacity;
     ++stats_.reclamations;
+    if (metrics::enabled()) reclaim_counter().inc();
     return;
   }
   shelves_[buffer.size_class].free_buffers.push_back(buffer.data);

@@ -1,10 +1,34 @@
 #include "shm/spsc_queue.h"
 
+#include "util/metrics.h"
+
 namespace flexio::shm {
 
 namespace {
 constexpr std::uint32_t kEmpty = 0;
 constexpr std::uint32_t kFull = 1;
+
+// Process-global observability for all queues (per-queue detail stays in
+// QueueStats). Occupancy is a gauge: +1 per publish, -1 per consume, so a
+// snapshot shows entries in flight across every live queue; the spin
+// counters expose backpressure (producer blocked on a full ring) and
+// starvation (consumer polling an empty one).
+metrics::Gauge& occupancy_gauge() {
+  static metrics::Gauge& g = metrics::gauge("shm.queue.occupancy");
+  return g;
+}
+metrics::Counter& full_spin_counter() {
+  static metrics::Counter& c = metrics::counter("shm.queue.full_spins");
+  return c;
+}
+metrics::Counter& empty_spin_counter() {
+  static metrics::Counter& c = metrics::counter("shm.queue.empty_spins");
+  return c;
+}
+metrics::Counter& enqueued_counter() {
+  static metrics::Counter& c = metrics::counter("shm.queue.enqueued");
+  return c;
+}
 }  // namespace
 
 SpscQueue::SpscQueue(std::size_t entries, std::size_t payload_bytes)
@@ -34,6 +58,7 @@ bool SpscQueue::try_enqueue(ByteView msg) {
   EntryHeader* h = header(idx);
   if (h->state.load(std::memory_order_acquire) != kEmpty) {
     producer_.full_spins.fetch_add(1, std::memory_order_relaxed);
+    if (metrics::enabled()) full_spin_counter().inc();
     return false;
   }
   h->size = static_cast<std::uint32_t>(msg.size());
@@ -45,6 +70,12 @@ bool SpscQueue::try_enqueue(ByteView msg) {
   producer_.enqueued.fetch_add(1, std::memory_order_relaxed);
   h->state.store(kFull, std::memory_order_release);
   ++producer_.head;
+  // One gate check for both metric touches: this is the hottest path in
+  // the transport, so the disabled cost must stay a single load+branch.
+  if (metrics::enabled()) {
+    enqueued_counter().inc();
+    occupancy_gauge().add(1);
+  }
   return true;
 }
 
@@ -53,6 +84,7 @@ bool SpscQueue::try_dequeue(std::vector<std::byte>* out) {
   EntryHeader* h = header(idx);
   if (h->state.load(std::memory_order_acquire) != kFull) {
     consumer_.empty_spins.fetch_add(1, std::memory_order_relaxed);
+    if (metrics::enabled()) empty_spin_counter().inc();
     return false;
   }
   out->resize(h->size);
@@ -62,6 +94,9 @@ bool SpscQueue::try_dequeue(std::vector<std::byte>* out) {
   // Release so stats() can chain: enqueue-count -> flag release -> flag
   // acquire (above) -> this increment -> monitor's acquire load.
   consumer_.dequeued.fetch_add(1, std::memory_order_release);
+  // Gate outside the accessor: the function-local static's init guard would
+  // otherwise cost an extra load even with metrics off.
+  if (metrics::enabled()) occupancy_gauge().sub(1);
   return true;
 }
 

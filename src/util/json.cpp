@@ -1,0 +1,157 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace flexio::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Value> parse_document() {
+    auto v = parse_value();
+    if (!v.is_ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters");
+    return v;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.is_ok()) return s.status();
+      return Value(std::move(s).value());
+    }
+    if (consume_word("null")) return Value();
+    if (consume_word("true")) return Value(true);
+    if (consume_word("false")) return Value(false);
+    return parse_number();
+  }
+
+  StatusOr<std::string> parse_string() {
+    if (!consume('"')) return error("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          default:
+            return error(std::string("unsupported escape \\") + esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return error("unterminated string");
+  }
+
+  StatusOr<Value> parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return error("bad number: " + tok);
+    return Value(v);
+  }
+
+  StatusOr<Value> parse_array() {
+    consume('[');
+    Array out;
+    skip_ws();
+    if (consume(']')) return Value(std::move(out));
+    for (;;) {
+      auto v = parse_value();
+      if (!v.is_ok()) return v;
+      out.push_back(std::move(v).value());
+      skip_ws();
+      if (consume(']')) return Value(std::move(out));
+      if (!consume(',')) return error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Value> parse_object() {
+    consume('{');
+    Object out;
+    skip_ws();
+    if (consume('}')) return Value(std::move(out));
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.is_ok()) return key.status();
+      skip_ws();
+      if (!consume(':')) return error("expected ':'");
+      auto v = parse_value();
+      if (!v.is_ok()) return v;
+      out.emplace(std::move(key).value(), std::move(v).value());
+      skip_ws();
+      if (consume('}')) return Value(std::move(out));
+      if (!consume(',')) return error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace flexio::json

@@ -1,0 +1,60 @@
+// Minimal recursive-descent JSON parser: just enough to read back the
+// JSON this codebase writes (trace::chrome_json, bench reports,
+// metrics::snapshot_json) in tools/flexio_trace and in tests. Numbers are
+// doubles; no \uXXXX escapes beyond pass-through.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexio::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return *array_; }
+  const Object& as_object() const { return *object_; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    const auto it = object_->find(key);
+    return it == object_->end() ? nullptr : &it->second;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed).
+StatusOr<Value> parse(std::string_view text);
+
+}  // namespace flexio::json

@@ -1,0 +1,185 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "util/strings.h"
+
+namespace flexio::trace {
+
+namespace {
+
+bool env_on(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v) return false;
+  return std::string_view(v) == "1" || std::string_view(v) == "true" ||
+         std::string_view(v) == "on";
+}
+
+std::atomic<bool> g_enabled{env_on("FLEXIO_TRACE")};
+
+/// Global bounded span store. One mutex acquisition per completed span;
+/// writers never hold it while the span body runs.
+class Ring {
+ public:
+  static Ring& instance() {
+    static Ring* r = new Ring;  // leaked: spans may end during shutdown
+    return *r;
+  }
+
+  void push(const SpanRecord& rec) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (records_.size() < capacity_) {
+      records_.push_back(rec);
+    } else {
+      records_[head_] = rec;
+      head_ = (head_ + 1) % capacity_;
+      wrapped_ = true;
+    }
+  }
+
+  void set_capacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+    records_.clear();
+    records_.reserve(capacity_);
+    head_ = 0;
+    wrapped_ = false;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.clear();
+    head_ = 0;
+    wrapped_ = false;
+  }
+
+  std::vector<SpanRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SpanRecord> out;
+    out.reserve(records_.size());
+    if (!wrapped_) {
+      out = records_;
+    } else {
+      // head_ points at the oldest record once the ring has wrapped.
+      out.insert(out.end(), records_.begin() + static_cast<long>(head_),
+                 records_.end());
+      out.insert(out.end(), records_.begin(),
+                 records_.begin() + static_cast<long>(head_));
+    }
+    return out;
+  }
+
+ private:
+  Ring() { records_.reserve(capacity_); }
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = 4096;
+  std::vector<SpanRecord> records_;
+  std::size_t head_ = 0;
+  bool wrapped_ = false;
+};
+
+std::uint32_t this_thread_trace_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Per-thread stack of open span ids, for parent/depth bookkeeping.
+struct OpenStack {
+  std::vector<std::uint64_t> ids;
+};
+OpenStack& open_stack() {
+  thread_local OpenStack stack;
+  return stack;
+}
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+/// Escape a span name for JSON (names are identifiers in practice, but a
+/// stray quote must not corrupt the export).
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; s && *s; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void set_capacity(std::size_t capacity) {
+  Ring::instance().set_capacity(capacity);
+}
+
+std::vector<SpanRecord> snapshot() { return Ring::instance().snapshot(); }
+
+void reset() { Ring::instance().reset(); }
+
+void Span::begin(const char* name) {
+  armed_ = true;
+  name_ = name;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  OpenStack& stack = open_stack();
+  parent_ = stack.ids.empty() ? 0 : stack.ids.back();
+  depth_ = static_cast<std::uint32_t>(stack.ids.size());
+  stack.ids.push_back(id_);
+  start_ = metrics::now_ns();
+}
+
+void Span::end() {
+  SpanRecord rec;
+  rec.name = name_;
+  rec.start_ns = start_;
+  rec.end_ns = metrics::now_ns();
+  rec.id = id_;
+  rec.parent = parent_;
+  rec.tid = this_thread_trace_id();
+  rec.depth = depth_;
+  OpenStack& stack = open_stack();
+  // Spans are scoped objects, so per-thread teardown is LIFO by
+  // construction; tolerate a mismatch (span moved across an unwind) by
+  // popping back to our own id.
+  while (!stack.ids.empty() && stack.ids.back() != id_) stack.ids.pop_back();
+  if (!stack.ids.empty()) stack.ids.pop_back();
+  Ring::instance().push(rec);
+}
+
+std::string chrome_json() {
+  std::vector<SpanRecord> spans = snapshot();
+  std::string out = "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += str_format(
+        "{\"name\": \"%s\", \"cat\": \"flexio\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u, "
+        "\"args\": {\"id\": %llu, \"parent\": %llu, \"depth\": %u}}%s\n",
+        json_escape(s.name).c_str(), static_cast<double>(s.start_ns) / 1e3,
+        static_cast<double>(s.end_ns - s.start_ns) / 1e3, s.tid,
+        static_cast<unsigned long long>(s.id),
+        static_cast<unsigned long long>(s.parent), s.depth,
+        i + 1 < spans.size() ? "," : "");
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status write_chrome_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kInternal, "cannot open trace file: " + path);
+  }
+  out << chrome_json();
+  return out ? Status::ok()
+             : make_error(ErrorCode::kInternal, "trace file write failed");
+}
+
+}  // namespace flexio::trace

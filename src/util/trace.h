@@ -1,0 +1,79 @@
+// Span tracing for the data path: RAII spans with parent/child nesting,
+// bounded ring-buffer storage, and Chrome trace_event JSON export
+// (chrome://tracing / Perfetto "Open trace file").
+//
+// Cost model matches util/metrics.h: a disabled span is one relaxed atomic
+// load and a branch (the constructor latches the decision, so a span that
+// started enabled always records). Enabled spans take a global mutex only
+// at end(), once per span -- tracing is a diagnosis mode, not a hot-path
+// default. The ring keeps the newest spans: when it wraps, the oldest
+// records are overwritten (tests/trace_test.cpp pins this).
+//
+// Span names must be string literals (or otherwise outlive the process):
+// records store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace flexio::trace {
+
+/// Runtime gate, independent of metrics::enabled(). Initialized from the
+/// FLEXIO_TRACE environment variable.
+bool enabled();
+void set_enabled(bool on);
+
+/// One completed span. Times come from metrics::now_ns() (fake-clock aware).
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t id = 0;      // process-unique, monotonically assigned
+  std::uint64_t parent = 0;  // id of the enclosing span on this thread, 0 = root
+  std::uint32_t tid = 0;     // dense per-thread index, stable per thread
+  std::uint32_t depth = 0;   // nesting depth (root = 0)
+};
+
+/// Resize the ring (drops existing records). Default capacity 4096.
+void set_capacity(std::size_t capacity);
+
+/// Completed spans, oldest first. Safe to call while spans are recorded.
+std::vector<SpanRecord> snapshot();
+
+/// Drop all recorded spans.
+void reset();
+
+/// Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+std::string chrome_json();
+
+/// Write chrome_json() to a file (load via chrome://tracing).
+Status write_chrome_json(const std::string& path);
+
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) begin(name);
+  }
+  ~Span() {
+    if (armed_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  bool armed_ = false;
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace flexio::trace

@@ -8,6 +8,7 @@
 #include "nnti/cost_model.h"
 #include "nnti/nnti.h"
 #include "nnti/registration_cache.h"
+#include "util/metrics.h"
 
 namespace flexio::nnti {
 namespace {
@@ -282,6 +283,163 @@ TEST(RegistrationCacheTest, SizeClasses) {
   EXPECT_EQ(RegistrationCache::class_for(256), 0u);
   EXPECT_EQ(RegistrationCache::class_for(257), 1u);
   EXPECT_EQ(RegistrationCache::class_capacity(2), 1024u);
+}
+
+TEST(RegistrationCacheTest, MruReuseWithinClass) {
+  Fabric fabric;
+  auto nic = fabric.create_nic("n").value();
+  RegistrationCache cache(nic.get(), 1 << 20);
+  auto a = cache.acquire(256);
+  auto b = cache.acquire(256);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  const std::uint64_t key_a = a.value().region.key;
+  const std::uint64_t key_b = b.value().region.key;
+  cache.release(a.value());
+  cache.release(b.value());
+  // b was released last: it is the warmest buffer and must come back first.
+  auto c = cache.acquire(256);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().region.key, key_b);
+  auto d = cache.acquire(256);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().region.key, key_a);
+  cache.release(c.value());
+  cache.release(d.value());
+}
+
+TEST(RegistrationCacheTest, FillPastCapacityEvictsLeastRecentlyUsed) {
+  Fabric fabric;
+  auto nic = fabric.create_nic("n").value();
+  // Room for four 256-byte-class buffers.
+  RegistrationCache cache(nic.get(), 1024);
+  std::vector<RegisteredBuffer> bufs;
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 4; ++i) {
+    auto b = cache.acquire(256);
+    ASSERT_TRUE(b.is_ok());
+    keys.push_back(b.value().region.key);
+    bufs.push_back(b.value());
+  }
+  for (RegisteredBuffer& b : bufs) cache.release(b);  // stamps 1..4
+
+  // A 512-class acquire does not fit: the two oldest free buffers (the
+  // first two released) are deregistered to make room.
+  auto big = cache.acquire(512);
+  ASSERT_TRUE(big.is_ok());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.reclamations, 2u);
+  EXPECT_EQ(nic->stats().deregistrations, 2u);
+  EXPECT_EQ(s.bytes_held, 1024u);  // 2x256 free + 512 in use
+
+  // The survivors are the most recently released pair, MRU first.
+  auto x = cache.acquire(256);
+  auto y = cache.acquire(256);
+  ASSERT_TRUE(x.is_ok());
+  ASSERT_TRUE(y.is_ok());
+  EXPECT_EQ(x.value().region.key, keys[3]);
+  EXPECT_EQ(y.value().region.key, keys[2]);
+  cache.release(x.value());
+  cache.release(y.value());
+  cache.release(big.value());
+}
+
+TEST(RegistrationCacheTest, LruVictimChosenAcrossSizeClasses) {
+  Fabric fabric;
+  auto nic = fabric.create_nic("n").value();
+  RegistrationCache cache(nic.get(), 1600);
+  auto small = cache.acquire(256);   // cap 256
+  auto large = cache.acquire(1000);  // cap 1024
+  ASSERT_TRUE(small.is_ok());
+  ASSERT_TRUE(large.is_ok());
+  const std::uint64_t large_key = large.value().region.key;
+  cache.release(small.value());  // stamp 1: globally least recently used
+  cache.release(large.value());  // stamp 2
+
+  // 512-class acquire: held 1280 + 512 > 1600, so exactly one eviction is
+  // needed -- and it must take the small buffer (older stamp), not the
+  // large one (which would free more bytes but is warmer).
+  auto mid = cache.acquire(512);
+  ASSERT_TRUE(mid.is_ok());
+  EXPECT_EQ(cache.stats().reclamations, 1u);
+  auto back = cache.acquire(1000);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().region.key, large_key);  // survived eviction
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.release(mid.value());
+  cache.release(back.value());
+}
+
+TEST(RegistrationCacheTest, HitMissCountersBalance) {
+  Fabric fabric;
+  auto nic = fabric.create_nic("n").value();
+  RegistrationCache cache(nic.get(), 1 << 20);
+  auto a = cache.acquire(256);  // miss
+  ASSERT_TRUE(a.is_ok());
+  cache.release(a.value());
+  auto b = cache.acquire(256);  // hit
+  ASSERT_TRUE(b.is_ok());
+  auto c = cache.acquire(256);  // miss (only buffer is in use)
+  ASSERT_TRUE(c.is_ok());
+  auto d = cache.acquire(4096);  // miss (new class)
+  ASSERT_TRUE(d.is_ok());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.acquisitions, 4u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.hits + s.misses, s.acquisitions);
+  EXPECT_EQ(s.registrations, 3u);
+  cache.release(b.value());
+  cache.release(c.value());
+  cache.release(d.value());
+}
+
+TEST(RegistrationCacheTest, ReRegisteredBufferAfterEvictionIsUsable) {
+  Fabric fabric;
+  auto server = fabric.create_nic("server").value();
+  auto client = fabric.create_nic("client").value();
+  RegistrationCache cache(server.get(), 512);
+  auto a = cache.acquire(256);
+  ASSERT_TRUE(a.is_ok());
+  cache.release(a.value());
+  // This acquire evicts the freed 256-class buffer to fit under threshold.
+  auto big = cache.acquire(512);
+  ASSERT_TRUE(big.is_ok());
+  EXPECT_EQ(cache.stats().reclamations, 1u);
+  EXPECT_EQ(server->stats().deregistrations, 1u);
+  cache.release(big.value());
+
+  // Acquiring the evicted class again registers fresh memory; the new
+  // region must be fully usable for remote one-sided reads.
+  auto b = cache.acquire(256);
+  ASSERT_TRUE(b.is_ok());
+  std::memcpy(b.value().data, "post-evict", 10);
+  std::vector<std::byte> local(10);
+  ASSERT_TRUE(
+      client->get("server", b.value().region, 0, MutableByteView(local))
+          .is_ok());
+  EXPECT_EQ(std::memcmp(local.data(), "post-evict", 10), 0);
+  cache.release(b.value());
+}
+
+TEST(RegistrationCacheTest, GlobalMetricsMirrorInstanceStats) {
+  metrics::set_enabled(true);
+  metrics::reset_all();
+  {
+    Fabric fabric;
+    auto nic = fabric.create_nic("n").value();
+    RegistrationCache cache(nic.get(), 1 << 20);
+    auto a = cache.acquire(256);  // miss
+    ASSERT_TRUE(a.is_ok());
+    cache.release(a.value());
+    auto b = cache.acquire(256);  // hit
+    ASSERT_TRUE(b.is_ok());
+    cache.release(b.value());
+  }
+  const auto snap = metrics::snapshot_all();
+  EXPECT_EQ(snap.at("nnti.regcache.hits").counter, 1u);
+  EXPECT_EQ(snap.at("nnti.regcache.misses").counter, 1u);
+  metrics::set_enabled(false);
 }
 
 TEST(CostModelTest, DynamicRegistrationSlowerEverywhere) {

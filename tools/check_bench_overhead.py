@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: disabled instrumentation must stay (nearly) free.
+
+Reads a BENCH_micro_transports.json report (schema flexio-bench-v1) and
+checks that the disabled-path overhead benchmarks cost at most
+max(ABS_BUDGET_NS, REL_BUDGET * enabled-counter cost). A disabled counter
+or span is one relaxed atomic load plus a branch; if it ever approaches the
+enabled fetch_add cost, someone put work on the wrong side of the gate.
+
+Usage: check_bench_overhead.py <BENCH_micro_transports.json>
+"""
+import json
+import sys
+
+ABS_BUDGET_NS = 5.0  # a load+branch costs ~1 ns; 5 leaves CI noise room
+REL_BUDGET = 0.6     # disabled must be well under the enabled fetch_add
+
+DISABLED = ["BM_MetricsCounterDisabled", "BM_TraceSpanDisabled"]
+ENABLED = "BM_MetricsCounterEnabled"
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def median_ns(report, name):
+    for metric in report["metrics"]:
+        if metric["name"] == name:
+            return metric["median"] * UNIT_TO_NS[metric["unit"]]
+    sys.exit(f"FAIL: metric {name!r} missing from report "
+             f"(have: {[m['name'] for m in report['metrics']]})")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    if report.get("schema") != "flexio-bench-v1":
+        sys.exit(f"FAIL: unexpected schema {report.get('schema')!r}")
+
+    enabled = median_ns(report, ENABLED)
+    budget = max(ABS_BUDGET_NS, REL_BUDGET * enabled)
+    failed = False
+    for name in DISABLED:
+        cost = median_ns(report, name)
+        verdict = "ok" if cost <= budget else "FAIL"
+        print(f"{verdict}: {name} median {cost:.2f} ns "
+              f"(budget {budget:.2f} ns, enabled counter {enabled:.2f} ns)")
+        failed |= cost > budget
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,160 @@
+// flexio_trace: dump and convert FlexIO span traces.
+//
+// The runtime exports Chrome trace_event JSON (trace::write_chrome_json,
+// enabled with FLEXIO_TRACE=1). This tool works on those files:
+//
+//   flexio_trace dump  <trace.json>            readable table, children
+//                                              indented under parents
+//   flexio_trace convert <in.json> <out.json>  parse, validate, re-emit
+//                                              normalized (sorted by ts)
+//   flexio_trace demo  <out.json>              record a small nested demo
+//                                              trace (for docs and smoke
+//                                              tests; no input needed)
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/trace.h"
+
+namespace {
+
+using namespace flexio;
+
+struct Event {
+  std::string name;
+  double ts_us = 0;
+  double dur_us = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+};
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "flexio_trace: %s\n", msg.c_str());
+  return 1;
+}
+
+StatusOr<std::vector<Event>> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = json::parse(buf.str());
+  if (!doc.is_ok()) return doc.status();
+  const json::Value* events = doc.value().find("traceEvents");
+  if (!events || events->kind() != json::Value::Kind::kArray) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      path + ": no traceEvents array");
+  }
+  std::vector<Event> out;
+  for (const json::Value& ev : events->as_array()) {
+    const json::Value* ph = ev.find("ph");
+    if (!ph || ph->as_string() != "X") continue;  // only complete events
+    Event e;
+    if (const json::Value* v = ev.find("name")) e.name = v->as_string();
+    if (const json::Value* v = ev.find("ts")) e.ts_us = v->as_number();
+    if (const json::Value* v = ev.find("dur")) e.dur_us = v->as_number();
+    if (const json::Value* v = ev.find("tid")) {
+      e.tid = static_cast<std::uint32_t>(v->as_number());
+    }
+    if (const json::Value* args = ev.find("args")) {
+      if (const json::Value* v = args->find("depth")) {
+        e.depth = static_cast<std::uint32_t>(v->as_number());
+      }
+      if (const json::Value* v = args->find("id")) {
+        e.id = static_cast<std::uint64_t>(v->as_number());
+      }
+      if (const json::Value* v = args->find("parent")) {
+        e.parent = static_cast<std::uint64_t>(v->as_number());
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return a.ts_us < b.ts_us;
+  });
+  return out;
+}
+
+int dump(const std::string& path) {
+  auto events = load(path);
+  if (!events.is_ok()) return fail(events.status().to_string());
+  std::printf("%-14s %-12s %5s %4s  %s\n", "ts (us)", "dur (us)", "tid",
+              "dep", "span");
+  for (const Event& e : events.value()) {
+    std::printf("%-14.3f %-12.3f %5u %4u  %*s%s\n", e.ts_us, e.dur_us, e.tid,
+                e.depth, static_cast<int>(e.depth * 2), "", e.name.c_str());
+  }
+  std::printf("%zu spans\n", events.value().size());
+  return 0;
+}
+
+int convert(const std::string& in_path, const std::string& out_path) {
+  auto events = load(in_path);
+  if (!events.is_ok()) return fail(events.status().to_string());
+  std::ofstream out(out_path);
+  if (!out) return fail("cannot open " + out_path);
+  out << "{\"traceEvents\": [\n";
+  const auto& evs = events.value();
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const Event& e = evs[i];
+    std::string name;
+    for (char c : e.name) {
+      if (c == '"' || c == '\\') name.push_back('\\');
+      name.push_back(c);
+    }
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "{\"name\": \"%s\", \"cat\": \"flexio\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u, "
+                  "\"args\": {\"id\": %llu, \"parent\": %llu, \"depth\": "
+                  "%u}}%s\n",
+                  name.c_str(), e.ts_us, e.dur_us, e.tid,
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.parent), e.depth,
+                  i + 1 < evs.size() ? "," : "");
+    out << line;
+  }
+  out << "]}\n";
+  std::printf("wrote %zu spans to %s\n", evs.size(), out_path.c_str());
+  return 0;
+}
+
+int demo(const std::string& out_path) {
+  trace::set_enabled(true);
+  {
+    trace::Span step("demo.step");
+    for (int i = 0; i < 3; ++i) {
+      trace::Span handshake("demo.handshake");
+      trace::Span exchange("demo.exchange");
+    }
+    trace::Span send("demo.send");
+  }
+  const Status st = trace::write_chrome_json(out_path);
+  if (!st.is_ok()) return fail(st.to_string());
+  std::printf("wrote demo trace to %s (open in chrome://tracing)\n",
+              out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "dump" && argc == 3) return dump(argv[2]);
+  if (cmd == "convert" && argc == 4) return convert(argv[2], argv[3]);
+  if (cmd == "demo" && argc == 3) return demo(argv[2]);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  flexio_trace dump <trace.json>\n"
+               "  flexio_trace convert <in.json> <out.json>\n"
+               "  flexio_trace demo <out.json>\n");
+  return 2;
+}
