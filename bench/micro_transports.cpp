@@ -10,8 +10,12 @@
 #include <thread>
 
 #include "adios/array.h"
+#include "adios/var.h"
 #include "bench/gbench_main.h"
 #include "core/redistribution.h"
+#include "core/runtime.h"
+#include "core/stream_reader.h"
+#include "core/stream_writer.h"
 #include "nnti/nnti.h"
 #include "nnti/registration_cache.h"
 #include "shm/buffer_pool.h"
@@ -178,6 +182,77 @@ void BM_CopyRegion(benchmark::State& state) {
       static_cast<std::int64_t>(overlap.elements() * sizeof(double)));
 }
 BENCHMARK(BM_CopyRegion)->Arg(64)->Arg(512);
+
+void BM_StreamStepCachedPlan(benchmark::State& state) {
+  // Full 1x1 coupled pipeline with caching=all + batching: after step 0 the
+  // handshake is skipped and the writer reuses its cached send plan, so the
+  // steady-state step cost is pack + send only. The report's counter block
+  // records flexio.plan.cache_hits (> 0 is CI's cache-effectiveness gate).
+  const bool was = metrics::enabled();
+  metrics::set_enabled(true);
+  Runtime rt;
+  Program sim("sim", 1);
+  Program viz("viz", 1);
+  xml::MethodConfig method;
+  method.method = "FLEXIO";
+  method.timeout_ms = 20000;
+  if (!xml::apply_method_params("caching=all; batching=yes", &method)
+           .is_ok()) {
+    state.SkipWithError("bad method params");
+    return;
+  }
+  constexpr std::uint64_t kN = 4096;  // 32 KiB payload per step
+  std::thread reader([&] {
+    StreamSpec spec;
+    spec.stream = "bench_cached_plan";
+    spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{0, 0}};
+    spec.method = method;
+    auto r = rt.open_reader(spec);
+    if (!r.is_ok()) return;
+    std::vector<double> out(kN);
+    for (;;) {
+      auto step = r.value()->begin_step();
+      if (!step.is_ok()) break;
+      (void)r.value()->schedule_read(
+          "field", adios::Box{{0}, {kN}},
+          MutableByteView(std::as_writable_bytes(std::span<double>(out))));
+      if (!r.value()->perform_reads().is_ok()) break;
+      if (!r.value()->end_step().is_ok()) break;
+    }
+  });
+  StreamSpec spec;
+  spec.stream = "bench_cached_plan";
+  spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+  spec.method = method;
+  auto w = rt.open_writer(spec);
+  if (!w.is_ok()) {
+    reader.join();
+    state.SkipWithError("open_writer failed");
+    return;
+  }
+  std::vector<double> data(kN, 1.0);
+  const auto meta = adios::global_array_var(
+      "field", serial::DataType::kDouble, {kN}, adios::Box{{0}, {kN}});
+  StepId step = 0;
+  for (auto _ : state) {
+    Status st = w.value()->begin_step(step++);
+    if (st.is_ok()) {
+      st = w.value()->write(
+          meta, as_bytes_view(std::span<const double>(data)));
+    }
+    if (st.is_ok()) st = w.value()->end_step();
+    if (!st.is_ok()) {
+      state.SkipWithError(st.to_string().c_str());
+      break;
+    }
+  }
+  (void)w.value()->close();
+  reader.join();
+  metrics::set_enabled(was);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kN * sizeof(double)));
+}
+BENCHMARK(BM_StreamStepCachedPlan);
 
 // ------------------------------------------------- observability overhead --
 // The CI perf-smoke gate compares these two: a disabled counter add must be

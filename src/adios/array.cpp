@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace flexio::adios {
+
+namespace {
+metrics::Counter& pack_bytes_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.pack.bytes");
+  return c;
+}
+metrics::Counter& pack_runs_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.pack.memcpy_runs");
+  return c;
+}
+}  // namespace
 
 std::uint64_t volume(const Dims& d) {
   std::uint64_t v = 1;
@@ -60,41 +73,85 @@ std::uint64_t flat_index(const Box& box, const Dims& coord) {
   return idx;
 }
 
-namespace {
-
-/// Recursive row-major walk: iterate all but the last dimension, memcpy
-/// contiguous runs along the last.
-void copy_recursive(const Box& src_box, const std::byte* src,
-                    const Box& dst_box, std::byte* dst, const Box& region,
-                    std::size_t elem_size, Dims& coord, std::size_t dim) {
-  const std::size_t n = region.ndim();
-  if (dim + 1 == n || n == 0) {
-    // Innermost run (whole region for 0-d/1-d).
-    const std::uint64_t run =
-        n == 0 ? 1 : region.count[n - 1];
-    if (n > 0) coord[n - 1] = region.offset[n - 1];
-    const std::uint64_t s = n == 0 ? 0 : flat_index(src_box, coord);
-    const std::uint64_t d = n == 0 ? 0 : flat_index(dst_box, coord);
-    std::memcpy(dst + d * elem_size, src + s * elem_size, run * elem_size);
-    return;
-  }
-  for (std::uint64_t i = 0; i < region.count[dim]; ++i) {
-    coord[dim] = region.offset[dim] + i;
-    copy_recursive(src_box, src, dst_box, dst, region, elem_size, coord,
-                   dim + 1);
-  }
-}
-
-}  // namespace
-
 void copy_region(const Box& src_box, const std::byte* src, const Box& dst_box,
                  std::byte* dst, const Box& region, std::size_t elem_size) {
+  // All validity checks happen once, up front; the copy loop below runs
+  // unchecked.
   FLEXIO_CHECK(contains(src_box, region));
   FLEXIO_CHECK(contains(dst_box, region));
   FLEXIO_CHECK(elem_size > 0);
-  if (region.elements() == 0) return;
-  Dims coord(region.ndim(), 0);
-  copy_recursive(src_box, src, dst_box, dst, region, elem_size, coord, 0);
+  const std::uint64_t total = region.elements();
+  if (total == 0) return;
+  const std::size_t n = region.ndim();
+
+  // Per-dimension element strides of both boxes plus the odometer counters,
+  // in one allocation-free block for the common ranks.
+  constexpr std::size_t kStackDims = 12;
+  std::uint64_t stack_store[kStackDims * 3];
+  std::vector<std::uint64_t> heap_store;
+  std::uint64_t* store = stack_store;
+  if (n > kStackDims) {
+    heap_store.assign(n * 3, 0);
+    store = heap_store.data();
+  }
+  std::uint64_t* src_stride = store;
+  std::uint64_t* dst_stride = store + n;
+  std::uint64_t* odo = store + 2 * n;
+
+  std::uint64_t ss = 1, ds = 1;
+  for (std::size_t i = n; i-- > 0;) {
+    src_stride[i] = ss;
+    ss *= src_box.count[i];
+    dst_stride[i] = ds;
+    ds *= dst_box.count[i];
+  }
+
+  // Element offsets of the region's origin inside each box (the only place
+  // the old kernel needed flat_index -- here it is computed exactly once).
+  std::uint64_t src_off = 0, dst_off = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    src_off += (region.offset[i] - src_box.offset[i]) * src_stride[i];
+    dst_off += (region.offset[i] - dst_box.offset[i]) * dst_stride[i];
+  }
+
+  // Coalesce trailing dimensions that are dense in BOTH boxes into one
+  // contiguous run: dim d joins when everything inside it already forms a
+  // contiguous block of both layouts (run == stride[d] on each side). A
+  // region covering its boxes entirely collapses to a single memcpy.
+  std::size_t outer = n;  // dims the odometer still iterates: [0, outer)
+  std::uint64_t run = 1;  // elements per memcpy
+  while (outer > 0) {
+    const std::size_t d = outer - 1;
+    if (run != src_stride[d] || run != dst_stride[d]) break;
+    run *= region.count[d];
+    --outer;
+  }
+
+  const std::size_t run_bytes = static_cast<std::size_t>(run) * elem_size;
+  const std::uint64_t nruns = total / run;
+  src += src_off * elem_size;
+  dst += dst_off * elem_size;
+  if (outer == 0) {
+    std::memcpy(dst, src, run_bytes);
+  } else {
+    for (std::size_t i = 0; i < outer; ++i) odo[i] = 0;
+    std::uint64_t s = 0, d = 0;  // element offsets relative to the origin
+    for (std::uint64_t r = 0; r < nruns; ++r) {
+      std::memcpy(dst + d * elem_size, src + s * elem_size, run_bytes);
+      for (std::size_t dim = outer; dim-- > 0;) {
+        s += src_stride[dim];
+        d += dst_stride[dim];
+        if (++odo[dim] < region.count[dim]) break;
+        odo[dim] = 0;
+        s -= src_stride[dim] * region.count[dim];
+        d -= dst_stride[dim] * region.count[dim];
+      }
+    }
+  }
+  if (metrics::enabled()) {
+    pack_bytes_counter().add(total * elem_size);
+    pack_runs_counter().add(nruns);
+  }
 }
 
 Box block_decompose(const Dims& global, int parts, int part, int dim) {

@@ -30,6 +30,15 @@ metrics::Counter& stream_bytes_received_counter() {
   static metrics::Counter& c = metrics::counter("flexio.bytes.received");
   return c;
 }
+// Also shared with StreamWriter: both sides cache their transfer plans.
+metrics::Counter& plan_cache_hits_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.plan.cache_hits");
+  return c;
+}
+metrics::Counter& plan_cache_misses_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.plan.cache_misses");
+  return c;
+}
 
 /// Encoded per-rank contribution to the read request (Step 1.a payload).
 std::vector<std::byte> encode_rank_request(const wire::ReadRequest& req) {
@@ -386,13 +395,10 @@ Status StreamReader::migrate_plugin(const std::string& var,
   return install_plugin(var, source, to_writer);
 }
 
-Status StreamReader::place_piece(const wire::DataPiece& piece,
-                                 int writer_rank) {
+Status StreamReader::place_piece(wire::DataPiece piece, int writer_rank) {
   if (piece.meta.shape == adios::ShapeKind::kLocalArray) {
     PgBlock block;
     block.writer_rank = writer_rank;
-    block.meta = piece.meta;
-    block.payload = piece.payload;
     const auto plug = reader_plugins_.find(piece.meta.name);
     if (plug != reader_plugins_.end()) {
       PerfMonitor::ScopedTimer pt(&monitor_, "plugin.exec");
@@ -400,6 +406,9 @@ Status StreamReader::place_piece(const wire::DataPiece& piece,
       if (!transformed.is_ok()) return transformed.status();
       block.meta = transformed.value().meta;
       block.payload = std::move(transformed.value().payload);
+    } else {
+      block.meta = piece.meta;
+      block.payload = std::move(piece.payload);  // the piece is ours: no copy
     }
     pg_blocks_.push_back(std::move(block));
     return Status::ok();
@@ -528,12 +537,17 @@ Status StreamReader::perform_reads_stream() {
       if (!fn.is_ok()) return fn.status();
       reader_plugins_[p.var] = std::move(fn).value();
     }
-    // Expected pieces for this rank.
+    // Expected pieces for this rank (the exchange may have changed either
+    // side's distribution, so the plan is recomputed -- a cache miss).
     cached_expected_ =
         pieces_to_reader(plan_transfers(step_blocks_, cached_request_), rank_);
+    plan_cache_misses_counter().inc();
+    monitor_.add_count("plan.cache_miss", 1);
   } else {
     monitor_.add_count("handshake.skipped", 1);
     handshakes_skipped_counter().inc();
+    plan_cache_hits_counter().inc();
+    monitor_.add_count("plan.cache_hit", 1);
     if (rank_ == Program::kCoordinator && !pending_plugins_.empty()) {
       return make_error(ErrorCode::kFailedPrecondition,
                         "plug-in (un)installation needs handshakes; "
@@ -563,39 +577,36 @@ Status StreamReader::perform_reads_stream() {
     }
   }
 
-  // Step 4.a: receive the packed strides.
+  // Step 4.a: receive the packed strides. Expected pieces are bucketed by
+  // (writer_rank, var) so each arriving piece probes only its own bucket
+  // instead of scanning the full expectation list -- O(pieces log buckets)
+  // instead of O(pieces x expected).
   PerfMonitor::ScopedTimer t(&monitor_, "read.receive");
-  struct Expected {
-    const TransferPiece* piece;
-    bool done = false;
-  };
-  std::vector<Expected> remaining;
-  remaining.reserve(cached_expected_.size());
+  std::multimap<std::pair<int, std::string>, const TransferPiece*> remaining;
   for (const TransferPiece& p : cached_expected_) {
-    remaining.push_back(Expected{&p, false});
+    remaining.emplace(std::make_pair(p.writer_rank, p.var), &p);
   }
-  auto try_match = [&](const wire::DataMsg& msg) -> StatusOr<bool> {
+  auto try_match = [&](wire::DataMsg& msg) -> StatusOr<bool> {
     bool any = false;
-    for (const wire::DataPiece& piece : msg.pieces) {
-      bool matched = false;
-      for (Expected& e : remaining) {
-        if (e.done) continue;
-        if (e.piece->writer_rank != msg.writer_rank) continue;
-        if (e.piece->var != piece.meta.name) continue;
-        if (!e.piece->whole_block && !(e.piece->region == piece.region)) {
-          continue;
-        }
-        e.done = true;
-        matched = true;
+    for (wire::DataPiece& piece : msg.pieces) {
+      const auto [lo, hi] = remaining.equal_range(
+          std::make_pair(msg.writer_rank, piece.meta.name));
+      auto hit = remaining.end();
+      for (auto it = lo; it != hi; ++it) {
+        const TransferPiece* e = it->second;
+        if (!e->whole_block && !(e->region == piece.region)) continue;
+        hit = it;
         break;
       }
-      if (!matched) {
+      if (hit == remaining.end()) {
         return make_error(ErrorCode::kInternal,
                           "unexpected data piece for " + piece.meta.name);
       }
-      FLEXIO_RETURN_IF_ERROR(place_piece(piece, msg.writer_rank));
-      monitor_.add_count("bytes.received", piece.payload.size());
-      stream_bytes_received_counter().add(piece.payload.size());
+      remaining.erase(hit);
+      const std::size_t piece_bytes = piece.bytes().size();
+      FLEXIO_RETURN_IF_ERROR(place_piece(std::move(piece), msg.writer_rank));
+      monitor_.add_count("bytes.received", piece_bytes);
+      stream_bytes_received_counter().add(piece_bytes);
       any = true;
     }
     return any;
@@ -612,11 +623,7 @@ Status StreamReader::perform_reads_stream() {
       ++i;
     }
   }
-  auto outstanding = [&] {
-    return std::any_of(remaining.begin(), remaining.end(),
-                       [](const Expected& e) { return !e.done; });
-  };
-  while (outstanding()) {
+  while (!remaining.empty()) {
     evpath::Message msg;
     FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
     if (msg.eos) continue;

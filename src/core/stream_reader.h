@@ -108,7 +108,9 @@ class StreamReader {
   /// Coordinator helper: receive the next control message from the writer
   /// coordinator, stashing any early data messages.
   Status next_control(std::vector<std::byte>* out);
-  Status place_piece(const wire::DataPiece& piece, int writer_rank);
+  /// Takes the piece by value: local-array payloads move straight into the
+  /// delivered PgBlock instead of being copied.
+  Status place_piece(wire::DataPiece piece, int writer_rank);
 
   Runtime* rt_ = nullptr;
   StreamSpec spec_;

@@ -29,6 +29,14 @@ metrics::Counter& stream_bytes_sent_counter() {
   static metrics::Counter& c = metrics::counter("flexio.bytes.sent");
   return c;
 }
+metrics::Counter& plan_cache_hits_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.plan.cache_hits");
+  return c;
+}
+metrics::Counter& plan_cache_misses_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.plan.cache_misses");
+  return c;
+}
 }  // namespace
 
 StreamWriter::~StreamWriter() {
@@ -248,6 +256,8 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
     if (!req.is_ok()) return req.status();
     cached_request_ = std::move(req).value();
     have_cached_request_ = true;
+    // The reader's request may have changed: the cached send plan is stale.
+    have_cached_plan_ = false;
     monitor_.add_count("handshake.performed", 1);
     handshakes_performed_counter().inc();
 
@@ -281,53 +291,90 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
   return Status::ok();
 }
 
+void StreamWriter::rebuild_send_plan() {
+  // Step 4.s: compute this rank's pieces, group them per receiving reader,
+  // and bind each piece to its buffered payload once. write() guarantees
+  // variable names are unique within a step, so the name alone keys the
+  // (var, block) -> payload-index map.
+  const std::vector<TransferPiece> mine =
+      pieces_from_writer(plan_transfers(my_blocks_, cached_request_), rank_);
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < my_blocks_.size(); ++i) {
+    index_of.emplace(my_blocks_[i].meta.name, i);
+  }
+  std::map<int, std::vector<PlannedPiece>> by_reader;
+  for (const TransferPiece& p : mine) {
+    const auto it = index_of.find(p.var);
+    FLEXIO_CHECK(it != index_of.end());
+    FLEXIO_CHECK(my_blocks_[it->second].meta.block == p.meta.block);
+    by_reader[p.reader_rank].push_back(PlannedPiece{p, it->second});
+  }
+  cached_plan_.assign(by_reader.begin(), by_reader.end());
+  have_cached_plan_ = true;
+}
+
+bool StreamWriter::plan_bindings_valid() const {
+  // A cached plan only survives a step that wrote the same variables with
+  // the same block geometry (the premise of CACHING_LOCAL/ALL). Cheap
+  // re-validation catches an application that changes its output anyway.
+  for (const auto& [reader, planned] : cached_plan_) {
+    for (const PlannedPiece& pp : planned) {
+      if (pp.block_index >= my_blocks_.size()) return false;
+      const wire::BlockInfo& block = my_blocks_[pp.block_index];
+      if (block.meta.name != pp.piece.var) return false;
+      if (block.meta.block != pp.piece.meta.block) return false;
+    }
+  }
+  return true;
+}
+
 Status StreamWriter::send_pieces() {
   trace::Span span("writer.send_pieces");
   PerfMonitor::ScopedTimer t(&monitor_, "write.send");
-  // Step 4.s: compute this rank's pieces and pack strides per receiver.
-  const std::vector<TransferPiece> mine =
-      pieces_from_writer(plan_transfers(my_blocks_, cached_request_), rank_);
-
-  // Group by destination reader for batching.
-  std::map<int, std::vector<const TransferPiece*>> by_reader;
-  for (const TransferPiece& p : mine) by_reader[p.reader_rank].push_back(&p);
+  // Reuse the cached per-reader plan when neither side of the handshake
+  // changed; otherwise recompute and rebind.
+  if (have_cached_plan_ && !plan_bindings_valid()) have_cached_plan_ = false;
+  if (have_cached_plan_) {
+    plan_cache_hits_counter().inc();
+    monitor_.add_count("plan.cache_hit", 1);
+  } else {
+    rebuild_send_plan();
+    plan_cache_misses_counter().inc();
+    monitor_.add_count("plan.cache_miss", 1);
+  }
 
   const auto send_mode = spec_.method.async_writes ? evpath::SendMode::kAsync
                                                    : evpath::SendMode::kSync;
-  for (const auto& [reader, piece_ptrs] : by_reader) {
+  for (const auto& [reader, planned] : cached_plan_) {
     const std::string dest =
         Runtime::endpoint_name(spec_.stream, reader_program_, reader);
     std::vector<wire::DataPiece> packed;
-    packed.reserve(piece_ptrs.size());
-    for (const TransferPiece* p : piece_ptrs) {
-      // Locate the buffered payload for this block.
-      const std::vector<std::byte>* payload = nullptr;
-      const wire::BlockInfo* block = nullptr;
-      for (std::size_t i = 0; i < my_blocks_.size(); ++i) {
-        if (my_blocks_[i].meta.name == p->var &&
-            my_blocks_[i].meta.block == p->meta.block) {
-          payload = &my_payloads_[i];
-          block = &my_blocks_[i];
-          break;
-        }
-      }
-      FLEXIO_CHECK(payload != nullptr && block != nullptr);
+    packed.reserve(planned.size());
+    for (const PlannedPiece& pp : planned) {
+      const TransferPiece& p = pp.piece;
+      const wire::BlockInfo& block = my_blocks_[pp.block_index];
+      const std::vector<std::byte>& payload = my_payloads_[pp.block_index];
       wire::DataPiece piece;
-      piece.meta = block->meta;
-      piece.region = p->region;
-      if (p->whole_block) {
-        piece.payload = *payload;  // full local-array block
+      piece.meta = block.meta;
+      piece.region = p.region;
+      if (p.whole_block) {
+        // Borrow the buffered block: the bytes flow straight from
+        // my_payloads_ into the transport at encode time. Safe because
+        // every transport finishes its copy inside send and the buffer
+        // lives until the next begin_step.
+        piece.borrowed = ByteView(payload);
       } else {
         // Pack the overlap region densely.
-        const std::size_t elem = serial::size_of(block->meta.type);
-        piece.payload.resize(p->region.elements() * elem);
-        adios::copy_region(block->meta.block, payload->data(), p->region,
-                           piece.payload.data(), p->region, elem);
+        const std::size_t elem = serial::size_of(block.meta.type);
+        piece.payload.resize(p.region.elements() * elem);
+        adios::copy_region(block.meta.block, payload.data(), p.region,
+                           piece.payload.data(), p.region, elem);
       }
       // Writer-side DC plug-in, if deployed against this variable.
-      const auto plug = plugins_.find(p->var);
+      const auto plug = plugins_.find(p.var);
       if (plug != plugins_.end()) {
         PerfMonitor::ScopedTimer pt(&monitor_, "plugin.exec");
+        piece.materialize();  // plug-ins consume owned payload bytes
         auto transformed = plug->second(piece);
         if (!transformed.is_ok()) return transformed.status();
         piece = std::move(transformed).value();
@@ -341,11 +388,14 @@ Status StreamWriter::send_pieces() {
       msg.writer_rank = rank_;
       msg.pieces = std::move(pieces);
       std::uint64_t bytes = 0;
-      for (const auto& p : msg.pieces) bytes += p.payload.size();
+      for (const auto& p : msg.pieces) bytes += p.bytes().size();
       monitor_.add_count("bytes.sent", bytes);
       monitor_.add_count("msgs.sent", 1);
       stream_bytes_sent_counter().add(bytes);
-      return endpoint_->send(dest, ByteView(wire::encode(msg)), send_mode);
+      // Scatter-gather framing: header slices interleaved with borrowed
+      // payload views; transports gather them without a flat intermediate.
+      const serial::IovMessage iov = wire::encode_data_iov(msg);
+      return endpoint_->send_iov(dest, iov.frags, send_mode);
     };
     if (spec_.method.batching) {
       FLEXIO_RETURN_IF_ERROR(send_batch(std::move(packed)));

@@ -68,6 +68,8 @@ class StreamWriter {
   Status end_step_file();
   Status run_handshake(bool* did_exchange);
   Status send_pieces();
+  void rebuild_send_plan();
+  bool plan_bindings_valid() const;
   wire::MonitorReport build_report() const;
 
   Runtime* rt_ = nullptr;
@@ -95,6 +97,18 @@ class StreamWriter {
   std::vector<wire::BlockInfo> cached_all_blocks_;  // coordinator only
   wire::ReadRequest cached_request_;
   bool have_cached_request_ = false;
+
+  // Cached send plan: the per-reader piece groupings from plan_transfers
+  // plus each piece's binding to the buffered payload index. Valid until
+  // the handshake re-exchanges (the reader's request may have changed) or
+  // the step writes different blocks. Counted in flexio.plan.cache_{hits,
+  // misses}.
+  struct PlannedPiece {
+    TransferPiece piece;
+    std::size_t block_index;  // into my_blocks_ / my_payloads_
+  };
+  std::vector<std::pair<int, std::vector<PlannedPiece>>> cached_plan_;
+  bool have_cached_plan_ = false;
 
   // Writer-side DC plug-ins, keyed by variable name.
   std::map<std::string, PluginFn> plugins_;

@@ -206,9 +206,26 @@ std::vector<std::byte> encode(const DataMsg& m) {
   for (const DataPiece& p : m.pieces) {
     p.meta.encode(&w);
     put_box(&w, p.region);
-    w.put_bytes(ByteView(p.payload));
+    w.put_bytes(p.bytes());
   }
   return w.take();
+}
+
+serial::IovMessage encode_data_iov(const DataMsg& m) {
+  serial::IovBuilder b;
+  BufWriter& w = b.header();
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kData));
+  w.put_i64(m.step);
+  w.put_varint(static_cast<std::uint64_t>(m.writer_rank));
+  w.put_varint(m.pieces.size());
+  for (const DataPiece& p : m.pieces) {
+    p.meta.encode(&w);
+    put_box(&w, p.region);
+    const ByteView payload = p.bytes();
+    w.put_varint(payload.size());
+    b.add_borrowed(payload);
+  }
+  return std::move(b).finish();
 }
 
 StatusOr<DataMsg> decode_data(ByteView raw) {

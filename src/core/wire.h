@@ -97,10 +97,30 @@ struct ReadRequest {
 /// One transferred piece: a region of a global array (region == the
 /// overlap, payload is its dense pack) or a whole local-array block
 /// (process-group pattern; region == meta.block).
+///
+/// Payload ownership is dual: decode always materializes owned bytes in
+/// `payload`, but on the send path a whole-block piece may instead carry a
+/// `borrowed` view of the writer's buffered block -- the bytes then flow
+/// straight from that buffer into the transport via encode_data_iov with
+/// zero intermediate copies. Use bytes() to read regardless of mode.
 struct DataPiece {
   adios::VarMeta meta;
   adios::Box region;
-  std::vector<std::byte> payload;
+  std::vector<std::byte> payload;  // owned (decode path, packed regions)
+  ByteView borrowed;               // borrowed (send path, whole blocks)
+
+  /// The payload bytes, whichever side owns them.
+  ByteView bytes() const {
+    return borrowed.empty() ? ByteView(payload) : borrowed;
+  }
+
+  /// Copy a borrowed payload into owned storage (needed before handing the
+  /// piece to code that mutates or outlives the borrowed buffer).
+  void materialize() {
+    if (borrowed.empty()) return;
+    payload.assign(borrowed.begin(), borrowed.end());
+    borrowed = {};
+  }
 };
 
 /// Writer rank -> reader rank. One piece per message without batching;
@@ -131,6 +151,12 @@ std::vector<std::byte> encode(const OpenReply& m);
 std::vector<std::byte> encode(const StepAnnounce& m);
 std::vector<std::byte> encode(const ReadRequest& m);
 std::vector<std::byte> encode(const DataMsg& m);
+/// Scatter-gather encode of a data message: the returned IovMessage frames
+/// the exact bytes of encode(m) as owned header slices interleaved with
+/// borrowed payload views, so transports can gather piece payloads straight
+/// from the writer's buffers without an intermediate flat copy. The pieces'
+/// payload buffers must outlive the message.
+serial::IovMessage encode_data_iov(const DataMsg& m);
 std::vector<std::byte> encode(const PluginInstall& m);
 std::vector<std::byte> encode(const MonitorReport& m);
 /// Close carries the final step id so readers that cache handshakes can

@@ -32,6 +32,19 @@ Status Endpoint::send(const std::string& to, ByteView msg, SendMode mode) {
   return link->send(msg, mode);
 }
 
+Status Endpoint::send_iov(const std::string& to,
+                          std::span<const ByteView> frags, SendMode mode) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  SendLink* link = outbound(to);
+  if (link == nullptr) {
+    auto created = bus_->connect(this, to);
+    if (!created.is_ok()) return created.status();
+    link = created.value().get();
+    send_links_.emplace(to, std::move(created).value());
+  }
+  return link->send_iov(frags, mode);
+}
+
 Status Endpoint::close_to(const std::string& to) {
   std::lock_guard<std::mutex> lock(send_mutex_);
   SendLink* link = outbound(to);

@@ -38,6 +38,11 @@ class Endpoint {
   Status send(const std::string& to, ByteView msg,
               SendMode mode = SendMode::kAsync);
 
+  /// Scatter-gather send: the wire message is the concatenation of `frags`.
+  /// Transports with a native gather path skip the flat coalescing copy.
+  Status send_iov(const std::string& to, std::span<const ByteView> frags,
+                  SendMode mode = SendMode::kAsync);
+
   /// Close the outbound link to a peer (delivers EOS on its side).
   Status close_to(const std::string& to);
 

@@ -45,6 +45,13 @@ metrics::Counter& retry_counter() {
   return c;
 }
 
+// One increment per message a native scatter-gather override shipped
+// without the flat coalescing copy the base send_iov would have made.
+metrics::Counter& copies_avoided_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.wire.copies_avoided");
+  return c;
+}
+
 void note_send(TransportKind kind, std::size_t bytes, std::uint64_t start_ns) {
   if (!metrics::enabled()) return;
   send_msgs_counter().inc();
@@ -52,7 +59,21 @@ void note_send(TransportKind kind, std::size_t bytes, std::uint64_t start_ns) {
   send_latency_hist(kind).record(metrics::now_ns() - start_ns);
 }
 
+std::size_t iov_bytes(std::span<const ByteView> frags) {
+  std::size_t n = 0;
+  for (const ByteView& f : frags) n += f.size();
+  return n;
+}
+
 }  // namespace
+
+Status SendLink::send_iov(std::span<const ByteView> frags, SendMode mode) {
+  // Fallback: coalesce into one buffer. Native transports override this.
+  std::vector<std::byte> flat;
+  flat.reserve(iov_bytes(frags));
+  for (const ByteView& f : frags) flat.insert(flat.end(), f.begin(), f.end());
+  return send(ByteView(flat), mode);
+}
 
 std::string_view transport_kind_name(TransportKind kind) {
   switch (kind) {
@@ -87,6 +108,25 @@ class InprocSendLink final : public SendLink {
     ++stats_.messages;
     stats_.bytes += msg.size();
     note_send(TransportKind::kInproc, msg.size(), start_ns);
+    return Status::ok();
+  }
+
+  Status send_iov(std::span<const ByteView> frags, SendMode) override {
+    const std::uint64_t start_ns = metrics::enabled() ? metrics::now_ns() : 0;
+    // Gather once into the queue entry itself instead of flattening first.
+    std::vector<std::byte> entry;
+    const std::size_t total = iov_bytes(frags);
+    entry.reserve(total);
+    for (const ByteView& f : frags) entry.insert(entry.end(), f.begin(), f.end());
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->closed) {
+      return make_error(ErrorCode::kFailedPrecondition, "link closed");
+    }
+    state_->queue.push_back(std::move(entry));
+    ++stats_.messages;
+    stats_.bytes += total;
+    note_send(TransportKind::kInproc, total, start_ns);
+    if (metrics::enabled()) copies_avoided_counter().inc();
     return Status::ok();
   }
 
@@ -155,6 +195,20 @@ class ShmSendLink final : public SendLink {
       ++stats_.messages;
       stats_.bytes += msg.size();
       note_send(TransportKind::kShm, msg.size(), start_ns);
+    }
+    return st;
+  }
+
+  Status send_iov(std::span<const ByteView> frags, SendMode mode) override {
+    const std::uint64_t start_ns = metrics::enabled() ? metrics::now_ns() : 0;
+    const Status st = mode == SendMode::kSync ? channel_->send_sync_iov(frags)
+                                              : channel_->send_iov(frags);
+    if (st.is_ok()) {
+      const std::size_t total = iov_bytes(frags);
+      ++stats_.messages;
+      stats_.bytes += total;
+      note_send(TransportKind::kShm, total, start_ns);
+      if (metrics::enabled()) copies_avoided_counter().inc();
     }
     return st;
   }
@@ -310,6 +364,25 @@ class RdmaSendLink final : public SendLink {
     return st;
   }
 
+  Status send_iov(std::span<const ByteView> frags, SendMode mode) override {
+    const std::uint64_t start_ns = metrics::enabled() ? metrics::now_ns() : 0;
+    (void)drain_acks(std::chrono::nanoseconds(0));
+    const std::size_t total = iov_bytes(frags);
+    Status st;
+    if (total <= options_.rdma_eager_threshold) {
+      st = send_eager_iov(frags, total);
+    } else {
+      st = send_rendezvous_iov(frags, total, mode);
+    }
+    if (st.is_ok()) {
+      ++stats_.messages;
+      stats_.bytes += total;
+      note_send(TransportKind::kRdma, total, start_ns);
+      if (metrics::enabled()) copies_avoided_counter().inc();
+    }
+    return st;
+  }
+
   Status close() override {
     // Wait for outstanding rendezvous buffers so nothing leaks, then EOS.
     const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
@@ -340,15 +413,53 @@ class RdmaSendLink final : public SendLink {
         options_.max_retries, &stats_);
   }
 
+  Status send_eager_iov(std::span<const ByteView> frags, std::size_t total) {
+    // The control header and every payload fragment gather straight into
+    // the peer's queue frame -- no flat intermediate message.
+    serial::BufWriter w;
+    encode_rdma_control(RdmaControl{RdmaTag::kEager, next_seq_++, total, {}},
+                        {}, &w);
+    std::vector<ByteView> all;
+    all.reserve(frags.size() + 1);
+    all.push_back(w.view());
+    all.insert(all.end(), frags.begin(), frags.end());
+    return with_retries(
+        [&] { return nic_->put_message_iov(peer_nic_, all); },
+        options_.max_retries, &stats_);
+  }
+
   Status send_rendezvous(ByteView msg, SendMode mode) {
     auto buffer = cache_.acquire(msg.size());
     if (!buffer.is_ok()) return buffer.status();
     nnti::RegisteredBuffer buf = buffer.value();
     std::memcpy(buf.data, msg.data(), msg.size());
+    return finish_rendezvous(buf, msg.size(), mode);
+  }
+
+  Status send_rendezvous_iov(std::span<const ByteView> frags,
+                             std::size_t total, SendMode mode) {
+    // Gather the fragments directly into the registered buffer the
+    // receiver will Get from, skipping the flat coalescing copy.
+    auto buffer = cache_.acquire(total);
+    if (!buffer.is_ok()) return buffer.status();
+    nnti::RegisteredBuffer buf = buffer.value();
+    std::byte* dst = buf.data;
+    for (const ByteView& f : frags) {
+      if (f.empty()) continue;
+      std::memcpy(dst, f.data(), f.size());
+      dst += f.size();
+    }
+    return finish_rendezvous(buf, total, mode);
+  }
+
+  /// Announce a filled registered buffer to the receiver and (for sync
+  /// sends) wait for the Get-completion ack.
+  Status finish_rendezvous(nnti::RegisteredBuffer buf, std::size_t len,
+                           SendMode mode) {
     const std::uint64_t seq = next_seq_++;
     serial::BufWriter w;
     encode_rdma_control(
-        RdmaControl{RdmaTag::kRendezvous, seq, msg.size(), buf.region}, {}, &w);
+        RdmaControl{RdmaTag::kRendezvous, seq, len, buf.region}, {}, &w);
     const Status st = with_retries(
         [&] { return nic_->put_message(peer_nic_, w.view()); },
         options_.max_retries, &stats_);

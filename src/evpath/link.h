@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 
 #include "evpath/message.h"
 #include "nnti/nnti.h"
@@ -34,6 +35,14 @@ class SendLink {
  public:
   virtual ~SendLink() = default;
   virtual Status send(ByteView msg, SendMode mode) = 0;
+
+  /// Scatter-gather send: the message on the wire is the concatenation of
+  /// `frags`. The base implementation coalesces into a flat buffer and
+  /// falls back to send(); transports override it to gather the fragments
+  /// natively, skipping that copy (counted in flexio.wire.copies_avoided).
+  /// Fragments must stay valid until the call returns.
+  virtual Status send_iov(std::span<const ByteView> frags, SendMode mode);
+
   virtual Status close() = 0;
   virtual TransportKind kind() const = 0;
   virtual LinkStats stats() const = 0;

@@ -86,6 +86,23 @@ Status Nic::unregister_memory(const MemRegion& region) {
 }
 
 Status Nic::put_message(const std::string& peer, ByteView msg) {
+  return put_message_impl(peer, std::vector<std::byte>(msg.begin(), msg.end()));
+}
+
+Status Nic::put_message_iov(const std::string& peer,
+                            std::span<const ByteView> frags) {
+  std::size_t total = 0;
+  for (const ByteView& f : frags) total += f.size();
+  std::vector<std::byte> gathered;
+  gathered.reserve(total);
+  for (const ByteView& f : frags) {
+    gathered.insert(gathered.end(), f.begin(), f.end());
+  }
+  return put_message_impl(peer, std::move(gathered));
+}
+
+Status Nic::put_message_impl(const std::string& peer,
+                             std::vector<std::byte>&& msg) {
   const FaultAction action =
       fabric_->inject_action(Op::kPutMessage, name_, peer);
   if (!action.status.is_ok()) return action.status;
@@ -100,7 +117,9 @@ Status Nic::put_message(const std::string& peer, ByteView msg) {
   if (!target) {
     return make_error(ErrorCode::kUnavailable, "peer gone: " + peer);
   }
-  const Status st = target->deliver(msg);
+  std::vector<std::byte> dup;
+  if (action.duplicate) dup = msg;  // copy before the frame moves away
+  const Status st = target->deliver(std::move(msg));
   if (st.is_ok()) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.messages_sent;
@@ -113,7 +132,7 @@ Status Nic::put_message(const std::string& peer, ByteView msg) {
   if (st.is_ok() && action.duplicate) {
     // A duplicated frame that finds the peer queue full is simply dropped;
     // the original delivery decides the caller-visible outcome.
-    if (target->deliver(msg).is_ok()) {
+    if (target->deliver(std::move(dup)).is_ok()) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.messages_sent;
       if (metrics::enabled()) {
@@ -125,13 +144,13 @@ Status Nic::put_message(const std::string& peer, ByteView msg) {
   return st;
 }
 
-Status Nic::deliver(ByteView msg) {
+Status Nic::deliver(std::vector<std::byte>&& msg) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (message_queue_.size() >= queue_depth_) {
     return make_error(ErrorCode::kResourceExhausted,
                       "message queue full at " + name_);
   }
-  message_queue_.emplace_back(msg.begin(), msg.end());
+  message_queue_.push_back(std::move(msg));
   queue_cv_.notify_one();
   return Status::ok();
 }

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,12 @@ class Nic {
   /// Fails with kResourceExhausted when the peer queue is full.
   Status put_message(const std::string& peer, ByteView msg);
 
+  /// Scatter-gather put_message: the message is the concatenation of
+  /// `frags`, gathered once into the queue entry itself (one copy total
+  /// instead of flat-encode + enqueue).
+  Status put_message_iov(const std::string& peer,
+                         std::span<const ByteView> frags);
+
   /// Dequeue the next small message; blocks up to `timeout`.
   Status poll_message(std::vector<std::byte>* out,
                       std::chrono::nanoseconds timeout);
@@ -126,8 +133,11 @@ class Nic {
   std::uint64_t next_key_ = 1;
   NicStats stats_;
 
-  // Called by peers (any thread).
-  Status deliver(ByteView msg);
+  Status put_message_impl(const std::string& peer,
+                          std::vector<std::byte>&& msg);
+
+  // Called by peers (any thread). Takes ownership of the frame.
+  Status deliver(std::vector<std::byte>&& msg);
   Status read_region(std::uint64_t key, std::uint64_t offset,
                      MutableByteView dst);
   Status write_region(std::uint64_t key, std::uint64_t offset, ByteView src);

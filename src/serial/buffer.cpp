@@ -49,6 +49,27 @@ Status BufReader::get_string(std::string* s) {
   return Status::ok();
 }
 
+IovMessage IovBuilder::finish() && {
+  IovMessage out;
+  out.header = w_.take();
+  out.frags.reserve(splits_.size() * 2 + 1);
+  const ByteView header(out.header);
+  std::size_t prev = 0;
+  for (const Split& s : splits_) {
+    if (s.header_end > prev) {
+      out.frags.push_back(header.subspan(prev, s.header_end - prev));
+      prev = s.header_end;
+    }
+    if (!s.payload.empty()) out.frags.push_back(s.payload);
+    out.total_bytes += s.payload.size();
+  }
+  if (header.size() > prev) {
+    out.frags.push_back(header.subspan(prev));
+  }
+  out.total_bytes += header.size();
+  return out;
+}
+
 Status BufReader::get_bytes(ByteView* bytes) {
   std::uint64_t n = 0;
   FLEXIO_RETURN_IF_ERROR(get_varint(&n));

@@ -51,6 +51,52 @@ class BufWriter {
   std::vector<std::byte> buf_;
 };
 
+/// One scatter-gather encoded message: `header` owns every byte the
+/// encoder produced itself; `frags` lists the full wire order as views
+/// alternating between slices of `header` and caller-owned payload
+/// buffers. Concatenating the fragments yields exactly the bytes a flat
+/// encode would have produced, so transports can either gather the views
+/// directly into their own buffers (zero intermediate copy) or coalesce
+/// as a fallback. Move-only: the header views in `frags` point into the
+/// heap buffer, which travels with the vector on move but not on copy.
+struct IovMessage {
+  std::vector<std::byte> header;
+  std::vector<ByteView> frags;
+  std::size_t total_bytes = 0;
+
+  IovMessage() = default;
+  IovMessage(IovMessage&&) = default;
+  IovMessage& operator=(IovMessage&&) = default;
+  IovMessage(const IovMessage&) = delete;
+  IovMessage& operator=(const IovMessage&) = delete;
+};
+
+/// Builds an IovMessage: header bytes stream through a normal BufWriter;
+/// add_borrowed() splices a caller-owned payload into the wire order
+/// without copying it. The caller's buffers must stay alive until the
+/// finished message has been handed to a transport.
+class IovBuilder {
+ public:
+  /// Encoder for the owned (header) portion of the message.
+  BufWriter& header() { return w_; }
+
+  /// Splice `payload` into the wire order at the current header position.
+  void add_borrowed(ByteView payload) {
+    splits_.push_back(Split{w_.size(), payload});
+  }
+
+  /// Assemble the fragment list. Consumes the builder.
+  IovMessage finish() &&;
+
+ private:
+  struct Split {
+    std::size_t header_end;  // header bytes preceding the payload
+    ByteView payload;
+  };
+  BufWriter w_;
+  std::vector<Split> splits_;
+};
+
 /// Cursor-based decoder over a borrowed byte view. All getters report
 /// truncation through Status instead of reading out of bounds.
 class BufReader {

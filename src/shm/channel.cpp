@@ -7,7 +7,29 @@ namespace flexio::shm {
 
 namespace {
 constexpr std::size_t kControlBytes = 1 + 8 + 8 + 8 + 4 + 8 + 8;
+
+// One published fragment of an xpmem-iov sync send. The producer blocks on
+// the ack until the consumer gathered every segment, so the descriptor
+// array may live on the producer's stack/heap.
+struct XpmemSeg {
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+};
+
+std::size_t iov_total(std::span<const ByteView> frags) {
+  std::size_t n = 0;
+  for (const ByteView& f : frags) n += f.size();
+  return n;
 }
+
+void iov_gather(std::span<const ByteView> frags, std::byte* dst) {
+  for (const ByteView& f : frags) {
+    if (f.empty()) continue;
+    std::memcpy(dst, f.data(), f.size());
+    dst += f.size();
+  }
+}
+}  // namespace
 
 Channel::Channel(ChannelOptions options)
     : options_(options),
@@ -16,9 +38,9 @@ Channel::Channel(ChannelOptions options)
                       kControlBytes + options.inline_threshold)),
       pool_(options.pool_bytes) {}
 
-void Channel::encode_control(const Control& ctl, ByteView inline_payload,
+void Channel::encode_control(const Control& ctl, std::span<const ByteView> frags,
                              std::vector<std::byte>* out) {
-  out->resize(kControlBytes + inline_payload.size());
+  out->resize(kControlBytes + iov_total(frags));
   std::byte* p = out->data();
   auto put = [&p](const void* src, std::size_t n) {
     std::memcpy(p, src, n);
@@ -32,9 +54,7 @@ void Channel::encode_control(const Control& ctl, ByteView inline_payload,
   put(&ctl.pool_class, 4);
   put(&ctl.pool_id, 8);
   put(&ctl.ack_addr, 8);
-  if (!inline_payload.empty()) {
-    put(inline_payload.data(), inline_payload.size());
-  }
+  iov_gather(frags, p);
 }
 
 Status Channel::decode_control(ByteView raw, Control* ctl,
@@ -49,7 +69,7 @@ Status Channel::decode_control(ByteView raw, Control* ctl,
   };
   std::uint8_t tag = 0;
   get(&tag, 1);
-  if (tag > static_cast<std::uint8_t>(Tag::kEos)) {
+  if (tag > static_cast<std::uint8_t>(Tag::kXpmemIov)) {
     return make_error(ErrorCode::kInternal, "bad shm control tag");
   }
   ctl->tag = static_cast<Tag>(tag);
@@ -64,9 +84,32 @@ Status Channel::decode_control(ByteView raw, Control* ctl,
 }
 
 Status Channel::send_control(const Control& ctl, ByteView inline_payload) {
+  const ByteView one[] = {inline_payload};
+  return send_control(ctl, std::span<const ByteView>(one));
+}
+
+Status Channel::send_control(const Control& ctl,
+                             std::span<const ByteView> frags) {
   std::vector<std::byte> wire;
-  encode_control(ctl, inline_payload, &wire);
+  encode_control(ctl, frags, &wire);
   return queue_.enqueue(ByteView(wire), options_.timeout);
+}
+
+Status Channel::wait_ack(const std::atomic<std::uint32_t>& ack) {
+  const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  int spins = 0;
+  while (ack.load(std::memory_order_acquire) == 0) {
+    if (++spins > 64) std::this_thread::yield();
+    if (std::chrono::steady_clock::now() > deadline) {
+      // The consumer may still touch the published buffers and the ack flag
+      // after we give up, so a timeout here is unrecoverable: poison the
+      // channel.
+      closed_.store(true, std::memory_order_relaxed);
+      return make_error(ErrorCode::kTimeout,
+                        "xpmem sync send: consumer never copied");
+    }
+  }
+  return Status::ok();
 }
 
 Status Channel::send(ByteView msg) {
@@ -97,7 +140,7 @@ Status Channel::send(ByteView msg) {
   pool_sends_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(msg.size(), std::memory_order_relaxed);
   copies_.fetch_add(2, std::memory_order_relaxed);
-  const Status st = send_control(ctl, {});
+  const Status st = send_control(ctl, ByteView{});
   if (!st.is_ok()) pool_.release(buf);  // undo so the buffer is not leaked
   return st;
 }
@@ -121,21 +164,76 @@ Status Channel::send_sync(ByteView msg) {
   xpmem_sends_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(msg.size(), std::memory_order_relaxed);
   copies_.fetch_add(1, std::memory_order_relaxed);  // single consumer copy
-  FLEXIO_RETURN_IF_ERROR(send_control(ctl, {}));
+  FLEXIO_RETURN_IF_ERROR(send_control(ctl, ByteView{}));
+  return wait_ack(ack);
+}
 
-  const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
-  int spins = 0;
-  while (ack.load(std::memory_order_acquire) == 0) {
-    if (++spins > 64) std::this_thread::yield();
-    if (std::chrono::steady_clock::now() > deadline) {
-      // The consumer may still touch `msg` and `ack` after we give up, so a
-      // timeout here is unrecoverable for the channel: poison it.
-      closed_.store(true, std::memory_order_relaxed);
-      return make_error(ErrorCode::kTimeout,
-                        "xpmem sync send: consumer never copied");
-    }
+Status Channel::send_iov(std::span<const ByteView> frags) {
+  if (closed_.load(std::memory_order_relaxed)) {
+    return make_error(ErrorCode::kFailedPrecondition, "channel closed");
   }
-  return Status::ok();
+  const std::size_t total = iov_total(frags);
+  Control ctl{};
+  if (total <= options_.inline_threshold) {
+    // Gather straight into the queue entry: the flat coalescing copy a
+    // plain send() would have needed never happens.
+    ctl.tag = Tag::kInline;
+    ctl.size = total;
+    inline_sends_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(total, std::memory_order_relaxed);
+    copies_.fetch_add(2, std::memory_order_relaxed);  // in + out of entry
+    return send_control(ctl, frags);
+  }
+  // Pool path: gather the fragments directly into the pooled buffer
+  // (copy #1); the consumer copies out (copy #2) as usual.
+  auto buffer = pool_.acquire(total);
+  if (!buffer.is_ok()) return buffer.status();
+  PoolBuffer buf = buffer.value();
+  iov_gather(frags, buf.data);
+  ctl.tag = Tag::kPool;
+  ctl.size = total;
+  ctl.addr = reinterpret_cast<std::uint64_t>(buf.data);
+  ctl.pool_capacity = buf.capacity;
+  ctl.pool_class = buf.size_class;
+  ctl.pool_id = buf.id;
+  pool_sends_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(total, std::memory_order_relaxed);
+  copies_.fetch_add(2, std::memory_order_relaxed);
+  const Status st = send_control(ctl, ByteView{});
+  if (!st.is_ok()) pool_.release(buf);
+  return st;
+}
+
+Status Channel::send_sync_iov(std::span<const ByteView> frags) {
+  const std::size_t total = iov_total(frags);
+  if (!options_.use_xpmem || total <= options_.inline_threshold) {
+    return send_iov(frags);
+  }
+  if (closed_.load(std::memory_order_relaxed)) {
+    return make_error(ErrorCode::kFailedPrecondition, "channel closed");
+  }
+  // XPMEM iov path: publish a descriptor list of the caller's fragments and
+  // block until the consumer gathered them all -- one payload copy total,
+  // performed entirely by the consumer.
+  std::vector<XpmemSeg> segs;
+  segs.reserve(frags.size());
+  for (const ByteView& f : frags) {
+    if (f.empty()) continue;
+    segs.push_back(XpmemSeg{reinterpret_cast<std::uint64_t>(f.data()),
+                            static_cast<std::uint64_t>(f.size())});
+  }
+  std::atomic<std::uint32_t> ack{0};
+  Control ctl{};
+  ctl.tag = Tag::kXpmemIov;
+  ctl.size = total;
+  ctl.addr = reinterpret_cast<std::uint64_t>(segs.data());
+  ctl.pool_id = segs.size();  // repurposed as the segment count
+  ctl.ack_addr = reinterpret_cast<std::uint64_t>(&ack);
+  xpmem_sends_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(total, std::memory_order_relaxed);
+  copies_.fetch_add(1, std::memory_order_relaxed);
+  FLEXIO_RETURN_IF_ERROR(send_control(ctl, ByteView{}));
+  return wait_ack(ack);
 }
 
 Status Channel::receive(std::vector<std::byte>* out) {
@@ -178,6 +276,21 @@ Status Channel::receive_for(std::vector<std::byte>* out,
       ack->store(1, std::memory_order_release);
       return Status::ok();
     }
+    case Tag::kXpmemIov: {
+      // Gather every published fragment straight out of the producer's
+      // buffers, then ack. pool_id carries the segment count.
+      const auto* segs = reinterpret_cast<const XpmemSeg*>(ctl.addr);
+      out->resize(ctl.size);
+      std::byte* dst = out->data();
+      for (std::uint64_t i = 0; i < ctl.pool_id; ++i) {
+        std::memcpy(dst, reinterpret_cast<const std::byte*>(segs[i].addr),
+                    segs[i].len);
+        dst += segs[i].len;
+      }
+      auto* ack = reinterpret_cast<std::atomic<std::uint32_t>*>(ctl.ack_addr);
+      ack->store(1, std::memory_order_release);
+      return Status::ok();
+    }
     case Tag::kEos:
       eos_received_ = true;
       return make_error(ErrorCode::kEndOfStream, "stream closed by producer");
@@ -193,7 +306,7 @@ Status Channel::close() {
   }
   Control ctl{};
   ctl.tag = Tag::kEos;
-  return send_control(ctl, {});
+  return send_control(ctl, ByteView{});
 }
 
 ChannelStats Channel::stats() const {

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "shm/buffer_pool.h"
@@ -58,6 +59,16 @@ class Channel {
   /// data out before returning. Uses the XPMEM one-copy path when enabled.
   Status send_sync(ByteView msg);
 
+  /// Scatter-gather variants: the message is the concatenation of `frags`.
+  /// The producer gathers straight into the queue entry (inline) or pool
+  /// buffer, skipping the flat coalescing copy a plain send would need.
+  Status send_iov(std::span<const ByteView> frags);
+
+  /// Synchronous scatter-gather send. With XPMEM enabled the producer
+  /// publishes a fragment descriptor list and the consumer gathers directly
+  /// out of the producer's buffers -- still exactly one payload copy.
+  Status send_sync_iov(std::span<const ByteView> frags);
+
   /// Receive the next message. Returns kEndOfStream after close() has been
   /// received, kTimeout if nothing arrives in time.
   Status receive(std::vector<std::byte>* out);
@@ -75,7 +86,13 @@ class Channel {
   const ChannelOptions& options() const { return options_; }
 
  private:
-  enum class Tag : std::uint8_t { kInline = 0, kPool = 1, kXpmem = 2, kEos = 3 };
+  enum class Tag : std::uint8_t {
+    kInline = 0,
+    kPool = 1,
+    kXpmem = 2,
+    kEos = 3,
+    kXpmemIov = 4,  // xpmem sync path with a fragment descriptor list
+  };
 
   struct Control {  // fixed-size control message, fits any queue entry
     Tag tag;
@@ -88,7 +105,10 @@ class Channel {
   };
 
   Status send_control(const Control& ctl, ByteView inline_payload);
-  static void encode_control(const Control& ctl, ByteView inline_payload,
+  Status send_control(const Control& ctl, std::span<const ByteView> frags);
+  Status wait_ack(const std::atomic<std::uint32_t>& ack);
+  static void encode_control(const Control& ctl,
+                             std::span<const ByteView> frags,
                              std::vector<std::byte>* out);
   static Status decode_control(ByteView raw, Control* ctl,
                                ByteView* inline_payload);

@@ -156,6 +156,70 @@ TEST_P(RegionPropertyTest, ScatterGatherMatches) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest, ::testing::Range(0, 20));
 
+// Oracle for the iterative pack kernel: an element-wise reference copy via
+// flat_index must agree with copy_region for every shape the planner can
+// produce -- 0-d scalars through 4-d blocks, degenerate count-1 dimensions
+// (which the kernel coalesces away), full-block regions (single-memcpy fast
+// path), and single-element regions.
+class CopyRegionOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CopyRegionOracleTest, MatchesElementwiseReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const std::size_t ndim = rng.next_below(5);  // 0-d through 4-d
+  // 0: random margins, 1: region == src box (full block), 2: single element.
+  const int shape = static_cast<int>(rng.next_below(3));
+  Box region, src, dst;
+  region.offset.resize(ndim);
+  region.count.resize(ndim);
+  src.offset.resize(ndim);
+  src.count.resize(ndim);
+  dst.offset.resize(ndim);
+  dst.count.resize(ndim);
+  for (std::size_t d = 0; d < ndim; ++d) {
+    region.offset[d] = rng.next_below(5);
+    // next_below(5) makes degenerate count-1 dims common on their own, but
+    // force at least probabilistic coverage of all-1 regions via shape 2.
+    region.count[d] = shape == 2 ? 1 : 1 + rng.next_below(5);
+    if (shape == 1) {  // full block: region covers src exactly
+      src.offset[d] = region.offset[d];
+      src.count[d] = region.count[d];
+    } else {
+      const std::uint64_t lo_s = rng.next_below(3);
+      const std::uint64_t hi_s = rng.next_below(3);
+      src.offset[d] = region.offset[d] - std::min(region.offset[d], lo_s);
+      src.count[d] = region.offset[d] - src.offset[d] + region.count[d] + hi_s;
+    }
+    const std::uint64_t lo_d = rng.next_below(3);
+    const std::uint64_t hi_d = rng.next_below(3);
+    dst.offset[d] = region.offset[d] - std::min(region.offset[d], lo_d);
+    dst.count[d] = region.offset[d] - dst.offset[d] + region.count[d] + hi_d;
+  }
+  ASSERT_TRUE(contains(src, region));
+  ASSERT_TRUE(contains(dst, region));
+
+  std::vector<std::uint32_t> a(src.elements());
+  std::iota(a.begin(), a.end(), 1u);
+  std::vector<std::uint32_t> got(dst.elements(), 0xdeadbeefu);
+  std::vector<std::uint32_t> want = got;
+
+  copy_region(src, reinterpret_cast<const std::byte*>(a.data()), dst,
+              reinterpret_cast<std::byte*>(got.data()), region,
+              sizeof(std::uint32_t));
+
+  // Element-wise reference walk over the region's coordinates.
+  Dims coord = region.offset;
+  for (std::uint64_t i = 0; i < region.elements(); ++i) {
+    want[flat_index(dst, coord)] = a[flat_index(src, coord)];
+    for (std::size_t d = ndim; d-- > 0;) {
+      if (++coord[d] < region.offset[d] + region.count[d]) break;
+      coord[d] = region.offset[d];
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopyRegionOracleTest, ::testing::Range(0, 60));
+
 TEST(VarMetaTest, ValidationRules) {
   EXPECT_TRUE(scalar_var("s", DataType::kDouble).validate().is_ok());
   EXPECT_TRUE(

@@ -13,6 +13,7 @@
 #include "core/runtime.h"
 #include "core/stream_reader.h"
 #include "core/stream_writer.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace flexio {
@@ -472,6 +473,155 @@ TEST(PipelineModesTest, CachingSkipsHandshakes) {
   ASSERT_TRUE(report.has_value());
   EXPECT_EQ(report->handshakes_performed, 1u);
   EXPECT_EQ(report->handshakes_skipped, static_cast<std::uint64_t>(kSteps - 1));
+}
+
+TEST(PipelineModesTest, PlanCacheFollowsHandshakeRefresh) {
+  // The cached send/receive plan must be rebuilt whenever the handshake
+  // re-exchanges and reused when it is skipped: caching=none refreshes the
+  // handshake every step (all misses), caching=all exchanges once and then
+  // runs every later step off the cached plan (hits on both sides).
+  const bool was = metrics::enabled();
+  metrics::set_enabled(true);
+  auto run_steps = [&](const char* params, const char* stream, int steps) {
+    Runtime rt;
+    Program sim("sim", 1);
+    Program viz("viz", 1);
+    std::thread writer([&] {
+      StreamSpec spec;
+      spec.stream = stream;
+      spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+      spec.method = stream_method(params);
+      auto w = rt.open_writer(spec);
+      ASSERT_TRUE(w.is_ok());
+      std::vector<double> data(16, 2.0);
+      for (int s = 0; s < steps; ++s) {
+        ASSERT_TRUE(w.value()->begin_step(s).is_ok());
+        ASSERT_TRUE(w.value()
+                        ->write(adios::global_array_var(
+                                    "v", DataType::kDouble, {16}, Box{{0}, {16}}),
+                                as_bytes_view(std::span<const double>(data)))
+                        .is_ok());
+        ASSERT_TRUE(w.value()->end_step().is_ok());
+      }
+      ASSERT_TRUE(w.value()->close().is_ok());
+    });
+    std::thread reader([&] {
+      StreamSpec spec;
+      spec.stream = stream;
+      spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{0, 1}};
+      spec.method = stream_method(params);
+      auto r = rt.open_reader(spec);
+      ASSERT_TRUE(r.is_ok());
+      std::vector<double> out(16);
+      for (;;) {
+        auto step = r.value()->begin_step();
+        if (step.status().code() == ErrorCode::kEndOfStream) break;
+        ASSERT_TRUE(step.is_ok());
+        ASSERT_TRUE(r.value()
+                        ->schedule_read("v", Box{{0}, {16}},
+                                        MutableByteView(std::as_writable_bytes(
+                                            std::span<double>(out))))
+                        .is_ok());
+        ASSERT_TRUE(r.value()->perform_reads().is_ok());
+        ASSERT_TRUE(r.value()->end_step().is_ok());
+      }
+    });
+    writer.join();
+    reader.join();
+  };
+  metrics::Counter& hits = metrics::counter("flexio.plan.cache_hits");
+  metrics::Counter& misses = metrics::counter("flexio.plan.cache_misses");
+  const int kSteps = 4;
+
+  std::uint64_t hits0 = hits.value(), misses0 = misses.value();
+  run_steps("caching=none", "plancache_none", kSteps);
+  // Every step re-exchanged the handshake: no reuse on either side.
+  EXPECT_EQ(hits.value() - hits0, 0u);
+  EXPECT_EQ(misses.value() - misses0, static_cast<std::uint64_t>(2 * kSteps));
+
+  hits0 = hits.value();
+  misses0 = misses.value();
+  run_steps("caching=all", "plancache_all", kSteps);
+  // One exchange at step 0 (a miss on each side); the rest reuse the plan.
+  EXPECT_EQ(misses.value() - misses0, 2u);
+  EXPECT_EQ(hits.value() - hits0,
+            static_cast<std::uint64_t>(2 * (kSteps - 1)));
+  metrics::set_enabled(was);
+}
+
+TEST(PipelineModesTest, WholeBlockPiecesMoveZeroCopy) {
+  // Acceptance gate for the scatter-gather send path: with batching and
+  // caching=all, a process-group (whole-block) piece must reach the
+  // transport without any payload memcpy after end_step -- the pack kernel
+  // never runs (flexio.pack.memcpy_runs flat), the wire layer borrows the
+  // buffered payload instead of flattening (flexio.wire.copies_avoided
+  // advances), and the send plan comes from cache after step 0.
+  const bool was = metrics::enabled();
+  metrics::set_enabled(true);
+  metrics::Counter& pack_runs = metrics::counter("flexio.pack.memcpy_runs");
+  metrics::Counter& avoided = metrics::counter("flexio.wire.copies_avoided");
+  metrics::Counter& hits = metrics::counter("flexio.plan.cache_hits");
+  const std::uint64_t pack0 = pack_runs.value();
+  const std::uint64_t avoided0 = avoided.value();
+  const std::uint64_t hits0 = hits.value();
+
+  Runtime rt;
+  Program sim("sim", 1);
+  Program viz("viz", 1);
+  const int kSteps = 3;
+  std::thread writer([&] {
+    StreamSpec spec;
+    spec.stream = "zerocopy_pg";
+    spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+    spec.method = stream_method("caching=all; batching=yes");
+    auto w = rt.open_writer(spec);
+    ASSERT_TRUE(w.is_ok());
+    std::vector<double> particles(9 * 4, 1.5);
+    for (int s = 0; s < kSteps; ++s) {
+      ASSERT_TRUE(w.value()->begin_step(s).is_ok());
+      ASSERT_TRUE(w.value()
+                      ->write(adios::local_array_var("particles",
+                                                     DataType::kDouble, {9, 4}),
+                              as_bytes_view(std::span<const double>(particles)))
+                      .is_ok());
+      ASSERT_TRUE(w.value()->end_step().is_ok());
+    }
+    ASSERT_TRUE(w.value()->close().is_ok());
+  });
+  std::thread reader([&] {
+    StreamSpec spec;
+    spec.stream = "zerocopy_pg";
+    spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{0, 1}};
+    spec.method = stream_method("caching=all; batching=yes");
+    auto r = rt.open_reader(spec);
+    ASSERT_TRUE(r.is_ok());
+    int steps_seen = 0;
+    for (;;) {
+      auto step = r.value()->begin_step();
+      if (step.status().code() == ErrorCode::kEndOfStream) break;
+      ASSERT_TRUE(step.is_ok());
+      ASSERT_TRUE(r.value()->schedule_read_pg(0).is_ok());
+      ASSERT_TRUE(r.value()->perform_reads().is_ok());
+      ASSERT_EQ(r.value()->pg_blocks().size(), 1u);
+      const PgBlock& block = r.value()->pg_blocks()[0];
+      ASSERT_EQ(block.payload.size(), 9 * 4 * sizeof(double));
+      EXPECT_DOUBLE_EQ(
+          reinterpret_cast<const double*>(block.payload.data())[0], 1.5);
+      ASSERT_TRUE(r.value()->end_step().is_ok());
+      ++steps_seen;
+    }
+    EXPECT_EQ(steps_seen, kSteps);
+  });
+  writer.join();
+  reader.join();
+
+  // No strided pack ran anywhere in the step loop...
+  EXPECT_EQ(pack_runs.value() - pack0, 0u);
+  // ...every batched data message was gathered natively by the transport...
+  EXPECT_GE(avoided.value() - avoided0, static_cast<std::uint64_t>(kSteps));
+  // ...and steps after the first ran off the cached plan.
+  EXPECT_GT(hits.value() - hits0, 0u);
+  metrics::set_enabled(was);
 }
 
 TEST(PipelineModesTest, WriterSidePluginFiltersParticles) {

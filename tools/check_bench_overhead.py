@@ -7,7 +7,14 @@ max(ABS_BUDGET_NS, REL_BUDGET * enabled-counter cost). A disabled counter
 or span is one relaxed atomic load plus a branch; if it ever approaches the
 enabled fetch_add cost, someone put work on the wrong side of the gate.
 
+With a second report argument (BENCH_micro_pack.json) it also gates the
+strided pack kernel: on the 3-D interior-region workload the iterative
+kernel must stay at least PACK_SPEEDUP_MIN times faster than the seed's
+recursive kernel (both run the same workload, so the time ratio is the
+inverse throughput ratio).
+
 Usage: check_bench_overhead.py <BENCH_micro_transports.json>
+                               [<BENCH_micro_pack.json>]
 """
 import json
 import sys
@@ -17,6 +24,10 @@ REL_BUDGET = 0.6     # disabled must be well under the enabled fetch_add
 
 DISABLED = ["BM_MetricsCounterDisabled", "BM_TraceSpanDisabled"]
 ENABLED = "BM_MetricsCounterEnabled"
+
+PACK_SPEEDUP_MIN = 2.0
+PACK_SEED = "BM_PackSeedInterior3D"
+PACK_STRIDED = "BM_PackStridedInterior3D"
 
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -29,14 +40,15 @@ def median_ns(report, name):
              f"(have: {[m['name'] for m in report['metrics']]})")
 
 
-def main():
-    if len(sys.argv) != 2:
-        sys.exit(__doc__)
-    with open(sys.argv[1]) as f:
+def load_report(path):
+    with open(path) as f:
         report = json.load(f)
     if report.get("schema") != "flexio-bench-v1":
-        sys.exit(f"FAIL: unexpected schema {report.get('schema')!r}")
+        sys.exit(f"FAIL: unexpected schema {report.get('schema')!r} in {path}")
+    return report
 
+
+def check_overhead(report):
     enabled = median_ns(report, ENABLED)
     budget = max(ABS_BUDGET_NS, REL_BUDGET * enabled)
     failed = False
@@ -46,6 +58,27 @@ def main():
         print(f"{verdict}: {name} median {cost:.2f} ns "
               f"(budget {budget:.2f} ns, enabled counter {enabled:.2f} ns)")
         failed |= cost > budget
+    return failed
+
+
+def check_pack_speedup(report):
+    seed = median_ns(report, PACK_SEED)
+    strided = median_ns(report, PACK_STRIDED)
+    speedup = seed / strided
+    ok = speedup >= PACK_SPEEDUP_MIN
+    verdict = "ok" if ok else "FAIL"
+    print(f"{verdict}: pack speedup {speedup:.2f}x "
+          f"(seed {seed:.0f} ns vs strided {strided:.0f} ns, "
+          f"need >= {PACK_SPEEDUP_MIN:.1f}x)")
+    return not ok
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__)
+    failed = check_overhead(load_report(sys.argv[1]))
+    if len(sys.argv) == 3:
+        failed |= check_pack_speedup(load_report(sys.argv[2]))
     sys.exit(1 if failed else 0)
 
 
