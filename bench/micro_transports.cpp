@@ -21,6 +21,7 @@
 #include "shm/buffer_pool.h"
 #include "shm/channel.h"
 #include "shm/spsc_queue.h"
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -295,6 +296,35 @@ void BM_TraceSpanDisabled(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_FlightRecorderDisabled(benchmark::State& state) {
+  // No recorder running: the hot-path hook must be one relaxed load.
+  for (auto _ : state) {
+    flight::maybe_sample();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlightRecorderDisabled);
+
+void BM_FlightRecorderIdle(benchmark::State& state) {
+  // Cooperative recorder running but with no sample requested: active but
+  // not due, so the hook is two relaxed loads and no file I/O.
+  flight::Options opts;
+  opts.path = "/dev/null";
+  opts.background = false;
+  if (!flight::start(opts).is_ok()) {
+    state.SkipWithError("flight::start failed");
+    return;
+  }
+  for (auto _ : state) {
+    flight::maybe_sample();
+    benchmark::ClobberMemory();
+  }
+  (void)flight::stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlightRecorderIdle);
 
 }  // namespace
 

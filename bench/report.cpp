@@ -108,16 +108,28 @@ CounterDelta::CounterDelta() {
   for (const auto& [name, m] : metrics::snapshot_all()) {
     if (m.kind == metrics::MetricSnapshot::Kind::kCounter) {
       base_[name] = m.counter;
+    } else if (m.kind == metrics::MetricSnapshot::Kind::kHistogram) {
+      hist_base_[name] = HistBase{m.hist.count, m.hist.sum};
     }
   }
 }
 
 void CounterDelta::drain(Report* report) const {
   for (const auto& [name, m] : metrics::snapshot_all()) {
-    if (m.kind != metrics::MetricSnapshot::Kind::kCounter) continue;
-    const auto it = base_.find(name);
-    const std::uint64_t before = it == base_.end() ? 0 : it->second;
-    if (m.counter > before) report->add_counter(name, m.counter - before);
+    if (m.kind == metrics::MetricSnapshot::Kind::kCounter) {
+      const auto it = base_.find(name);
+      const std::uint64_t before = it == base_.end() ? 0 : it->second;
+      if (m.counter > before) report->add_counter(name, m.counter - before);
+    } else if (m.kind == metrics::MetricSnapshot::Kind::kHistogram) {
+      const auto it = hist_base_.find(name);
+      const HistBase before = it == hist_base_.end() ? HistBase{} : it->second;
+      if (m.hist.count > before.count) {
+        report->add_counter(name + ".count", m.hist.count - before.count);
+        if (m.hist.sum > before.sum) {
+          report->add_counter(name + ".sum", m.hist.sum - before.sum);
+        }
+      }
+    }
   }
 }
 

@@ -85,15 +85,24 @@ class Report {
   std::map<std::string, std::uint64_t> counters_;
 };
 
-/// Captures metrics-registry counter values at construction; drain() adds
-/// the delta of every counter that moved to the report.
+/// Captures metrics-registry counter and histogram values at construction;
+/// drain() adds the delta of everything that moved to the report. Histogram
+/// deltas are folded in as two counters, `<name>.count` (samples recorded)
+/// and `<name>.sum` (summed sample value, truncated to integer), so the
+/// per-phase `flexio.step.*.ns` timings land in bench JSON alongside the
+/// plain counters.
 class CounterDelta {
  public:
   CounterDelta();
   void drain(Report* report) const;
 
  private:
+  struct HistBase {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
   std::map<std::string, std::uint64_t> base_;
+  std::map<std::string, HistBase> hist_base_;
 };
 
 }  // namespace flexio::bench

@@ -14,10 +14,20 @@ PluginPlacementInputs inputs_from_reports(const wire::MonitorReport& writer,
   in.reduction_ratio = reduction_ratio;
   in.plugin_seconds_per_step = plugin_seconds_per_step;
   in.movement_bandwidth = movement_bandwidth;
-  // Headroom estimate: the writer's visible send time per step is what it
-  // already tolerates; a simulation whose sends are instant has no slack.
-  const double steps = std::max<double>(1.0, static_cast<double>(writer.steps));
-  in.writer_headroom_seconds = writer.send_seconds / steps;
+  // Headroom estimate: the time the writer already spends on data movement
+  // per step is what it tolerates; a simulation whose sends are instant
+  // has no slack. Prefer the per-phase attribution (pack + transport
+  // hand-off, measured at the exact seams) when the report carries it;
+  // fall back to the coarse close-time send total for old-format reports.
+  if (writer.phase_steps > 0) {
+    in.writer_headroom_seconds =
+        static_cast<double>(writer.pack_ns + writer.enqueue_ns) * 1e-9 /
+        static_cast<double>(writer.phase_steps);
+  } else {
+    const double steps =
+        std::max<double>(1.0, static_cast<double>(writer.steps));
+    in.writer_headroom_seconds = writer.send_seconds / steps;
+  }
   return in;
 }
 

@@ -8,11 +8,12 @@
 // writer aggregates a wire::MonitorReport from these metrics at close).
 #pragma once
 
-#include <chrono>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -45,16 +46,19 @@ class PerfMonitor {
   Status dump_csv(const std::string& path) const;
 
   /// RAII timing helper: records the scope's wall time under `metric`.
+  /// Reads metrics::now_ns() -- the same swappable clock as the metrics
+  /// registry -- so tests driving the fake clock see deterministic
+  /// MonitorReport timings too.
   class ScopedTimer {
    public:
     ScopedTimer(PerfMonitor* monitor, std::string metric)
         : monitor_(monitor),
           metric_(std::move(metric)),
-          start_(std::chrono::steady_clock::now()) {}
+          start_ns_(metrics::now_ns()) {}
     ~ScopedTimer() {
-      const auto end = std::chrono::steady_clock::now();
+      const std::uint64_t end_ns = metrics::now_ns();
       monitor_->record_time(
-          metric_, std::chrono::duration<double>(end - start_).count());
+          metric_, static_cast<double>(end_ns - start_ns_) * 1e-9);
     }
     ScopedTimer(const ScopedTimer&) = delete;
     ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -62,7 +66,7 @@ class PerfMonitor {
    private:
     PerfMonitor* monitor_;
     std::string metric_;
-    std::chrono::steady_clock::time_point start_;
+    std::uint64_t start_ns_;
   };
 
  private:

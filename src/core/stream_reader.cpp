@@ -39,6 +39,21 @@ metrics::Counter& plan_cache_misses_counter() {
   static metrics::Counter& c = metrics::counter("flexio.plan.cache_misses");
   return c;
 }
+// Per-step phase attribution, reader side: wire latency of the step's data
+// messages (send stamp -> decode), unpack/placement time, and the whole
+// announce -> data-complete chain.
+metrics::Histogram& step_transfer_hist() {
+  static metrics::Histogram& h = metrics::histogram("flexio.step.transfer.ns");
+  return h;
+}
+metrics::Histogram& step_unpack_hist() {
+  static metrics::Histogram& h = metrics::histogram("flexio.step.unpack.ns");
+  return h;
+}
+metrics::Histogram& step_total_hist() {
+  static metrics::Histogram& h = metrics::histogram("flexio.step.total.ns");
+  return h;
+}
 
 /// Encoded per-rank contribution to the read request (Step 1.a payload).
 std::vector<std::byte> encode_rank_request(const wire::ReadRequest& req) {
@@ -49,10 +64,20 @@ std::vector<std::byte> encode_rank_request(const wire::ReadRequest& req) {
 
 StreamReader::~StreamReader() { (void)close(); }
 
+void StreamReader::observe_data_msg(const wire::DataMsg& m) {
+  if (!m.trace) return;
+  trace::clock_sample(m.trace->send_ns);
+  const std::uint64_t now = metrics::now_ns();
+  if (now > m.trace->send_ns) {
+    transfer_accum_[m.step] += now - m.trace->send_ns;
+  }
+}
+
 Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
   trace::Span span("reader.open");
   rt_ = rt;
   spec_ = spec;
+  stream_id_ = wire::stream_id_hash(spec.stream);
   program_ = spec.endpoint.program;
   rank_ = spec.endpoint.rank;
   timeout_ = ns_from_ms(spec.method.timeout_ms);
@@ -149,6 +174,7 @@ Status StreamReader::next_control(std::vector<std::byte>* out) {
     if (type.value() == wire::MsgType::kData) {
       auto data = wire::decode_data(ByteView(msg.payload));
       if (!data.is_ok()) return data.status();
+      observe_data_msg(data.value());
       stash_.push_back(std::move(data).value());
       if (std::chrono::steady_clock::now() > deadline) {
         return make_error(ErrorCode::kTimeout, "control frame never arrived");
@@ -242,6 +268,7 @@ StatusOr<StepId> StreamReader::begin_step_stream() {
           case wire::MsgType::kData: {
             auto data = wire::decode_data(ByteView(msg.payload));
             if (!data.is_ok()) return data.status();
+            observe_data_msg(data.value());
             stash_.push_back(std::move(data).value());
             break;
           }
@@ -282,6 +309,12 @@ StatusOr<StepId> StreamReader::begin_step_stream() {
   auto ann = wire::decode_step_announce(ByteView(frame));
   if (!ann.is_ok()) return ann.status();
   step_ = ann.value().step;
+  have_announce_ctx_ = false;
+  if (ann.value().trace) {
+    announce_ctx_ = *ann.value().trace;
+    have_announce_ctx_ = true;
+    trace::clock_sample(announce_ctx_.send_ns);
+  }
   if (!ann.value().blocks.empty() || steps_completed_ == 0) {
     step_blocks_ = std::move(ann.value().blocks);
   }
@@ -471,6 +504,10 @@ Status StreamReader::perform_reads_file() {
 }
 
 Status StreamReader::perform_reads_stream() {
+  // Annotate this step's spans with {stream, step} and parent them under
+  // the writer's end_step span from the announce's trace context.
+  trace::StepScope step_scope(stream_id_, step_,
+                              have_announce_ctx_ ? announce_ctx_.span_id : 0);
   trace::Span span("reader.perform_reads");
   const bool do_exchange =
       steps_completed_ == 0 || caching_ != xml::CachingLevel::kAll;
@@ -508,6 +545,8 @@ Status StreamReader::perform_reads_stream() {
       }
       merged.plugins = pending_plugins_;
       pending_plugins_.clear();
+      merged.trace = wire::TraceContext{stream_id_, step_, span.id(),
+                                        metrics::now_ns()};
       merged_raw = wire::encode(merged);
       // Step 2: ship the reader-side distribution to the writer side.
       FLEXIO_RETURN_IF_ERROR(
@@ -582,6 +621,7 @@ Status StreamReader::perform_reads_stream() {
   // instead of scanning the full expectation list -- O(pieces log buckets)
   // instead of O(pieces x expected).
   PerfMonitor::ScopedTimer t(&monitor_, "read.receive");
+  std::uint64_t unpack_ns = 0;
   std::multimap<std::pair<int, std::string>, const TransferPiece*> remaining;
   for (const TransferPiece& p : cached_expected_) {
     remaining.emplace(std::make_pair(p.writer_rank, p.var), &p);
@@ -604,7 +644,9 @@ Status StreamReader::perform_reads_stream() {
       }
       remaining.erase(hit);
       const std::size_t piece_bytes = piece.bytes().size();
+      const std::uint64_t unpack_start = metrics::now_ns();
       FLEXIO_RETURN_IF_ERROR(place_piece(std::move(piece), msg.writer_rank));
+      unpack_ns += metrics::now_ns() - unpack_start;
       monitor_.add_count("bytes.received", piece_bytes);
       stream_bytes_received_counter().add(piece_bytes);
       any = true;
@@ -633,6 +675,7 @@ Status StreamReader::perform_reads_stream() {
       case wire::MsgType::kData: {
         auto data = wire::decode_data(ByteView(msg.payload));
         if (!data.is_ok()) return data.status();
+        observe_data_msg(data.value());
         if (data.value().step == step_) {
           auto matched = try_match(data.value());
           if (!matched.is_ok()) return matched.status();
@@ -667,6 +710,26 @@ Status StreamReader::perform_reads_stream() {
         return make_error(ErrorCode::kInternal,
                           "unexpected control frame during perform_reads");
     }
+  }
+  // Fold this step's phase timings into the registry histograms and the
+  // per-endpoint monitor. Transfer time may have accumulated before the
+  // step opened (stashed early arrivals), hence the per-step map.
+  std::uint64_t transfer_ns = 0;
+  if (const auto it = transfer_accum_.find(step_);
+      it != transfer_accum_.end()) {
+    transfer_ns = it->second;
+    transfer_accum_.erase(it);
+  }
+  step_transfer_hist().record(transfer_ns);
+  step_unpack_hist().record(unpack_ns);
+  monitor_.add_count("phase.transfer_ns", transfer_ns);
+  monitor_.add_count("phase.unpack_ns", unpack_ns);
+  if (have_announce_ctx_ && announce_ctx_.step == step_) {
+    const std::uint64_t now = metrics::now_ns();
+    const std::uint64_t total =
+        now > announce_ctx_.send_ns ? now - announce_ctx_.send_ns : 0;
+    step_total_hist().record(total);
+    monitor_.add_count("phase.total_ns", total);
   }
   return Status::ok();
 }
@@ -766,6 +829,14 @@ StatusOr<std::vector<adios::VarMeta>> StreamReader::inquire(
 Status StreamReader::end_step() {
   if (!in_step_) {
     return make_error(ErrorCode::kFailedPrecondition, "no step open");
+  }
+  if (!bp_) {
+    // Record the step boundary as a (near zero-duration) span carrying the
+    // step annotation, so merged timelines show where each reader step
+    // closed and parent it under the matching writer step.
+    trace::StepScope step_scope(stream_id_, step_,
+                                have_announce_ctx_ ? announce_ctx_.span_id : 0);
+    trace::Span span("reader.end_step");
   }
   in_step_ = false;
   ++steps_completed_;

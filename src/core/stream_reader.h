@@ -111,6 +111,10 @@ class StreamReader {
   /// Takes the piece by value: local-array payloads move straight into the
   /// delivered PgBlock instead of being copied.
   Status place_piece(wire::DataPiece piece, int writer_rank);
+  /// Record a just-decoded data message's trace context: a clock sample
+  /// for offset estimation plus its transfer latency, accumulated per step
+  /// (a message may be decoded and stashed before its step opens).
+  void observe_data_msg(const wire::DataMsg& m);
 
   Runtime* rt_ = nullptr;
   StreamSpec spec_;
@@ -135,6 +139,14 @@ class StreamReader {
   StepId step_ = -1;
   std::uint64_t steps_completed_ = 0;
   std::vector<wire::BlockInfo> step_blocks_;  // writer distributions
+  // Step telemetry: stream hash, the writer's trace context from this
+  // step's announce (parents reader spans under the writer's end_step
+  // span), and per-step transfer-latency accumulation keyed by step id
+  // because data messages can arrive before their step opens.
+  std::uint64_t stream_id_ = 0;
+  wire::TraceContext announce_ctx_{};
+  bool have_announce_ctx_ = false;
+  std::map<StepId, std::uint64_t> transfer_accum_;
   struct PendingRead {
     std::string var;
     adios::Box selection;

@@ -37,6 +37,17 @@ metrics::Counter& plan_cache_misses_counter() {
   static metrics::Counter& c = metrics::counter("flexio.plan.cache_misses");
   return c;
 }
+// Per-step phase attribution (Section II.G): time the writer spends
+// packing regions vs. handing frames to the transport, recorded once per
+// step as a sum over the step's pieces.
+metrics::Histogram& step_pack_hist() {
+  static metrics::Histogram& h = metrics::histogram("flexio.step.pack.ns");
+  return h;
+}
+metrics::Histogram& step_enqueue_hist() {
+  static metrics::Histogram& h = metrics::histogram("flexio.step.enqueue.ns");
+  return h;
+}
 }  // namespace
 
 StreamWriter::~StreamWriter() {
@@ -47,6 +58,7 @@ Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
   trace::Span span("writer.open");
   rt_ = rt;
   spec_ = spec;
+  stream_id_ = wire::stream_id_hash(spec.stream);
   program_ = spec.endpoint.program;
   rank_ = spec.endpoint.rank;
   timeout_ = ns_from_ms(spec.method.timeout_ms);
@@ -237,6 +249,8 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
       wire::StepAnnounce ann;
       ann.step = step_;
       ann.blocks = cached_all_blocks_;
+      ann.trace = wire::TraceContext{stream_id_, step_, step_span_id_,
+                                     metrics::now_ns()};
       FLEXIO_RETURN_IF_ERROR(
           endpoint_->send(reader_coord_, ByteView(wire::encode(ann))));
       evpath::Message msg;
@@ -256,6 +270,12 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
     if (!req.is_ok()) return req.status();
     cached_request_ = std::move(req).value();
     have_cached_request_ = true;
+    // Pair our receive clock with the reader's send clock; the merge tool
+    // estimates the cross-process offset from these samples. Coordinator
+    // only: other ranks see the request after a broadcast delay.
+    if (rank_ == Program::kCoordinator && cached_request_.trace) {
+      trace::clock_sample(cached_request_.trace->send_ns);
+    }
     // The reader's request may have changed: the cached send plan is stale.
     have_cached_plan_ = false;
     monitor_.add_count("handshake.performed", 1);
@@ -331,6 +351,10 @@ bool StreamWriter::plan_bindings_valid() const {
 Status StreamWriter::send_pieces() {
   trace::Span span("writer.send_pieces");
   PerfMonitor::ScopedTimer t(&monitor_, "write.send");
+  // Phase attribution: split the step's send work into pack (strided
+  // region copies) and enqueue (transport hand-off), summed over pieces.
+  std::uint64_t pack_ns = 0;
+  std::uint64_t enqueue_ns = 0;
   // Reuse the cached per-reader plan when neither side of the handshake
   // changed; otherwise recompute and rebind.
   if (have_cached_plan_ && !plan_bindings_valid()) have_cached_plan_ = false;
@@ -365,10 +389,12 @@ Status StreamWriter::send_pieces() {
         piece.borrowed = ByteView(payload);
       } else {
         // Pack the overlap region densely.
+        const std::uint64_t pack_start = metrics::now_ns();
         const std::size_t elem = serial::size_of(block.meta.type);
         piece.payload.resize(p.region.elements() * elem);
         adios::copy_region(block.meta.block, payload.data(), p.region,
                            piece.payload.data(), p.region, elem);
+        pack_ns += metrics::now_ns() - pack_start;
       }
       // Writer-side DC plug-in, if deployed against this variable.
       const auto plug = plugins_.find(p.var);
@@ -387,6 +413,8 @@ Status StreamWriter::send_pieces() {
       msg.step = step_;
       msg.writer_rank = rank_;
       msg.pieces = std::move(pieces);
+      msg.trace = wire::TraceContext{stream_id_, step_, step_span_id_,
+                                     metrics::now_ns()};
       std::uint64_t bytes = 0;
       for (const auto& p : msg.pieces) bytes += p.bytes().size();
       monitor_.add_count("bytes.sent", bytes);
@@ -395,7 +423,10 @@ Status StreamWriter::send_pieces() {
       // Scatter-gather framing: header slices interleaved with borrowed
       // payload views; transports gather them without a flat intermediate.
       const serial::IovMessage iov = wire::encode_data_iov(msg);
-      return endpoint_->send_iov(dest, iov.frags, send_mode);
+      const std::uint64_t enqueue_start = metrics::now_ns();
+      const Status st = endpoint_->send_iov(dest, iov.frags, send_mode);
+      enqueue_ns += metrics::now_ns() - enqueue_start;
+      return st;
     };
     if (spec_.method.batching) {
       FLEXIO_RETURN_IF_ERROR(send_batch(std::move(packed)));
@@ -408,11 +439,20 @@ Status StreamWriter::send_pieces() {
       }
     }
   }
+  step_pack_hist().record(pack_ns);
+  step_enqueue_hist().record(enqueue_ns);
+  monitor_.add_count("phase.pack_ns", pack_ns);
+  monitor_.add_count("phase.enqueue_ns", enqueue_ns);
   return Status::ok();
 }
 
 Status StreamWriter::end_step_stream() {
+  // The scope annotates every span ending inside this step (handshake,
+  // send_pieces, the step span itself) with {stream, step}; the span id is
+  // what the wire trace context ships so the reader can parent under it.
+  trace::StepScope step_scope(stream_id_, step_);
   trace::Span span("writer.end_step");
+  step_span_id_ = span.id();
   bool did_exchange = false;
   FLEXIO_RETURN_IF_ERROR(run_handshake(&did_exchange));
   return send_pieces();
@@ -428,6 +468,9 @@ wire::MonitorReport StreamWriter::build_report() const {
   r.send_seconds = monitor_.total_time("write.send");
   r.handshakes_performed = monitor_.count("handshake.performed");
   r.handshakes_skipped = monitor_.count("handshake.skipped");
+  r.pack_ns = monitor_.count("phase.pack_ns");
+  r.enqueue_ns = monitor_.count("phase.enqueue_ns");
+  r.phase_steps = steps_completed_;
   return r;
 }
 

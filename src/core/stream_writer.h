@@ -90,6 +90,11 @@ class StreamWriter {
   StepId step_ = -1;
   StepId last_step_ = -1;
   std::uint64_t steps_completed_ = 0;
+  // Step telemetry: the stream's stable id (stamped into wire trace
+  // contexts) and the current end_step span whose id frames sent this
+  // step carry, so the reader can parent its spans under it.
+  std::uint64_t stream_id_ = 0;
+  std::uint64_t step_span_id_ = 0;
   std::vector<wire::BlockInfo> my_blocks_;
   std::vector<std::vector<std::byte>> my_payloads_;  // parallel to my_blocks_
 

@@ -23,6 +23,39 @@ Status get_box(BufReader* r, adios::Box* box) {
   return Status::ok();
 }
 
+// Trace-context trailer: appended after a message's regular fields. A
+// decoder that reaches the trailer position with no bytes left is looking
+// at an old-format frame and reports "no context"; an unknown trailer
+// version is skipped wholesale (forward compatibility).
+constexpr std::uint8_t kTraceTrailerV1 = 1;
+
+void put_trace_trailer(BufWriter* w, const std::optional<TraceContext>& t) {
+  if (!t) return;
+  w->put_u8(kTraceTrailerV1);
+  w->put_varint(t->stream_id);
+  w->put_i64(t->step);
+  w->put_varint(t->span_id);
+  w->put_varint(t->send_ns);
+}
+
+Status get_trace_trailer(BufReader* r, std::optional<TraceContext>* out) {
+  out->reset();
+  if (r->at_end()) return Status::ok();
+  std::uint8_t version = 0;
+  FLEXIO_RETURN_IF_ERROR(r->get_u8(&version));
+  if (version != kTraceTrailerV1) {
+    ByteView rest;
+    return r->get_view(r->remaining(), &rest);  // skip unknown trailer
+  }
+  TraceContext t;
+  FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.stream_id));
+  FLEXIO_RETURN_IF_ERROR(r->get_i64(&t.step));
+  FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.span_id));
+  FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.send_ns));
+  *out = t;
+  return Status::ok();
+}
+
 Status expect_type(BufReader* r, MsgType want) {
   std::uint8_t tag = 0;
   FLEXIO_RETURN_IF_ERROR(r->get_u8(&tag));
@@ -34,6 +67,16 @@ Status expect_type(BufReader* r, MsgType want) {
 }
 
 }  // namespace
+
+std::uint64_t stream_id_hash(std::string_view stream) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : stream) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  h &= 0xffffffffull;  // JSON-double safe
+  return h == 0 ? 1 : h;
+}
 
 StatusOr<MsgType> peek_type(ByteView raw) {
   if (raw.empty()) {
@@ -104,6 +147,7 @@ std::vector<std::byte> encode(const StepAnnounce& m) {
     b.meta.encode(&w);
     w.put_bytes(ByteView(b.scalar_payload));
   }
+  put_trace_trailer(&w, m.trace);
   return w.take();
 }
 
@@ -128,6 +172,7 @@ StatusOr<StepAnnounce> decode_step_announce(ByteView raw) {
     b.scalar_payload.assign(payload.begin(), payload.end());
     m.blocks.push_back(std::move(b));
   }
+  FLEXIO_RETURN_IF_ERROR(get_trace_trailer(&r, &m.trace));
   return m;
 }
 
@@ -152,6 +197,7 @@ std::vector<std::byte> encode(const ReadRequest& m) {
     w.put_string(p.source);
     w.put_u8(p.run_at_writer ? 1 : 0);
   }
+  put_trace_trailer(&w, m.trace);
   return w.take();
 }
 
@@ -194,6 +240,7 @@ StatusOr<ReadRequest> decode_read_request(ByteView raw) {
     p.run_at_writer = at_writer != 0;
     m.plugins.push_back(std::move(p));
   }
+  FLEXIO_RETURN_IF_ERROR(get_trace_trailer(&r, &m.trace));
   return m;
 }
 
@@ -208,6 +255,7 @@ std::vector<std::byte> encode(const DataMsg& m) {
     put_box(&w, p.region);
     w.put_bytes(p.bytes());
   }
+  put_trace_trailer(&w, m.trace);
   return w.take();
 }
 
@@ -225,6 +273,9 @@ serial::IovMessage encode_data_iov(const DataMsg& m) {
     w.put_varint(payload.size());
     b.add_borrowed(payload);
   }
+  // Header bytes written after the last borrowed payload become the final
+  // wire fragment, so the trailer lands where decode_data expects it.
+  put_trace_trailer(&w, m.trace);
   return std::move(b).finish();
 }
 
@@ -250,6 +301,7 @@ StatusOr<DataMsg> decode_data(ByteView raw) {
     p.payload.assign(payload.begin(), payload.end());
     m.pieces.push_back(std::move(p));
   }
+  FLEXIO_RETURN_IF_ERROR(get_trace_trailer(&r, &m.trace));
   return m;
 }
 
@@ -284,6 +336,15 @@ std::vector<std::byte> encode(const MonitorReport& m) {
   w.put_f64(m.send_seconds);
   w.put_u64(m.handshakes_performed);
   w.put_u64(m.handshakes_skipped);
+  // Phase-attribution trailer (v1). Old decoders never read this far; old
+  // frames end here and decode with all-zero phase fields.
+  w.put_u8(1);
+  w.put_u64(m.pack_ns);
+  w.put_u64(m.enqueue_ns);
+  w.put_u64(m.transfer_ns);
+  w.put_u64(m.unpack_ns);
+  w.put_u64(m.total_ns);
+  w.put_u64(m.phase_steps);
   return w.take();
 }
 
@@ -298,6 +359,18 @@ StatusOr<MonitorReport> decode_monitor_report(ByteView raw) {
   FLEXIO_RETURN_IF_ERROR(r.get_f64(&m.send_seconds));
   FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.handshakes_performed));
   FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.handshakes_skipped));
+  if (!r.at_end()) {
+    std::uint8_t version = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_u8(&version));
+    if (version >= 1) {
+      FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.pack_ns));
+      FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.enqueue_ns));
+      FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.transfer_ns));
+      FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.unpack_ns));
+      FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.total_ns));
+      FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.phase_steps));
+    }
+  }
   return m;
 }
 

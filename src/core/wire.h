@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "adios/var.h"
@@ -31,6 +32,23 @@ enum class MsgType : std::uint8_t {
   kPluginInstall = 7,
   kMonitorReport = 8,
 };
+
+/// Compact trace context stamped into data-plane and handshake frames so
+/// reader-side spans can be stitched under the writer step that produced
+/// them (and vice versa). Encoded as a *versioned trailer* after the
+/// message's regular fields: old frames simply end where the trailer would
+/// begin, so decoders treat "no bytes left" as "no context" and old-format
+/// frames keep parsing (pinned by tests/core_test.cpp).
+struct TraceContext {
+  std::uint64_t stream_id = 0;  // stream_id_hash of the stream name
+  StepId step = 0;              // step the frame belongs to
+  std::uint64_t span_id = 0;    // sender's trace span (0 = tracing off)
+  std::uint64_t send_ns = 0;    // sender's clock at encode time
+};
+
+/// Stable 32-bit FNV-1a hash of a stream name, never 0. Kept to 32 bits so
+/// the value survives a round-trip through JSON doubles in trace exports.
+std::uint64_t stream_id_hash(std::string_view stream);
 
 /// Reader coordinator -> writer coordinator when opening a stream.
 struct OpenRequest {
@@ -61,6 +79,7 @@ struct BlockInfo {
 struct StepAnnounce {
   StepId step = 0;
   std::vector<BlockInfo> blocks;
+  std::optional<TraceContext> trace;  // versioned trailer, absent on old frames
 };
 
 /// One reader rank's selection of a global array.
@@ -92,6 +111,7 @@ struct ReadRequest {
   std::vector<SelectionInfo> selections;
   std::vector<PgRequestInfo> pg_requests;
   std::vector<PluginInstall> plugins;
+  std::optional<TraceContext> trace;  // versioned trailer, absent on old frames
 };
 
 /// One transferred piece: a region of a global array (region == the
@@ -129,6 +149,7 @@ struct DataMsg {
   StepId step = 0;
   int writer_rank = 0;
   std::vector<DataPiece> pieces;
+  std::optional<TraceContext> trace;  // versioned trailer, absent on old frames
 };
 
 /// Writer coordinator -> reader coordinator at close: aggregated writer-
@@ -141,6 +162,15 @@ struct MonitorReport {
   double send_seconds = 0;
   std::uint64_t handshakes_performed = 0;
   std::uint64_t handshakes_skipped = 0;
+  // Per-phase step attribution (wire trailer v1; all-zero when decoding an
+  // old-format frame). Writer fills pack/enqueue, reader fills
+  // transfer/unpack/total; each is a sum over phase_steps steps.
+  std::uint64_t pack_ns = 0;
+  std::uint64_t enqueue_ns = 0;
+  std::uint64_t transfer_ns = 0;
+  std::uint64_t unpack_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t phase_steps = 0;
 };
 
 /// Peek the type tag of an encoded message.

@@ -44,6 +44,13 @@ metrics::Counter& register_counter() {
   static metrics::Counter& c = metrics::counter("nnti.registrations");
   return c;
 }
+// Bytes sitting in NIC message queues fabric-wide: delivered but not yet
+// polled by the consumer. The flight recorder samples this to show
+// transport backpressure building while a run is live.
+metrics::Gauge& inflight_bytes_gauge() {
+  static metrics::Gauge& g = metrics::gauge("nnti.inflight.bytes");
+  return g;
+}
 }  // namespace
 
 std::string_view op_name(Op op) {
@@ -150,6 +157,9 @@ Status Nic::deliver(std::vector<std::byte>&& msg) {
     return make_error(ErrorCode::kResourceExhausted,
                       "message queue full at " + name_);
   }
+  if (metrics::enabled()) {
+    inflight_bytes_gauge().add(static_cast<std::int64_t>(msg.size()));
+  }
   message_queue_.push_back(std::move(msg));
   queue_cv_.notify_one();
   return Status::ok();
@@ -165,7 +175,10 @@ Status Nic::poll_message(std::vector<std::byte>* out,
   *out = std::move(message_queue_.front());
   message_queue_.pop_front();
   ++stats_.messages_received;
-  if (metrics::enabled()) putmsg_received().inc();
+  if (metrics::enabled()) {
+    putmsg_received().inc();
+    inflight_bytes_gauge().sub(static_cast<std::int64_t>(out->size()));
+  }
   return Status::ok();
 }
 

@@ -1,0 +1,251 @@
+#include "util/flight_recorder.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace flexio::flight {
+
+namespace detail {
+std::atomic<bool> g_active{false};
+std::atomic<bool> g_due{false};
+}  // namespace detail
+
+namespace {
+
+/// Previous-sample state for one metric, enough to compute deltas.
+struct Prev {
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  std::uint64_t hist_count = 0;
+  std::uint64_t hist_sum = 0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Singleton recorder. All mutation happens under mutex_; the hot-path
+/// gates (g_active / g_due) are plain relaxed flags mirrored from it.
+class Recorder {
+ public:
+  static Recorder& instance() {
+    static Recorder* r = new Recorder;  // leaked: sampled during shutdown
+    return *r;
+  }
+
+  Status start(const Options& options) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_) {
+      return make_error(ErrorCode::kFailedPrecondition,
+                        "flight recorder already running");
+    }
+    options_ = options;
+    out_.open(options_.path, std::ios::trunc);
+    if (!out_) {
+      return make_error(ErrorCode::kInternal,
+                        "cannot open flight-recorder file: " + options_.path);
+    }
+    prev_.clear();
+    for (const auto& [name, snap] : metrics::snapshot_all()) {
+      note_prev(name, snap);
+    }
+    seq_ = 0;
+    lines_ = 0;
+    bytes_ = 0;
+    running_ = true;
+    stop_requested_ = false;
+    detail::g_active.store(true, std::memory_order_relaxed);
+    detail::g_due.store(false, std::memory_order_relaxed);
+    write_line(str_format("{\"schema\":\"flexio-stats-v1\",\"seq\":0,"
+                          "\"t_ns\":%llu,\"start\":true}",
+                          static_cast<unsigned long long>(metrics::now_ns())));
+    if (options_.background) {
+      thread_ = std::thread([this] { run(); });
+    }
+    return Status::ok();
+  }
+
+  void stop() {
+    std::thread to_join;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!running_) return;
+      stop_requested_ = true;
+      cv_.notify_all();
+      to_join = std::move(thread_);
+    }
+    if (to_join.joinable()) to_join.join();
+    std::unique_lock<std::mutex> lock(mutex_);
+    sample_locked();  // final sample catches anything since the last tick
+    running_ = false;
+    detail::g_active.store(false, std::memory_order_relaxed);
+    detail::g_due.store(false, std::memory_order_relaxed);
+    out_.close();
+  }
+
+  Status sample_now() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!running_) {
+      return make_error(ErrorCode::kFailedPrecondition,
+                        "flight recorder not running");
+    }
+    sample_locked();
+    return Status::ok();
+  }
+
+  void request_sample() { detail::g_due.store(true, std::memory_order_relaxed); }
+
+  void sample_due() {
+    if (!detail::g_due.exchange(false, std::memory_order_relaxed)) return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_) sample_locked();
+  }
+
+  std::uint64_t samples_taken() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  Recorder() = default;
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_requested_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
+      if (stop_requested_) break;
+      sample_locked();
+    }
+  }
+
+  void note_prev(const std::string& name, const metrics::MetricSnapshot& s) {
+    Prev& p = prev_[name];
+    p.counter = s.counter;
+    p.gauge = s.gauge;
+    p.hist_count = s.hist.count;
+    p.hist_sum = s.hist.sum;
+  }
+
+  void sample_locked() {
+    const auto snaps = metrics::snapshot_all();
+    std::string counters, gauges, hists;
+    for (const auto& [name, snap] : snaps) {
+      const Prev prev = prev_[name];  // default-zero for new metrics
+      switch (snap.kind) {
+        case metrics::MetricSnapshot::Kind::kCounter: {
+          if (snap.counter != prev.counter) {
+            if (!counters.empty()) counters += ",";
+            counters += str_format(
+                "\"%s\":%llu", json_escape(name).c_str(),
+                static_cast<unsigned long long>(snap.counter - prev.counter));
+          }
+          break;
+        }
+        case metrics::MetricSnapshot::Kind::kGauge: {
+          if (snap.gauge != prev.gauge) {
+            if (!gauges.empty()) gauges += ",";
+            gauges += str_format("\"%s\":%lld", json_escape(name).c_str(),
+                                 static_cast<long long>(snap.gauge));
+          }
+          break;
+        }
+        case metrics::MetricSnapshot::Kind::kHistogram: {
+          if (snap.hist.count != prev.hist_count ||
+              snap.hist.sum != prev.hist_sum) {
+            if (!hists.empty()) hists += ",";
+            hists += str_format(
+                "\"%s\":{\"count\":%llu,\"sum\":%llu}",
+                json_escape(name).c_str(),
+                static_cast<unsigned long long>(snap.hist.count -
+                                                prev.hist_count),
+                static_cast<unsigned long long>(snap.hist.sum -
+                                                prev.hist_sum));
+          }
+          break;
+        }
+      }
+      note_prev(name, snap);
+    }
+    if (counters.empty() && gauges.empty() && hists.empty()) return;
+    ++seq_;
+    std::string line = str_format(
+        "{\"schema\":\"flexio-stats-v1\",\"seq\":%llu,\"t_ns\":%llu",
+        static_cast<unsigned long long>(seq_),
+        static_cast<unsigned long long>(metrics::now_ns()));
+    if (!counters.empty()) line += ",\"counters\":{" + counters + "}";
+    if (!gauges.empty()) line += ",\"gauges\":{" + gauges + "}";
+    if (!hists.empty()) line += ",\"histograms\":{" + hists + "}";
+    line += "}";
+    write_line(line);
+  }
+
+  void write_line(const std::string& line) {
+    if (bytes_ > 0 && bytes_ + line.size() + 1 > options_.max_bytes) {
+      rotate();
+    }
+    out_ << line << "\n";
+    out_.flush();
+    bytes_ += line.size() + 1;
+    ++lines_;
+  }
+
+  void rotate() {
+    out_.close();
+    for (int i = options_.max_rotations; i >= 1; --i) {
+      const std::string from =
+          i == 1 ? options_.path : options_.path + "." + std::to_string(i - 1);
+      const std::string to = options_.path + "." + std::to_string(i);
+      std::rename(from.c_str(), to.c_str());  // missing slots are fine
+    }
+    if (options_.max_rotations < 1) std::remove(options_.path.c_str());
+    out_.open(options_.path, std::ios::trunc);
+    bytes_ = 0;
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  Options options_;
+  std::ofstream out_;
+  std::map<std::string, Prev> prev_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t lines_ = 0;
+  std::size_t bytes_ = 0;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace
+
+namespace detail {
+void sample_due() { Recorder::instance().sample_due(); }
+}  // namespace detail
+
+void request_sample() { Recorder::instance().request_sample(); }
+
+Status start(const Options& options) {
+  return Recorder::instance().start(options);
+}
+
+void stop() { Recorder::instance().stop(); }
+
+Status sample_now() { return Recorder::instance().sample_now(); }
+
+std::uint64_t samples_taken() { return Recorder::instance().samples_taken(); }
+
+}  // namespace flexio::flight

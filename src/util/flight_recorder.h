@@ -1,0 +1,92 @@
+// Flight recorder: a continuous low-rate sampler of the metrics registry.
+//
+// End-of-run dumps (metrics::dump_json) show where time went, but adaptive
+// placement needs to see stats *while they change* -- queue occupancy
+// climbing, in-flight bytes saturating a link. The flight recorder
+// snapshots the registry periodically and appends one JSON line of
+// *deltas* per sample (schema "flexio-stats-v1") to a size-bounded
+// rotating file, so a run of any length leaves a bounded, replayable
+// record of its recent history.
+//
+// Cost model: when no recorder is running, the maybe_sample() hook is one
+// relaxed atomic load and a branch -- same budget as a disabled counter,
+// pinned by BM_FlightRecorderDisabled in the perf-smoke gate. A running
+// background recorder adds zero cost to application threads (the sampler
+// thread does all the work). In cooperative mode (Options::background ==
+// false) nothing samples until request_sample() marks a sample due or
+// sample_now() is called directly; timestamps come from metrics::now_ns(),
+// so tests drive the recorder deterministically under the fake clock.
+//
+// File format: JSON lines. The first line marks the start of recording;
+// each subsequent line carries only what changed since the previous
+// sample (counter deltas, new gauge values, histogram count/sum deltas).
+// Samples where nothing changed are skipped.
+//
+//   {"schema":"flexio-stats-v1","seq":0,"t_ns":12000,"start":true}
+//   {"schema":"flexio-stats-v1","seq":1,"t_ns":17000,
+//    "counters":{"evpath.send.msgs":42},
+//    "gauges":{"shm.queue.occupancy":3},
+//    "histograms":{"flexio.step.total.ns":{"count":4,"sum":812345}}}
+//
+// Rotation: when appending a line would push the current file past
+// Options::max_bytes, the file is renamed path -> path.1 (shifting
+// existing path.1 -> path.2, ... up to max_rotations) and a fresh file is
+// started. Oldest data beyond the last rotation slot is dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace flexio::flight {
+
+struct Options {
+  std::string path;                  // output file (JSON lines)
+  std::uint64_t interval_ms = 100;   // background sampling period
+  std::size_t max_bytes = 4u << 20;  // rotate when a file would exceed this
+  int max_rotations = 2;             // keep path.1 .. path.N rotated files
+  bool background = true;  // false: cooperative mode, no sampler thread
+};
+
+namespace detail {
+extern std::atomic<bool> g_active;
+extern std::atomic<bool> g_due;
+void sample_due();
+}  // namespace detail
+
+/// True while a recorder is running (between start() and stop()).
+inline bool active() {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+/// Cooperative sampling hook for instrumented call sites: near-free when
+/// no recorder is running or no sample is due; otherwise takes the sample
+/// marked due by request_sample().
+inline void maybe_sample() {
+  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  if (!detail::g_due.load(std::memory_order_relaxed)) return;
+  detail::sample_due();
+}
+
+/// Mark a sample due; the next maybe_sample() on any thread performs it.
+void request_sample();
+
+/// Start recording. Fails if a recorder is already running or the output
+/// file cannot be opened. Takes a baseline registry snapshot so the first
+/// sample reports deltas since start, not since process birth.
+Status start(const Options& options);
+
+/// Stop recording: joins the sampler thread (background mode), takes one
+/// final sample, flushes, and closes the file. No-op when not running.
+void stop();
+
+/// Take one sample immediately (any mode). Returns kFailedPrecondition
+/// when no recorder is running.
+Status sample_now();
+
+/// Lines written since start(), including the start marker. For tests.
+std::uint64_t samples_taken();
+
+}  // namespace flexio::flight

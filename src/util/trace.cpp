@@ -5,6 +5,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace flexio::trace {
@@ -16,6 +17,22 @@ bool env_on(const char* name) {
   if (!v) return false;
   return std::string_view(v) == "1" || std::string_view(v) == "true" ||
          std::string_view(v) == "on";
+}
+
+constexpr std::size_t kDefaultCapacity = 4096;
+constexpr std::size_t kMinCapacity = 64;
+
+std::size_t env_ring_capacity() {
+  const char* v = std::getenv("FLEXIO_TRACE_RING");
+  if (!v || !*v) return kDefaultCapacity;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || (end && *end != '\0') || n < kMinCapacity) {
+    FLEXIO_LOG(kWarn) << "ignoring FLEXIO_TRACE_RING=" << v
+                      << " (must be an integer >= " << kMinCapacity << ")";
+    return kDefaultCapacity;
+  }
+  return static_cast<std::size_t>(n);
 }
 
 std::atomic<bool> g_enabled{env_on("FLEXIO_TRACE")};
@@ -49,6 +66,11 @@ class Ring {
     wrapped_ = false;
   }
 
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+  }
+
   void reset() {
     std::lock_guard<std::mutex> lock(mutex_);
     records_.clear();
@@ -73,9 +95,9 @@ class Ring {
   }
 
  private:
-  Ring() { records_.reserve(capacity_); }
+  Ring() : capacity_(env_ring_capacity()) { records_.reserve(capacity_); }
   mutable std::mutex mutex_;
-  std::size_t capacity_ = 4096;
+  std::size_t capacity_;
   std::vector<SpanRecord> records_;
   std::size_t head_ = 0;
   bool wrapped_ = false;
@@ -88,6 +110,8 @@ std::uint32_t this_thread_trace_id() {
   return tid;
 }
 
+thread_local std::uint32_t t_pid = 0;
+
 /// Per-thread stack of open span ids, for parent/depth bookkeeping.
 struct OpenStack {
   std::vector<std::uint64_t> ids;
@@ -95,6 +119,17 @@ struct OpenStack {
 OpenStack& open_stack() {
   thread_local OpenStack stack;
   return stack;
+}
+
+/// Per-thread step annotation, managed by StepScope.
+struct StepAnnotation {
+  std::uint64_t stream_id = 0;
+  std::int64_t step = -1;
+  std::uint64_t peer_span = 0;
+};
+StepAnnotation& step_annotation() {
+  thread_local StepAnnotation ann;
+  return ann;
 }
 
 std::atomic<std::uint64_t> g_next_span_id{1};
@@ -110,6 +145,56 @@ std::string json_escape(const char* s) {
   return out;
 }
 
+std::string chrome_json_impl(bool filter_pid, std::uint32_t pid) {
+  std::vector<SpanRecord> spans = snapshot();
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  std::string body;
+  for (const SpanRecord& s : spans) {
+    if (filter_pid && s.pid != pid) continue;
+    if (!first) body += ",\n";
+    first = false;
+    body += str_format(
+        "{\"name\": \"%s\", \"cat\": \"flexio\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %u, \"tid\": %u, "
+        "\"args\": {\"id\": %llu, \"parent\": %llu, \"depth\": %u",
+        json_escape(s.name).c_str(), static_cast<double>(s.start_ns) / 1e3,
+        static_cast<double>(s.end_ns - s.start_ns) / 1e3, s.pid, s.tid,
+        static_cast<unsigned long long>(s.id),
+        static_cast<unsigned long long>(s.parent), s.depth);
+    if (s.stream_id != 0) {
+      body += str_format(", \"stream\": %llu",
+                         static_cast<unsigned long long>(s.stream_id));
+    }
+    if (s.step >= 0) {
+      body += str_format(", \"step\": %lld", static_cast<long long>(s.step));
+    }
+    if (s.peer_span != 0) {
+      body += str_format(", \"peer\": %llu",
+                         static_cast<unsigned long long>(s.peer_span));
+    }
+    if (s.remote_ns != 0) {
+      body += str_format(", \"remote_ns\": %llu",
+                         static_cast<unsigned long long>(s.remote_ns));
+    }
+    body += "}}";
+  }
+  out += body;
+  if (!first) out += "\n";
+  out += "]}\n";
+  return out;
+}
+
+Status write_json_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kInternal, "cannot open trace file: " + path);
+  }
+  out << text;
+  return out ? Status::ok()
+             : make_error(ErrorCode::kInternal, "trace file write failed");
+}
+
 }  // namespace
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
@@ -120,9 +205,47 @@ void set_capacity(std::size_t capacity) {
   Ring::instance().set_capacity(capacity);
 }
 
+void set_ring_capacity(std::size_t capacity) {
+  if (capacity < kMinCapacity) {
+    FLEXIO_LOG(kWarn) << "trace ring capacity " << capacity
+                      << " rejected (minimum " << kMinCapacity
+                      << "); keeping " << Ring::instance().capacity();
+    return;
+  }
+  Ring::instance().set_capacity(capacity);
+}
+
+std::size_t ring_capacity() { return Ring::instance().capacity(); }
+
 std::vector<SpanRecord> snapshot() { return Ring::instance().snapshot(); }
 
 void reset() { Ring::instance().reset(); }
+
+void set_thread_pid(std::uint32_t pid) { t_pid = pid; }
+
+std::uint32_t thread_pid() { return t_pid; }
+
+std::uint64_t current_span_id() {
+  OpenStack& stack = open_stack();
+  return stack.ids.empty() ? 0 : stack.ids.back();
+}
+
+void clock_sample(std::uint64_t remote_ns) {
+  if (!enabled() || remote_ns == 0) return;
+  const StepAnnotation& ann = step_annotation();
+  SpanRecord rec;
+  rec.name = kClockSampleName;
+  rec.start_ns = rec.end_ns = metrics::now_ns();
+  rec.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  rec.parent = current_span_id();
+  rec.tid = this_thread_trace_id();
+  rec.depth = static_cast<std::uint32_t>(open_stack().ids.size());
+  rec.pid = t_pid;
+  rec.stream_id = ann.stream_id;
+  rec.step = ann.step;
+  rec.remote_ns = remote_ns;
+  Ring::instance().push(rec);
+}
 
 void Span::begin(const char* name) {
   armed_ = true;
@@ -136,6 +259,7 @@ void Span::begin(const char* name) {
 }
 
 void Span::end() {
+  const StepAnnotation& ann = step_annotation();
   SpanRecord rec;
   rec.name = name_;
   rec.start_ns = start_;
@@ -144,6 +268,10 @@ void Span::end() {
   rec.parent = parent_;
   rec.tid = this_thread_trace_id();
   rec.depth = depth_;
+  rec.pid = t_pid;
+  rec.stream_id = ann.stream_id;
+  rec.step = ann.step;
+  rec.peer_span = ann.peer_span;
   OpenStack& stack = open_stack();
   // Spans are scoped objects, so per-thread teardown is LIFO by
   // construction; tolerate a mismatch (span moved across an unwind) by
@@ -153,33 +281,36 @@ void Span::end() {
   Ring::instance().push(rec);
 }
 
-std::string chrome_json() {
-  std::vector<SpanRecord> spans = snapshot();
-  std::string out = "{\"traceEvents\": [\n";
-  for (std::size_t i = 0; i < spans.size(); ++i) {
-    const SpanRecord& s = spans[i];
-    out += str_format(
-        "{\"name\": \"%s\", \"cat\": \"flexio\", \"ph\": \"X\", "
-        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u, "
-        "\"args\": {\"id\": %llu, \"parent\": %llu, \"depth\": %u}}%s\n",
-        json_escape(s.name).c_str(), static_cast<double>(s.start_ns) / 1e3,
-        static_cast<double>(s.end_ns - s.start_ns) / 1e3, s.tid,
-        static_cast<unsigned long long>(s.id),
-        static_cast<unsigned long long>(s.parent), s.depth,
-        i + 1 < spans.size() ? "," : "");
-  }
-  out += "]}\n";
-  return out;
+StepScope::StepScope(std::uint64_t stream_id, std::int64_t step,
+                     std::uint64_t peer_span) {
+  StepAnnotation& ann = step_annotation();
+  prev_stream_ = ann.stream_id;
+  prev_step_ = ann.step;
+  prev_peer_ = ann.peer_span;
+  ann.stream_id = stream_id;
+  ann.step = step;
+  ann.peer_span = peer_span;
+}
+
+StepScope::~StepScope() {
+  StepAnnotation& ann = step_annotation();
+  ann.stream_id = prev_stream_;
+  ann.step = prev_step_;
+  ann.peer_span = prev_peer_;
+}
+
+std::string chrome_json() { return chrome_json_impl(false, 0); }
+
+std::string chrome_json_for(std::uint32_t pid) {
+  return chrome_json_impl(true, pid);
 }
 
 Status write_chrome_json(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return make_error(ErrorCode::kInternal, "cannot open trace file: " + path);
-  }
-  out << chrome_json();
-  return out ? Status::ok()
-             : make_error(ErrorCode::kInternal, "trace file write failed");
+  return write_json_file(path, chrome_json());
+}
+
+Status write_chrome_json_for(const std::string& path, std::uint32_t pid) {
+  return write_json_file(path, chrome_json_for(pid));
 }
 
 }  // namespace flexio::trace

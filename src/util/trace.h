@@ -36,10 +36,23 @@ struct SpanRecord {
   std::uint64_t parent = 0;  // id of the enclosing span on this thread, 0 = root
   std::uint32_t tid = 0;     // dense per-thread index, stable per thread
   std::uint32_t depth = 0;   // nesting depth (root = 0)
+  std::uint32_t pid = 0;     // virtual process id (set_thread_pid), 0 = default
+  std::uint64_t stream_id = 0;  // step annotation: stream hash, 0 = none
+  std::int64_t step = -1;       // step annotation, -1 = none
+  std::uint64_t peer_span = 0;  // span id in the peer process, 0 = none
+  std::uint64_t remote_ns = 0;  // clock samples: peer timestamp, 0 = none
 };
 
-/// Resize the ring (drops existing records). Default capacity 4096.
+/// Resize the ring (drops existing records). Default capacity 4096, or
+/// FLEXIO_TRACE_RING when set to a value >= 64. No minimum enforced --
+/// tests use tiny rings; production code should call set_ring_capacity().
 void set_capacity(std::size_t capacity);
+
+/// Validated capacity change: sizes < 64 are rejected with a logged
+/// warning (the ring keeps its current size). Newest-wins wrap semantics
+/// are unchanged.
+void set_ring_capacity(std::size_t capacity);
+std::size_t ring_capacity();
 
 /// Completed spans, oldest first. Safe to call while spans are recorded.
 std::vector<SpanRecord> snapshot();
@@ -47,11 +60,39 @@ std::vector<SpanRecord> snapshot();
 /// Drop all recorded spans.
 void reset();
 
+/// Virtual process identity for this thread. Simulated deployments run
+/// writer and reader "processes" as thread groups inside one OS process;
+/// stamping a per-thread pid keeps their spans separable so each side can
+/// export its own ring slice (write_chrome_json_for) and the merge tool
+/// can stitch them like genuinely separate processes.
+void set_thread_pid(std::uint32_t pid);
+std::uint32_t thread_pid();
+
+/// Innermost open span id on this thread, 0 when none. Used to stamp the
+/// current span's identity into outgoing wire headers.
+std::uint64_t current_span_id();
+
+/// Record a clock-sample marker: a zero-duration record pairing the local
+/// clock (metrics::now_ns()) with a timestamp read from a peer's frame.
+/// The merge tool estimates the inter-process clock offset from the
+/// minimum one-way deltas of these pairs (NTP style). No-op when tracing
+/// is disabled.
+void clock_sample(std::uint64_t remote_ns);
+
+/// Name used for clock-sample records in the ring and in exports.
+inline constexpr const char* kClockSampleName = "flexio.clock_sample";
+
 /// Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
 std::string chrome_json();
 
+/// Same, restricted to records stamped with one virtual pid.
+std::string chrome_json_for(std::uint32_t pid);
+
 /// Write chrome_json() to a file (load via chrome://tracing).
 Status write_chrome_json(const std::string& path);
+
+/// Write chrome_json_for(pid) to a file.
+Status write_chrome_json_for(const std::string& path, std::uint32_t pid);
 
 class Span {
  public:
@@ -64,6 +105,9 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// Id of this span while open (0 if tracing was disabled at construction).
+  std::uint64_t id() const { return armed_ ? id_ : 0; }
+
  private:
   void begin(const char* name);
   void end();
@@ -74,6 +118,25 @@ class Span {
   std::uint64_t id_ = 0;
   std::uint64_t parent_ = 0;
   std::uint32_t depth_ = 0;
+};
+
+/// RAII step annotation: while alive, every span *ending* on this thread
+/// (and every clock_sample) is stamped with {stream_id, step, peer_span}.
+/// Annotations are read at Span::end(), so a StepScope opened after a Span
+/// in the same block still applies to it -- the span ends first. Nests;
+/// the previous annotation is restored on destruction.
+class StepScope {
+ public:
+  StepScope(std::uint64_t stream_id, std::int64_t step,
+            std::uint64_t peer_span = 0);
+  ~StepScope();
+  StepScope(const StepScope&) = delete;
+  StepScope& operator=(const StepScope&) = delete;
+
+ private:
+  std::uint64_t prev_stream_ = 0;
+  std::int64_t prev_step_ = -1;
+  std::uint64_t prev_peer_ = 0;
 };
 
 }  // namespace flexio::trace

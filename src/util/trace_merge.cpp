@@ -1,0 +1,238 @@
+#include "util/trace_merge.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/trace.h"
+
+namespace flexio::trace {
+
+namespace {
+
+/// File-B span ids are shifted into this disjoint range. 2^32 keeps the
+/// remapped ids exactly representable as JSON doubles.
+constexpr std::uint64_t kBOffset = 1ull << 32;
+
+std::uint64_t num_u64(const json::Value* v) {
+  return v ? static_cast<std::uint64_t>(v->as_number()) : 0;
+}
+
+StatusOr<std::vector<MergedEvent>> load_events(std::string_view text) {
+  auto doc = json::parse(text);
+  if (!doc.is_ok()) return doc.status();
+  const json::Value* events = doc.value().find("traceEvents");
+  if (!events || events->kind() != json::Value::Kind::kArray) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "trace JSON has no traceEvents array");
+  }
+  std::vector<MergedEvent> out;
+  out.reserve(events->as_array().size());
+  for (const json::Value& e : events->as_array()) {
+    MergedEvent ev;
+    if (const json::Value* v = e.find("name")) ev.name = v->as_string();
+    if (const json::Value* v = e.find("ts")) ev.ts_us = v->as_number();
+    if (const json::Value* v = e.find("dur")) ev.dur_us = v->as_number();
+    ev.pid = static_cast<std::uint32_t>(num_u64(e.find("pid")));
+    ev.tid = static_cast<std::uint32_t>(num_u64(e.find("tid")));
+    if (const json::Value* args = e.find("args")) {
+      ev.id = num_u64(args->find("id"));
+      ev.parent = num_u64(args->find("parent"));
+      ev.depth = static_cast<std::uint32_t>(num_u64(args->find("depth")));
+      ev.stream = num_u64(args->find("stream"));
+      ev.peer = num_u64(args->find("peer"));
+      ev.remote_ns = num_u64(args->find("remote_ns"));
+      if (const json::Value* v = args->find("step")) {
+        ev.step = static_cast<std::int64_t>(v->as_number());
+      }
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+/// Minimum (local - remote) over a file's clock samples, in nanoseconds.
+/// Returns false when the file has no samples.
+bool min_clock_delta(const std::vector<MergedEvent>& events, double* delta_ns,
+                     std::size_t* pairs) {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t n = 0;
+  for (const MergedEvent& e : events) {
+    if (e.name != kClockSampleName || e.remote_ns == 0) continue;
+    const double local_ns = e.ts_us * 1e3;
+    best = std::min(best, local_ns - static_cast<double>(e.remote_ns));
+    ++n;
+  }
+  *pairs = n;
+  if (n == 0) return false;
+  *delta_ns = best;
+  return true;
+}
+
+}  // namespace
+
+std::string MergedTrace::to_json() const {
+  std::string out = "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const MergedEvent& e = events[i];
+    std::string name;
+    for (const char c : e.name) {
+      if (c == '"' || c == '\\') name.push_back('\\');
+      name.push_back(c);
+    }
+    out += str_format(
+        "{\"name\": \"%s\", \"cat\": \"flexio\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %u, \"tid\": %u, "
+        "\"args\": {\"id\": %llu, \"parent\": %llu, \"depth\": %u",
+        name.c_str(), e.ts_us, e.dur_us, e.pid, e.tid,
+        static_cast<unsigned long long>(e.id),
+        static_cast<unsigned long long>(e.parent), e.depth);
+    if (e.stream != 0) {
+      out += str_format(", \"stream\": %llu",
+                        static_cast<unsigned long long>(e.stream));
+    }
+    if (e.step >= 0) {
+      out += str_format(", \"step\": %lld", static_cast<long long>(e.step));
+    }
+    if (e.peer != 0) {
+      out += str_format(", \"peer\": %llu",
+                        static_cast<unsigned long long>(e.peer));
+    }
+    if (e.remote_ns != 0) {
+      out += str_format(", \"remote_ns\": %llu",
+                        static_cast<unsigned long long>(e.remote_ns));
+    }
+    out += str_format("}}%s\n", i + 1 < events.size() ? "," : "");
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status MergedTrace::validate(double slack_us) const {
+  std::unordered_map<std::uint64_t, const MergedEvent*> by_id;
+  by_id.reserve(events.size());
+  double prev_ts = -std::numeric_limits<double>::infinity();
+  for (const MergedEvent& e : events) {
+    if (e.ts_us < prev_ts) {
+      return make_error(ErrorCode::kInternal,
+                        "merged timeline is not monotonic at \"" + e.name +
+                            "\" ts=" + std::to_string(e.ts_us));
+    }
+    prev_ts = e.ts_us;
+    if (e.id != 0) by_id.emplace(e.id, &e);
+  }
+  for (const MergedEvent& e : events) {
+    if (e.peer == 0) continue;
+    const auto it = by_id.find(e.peer);
+    if (it == by_id.end()) {
+      return make_error(ErrorCode::kInternal,
+                        "span \"" + e.name + "\" references missing peer " +
+                            std::to_string(e.peer));
+    }
+    const MergedEvent& peer = *it->second;
+    if (peer.ts_us > e.ts_us + slack_us) {
+      return make_error(
+          ErrorCode::kInternal,
+          "span \"" + e.name + "\" starts before its peer parent \"" +
+              peer.name + "\" (" + std::to_string(e.ts_us) + " < " +
+              std::to_string(peer.ts_us) + " us)");
+    }
+    if (e.step >= 0 && peer.step >= 0 && e.step != peer.step) {
+      return make_error(ErrorCode::kInternal,
+                        "span \"" + e.name + "\" step " +
+                            std::to_string(e.step) +
+                            " does not match peer step " +
+                            std::to_string(peer.step));
+    }
+    if (e.stream != 0 && peer.stream != 0 && e.stream != peer.stream) {
+      return make_error(ErrorCode::kInternal,
+                        "span \"" + e.name + "\" stream does not match peer");
+    }
+  }
+  return Status::ok();
+}
+
+StatusOr<MergedTrace> merge_traces(std::string_view a_json,
+                                   std::string_view b_json) {
+  auto a = load_events(a_json);
+  if (!a.is_ok()) return a.status();
+  auto b = load_events(b_json);
+  if (!b.is_ok()) return b.status();
+
+  MergedTrace merged;
+  // offset = a_clock - b_clock. File A's samples pair A-local receive
+  // clocks with B send clocks (delta = offset + delay); file B's pair
+  // B-local receives with A sends (delta = -offset + delay). With both
+  // directions the symmetric-delay terms cancel; with one, the estimate
+  // is biased by the (small) one-way delay.
+  double da_ns = 0, db_ns = 0;
+  const bool have_a = min_clock_delta(a.value(), &da_ns, &merged.clock_pairs_a);
+  const bool have_b = min_clock_delta(b.value(), &db_ns, &merged.clock_pairs_b);
+  double offset_ns = 0;
+  if (have_a && have_b) {
+    offset_ns = (da_ns - db_ns) / 2.0;
+  } else if (have_a) {
+    offset_ns = da_ns;
+  } else if (have_b) {
+    offset_ns = -db_ns;
+  }
+  merged.offset_us = offset_ns / 1e3;
+
+  merged.events = std::move(a).value();
+  // File-A spans may reference B span ids as peers; remap to B's new range.
+  for (MergedEvent& e : merged.events) {
+    if (e.peer != 0) e.peer += kBOffset;
+  }
+  for (MergedEvent& e : b.value()) {
+    e.ts_us += merged.offset_us;
+    if (e.id != 0) e.id += kBOffset;
+    if (e.parent != 0) e.parent += kBOffset;
+    merged.events.push_back(std::move(e));
+  }
+  // Stitch: a span with a cross-process peer and no local parent hangs
+  // under the peer span in the merged timeline.
+  for (MergedEvent& e : merged.events) {
+    if (e.peer != 0 && e.parent == 0) e.parent = e.peer;
+  }
+  std::stable_sort(merged.events.begin(), merged.events.end(),
+                   [](const MergedEvent& x, const MergedEvent& y) {
+                     return x.ts_us < y.ts_us;
+                   });
+  return merged;
+}
+
+StatusOr<MergedTrace> merge_trace_files(const std::string& a_path,
+                                        const std::string& b_path) {
+  const auto slurp = [](const std::string& path) -> StatusOr<std::string> {
+    std::ifstream in(path);
+    if (!in) {
+      return make_error(ErrorCode::kNotFound,
+                        "cannot open trace file: " + path);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  auto a = slurp(a_path);
+  if (!a.is_ok()) return a.status();
+  auto b = slurp(b_path);
+  if (!b.is_ok()) return b.status();
+  return merge_traces(a.value(), b.value());
+}
+
+Status write_merged(const MergedTrace& merged, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kInternal,
+                      "cannot open output file: " + path);
+  }
+  out << merged.to_json();
+  return out ? Status::ok()
+             : make_error(ErrorCode::kInternal, "merged trace write failed");
+}
+
+}  // namespace flexio::trace

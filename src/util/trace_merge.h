@@ -1,0 +1,71 @@
+// Stitch two per-process Chrome trace exports into one timeline.
+//
+// Writer and reader sides each export their own trace ring
+// (trace::write_chrome_json_for). Those files share no clock and no span
+// namespace, but the wire protocol stamps a TraceContext into every
+// handshake and data frame, and each side records clock-sample markers
+// pairing its local receive clock with the peer's send clock. merge_traces
+// uses those pairs to estimate the inter-process clock offset (NTP style:
+// the minimum one-way delta in each direction bounds the offset from both
+// sides), shifts the second file onto the first file's clock, remaps its
+// span ids into a disjoint range, and re-parents spans that carry a
+// peer-span reference (reader perform_reads / end_step under the writer's
+// end_step). The result loads in chrome://tracing / Perfetto as one
+// coherent multi-process timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexio::trace {
+
+/// One event of a merged timeline (Chrome "X" event plus FlexIO args).
+struct MergedEvent {
+  std::string name;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  double ts_us = 0;   // on file A's clock after offset correction
+  double dur_us = 0;
+  std::uint64_t id = 0;      // remapped: file-B ids are offset by 2^32
+  std::uint64_t parent = 0;  // same-process parent, or peer after stitching
+  std::uint64_t peer = 0;    // cross-process parent (0 = none)
+  std::uint64_t stream = 0;  // stream_id_hash (0 = none)
+  std::uint64_t remote_ns = 0;  // clock samples only
+  std::int64_t step = -1;       // step annotation (-1 = none)
+};
+
+struct MergedTrace {
+  std::vector<MergedEvent> events;  // sorted by ts_us
+  /// Estimated a_clock - b_clock in microseconds (added to B timestamps).
+  double offset_us = 0;
+  std::size_t clock_pairs_a = 0;  // samples of B's clock seen in file A
+  std::size_t clock_pairs_b = 0;  // samples of A's clock seen in file B
+
+  /// Chrome trace_event JSON of the merged timeline.
+  std::string to_json() const;
+
+  /// Well-formedness: events sorted by timestamp, and every span carrying
+  /// a peer reference resolves to an existing parent that starts no later
+  /// than the span itself (within slack_us) and agrees on step and stream
+  /// when both sides carry them.
+  Status validate(double slack_us = 0.0) const;
+};
+
+/// Merge two Chrome trace JSON documents (as produced by
+/// trace::chrome_json_for). File A keeps its clock and ids.
+StatusOr<MergedTrace> merge_traces(std::string_view a_json,
+                                   std::string_view b_json);
+
+/// Same, reading the documents from files.
+StatusOr<MergedTrace> merge_trace_files(const std::string& a_path,
+                                        const std::string& b_path);
+
+/// Write merged.to_json() to a file.
+Status write_merged(const MergedTrace& merged, const std::string& path);
+
+}  // namespace flexio::trace

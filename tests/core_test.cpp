@@ -145,6 +145,146 @@ TEST(WireTest, AllMessagesRoundTrip) {
   EXPECT_DOUBLE_EQ(decoded_rep.value().handshake_seconds, 0.25);
 }
 
+TEST(WireTest, TraceContextTrailerRoundTrips) {
+  const wire::TraceContext ctx{wire::stream_id_hash("temps"), 9, 77, 123456};
+
+  wire::StepAnnounce ann;
+  ann.step = 9;
+  ann.trace = ctx;
+  auto dec_ann = wire::decode_step_announce(ByteView(wire::encode(ann)));
+  ASSERT_TRUE(dec_ann.is_ok());
+  ASSERT_TRUE(dec_ann.value().trace.has_value());
+  EXPECT_EQ(dec_ann.value().trace->stream_id, ctx.stream_id);
+  EXPECT_EQ(dec_ann.value().trace->step, 9);
+  EXPECT_EQ(dec_ann.value().trace->span_id, 77u);
+  EXPECT_EQ(dec_ann.value().trace->send_ns, 123456u);
+
+  wire::ReadRequest req;
+  req.step = 9;
+  req.selections.push_back(wire::SelectionInfo{0, "T", Box{{0}, {4}}});
+  req.trace = ctx;
+  auto dec_req = wire::decode_read_request(ByteView(wire::encode(req)));
+  ASSERT_TRUE(dec_req.is_ok());
+  ASSERT_TRUE(dec_req.value().trace.has_value());
+  EXPECT_EQ(dec_req.value().trace->span_id, 77u);
+
+  wire::DataMsg data;
+  data.step = 9;
+  data.writer_rank = 1;
+  wire::DataPiece piece;
+  piece.meta = adios::global_array_var("T", DataType::kDouble, {8}, Box{{0}, {4}});
+  piece.region = Box{{0}, {4}};
+  piece.payload.resize(32);
+  data.pieces.push_back(std::move(piece));
+  data.trace = ctx;
+  auto dec_data = wire::decode_data(ByteView(wire::encode(data)));
+  ASSERT_TRUE(dec_data.is_ok());
+  ASSERT_TRUE(dec_data.value().trace.has_value());
+  EXPECT_EQ(dec_data.value().trace->send_ns, 123456u);
+
+  // The scatter-gather path frames the exact same bytes: the trailer is
+  // written after the last borrowed payload and must land in the final
+  // wire fragment.
+  const serial::IovMessage iov = wire::encode_data_iov(data);
+  std::vector<std::byte> flat;
+  for (const ByteView frag : iov.frags) {
+    flat.insert(flat.end(), frag.begin(), frag.end());
+  }
+  EXPECT_EQ(flat, wire::encode(data));
+  auto dec_iov = wire::decode_data(ByteView(flat));
+  ASSERT_TRUE(dec_iov.is_ok());
+  ASSERT_TRUE(dec_iov.value().trace.has_value());
+  EXPECT_EQ(dec_iov.value().trace->stream_id, ctx.stream_id);
+
+  // Absent context encodes no trailer and decodes as absent.
+  data.trace.reset();
+  auto dec_plain = wire::decode_data(ByteView(wire::encode(data)));
+  ASSERT_TRUE(dec_plain.is_ok());
+  EXPECT_FALSE(dec_plain.value().trace.has_value());
+}
+
+TEST(WireTest, StreamIdHashStable) {
+  const std::uint64_t h = wire::stream_id_hash("temps");
+  EXPECT_EQ(h, wire::stream_id_hash("temps"));
+  EXPECT_NE(h, wire::stream_id_hash("pressure"));
+  EXPECT_NE(h, 0u);
+  EXPECT_LE(h, 0xffffffffull);        // fits a JSON double exactly
+  EXPECT_NE(wire::stream_id_hash(""), 0u);  // empty name still maps to != 0
+}
+
+TEST(WireTest, MonitorReportPhaseFieldsRoundTrip) {
+  wire::MonitorReport report{5, 1000, 0.5, 0.25, 0.125, 4, 1};
+  report.pack_ns = 111;
+  report.enqueue_ns = 222;
+  report.transfer_ns = 333;
+  report.unpack_ns = 444;
+  report.total_ns = 555;
+  report.phase_steps = 5;
+  auto decoded = wire::decode_monitor_report(ByteView(wire::encode(report)));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().steps, 5u);
+  EXPECT_EQ(decoded.value().pack_ns, 111u);
+  EXPECT_EQ(decoded.value().enqueue_ns, 222u);
+  EXPECT_EQ(decoded.value().transfer_ns, 333u);
+  EXPECT_EQ(decoded.value().unpack_ns, 444u);
+  EXPECT_EQ(decoded.value().total_ns, 555u);
+  EXPECT_EQ(decoded.value().phase_steps, 5u);
+}
+
+TEST(WireTest, MonitorReportOldFormatDecodesWithZeroPhases) {
+  // A frame hand-encoded the way the pre-phase format wrote it: seven
+  // fields and nothing after them. Decode must succeed with all phase
+  // fields zero (the versioned-trailer compatibility contract).
+  serial::BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(wire::MsgType::kMonitorReport));
+  w.put_u64(5);
+  w.put_u64(1000);
+  w.put_f64(0.5);
+  w.put_f64(0.25);
+  w.put_f64(0.125);
+  w.put_u64(4);
+  w.put_u64(1);
+  auto decoded = wire::decode_monitor_report(ByteView(w.take()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().steps, 5u);
+  EXPECT_EQ(decoded.value().bytes_sent, 1000u);
+  EXPECT_DOUBLE_EQ(decoded.value().handshake_seconds, 0.25);
+  EXPECT_EQ(decoded.value().handshakes_performed, 4u);
+  EXPECT_EQ(decoded.value().pack_ns, 0u);
+  EXPECT_EQ(decoded.value().enqueue_ns, 0u);
+  EXPECT_EQ(decoded.value().transfer_ns, 0u);
+  EXPECT_EQ(decoded.value().unpack_ns, 0u);
+  EXPECT_EQ(decoded.value().total_ns, 0u);
+  EXPECT_EQ(decoded.value().phase_steps, 0u);
+}
+
+TEST(WireTest, OldFormatStepAnnounceDecodesWithoutTrace) {
+  // Hand-encode a StepAnnounce exactly as the pre-trailer format did (step
+  // + empty block list, nothing after) and check it parses with no trace.
+  serial::BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(wire::MsgType::kStepAnnounce));
+  w.put_i64(3);
+  w.put_varint(0);  // zero blocks
+  auto decoded = wire::decode_step_announce(ByteView(w.take()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().step, 3);
+  EXPECT_FALSE(decoded.value().trace.has_value());
+}
+
+TEST(WireTest, UnknownTraceTrailerVersionSkipped) {
+  // A future trailer version must be skipped, not rejected.
+  serial::BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(wire::MsgType::kStepAnnounce));
+  w.put_i64(3);
+  w.put_varint(0);
+  w.put_u8(200);  // unknown trailer version
+  w.put_u64(0xdeadbeef);  // opaque future payload
+  auto decoded = wire::decode_step_announce(ByteView(w.take()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().step, 3);
+  EXPECT_FALSE(decoded.value().trace.has_value());
+}
+
 TEST(WireTest, CorruptFramesRejected) {
   EXPECT_FALSE(wire::peek_type({}).is_ok());
   std::vector<std::byte> junk{std::byte{0xee}};

@@ -1,0 +1,396 @@
+// Unit tests for the cross-process telemetry layer: the flight-recorder
+// sampler (deterministic under the fake clock, delta encoding, rotation),
+// the trace-ring step annotations that feed the wire TraceContext, and the
+// two-file trace merge with NTP-style clock-offset estimation.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/flight_recorder.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+#include "util/trace_merge.h"
+
+namespace flexio {
+namespace {
+
+std::atomic<std::uint64_t> g_fake_ns{0};
+std::uint64_t fake_clock() {
+  return g_fake_ns.load(std::memory_order_relaxed);
+}
+
+/// Temp-file path unique to this test process; removed on destruction
+/// together with any rotation siblings.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) {
+    path_ = (std::filesystem::temp_directory_path() /
+             (stem + "." + std::to_string(::getpid()) + ".jsonl"))
+                .string();
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    for (int i = 1; i <= 8; ++i) {
+      std::remove((path_ + "." + std::to_string(i)).c_str());
+    }
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// RAII: metrics + fake clock on, everything restored on destruction.
+class TelemetryFixture {
+ public:
+  TelemetryFixture() {
+    was_metrics_ = metrics::enabled();
+    metrics::set_enabled(true);
+    g_fake_ns.store(1000, std::memory_order_relaxed);
+    metrics::set_clock_for_testing(&fake_clock);
+  }
+  ~TelemetryFixture() {
+    flight::stop();
+    metrics::set_clock_for_testing(nullptr);
+    metrics::set_enabled(was_metrics_);
+  }
+
+ private:
+  bool was_metrics_ = false;
+};
+
+TEST(FlightRecorderTest, DeterministicDeltasUnderFakeClock) {
+  TelemetryFixture fix;
+  TempFile file("flexio_flight_deltas");
+  flight::Options opts;
+  opts.path = file.path();
+  opts.background = false;
+  ASSERT_TRUE(flight::start(opts).is_ok());
+  EXPECT_TRUE(flight::active());
+
+  metrics::Counter& c = metrics::counter("flighttest.deltas.counter");
+  metrics::Gauge& g = metrics::gauge("flighttest.deltas.gauge");
+  metrics::Histogram& h = metrics::histogram("flighttest.deltas.hist");
+
+  c.add(7);
+  g.add(3);
+  h.record(40);
+  g_fake_ns.store(2000, std::memory_order_relaxed);
+  ASSERT_TRUE(flight::sample_now().is_ok());
+
+  c.add(5);
+  g.sub(1);
+  g_fake_ns.store(3000, std::memory_order_relaxed);
+  ASSERT_TRUE(flight::sample_now().is_ok());
+
+  // Nothing moved: this sample must be skipped entirely.
+  ASSERT_TRUE(flight::sample_now().is_ok());
+
+  flight::stop();
+  EXPECT_FALSE(flight::active());
+
+  const auto lines = read_lines(file.path());
+  ASSERT_EQ(lines.size(), 3u);  // start marker + two delta samples
+
+  // Every line is valid JSON carrying the schema tag.
+  for (const std::string& line : lines) {
+    auto doc = json::parse(line);
+    ASSERT_TRUE(doc.is_ok()) << line;
+    ASSERT_NE(doc.value().find("schema"), nullptr);
+    EXPECT_EQ(doc.value().find("schema")->as_string(), "flexio-stats-v1");
+  }
+
+  auto start = json::parse(lines[0]).value();
+  EXPECT_EQ(start.find("seq")->as_number(), 0);
+  EXPECT_EQ(start.find("t_ns")->as_number(), 1000);
+  EXPECT_TRUE(start.find("start") != nullptr);
+
+  auto first = json::parse(lines[1]).value();
+  EXPECT_EQ(first.find("seq")->as_number(), 1);
+  EXPECT_EQ(first.find("t_ns")->as_number(), 2000);
+  const json::Value* counters = first.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("flighttest.deltas.counter")->as_number(), 7);
+  const json::Value* gauges = first.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->find("flighttest.deltas.gauge")->as_number(), 3);
+  const json::Value* hists = first.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* hist = hists->find("flighttest.deltas.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_number(), 1);
+  EXPECT_EQ(hist->find("sum")->as_number(), 40);
+
+  auto second = json::parse(lines[2]).value();
+  EXPECT_EQ(second.find("seq")->as_number(), 2);
+  EXPECT_EQ(second.find("t_ns")->as_number(), 3000);
+  EXPECT_EQ(second.find("counters")->find("flighttest.deltas.counter")
+                ->as_number(),
+            5);  // delta, not cumulative
+  // Gauge went 3 -> 2: reported as its new value.
+  EXPECT_EQ(second.find("gauges")->find("flighttest.deltas.gauge")
+                ->as_number(),
+            2);
+  // Histogram did not move: absent from the second sample.
+  EXPECT_EQ(second.find("histograms"), nullptr);
+}
+
+TEST(FlightRecorderTest, CooperativeHookSamplesOnlyWhenDue) {
+  TelemetryFixture fix;
+  TempFile file("flexio_flight_coop");
+  flight::Options opts;
+  opts.path = file.path();
+  opts.background = false;
+  ASSERT_TRUE(flight::start(opts).is_ok());
+
+  metrics::Counter& c = metrics::counter("flighttest.coop.counter");
+  c.inc();
+  const std::uint64_t before = flight::samples_taken();
+  flight::maybe_sample();  // active but not due: no line
+  EXPECT_EQ(flight::samples_taken(), before);
+
+  flight::request_sample();
+  flight::maybe_sample();
+  EXPECT_EQ(flight::samples_taken(), before + 1);
+
+  flight::maybe_sample();  // due flag was consumed
+  EXPECT_EQ(flight::samples_taken(), before + 1);
+  flight::stop();
+}
+
+TEST(FlightRecorderTest, RotationBoundsFileSize) {
+  TelemetryFixture fix;
+  TempFile file("flexio_flight_rotate");
+  flight::Options opts;
+  opts.path = file.path();
+  opts.background = false;
+  opts.max_bytes = 256;  // tiny: a handful of lines per file
+  opts.max_rotations = 2;
+  ASSERT_TRUE(flight::start(opts).is_ok());
+
+  metrics::Counter& c = metrics::counter("flighttest.rotate.counter");
+  for (int i = 0; i < 64; ++i) {
+    c.add(static_cast<std::uint64_t>(i + 1));
+    g_fake_ns.fetch_add(100, std::memory_order_relaxed);
+    ASSERT_TRUE(flight::sample_now().is_ok());
+  }
+  flight::stop();
+
+  EXPECT_LE(std::filesystem::file_size(file.path()), 256u + 128u);
+  EXPECT_TRUE(std::filesystem::exists(file.path() + ".1"));
+  EXPECT_TRUE(std::filesystem::exists(file.path() + ".2"));
+  EXPECT_FALSE(std::filesystem::exists(file.path() + ".3"));
+  // Rotated files still hold valid JSON lines.
+  for (const std::string& line : read_lines(file.path() + ".1")) {
+    EXPECT_TRUE(json::parse(line).is_ok()) << line;
+  }
+}
+
+TEST(FlightRecorderTest, DoubleStartRejectedAndStopIdempotent) {
+  TelemetryFixture fix;
+  TempFile file("flexio_flight_double");
+  flight::Options opts;
+  opts.path = file.path();
+  opts.background = false;
+  ASSERT_TRUE(flight::start(opts).is_ok());
+  EXPECT_EQ(flight::start(opts).code(), ErrorCode::kFailedPrecondition);
+  flight::stop();
+  flight::stop();  // no-op
+  EXPECT_EQ(flight::sample_now().code(), ErrorCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------ trace annotations --
+
+TEST(TraceStepTest, StepScopeStampsSpansAndClockSamples) {
+  trace::set_enabled(true);
+  trace::reset();
+  trace::set_thread_pid(7);
+  {
+    trace::StepScope scope(/*stream_id=*/99, /*step=*/3, /*peer_span=*/42);
+    trace::Span span("flighttest.step_span");
+    trace::clock_sample(123456);
+  }
+  {
+    trace::Span unannotated("flighttest.plain_span");
+  }
+  trace::set_thread_pid(0);
+  trace::set_enabled(false);
+
+  const auto spans = trace::snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Records land in end order: clock sample first (zero-duration), then
+  // the annotated span, then the unannotated one.
+  EXPECT_STREQ(spans[0].name, trace::kClockSampleName);
+  EXPECT_EQ(spans[0].remote_ns, 123456u);
+  EXPECT_EQ(spans[0].pid, 7u);
+  EXPECT_EQ(spans[0].step, 3);
+
+  EXPECT_STREQ(spans[1].name, "flighttest.step_span");
+  EXPECT_EQ(spans[1].pid, 7u);
+  EXPECT_EQ(spans[1].stream_id, 99u);
+  EXPECT_EQ(spans[1].step, 3);
+  EXPECT_EQ(spans[1].peer_span, 42u);
+
+  EXPECT_STREQ(spans[2].name, "flighttest.plain_span");
+  EXPECT_EQ(spans[2].step, -1);
+  EXPECT_EQ(spans[2].peer_span, 0u);
+}
+
+TEST(TraceStepTest, RingCapacityValidation) {
+  const std::size_t original = trace::ring_capacity();
+  trace::set_ring_capacity(128);
+  EXPECT_EQ(trace::ring_capacity(), 128u);
+  trace::set_ring_capacity(10);  // below the minimum: rejected, logged
+  EXPECT_EQ(trace::ring_capacity(), 128u);
+  trace::set_ring_capacity(original >= 64 ? original : 4096);
+}
+
+// ------------------------------------------------------------ trace merge --
+
+/// The writer-side (file A) fixture: one end_step span plus one clock
+/// sample pairing A's receive clock with B's send clock.
+std::string make_a_json() {
+  return R"({"traceEvents": [
+    {"name": "writer.end_step", "ph": "X", "ts": 1000.0, "dur": 500.0,
+     "pid": 1, "tid": 0,
+     "args": {"id": 10, "parent": 0, "depth": 0, "stream": 99, "step": 2}},
+    {"name": "flexio.clock_sample", "ph": "X", "ts": 2000.0, "dur": 0.0,
+     "pid": 1, "tid": 0,
+     "args": {"id": 11, "parent": 0, "depth": 0, "remote_ns": 11900000}}
+  ]})";
+}
+
+/// The reader-side (file B) fixture, on a clock 10 ms ahead of A's: a
+/// perform_reads span peered to A's end_step, plus the reverse clock
+/// sample.
+std::string make_b_json(std::int64_t reader_step = 2) {
+  std::ostringstream out;
+  out << R"({"traceEvents": [
+    {"name": "reader.perform_reads", "ph": "X", "ts": 11200.0, "dur": 300.0,
+     "pid": 2, "tid": 1,
+     "args": {"id": 20, "parent": 0, "depth": 0, "stream": 99, "step": )"
+      << reader_step << R"(, "peer": 10}},
+    {"name": "flexio.clock_sample", "ph": "X", "ts": 12050.0, "dur": 0.0,
+     "pid": 2, "tid": 1,
+     "args": {"id": 21, "parent": 0, "depth": 0, "remote_ns": 2000000}}
+  ]})";
+  return out.str();
+}
+
+TEST(TraceMergeTest, OffsetEstimateFromBothDirections) {
+  // True offset (a_clock - b_clock) is -10 ms. A's sample sees delta
+  // offset + 100us delay = -9.9 ms; B's sees -offset + 50us = 10.05 ms.
+  // The symmetric estimate is (da - db) / 2 = -9.975 ms, 25 us off --
+  // half the delay asymmetry, the NTP bound.
+  auto merged = trace::merge_traces(make_a_json(), make_b_json());
+  ASSERT_TRUE(merged.is_ok());
+  EXPECT_EQ(merged.value().clock_pairs_a, 1u);
+  EXPECT_EQ(merged.value().clock_pairs_b, 1u);
+  EXPECT_NEAR(merged.value().offset_us, -9975.0, 1e-6);
+  EXPECT_TRUE(merged.value().validate(0.0).is_ok());
+
+  // The reader span moved onto A's clock and inside the writer span.
+  const trace::MergedEvent* reader = nullptr;
+  const trace::MergedEvent* writer = nullptr;
+  for (const trace::MergedEvent& e : merged.value().events) {
+    if (e.name == "reader.perform_reads") reader = &e;
+    if (e.name == "writer.end_step") writer = &e;
+  }
+  ASSERT_NE(reader, nullptr);
+  ASSERT_NE(writer, nullptr);
+  EXPECT_NEAR(reader->ts_us, 11200.0 - 9975.0, 1e-6);
+  EXPECT_GE(reader->ts_us, writer->ts_us);
+  // B ids were remapped into the disjoint range; the peer reference (an A
+  // id) was not, and stitching parented the reader span under it.
+  EXPECT_EQ(reader->id, 20u + (1ull << 32));
+  EXPECT_EQ(reader->peer, 10u);
+  EXPECT_EQ(reader->parent, 10u);
+  EXPECT_EQ(writer->id, 10u);
+}
+
+TEST(TraceMergeTest, SingleDirectionFallback) {
+  // Strip B's clock sample: the offset comes from A's sample alone and is
+  // biased by the one-way delay (estimate -9.9 ms vs true -10 ms).
+  const std::string b = R"({"traceEvents": [
+    {"name": "reader.perform_reads", "ph": "X", "ts": 11200.0, "dur": 300.0,
+     "pid": 2, "tid": 1,
+     "args": {"id": 20, "parent": 0, "depth": 0, "step": 2, "peer": 10}}
+  ]})";
+  auto merged = trace::merge_traces(make_a_json(), b);
+  ASSERT_TRUE(merged.is_ok());
+  EXPECT_EQ(merged.value().clock_pairs_b, 0u);
+  EXPECT_NEAR(merged.value().offset_us, -9900.0, 1e-6);
+  EXPECT_TRUE(merged.value().validate(0.0).is_ok());
+}
+
+TEST(TraceMergeTest, ValidateCatchesStepMismatch) {
+  // The reader claims step 5 under a writer span annotated step 2: the
+  // merged timeline must fail validation.
+  auto merged = trace::merge_traces(make_a_json(), make_b_json(5));
+  ASSERT_TRUE(merged.is_ok());
+  EXPECT_FALSE(merged.value().validate(0.0).is_ok());
+}
+
+TEST(TraceMergeTest, ValidateCatchesMissingPeer) {
+  const std::string b = R"({"traceEvents": [
+    {"name": "reader.perform_reads", "ph": "X", "ts": 11200.0, "dur": 300.0,
+     "pid": 2, "tid": 1,
+     "args": {"id": 20, "parent": 0, "depth": 0, "step": 2, "peer": 777}}
+  ]})";
+  auto merged = trace::merge_traces(make_a_json(), b);
+  ASSERT_TRUE(merged.is_ok());
+  EXPECT_FALSE(merged.value().validate(0.0).is_ok());
+}
+
+TEST(TraceMergeTest, NoClockSamplesMeansZeroOffset) {
+  const std::string a = R"({"traceEvents": [
+    {"name": "writer.end_step", "ph": "X", "ts": 1000.0, "dur": 500.0,
+     "pid": 1, "tid": 0, "args": {"id": 10, "parent": 0, "depth": 0}}
+  ]})";
+  const std::string b = R"({"traceEvents": [
+    {"name": "reader.end_step", "ph": "X", "ts": 1400.0, "dur": 100.0,
+     "pid": 2, "tid": 1, "args": {"id": 20, "parent": 0, "depth": 0}}
+  ]})";
+  auto merged = trace::merge_traces(a, b);
+  ASSERT_TRUE(merged.is_ok());
+  EXPECT_EQ(merged.value().offset_us, 0.0);
+  EXPECT_EQ(merged.value().events.size(), 2u);
+  EXPECT_TRUE(merged.value().validate(0.0).is_ok());
+}
+
+TEST(TraceMergeTest, MergedJsonRoundTripsThroughParser) {
+  auto merged = trace::merge_traces(make_a_json(), make_b_json());
+  ASSERT_TRUE(merged.is_ok());
+  const std::string out = merged.value().to_json();
+  auto doc = json::parse(out);
+  ASSERT_TRUE(doc.is_ok());
+  const json::Value* events = doc.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->as_array().size(), merged.value().events.size());
+}
+
+TEST(TraceMergeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(trace::merge_traces("{}", make_b_json()).is_ok());
+  EXPECT_FALSE(trace::merge_traces("not json", make_b_json()).is_ok());
+}
+
+}  // namespace
+}  // namespace flexio

@@ -22,7 +22,8 @@ import sys
 ABS_BUDGET_NS = 5.0  # a load+branch costs ~1 ns; 5 leaves CI noise room
 REL_BUDGET = 0.6     # disabled must be well under the enabled fetch_add
 
-DISABLED = ["BM_MetricsCounterDisabled", "BM_TraceSpanDisabled"]
+DISABLED = ["BM_MetricsCounterDisabled", "BM_TraceSpanDisabled",
+            "BM_FlightRecorderDisabled", "BM_FlightRecorderIdle"]
 ENABLED = "BM_MetricsCounterEnabled"
 
 PACK_SPEEDUP_MIN = 2.0

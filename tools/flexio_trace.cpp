@@ -10,15 +10,37 @@
 //   flexio_trace demo  <out.json>              record a small nested demo
 //                                              trace (for docs and smoke
 //                                              tests; no input needed)
+//   flexio_trace merge <a.json> <b.json> <out.json>
+//                                              stitch two per-process
+//                                              exports into one timeline
+//                                              (clock-offset corrected,
+//                                              reader steps parented under
+//                                              writer steps)
+//   flexio_trace pipeline <outdir>             run a 1x1 shm writer/reader
+//                                              pipeline, export per-side
+//                                              traces + flight-recorder
+//                                              stats, and merge them
+//                                              (writer.json, reader.json,
+//                                              merged.json, flight.jsonl)
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "adios/array.h"
+#include "adios/var.h"
+#include "core/runtime.h"
+#include "core/stream_reader.h"
+#include "core/stream_writer.h"
+#include "util/flight_recorder.h"
 #include "util/json.h"
+#include "util/metrics.h"
 #include "util/trace.h"
+#include "util/trace_merge.h"
 
 namespace {
 
@@ -127,6 +149,117 @@ int convert(const std::string& in_path, const std::string& out_path) {
   return 0;
 }
 
+int merge(const std::string& a_path, const std::string& b_path,
+          const std::string& out_path) {
+  auto merged = trace::merge_trace_files(a_path, b_path);
+  if (!merged.is_ok()) return fail(merged.status().to_string());
+  // Generous slack: the offset estimate is biased by up to one one-way
+  // delay when samples exist in only one direction.
+  const Status valid = merged.value().validate(1000.0);
+  if (!valid.is_ok()) return fail(valid.to_string());
+  const Status st = trace::write_merged(merged.value(), out_path);
+  if (!st.is_ok()) return fail(st.to_string());
+  std::printf("merged %zu events (clock offset %+.3f us from %zu+%zu "
+              "samples) -> %s\n",
+              merged.value().events.size(), merged.value().offset_us,
+              merged.value().clock_pairs_a, merged.value().clock_pairs_b,
+              out_path.c_str());
+  return 0;
+}
+
+int pipeline(const std::string& outdir) {
+  // A complete 1x1 coupled run over the shm transport, writer and reader
+  // as virtual processes (pids 1 and 2), with the flight recorder sampling
+  // in the background. Produces the full telemetry artifact set CI uploads.
+  trace::set_enabled(true);
+  trace::reset();
+  metrics::set_enabled(true);
+  flight::Options fopt;
+  fopt.path = outdir + "/flight.jsonl";
+  fopt.interval_ms = 2;
+  if (const Status st = flight::start(fopt); !st.is_ok()) {
+    return fail(st.to_string());
+  }
+
+  constexpr int kSteps = 4;
+  constexpr std::uint64_t kN = 2048;
+  Runtime rt;
+  Program sim("sim", 1);
+  Program viz("viz", 1);
+  xml::MethodConfig method;
+  method.method = "FLEXIO";
+  method.timeout_ms = 20000;
+
+  std::thread reader_thread([&] {
+    trace::set_thread_pid(2);
+    StreamSpec spec;
+    spec.stream = "trace_pipeline";
+    spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{0, 1}};
+    spec.method = method;
+    auto r = rt.open_reader(spec);
+    if (!r.is_ok()) return;
+    std::vector<double> dst(kN);
+    for (;;) {
+      auto step = r.value()->begin_step();
+      if (!step.is_ok()) break;
+      (void)r.value()->schedule_read(
+          "field", adios::Box{{0}, {kN}},
+          MutableByteView(std::as_writable_bytes(std::span<double>(dst))));
+      if (!r.value()->perform_reads().is_ok()) break;
+      if (!r.value()->end_step().is_ok()) break;
+    }
+    (void)r.value()->close();
+  });
+
+  bool write_failed = false;
+  {
+    trace::set_thread_pid(1);
+    StreamSpec spec;
+    spec.stream = "trace_pipeline";
+    spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+    spec.method = method;
+    auto w = rt.open_writer(spec);
+    if (!w.is_ok()) {
+      reader_thread.join();
+      flight::stop();
+      return fail(w.status().to_string());
+    }
+    std::vector<double> data(kN);
+    const auto meta = adios::global_array_var(
+        "field", serial::DataType::kDouble, {kN}, adios::Box{{0}, {kN}});
+    for (int s = 0; s < kSteps && !write_failed; ++s) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = s + static_cast<double>(i) * 1e-3;
+      }
+      Status st = w.value()->begin_step(s);
+      if (st.is_ok()) {
+        st = w.value()->write(meta,
+                              as_bytes_view(std::span<const double>(data)));
+      }
+      if (st.is_ok()) st = w.value()->end_step();
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "flexio_trace: step %d: %s\n", s,
+                     st.to_string().c_str());
+        write_failed = true;
+      }
+    }
+    (void)w.value()->close();
+  }
+  reader_thread.join();
+  flight::stop();
+  if (write_failed) return 1;
+
+  const std::string a_path = outdir + "/writer.json";
+  const std::string b_path = outdir + "/reader.json";
+  Status st = trace::write_chrome_json_for(a_path, 1);
+  if (!st.is_ok()) return fail(st.to_string());
+  st = trace::write_chrome_json_for(b_path, 2);
+  if (!st.is_ok()) return fail(st.to_string());
+  std::printf("ran %d steps; wrote %s, %s, %s\n", kSteps, a_path.c_str(),
+              b_path.c_str(), fopt.path.c_str());
+  return merge(a_path, b_path, outdir + "/merged.json");
+}
+
 int demo(const std::string& out_path) {
   trace::set_enabled(true);
   {
@@ -151,10 +284,14 @@ int main(int argc, char** argv) {
   if (cmd == "dump" && argc == 3) return dump(argv[2]);
   if (cmd == "convert" && argc == 4) return convert(argv[2], argv[3]);
   if (cmd == "demo" && argc == 3) return demo(argv[2]);
+  if (cmd == "merge" && argc == 5) return merge(argv[2], argv[3], argv[4]);
+  if (cmd == "pipeline" && argc == 3) return pipeline(argv[2]);
   std::fprintf(stderr,
                "usage:\n"
                "  flexio_trace dump <trace.json>\n"
                "  flexio_trace convert <in.json> <out.json>\n"
-               "  flexio_trace demo <out.json>\n");
+               "  flexio_trace demo <out.json>\n"
+               "  flexio_trace merge <a.json> <b.json> <out.json>\n"
+               "  flexio_trace pipeline <outdir>\n");
   return 2;
 }
