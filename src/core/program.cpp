@@ -1,47 +1,148 @@
 #include "core/program.h"
 
+#include <algorithm>
+
 namespace flexio {
 
 Program::Program(std::string name, int size)
     : name_(std::move(name)), size_(size) {
   FLEXIO_CHECK(size >= 1);
+  active_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    active_[static_cast<std::size_t>(r)].store(true,
+                                               std::memory_order_relaxed);
+  }
+  active_count_.store(size, std::memory_order_relaxed);
+  admitted_epoch_.assign(static_cast<std::size_t>(size), 0);
+  for (Slot* s : {&gather_slot_, &bcast_slot_, &barrier_slot_}) {
+    s->arrived.assign(static_cast<std::size_t>(size), 0);
+    s->departed.assign(static_cast<std::size_t>(size), 0);
+    s->contributions.resize(static_cast<std::size_t>(size));
+  }
 }
 
 // Each collective follows the same round structure:
 //  entry    -- wait until no previous round is draining, then contribute;
-//  complete -- wait for all ranks to arrive;
-//  drain    -- last rank out resets the slot for the next round.
+//  complete -- latched when every *active* rank has arrived;
+//  drain    -- once every arrival has departed (inactive ranks excused)
+//              the slot resets for the next round.
 // A collective timeout poisons the program (some rank is stuck); callers
-// treat it as fatal, mirroring an MPI collective hang.
+// treat it as fatal, mirroring an MPI collective hang. With a liveness
+// hook installed a stall caused by a dead rank instead resolves when the
+// hook's sweep deactivates it and advance_locked re-latches the round.
+
+void Program::advance_locked(Slot& s) {
+  const auto idx = [](int r) { return static_cast<std::size_t>(r); };
+  if (!s.complete) {
+    bool any = false;
+    bool all_active = true;
+    for (int r = 0; r < size_; ++r) {
+      if (s.arrived[idx(r)]) any = true;
+      else if (is_active(r)) all_active = false;
+    }
+    if (any && all_active) s.complete = true;
+  }
+  if (s.complete) {
+    // Excuse ranks that arrived but died before departing, then reset once
+    // every arrival is accounted for.
+    bool drained = true;
+    for (int r = 0; r < size_; ++r) {
+      if (!s.arrived[idx(r)] || s.departed[idx(r)]) continue;
+      if (!is_active(r)) {
+        s.departed[idx(r)] = 1;
+        continue;
+      }
+      drained = false;
+    }
+    if (drained) {
+      std::fill(s.arrived.begin(), s.arrived.end(), 0);
+      std::fill(s.departed.begin(), s.departed.end(), 0);
+      for (auto& c : s.contributions) c.clear();
+      s.bcast_data.clear();
+      s.complete = false;
+      ++s.generation;
+    }
+  }
+  s.cv.notify_all();
+}
+
+void Program::run_liveness_hook() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    hook = liveness_hook_;
+  }
+  if (hook) hook();
+}
+
+template <typename Pred>
+Status Program::wait_slot(Slot& s, std::unique_lock<std::mutex>& lock,
+                          std::chrono::steady_clock::time_point deadline,
+                          Pred pred, const char* what) {
+  // Without a failure detector, block exactly like the pre-elastic
+  // program. With one, wake every few ms to let it sweep for deaths --
+  // the sweep deactivates dead ranks, which re-advances this very slot.
+  constexpr auto kPollSlice = std::chrono::milliseconds(2);
+  const auto stalled = [&] {
+    return make_error(ErrorCode::kTimeout,
+                      std::string(what) + " in " + name_);
+  };
+  for (;;) {
+    if (pred()) return Status::ok();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return stalled();
+    if (!has_hook_.load(std::memory_order_acquire)) {
+      s.cv.wait_until(lock, deadline);
+      if (pred()) return Status::ok();
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return stalled();
+      }
+      continue;
+    }
+    const auto slice = std::min(deadline, now + kPollSlice);
+    s.cv.wait_until(lock, slice);
+    if (pred()) return Status::ok();
+    lock.unlock();
+    run_liveness_hook();
+    lock.lock();
+    advance_locked(s);
+  }
+}
+
+Status Program::excised(const char* what, int rank) const {
+  return make_error(ErrorCode::kUnavailable,
+                    std::string(what) + ": rank " + std::to_string(rank) +
+                        " excised from " + name_);
+}
 
 Status Program::gather(int rank, ByteView contribution,
                        std::vector<std::vector<std::byte>>* all,
                        std::chrono::nanoseconds timeout) {
   FLEXIO_CHECK(rank >= 0 && rank < size_);
+  const auto idx = static_cast<std::size_t>(rank);
   Slot& s = gather_slot_;
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(s.mutex);
-  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived < size_; })) {
-    return make_error(ErrorCode::kTimeout, "gather entry stalled");
-  }
-  if (s.contributions.empty()) s.contributions.resize(size_);
-  s.contributions[static_cast<std::size_t>(rank)] =
+  FLEXIO_RETURN_IF_ERROR(wait_slot(
+      s, lock, deadline,
+      [&] { return (!s.complete && !s.arrived[idx]) || !is_active(rank); },
+      "gather entry stalled"));
+  if (!is_active(rank)) return excised("gather", rank);
+  s.contributions[idx] =
       std::vector<std::byte>(contribution.begin(), contribution.end());
-  ++s.arrived;
-  s.cv.notify_all();
-  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived == size_; })) {
-    return make_error(ErrorCode::kTimeout, "gather stalled waiting for ranks");
-  }
+  s.arrived[idx] = 1;
+  advance_locked(s);
+  FLEXIO_RETURN_IF_ERROR(
+      wait_slot(s, lock, deadline,
+                [&] { return s.complete || !is_active(rank); },
+                "gather stalled waiting for ranks"));
+  if (!s.complete && !is_active(rank)) return excised("gather", rank);
   if (rank == kCoordinator && all != nullptr) {
     *all = s.contributions;
   }
-  if (++s.departed == size_) {
-    s.arrived = 0;
-    s.departed = 0;
-    s.contributions.clear();
-    ++s.generation;
-    s.cv.notify_all();
-  }
+  s.departed[idx] = 1;
+  advance_locked(s);
   return Status::ok();
 }
 
@@ -49,49 +150,120 @@ Status Program::broadcast(int rank, std::vector<std::byte>* data,
                           std::chrono::nanoseconds timeout) {
   FLEXIO_CHECK(rank >= 0 && rank < size_);
   FLEXIO_CHECK(data != nullptr);
+  const auto idx = static_cast<std::size_t>(rank);
   Slot& s = bcast_slot_;
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(s.mutex);
-  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived < size_; })) {
-    return make_error(ErrorCode::kTimeout, "broadcast entry stalled");
-  }
+  FLEXIO_RETURN_IF_ERROR(wait_slot(
+      s, lock, deadline,
+      [&] { return (!s.complete && !s.arrived[idx]) || !is_active(rank); },
+      "broadcast entry stalled"));
+  if (!is_active(rank)) return excised("broadcast", rank);
   if (rank == kCoordinator) s.bcast_data = *data;
-  ++s.arrived;
-  s.cv.notify_all();
-  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived == size_; })) {
-    return make_error(ErrorCode::kTimeout, "broadcast stalled");
-  }
+  s.arrived[idx] = 1;
+  advance_locked(s);
+  FLEXIO_RETURN_IF_ERROR(wait_slot(
+      s, lock, deadline, [&] { return s.complete || !is_active(rank); },
+      "broadcast stalled"));
+  if (!s.complete && !is_active(rank)) return excised("broadcast", rank);
   if (rank != kCoordinator) *data = s.bcast_data;
-  if (++s.departed == size_) {
-    s.arrived = 0;
-    s.departed = 0;
-    s.bcast_data.clear();
-    ++s.generation;
-    s.cv.notify_all();
-  }
+  s.departed[idx] = 1;
+  advance_locked(s);
   return Status::ok();
 }
 
 Status Program::barrier(int rank, std::chrono::nanoseconds timeout) {
   FLEXIO_CHECK(rank >= 0 && rank < size_);
+  const auto idx = static_cast<std::size_t>(rank);
   Slot& s = barrier_slot_;
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(s.mutex);
-  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived < size_; })) {
-    return make_error(ErrorCode::kTimeout, "barrier entry stalled");
+  FLEXIO_RETURN_IF_ERROR(wait_slot(
+      s, lock, deadline,
+      [&] { return (!s.complete && !s.arrived[idx]) || !is_active(rank); },
+      "barrier entry stalled"));
+  if (!is_active(rank)) return excised("barrier", rank);
+  s.arrived[idx] = 1;
+  advance_locked(s);
+  FLEXIO_RETURN_IF_ERROR(wait_slot(
+      s, lock, deadline, [&] { return s.complete || !is_active(rank); },
+      "barrier stalled"));
+  if (!s.complete && !is_active(rank)) return excised("barrier", rank);
+  s.departed[idx] = 1;
+  advance_locked(s);
+  return Status::ok();
+}
+
+void Program::activate(int rank) {
+  FLEXIO_CHECK(rank >= 0 && rank < size_);
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    if (!active_[static_cast<std::size_t>(rank)].exchange(
+            true, std::memory_order_acq_rel)) {
+      active_count_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    membership_cv_.notify_all();
   }
-  ++s.arrived;
-  s.cv.notify_all();
-  if (!s.cv.wait_until(lock, deadline, [&] { return s.arrived == size_; })) {
-    return make_error(ErrorCode::kTimeout, "barrier stalled");
+  for (Slot* s : {&gather_slot_, &bcast_slot_, &barrier_slot_}) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    advance_locked(*s);
   }
-  if (++s.departed == size_) {
-    s.arrived = 0;
-    s.departed = 0;
-    ++s.generation;
-    s.cv.notify_all();
+}
+
+void Program::deactivate(int rank) {
+  FLEXIO_CHECK(rank >= 0 && rank < size_);
+  FLEXIO_CHECK(rank != kCoordinator);
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    if (active_[static_cast<std::size_t>(rank)].exchange(
+            false, std::memory_order_acq_rel)) {
+      active_count_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    membership_cv_.notify_all();
+  }
+  // A round stalled on this rank's arrival re-latches over the survivors.
+  for (Slot* s : {&gather_slot_, &bcast_slot_, &barrier_slot_}) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    advance_locked(*s);
+  }
+}
+
+int Program::active_count() const {
+  return active_count_.load(std::memory_order_acquire);
+}
+
+void Program::admit(int rank, std::uint64_t epoch) {
+  FLEXIO_CHECK(rank >= 0 && rank < size_);
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    auto& admitted = admitted_epoch_[static_cast<std::size_t>(rank)];
+    admitted = std::max(admitted, epoch);
+  }
+  activate(rank);
+}
+
+Status Program::await_admission(int rank, std::uint64_t join_epoch,
+                                std::chrono::nanoseconds timeout) {
+  FLEXIO_CHECK(rank >= 0 && rank < size_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(membership_mutex_);
+  const auto admitted = [&] {
+    return admitted_epoch_[static_cast<std::size_t>(rank)] >= join_epoch &&
+           is_active(rank);
+  };
+  if (!membership_cv_.wait_until(lock, deadline, admitted)) {
+    return make_error(ErrorCode::kTimeout,
+                      "admission stalled: rank " + std::to_string(rank) +
+                          " of " + name_);
   }
   return Status::ok();
+}
+
+void Program::set_liveness_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hook_mutex_);
+  liveness_hook_ = std::move(hook);
+  has_hook_.store(static_cast<bool>(liveness_hook_),
+                  std::memory_order_release);
 }
 
 }  // namespace flexio

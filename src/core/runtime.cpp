@@ -19,6 +19,13 @@ StatusOr<std::unique_ptr<StreamReader>> Runtime::open_reader(
   return reader;
 }
 
+Status Runtime::deliver_heartbeat(ByteView frame) {
+  auto hb = wire::decode_heartbeat(frame);
+  if (!hb.is_ok()) return hb.status();
+  return directory_.heartbeat(hb.value().stream, hb.value().rank,
+                              hb.value().incarnation);
+}
+
 void Runtime::set_plugin_compiler(PluginCompiler compiler) {
   std::lock_guard<std::mutex> lock(mutex_);
   plugin_compiler_ = std::move(compiler);

@@ -50,6 +50,11 @@ struct StreamSpec {
   EndpointSpec endpoint;
   xml::MethodConfig method;  // method.method: "FLEXIO" (stream) | "BP" (file)
   std::string file_dir = "."; // where BP mode puts/finds files
+  /// Reader only, membership mode: join a stream that is already running
+  /// instead of taking part in the open handshake. The open state is
+  /// bootstrapped from the directory's open-info blob and the rank blocks
+  /// until the coordinator admits it at a step boundary.
+  bool late_join = false;
 };
 
 class Runtime {
@@ -72,6 +77,12 @@ class Runtime {
 
   evpath::MessageBus& bus() { return bus_; }
   evpath::DirectoryServer& directory() { return directory_; }
+
+  /// Deliver an encoded wire::Heartbeat frame to the directory. Readers
+  /// beat through this adapter (encode -> deliver -> decode) rather than
+  /// calling the directory object directly, so the directory can move out
+  /// of process without a protocol change.
+  Status deliver_heartbeat(ByteView frame);
 
   /// Endpoint name convention: streams are isolated namespaces.
   static std::string endpoint_name(const std::string& stream,

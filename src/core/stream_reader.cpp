@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "util/backoff.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -86,8 +87,12 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
 
   if (spec.method.method != "FLEXIO") {
     // Offline mode: wait (bounded) for the writer to finish its files --
-    // this is the "seamlessly switch analytics to run offline" path.
+    // this is the "seamlessly switch analytics to run offline" path. The
+    // retry delay backs off geometrically up to a hard cap, so a writer
+    // that is seconds away does not get hammered and one that is minutes
+    // away does not burn the whole deadline asleep.
     const auto deadline = std::chrono::steady_clock::now() + timeout_;
+    util::Backoff backoff;
     for (;;) {
       auto bp = adios::BpReader::open(spec.file_dir, spec.stream);
       if (bp.is_ok()) {
@@ -95,7 +100,7 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
         break;
       }
       if (std::chrono::steady_clock::now() > deadline) return bp.status();
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      backoff.sleep();
     }
     writer_size_ = bp_->num_writers();
     bp_steps_ = bp_->steps();
@@ -114,6 +119,20 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
       spec.endpoint.location, lopts);
   if (!ep.is_ok()) return ep.status();
   endpoint_ = std::move(ep).value();
+
+  membership_ = rt->directory().membership_enabled();
+  if (membership_ && spec.late_join) return open_late_join(rt);
+  if (membership_) {
+    // Join before the coordinator contacts the writer, with a barrier so
+    // every rank is in the group before the first announce can observe it:
+    // the initial epoch is deterministically the program size.
+    auto joined =
+        rt->directory().join_member(spec.stream, rank_, endpoint_->name());
+    if (!joined.is_ok()) return joined.status();
+    incarnation_ = joined.value().incarnation;
+    join_epoch_ = joined.value().join_epoch;
+    FLEXIO_RETURN_IF_ERROR(program_->barrier(rank_, timeout_));
+  }
 
   std::vector<std::byte> info;
   if (rank_ == Program::kCoordinator) {
@@ -153,7 +172,218 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
     FLEXIO_RETURN_IF_ERROR(r.get_u8(&caching));
     caching_ = static_cast<xml::CachingLevel>(caching);
   }
+  if (membership_) {
+    start_heartbeats();
+    if (rank_ == Program::kCoordinator) {
+      // Failure detector: blocked collective waits poll this hook, which
+      // sweeps the directory's TTLs and excises dead or departed ranks --
+      // unblocking the very round that polled it. It also excises a rank
+      // whose directory incarnation is newer than the one the rounds were
+      // applied with: a respawn can land inside a single sweep window, so
+      // "alive" may describe a joiner that is not in the rounds yet while
+      // the participant the rounds wait on is already gone.
+      applied_inc_ = std::make_shared<AppliedIncarnations>();
+      {
+        const evpath::MembershipView view =
+            rt_->directory().membership(spec_.stream);
+        std::lock_guard<std::mutex> lock(applied_inc_->mutex);
+        for (const evpath::Member& m : view.members) {
+          applied_inc_->inc[m.rank] = m.incarnation;
+        }
+      }
+      Runtime* rt_ptr = rt_;
+      Program* prog = program_;
+      const std::string stream = spec_.stream;
+      auto applied = applied_inc_;
+      program_->set_liveness_hook([rt_ptr, prog, stream, applied]() {
+        const evpath::MembershipView view =
+            rt_ptr->directory().membership(stream);
+        for (const evpath::Member& m : view.members) {
+          if (m.rank == Program::kCoordinator || !prog->is_active(m.rank)) {
+            continue;
+          }
+          bool gone = m.state != evpath::MemberState::kAlive;
+          if (!gone) {
+            std::lock_guard<std::mutex> lock(applied->mutex);
+            const auto it = applied->inc.find(m.rank);
+            gone = it != applied->inc.end() && m.incarnation > it->second;
+          }
+          if (gone) prog->deactivate(m.rank);
+        }
+      });
+    }
+  }
   return Status::ok();
+}
+
+Status StreamReader::open_late_join(Runtime* rt) {
+  // Bootstrap the open state from the directory's open-info blob instead
+  // of a live OpenRequest exchange: the writer is mid-run and its
+  // coordinator is not listening for opens.
+  auto info = rt->directory().lookup_info(spec_.stream, timeout_);
+  if (!info.is_ok()) return info.status();
+  auto reply = wire::decode_open_reply(ByteView(info.value()));
+  if (!reply.is_ok()) return reply.status();
+  writer_program_ = reply.value().writer_program;
+  writer_size_ = reply.value().writer_size;
+  caching_ = static_cast<xml::CachingLevel>(reply.value().caching);
+  batching_ = reply.value().batching;
+  auto contact = rt->directory().lookup(spec_.stream, timeout_);
+  if (!contact.is_ok()) return contact.status();
+  writer_coord_ = contact.value();
+
+  // Rejoin under a fresh incarnation. The previous incarnation of this
+  // rank may still be counted alive (its TTL has not expired yet), in
+  // which case the join is refused -- retry with bounded backoff until the
+  // sweep fences it.
+  util::Backoff backoff;
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  for (;;) {
+    auto joined =
+        rt->directory().join_member(spec_.stream, rank_, endpoint_->name());
+    if (joined.is_ok()) {
+      incarnation_ = joined.value().incarnation;
+      join_epoch_ = joined.value().join_epoch;
+      break;
+    }
+    if (joined.status().code() != ErrorCode::kAlreadyExists ||
+        std::chrono::steady_clock::now() > deadline) {
+      return joined.status();
+    }
+    backoff.sleep();
+  }
+  // Beat from the moment of joining: admission can take up to a full step
+  // and must not race the TTL.
+  start_heartbeats();
+  // The coordinator admits this rank when it applies the first membership
+  // view whose epoch covers our join (an epoch-changed announce). Gating
+  // on the join epoch (not on the rank slot being active) keeps this from
+  // mistaking the dead predecessor's not-yet-excised slot for admission.
+  return program_->await_admission(rank_, join_epoch_, timeout_);
+}
+
+void StreamReader::start_heartbeats() {
+  hb_stop_.store(false, std::memory_order_release);
+  const auto ttl = rt_->directory().membership_options().ttl;
+  auto interval = ttl / 4;
+  if (interval < std::chrono::milliseconds(1)) {
+    interval = std::chrono::milliseconds(1);
+  }
+  if (interval > std::chrono::milliseconds(100)) {
+    interval = std::chrono::milliseconds(100);
+  }
+  hb_thread_ = std::thread([this, interval] {
+    while (!hb_stop_.load(std::memory_order_acquire)) {
+      const std::uint64_t pause =
+          hb_pause_until_ns_.load(std::memory_order_acquire);
+      if (pause == 0 || metrics::now_ns() >= pause) {
+        wire::Heartbeat hb;
+        hb.stream = spec_.stream;
+        hb.rank = rank_;
+        hb.incarnation = incarnation_;
+        hb.send_ns = metrics::now_ns();
+        const Status st = rt_->deliver_heartbeat(ByteView(wire::encode(hb)));
+        if (st.code() == ErrorCode::kFailedPrecondition) {
+          // Fenced: the directory declared us dead while we were merely
+          // slow. We must stop participating -- a zombie cannot rejoin the
+          // group under its old incarnation.
+          fenced_.store(true, std::memory_order_release);
+          return;
+        }
+        if (st.code() == ErrorCode::kNotFound) return;  // stream closed
+      }
+      // Sleep the interval in 1 ms slices so stop_heartbeats is prompt.
+      auto remaining = interval;
+      while (remaining.count() > 0 &&
+             !hb_stop_.load(std::memory_order_acquire)) {
+        const auto slice = remaining < std::chrono::milliseconds(1)
+                               ? remaining
+                               : std::chrono::nanoseconds(
+                                     std::chrono::milliseconds(1));
+        std::this_thread::sleep_for(slice);
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void StreamReader::stop_heartbeats() {
+  hb_stop_.store(true, std::memory_order_release);
+  if (hb_thread_.joinable()) hb_thread_.join();
+}
+
+void StreamReader::pause_heartbeats_for(std::chrono::nanoseconds d) {
+  hb_pause_until_ns_.store(
+      metrics::now_ns() + static_cast<std::uint64_t>(d.count()),
+      std::memory_order_release);
+}
+
+Status StreamReader::leave() {
+  if (!membership_ || bp_) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "leave requires stream mode with membership enabled");
+  }
+  if (in_step_) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "leave with an open step (drain it first)");
+  }
+  if (rank_ == Program::kCoordinator) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "the coordinator rank cannot leave");
+  }
+  if (left_ || crashed_ || closed_) return Status::ok();
+  stop_heartbeats();
+  FLEXIO_RETURN_IF_ERROR(rt_->directory().leave_member(spec_.stream, rank_));
+  program_->deactivate(rank_);
+  endpoint_.reset();
+  left_ = true;
+  closed_ = true;
+  return Status::ok();
+}
+
+void StreamReader::simulate_crash() {
+  stop_heartbeats();
+  crashed_ = true;
+  closed_ = true;
+  // Destroying the endpoint tears down every inbound link, so senders
+  // observe receiver-gone fast-fails -- but the directory is *not* told:
+  // the failure detector has to notice the missing heartbeats, exactly as
+  // with a real crash.
+  endpoint_.reset();
+}
+
+void StreamReader::apply_membership(std::uint64_t announce_epoch) {
+  // Prefer the view the writer shipped ahead of the announce (it is the
+  // exact view behind the announce's epoch); fall back to the directory.
+  std::vector<wire::MemberInfo> members;
+  if (pending_membership_) {
+    members = std::move(pending_membership_->members);
+    pending_membership_.reset();
+  } else {
+    const evpath::MembershipView view =
+        rt_->directory().membership(spec_.stream);
+    for (const evpath::Member& m : view.members) {
+      members.push_back(wire::MemberInfo{
+          m.rank, m.contact, m.incarnation,
+          static_cast<std::uint8_t>(m.state), m.join_epoch});
+    }
+  }
+  for (const wire::MemberInfo& m : members) {
+    if (m.rank == Program::kCoordinator) continue;
+    if (m.state == 0 && m.join_epoch <= announce_epoch) {
+      // Admit: the writer planned this epoch with the joiner in view, so
+      // it is safe to include it in the collective rounds from here on.
+      // admit() also records the epoch so a late joiner's admission gate
+      // distinguishes this view from ones predating its join.
+      if (applied_inc_) {
+        std::lock_guard<std::mutex> lock(applied_inc_->mutex);
+        applied_inc_->inc[m.rank] = m.incarnation;
+      }
+      program_->admit(m.rank, announce_epoch);
+    } else if (m.state != 0 && program_->is_active(m.rank)) {
+      program_->deactivate(m.rank);
+    }
+  }
 }
 
 Status StreamReader::next_control(std::vector<std::byte>* out) {
@@ -218,10 +448,19 @@ StatusOr<StepId> StreamReader::begin_step_stream() {
       if (!st.is_ok()) return st;
       auto type = wire::peek_type(ByteView(frame));
       if (!type.is_ok()) return type.status();
-      if (type.value() == wire::MsgType::kMonitorReport) {
-        auto report = wire::decode_monitor_report(ByteView(frame));
-        if (!report.is_ok()) return report.status();
-        writer_report_ = report.value();
+      while (type.value() == wire::MsgType::kMonitorReport ||
+             type.value() == wire::MsgType::kMembershipUpdate) {
+        if (type.value() == wire::MsgType::kMonitorReport) {
+          auto report = wire::decode_monitor_report(ByteView(frame));
+          if (!report.is_ok()) return report.status();
+          writer_report_ = report.value();
+        } else {
+          // Membership view shipped ahead of an epoch-changed announce;
+          // applied when the announce itself is processed below.
+          auto upd = wire::decode_membership_update(ByteView(frame));
+          if (!upd.is_ok()) return upd.status();
+          pending_membership_ = std::move(upd).value();
+        }
         st = next_control(&frame);
         if (!st.is_ok()) return st;
         type = wire::peek_type(ByteView(frame));
@@ -241,8 +480,18 @@ StatusOr<StepId> StreamReader::begin_step_stream() {
       }
     } else {
       // Fully cached handshake: the next step is identified by the first
-      // data message to arrive (or the close frame).
-      for (;;) {
+      // data message to arrive (or the close frame). A real StepAnnounce
+      // arriving here means the writer forced a re-exchange (membership
+      // epoch change); it takes precedence over pacing by data -- and it
+      // cannot race data for its own step, because the writers only send
+      // once this rank's coordinator has answered the announce.
+      bool have_frame = false;
+      while (!have_frame) {
+        if (!control_stash_.empty()) {
+          frame = std::move(control_stash_.front());
+          control_stash_.pop_front();
+          break;
+        }
         StepId next = -1;
         for (const wire::DataMsg& m : stash_) {
           if (m.step > step_ && (next < 0 || m.step < next)) next = m.step;
@@ -285,10 +534,33 @@ StatusOr<StepId> StreamReader::begin_step_stream() {
             writer_report_ = report.value();
             break;
           }
+          case wire::MsgType::kStepAnnounce:
+            frame = std::move(msg.payload);
+            have_frame = true;
+            break;
+          case wire::MsgType::kMembershipUpdate: {
+            auto upd = wire::decode_membership_update(ByteView(msg.payload));
+            if (!upd.is_ok()) return upd.status();
+            pending_membership_ = std::move(upd).value();
+            break;
+          }
           default:
             return make_error(ErrorCode::kInternal,
                               "unexpected frame while pacing cached steps");
         }
+      }
+    }
+  }
+  if (membership_ && rank_ == Program::kCoordinator) {
+    // Apply membership changes *before* the broadcast, so the round forms
+    // over exactly the ranks the announce's epoch covers: joiners are
+    // admitted (waking their await_admission) and the departed excised.
+    auto ft = wire::peek_type(ByteView(frame));
+    if (ft.is_ok() && ft.value() == wire::MsgType::kStepAnnounce) {
+      auto ann = wire::decode_step_announce(ByteView(frame));
+      if (!ann.is_ok()) return ann.status();
+      if (ann.value().membership_epoch) {
+        apply_membership(*ann.value().membership_epoch);
       }
     }
   }
@@ -309,6 +581,8 @@ StatusOr<StepId> StreamReader::begin_step_stream() {
   auto ann = wire::decode_step_announce(ByteView(frame));
   if (!ann.is_ok()) return ann.status();
   step_ = ann.value().step;
+  have_announce_epoch_ = ann.value().membership_epoch.has_value();
+  if (have_announce_epoch_) announce_epoch_ = *ann.value().membership_epoch;
   have_announce_ctx_ = false;
   if (ann.value().trace) {
     announce_ctx_ = *ann.value().trace;
@@ -323,6 +597,10 @@ StatusOr<StepId> StreamReader::begin_step_stream() {
 }
 
 StatusOr<StepId> StreamReader::begin_step() {
+  if (fenced()) {
+    return make_error(ErrorCode::kUnavailable,
+                      "rank fenced: declared dead by the directory");
+  }
   if (closed_) {
     return make_error(ErrorCode::kFailedPrecondition, "reader closed");
   }
@@ -509,8 +787,13 @@ Status StreamReader::perform_reads_stream() {
   trace::StepScope step_scope(stream_id_, step_,
                               have_announce_ctx_ ? announce_ctx_.span_id : 0);
   trace::Span span("reader.perform_reads");
-  const bool do_exchange =
-      steps_completed_ == 0 || caching_ != xml::CachingLevel::kAll;
+  // An announce stamped with an epoch other than the one the cached
+  // handshake was exchanged under invalidates the cache: re-exchange and
+  // re-plan even when CACHING_ALL would skip it.
+  const bool epoch_changed = membership_ && have_announce_epoch_ &&
+                             announce_epoch_ != cached_epoch_;
+  const bool do_exchange = steps_completed_ == 0 ||
+                           caching_ != xml::CachingLevel::kAll || epoch_changed;
 
   // Assemble this rank's request.
   wire::ReadRequest mine;
@@ -534,6 +817,7 @@ Status StreamReader::perform_reads_stream() {
       wire::ReadRequest merged;
       merged.step = step_;
       for (const auto& raw : all) {
+        if (raw.empty()) continue;  // inactive rank slot (elastic gather)
         auto part = wire::decode_read_request(ByteView(raw));
         if (!part.is_ok()) return part.status();
         for (auto& s : part.value().selections) {
@@ -547,6 +831,12 @@ Status StreamReader::perform_reads_stream() {
       pending_plugins_.clear();
       merged.trace = wire::TraceContext{stream_id_, step_, span.id(),
                                         metrics::now_ns()};
+      // Echo the announce's epoch: the collective agreement point. The
+      // writer adopts it as the epoch its fresh handshake state is valid
+      // for; every reader rank picks it up from the broadcast below.
+      if (membership_ && have_announce_epoch_) {
+        merged.membership_epoch = announce_epoch_;
+      }
       merged_raw = wire::encode(merged);
       // Step 2: ship the reader-side distribution to the writer side.
       FLEXIO_RETURN_IF_ERROR(
@@ -558,6 +848,9 @@ Status StreamReader::perform_reads_stream() {
     if (!merged.is_ok()) return merged.status();
     cached_request_ = std::move(merged).value();
     have_cached_request_ = true;
+    if (cached_request_.membership_epoch) {
+      cached_epoch_ = *cached_request_.membership_epoch;
+    }
     monitor_.add_count("handshake.performed", 1);
     handshakes_performed_counter().inc();
 
@@ -706,6 +999,14 @@ Status StreamReader::perform_reads_stream() {
         // of this step's data on other links. Keep it for begin_step.
         control_stash_.push_back(std::move(msg.payload));
         break;
+      case wire::MsgType::kMembershipUpdate: {
+        // Rode ahead of a future epoch-changed announce; hold it for the
+        // begin_step that consumes that announce.
+        auto upd = wire::decode_membership_update(ByteView(msg.payload));
+        if (!upd.is_ok()) return upd.status();
+        pending_membership_ = std::move(upd).value();
+        break;
+      }
       default:
         return make_error(ErrorCode::kInternal,
                           "unexpected control frame during perform_reads");
@@ -735,6 +1036,10 @@ Status StreamReader::perform_reads_stream() {
 }
 
 Status StreamReader::perform_reads() {
+  if (fenced()) {
+    return make_error(ErrorCode::kUnavailable,
+                      "rank fenced: declared dead by the directory");
+  }
   if (!in_step_) {
     return make_error(ErrorCode::kFailedPrecondition,
                       "perform_reads outside step");
@@ -845,7 +1150,20 @@ Status StreamReader::end_step() {
 }
 
 Status StreamReader::close() {
+  if (closed_) {
+    stop_heartbeats();  // idempotent; covers leave()/simulate_crash() paths
+    return Status::ok();
+  }
   closed_ = true;
+  if (membership_ && !bp_) {
+    stop_heartbeats();
+    if (rank_ == Program::kCoordinator) program_->set_liveness_hook(nullptr);
+    if (!eos_delivered_ && !left_ && !crashed_ && !fenced()) {
+      // Closing mid-stream is a graceful departure. After EOS the group is
+      // being retired with the stream; no leave to announce.
+      (void)rt_->directory().leave_member(spec_.stream, rank_);
+    }
+  }
   return Status::ok();
 }
 

@@ -7,10 +7,13 @@
 // placement. All ranks of the reader program call collectively.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "adios/bp_file.h"
@@ -84,6 +87,32 @@ class StreamReader {
   Status end_step();
   Status close();
 
+  // --- elastic membership (stream mode with directory liveness on) ------
+
+  /// Gracefully depart the stream at a step boundary: the current step must
+  /// be drained (no step open). Announces the leave to the directory,
+  /// removes this rank from the program's collectives, and tears the
+  /// endpoint down. Non-coordinator ranks only. The reader is closed after.
+  Status leave();
+
+  /// Test hook: die abruptly. Heartbeats stop, the endpoint (and with it
+  /// every inbound link) is destroyed, but the directory is *not* told --
+  /// the failure detector has to notice via TTL expiry, exactly as with a
+  /// real crash.
+  void simulate_crash();
+
+  /// Test hook: suppress heartbeats for `d` from now, simulating a stalled
+  /// or partitioned rank without killing it.
+  void pause_heartbeats_for(std::chrono::nanoseconds d);
+
+  /// True once the directory fenced this rank (declared it dead while it
+  /// was merely slow). A fenced rank must stop participating; step entry
+  /// points return kUnavailable.
+  bool fenced() const { return fenced_.load(std::memory_order_acquire); }
+
+  /// This rank's membership incarnation (0 when membership is off).
+  std::uint64_t incarnation() const { return incarnation_; }
+
   bool file_mode() const { return bp_ != nullptr; }
   int num_writers() const { return writer_size_; }
 
@@ -101,8 +130,16 @@ class StreamReader {
   StreamReader() = default;
 
   Status open(Runtime* rt, const StreamSpec& spec);
+  Status open_late_join(Runtime* rt);
   StatusOr<StepId> begin_step_stream();
   StatusOr<StepId> begin_step_file();
+  void start_heartbeats();
+  void stop_heartbeats();
+  /// Coordinator, before broadcasting an epoch-stamped announce: admit
+  /// joiners whose join_epoch the announce covers and excise the departed,
+  /// from the writer's shipped view (pending_membership_) or, failing
+  /// that, the directory's.
+  void apply_membership(std::uint64_t announce_epoch);
   Status perform_reads_stream();
   Status perform_reads_file();
   /// Coordinator helper: receive the next control message from the writer
@@ -162,6 +199,36 @@ class StreamReader {
   wire::ReadRequest cached_request_;
   bool have_cached_request_ = false;
   std::vector<TransferPiece> cached_expected_;  // pieces destined to me
+
+  // Elastic membership. cached_epoch_ is the epoch the cached handshake
+  // was exchanged under; an announce stamped with a different epoch forces
+  // the exchange even under CACHING_ALL. The heartbeat thread beats at
+  // TTL/4 and latches fenced_ if the directory rejects a beat (this rank
+  // was declared dead while merely slow).
+  bool membership_ = false;
+  std::uint64_t incarnation_ = 0;
+  std::uint64_t join_epoch_ = 0;
+  std::uint64_t cached_epoch_ = 0;
+  std::uint64_t announce_epoch_ = 0;
+  bool have_announce_epoch_ = false;
+  bool left_ = false;
+  bool crashed_ = false;
+  std::atomic<bool> fenced_{false};
+  std::optional<wire::MembershipUpdate> pending_membership_;  // coordinator
+  /// Coordinator only, shared with the liveness hook (which runs on any
+  /// blocked rank's thread): the incarnation of each rank the collective
+  /// rounds were last formed with. A directory incarnation newer than the
+  /// applied one means the old participant is gone even though the rank
+  /// reads as alive -- its respawn landed inside one sweep window -- and
+  /// must be excised until the joiner is admitted.
+  struct AppliedIncarnations {
+    std::mutex mutex;
+    std::map<int, std::uint64_t> inc;
+  };
+  std::shared_ptr<AppliedIncarnations> applied_inc_;
+  std::thread hb_thread_;
+  std::atomic<bool> hb_stop_{false};
+  std::atomic<std::uint64_t> hb_pause_until_ns_{0};
 
   // Early-arrival stashes: data messages for future steps, and control
   // frames (the next StepAnnounce can overtake the tail of the current

@@ -1,6 +1,7 @@
 #include "core/stream_writer.h"
 
 #include <cstring>
+#include <thread>
 
 #include "util/log.h"
 #include "util/metrics.h"
@@ -35,6 +36,13 @@ metrics::Counter& plan_cache_hits_counter() {
 }
 metrics::Counter& plan_cache_misses_counter() {
   static metrics::Counter& c = metrics::counter("flexio.plan.cache_misses");
+  return c;
+}
+// Pieces planned for a reader that turned out to be gone (left, dead, or
+// declared gone mid-send). Dropped, never retried: the next epoch-changed
+// handshake re-plans the step over the survivors.
+metrics::Counter& dropped_pieces_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.membership.dropped_pieces");
   return c;
 }
 // Per-step phase attribution (Section II.G): time the writer spends
@@ -89,10 +97,20 @@ Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
   if (!ep.is_ok()) return ep.status();
   endpoint_ = std::move(ep).value();
 
+  membership_ = rt->directory().membership_enabled();
+
   std::vector<std::byte> reader_info;
   if (rank_ == Program::kCoordinator) {
-    FLEXIO_RETURN_IF_ERROR(
-        rt->directory().register_stream(spec.stream, endpoint_->name()));
+    // Register with the open-info blob a late joiner bootstraps from: the
+    // same fields the OpenReply would carry, known before any reader calls.
+    wire::OpenReply info;
+    info.writer_program = program_->name();
+    info.writer_size = program_->size();
+    info.caching = static_cast<std::uint8_t>(spec.method.caching);
+    info.batching = spec.method.batching;
+    info.async_writes = spec.method.async_writes;
+    FLEXIO_RETURN_IF_ERROR(rt->directory().register_stream(
+        spec.stream, endpoint_->name(), wire::encode(info)));
     // Wait for the reader coordinator's OpenRequest.
     evpath::Message msg;
     FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
@@ -214,9 +232,42 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
   const CachingLevel caching = spec_.method.caching;
   const bool first = steps_completed_ == 0;
 
+  // Membership: the coordinator reads the directory's view once per step
+  // and broadcasts it, so every writer rank observes the *same* epoch (a
+  // per-rank read could straddle a change and split the collective). A
+  // step epoch that differs from the one the cached handshake was
+  // exchanged under forces the full re-exchange below, whatever the
+  // caching level says.
+  std::uint64_t step_epoch = 0;
+  bool epoch_changed = false;
+  if (membership_) {
+    std::vector<std::byte> view_raw;
+    if (rank_ == Program::kCoordinator) {
+      const evpath::MembershipView view =
+          rt_->directory().membership(spec_.stream);
+      wire::MembershipUpdate upd;
+      upd.stream = spec_.stream;
+      upd.epoch = view.epoch;
+      for (const evpath::Member& m : view.members) {
+        upd.members.push_back(wire::MemberInfo{
+            m.rank, m.contact, m.incarnation,
+            static_cast<std::uint8_t>(m.state), m.join_epoch});
+      }
+      view_raw = wire::encode(upd);
+    }
+    FLEXIO_RETURN_IF_ERROR(program_->broadcast(rank_, &view_raw, timeout_));
+    auto upd = wire::decode_membership_update(ByteView(view_raw));
+    if (!upd.is_ok()) return upd.status();
+    member_update_ = std::move(upd).value();
+    have_members_ = true;
+    step_epoch = member_update_.epoch;
+    epoch_changed = !first && step_epoch != planned_epoch_;
+    if (epoch_changed) monitor_.add_count("membership.replans", 1);
+  }
+
   // Step 1.s: gather local distributions at the coordinator, unless the
   // local side is cached (CACHING_LOCAL and CACHING_ALL skip it).
-  const bool do_gather = first || caching == CachingLevel::kNone;
+  const bool do_gather = first || epoch_changed || caching == CachingLevel::kNone;
   if (do_gather) {
     PerfMonitor::ScopedTimer t(&monitor_, "handshake.gather");
     wire::StepAnnounce mine;
@@ -228,6 +279,7 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
     if (rank_ == Program::kCoordinator) {
       cached_all_blocks_.clear();
       for (const auto& raw : all) {
+        if (raw.empty()) continue;  // inactive rank slot (elastic gather)
         auto ann = wire::decode_step_announce(ByteView(raw));
         if (!ann.is_ok()) return ann.status();
         for (auto& b : ann.value().blocks) {
@@ -239,18 +291,28 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
     monitor_.add_count("handshake.gather_skipped", 1);
   }
 
-  // Steps 2+3: exchange with the peer side, unless fully cached.
-  const bool do_exchange = first || caching != CachingLevel::kAll;
+  // Steps 2+3: exchange with the peer side, unless fully cached. An epoch
+  // change always re-exchanges: the merged request must be rebuilt from
+  // the surviving readers and the joiners.
+  const bool do_exchange = first || epoch_changed || caching != CachingLevel::kAll;
   *did_exchange = do_exchange;
   if (do_exchange) {
     PerfMonitor::ScopedTimer t(&monitor_, "handshake.exchange");
     std::vector<std::byte> request_raw;
     if (rank_ == Program::kCoordinator) {
+      if (epoch_changed) {
+        // Ship the view behind the new epoch ahead of the announce (same
+        // FIFO link), so the reader coordinator can admit joiners and
+        // excise the departed without consulting the directory itself.
+        FLEXIO_RETURN_IF_ERROR(endpoint_->send(
+            reader_coord_, ByteView(wire::encode(member_update_))));
+      }
       wire::StepAnnounce ann;
       ann.step = step_;
       ann.blocks = cached_all_blocks_;
       ann.trace = wire::TraceContext{stream_id_, step_, step_span_id_,
                                      metrics::now_ns()};
+      if (membership_) ann.membership_epoch = step_epoch;
       FLEXIO_RETURN_IF_ERROR(
           endpoint_->send(reader_coord_, ByteView(wire::encode(ann))));
       evpath::Message msg;
@@ -270,6 +332,11 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
     if (!req.is_ok()) return req.status();
     cached_request_ = std::move(req).value();
     have_cached_request_ = true;
+    if (membership_) {
+      // The reader echoes the announce's epoch back: the collective
+      // agreement point. The new handshake state is valid for that epoch.
+      planned_epoch_ = cached_request_.membership_epoch.value_or(step_epoch);
+    }
     // Pair our receive clock with the reader's send clock; the merge tool
     // estimates the cross-process offset from these samples. Coordinator
     // only: other ranks see the request after a broadcast delay.
@@ -372,6 +439,24 @@ Status StreamWriter::send_pieces() {
   for (const auto& [reader, planned] : cached_plan_) {
     const std::string dest =
         Runtime::endpoint_name(spec_.stream, reader_program_, reader);
+    if (membership_ && have_members_) {
+      const wire::MemberInfo* mi = member_info(reader);
+      if (mi == nullptr || mi->state != 0) {
+        // The plan predates this rank's departure (it can only be stale by
+        // part of a step: the next epoch-changed handshake re-plans over
+        // the survivors). Drop its pieces instead of stalling the step.
+        dropped_pieces_counter().add(planned.size());
+        monitor_.add_count("membership.pieces_dropped", planned.size());
+        continue;
+      }
+      const auto it = link_incarnation_.find(reader);
+      if (it != link_incarnation_.end() && it->second != mi->incarnation) {
+        // The rank respawned under the same name: the cached link points
+        // at the dead incarnation's transport state.
+        endpoint_->drop_link(dest);
+      }
+      link_incarnation_[reader] = mi->incarnation;
+    }
     std::vector<wire::DataPiece> packed;
     packed.reserve(planned.size());
     for (const PlannedPiece& pp : planned) {
@@ -428,15 +513,32 @@ Status StreamWriter::send_pieces() {
       enqueue_ns += metrics::now_ns() - enqueue_start;
       return st;
     };
+    Status sent = Status::ok();
     if (spec_.method.batching) {
-      FLEXIO_RETURN_IF_ERROR(send_batch(std::move(packed)));
-      monitor_.add_count("msgs.batched", 1);
+      sent = send_batch(std::move(packed));
+      if (sent.is_ok()) monitor_.add_count("msgs.batched", 1);
     } else {
       for (auto& piece : packed) {
         std::vector<wire::DataPiece> one;
         one.push_back(std::move(piece));
-        FLEXIO_RETURN_IF_ERROR(send_batch(std::move(one)));
+        sent = send_batch(std::move(one));
+        if (!sent.is_ok()) break;
       }
+    }
+    if (!sent.is_ok()) {
+      // A reader that dies mid-step takes its links down with it; the
+      // transports fast-fail instead of wedging the writer. Tolerate the
+      // loss only once the failure detector corroborates it -- anything
+      // else is a real transport error.
+      const bool reader_loss = sent.code() == ErrorCode::kUnavailable ||
+                               sent.code() == ErrorCode::kNotFound ||
+                               sent.code() == ErrorCode::kTimeout;
+      if (!membership_ || !reader_loss || !confirm_reader_gone(reader)) {
+        return sent;
+      }
+      endpoint_->drop_link(dest);
+      dropped_pieces_counter().add(planned.size());
+      monitor_.add_count("membership.pieces_dropped", planned.size());
     }
   }
   step_pack_hist().record(pack_ns);
@@ -444,6 +546,35 @@ Status StreamWriter::send_pieces() {
   monitor_.add_count("phase.pack_ns", pack_ns);
   monitor_.add_count("phase.enqueue_ns", enqueue_ns);
   return Status::ok();
+}
+
+const wire::MemberInfo* StreamWriter::member_info(int reader_rank) const {
+  if (!have_members_) return nullptr;
+  for (const wire::MemberInfo& m : member_update_.members) {
+    if (m.rank == reader_rank) return &m;
+  }
+  return nullptr;
+}
+
+bool StreamWriter::confirm_reader_gone(int reader_rank) {
+  // The step was planned while the rank was still alive, then a send to it
+  // failed. Its heartbeats stop with it, so within ~TTL the directory
+  // declares it dead (or its graceful leave / respawn has already landed).
+  const auto ttl = rt_->directory().membership_options().ttl;
+  const auto deadline = std::chrono::steady_clock::now() + 2 * ttl +
+                        std::chrono::milliseconds(200);
+  const auto it = link_incarnation_.find(reader_rank);
+  for (;;) {
+    const evpath::MembershipView view =
+        rt_->directory().membership(spec_.stream);
+    const evpath::Member* m = view.find(reader_rank);
+    if (m == nullptr || m->state != evpath::MemberState::kAlive ||
+        (it != link_incarnation_.end() && m->incarnation != it->second)) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 Status StreamWriter::end_step_stream() {
@@ -502,6 +633,12 @@ Status StreamWriter::close() {
   // RDMA link blocks until every in-flight rendezvous transfer has been
   // fetched and acked by its reader (Section II.E buffer ownership).
   for (int r = 0; r < reader_size_; ++r) {
+    if (membership_ && have_members_) {
+      // Departed ranks have nothing left to drain (their pieces were
+      // dropped); their links would only fast-fail.
+      const wire::MemberInfo* mi = member_info(r);
+      if (mi == nullptr || mi->state != 0) continue;
+    }
     const Status st = endpoint_->close_to(
         Runtime::endpoint_name(spec_.stream, reader_program_, r));
     // kNotFound: we never sent to that rank. kUnavailable: the reader is

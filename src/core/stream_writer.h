@@ -71,6 +71,13 @@ class StreamWriter {
   void rebuild_send_plan();
   bool plan_bindings_valid() const;
   wire::MonitorReport build_report() const;
+  /// Membership record for a reader rank (nullptr when membership is off or
+  /// the rank never joined).
+  const wire::MemberInfo* member_info(int reader_rank) const;
+  /// A data send to `reader_rank` failed mid-step. Poll the directory
+  /// (bounded by ~2x TTL) until it corroborates the loss; true means the
+  /// reader is declared gone and its remaining pieces may be dropped.
+  bool confirm_reader_gone(int reader_rank);
 
   Runtime* rt_ = nullptr;
   StreamSpec spec_;
@@ -83,6 +90,20 @@ class StreamWriter {
   std::string reader_program_;
   int reader_size_ = 0;
   std::string reader_coord_;  // endpoint name of reader rank 0
+
+  // Elastic membership (DESIGN.md "Elastic membership"). The coordinator
+  // reads the directory's view once per step and broadcasts it, so every
+  // writer rank gates its sends against the same epoch. planned_epoch_ is
+  // the epoch the cached handshake (and thus the send plan) was exchanged
+  // under; a differing step epoch forces a re-exchange even when the
+  // caching level would skip it.
+  bool membership_ = false;
+  std::uint64_t planned_epoch_ = 0;
+  wire::MembershipUpdate member_update_;
+  bool have_members_ = false;
+  // Incarnation each reader's cached link was established against; a bump
+  // means the rank respawned and the stale link must be dropped.
+  std::map<int, std::uint64_t> link_incarnation_;
 
   // Step state.
   bool in_step_ = false;

@@ -23,11 +23,15 @@ Status get_box(BufReader* r, adios::Box* box) {
   return Status::ok();
 }
 
-// Trace-context trailer: appended after a message's regular fields. A
-// decoder that reaches the trailer position with no bytes left is looking
-// at an old-format frame and reports "no context"; an unknown trailer
-// version is skipped wholesale (forward compatibility).
+// Versioned trailer chain appended after a message's regular fields. Each
+// trailer starts with a one-byte version tag; decoders read known trailers
+// in any order and skip the rest of the frame at the first unknown tag
+// (forward compatibility). A decoder that reaches the trailer position with
+// no bytes left is looking at an old-format frame and reports "absent" for
+// every trailer, so seed-format frames keep parsing (pinned by
+// tests/core_test.cpp and tests/serial_test.cpp).
 constexpr std::uint8_t kTraceTrailerV1 = 1;
+constexpr std::uint8_t kMembershipTrailerV2 = 2;
 
 void put_trace_trailer(BufWriter* w, const std::optional<TraceContext>& t) {
   if (!t) return;
@@ -38,22 +42,43 @@ void put_trace_trailer(BufWriter* w, const std::optional<TraceContext>& t) {
   w->put_varint(t->send_ns);
 }
 
-Status get_trace_trailer(BufReader* r, std::optional<TraceContext>* out) {
-  out->reset();
-  if (r->at_end()) return Status::ok();
-  std::uint8_t version = 0;
-  FLEXIO_RETURN_IF_ERROR(r->get_u8(&version));
-  if (version != kTraceTrailerV1) {
-    ByteView rest;
-    return r->get_view(r->remaining(), &rest);  // skip unknown trailer
+void put_trailers(BufWriter* w, const std::optional<TraceContext>& t,
+                  const std::optional<std::uint64_t>& epoch) {
+  put_trace_trailer(w, t);
+  if (epoch) {
+    w->put_u8(kMembershipTrailerV2);
+    w->put_varint(*epoch);
   }
-  TraceContext t;
-  FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.stream_id));
-  FLEXIO_RETURN_IF_ERROR(r->get_i64(&t.step));
-  FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.span_id));
-  FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.send_ns));
-  *out = t;
+}
+
+Status get_trailers(BufReader* r, std::optional<TraceContext>* trace,
+                    std::optional<std::uint64_t>* epoch) {
+  trace->reset();
+  if (epoch != nullptr) epoch->reset();
+  while (!r->at_end()) {
+    std::uint8_t version = 0;
+    FLEXIO_RETURN_IF_ERROR(r->get_u8(&version));
+    if (version == kTraceTrailerV1) {
+      TraceContext t;
+      FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.stream_id));
+      FLEXIO_RETURN_IF_ERROR(r->get_i64(&t.step));
+      FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.span_id));
+      FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.send_ns));
+      *trace = t;
+    } else if (version == kMembershipTrailerV2 && epoch != nullptr) {
+      std::uint64_t e = 0;
+      FLEXIO_RETURN_IF_ERROR(r->get_varint(&e));
+      *epoch = e;
+    } else {
+      ByteView rest;
+      return r->get_view(r->remaining(), &rest);  // skip unknown trailers
+    }
+  }
   return Status::ok();
+}
+
+Status get_trace_trailer(BufReader* r, std::optional<TraceContext>* out) {
+  return get_trailers(r, out, nullptr);
 }
 
 Status expect_type(BufReader* r, MsgType want) {
@@ -84,7 +109,7 @@ StatusOr<MsgType> peek_type(ByteView raw) {
   }
   const auto tag = static_cast<std::uint8_t>(raw[0]);
   if (tag < static_cast<std::uint8_t>(MsgType::kOpenRequest) ||
-      tag > static_cast<std::uint8_t>(MsgType::kMonitorReport)) {
+      tag > static_cast<std::uint8_t>(MsgType::kMembershipUpdate)) {
     return make_error(ErrorCode::kInvalidArgument, "unknown message type");
   }
   return static_cast<MsgType>(tag);
@@ -147,7 +172,7 @@ std::vector<std::byte> encode(const StepAnnounce& m) {
     b.meta.encode(&w);
     w.put_bytes(ByteView(b.scalar_payload));
   }
-  put_trace_trailer(&w, m.trace);
+  put_trailers(&w, m.trace, m.membership_epoch);
   return w.take();
 }
 
@@ -172,7 +197,7 @@ StatusOr<StepAnnounce> decode_step_announce(ByteView raw) {
     b.scalar_payload.assign(payload.begin(), payload.end());
     m.blocks.push_back(std::move(b));
   }
-  FLEXIO_RETURN_IF_ERROR(get_trace_trailer(&r, &m.trace));
+  FLEXIO_RETURN_IF_ERROR(get_trailers(&r, &m.trace, &m.membership_epoch));
   return m;
 }
 
@@ -197,7 +222,7 @@ std::vector<std::byte> encode(const ReadRequest& m) {
     w.put_string(p.source);
     w.put_u8(p.run_at_writer ? 1 : 0);
   }
-  put_trace_trailer(&w, m.trace);
+  put_trailers(&w, m.trace, m.membership_epoch);
   return w.take();
 }
 
@@ -240,7 +265,7 @@ StatusOr<ReadRequest> decode_read_request(ByteView raw) {
     p.run_at_writer = at_writer != 0;
     m.plugins.push_back(std::move(p));
   }
-  FLEXIO_RETURN_IF_ERROR(get_trace_trailer(&r, &m.trace));
+  FLEXIO_RETURN_IF_ERROR(get_trailers(&r, &m.trace, &m.membership_epoch));
   return m;
 }
 
@@ -371,6 +396,72 @@ StatusOr<MonitorReport> decode_monitor_report(ByteView raw) {
       FLEXIO_RETURN_IF_ERROR(r.get_u64(&m.phase_steps));
     }
   }
+  return m;
+}
+
+std::vector<std::byte> encode(const MembershipUpdate& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kMembershipUpdate));
+  w.put_string(m.stream);
+  w.put_varint(m.epoch);
+  w.put_varint(m.members.size());
+  for (const MemberInfo& mi : m.members) {
+    w.put_varint(static_cast<std::uint64_t>(mi.rank));
+    w.put_string(mi.contact);
+    w.put_varint(mi.incarnation);
+    w.put_u8(mi.state);
+    w.put_varint(mi.join_epoch);
+  }
+  put_trace_trailer(&w, m.trace);
+  return w.take();
+}
+
+StatusOr<MembershipUpdate> decode_membership_update(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kMembershipUpdate));
+  MembershipUpdate m;
+  FLEXIO_RETURN_IF_ERROR(r.get_string(&m.stream));
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&m.epoch));
+  std::uint64_t n = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&n));
+  m.members.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MemberInfo mi;
+    std::uint64_t rank = 0;
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&rank));
+    mi.rank = static_cast<int>(rank);
+    FLEXIO_RETURN_IF_ERROR(r.get_string(&mi.contact));
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&mi.incarnation));
+    FLEXIO_RETURN_IF_ERROR(r.get_u8(&mi.state));
+    FLEXIO_RETURN_IF_ERROR(r.get_varint(&mi.join_epoch));
+    m.members.push_back(std::move(mi));
+  }
+  FLEXIO_RETURN_IF_ERROR(get_trace_trailer(&r, &m.trace));
+  return m;
+}
+
+std::vector<std::byte> encode(const Heartbeat& m) {
+  BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kHeartbeat));
+  w.put_string(m.stream);
+  w.put_varint(static_cast<std::uint64_t>(m.rank));
+  w.put_varint(m.incarnation);
+  w.put_varint(m.send_ns);
+  put_trace_trailer(&w, m.trace);
+  return w.take();
+}
+
+StatusOr<Heartbeat> decode_heartbeat(ByteView raw) {
+  BufReader r{raw};
+  FLEXIO_RETURN_IF_ERROR(expect_type(&r, MsgType::kHeartbeat));
+  Heartbeat m;
+  FLEXIO_RETURN_IF_ERROR(r.get_string(&m.stream));
+  std::uint64_t rank = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&rank));
+  m.rank = static_cast<int>(rank);
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&m.incarnation));
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&m.send_ns));
+  FLEXIO_RETURN_IF_ERROR(get_trace_trailer(&r, &m.trace));
   return m;
 }
 

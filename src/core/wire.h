@@ -31,6 +31,8 @@ enum class MsgType : std::uint8_t {
   kClose = 6,
   kPluginInstall = 7,
   kMonitorReport = 8,
+  kHeartbeat = 9,
+  kMembershipUpdate = 10,
 };
 
 /// Compact trace context stamped into data-plane and handshake frames so
@@ -80,6 +82,11 @@ struct StepAnnounce {
   StepId step = 0;
   std::vector<BlockInfo> blocks;
   std::optional<TraceContext> trace;  // versioned trailer, absent on old frames
+  /// Membership epoch the writer planned this step against (trailer v2,
+  /// absent on pre-membership frames and when liveness is disabled). A
+  /// reader whose cached handshake was exchanged under a different epoch
+  /// must re-exchange.
+  std::optional<std::uint64_t> membership_epoch;
 };
 
 /// One reader rank's selection of a global array.
@@ -112,6 +119,10 @@ struct ReadRequest {
   std::vector<PgRequestInfo> pg_requests;
   std::vector<PluginInstall> plugins;
   std::optional<TraceContext> trace;  // versioned trailer, absent on old frames
+  /// Echo of the announce's membership epoch (trailer v2): the collective
+  /// agreement point -- the writer adopts it as the epoch its cached plan
+  /// is valid for.
+  std::optional<std::uint64_t> membership_epoch;
 };
 
 /// One transferred piece: a region of a global array (region == the
@@ -173,6 +184,39 @@ struct MonitorReport {
   std::uint64_t phase_steps = 0;
 };
 
+/// One member record inside a MembershipUpdate. `state` mirrors
+/// evpath::MemberState (0 alive, 1 left, 2 dead) as a raw byte so the wire
+/// layer stays decoupled from the directory's types.
+struct MemberInfo {
+  int rank = 0;
+  std::string contact;
+  std::uint64_t incarnation = 0;
+  std::uint8_t state = 0;
+  std::uint64_t join_epoch = 0;
+};
+
+/// Writer coordinator -> reader coordinator, sent immediately before a
+/// StepAnnounce whose epoch differs from the previous step's: the
+/// membership view behind the new epoch, so the reader coordinator can
+/// admit joiners and excise the departed without consulting the directory.
+struct MembershipUpdate {
+  std::string stream;
+  std::uint64_t epoch = 0;
+  std::vector<MemberInfo> members;
+  std::optional<TraceContext> trace;
+};
+
+/// Reader rank -> directory: liveness beat for one member incarnation.
+/// Travels as an encoded frame (decoded by the runtime's delivery adapter)
+/// so the directory can move out of process without a protocol change.
+struct Heartbeat {
+  std::string stream;
+  int rank = 0;
+  std::uint64_t incarnation = 0;
+  std::uint64_t send_ns = 0;
+  std::optional<TraceContext> trace;
+};
+
 /// Peek the type tag of an encoded message.
 StatusOr<MsgType> peek_type(ByteView raw);
 
@@ -189,6 +233,8 @@ std::vector<std::byte> encode(const DataMsg& m);
 serial::IovMessage encode_data_iov(const DataMsg& m);
 std::vector<std::byte> encode(const PluginInstall& m);
 std::vector<std::byte> encode(const MonitorReport& m);
+std::vector<std::byte> encode(const MembershipUpdate& m);
+std::vector<std::byte> encode(const Heartbeat& m);
 /// Close carries the final step id so readers that cache handshakes can
 /// tell whether data for earlier steps is still in flight on other links.
 std::vector<std::byte> encode_close(StepId last_step);
@@ -201,5 +247,7 @@ StatusOr<ReadRequest> decode_read_request(ByteView raw);
 StatusOr<DataMsg> decode_data(ByteView raw);
 StatusOr<PluginInstall> decode_plugin_install(ByteView raw);
 StatusOr<MonitorReport> decode_monitor_report(ByteView raw);
+StatusOr<MembershipUpdate> decode_membership_update(ByteView raw);
+StatusOr<Heartbeat> decode_heartbeat(ByteView raw);
 
 }  // namespace flexio::wire

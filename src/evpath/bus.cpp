@@ -54,6 +54,11 @@ Status Endpoint::close_to(const std::string& to) {
   return link->close();
 }
 
+void Endpoint::drop_link(const std::string& to) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  send_links_.erase(to);
+}
+
 Status Endpoint::recv(Message* out, std::chrono::nanoseconds timeout) {
   return recv_from("", out, timeout);
 }

@@ -46,6 +46,12 @@ class Endpoint {
   /// Close the outbound link to a peer (delivers EOS on its side).
   Status close_to(const std::string& to);
 
+  /// Forget the cached outbound link to `to` without closing it (no EOS).
+  /// The next send reconnects from scratch. Used when a peer respawned
+  /// under the same name: the old link points at the dead incarnation's
+  /// transport state. No-op if no link was cached.
+  void drop_link(const std::string& to);
+
   /// Receive the next message from any peer. EOS messages are delivered
   /// once per closed link (out->eos == true), after which the link is
   /// dropped. Times out with kTimeout.

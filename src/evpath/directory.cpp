@@ -1,15 +1,73 @@
 #include "evpath/directory.h"
 
+#include <algorithm>
+
+#include "util/metrics.h"
+
 namespace flexio::evpath {
 
+namespace {
+
+metrics::Counter& joins_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.membership.joins");
+  return c;
+}
+metrics::Counter& leaves_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.membership.leaves");
+  return c;
+}
+metrics::Counter& deaths_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.membership.deaths");
+  return c;
+}
+metrics::Gauge& epoch_gauge() {
+  static metrics::Gauge& g = metrics::gauge("flexio.membership.epoch");
+  return g;
+}
+
+}  // namespace
+
+std::string_view member_state_name(MemberState state) {
+  switch (state) {
+    case MemberState::kAlive:
+      return "alive";
+    case MemberState::kLeft:
+      return "left";
+    case MemberState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+const Member* MembershipView::find(int rank) const {
+  for (const Member& m : members) {
+    if (m.rank == rank) return &m;
+  }
+  return nullptr;
+}
+
+int MembershipView::alive_count() const {
+  int n = 0;
+  for (const Member& m : members) {
+    if (m.state == MemberState::kAlive) ++n;
+  }
+  return n;
+}
+
 Status DirectoryServer::register_stream(const std::string& stream_name,
-                                        const std::string& coordinator_contact) {
+                                        const std::string& coordinator_contact,
+                                        std::vector<std::byte> open_info) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = streams_.emplace(stream_name, coordinator_contact);
   if (!inserted) {
     return make_error(ErrorCode::kAlreadyExists,
                       "stream already registered: " + stream_name);
   }
+  stream_info_[stream_name] = std::move(open_info);
+  // A previous stream of the same name leaves a closed tombstone group;
+  // this is a fresh stream, so its membership starts from scratch.
+  auto git = groups_.find(stream_name);
+  if (git != groups_.end() && git->second.closed) groups_.erase(git);
   ++stats_.registrations;
   cv_.notify_all();
   return Status::ok();
@@ -21,6 +79,15 @@ Status DirectoryServer::unregister_stream(const std::string& stream_name) {
     return make_error(ErrorCode::kNotFound,
                       "stream not registered: " + stream_name);
   }
+  stream_info_.erase(stream_name);
+  // Keep the membership group as a closed tombstone rather than erasing
+  // it: readers drain steps the writer buffered before closing, and their
+  // liveness sweeps must still see (and declare) deaths in that window --
+  // dropping the group here would leave a crashed straggler alive forever
+  // and wedge the survivors' collectives.
+  auto git = groups_.find(stream_name);
+  if (git != groups_.end()) git->second.closed = true;
+  cv_.notify_all();
   return Status::ok();
 }
 
@@ -42,9 +109,195 @@ StatusOr<std::string> DirectoryServer::lookup(const std::string& stream_name,
   return it->second;
 }
 
+StatusOr<std::vector<std::byte>> DirectoryServer::lookup_info(
+    const std::string& stream_name, std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = stream_info_.find(stream_name);
+  if (it == stream_info_.end()) {
+    if (!cv_.wait_for(lock, timeout, [&] {
+          it = stream_info_.find(stream_name);
+          return it != stream_info_.end();
+        })) {
+      return make_error(ErrorCode::kNotFound,
+                        "stream never registered: " + stream_name);
+    }
+  }
+  return it->second;
+}
+
 DirectoryStats DirectoryServer::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void DirectoryServer::set_membership_options(const MembershipOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  membership_options_ = options;
+}
+
+MembershipOptions DirectoryServer::membership_options() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return membership_options_;
+}
+
+bool DirectoryServer::membership_enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return membership_options_.enabled;
+}
+
+void DirectoryServer::sweep_locked(Group& group) {
+  const std::uint64_t now = metrics::now_ns();
+  const std::uint64_t ttl =
+      static_cast<std::uint64_t>(membership_options_.ttl.count());
+  bool changed = false;
+  for (auto& [rank, member] : group.members) {
+    if (member.state != MemberState::kAlive) continue;
+    if (now >= member.last_beat_ns && now - member.last_beat_ns > ttl) {
+      member.state = MemberState::kDead;
+      ++group.epoch;
+      deaths_counter().inc();
+      epoch_gauge().add(1);
+      changed = true;
+    }
+  }
+  if (changed) cv_.notify_all();
+}
+
+StatusOr<Member> DirectoryServer::join_member(const std::string& stream_name,
+                                              int rank,
+                                              const std::string& contact) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!membership_options_.enabled) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "directory membership disabled");
+  }
+  Group& group = groups_[stream_name];
+  if (group.closed) {
+    return make_error(ErrorCode::kNotFound,
+                      "stream closed: " + stream_name);
+  }
+  sweep_locked(group);
+  auto it = group.members.find(rank);
+  std::uint64_t incarnation = 1;
+  if (it != group.members.end()) {
+    if (it->second.state == MemberState::kAlive) {
+      return make_error(ErrorCode::kAlreadyExists,
+                        "member still alive: " + stream_name + " rank " +
+                            std::to_string(rank));
+    }
+    incarnation = it->second.incarnation + 1;
+  }
+  Member member;
+  member.rank = rank;
+  member.contact = contact;
+  member.incarnation = incarnation;
+  member.state = MemberState::kAlive;
+  member.join_epoch = ++group.epoch;
+  member.last_beat_ns = metrics::now_ns();
+  group.members[rank] = member;
+  joins_counter().inc();
+  epoch_gauge().add(1);
+  cv_.notify_all();
+  return member;
+}
+
+Status DirectoryServer::leave_member(const std::string& stream_name, int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto git = groups_.find(stream_name);
+  if (git == groups_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no membership group: " + stream_name);
+  }
+  auto it = git->second.members.find(rank);
+  if (it == git->second.members.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "unknown member: " + stream_name + " rank " +
+                          std::to_string(rank));
+  }
+  if (it->second.state != MemberState::kAlive) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "member not alive: " + stream_name + " rank " +
+                          std::to_string(rank));
+  }
+  it->second.state = MemberState::kLeft;
+  ++git->second.epoch;
+  leaves_counter().inc();
+  epoch_gauge().add(1);
+  cv_.notify_all();
+  return Status::ok();
+}
+
+Status DirectoryServer::heartbeat(const std::string& stream_name, int rank,
+                                  std::uint64_t incarnation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto git = groups_.find(stream_name);
+  if (git == groups_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no membership group: " + stream_name);
+  }
+  sweep_locked(git->second);
+  auto it = git->second.members.find(rank);
+  if (it == git->second.members.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "unknown member: " + stream_name + " rank " +
+                          std::to_string(rank));
+  }
+  // Fencing: a dead or superseded incarnation may not beat itself back to
+  // life; the rank must rejoin under a fresh incarnation.
+  if (it->second.state != MemberState::kAlive ||
+      it->second.incarnation != incarnation) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "member fenced: " + stream_name + " rank " +
+                          std::to_string(rank) + " incarnation " +
+                          std::to_string(incarnation));
+  }
+  it->second.last_beat_ns = metrics::now_ns();
+  return Status::ok();
+}
+
+MembershipView DirectoryServer::membership(const std::string& stream_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MembershipView view;
+  auto git = groups_.find(stream_name);
+  if (git == groups_.end()) return view;
+  sweep_locked(git->second);
+  view.epoch = git->second.epoch;
+  view.members.reserve(git->second.members.size());
+  for (const auto& [rank, member] : git->second.members) {
+    view.members.push_back(member);
+  }
+  return view;
+}
+
+std::uint64_t DirectoryServer::membership_epoch(const std::string& stream_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto git = groups_.find(stream_name);
+  if (git == groups_.end()) return 0;
+  sweep_locked(git->second);
+  return git->second.epoch;
+}
+
+StatusOr<std::uint64_t> DirectoryServer::wait_for_epoch_change(
+    const std::string& stream_name, std::uint64_t last_seen,
+    std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto git = groups_.find(stream_name);
+    if (git != groups_.end()) {
+      sweep_locked(git->second);
+      if (git->second.epoch != last_seen) return git->second.epoch;
+    }
+    // Wake periodically even without joins/leaves so TTL expiry is noticed
+    // (the fake clock can advance without any cv activity).
+    const auto slice = std::min(
+        deadline, std::chrono::steady_clock::now() + std::chrono::milliseconds(5));
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return make_error(ErrorCode::kTimeout,
+                        "membership epoch unchanged: " + stream_name);
+    }
+    cv_.wait_until(lock, slice);
+  }
 }
 
 }  // namespace flexio::evpath

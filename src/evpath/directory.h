@@ -1,4 +1,4 @@
-// Directory server for stream discovery.
+// Directory server for stream discovery and reader-group membership.
 //
 // Before any data moves, simulation and analytics find each other through
 // an external directory server (paper Section II.C.1): the writer's
@@ -6,14 +6,33 @@
 // reader's coordinator looks the name up and connects. The server is only
 // involved in discovery -- it never sits on the data path -- which the
 // monitoring counters here make checkable.
+//
+// On top of discovery the directory now tracks *liveness* for each
+// stream's reader group. Every reader rank joins the group and heartbeats
+// on a fixed interval; the directory lazily sweeps the group on access and
+// declares any member whose last beat is older than the TTL dead. Every
+// join, graceful leave, or declared death bumps the group's monotonically
+// increasing MembershipEpoch -- the single value the stream endpoints
+// compare to decide whether the MxN handshake must be re-exchanged and
+// the redistribution plan rebuilt (see DESIGN.md "Elastic membership").
+// A member that has been declared dead is *fenced*: its further
+// heartbeats are rejected, so a zombie rank cannot resurrect itself; a
+// respawned rank rejoins under a new incarnation number instead.
+//
+// Liveness uses metrics::now_ns(), so tests drive TTL expiry with the
+// fake-clock hook (metrics::set_clock_for_testing). Membership is off by
+// default -- streams opened against a directory that never enabled it
+// behave exactly as before.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstddef>
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -25,14 +44,62 @@ struct DirectoryStats {
   std::uint64_t lookup_waits = 0;  // lookups that had to block for a writer
 };
 
+/// Liveness configuration for all groups served by one directory.
+struct MembershipOptions {
+  /// Master switch. Disabled directories accept no joins or heartbeats and
+  /// streams run with the frozen reader set from the open handshake.
+  bool enabled = false;
+  /// A member whose last heartbeat is older than this is declared dead at
+  /// the next sweep. Readers should beat at ttl/4 or faster.
+  std::chrono::nanoseconds ttl = std::chrono::milliseconds(500);
+};
+
+enum class MemberState : std::uint8_t {
+  kAlive = 0,
+  kLeft = 1,  // graceful departure at a step boundary
+  kDead = 2,  // TTL expired; member is fenced
+};
+
+std::string_view member_state_name(MemberState state);
+
+/// One reader rank's record in a stream's membership group. Dead and left
+/// members stay in the view as tombstones so writers can distinguish "never
+/// existed" from "gone" and so respawns get a fresh incarnation.
+struct Member {
+  int rank = 0;
+  std::string contact;  // endpoint name data should be sent to
+  /// Bumped every time this rank rejoins; senders drop cached links when
+  /// the incarnation behind a contact changes.
+  std::uint64_t incarnation = 0;
+  MemberState state = MemberState::kAlive;
+  /// Epoch at which this incarnation joined. A joiner only participates in
+  /// handshakes stamped with an epoch >= join_epoch.
+  std::uint64_t join_epoch = 0;
+  std::uint64_t last_beat_ns = 0;
+};
+
+/// Atomic snapshot of a group: the epoch plus every member record sorted by
+/// rank. The epoch counts joins + leaves + deaths since the group formed.
+struct MembershipView {
+  std::uint64_t epoch = 0;
+  std::vector<Member> members;
+
+  const Member* find(int rank) const;
+  int alive_count() const;
+};
+
 class DirectoryServer {
  public:
   /// Register a stream name with the writer coordinator's contact (its
-  /// endpoint name). Re-registering a live name fails.
+  /// endpoint name). Re-registering a live name fails. `open_info` is an
+  /// opaque blob (the encoded open reply) a late joiner can bootstrap its
+  /// handshake state from without a live OpenRequest exchange.
   Status register_stream(const std::string& stream_name,
-                         const std::string& coordinator_contact);
+                         const std::string& coordinator_contact,
+                         std::vector<std::byte> open_info = {});
 
-  /// Remove a registration (stream closed).
+  /// Remove a registration (stream closed). Also retires the stream's
+  /// membership group.
   Status unregister_stream(const std::string& stream_name);
 
   /// Look up a stream's coordinator contact, waiting up to `timeout` for a
@@ -40,12 +107,69 @@ class DirectoryServer {
   StatusOr<std::string> lookup(const std::string& stream_name,
                                std::chrono::nanoseconds timeout);
 
+  /// Look up the open-info blob stored at registration (empty if the writer
+  /// registered none). Waits like lookup().
+  StatusOr<std::vector<std::byte>> lookup_info(const std::string& stream_name,
+                                               std::chrono::nanoseconds timeout);
+
   DirectoryStats stats() const;
 
+  // --- membership -------------------------------------------------------
+
+  void set_membership_options(const MembershipOptions& options);
+  MembershipOptions membership_options() const;
+  bool membership_enabled() const;
+
+  /// Join (or rejoin) stream's reader group as `rank`. Bumps the epoch and
+  /// returns the new record (carrying incarnation and join_epoch). Joining
+  /// while a previous incarnation of the rank is still alive fails with
+  /// kAlreadyExists -- a respawner retries until the old incarnation is
+  /// swept dead or leaves.
+  StatusOr<Member> join_member(const std::string& stream_name, int rank,
+                               const std::string& contact);
+
+  /// Graceful departure; the caller must have drained its current step.
+  /// Bumps the epoch.
+  Status leave_member(const std::string& stream_name, int rank);
+
+  /// Record a heartbeat for (rank, incarnation). kNotFound if the member is
+  /// unknown; kFailedPrecondition if it was declared dead or superseded
+  /// (fenced) -- the caller must stop participating.
+  Status heartbeat(const std::string& stream_name, int rank,
+                   std::uint64_t incarnation);
+
+  /// Sweep the group for TTL expiries, then snapshot it.
+  MembershipView membership(const std::string& stream_name);
+
+  /// Sweep + return just the epoch (0 if the group does not exist).
+  std::uint64_t membership_epoch(const std::string& stream_name);
+
+  /// Block until the group's epoch differs from `last_seen` (sweeping on
+  /// each wakeup so TTL deaths are declared even with no other activity).
+  StatusOr<std::uint64_t> wait_for_epoch_change(const std::string& stream_name,
+                                                std::uint64_t last_seen,
+                                                std::chrono::nanoseconds timeout);
+
  private:
+  struct Group {
+    std::uint64_t epoch = 0;
+    std::map<int, Member> members;
+    /// Stream unregistered. The group persists as a tombstone: readers
+    /// drain buffered steps after the writer closes, and their failure
+    /// detector must still observe deaths/fencing in that window. A
+    /// re-registration under the same name starts a fresh group.
+    bool closed = false;
+  };
+
+  /// Declare TTL-expired members dead. Caller holds mutex_.
+  void sweep_locked(Group& group);
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<std::string, std::string> streams_;
+  std::map<std::string, std::vector<std::byte>> stream_info_;
+  std::map<std::string, Group> groups_;
+  MembershipOptions membership_options_;
   DirectoryStats stats_;
 };
 

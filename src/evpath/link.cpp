@@ -92,6 +92,10 @@ struct InprocState {
   std::mutex mutex;
   std::deque<std::vector<std::byte>> queue;
   bool closed = false;
+  // Set by the receive side's destructor: frames sent after this would
+  // otherwise queue forever with nobody to drain them, masking a dead
+  // reader as silent success.
+  bool receiver_gone = false;
 };
 
 class InprocSendLink final : public SendLink {
@@ -103,6 +107,9 @@ class InprocSendLink final : public SendLink {
     std::lock_guard<std::mutex> lock(state_->mutex);
     if (state_->closed) {
       return make_error(ErrorCode::kFailedPrecondition, "link closed");
+    }
+    if (state_->receiver_gone) {
+      return make_error(ErrorCode::kUnavailable, "inproc receiver gone");
     }
     state_->queue.emplace_back(msg.begin(), msg.end());
     ++stats_.messages;
@@ -121,6 +128,9 @@ class InprocSendLink final : public SendLink {
     std::lock_guard<std::mutex> lock(state_->mutex);
     if (state_->closed) {
       return make_error(ErrorCode::kFailedPrecondition, "link closed");
+    }
+    if (state_->receiver_gone) {
+      return make_error(ErrorCode::kUnavailable, "inproc receiver gone");
     }
     state_->queue.push_back(std::move(entry));
     ++stats_.messages;
@@ -148,6 +158,11 @@ class InprocRecvLink final : public RecvLink {
  public:
   InprocRecvLink(std::string peer, std::shared_ptr<InprocState> state)
       : peer_(std::move(peer)), state_(std::move(state)) {}
+
+  ~InprocRecvLink() override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->receiver_gone = true;
+  }
 
   Status try_receive(Message* out, bool* got) override {
     std::lock_guard<std::mutex> lock(state_->mutex);
@@ -226,6 +241,12 @@ class ShmRecvLink final : public RecvLink {
  public:
   ShmRecvLink(std::string peer, std::shared_ptr<shm::Channel> channel)
       : peer_(std::move(peer)), channel_(std::move(channel)) {}
+
+  ~ShmRecvLink() override {
+    // A sender blocked on ring space or an XPMEM sync ack would otherwise
+    // spin out its full timeout against a consumer that no longer exists.
+    channel_->abandon_receiver();
+  }
 
   Status try_receive(Message* out, bool* got) override {
     std::vector<std::byte> payload;
@@ -387,6 +408,10 @@ class RdmaSendLink final : public SendLink {
     // Wait for outstanding rendezvous buffers so nothing leaks, then EOS.
     const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
     while (!outstanding_.empty()) {
+      if (!nic_->peer_alive(peer_nic_)) {
+        return make_error(ErrorCode::kUnavailable,
+                          "rdma close: receiver gone with transfers in flight");
+      }
       FLEXIO_RETURN_IF_ERROR(drain_acks(std::chrono::milliseconds(1)));
       if (std::chrono::steady_clock::now() > deadline) {
         return make_error(ErrorCode::kTimeout,
@@ -471,6 +496,12 @@ class RdmaSendLink final : public SendLink {
     if (mode == SendMode::kSync) {
       const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
       while (outstanding_.count(seq) != 0) {
+        if (!nic_->peer_alive(peer_nic_)) {
+          // The buffer stays in outstanding_; the destructor hands it back
+          // to the cache since no Get can touch it anymore.
+          return make_error(ErrorCode::kUnavailable,
+                            "rdma sync send: receiver gone");
+        }
         FLEXIO_RETURN_IF_ERROR(drain_acks(std::chrono::milliseconds(1)));
         if (std::chrono::steady_clock::now() > deadline) {
           return make_error(ErrorCode::kTimeout,

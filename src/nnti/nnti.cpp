@@ -262,6 +262,10 @@ Status Nic::put(const std::string& peer, ByteView src, const MemRegion& remote,
   return Status::ok();
 }
 
+bool Nic::peer_alive(const std::string& peer) const {
+  return fabric_->lookup(peer) != nullptr;
+}
+
 NicStats Nic::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -111,6 +111,12 @@ class Nic {
   Status put(const std::string& peer, ByteView src, const MemRegion& remote,
              std::uint64_t offset);
 
+  /// Liveness probe: true while `peer`'s NIC is still on the fabric. Sync
+  /// senders use it to abandon ack waits on a destroyed receiver instead of
+  /// burning the full timeout. Bypasses the fault hook (a real NIC learns
+  /// of a torn-down peer from the connection state, not from traffic).
+  bool peer_alive(const std::string& peer) const;
+
   NicStats stats() const;
 
  private:

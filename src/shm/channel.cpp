@@ -92,13 +92,35 @@ Status Channel::send_control(const Control& ctl,
                              std::span<const ByteView> frags) {
   std::vector<std::byte> wire;
   encode_control(ctl, frags, &wire);
-  return queue_.enqueue(ByteView(wire), options_.timeout);
+  // Enqueue in short slices so a producer blocked on a full ring notices a
+  // departed consumer quickly instead of waiting out the whole timeout.
+  const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  for (;;) {
+    if (receiver_gone_.load(std::memory_order_acquire)) {
+      return make_error(ErrorCode::kUnavailable, "shm receiver gone");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return make_error(ErrorCode::kTimeout, "shm queue full");
+    }
+    const auto slice = std::min<std::chrono::nanoseconds>(
+        deadline - now, std::chrono::milliseconds(5));
+    const Status st = queue_.enqueue(ByteView(wire), slice);
+    if (st.code() != ErrorCode::kTimeout) return st;
+  }
 }
 
 Status Channel::wait_ack(const std::atomic<std::uint32_t>& ack) {
   const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
   int spins = 0;
   while (ack.load(std::memory_order_acquire) == 0) {
+    if (receiver_gone_.load(std::memory_order_acquire)) {
+      // The consumer was destroyed: it will never copy or touch the ack
+      // flag, so the published buffers are safe to reclaim immediately.
+      closed_.store(true, std::memory_order_relaxed);
+      return make_error(ErrorCode::kUnavailable,
+                        "xpmem sync send: receiver gone");
+    }
     if (++spins > 64) std::this_thread::yield();
     if (std::chrono::steady_clock::now() > deadline) {
       // The consumer may still touch the published buffers and the ack flag
@@ -296,6 +318,10 @@ Status Channel::receive_for(std::vector<std::byte>* out,
       return make_error(ErrorCode::kEndOfStream, "stream closed by producer");
   }
   return make_error(ErrorCode::kInternal, "unreachable");
+}
+
+void Channel::abandon_receiver() {
+  receiver_gone_.store(true, std::memory_order_release);
 }
 
 Status Channel::close() {

@@ -82,6 +82,17 @@ class Channel {
   /// their read calls when the simulation closes the file).
   Status close();
 
+  /// Mark the consumer side as gone (its receive link was destroyed).
+  /// Subsequent sends -- and a producer already blocked on ring space or
+  /// an XPMEM ack -- fail fast with kUnavailable instead of burning the
+  /// full timeout against a consumer that will never drain the queue.
+  /// Safe because a destroyed consumer can no longer touch published
+  /// buffers or ack flags.
+  void abandon_receiver();
+  bool receiver_gone() const {
+    return receiver_gone_.load(std::memory_order_acquire);
+  }
+
   ChannelStats stats() const;
   const ChannelOptions& options() const { return options_; }
 
@@ -123,6 +134,7 @@ class Channel {
   std::atomic<std::uint64_t> xpmem_sends_{0};
   std::atomic<std::uint64_t> copies_{0};
   std::atomic<bool> closed_{false};
+  std::atomic<bool> receiver_gone_{false};
   bool eos_received_ = false;  // consumer-side only
 };
 

@@ -1,0 +1,45 @@
+#include "util/backoff.h"
+
+#include <atomic>
+#include <thread>
+
+namespace flexio::util {
+
+namespace {
+std::atomic<Backoff::SleepFn> g_sleep{nullptr};
+}  // namespace
+
+Backoff::Backoff(BackoffPolicy policy)
+    : policy_(policy), next_(policy.initial) {}
+
+std::chrono::nanoseconds Backoff::next_delay() {
+  const std::chrono::nanoseconds delay = next_ < policy_.max ? next_ : policy_.max;
+  ++attempts_;
+  const double grown =
+      static_cast<double>(delay.count()) * policy_.multiplier;
+  const double cap = static_cast<double>(policy_.max.count());
+  next_ = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(grown < cap ? grown : cap));
+  return delay;
+}
+
+void Backoff::sleep() {
+  const std::chrono::nanoseconds delay = next_delay();
+  const SleepFn fn = g_sleep.load(std::memory_order_acquire);
+  if (fn != nullptr) {
+    fn(delay);
+  } else {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+void Backoff::reset() {
+  next_ = policy_.initial;
+  attempts_ = 0;
+}
+
+void Backoff::set_sleep_for_testing(SleepFn fn) {
+  g_sleep.store(fn, std::memory_order_release);
+}
+
+}  // namespace flexio::util

@@ -1,0 +1,54 @@
+// Bounded exponential backoff for retry loops.
+//
+// Retry loops used to sleep a fixed interval between attempts, which
+// either hammers the contended resource (interval too small) or wastes
+// most of the deadline (too large). Backoff grows the delay geometrically
+// from `initial` up to the hard `max` cap, so early retries are cheap and
+// a long outage settles into a bounded polling rate. Deterministic: no
+// jitter (retry loops here are per-thread against in-process services),
+// and the sleep itself is routed through a process-wide test hook in the
+// style of metrics::set_clock_for_testing, so tests can capture the exact
+// delay sequence without real waiting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace flexio::util {
+
+struct BackoffPolicy {
+  std::chrono::nanoseconds initial = std::chrono::milliseconds(1);
+  std::chrono::nanoseconds max = std::chrono::milliseconds(100);
+  double multiplier = 2.0;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {});
+
+  /// The delay for the next attempt (initial, initial*multiplier, ...,
+  /// capped at max), advancing the sequence.
+  std::chrono::nanoseconds next_delay();
+
+  /// next_delay(), slept through the sleep hook.
+  void sleep();
+
+  /// Restart the sequence from `initial` (e.g. after a success).
+  void reset();
+
+  /// Attempts consumed since construction/reset().
+  int attempts() const { return attempts_; }
+
+  /// Process-wide sleep hook. nullptr restores the real
+  /// std::this_thread::sleep_for. Tests install a recorder to make backoff
+  /// sequences deterministic (no wall-clock waits).
+  using SleepFn = void (*)(std::chrono::nanoseconds);
+  static void set_sleep_for_testing(SleepFn fn);
+
+ private:
+  BackoffPolicy policy_;
+  std::chrono::nanoseconds next_;
+  int attempts_ = 0;
+};
+
+}  // namespace flexio::util

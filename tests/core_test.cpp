@@ -285,6 +285,115 @@ TEST(WireTest, UnknownTraceTrailerVersionSkipped) {
   EXPECT_FALSE(decoded.value().trace.has_value());
 }
 
+TEST(WireTest, MembershipEpochTrailerRoundTrips) {
+  // Trailer v2 rides after the v1 trace trailer on the handshake frames.
+  wire::StepAnnounce ann;
+  ann.step = 4;
+  ann.trace = wire::TraceContext{wire::stream_id_hash("m"), 4, 9, 100};
+  ann.membership_epoch = 17;
+  auto dec_ann = wire::decode_step_announce(ByteView(wire::encode(ann)));
+  ASSERT_TRUE(dec_ann.is_ok());
+  ASSERT_TRUE(dec_ann.value().membership_epoch.has_value());
+  EXPECT_EQ(*dec_ann.value().membership_epoch, 17u);
+  ASSERT_TRUE(dec_ann.value().trace.has_value());
+  EXPECT_EQ(dec_ann.value().trace->span_id, 9u);
+
+  // The epoch also encodes without a trace context (trailers are
+  // independent), and the reader's echo frame carries it the same way.
+  ann.trace.reset();
+  auto dec_bare = wire::decode_step_announce(ByteView(wire::encode(ann)));
+  ASSERT_TRUE(dec_bare.is_ok());
+  EXPECT_FALSE(dec_bare.value().trace.has_value());
+  ASSERT_TRUE(dec_bare.value().membership_epoch.has_value());
+  EXPECT_EQ(*dec_bare.value().membership_epoch, 17u);
+
+  wire::ReadRequest req;
+  req.step = 4;
+  req.membership_epoch = 17;
+  auto dec_req = wire::decode_read_request(ByteView(wire::encode(req)));
+  ASSERT_TRUE(dec_req.is_ok());
+  ASSERT_TRUE(dec_req.value().membership_epoch.has_value());
+  EXPECT_EQ(*dec_req.value().membership_epoch, 17u);
+
+  // Absent epoch (membership off) encodes no v2 trailer and decodes absent.
+  wire::StepAnnounce frozen;
+  frozen.step = 4;
+  auto dec_frozen = wire::decode_step_announce(ByteView(wire::encode(frozen)));
+  ASSERT_TRUE(dec_frozen.is_ok());
+  EXPECT_FALSE(dec_frozen.value().membership_epoch.has_value());
+}
+
+TEST(WireTest, OldFormatFramesDecodeWithoutMembershipEpoch) {
+  // A seed-format announce (step + empty block list, no trailer bytes at
+  // all) must parse with both the trace and the membership epoch absent.
+  serial::BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(wire::MsgType::kStepAnnounce));
+  w.put_i64(3);
+  w.put_varint(0);
+  auto decoded = wire::decode_step_announce(ByteView(w.take()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_FALSE(decoded.value().trace.has_value());
+  EXPECT_FALSE(decoded.value().membership_epoch.has_value());
+}
+
+TEST(WireTest, MembershipTrailerBeforeUnknownVersionsStillDecodes) {
+  // A v2 epoch trailer followed by a future unknown trailer: the epoch is
+  // read, the unknown tail is skipped, the frame parses.
+  serial::BufWriter w;
+  w.put_u8(static_cast<std::uint8_t>(wire::MsgType::kStepAnnounce));
+  w.put_i64(3);
+  w.put_varint(0);
+  w.put_u8(2);        // kMembershipTrailerV2
+  w.put_varint(23);   // epoch
+  w.put_u8(200);      // unknown future trailer version
+  w.put_u64(0xfeed);  // opaque future payload
+  auto decoded = wire::decode_step_announce(ByteView(w.take()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().step, 3);
+  ASSERT_TRUE(decoded.value().membership_epoch.has_value());
+  EXPECT_EQ(*decoded.value().membership_epoch, 23u);
+}
+
+TEST(WireTest, MembershipUpdateAndHeartbeatRoundTrip) {
+  wire::MembershipUpdate update;
+  update.stream = "temps";
+  update.epoch = 7;
+  update.members.push_back(wire::MemberInfo{0, "viz.ep0", 1, 0, 0});
+  update.members.push_back(wire::MemberInfo{2, "viz.ep2b", 2, 0, 6});
+  update.members.push_back(wire::MemberInfo{1, "", 1, 2, 0});  // dead
+  auto dec = wire::decode_membership_update(ByteView(wire::encode(update)));
+  ASSERT_TRUE(dec.is_ok()) << dec.status().to_string();
+  EXPECT_EQ(dec.value().stream, "temps");
+  EXPECT_EQ(dec.value().epoch, 7u);
+  ASSERT_EQ(dec.value().members.size(), 3u);
+  EXPECT_EQ(dec.value().members[1].rank, 2);
+  EXPECT_EQ(dec.value().members[1].contact, "viz.ep2b");
+  EXPECT_EQ(dec.value().members[1].incarnation, 2u);
+  EXPECT_EQ(dec.value().members[1].join_epoch, 6u);
+  EXPECT_EQ(dec.value().members[2].state, 2);  // dead tombstone preserved
+  EXPECT_EQ(wire::peek_type(ByteView(wire::encode(update))).value(),
+            wire::MsgType::kMembershipUpdate);
+
+  wire::Heartbeat hb;
+  hb.stream = "temps";
+  hb.rank = 2;
+  hb.incarnation = 3;
+  hb.send_ns = 123456789;
+  auto dec_hb = wire::decode_heartbeat(ByteView(wire::encode(hb)));
+  ASSERT_TRUE(dec_hb.is_ok()) << dec_hb.status().to_string();
+  EXPECT_EQ(dec_hb.value().stream, "temps");
+  EXPECT_EQ(dec_hb.value().rank, 2);
+  EXPECT_EQ(dec_hb.value().incarnation, 3u);
+  EXPECT_EQ(dec_hb.value().send_ns, 123456789u);
+  EXPECT_EQ(wire::peek_type(ByteView(wire::encode(hb))).value(),
+            wire::MsgType::kHeartbeat);
+
+  // Truncated membership frames are rejected, not misparsed.
+  std::vector<std::byte> truncated = wire::encode(update);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(wire::decode_membership_update(ByteView(truncated)).is_ok());
+}
+
 TEST(WireTest, CorruptFramesRejected) {
   EXPECT_FALSE(wire::peek_type({}).is_ok());
   std::vector<std::byte> junk{std::byte{0xee}};

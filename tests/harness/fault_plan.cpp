@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 #include <sstream>
 
 #include "util/strings.h"
@@ -87,7 +88,102 @@ bool random_drops_op(const RandomProfile& profile, nnti::Op op) {
          random_fails_op(profile, op);
 }
 
+StatusOr<StepPoint> parse_point(std::string_view token) {
+  if (token == "begin") return StepPoint::kBegin;
+  if (token == "pre_reads") return StepPoint::kPreReads;
+  if (token == "post_reads") return StepPoint::kPostReads;
+  if (token == "end") return StepPoint::kEnd;
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown step point '" + std::string(token) +
+                        "' (want begin|pre_reads|post_reads|end)");
+}
+
+// Parse one rank-action line; tokens[0] already identified the RankOp.
+StatusOr<RankAction> parse_rank_action(RankOp op,
+                                       const std::vector<std::string_view>&
+                                           tokens) {
+  RankAction action;
+  action.op = op;
+  bool have_rank = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string_view::npos) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "fault script: expected key=value, got '" +
+                            std::string(tokens[i]) + "'");
+    }
+    const std::string_view key = tokens[i].substr(0, eq);
+    const std::string_view value = tokens[i].substr(eq + 1);
+    long long n = 0;
+    if (key == "rank") {
+      if (!parse_int(value, &n) || n < 1) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "fault script: rank must be an integer >= 1 "
+                          "(the coordinator cannot be a victim)");
+      }
+      action.rank = static_cast<int>(n);
+      have_rank = true;
+    } else if (key == "step") {
+      if (!parse_int(value, &n) || n < 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "fault script: step must be an integer >= 0");
+      }
+      action.step = static_cast<int>(n);
+    } else if (key == "point") {
+      auto point_or = parse_point(value);
+      if (!point_or.is_ok()) return point_or.status();
+      action.point = point_or.value();
+    } else if (key == "delay_ms") {
+      if (op != RankOp::kDelayHeartbeat) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "fault script: delay_ms only applies to delay_hb");
+      }
+      if (!parse_int(value, &n) || n < 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "fault script: delay_ms must be an integer >= 0");
+      }
+      action.delay = std::chrono::milliseconds(n);
+    } else {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "fault script: unknown key '" + std::string(key) +
+                            "' for rank action");
+    }
+  }
+  if (!have_rank) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "fault script: rank action needs rank=<N>");
+  }
+  if (op == RankOp::kLeave && action.point != StepPoint::kBegin &&
+      action.point != StepPoint::kEnd) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "fault script: leave fires only at step boundaries "
+                      "(point=begin|end)");
+  }
+  if (op == RankOp::kRespawn) action.point = StepPoint::kBegin;
+  return action;
+}
+
 }  // namespace
+
+std::string_view rank_op_name(RankOp op) {
+  switch (op) {
+    case RankOp::kKill: return "kill";
+    case RankOp::kLeave: return "leave";
+    case RankOp::kRespawn: return "respawn";
+    case RankOp::kDelayHeartbeat: return "delay_hb";
+  }
+  return "?";
+}
+
+std::string_view step_point_name(StepPoint point) {
+  switch (point) {
+    case StepPoint::kBegin: return "begin";
+    case StepPoint::kPreReads: return "pre_reads";
+    case StepPoint::kPostReads: return "post_reads";
+    case StepPoint::kEnd: return "end";
+  }
+  return "?";
+}
 
 std::string_view fault_kind_name(FaultKind kind) {
   switch (kind) {
@@ -155,6 +251,23 @@ StatusOr<FaultPlan> FaultPlan::parse(std::string_view script) {
                                    "[key=value...]', got '%.*s'",
                                    line_no, static_cast<int>(line.size()),
                                    line.data()));
+    }
+
+    // Rank-level membership actions share the script with fabric rules.
+    std::optional<RankOp> rank_op;
+    if (tokens[0] == "kill") rank_op = RankOp::kKill;
+    else if (tokens[0] == "leave") rank_op = RankOp::kLeave;
+    else if (tokens[0] == "respawn") rank_op = RankOp::kRespawn;
+    else if (tokens[0] == "delay_hb") rank_op = RankOp::kDelayHeartbeat;
+    if (rank_op) {
+      auto action_or = parse_rank_action(*rank_op, tokens);
+      if (!action_or.is_ok()) {
+        return make_error(action_or.status().code(),
+                          str_format("fault script line %zu: %s", line_no,
+                                     action_or.status().message().c_str()));
+      }
+      plan.add(action_or.value());
+      continue;
     }
 
     FaultRule rule;
@@ -233,7 +346,64 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomProfile& profile) {
   return plan;
 }
 
+FaultPlan FaultPlan::random_membership(std::uint64_t seed, int readers,
+                                       int steps, bool respawn) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  // All coordinates derive from mix64 chains off the seed, so one seed
+  // always replays the same kill (and respawn) no matter the host.
+  const std::uint64_t h0 = mix64(seed ^ 0x6d656d6265727368ULL);  // "membersh"
+  const std::uint64_t h1 = mix64(h0 + 1);
+  const std::uint64_t h2 = mix64(h0 + 2);
+  const std::uint64_t h3 = mix64(h0 + 3);
+
+  RankAction kill;
+  kill.op = RankOp::kKill;
+  // Victim is any non-coordinator reader rank.
+  kill.rank = readers > 1 ? 1 + static_cast<int>(h0 % (readers - 1)) : 1;
+  // Kill somewhere in the interior so at least one step runs before and the
+  // writer has at least one step left to notice and re-plan.
+  const int last_kill = std::max(1, steps - 2);
+  kill.step = 1 + static_cast<int>(h1 % last_kill);
+  constexpr StepPoint kPoints[] = {StepPoint::kBegin, StepPoint::kPreReads,
+                                   StepPoint::kPostReads, StepPoint::kEnd};
+  kill.point = kPoints[h2 % 4];
+  plan.add(kill);
+
+  if (respawn && kill.step + 2 < steps) {
+    RankAction back;
+    back.op = RankOp::kRespawn;
+    back.rank = kill.rank;
+    // Rejoin at least one full step after the kill (so the death is
+    // detected and planned around first) but no later than the last step,
+    // where the writer's pre-step wait can still anchor the admission.
+    const int span = steps - (kill.step + 2);
+    back.step = kill.step + 2 + static_cast<int>(h3 % span);
+    back.point = StepPoint::kBegin;
+    plan.add(back);
+  }
+  return plan;
+}
+
 void FaultPlan::add(const FaultRule& rule) { rules_.push_back(rule); }
+
+void FaultPlan::add(const RankAction& action) {
+  rank_actions_.push_back(action);
+}
+
+void FaultPlan::note_rank_action(const RankAction& action,
+                                 std::string_view what) const {
+  std::string line;
+  line += rank_op_name(action.op);
+  line += str_format(" rank=%d step=%d point=", action.rank, action.step);
+  line += step_point_name(action.point);
+  if (!what.empty()) {
+    line += ' ';
+    line += what;
+  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->log.append(std::move(line));
+}
 
 std::string FaultPlan::script() const {
   std::string out;
@@ -258,6 +428,23 @@ std::string FaultPlan::script() const {
     }
     out += '\n';
   }
+  for (const RankAction& action : rank_actions_) {
+    out += rank_op_name(action.op);
+    out += str_format(" rank=%d step=%d", action.rank, action.step);
+    if (action.op != RankOp::kRespawn) {
+      out += " point=";
+      out += step_point_name(action.point);
+    }
+    if (action.op == RankOp::kDelayHeartbeat) {
+      out += str_format(
+          " delay_ms=%lld",
+          static_cast<long long>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  action.delay)
+                  .count()));
+    }
+    out += '\n';
+  }
   return out;
 }
 
@@ -271,6 +458,8 @@ std::string FaultPlan::banner() const {
         << " dup_prob=" << profile_.dup_prob
         << " delay_us=" << profile_.delay_us
         << " max_consecutive_fails=" << profile_.max_consecutive_fails << "\n";
+  } else if (seed_ != 0) {
+    out << "seed=" << seed_ << " (membership derivation)\n";
   }
   const std::string rules = script();
   if (!rules.empty()) out << rules;

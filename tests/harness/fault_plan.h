@@ -51,6 +51,33 @@ struct FaultRule {
   std::chrono::nanoseconds delay{0};         // for kDelay
 };
 
+/// Rank-level fault actions for membership torture: instead of perturbing
+/// fabric operations, these kill / gracefully depart / respawn / partition
+/// whole reader ranks at deterministic points in their step loop. The
+/// stress driver polls the plan at each point (see stress_driver.h); like
+/// fabric rules they are replayable from the script/banner.
+enum class RankOp { kKill, kLeave, kRespawn, kDelayHeartbeat };
+
+std::string_view rank_op_name(RankOp op);
+
+/// Where in the victim's step loop an action fires.
+enum class StepPoint {
+  kBegin,      // before begin_step(step): the rank never enters the step
+  kPreReads,   // after begin_step, before perform_reads (mid-step)
+  kPostReads,  // after perform_reads, before end_step (step data drained)
+  kEnd,        // after end_step(step): clean step boundary
+};
+
+std::string_view step_point_name(StepPoint point);
+
+struct RankAction {
+  RankOp op = RankOp::kKill;
+  int rank = 1;   // victim reader rank (never the coordinator)
+  int step = 1;   // step index the action fires at
+  StepPoint point = StepPoint::kBegin;
+  std::chrono::nanoseconds delay{0};  // kDelayHeartbeat: suppression window
+};
+
 /// Seed-driven random fault mix. Probabilities are per op occurrence.
 struct RandomProfile {
   double fail_prob = 0.0;    // transient kUnavailable failures
@@ -89,7 +116,20 @@ class FaultPlan {
   /// Seeded random plan. Deterministic per (seed, profile).
   static FaultPlan random(std::uint64_t seed, const RandomProfile& profile);
 
+  /// Seeded kill/respawn plan: derives a victim rank (non-coordinator
+  /// reader), a kill step/point, and -- when `respawn` -- a respawn some
+  /// steps later, all from hash(seed). Deterministic per
+  /// (seed, readers, steps).
+  static FaultPlan random_membership(std::uint64_t seed, int readers,
+                                     int steps, bool respawn);
+
   void add(const FaultRule& rule);
+  void add(const RankAction& action);
+  const std::vector<RankAction>& rank_actions() const { return rank_actions_; }
+
+  /// Record a rank action's execution in the shared EventLog (same log as
+  /// fabric decisions, so a failure banner shows one merged timeline).
+  void note_rank_action(const RankAction& action, std::string_view what) const;
 
   /// Canonical script of the explicit rules (random layer noted separately
   /// in banner()).
@@ -128,6 +168,7 @@ class FaultPlan {
   };
 
   std::vector<FaultRule> rules_;
+  std::vector<RankAction> rank_actions_;
   std::uint64_t seed_ = 0;
   bool random_enabled_ = false;
   RandomProfile profile_;

@@ -1,6 +1,7 @@
 #include "harness/stress_driver.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <mutex>
@@ -73,8 +74,38 @@ evpath::Location reader_location(const StressConfig& cfg, int rank) {
   return evpath::Location{node, 100 + rank};
 }
 
+/// Membership runs: before entering `step`, block until every respawn the
+/// plan schedules at this step is visible in the directory as a fresh alive
+/// incarnation. This pins *which* step first covers the rejoiner, making
+/// seeded runs replayable, and doubles as the liveness check that a respawn
+/// can actually get back in.
+Status wait_for_respawns(Runtime& rt, const StressConfig& cfg, int step) {
+  if (!cfg.membership || cfg.faults == nullptr) return Status::ok();
+  for (const RankAction& a : cfg.faults->rank_actions()) {
+    if (a.op != RankOp::kRespawn || a.step != step) continue;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(cfg.timeout_ms);
+    for (;;) {
+      const evpath::MembershipView view = rt.directory().membership(cfg.stream);
+      const evpath::Member* m = view.find(a.rank);
+      if (m != nullptr && m->state == evpath::MemberState::kAlive &&
+          m->incarnation >= 2) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return make_error(
+            ErrorCode::kTimeout,
+            str_format("respawn of reader rank %d not visible before step %d",
+                       a.rank, step));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  return Status::ok();
+}
+
 Status writer_rank(Runtime& rt, const StressConfig& cfg, Program& sim,
-                   int rank) {
+                   int rank, std::atomic<std::uint64_t>* max_step_ns) {
   StreamSpec spec;
   spec.stream = cfg.stream;
   spec.endpoint = EndpointSpec{&sim, rank, writer_location(cfg, rank)};
@@ -91,6 +122,7 @@ Status writer_rank(Runtime& rt, const StressConfig& cfg, Program& sim,
   std::vector<double> particles(nparticles * 7);
 
   for (int step = 0; step < cfg.steps; ++step) {
+    FLEXIO_RETURN_IF_ERROR(wait_for_respawns(rt, cfg, step));
     std::size_t i = 0;
     for (std::uint64_t r = 0; r < box.count[0]; ++r) {
       for (std::uint64_t c = 0; c < box.count[1]; ++c) {
@@ -100,6 +132,7 @@ Status writer_rank(Runtime& rt, const StressConfig& cfg, Program& sim,
     for (std::uint64_t p = 0; p < particles.size(); ++p) {
       particles[p] = golden_particle(rank, step, p);
     }
+    const auto t0 = std::chrono::steady_clock::now();
     FLEXIO_RETURN_IF_ERROR(w.begin_step(step));
     FLEXIO_RETURN_IF_ERROR(
         w.write(adios::global_array_var("field", DataType::kDouble, global,
@@ -111,38 +144,134 @@ Status writer_rank(Runtime& rt, const StressConfig& cfg, Program& sim,
                 as_bytes_view(std::span<const double>(particles))));
     FLEXIO_RETURN_IF_ERROR(w.write_scalar("time", step * 0.5));
     FLEXIO_RETURN_IF_ERROR(w.end_step());
+    if (max_step_ns != nullptr) {
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      std::uint64_t cur = max_step_ns->load(std::memory_order_relaxed);
+      while (ns > cur && !max_step_ns->compare_exchange_weak(
+                             cur, ns, std::memory_order_relaxed)) {
+      }
+    }
+    if (cfg.step_delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(cfg.step_delay_ms));
+    }
   }
   return w.close();
 }
 
-Status reader_rank(Runtime& rt, const StressConfig& cfg, Program& viz,
-                   int rank, std::atomic<std::uint64_t>* verified,
-                   std::optional<wire::MonitorReport>* report_out) {
+/// One reader rank's life, original or respawned (`late_join`). Under
+/// membership (`outcome != nullptr` for original incarnations) the fault
+/// plan's rank actions are polled at each step point; a fired kill/leave
+/// ends the thread with ok. Golden checks key off the *announced* step id,
+/// not a local counter, so a late joiner verifies mid-stream steps.
+///
+/// Thread-safety of `outcome`: the original incarnation writes ran / killed
+/// / left / fenced / steps_seen; a late-join incarnation writes only
+/// steps_after_respawn (its supervisor writes respawned after it returns).
+/// The field sets are disjoint, so the two incarnations never race.
+Status reader_body(Runtime& rt, const StressConfig& cfg, Program& viz,
+                   int rank, bool late_join,
+                   std::atomic<std::uint64_t>* verified,
+                   std::optional<wire::MonitorReport>* report_out,
+                   RankOutcome* outcome) {
   StreamSpec spec;
   spec.stream = cfg.stream;
   spec.endpoint = EndpointSpec{&viz, rank, reader_location(cfg, rank)};
   spec.method = make_method(cfg);
+  spec.late_join = late_join;
   if (cfg.placement == PlacementMode::kFile) spec.file_dir = cfg.file_dir;
   auto reader = rt.open_reader(spec);
   FLEXIO_RETURN_IF_ERROR(reader.status());
   StreamReader& r = *reader.value();
+  if (outcome != nullptr && !late_join) outcome->ran = true;
   FLEXIO_RETURN_IF_ERROR(expect(r.num_writers() == cfg.writers,
                                 "num_writers mismatch"));
+
+  const bool mem = cfg.membership && cfg.placement != PlacementMode::kFile;
+  auto action_at = [&](int step, StepPoint point) -> const RankAction* {
+    if (!mem || late_join || cfg.faults == nullptr) return nullptr;
+    for (const RankAction& a : cfg.faults->rank_actions()) {
+      if (a.op != RankOp::kRespawn && a.rank == rank && a.step == step &&
+          a.point == point) {
+        return &a;
+      }
+    }
+    return nullptr;
+  };
+  // Fires `a` if non-null; true means the rank is gone and the thread is
+  // done (successfully -- the torture assertions live in the caller).
+  auto act = [&](const RankAction* a) -> StatusOr<bool> {
+    if (a == nullptr) return false;
+    cfg.faults->note_rank_action(*a, "fired");
+    switch (a->op) {
+      case RankOp::kKill:
+        r.simulate_crash();
+        if (outcome != nullptr) outcome->killed = true;
+        return true;
+      case RankOp::kLeave:
+        FLEXIO_RETURN_IF_ERROR(r.leave());
+        if (outcome != nullptr) outcome->left = true;
+        return true;
+      case RankOp::kDelayHeartbeat:
+        r.pause_heartbeats_for(a->delay);
+        return false;
+      default:
+        return false;
+    }
+  };
+  // A paused/slow rank may get fenced (declared dead) at a step entry
+  // point; that is a legitimate membership outcome, not a test failure.
+  // The collectives can excise the rank (kUnavailable) before its own
+  // heartbeat thread notices the rejection -- for a paused rank the latch
+  // only trips on the first beat after the pause expires -- so give the
+  // latch a grace window before treating the error as real.
+  auto fenced_out = [&](const Status& s) {
+    if (!mem || s.code() != ErrorCode::kUnavailable) return false;
+    for (int i = 0; i < 1500 && !r.fenced(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!r.fenced()) return false;
+    if (outcome != nullptr && !late_join) outcome->fenced = true;
+    return true;
+  };
 
   const Dims global{cfg.rows, cfg.cols};
   const Box sel = adios::block_decompose(global, cfg.readers, rank, 1);
   std::vector<double> out(sel.elements());
   std::uint64_t checked = 0;
   int steps_seen = 0;
+  StepId last_step = -1;
   for (;;) {
+    {
+      // kBegin actions key on the step this rank would enter next.
+      auto stop = act(action_at(steps_seen, StepPoint::kBegin));
+      FLEXIO_RETURN_IF_ERROR(stop.status());
+      if (stop.value()) return Status::ok();
+    }
     auto step = r.begin_step();
     if (step.status().code() == ErrorCode::kEndOfStream) break;
+    if (fenced_out(step.status())) return Status::ok();
     FLEXIO_RETURN_IF_ERROR(step.status());
-    FLEXIO_RETURN_IF_ERROR(expect(step.value() == steps_seen,
-                                  str_format("step order: got %lld want %d",
-                                             static_cast<long long>(
-                                                 step.value()),
-                                             steps_seen)));
+    const int sid = static_cast<int>(step.value());
+    if (last_step < 0) {
+      FLEXIO_RETURN_IF_ERROR(
+          expect(late_join ? sid >= 1 : sid == 0,
+                 str_format("first step: got %d (late_join=%d)", sid,
+                            late_join ? 1 : 0)));
+    } else {
+      FLEXIO_RETURN_IF_ERROR(
+          expect(sid == static_cast<int>(last_step) + 1,
+                 str_format("step order: got %d after %lld", sid,
+                            static_cast<long long>(last_step))));
+    }
+    last_step = step.value();
+    {
+      auto stop = act(action_at(sid, StepPoint::kPreReads));
+      FLEXIO_RETURN_IF_ERROR(stop.status());
+      if (stop.value()) return Status::ok();
+    }
     std::fill(out.begin(), out.end(), -1.0);
     FLEXIO_RETURN_IF_ERROR(r.schedule_read(
         "field", sel,
@@ -150,19 +279,23 @@ Status reader_rank(Runtime& rt, const StressConfig& cfg, Program& viz,
     for (int w = rank; w < cfg.writers; w += cfg.readers) {
       FLEXIO_RETURN_IF_ERROR(r.schedule_read_pg(w));
     }
-    FLEXIO_RETURN_IF_ERROR(r.perform_reads());
+    {
+      const Status reads = r.perform_reads();
+      if (fenced_out(reads)) return Status::ok();
+      FLEXIO_RETURN_IF_ERROR(reads);
+    }
 
-    // Field selection against the golden model.
+    // Field selection against the golden model, keyed by announced step id.
     std::size_t i = 0;
     for (std::uint64_t row = 0; row < sel.count[0]; ++row) {
       for (std::uint64_t col = 0; col < sel.count[1]; ++col) {
         FLEXIO_RETURN_IF_ERROR(expect_value(
             out[i++],
-            golden_field(steps_seen, sel.offset[0] + row, sel.offset[1] + col),
+            golden_field(sid, sel.offset[0] + row, sel.offset[1] + col),
             str_format("field[%llu,%llu] step %d",
                        static_cast<unsigned long long>(sel.offset[0] + row),
                        static_cast<unsigned long long>(sel.offset[1] + col),
-                       steps_seen)));
+                       sid)));
         ++checked;
       }
     }
@@ -181,23 +314,42 @@ Status reader_rank(Runtime& rt, const StressConfig& cfg, Program& viz,
       const auto* vals = reinterpret_cast<const double*>(block.payload.data());
       for (std::uint64_t p = 0; p < n * 7; ++p) {
         FLEXIO_RETURN_IF_ERROR(expect_value(
-            vals[p], golden_particle(block.writer_rank, steps_seen, p),
+            vals[p], golden_particle(block.writer_rank, sid, p),
             str_format("particles[%llu] writer %d step %d",
                        static_cast<unsigned long long>(p), block.writer_rank,
-                       steps_seen)));
+                       sid)));
         ++checked;
       }
     }
     auto time = r.scalar_double("time");
     FLEXIO_RETURN_IF_ERROR(time.status());
+    {
+      auto stop = act(action_at(sid, StepPoint::kPostReads));
+      FLEXIO_RETURN_IF_ERROR(stop.status());
+      if (stop.value()) return Status::ok();
+    }
     FLEXIO_RETURN_IF_ERROR(r.end_step());
     ++steps_seen;
+    if (outcome != nullptr) {
+      if (late_join) {
+        outcome->steps_after_respawn = steps_seen;
+      } else {
+        outcome->steps_seen = steps_seen;
+      }
+    }
+    {
+      auto stop = act(action_at(sid, StepPoint::kEnd));
+      FLEXIO_RETURN_IF_ERROR(stop.status());
+      if (stop.value()) return Status::ok();
+    }
   }
   FLEXIO_RETURN_IF_ERROR(expect(
-      steps_seen == cfg.steps,
+      late_join || steps_seen == cfg.steps,
       str_format("steps seen: got %d want %d", steps_seen, cfg.steps)));
   verified->fetch_add(checked, std::memory_order_relaxed);
-  if (rank == 0 && report_out != nullptr) *report_out = r.writer_report();
+  if (!late_join && rank == 0 && report_out != nullptr) {
+    *report_out = r.writer_report();
+  }
   return Status::ok();
 }
 
@@ -260,10 +412,19 @@ StressResult run_stress(const StressConfig& cfg) {
   StressResult result;
   Runtime rt;
   if (cfg.faults != nullptr) cfg.faults->install(&rt.bus().fabric());
+  const bool mem = cfg.membership && cfg.placement != PlacementMode::kFile;
+  if (mem) {
+    evpath::MembershipOptions opts;
+    opts.enabled = true;
+    opts.ttl = std::chrono::milliseconds(cfg.membership_ttl_ms);
+    rt.directory().set_membership_options(opts);
+    result.reader_outcomes.resize(cfg.readers);
+  }
   Program sim("sim", cfg.writers);
   Program viz("viz", cfg.readers);
   ErrorSink errors;
   std::atomic<std::uint64_t> verified{0};
+  std::atomic<std::uint64_t> max_step_ns{0};
 
   if (cfg.placement == PlacementMode::kFile) {
     FLEXIO_CHECK(!cfg.file_dir.empty());
@@ -272,15 +433,15 @@ StressResult run_stress(const StressConfig& cfg) {
     std::vector<std::thread> writers;
     for (int w = 0; w < cfg.writers; ++w) {
       writers.emplace_back(
-          [&, w] { errors.record(writer_rank(rt, cfg, sim, w)); });
+          [&, w] { errors.record(writer_rank(rt, cfg, sim, w, nullptr)); });
     }
     for (auto& t : writers) t.join();
     if (!errors.failed()) {
       std::vector<std::thread> readers;
       for (int r = 0; r < cfg.readers; ++r) {
         readers.emplace_back([&, r] {
-          errors.record(
-              reader_rank(rt, cfg, viz, r, &verified, &result.report));
+          errors.record(reader_body(rt, cfg, viz, r, /*late_join=*/false,
+                                    &verified, &result.report, nullptr));
         });
       }
       for (auto& t : readers) t.join();
@@ -288,24 +449,69 @@ StressResult run_stress(const StressConfig& cfg) {
   } else {
     std::vector<std::thread> threads;
     for (int w = 0; w < cfg.writers; ++w) {
-      threads.emplace_back(
-          [&, w] { errors.record(writer_rank(rt, cfg, sim, w)); });
+      threads.emplace_back([&, w] {
+        errors.record(writer_rank(rt, cfg, sim, w, &max_step_ns));
+      });
     }
     for (int r = 0; r < cfg.readers; ++r) {
-      threads.emplace_back([&, r] {
-        errors.record(reader_rank(rt, cfg, viz, r, &verified, &result.report));
+      RankOutcome* outcome = mem ? &result.reader_outcomes[r] : nullptr;
+      threads.emplace_back([&, r, outcome] {
+        errors.record(reader_body(rt, cfg, viz, r, /*late_join=*/false,
+                                  &verified, &result.report, outcome));
       });
+    }
+    if (mem && cfg.faults != nullptr) {
+      // One supervisor per respawn: wait for the prior incarnation's death
+      // or departure to land in the directory, then rejoin the same rank as
+      // a late-join incarnation and run it to end-of-stream.
+      for (const RankAction& a : cfg.faults->rank_actions()) {
+        if (a.op != RankOp::kRespawn) continue;
+        threads.emplace_back([&, a] {
+          const auto deadline = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(cfg.timeout_ms);
+          for (;;) {
+            const evpath::MembershipView view =
+                rt.directory().membership(cfg.stream);
+            const evpath::Member* m = view.find(a.rank);
+            if (m != nullptr && m->state != evpath::MemberState::kAlive) break;
+            if (std::chrono::steady_clock::now() >= deadline) {
+              errors.record(make_error(
+                  ErrorCode::kTimeout,
+                  str_format("respawn supervisor: rank %d never declared "
+                             "dead or left",
+                             a.rank)));
+              return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+          cfg.faults->note_rank_action(a, "respawning");
+          RankOutcome* outcome = &result.reader_outcomes[a.rank];
+          const Status s = reader_body(rt, cfg, viz, a.rank,
+                                       /*late_join=*/true, &verified, nullptr,
+                                       outcome);
+          errors.record(s);
+          if (s.is_ok()) outcome->respawned = true;
+        });
+      }
     }
     for (auto& t : threads) t.join();
   }
 
   result.status = errors.first();
   result.elements_verified = verified.load(std::memory_order_relaxed);
+  result.max_writer_step_seconds =
+      static_cast<double>(max_step_ns.load(std::memory_order_relaxed)) * 1e-9;
+  // The group survives stream close as a tombstone, so this final read
+  // (which also sweeps any straggler the TTL has expired) sees every
+  // join/leave/death the run produced.
+  if (mem) result.final_epoch = rt.directory().membership_epoch(cfg.stream);
   if (result.status.is_ok() && cfg.placement != PlacementMode::kFile) {
     if (!result.report.has_value()) {
       result.status =
           make_error(ErrorCode::kInternal, "missing writer monitor report");
-    } else {
+    } else if (!mem) {
+      // Membership runs re-plan on epoch changes, so the static handshake
+      // count invariant only holds for frozen-membership runs.
       result.status = check_handshake_invariant(cfg, *result.report);
     }
   }

@@ -18,6 +18,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/wire.h"
 #include "harness/fault_plan.h"
@@ -40,6 +41,16 @@ struct StressConfig {
   int timeout_ms = 20000;
   std::string file_dir;  // required for kFile
   const FaultPlan* faults = nullptr;  // installed on the runtime's fabric
+  /// Elastic membership: enables directory liveness (heartbeats + TTL) and
+  /// honors the fault plan's rank actions (kill / leave / respawn /
+  /// delay_hb) in the reader threads. Stream placements only.
+  bool membership = false;
+  int membership_ttl_ms = 250;
+  /// Writer-side pacing: sleep this long after each end_step. Membership
+  /// scenarios that depend on wall-clock TTL expiry (fencing a stalled
+  /// rank) use it to keep the stream alive past the liveness deadline;
+  /// everything else leaves it 0 and runs flat out.
+  int step_delay_ms = 0;
   // Global 2-D field dimensions; must decompose evenly enough for
   // block_decompose on both sides.
   std::uint64_t rows = 24;
@@ -51,12 +62,29 @@ struct StressConfig {
 /// gtest-friendly printer (used by parameterized test listings).
 std::ostream& operator<<(std::ostream& os, const StressConfig& cfg);
 
+/// What actually happened to one reader rank under a membership run.
+struct RankOutcome {
+  bool ran = false;        // thread opened its reader successfully
+  bool killed = false;     // simulate_crash fired
+  bool left = false;       // graceful leave fired
+  bool fenced = false;     // directory declared the rank dead while slow
+  bool respawned = false;  // a late-join incarnation of this rank completed
+  int steps_seen = 0;           // steps the original incarnation verified
+  int steps_after_respawn = 0;  // steps the respawned incarnation verified
+};
+
 struct StressResult {
   Status status;  // first error observed by any rank thread
   /// Writer coordinator's close-time report as seen by reader rank 0
   /// (absent in file mode).
   std::optional<wire::MonitorReport> report;
   std::uint64_t elements_verified = 0;  // field + particle values checked
+  /// Membership runs only: per-reader-rank outcome, the slowest single
+  /// writer end_step (bounds the stall a dead reader may cause), and the
+  /// directory's final membership epoch.
+  std::vector<RankOutcome> reader_outcomes;
+  double max_writer_step_seconds = 0.0;
+  std::uint64_t final_epoch = 0;
 };
 
 /// Golden model: field value at (step, global row, global col).

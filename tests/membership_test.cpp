@@ -1,0 +1,309 @@
+// Elastic MxN membership, end to end: readers join, leave, and crash while
+// a writer keeps stepping. Every scenario runs the real stress driver
+// (Runtime + StreamWriter/StreamReader rank threads) with directory
+// liveness on, checks the survivors against the golden model, and pins the
+// membership counters -- joins/leaves/deaths, the final epoch, and exactly
+// one handshake re-plan per epoch change.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/fault_plan.h"
+#include "harness/stress_driver.h"
+#include "util/metrics.h"
+
+namespace flexio::torture {
+namespace {
+
+// ------------------------------------------- rank-action grammar (unit) --
+
+TEST(RankActionTest, ScriptRoundTrips) {
+  const std::string script =
+      "kill rank=1 step=2 point=pre_reads\n"
+      "leave rank=2 step=1 point=end\n"
+      "respawn rank=1 step=3\n"
+      "delay_hb rank=1 step=2 point=begin delay_ms=300\n";
+  auto plan = FaultPlan::parse(script);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  EXPECT_EQ(plan.value().script(), script);
+  ASSERT_EQ(plan.value().rank_actions().size(), 4u);
+  EXPECT_EQ(plan.value().rank_actions()[0].op, RankOp::kKill);
+  EXPECT_EQ(plan.value().rank_actions()[0].point, StepPoint::kPreReads);
+  EXPECT_EQ(plan.value().rank_actions()[3].delay,
+            std::chrono::milliseconds(300));
+  // Reparse of the canonical form is identical again.
+  auto again = FaultPlan::parse(plan.value().script());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().script(), script);
+}
+
+TEST(RankActionTest, MixedFabricAndRankScript) {
+  // Fabric rules and rank actions share one script; both round-trip.
+  auto plan = FaultPlan::parse(
+      "fail putmsg nth=1 code=timeout\nkill rank=1 step=0 point=begin\n");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  EXPECT_EQ(plan.value().rank_actions().size(), 1u);
+  EXPECT_EQ(plan.value().script(),
+            "fail putmsg nth=1 code=timeout\nkill rank=1 step=0 point=begin\n");
+}
+
+TEST(RankActionTest, MalformedActionsRejected) {
+  // Missing rank.
+  EXPECT_EQ(FaultPlan::parse("kill step=1").status().code(),
+            ErrorCode::kInvalidArgument);
+  // The coordinator can never be a victim.
+  EXPECT_EQ(FaultPlan::parse("kill rank=0 step=1").status().code(),
+            ErrorCode::kInvalidArgument);
+  // leave only fires at step boundaries.
+  EXPECT_EQ(FaultPlan::parse("leave rank=1 step=1 point=pre_reads")
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  // delay_ms only applies to delay_hb.
+  EXPECT_EQ(FaultPlan::parse("kill rank=1 step=1 delay_ms=5").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::parse("kill rank=1 point=sideways").status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(RankActionTest, SeededDerivationIsDeterministicAndValid) {
+  const int readers = 3, steps = 6;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const FaultPlan plan =
+        FaultPlan::random_membership(seed, readers, steps, /*respawn=*/true);
+    const FaultPlan again =
+        FaultPlan::random_membership(seed, readers, steps, /*respawn=*/true);
+    EXPECT_EQ(plan.script(), again.script()) << "seed " << seed;
+    ASSERT_GE(plan.rank_actions().size(), 1u);
+    const RankAction& kill = plan.rank_actions()[0];
+    EXPECT_EQ(kill.op, RankOp::kKill);
+    EXPECT_GE(kill.rank, 1);
+    EXPECT_LT(kill.rank, readers);
+    EXPECT_GE(kill.step, 1);
+    EXPECT_LE(kill.step, steps - 2);
+    if (plan.rank_actions().size() == 2) {
+      const RankAction& back = plan.rank_actions()[1];
+      EXPECT_EQ(back.op, RankOp::kRespawn);
+      EXPECT_EQ(back.rank, kill.rank);
+      // At least one full step between death and rejoin, and the rejoin
+      // step must exist so the writer's pre-step wait can anchor it.
+      EXPECT_GE(back.step, kill.step + 2);
+      EXPECT_LE(back.step, steps - 1);
+    }
+  }
+  // Different seeds produce different plans (not a constant derivation).
+  EXPECT_NE(FaultPlan::random_membership(1, readers, steps, true).script(),
+            FaultPlan::random_membership(2, readers, steps, true).script());
+}
+
+// --------------------------------------------------- end-to-end elastic --
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::set_enabled(true);
+    metrics::reset_all();
+  }
+  void TearDown() override { metrics::set_enabled(false); }
+
+  static std::uint64_t counter(const char* name) {
+    return metrics::counter(name).value();
+  }
+};
+
+StressConfig membership_config(const char* stream) {
+  StressConfig cfg;
+  cfg.writers = 2;
+  cfg.readers = 3;
+  cfg.steps = 5;
+  cfg.caching = "all";
+  cfg.placement = PlacementMode::kShm;
+  cfg.stream = stream;
+  cfg.membership = true;
+  cfg.membership_ttl_ms = 250;
+  cfg.timeout_ms = 30000;
+  return cfg;
+}
+
+TEST_F(MembershipTest, StableGroupBehavesLikeFrozenMatrix) {
+  // Liveness on but nobody leaves: the handshake count, step delivery, and
+  // golden data must be exactly the frozen-membership behavior -- one
+  // handshake under CACHING_ALL, zero re-plans, epoch == initial joins.
+  const StressConfig cfg = membership_config("member_stable");
+  const StressResult result = run_stress(cfg);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_GT(result.elements_verified, 0u);
+  ASSERT_EQ(result.reader_outcomes.size(), 3u);
+  for (const RankOutcome& o : result.reader_outcomes) {
+    EXPECT_TRUE(o.ran);
+    EXPECT_EQ(o.steps_seen, cfg.steps);
+    EXPECT_FALSE(o.killed || o.left || o.fenced);
+  }
+  EXPECT_EQ(counter("flexio.membership.joins"), 3u);
+  EXPECT_EQ(counter("flexio.membership.leaves"), 0u);
+  EXPECT_EQ(counter("flexio.membership.deaths"), 0u);
+  EXPECT_EQ(result.final_epoch, 3u);  // one bump per initial join
+  ASSERT_TRUE(result.report.has_value());
+  EXPECT_EQ(result.report->handshakes_performed, 1u);
+  EXPECT_EQ(result.report->handshakes_skipped,
+            static_cast<std::uint64_t>(cfg.steps) - 1);
+}
+
+TEST_F(MembershipTest, GracefulLeaveAtStepBoundaryReplansExactlyOnce) {
+  // Reader 2 drains step 1 and departs. Under CACHING_ALL the one epoch
+  // change must force exactly one extra handshake (plan re-exchange), after
+  // which the survivors' cached plans are valid again.
+  auto plan = FaultPlan::parse("leave rank=2 step=1 point=end\n");
+  ASSERT_TRUE(plan.is_ok());
+  StressConfig cfg = membership_config("member_leave");
+  cfg.faults = &plan.value();
+
+  const std::uint64_t misses_before = counter("flexio.plan.cache_misses");
+  const StressResult result = run_stress(cfg);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string() << "\n"
+                                     << plan.value().log().canonical();
+  const RankOutcome& gone = result.reader_outcomes[2];
+  EXPECT_TRUE(gone.left);
+  EXPECT_EQ(gone.steps_seen, 2);  // drained steps 0 and 1, then left
+  EXPECT_EQ(result.reader_outcomes[0].steps_seen, cfg.steps);
+  EXPECT_EQ(result.reader_outcomes[1].steps_seen, cfg.steps);
+
+  EXPECT_EQ(counter("flexio.membership.joins"), 3u);
+  EXPECT_EQ(counter("flexio.membership.leaves"), 1u);
+  EXPECT_EQ(counter("flexio.membership.deaths"), 0u);
+  EXPECT_EQ(result.final_epoch, 4u);  // 3 joins + 1 leave
+
+  // Exactly one re-plan: initial handshake + the epoch-change re-exchange.
+  ASSERT_TRUE(result.report.has_value());
+  EXPECT_EQ(result.report->handshakes_performed, 2u);
+  EXPECT_EQ(result.report->handshakes_skipped,
+            static_cast<std::uint64_t>(cfg.steps) - 2);
+  // The PR3 plan caches were invalidated once per rank, no more: every
+  // writer rank re-plans, every surviving reader rank re-plans.
+  const std::uint64_t misses = counter("flexio.plan.cache_misses") -
+                               misses_before;
+  const std::uint64_t initial =
+      static_cast<std::uint64_t>(cfg.writers + cfg.readers);
+  EXPECT_GE(misses, initial + 2u);  // at least both writers re-planned
+  EXPECT_LE(misses, initial + static_cast<std::uint64_t>(cfg.writers) + 2u);
+}
+
+TEST_F(MembershipTest, CrashMidStepIsExcisedAndSurvivorsConverge) {
+  // Reader 1 dies inside step 1 (after begin_step, before its reads). The
+  // TTL detector must declare it dead, the writer must drop its in-flight
+  // pieces and re-plan over the survivors, and the stream must run to EOS
+  // with every surviving value still golden.
+  auto plan = FaultPlan::parse("kill rank=1 step=1 point=pre_reads\n");
+  ASSERT_TRUE(plan.is_ok());
+  StressConfig cfg = membership_config("member_crash");
+  cfg.caching = "none";  // handshake every step: excision visible fast
+  cfg.steps = 6;
+  cfg.faults = &plan.value();
+
+  const StressResult result = run_stress(cfg);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string() << "\n"
+                                     << plan.value().log().canonical();
+  const RankOutcome& victim = result.reader_outcomes[1];
+  EXPECT_TRUE(victim.killed);
+  EXPECT_EQ(victim.steps_seen, 1);  // completed step 0 only
+  EXPECT_EQ(result.reader_outcomes[0].steps_seen, cfg.steps);
+  EXPECT_EQ(result.reader_outcomes[2].steps_seen, cfg.steps);
+
+  EXPECT_EQ(counter("flexio.membership.deaths"), 1u);
+  EXPECT_EQ(counter("flexio.membership.leaves"), 0u);
+  EXPECT_EQ(result.final_epoch, 4u);  // 3 joins + 1 death
+  // The writer was never stalled indefinitely by the dead reader: its
+  // slowest step is bounded by detection (TTL) plus the tolerated-loss
+  // confirmation window, far under this ceiling.
+  EXPECT_LT(result.max_writer_step_seconds, 10.0);
+}
+
+TEST_F(MembershipTest, RespawnedRankRejoinsMidStreamAndVerifies) {
+  // Kill reader 1 before step 1, bring a fresh incarnation back for step 3.
+  // The rejoiner bootstraps from the directory's open-info blob, is
+  // admitted at an epoch-stamped announce, and verifies golden data for
+  // the steps it attends -- keyed by announced step id, not a local count.
+  auto plan = FaultPlan::parse(
+      "kill rank=1 step=1 point=begin\nrespawn rank=1 step=3\n");
+  ASSERT_TRUE(plan.is_ok());
+  StressConfig cfg = membership_config("member_respawn");
+  cfg.caching = "local";
+  cfg.steps = 6;
+  cfg.faults = &plan.value();
+
+  const StressResult result = run_stress(cfg);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string() << "\n"
+                                     << plan.value().log().canonical();
+  const RankOutcome& victim = result.reader_outcomes[1];
+  EXPECT_TRUE(victim.killed);
+  EXPECT_EQ(victim.steps_seen, 1);
+  EXPECT_TRUE(victim.respawned);
+  // The harness pins the respawn as directory-visible before the writer
+  // produces step 3, so the rejoiner attends at least steps 3..5. It may
+  // catch an earlier announce too -- the supervisor rejoins as soon as the
+  // death lands, and if detection (one TTL) outpaces the writer's early
+  // steps the rejoin epoch covers step 1 or 2 -- but never step 0, which
+  // the dead incarnation completed before the kill.
+  EXPECT_GE(victim.steps_after_respawn, cfg.steps - 3);
+  EXPECT_LE(victim.steps_after_respawn, cfg.steps - 1);
+  EXPECT_EQ(result.reader_outcomes[0].steps_seen, cfg.steps);
+  EXPECT_EQ(result.reader_outcomes[2].steps_seen, cfg.steps);
+
+  EXPECT_EQ(counter("flexio.membership.joins"), 4u);  // 3 initial + rejoin
+  EXPECT_EQ(counter("flexio.membership.deaths"), 1u);
+  EXPECT_EQ(result.final_epoch, 5u);  // 4 joins + 1 death
+}
+
+TEST_F(MembershipTest, HeartbeatDelayWithinTtlIsHarmless) {
+  // A pause shorter than the TTL must not kill anyone: no deaths, no
+  // epoch churn, full delivery.
+  auto plan = FaultPlan::parse(
+      "delay_hb rank=1 step=1 point=begin delay_ms=60\n");
+  ASSERT_TRUE(plan.is_ok());
+  StressConfig cfg = membership_config("member_slow_ok");
+  cfg.membership_ttl_ms = 400;
+  cfg.faults = &plan.value();
+
+  const StressResult result = run_stress(cfg);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  for (const RankOutcome& o : result.reader_outcomes) {
+    EXPECT_EQ(o.steps_seen, cfg.steps);
+    EXPECT_FALSE(o.fenced);
+  }
+  EXPECT_EQ(counter("flexio.membership.deaths"), 0u);
+  EXPECT_EQ(result.final_epoch, 3u);
+}
+
+TEST_F(MembershipTest, StalledRankIsFencedNotResurrected) {
+  // A pause several TTLs long gets the rank declared dead. When its
+  // heartbeats resume, the directory rejects them (stale incarnation
+  // fencing) and the rank must observe fenced() instead of silently
+  // rejoining -- a zombie cannot resurrect itself.
+  auto plan = FaultPlan::parse(
+      "delay_hb rank=1 step=1 point=begin delay_ms=500\n");
+  ASSERT_TRUE(plan.is_ok());
+  StressConfig cfg = membership_config("member_fence");
+  cfg.caching = "none";
+  cfg.membership_ttl_ms = 200;
+  cfg.steps = 6;
+  // Pace the writer so the stream outlives the victim's heartbeat pause:
+  // the fencing rejection only reaches the rank when its first post-pause
+  // beat finds the group still registered. Flat out, all six steps (and
+  // the close that drops the group) finish before the pause expires.
+  cfg.step_delay_ms = 150;
+  cfg.faults = &plan.value();
+
+  const StressResult result = run_stress(cfg);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string() << "\n"
+                                     << plan.value().log().canonical();
+  const RankOutcome& victim = result.reader_outcomes[1];
+  EXPECT_TRUE(victim.fenced);
+  EXPECT_FALSE(victim.killed);
+  EXPECT_EQ(result.reader_outcomes[0].steps_seen, cfg.steps);
+  EXPECT_EQ(result.reader_outcomes[2].steps_seen, cfg.steps);
+  EXPECT_EQ(counter("flexio.membership.deaths"), 1u);
+  EXPECT_LT(result.max_writer_step_seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace flexio::torture

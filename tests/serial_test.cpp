@@ -110,6 +110,46 @@ TEST(BufferTest, VarintRandomRoundTrip) {
   }
 }
 
+TEST(BufferTest, TrailerSkipPrimitives) {
+  // The wire layer's versioned-trailer contract (core/wire.cpp) leans on
+  // three buffer behaviors: at_end() distinguishes "old frame, no trailer
+  // bytes" from "trailer present"; get_view(remaining()) swallows an
+  // unknown tail in one step; and a truncated trailer surfaces as an
+  // explicit underrun rather than garbage.
+  BufWriter w;
+  w.put_u64(7);         // "body"
+  w.put_u8(200);        // unknown trailer tag
+  w.put_varint(12345);  // opaque future payload
+  BufReader r(w.view());
+  std::uint64_t body = 0;
+  ASSERT_TRUE(r.get_u64(&body).is_ok());
+  EXPECT_FALSE(r.at_end());  // trailer bytes present
+  std::uint8_t tag = 0;
+  ASSERT_TRUE(r.get_u8(&tag).is_ok());
+  EXPECT_EQ(tag, 200);
+  ByteView rest;
+  ASSERT_TRUE(r.get_view(r.remaining(), &rest).is_ok());
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Old-format frame: body only, reader lands exactly at end.
+  BufWriter old;
+  old.put_u64(7);
+  BufReader r_old(old.view());
+  ASSERT_TRUE(r_old.get_u64(&body).is_ok());
+  EXPECT_TRUE(r_old.at_end());
+
+  // Trailer tag present but its payload truncated: underrun, not garbage.
+  BufWriter cut;
+  cut.put_u64(7);
+  cut.put_u8(1);  // tag announcing a payload that never comes
+  BufReader r_cut(cut.view());
+  ASSERT_TRUE(r_cut.get_u64(&body).is_ok());
+  ASSERT_TRUE(r_cut.get_u8(&tag).is_ok());
+  std::uint64_t missing = 0;
+  EXPECT_FALSE(r_cut.get_varint(&missing).is_ok());
+}
+
 Schema particle_schema() {
   return Schema("particle_meta",
                 {{"name", DataType::kString, false},

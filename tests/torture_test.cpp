@@ -7,9 +7,12 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <string>
 
 #include "harness/fault_plan.h"
 #include "harness/stress_driver.h"
+#include "util/flight_recorder.h"
+#include "util/metrics.h"
 
 namespace flexio::torture {
 namespace {
@@ -272,6 +275,164 @@ TEST(TortureTest, CachingAllSurvivesFaultsWithHandshakeInvariant) {
       << plan.banner() << "\nreplay with: FLEXIO_TORTURE_SEED=" << (seed)
       << "\nevent log:\n"
       << plan.log().canonical();
+}
+
+// ------------------------------------------ membership kill/respawn runs --
+
+/// Number of seeds the kill/respawn sweep runs. CI's sanitizer jobs raise
+/// this to 100; the local default keeps `ctest -L slow` under a minute.
+int torture_runs() {
+  const char* env = std::getenv("FLEXIO_TORTURE_RUNS");
+  if (env == nullptr || *env == '\0') return 25;
+  const int runs = std::atoi(env);
+  return runs > 0 ? runs : 25;
+}
+
+/// Optional flight-recorder capture: when FLEXIO_FLIGHT_DIR is set the
+/// membership runs leave a rotating stats log there, which CI uploads on
+/// failure so a flaky kill/respawn run can be diagnosed post mortem.
+class FlightCapture {
+ public:
+  explicit FlightCapture(const std::string& name) {
+    const char* dir = std::getenv("FLEXIO_FLIGHT_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    std::filesystem::create_directories(dir);
+    flight::Options options;
+    options.path = std::string(dir) + "/" + name + ".jsonl";
+    options.interval_ms = 20;
+    active_ = flight::start(options).is_ok();
+  }
+  ~FlightCapture() {
+    if (active_) flight::stop();
+  }
+
+ private:
+  bool active_ = false;
+};
+
+StressConfig membership_torture_config(const StressConfig& base,
+                                       const FaultPlan* plan) {
+  StressConfig cfg = base;
+  cfg.writers = 2;
+  cfg.readers = 3;
+  cfg.steps = 6;
+  cfg.membership = true;
+  cfg.membership_ttl_ms = 200;
+  cfg.timeout_ms = 30000;
+  cfg.faults = plan;
+  return cfg;
+}
+
+/// Membership needs live heartbeats, so the kill matrix covers the online
+/// placements of the caching x sync x placement grid (file replay has no
+/// reader group to mutate).
+std::vector<StressConfig> membership_matrix() {
+  std::vector<StressConfig> cfgs;
+  for (const char* caching : {"none", "local", "all"}) {
+    for (const bool async : {false, true}) {
+      for (const PlacementMode placement :
+           {PlacementMode::kShm, PlacementMode::kRdma}) {
+        StressConfig cfg;
+        cfg.caching = caching;
+        cfg.async_writes = async;
+        cfg.placement = placement;
+        cfgs.push_back(membership_torture_config(cfg, nullptr));
+      }
+    }
+  }
+  return cfgs;
+}
+
+class MembershipTortureTest : public ::testing::TestWithParam<StressConfig> {
+ protected:
+  void SetUp() override {
+    metrics::set_enabled(true);
+    metrics::reset_all();
+  }
+  void TearDown() override { metrics::set_enabled(false); }
+};
+
+TEST_P(MembershipTortureTest, KillRandomReaderMidStep) {
+  const std::uint64_t seed = torture_seed();
+  const FaultPlan plan = FaultPlan::random_membership(
+      seed, /*readers=*/3, /*steps=*/6, /*respawn=*/true);
+  StressConfig cfg = GetParam();
+  cfg.stream = "member_kill_" + cfg.label();
+  cfg.faults = &plan;
+  FlightCapture flight("member_kill_" + cfg.label());
+
+  const StressResult result = run_stress(cfg);
+  ASSERT_TRUE(result.status.is_ok())
+      << result.status.to_string() << "\n"
+      << plan.banner() << "\nreplay with: FLEXIO_TORTURE_SEED=" << seed
+      << "\nevent log:\n"
+      << plan.log().canonical();
+
+  const RankAction& kill = plan.rank_actions()[0];
+  const bool has_respawn = plan.rank_actions().size() > 1;
+  const RankOutcome& victim = result.reader_outcomes[kill.rank];
+  EXPECT_TRUE(victim.killed) << plan.banner();
+  EXPECT_EQ(victim.respawned, has_respawn) << plan.banner();
+  for (int r = 0; r < cfg.readers; ++r) {
+    if (r == kill.rank) continue;
+    EXPECT_EQ(result.reader_outcomes[r].steps_seen, cfg.steps)
+        << "survivor rank " << r << "\n"
+        << plan.banner();
+  }
+  EXPECT_EQ(metrics::counter("flexio.membership.deaths").value(), 1u);
+  // Dead-reader excision never stalls the writer unboundedly: the slowest
+  // step is detection (TTL) plus the confirm-loss window, well under this.
+  EXPECT_LT(result.max_writer_step_seconds, 10.0) << plan.banner();
+  EXPECT_GT(result.elements_verified, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OnlineModes, MembershipTortureTest, ::testing::ValuesIn(membership_matrix()),
+    [](const auto& suite_info) { return suite_info.param.label(); });
+
+TEST(MembershipSweepTest, SeedSweepKillRespawnReplays) {
+  // Many seeds, one combo: every derived kill point (any step, any of the
+  // four step points, either victim rank) must excise cleanly and every
+  // derived respawn must get back in. A failure prints the seed; replaying
+  // it re-derives the identical plan.
+  metrics::set_enabled(true);
+  FlightCapture flight("member_sweep");
+  const int runs = torture_runs();
+  const std::uint64_t base = torture_seed();
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
+    const FaultPlan plan = FaultPlan::random_membership(
+        seed, /*readers=*/3, /*steps=*/6, /*respawn=*/true);
+    StressConfig cfg;
+    cfg.caching = "local";
+    cfg.placement = PlacementMode::kShm;
+    cfg = membership_torture_config(cfg, &plan);
+    cfg.membership_ttl_ms = 150;
+    cfg.stream = "member_sweep_" + std::to_string(i);
+
+    metrics::reset_all();
+    const StressResult result = run_stress(cfg);
+    ASSERT_TRUE(result.status.is_ok())
+        << "sweep run " << i << ": " << result.status.to_string() << "\n"
+        << plan.banner() << "\nreplay with: FLEXIO_TORTURE_SEED=" << seed
+        << "\nevent log:\n"
+        << plan.log().canonical();
+    const RankAction& kill = plan.rank_actions()[0];
+    EXPECT_TRUE(result.reader_outcomes[kill.rank].killed)
+        << "seed " << seed << "\n"
+        << plan.banner();
+    if (plan.rank_actions().size() > 1) {
+      EXPECT_TRUE(result.reader_outcomes[kill.rank].respawned)
+          << "seed " << seed << "\n"
+          << plan.banner();
+    }
+    for (int r = 0; r < cfg.readers; ++r) {
+      if (r == kill.rank) continue;
+      EXPECT_EQ(result.reader_outcomes[r].steps_seen, cfg.steps)
+          << "seed " << seed << " survivor rank " << r;
+    }
+  }
+  metrics::set_enabled(false);
 }
 
 }  // namespace

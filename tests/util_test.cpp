@@ -1,9 +1,12 @@
 // Unit tests for flexio::util: status, strings, stats, rng, cacheline.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <thread>
+#include <vector>
 
+#include "util/backoff.h"
 #include "util/cacheline.h"
 #include "util/common.h"
 #include "util/log.h"
@@ -219,6 +222,54 @@ TEST(LogTest, LevelGateWorks) {
   EXPECT_TRUE(detail::log_enabled(LogLevel::kDebug));
   EXPECT_FALSE(detail::log_enabled(LogLevel::kTrace));
   set_log_level(prev);
+}
+
+// ----------------------------------------------------------- backoff ----
+
+// Recorder for the process-wide sleep hook (plain function pointer, so the
+// capture buffer is file-static).
+std::vector<std::chrono::nanoseconds>& recorded_sleeps() {
+  static std::vector<std::chrono::nanoseconds> v;
+  return v;
+}
+void record_sleep(std::chrono::nanoseconds d) { recorded_sleeps().push_back(d); }
+
+TEST(BackoffTest, DelaysGrowGeometricallyAndCap) {
+  util::BackoffPolicy policy;
+  policy.initial = std::chrono::milliseconds(1);
+  policy.max = std::chrono::milliseconds(8);
+  policy.multiplier = 2.0;
+  util::Backoff backoff(policy);
+  using std::chrono::milliseconds;
+  EXPECT_EQ(backoff.next_delay(), milliseconds(1));
+  EXPECT_EQ(backoff.next_delay(), milliseconds(2));
+  EXPECT_EQ(backoff.next_delay(), milliseconds(4));
+  EXPECT_EQ(backoff.next_delay(), milliseconds(8));
+  EXPECT_EQ(backoff.next_delay(), milliseconds(8));  // capped
+  EXPECT_EQ(backoff.attempts(), 5);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0);
+  EXPECT_EQ(backoff.next_delay(), milliseconds(1));
+}
+
+TEST(BackoffTest, SleepHookCapturesExactSequenceWithoutWaiting) {
+  // A retry loop under the fake-sleep hook runs instantly and leaves the
+  // exact delay schedule behind -- this is how the StreamReader's file-mode
+  // open retry is pinned without wall-clock waits.
+  recorded_sleeps().clear();
+  util::Backoff::set_sleep_for_testing(&record_sleep);
+  util::BackoffPolicy policy;
+  policy.initial = std::chrono::milliseconds(2);
+  policy.max = std::chrono::milliseconds(16);
+  util::Backoff backoff(policy);
+  for (int attempt = 0; attempt < 5; ++attempt) backoff.sleep();
+  util::Backoff::set_sleep_for_testing(nullptr);
+  using std::chrono::milliseconds;
+  const std::vector<std::chrono::nanoseconds> want = {
+      milliseconds(2), milliseconds(4), milliseconds(8), milliseconds(16),
+      milliseconds(16)};
+  EXPECT_EQ(recorded_sleeps(), want);
+  recorded_sleeps().clear();
 }
 
 }  // namespace
