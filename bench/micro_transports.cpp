@@ -7,7 +7,10 @@
 // planning, and the hyperslab copy kernel.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "adios/array.h"
 #include "adios/var.h"
@@ -24,6 +27,7 @@
 #include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/trace.h"
+#include "util/work_pool.h"
 
 namespace {
 
@@ -254,6 +258,135 @@ void BM_StreamStepCachedPlan(benchmark::State& state) {
                           static_cast<std::int64_t>(kN * sizeof(double)));
 }
 BENCHMARK(BM_StreamStepCachedPlan);
+
+void BM_StreamStepParallelPack(benchmark::State& state) {
+  // High fan-out pack + send: 1 writer -> 16 readers, each reading a
+  // narrow column band of a 2-D field so every piece takes the strided
+  // copy_region path (2048 runs of 32 B per reader; no whole-block
+  // borrows). Manual time covers end_step only -- with caching=all the
+  // steady-state step is exactly the pack + send phase the worker pool
+  // parallelizes. The arg is pack_threads; arg 0 installs a zero-worker
+  // pool so CI can price the pool machinery itself at concurrency 1
+  // against the plain serial path (/1). tools/check_bench_overhead.py
+  // gates /1 vs /4 (scaling) and /0 vs /1 (dispatch overhead).
+  const int arg = static_cast<int>(state.range(0));
+  const bool was = metrics::enabled();
+  metrics::set_enabled(true);
+  // Ship the machine's core count in the report's counter block: the
+  // scaling gate only binds where 4 pack threads can actually run in
+  // parallel (check_bench_overhead.py skips it below 4 cores).
+  [[maybe_unused]] static const bool hw_once = [] {
+    metrics::counter("bench.hw_concurrency")
+        .add(std::thread::hardware_concurrency());
+    return true;
+  }();
+  Runtime rt;
+  constexpr int kReaders = 16;
+  constexpr std::uint64_t kRows = 2048;
+  constexpr std::uint64_t kCols = 64;             // 1 MiB of doubles
+  constexpr std::uint64_t kBand = kCols / kReaders;  // 4 columns per reader
+  Program sim("sim", 1);
+  Program viz("viz", kReaders);
+  xml::MethodConfig method;
+  method.method = "FLEXIO";
+  method.timeout_ms = 20000;
+  const std::string params =
+      "caching=all; batching=yes; async=yes; pack_threads=" +
+      std::to_string(arg == 0 ? 1 : arg);
+  if (!xml::apply_method_params(params, &method).is_ok()) {
+    state.SkipWithError("bad method params");
+    return;
+  }
+  const std::string stream = "bench_parallel_pack_" + std::to_string(arg);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      StreamSpec spec;
+      spec.stream = stream;
+      spec.endpoint = EndpointSpec{&viz, r, evpath::Location{0, 0}};
+      spec.method = method;
+      auto rd = rt.open_reader(spec);
+      if (!rd.is_ok()) return;
+      std::vector<double> out(kRows * kBand);
+      for (;;) {
+        auto step = rd.value()->begin_step();
+        if (!step.is_ok()) break;
+        (void)rd.value()->schedule_read(
+            "field",
+            adios::Box{{0, static_cast<std::uint64_t>(r) * kBand},
+                       {kRows, kBand}},
+            MutableByteView(std::as_writable_bytes(std::span<double>(out))));
+        if (!rd.value()->perform_reads().is_ok()) break;
+        if (!rd.value()->end_step().is_ok()) break;
+      }
+    });
+  }
+  StreamSpec spec;
+  spec.stream = stream;
+  spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+  spec.method = method;
+  auto w = rt.open_writer(spec);
+  if (!w.is_ok()) {
+    for (auto& t : readers) t.join();
+    state.SkipWithError("open_writer failed");
+    return;
+  }
+  if (arg == 0) {
+    w.value()->set_pack_pool_for_testing(
+        std::make_shared<util::WorkPool>(0));
+  }
+  std::vector<double> data(kRows * kCols, 1.0);
+  const auto meta = adios::global_array_var(
+      "field", serial::DataType::kDouble, {kRows, kCols},
+      adios::Box{{0, 0}, {kRows, kCols}});
+  const auto run_step = [&](StepId step) -> Status {
+    Status st = w.value()->begin_step(step);
+    if (st.is_ok()) {
+      st = w.value()->write(meta, as_bytes_view(std::span<const double>(data)));
+    }
+    return st.is_ok() ? w.value()->end_step() : st;
+  };
+  // Warm-up step: pays the open handshake, the transfer plan, and the 16
+  // link connects, so every timed iteration is a steady-state cache-hit
+  // step and the /1-vs-/4 ratio compares pack + send alone.
+  StepId step = 0;
+  if (const Status st = run_step(step++); !st.is_ok()) {
+    state.SkipWithError(st.to_string().c_str());
+  } else {
+    for (auto _ : state) {
+      Status s = w.value()->begin_step(step++);
+      if (s.is_ok()) {
+        s = w.value()->write(meta,
+                             as_bytes_view(std::span<const double>(data)));
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      if (s.is_ok()) s = w.value()->end_step();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!s.is_ok()) {
+        state.SkipWithError(s.to_string().c_str());
+        break;
+      }
+      state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    }
+  }
+  (void)w.value()->close();
+  for (auto& t : readers) t.join();
+  metrics::set_enabled(was);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRows * kCols *
+                                                    sizeof(double)));
+}
+// Fixed iteration count: the median must average the same steady-state
+// step population for every thread count (min_time-driven iteration counts
+// would weight the warm cache differently per variant).
+BENCHMARK(BM_StreamStepParallelPack)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Iterations(48);
 
 // ------------------------------------------------- observability overhead --
 // The CI perf-smoke gate compares these two: a disabled counter add must be

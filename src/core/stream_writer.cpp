@@ -56,6 +56,15 @@ metrics::Histogram& step_enqueue_hist() {
   static metrics::Histogram& h = metrics::histogram("flexio.step.enqueue.ns");
   return h;
 }
+// Parallel-pack critical path: the slowest per-reader pack task of the
+// step. With a serial writer this equals the largest single reader's pack
+// time; the gap between it and flexio.step.pack.ns (the sum over tasks =
+// total work) is what parallelism reclaims from the step's wall clock.
+metrics::Histogram& step_pack_critical_hist() {
+  static metrics::Histogram& h =
+      metrics::histogram("flexio.step.pack.critical.ns");
+  return h;
+}
 }  // namespace
 
 StreamWriter::~StreamWriter() {
@@ -82,8 +91,18 @@ Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
     return Status::ok();
   }
 
-  // Stream mode: create this rank's endpoint and rendezvous with the
-  // reader program through the directory server (Section II.C.1).
+  // Stream mode: resolve the packing concurrency (config wins, then the
+  // FLEXIO_PACK_THREADS env knob, then serial) and spawn the pool once per
+  // stream -- per-step spawning would dwarf the pack times it parallelizes.
+  pack_threads_ = spec.method.pack_threads > 0
+                      ? spec.method.pack_threads
+                      : util::WorkPool::env_pack_threads(1);
+  if (pack_threads_ > 1) {
+    pack_pool_ = std::make_shared<util::WorkPool>(pack_threads_ - 1);
+  }
+
+  // Create this rank's endpoint and rendezvous with the reader program
+  // through the directory server (Section II.C.1).
   evpath::LinkOptions lopts;
   lopts.queue_entries = spec.method.queue_entries;
   lopts.queue_payload_bytes = spec.method.queue_payload_bytes;
@@ -415,13 +434,18 @@ bool StreamWriter::plan_bindings_valid() const {
   return true;
 }
 
+// One pool task's worth of work: everything send_to_reader needs, decided
+// serially in the dispatch prologue. `planned` points into cached_plan_,
+// which no thread mutates while a batch is in flight.
+struct StreamWriter::ReaderWork {
+  int reader = 0;
+  const std::vector<PlannedPiece>* planned = nullptr;
+  std::string dest;
+};
+
 Status StreamWriter::send_pieces() {
   trace::Span span("writer.send_pieces");
   PerfMonitor::ScopedTimer t(&monitor_, "write.send");
-  // Phase attribution: split the step's send work into pack (strided
-  // region copies) and enqueue (transport hand-off), summed over pieces.
-  std::uint64_t pack_ns = 0;
-  std::uint64_t enqueue_ns = 0;
   // Reuse the cached per-reader plan when neither side of the handshake
   // changed; otherwise recompute and rebind.
   if (have_cached_plan_ && !plan_bindings_valid()) have_cached_plan_ = false;
@@ -434,10 +458,15 @@ Status StreamWriter::send_pieces() {
     monitor_.add_count("plan.cache_miss", 1);
   }
 
-  const auto send_mode = spec_.method.async_writes ? evpath::SendMode::kAsync
-                                                   : evpath::SendMode::kSync;
+  // Serial prologue: membership gating mutates shared writer state (the
+  // link-incarnation map, stale-link drops), so every dispatch decision is
+  // made here, before any task can run. What remains per reader -- pack,
+  // plug-in, send, tolerated-loss confirmation -- touches only read-only
+  // writer state and thread-safe components (DESIGN.md "Parallel pack").
+  std::vector<ReaderWork> work;
+  work.reserve(cached_plan_.size());
   for (const auto& [reader, planned] : cached_plan_) {
-    const std::string dest =
+    std::string dest =
         Runtime::endpoint_name(spec_.stream, reader_program_, reader);
     if (membership_ && have_members_) {
       const wire::MemberInfo* mi = member_info(reader);
@@ -457,94 +486,157 @@ Status StreamWriter::send_pieces() {
       }
       link_incarnation_[reader] = mi->incarnation;
     }
-    std::vector<wire::DataPiece> packed;
-    packed.reserve(planned.size());
-    for (const PlannedPiece& pp : planned) {
-      const TransferPiece& p = pp.piece;
-      const wire::BlockInfo& block = my_blocks_[pp.block_index];
-      const std::vector<std::byte>& payload = my_payloads_[pp.block_index];
-      wire::DataPiece piece;
-      piece.meta = block.meta;
-      piece.region = p.region;
-      if (p.whole_block) {
-        // Borrow the buffered block: the bytes flow straight from
-        // my_payloads_ into the transport at encode time. Safe because
-        // every transport finishes its copy inside send and the buffer
-        // lives until the next begin_step.
-        piece.borrowed = ByteView(payload);
-      } else {
-        // Pack the overlap region densely.
-        const std::uint64_t pack_start = metrics::now_ns();
-        const std::size_t elem = serial::size_of(block.meta.type);
-        piece.payload.resize(p.region.elements() * elem);
-        adios::copy_region(block.meta.block, payload.data(), p.region,
-                           piece.payload.data(), p.region, elem);
-        pack_ns += metrics::now_ns() - pack_start;
-      }
-      // Writer-side DC plug-in, if deployed against this variable.
-      const auto plug = plugins_.find(p.var);
-      if (plug != plugins_.end()) {
-        PerfMonitor::ScopedTimer pt(&monitor_, "plugin.exec");
-        piece.materialize();  // plug-ins consume owned payload bytes
-        auto transformed = plug->second(piece);
-        if (!transformed.is_ok()) return transformed.status();
-        piece = std::move(transformed).value();
-        monitor_.add_count("plugin.pieces", 1);
-      }
-      packed.push_back(std::move(piece));
+    work.push_back(ReaderWork{reader, &planned, std::move(dest)});
+  }
+
+  // Per-task timing slots: disjoint indices, written by exactly one task
+  // each, read after the batch joins (run_batch's completion wait is the
+  // synchronization point).
+  std::vector<std::uint64_t> task_pack_ns(work.size(), 0);
+  std::vector<std::uint64_t> task_enqueue_ns(work.size(), 0);
+
+  Status sent = Status::ok();
+  if (pack_pool_ != nullptr && work.size() > 1) {
+    // Each task inherits the submitting thread's trace identity so its
+    // spans land in the writer's timeline, parented under this function's
+    // span; first-error-wins across tasks, every task runs (a failing
+    // reader must not suppress its siblings' sends).
+    const trace::TaskContext tctx = trace::TaskContext::capture();
+    std::vector<util::WorkPool::Task> tasks;
+    tasks.reserve(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      tasks.push_back([this, tctx, &work, &task_pack_ns, &task_enqueue_ns,
+                       i]() -> Status {
+        trace::TaskScope task_identity(tctx);
+        return send_to_reader(work[i], &task_pack_ns[i], &task_enqueue_ns[i]);
+      });
     }
-    auto send_batch = [&](std::vector<wire::DataPiece> pieces) -> Status {
-      wire::DataMsg msg;
-      msg.step = step_;
-      msg.writer_rank = rank_;
-      msg.pieces = std::move(pieces);
-      msg.trace = wire::TraceContext{stream_id_, step_, step_span_id_,
-                                     metrics::now_ns()};
-      std::uint64_t bytes = 0;
-      for (const auto& p : msg.pieces) bytes += p.bytes().size();
-      monitor_.add_count("bytes.sent", bytes);
-      monitor_.add_count("msgs.sent", 1);
-      stream_bytes_sent_counter().add(bytes);
-      // Scatter-gather framing: header slices interleaved with borrowed
-      // payload views; transports gather them without a flat intermediate.
-      const serial::IovMessage iov = wire::encode_data_iov(msg);
-      const std::uint64_t enqueue_start = metrics::now_ns();
-      const Status st = endpoint_->send_iov(dest, iov.frags, send_mode);
-      enqueue_ns += metrics::now_ns() - enqueue_start;
-      return st;
-    };
-    Status sent = Status::ok();
-    if (spec_.method.batching) {
-      sent = send_batch(std::move(packed));
-      if (sent.is_ok()) monitor_.add_count("msgs.batched", 1);
-    } else {
-      for (auto& piece : packed) {
-        std::vector<wire::DataPiece> one;
-        one.push_back(std::move(piece));
-        sent = send_batch(std::move(one));
-        if (!sent.is_ok()) break;
-      }
-    }
-    if (!sent.is_ok()) {
-      // A reader that dies mid-step takes its links down with it; the
-      // transports fast-fail instead of wedging the writer. Tolerate the
-      // loss only once the failure detector corroborates it -- anything
-      // else is a real transport error.
-      const bool reader_loss = sent.code() == ErrorCode::kUnavailable ||
-                               sent.code() == ErrorCode::kNotFound ||
-                               sent.code() == ErrorCode::kTimeout;
-      if (!membership_ || !reader_loss || !confirm_reader_gone(reader)) {
-        return sent;
-      }
-      endpoint_->drop_link(dest);
-      dropped_pieces_counter().add(planned.size());
-      monitor_.add_count("membership.pieces_dropped", planned.size());
+    sent = pack_pool_->run_batch(std::move(tasks));
+  } else {
+    // Serial path: same tasks, same all-run + first-error-wins semantics,
+    // executed inline in plan order.
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      const Status st =
+          send_to_reader(work[i], &task_pack_ns[i], &task_enqueue_ns[i]);
+      if (sent.is_ok()) sent = st;
     }
   }
-  step_pack_hist().record(pack_ns);
-  step_enqueue_hist().record(enqueue_ns);
-  monitor_.add_count("phase.pack_ns", pack_ns);
-  monitor_.add_count("phase.enqueue_ns", enqueue_ns);
+  if (!sent.is_ok()) return sent;
+
+  // Phase attribution: the sum over tasks is the step's total pack work
+  // (invariant across thread counts); the max is the parallel critical
+  // path -- the pack time the step actually waits for.
+  std::uint64_t pack_sum = 0;
+  std::uint64_t pack_max = 0;
+  std::uint64_t enqueue_sum = 0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    pack_sum += task_pack_ns[i];
+    if (task_pack_ns[i] > pack_max) pack_max = task_pack_ns[i];
+    enqueue_sum += task_enqueue_ns[i];
+  }
+  step_pack_hist().record(pack_sum);
+  step_pack_critical_hist().record(pack_max);
+  step_enqueue_hist().record(enqueue_sum);
+  monitor_.add_count("phase.pack_ns", pack_sum);
+  monitor_.add_count("phase.pack_critical_ns", pack_max);
+  monitor_.add_count("phase.enqueue_ns", enqueue_sum);
+  return Status::ok();
+}
+
+Status StreamWriter::send_to_reader(const ReaderWork& work,
+                                    std::uint64_t* pack_ns,
+                                    std::uint64_t* enqueue_ns) {
+  trace::Span span("writer.pack_task");
+  const std::vector<PlannedPiece>& planned = *work.planned;
+  const auto send_mode = spec_.method.async_writes ? evpath::SendMode::kAsync
+                                                   : evpath::SendMode::kSync;
+  std::vector<wire::DataPiece> packed;
+  packed.reserve(planned.size());
+  for (const PlannedPiece& pp : planned) {
+    const TransferPiece& p = pp.piece;
+    const wire::BlockInfo& block = my_blocks_[pp.block_index];
+    const std::vector<std::byte>& payload = my_payloads_[pp.block_index];
+    wire::DataPiece piece;
+    piece.meta = block.meta;
+    piece.region = p.region;
+    if (p.whole_block) {
+      // Borrow the buffered block: the bytes flow straight from
+      // my_payloads_ into the transport at encode time. Safe because
+      // every transport finishes its copy inside send and the buffer
+      // lives until the next begin_step.
+      piece.borrowed = ByteView(payload);
+    } else {
+      // Pack the overlap region densely.
+      const std::uint64_t pack_start = metrics::now_ns();
+      const std::size_t elem = serial::size_of(block.meta.type);
+      piece.payload.resize(p.region.elements() * elem);
+      adios::copy_region(block.meta.block, payload.data(), p.region,
+                         piece.payload.data(), p.region, elem);
+      *pack_ns += metrics::now_ns() - pack_start;
+    }
+    // Writer-side DC plug-in, if deployed against this variable. Plug-ins
+    // may run concurrently against different pieces; they transform their
+    // input and must not mutate shared state (DESIGN.md "Parallel pack").
+    const auto plug = plugins_.find(p.var);
+    if (plug != plugins_.end()) {
+      PerfMonitor::ScopedTimer pt(&monitor_, "plugin.exec");
+      piece.materialize();  // plug-ins consume owned payload bytes
+      auto transformed = plug->second(piece);
+      if (!transformed.is_ok()) return transformed.status();
+      piece = std::move(transformed).value();
+      monitor_.add_count("plugin.pieces", 1);
+    }
+    packed.push_back(std::move(piece));
+  }
+  auto send_batch = [&](std::vector<wire::DataPiece> pieces) -> Status {
+    wire::DataMsg msg;
+    msg.step = step_;
+    msg.writer_rank = rank_;
+    msg.pieces = std::move(pieces);
+    msg.trace = wire::TraceContext{stream_id_, step_, step_span_id_,
+                                   metrics::now_ns()};
+    std::uint64_t bytes = 0;
+    for (const auto& p : msg.pieces) bytes += p.bytes().size();
+    monitor_.add_count("bytes.sent", bytes);
+    monitor_.add_count("msgs.sent", 1);
+    stream_bytes_sent_counter().add(bytes);
+    // Scatter-gather framing: header slices interleaved with borrowed
+    // payload views; transports gather them without a flat intermediate.
+    const serial::IovMessage iov = wire::encode_data_iov(msg);
+    const std::uint64_t enqueue_start = metrics::now_ns();
+    const Status st = endpoint_->send_iov(work.dest, iov.frags, send_mode);
+    *enqueue_ns += metrics::now_ns() - enqueue_start;
+    return st;
+  };
+  Status sent = Status::ok();
+  if (spec_.method.batching) {
+    sent = send_batch(std::move(packed));
+    if (sent.is_ok()) monitor_.add_count("msgs.batched", 1);
+  } else {
+    for (auto& piece : packed) {
+      std::vector<wire::DataPiece> one;
+      one.push_back(std::move(piece));
+      sent = send_batch(std::move(one));
+      if (!sent.is_ok()) break;
+    }
+  }
+  if (!sent.is_ok()) {
+    // A reader that dies mid-step takes its links down with it; the
+    // transports fast-fail instead of wedging the writer. Tolerate the
+    // loss only once the failure detector corroborates it -- anything
+    // else is a real transport error. confirm_reader_gone only reads
+    // shared state (directory polls + link-incarnation lookups), so a
+    // pool task may block in it while its siblings keep sending.
+    const bool reader_loss = sent.code() == ErrorCode::kUnavailable ||
+                             sent.code() == ErrorCode::kNotFound ||
+                             sent.code() == ErrorCode::kTimeout;
+    if (!membership_ || !reader_loss || !confirm_reader_gone(work.reader)) {
+      return sent;
+    }
+    endpoint_->drop_link(work.dest);
+    dropped_pieces_counter().add(planned.size());
+    monitor_.add_count("membership.pieces_dropped", planned.size());
+  }
   return Status::ok();
 }
 

@@ -15,6 +15,7 @@
 #include "adios/bp_file.h"
 #include "core/redistribution.h"
 #include "core/runtime.h"
+#include "util/work_pool.h"
 
 namespace flexio {
 
@@ -59,6 +60,17 @@ class StreamWriter {
   /// Writer-side monitoring (Section II.G).
   const PerfMonitor& monitor() const { return monitor_; }
 
+  /// Packing concurrency the writer resolved at open() (method config,
+  /// else FLEXIO_PACK_THREADS, else 1 = serial).
+  int pack_threads() const { return pack_threads_; }
+
+  /// Replace the pack pool (tests: share one pool across writers, or force
+  /// a specific worker count). Must not be called with a step in flight.
+  void set_pack_pool_for_testing(std::shared_ptr<util::WorkPool> pool) {
+    pack_pool_ = std::move(pool);
+    pack_threads_ = pack_pool_ ? pack_pool_->workers() + 1 : 1;
+  }
+
  private:
   friend class Runtime;
   StreamWriter() = default;
@@ -68,6 +80,13 @@ class StreamWriter {
   Status end_step_file();
   Status run_handshake(bool* did_exchange);
   Status send_pieces();
+  /// One pool task: pack, transform, and send every planned piece for one
+  /// reader. Shared writer state is read-only while a batch is in flight
+  /// (see DESIGN.md "Parallel pack"); the out-params are this task's
+  /// private slots in the per-task timing vectors.
+  struct ReaderWork;
+  Status send_to_reader(const ReaderWork& work, std::uint64_t* pack_ns,
+                        std::uint64_t* enqueue_ns);
   void rebuild_send_plan();
   bool plan_bindings_valid() const;
   wire::MonitorReport build_report() const;
@@ -138,6 +157,13 @@ class StreamWriter {
 
   // Writer-side DC plug-ins, keyed by variable name.
   std::map<std::string, PluginFn> plugins_;
+
+  // Parallel pack (DESIGN.md "Parallel pack"): per-reader piece groups are
+  // packed + sent as pool tasks. pack_threads_ is the total concurrency
+  // including the caller; the pool holds pack_threads_ - 1 workers and is
+  // absent when the writer runs serial (pack_threads_ == 1).
+  int pack_threads_ = 1;
+  std::shared_ptr<util::WorkPool> pack_pool_;
 
   // File mode.
   std::unique_ptr<adios::BpWriter> bp_;

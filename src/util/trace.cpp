@@ -112,6 +112,10 @@ std::uint32_t this_thread_trace_id() {
 
 thread_local std::uint32_t t_pid = 0;
 
+/// Parent adopted by root spans (empty open stack) on this thread; set by
+/// TaskScope so pool-task spans nest under the span that submitted them.
+thread_local std::uint64_t t_parent_hint = 0;
+
 /// Per-thread stack of open span ids, for parent/depth bookkeeping.
 struct OpenStack {
   std::vector<std::uint64_t> ids;
@@ -252,7 +256,7 @@ void Span::begin(const char* name) {
   name_ = name;
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   OpenStack& stack = open_stack();
-  parent_ = stack.ids.empty() ? 0 : stack.ids.back();
+  parent_ = stack.ids.empty() ? t_parent_hint : stack.ids.back();
   depth_ = static_cast<std::uint32_t>(stack.ids.size());
   stack.ids.push_back(id_);
   start_ = metrics::now_ns();
@@ -279,6 +283,43 @@ void Span::end() {
   while (!stack.ids.empty() && stack.ids.back() != id_) stack.ids.pop_back();
   if (!stack.ids.empty()) stack.ids.pop_back();
   Ring::instance().push(rec);
+}
+
+TaskContext TaskContext::capture() {
+  // Captured unconditionally (thread-local reads only): a scope applied on
+  // a worker must restore-to-correct state even when tracing toggles
+  // between capture and execution.
+  TaskContext ctx;
+  const StepAnnotation& ann = step_annotation();
+  ctx.pid = t_pid;
+  ctx.parent_span = current_span_id();
+  ctx.stream_id = ann.stream_id;
+  ctx.step = ann.step;
+  ctx.peer_span = ann.peer_span;
+  return ctx;
+}
+
+TaskScope::TaskScope(const TaskContext& ctx) {
+  StepAnnotation& ann = step_annotation();
+  prev_pid_ = t_pid;
+  prev_parent_hint_ = t_parent_hint;
+  prev_stream_ = ann.stream_id;
+  prev_step_ = ann.step;
+  prev_peer_ = ann.peer_span;
+  t_pid = ctx.pid;
+  t_parent_hint = ctx.parent_span;
+  ann.stream_id = ctx.stream_id;
+  ann.step = ctx.step;
+  ann.peer_span = ctx.peer_span;
+}
+
+TaskScope::~TaskScope() {
+  StepAnnotation& ann = step_annotation();
+  t_pid = prev_pid_;
+  t_parent_hint = prev_parent_hint_;
+  ann.stream_id = prev_stream_;
+  ann.step = prev_step_;
+  ann.peer_span = prev_peer_;
 }
 
 StepScope::StepScope(std::uint64_t stream_id, std::int64_t step,

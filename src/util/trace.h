@@ -120,6 +120,39 @@ class Span {
   std::uint32_t depth_ = 0;
 };
 
+/// Trace identity of a submitting thread, captured at task creation so a
+/// worker-pool task can record spans as if it ran inline under the
+/// submitter: same virtual pid, same {stream, step} annotation, and the
+/// submitter's innermost open span as the parent of the task's root spans.
+/// Cheap to capture and apply: thread-local reads and writes only.
+struct TaskContext {
+  std::uint32_t pid = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t stream_id = 0;
+  std::int64_t step = -1;
+  std::uint64_t peer_span = 0;
+  static TaskContext capture();
+};
+
+/// RAII application of a TaskContext on the executing thread: installs the
+/// pid, the step annotation, and a parent hint that root spans (empty open
+/// stack) adopt instead of 0. Restores the previous state on destruction,
+/// so pool threads carry no identity between tasks.
+class TaskScope {
+ public:
+  explicit TaskScope(const TaskContext& ctx);
+  ~TaskScope();
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  std::uint32_t prev_pid_ = 0;
+  std::uint64_t prev_parent_hint_ = 0;
+  std::uint64_t prev_stream_ = 0;
+  std::int64_t prev_step_ = -1;
+  std::uint64_t prev_peer_ = 0;
+};
+
 /// RAII step annotation: while alive, every span *ending* on this thread
 /// (and every clock_sample) is stamped with {stream_id, step, peer_span}.
 /// Annotations are read at Span::end(), so a StepScope opened after a Span

@@ -39,6 +39,11 @@ struct MethodConfig {
   std::size_t rdma_pool_bytes = 256ull << 20;  // registration-cache cap
   double timeout_ms = 30000.0;  // data-movement timeout before retry
   int max_retries = 3;          // paper: "simple timeout-and-retry"
+  // Writer-side packing concurrency (threads that pack + send per-reader
+  // piece groups, *including* the calling thread). 0 = unset: the writer
+  // falls back to FLEXIO_PACK_THREADS, then to 1 (serial). 1 runs the
+  // batch inline on the caller -- the serial path through the same code.
+  int pack_threads = 0;
   std::map<std::string, std::string> extra;  // unrecognized hints, passed through
 };
 

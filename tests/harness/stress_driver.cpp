@@ -59,6 +59,9 @@ xml::MethodConfig make_method(const StressConfig& cfg) {
   m.timeout_ms = cfg.timeout_ms;
   std::string params = "caching=" + cfg.caching;
   if (cfg.async_writes) params += "; async=yes";
+  if (cfg.pack_threads > 1) {
+    params += "; pack_threads=" + std::to_string(cfg.pack_threads);
+  }
   FLEXIO_CHECK(xml::apply_method_params(params, &m).is_ok());
   return m;
 }
@@ -370,9 +373,11 @@ std::ostream& operator<<(std::ostream& os, const StressConfig& cfg) {
 }
 
 std::string StressConfig::label() const {
-  return str_format("%s_%s_%s", caching.c_str(),
-                    async_writes ? "async" : "sync",
-                    std::string(placement_name(placement)).c_str());
+  std::string label = str_format("%s_%s_%s", caching.c_str(),
+                                 async_writes ? "async" : "sync",
+                                 std::string(placement_name(placement)).c_str());
+  if (pack_threads > 1) label += str_format("_pack%d", pack_threads);
+  return label;
 }
 
 std::uint64_t expected_handshakes_performed(const StressConfig& cfg) {

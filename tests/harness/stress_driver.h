@@ -51,6 +51,11 @@ struct StressConfig {
   /// rank) use it to keep the stream alive past the liveness deadline;
   /// everything else leaves it 0 and runs flat out.
   int step_delay_ms = 0;
+  /// Writer-side packing concurrency (pack_threads method param): total
+  /// threads packing + sending per-reader piece groups, including the
+  /// caller. 1 = serial (the default and the baseline the parallel oracle
+  /// compares against); stream placements only.
+  int pack_threads = 1;
   // Global 2-D field dimensions; must decompose evenly enough for
   // block_decompose on both sides.
   std::uint64_t rows = 24;

@@ -1,0 +1,118 @@
+// Serial-vs-parallel oracle for the writer's parallel pack + send path.
+//
+// For every caching level, a seeded random geometry (writers, readers,
+// field dims, steps, batching) runs the full stress pipeline serially
+// (pack_threads=1) and again at 2 and 4 threads. The stress driver
+// cross-checks every delivered element against the golden model, so two
+// clean runs of the same config are byte-identical to the golden field --
+// and therefore to each other -- regardless of thread count. On top of
+// that, the flexio.pack.{bytes,memcpy_runs} counter deltas must be
+// *identical* across thread counts: parallel pack must execute exactly
+// the same strided copies as serial, just on more threads. Runs under
+// TSan via the concurrency label (the acceptance gate for the full
+// thread-count x caching matrix).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "harness/stress_driver.h"
+#include "util/metrics.h"
+
+namespace flexio::torture {
+namespace {
+
+std::uint64_t oracle_seed() {
+  const char* env = std::getenv("FLEXIO_TORTURE_SEED");
+  if (env == nullptr || *env == '\0') return 0x9ac40107ULL;
+  char* end = nullptr;
+  const std::uint64_t seed = std::strtoull(env, &end, 0);
+  if (end == env || *end != '\0') {
+    ADD_FAILURE() << "FLEXIO_TORTURE_SEED must be an integer, got \"" << env
+                  << "\"";
+    return 0x9ac40107ULL;
+  }
+  return seed;
+}
+
+struct PackCounters {
+  std::uint64_t bytes = 0;
+  std::uint64_t memcpy_runs = 0;
+};
+
+PackCounters pack_counters() {
+  return PackCounters{metrics::counter("flexio.pack.bytes").value(),
+                      metrics::counter("flexio.pack.memcpy_runs").value()};
+}
+
+class PackParallelOracleTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    was_ = metrics::enabled();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override { metrics::set_enabled(was_); }
+
+ private:
+  bool was_ = false;
+};
+
+TEST_P(PackParallelOracleTest, ThreadCountNeverChangesBytesOrCopies) {
+  const std::string caching = GetParam();
+  const std::uint64_t seed = oracle_seed();
+  // Derive the geometry from (seed, caching) so each caching level covers
+  // a different random corner but a failing seed replays exactly.
+  std::mt19937_64 rng(seed ^ std::hash<std::string>{}(caching));
+  StressConfig base;
+  base.caching = caching;
+  base.placement = PlacementMode::kShm;
+  base.writers = 1 + static_cast<int>(rng() % 3);       // 1..3
+  base.readers = 2 + static_cast<int>(rng() % 3);       // 2..4
+  base.steps = 2 + static_cast<int>(rng() % 3);         // 2..4
+  base.rows = 12 * (1 + rng() % 4);                     // 12..48, /2 /3 /4
+  base.cols = 8 + 2 * (rng() % 5);                      // 8..16
+  base.async_writes = rng() % 2 == 0;
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " writers=" +
+               std::to_string(base.writers) + " readers=" +
+               std::to_string(base.readers) + " steps=" +
+               std::to_string(base.steps) + " rows=" +
+               std::to_string(base.rows) + " cols=" + std::to_string(base.cols) +
+               (base.async_writes ? " async" : " sync") +
+               "; replay with FLEXIO_TORTURE_SEED=" + std::to_string(seed));
+
+  PackCounters serial_delta;
+  std::uint64_t serial_verified = 0;
+  for (const int pack : {1, 2, 4}) {
+    StressConfig cfg = base;
+    cfg.pack_threads = pack;
+    cfg.stream = "pack_oracle_" + caching + "_" + std::to_string(pack);
+    const PackCounters before = pack_counters();
+    const StressResult result = run_stress(cfg);
+    const PackCounters after = pack_counters();
+    ASSERT_TRUE(result.status.is_ok())
+        << "pack_threads=" << pack << ": " << result.status.to_string();
+    // Every element verified against the golden model: any byte diverging
+    // from the serial run fails inside run_stress before we get here.
+    ASSERT_GT(result.elements_verified, 0u);
+    const PackCounters delta{after.bytes - before.bytes,
+                             after.memcpy_runs - before.memcpy_runs};
+    if (pack == 1) {
+      serial_delta = delta;
+      serial_verified = result.elements_verified;
+      continue;
+    }
+    EXPECT_EQ(delta.bytes, serial_delta.bytes) << "pack_threads=" << pack;
+    EXPECT_EQ(delta.memcpy_runs, serial_delta.memcpy_runs)
+        << "pack_threads=" << pack;
+    EXPECT_EQ(result.elements_verified, serial_verified)
+        << "pack_threads=" << pack;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CachingMatrix, PackParallelOracleTest,
+                         ::testing::Values("none", "local", "all"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace flexio::torture

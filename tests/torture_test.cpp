@@ -178,14 +178,23 @@ std::vector<StressConfig> full_matrix() {
     for (const bool async : {false, true}) {
       for (const PlacementMode placement :
            {PlacementMode::kShm, PlacementMode::kRdma, PlacementMode::kFile}) {
-        StressConfig cfg;
-        cfg.writers = 3;
-        cfg.readers = 2;
-        cfg.steps = 3;
-        cfg.caching = caching;
-        cfg.async_writes = async;
-        cfg.placement = placement;
-        cfgs.push_back(cfg);
+        // Pack-thread axis (stream placements only: the file engine never
+        // calls send_pieces). 1 is the serial baseline; 2 and 4 drive the
+        // worker pool, and under TSan the axis doubles as the race gate
+        // for plan-cache rebuilds between steps with pool threads alive.
+        const bool streaming = placement != PlacementMode::kFile;
+        for (const int pack : streaming ? std::vector<int>{1, 2, 4}
+                                        : std::vector<int>{1}) {
+          StressConfig cfg;
+          cfg.writers = 3;
+          cfg.readers = 2;
+          cfg.steps = 3;
+          cfg.caching = caching;
+          cfg.async_writes = async;
+          cfg.placement = placement;
+          cfg.pack_threads = pack;
+          cfgs.push_back(cfg);
+        }
       }
     }
   }
@@ -332,11 +341,18 @@ std::vector<StressConfig> membership_matrix() {
     for (const bool async : {false, true}) {
       for (const PlacementMode placement :
            {PlacementMode::kShm, PlacementMode::kRdma}) {
-        StressConfig cfg;
-        cfg.caching = caching;
-        cfg.async_writes = async;
-        cfg.placement = placement;
-        cfgs.push_back(membership_torture_config(cfg, nullptr));
+        // pack=4 runs the kill/respawn scenarios with pool tasks in
+        // flight mid-step: a dying reader's send fails inside a task while
+        // sibling tasks keep sending, and the epoch-driven plan rebuild
+        // happens with pool threads alive between steps.
+        for (const int pack : {1, 4}) {
+          StressConfig cfg;
+          cfg.caching = caching;
+          cfg.async_writes = async;
+          cfg.placement = placement;
+          cfg.pack_threads = pack;
+          cfgs.push_back(membership_torture_config(cfg, nullptr));
+        }
       }
     }
   }

@@ -217,5 +217,108 @@ TEST(TracePipelineTest, MergedTimelineStitchesReaderStepsUnderWriter) {
   EXPECT_EQ(reader_steps_seen.size(), static_cast<std::size_t>(kSteps));
 }
 
+TEST(TracePipelineTest, MergedTimelineNestsPoolSpansUnderSendPieces) {
+  // Parallel pack: 1 writer -> 2 readers with pack_threads=4, so every
+  // step dispatches one pool task per reader. The tasks run on pool
+  // threads, but TaskScope re-homes their spans: in the merged timeline
+  // every writer.pack_task must carry the writer pid and hang under the
+  // step's writer.send_pieces span.
+  const bool metrics_was = metrics::enabled();
+  metrics::set_enabled(true);
+  trace::set_enabled(true);
+  trace::reset();
+
+  Runtime rt;
+  Program sim("sim", 1);
+  Program viz("viz", 2);
+  xml::MethodConfig method;
+  method.method = "FLEXIO";
+  method.timeout_ms = 20000;
+  method.pack_threads = 4;
+
+  constexpr std::uint64_t kHalf = kN / 2;
+  std::vector<std::thread> reader_threads;
+  for (int rank = 0; rank < 2; ++rank) {
+    reader_threads.emplace_back([&, rank] {
+      trace::set_thread_pid(kReaderPid);
+      StreamSpec spec;
+      spec.stream = "pipeline_pool_trace";
+      spec.endpoint = EndpointSpec{&viz, rank, evpath::Location{0, 1}};
+      spec.method = method;
+      auto r = rt.open_reader(spec);
+      ASSERT_TRUE(r.is_ok());
+      std::vector<double> dst(kHalf);
+      for (;;) {
+        auto step = r.value()->begin_step();
+        if (!step.is_ok()) break;
+        ASSERT_TRUE(r.value()
+                        ->schedule_read("field", Box{{rank * kHalf}, {kHalf}},
+                                        MutableByteView(std::as_writable_bytes(
+                                            std::span<double>(dst))))
+                        .is_ok());
+        ASSERT_TRUE(r.value()->perform_reads().is_ok());
+        ASSERT_TRUE(r.value()->end_step().is_ok());
+      }
+      (void)r.value()->close();
+      trace::set_thread_pid(0);
+    });
+  }
+
+  {
+    trace::set_thread_pid(kWriterPid);
+    StreamSpec spec;
+    spec.stream = "pipeline_pool_trace";
+    spec.endpoint = EndpointSpec{&sim, 0, evpath::Location{0, 0}};
+    spec.method = method;
+    auto w = rt.open_writer(spec);
+    ASSERT_TRUE(w.is_ok());
+    EXPECT_EQ(w.value()->pack_threads(), 4);
+    std::vector<double> data(kN, 2.0);
+    const auto meta = adios::global_array_var(
+        "field", serial::DataType::kDouble, {kN}, Box{{0}, {kN}});
+    for (int s = 0; s < kSteps; ++s) {
+      ASSERT_TRUE(w.value()->begin_step(s).is_ok());
+      ASSERT_TRUE(
+          w.value()
+              ->write(meta, as_bytes_view(std::span<const double>(data)))
+              .is_ok());
+      ASSERT_TRUE(w.value()->end_step().is_ok());
+    }
+    ASSERT_TRUE(w.value()->close().is_ok());
+    trace::set_thread_pid(0);
+  }
+  for (std::thread& t : reader_threads) t.join();
+
+  auto merged = trace::merge_traces(trace::chrome_json_for(kWriterPid),
+                                    trace::chrome_json_for(kReaderPid));
+  trace::set_enabled(false);
+  metrics::set_enabled(metrics_was);
+  ASSERT_TRUE(merged.is_ok());
+  ASSERT_TRUE(merged.value().validate(/*slack_us=*/1e5).is_ok());
+
+  std::map<std::uint64_t, const trace::MergedEvent*> by_id;
+  for (const trace::MergedEvent& e : merged.value().events) {
+    if (e.id != 0) by_id[e.id] = &e;
+  }
+  int pool_spans = 0;
+  for (const trace::MergedEvent& e : merged.value().events) {
+    if (e.name != "writer.pack_task") continue;
+    ++pool_spans;
+    // Pool-thread span, re-homed into the writer's timeline: writer pid,
+    // the step annotation inherited from the submitting thread, and the
+    // dispatching send_pieces span (same step) as the parent.
+    EXPECT_EQ(e.pid, kWriterPid);
+    EXPECT_GE(e.step, 0);
+    ASSERT_NE(e.parent, 0u);
+    const auto it = by_id.find(e.parent);
+    ASSERT_NE(it, by_id.end());
+    EXPECT_STREQ(it->second->name.c_str(), "writer.send_pieces");
+    EXPECT_EQ(it->second->pid, kWriterPid);
+    EXPECT_EQ(it->second->step, e.step);
+  }
+  // One pool task per reader per step.
+  EXPECT_EQ(pool_spans, kSteps * 2);
+}
+
 }  // namespace
 }  // namespace flexio

@@ -13,6 +13,17 @@ kernel must stay at least PACK_SPEEDUP_MIN times faster than the seed's
 recursive kernel (both run the same workload, so the time ratio is the
 inverse throughput ratio).
 
+The transports report also carries BM_StreamStepParallelPack (1 writer ->
+16 readers, strided pieces, steady-state cached-plan steps): the parallel
+pack + send scaling gate. pack_threads=4 must beat serial by at least
+SCALE_SPEEDUP_MIN on the step's pack+send wall time, and the pool
+machinery itself, run at concurrency 1 (a zero-worker pool, arg 0), must
+cost within SCALE_OVERHEAD_REL of the plain serial path. The scaling half
+only binds when the report's bench.hw_concurrency counter shows at least
+SCALE_MIN_CORES cores -- four pack threads cannot speed anything up on a
+one-core container, so there the gate reports itself skipped instead of
+failing the build.
+
 Usage: check_bench_overhead.py <BENCH_micro_transports.json>
                                [<BENCH_micro_pack.json>]
 """
@@ -29,6 +40,11 @@ ENABLED = "BM_MetricsCounterEnabled"
 PACK_SPEEDUP_MIN = 2.0
 PACK_SEED = "BM_PackSeedInterior3D"
 PACK_STRIDED = "BM_PackStridedInterior3D"
+
+SCALE_BENCH = "BM_StreamStepParallelPack"
+SCALE_SPEEDUP_MIN = 1.5   # pack_threads=4 vs serial, 16-reader fan-out
+SCALE_OVERHEAD_REL = 0.02  # zero-worker pool (arg 0) vs plain serial
+SCALE_MIN_CORES = 4
 
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -74,10 +90,62 @@ def check_pack_speedup(report):
     return not ok
 
 
+def scale_medians(report):
+    """Median ns per BM_StreamStepParallelPack arg (pack-thread count).
+
+    Matched by prefix: google-benchmark appends /iterations:N/manual_time
+    to the registered name, and pinning those suffixes here would couple
+    the gate to bench tuning knobs.
+    """
+    out = {}
+    for metric in report["metrics"]:
+        name = metric["name"]
+        if not name.startswith(SCALE_BENCH + "/"):
+            continue
+        arg = int(name.split("/")[1])
+        out[arg] = metric["median"] * UNIT_TO_NS[metric["unit"]]
+    return out
+
+
+def check_pack_scaling(report):
+    medians = scale_medians(report)
+    missing = [a for a in (0, 1, 4) if a not in medians]
+    if missing:
+        print(f"FAIL: {SCALE_BENCH} args {missing} missing from report")
+        return True
+    serial, pool1, four = medians[1], medians[0], medians[4]
+    failed = False
+
+    overhead = pool1 / serial - 1.0
+    ok = overhead <= SCALE_OVERHEAD_REL
+    verdict = "ok" if ok else "FAIL"
+    print(f"{verdict}: pool-at-1-thread overhead {overhead * 100:+.1f}% "
+          f"(pool {pool1 / 1e3:.0f} us vs serial {serial / 1e3:.0f} us, "
+          f"budget {SCALE_OVERHEAD_REL * 100:.0f}%)")
+    failed |= not ok
+
+    cores = report.get("counters", {}).get("bench.hw_concurrency", 0)
+    speedup = serial / four
+    if cores < SCALE_MIN_CORES:
+        print(f"skip: pack scaling gate needs >= {SCALE_MIN_CORES} cores, "
+              f"report ran on {cores} (measured {speedup:.2f}x at 4 threads)")
+        return failed
+    ok = speedup >= SCALE_SPEEDUP_MIN
+    verdict = "ok" if ok else "FAIL"
+    detail = ", ".join(f"{a}t {medians[a] / 1e3:.0f} us"
+                       for a in sorted(medians) if a > 0)
+    print(f"{verdict}: pack+send speedup {speedup:.2f}x at 4 threads "
+          f"({detail}; need >= {SCALE_SPEEDUP_MIN:.1f}x)")
+    failed |= not ok
+    return failed
+
+
 def main():
     if len(sys.argv) not in (2, 3):
         sys.exit(__doc__)
-    failed = check_overhead(load_report(sys.argv[1]))
+    transports = load_report(sys.argv[1])
+    failed = check_overhead(transports)
+    failed |= check_pack_scaling(transports)
     if len(sys.argv) == 3:
         failed |= check_pack_speedup(load_report(sys.argv[2]))
     sys.exit(1 if failed else 0)
