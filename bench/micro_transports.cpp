@@ -7,6 +7,7 @@
 // planning, and the hyperslab copy kernel.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "core/runtime.h"
 #include "core/stream_reader.h"
 #include "core/stream_writer.h"
+#include "evpath/bus.h"
 #include "nnti/nnti.h"
 #include "nnti/registration_cache.h"
 #include "shm/buffer_pool.h"
@@ -259,6 +261,18 @@ void BM_StreamStepCachedPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamStepCachedPlan);
 
+// Ship the machine's core count in the report's counter block exactly
+// once: the scaling gates only bind where 4 worker threads can actually
+// run in parallel (check_bench_overhead.py skips them below 4 cores).
+// Shared by both scaling benches -- a static per bench would double-count.
+void note_hw_concurrency() {
+  [[maybe_unused]] static const bool once = [] {
+    metrics::counter("bench.hw_concurrency")
+        .add(std::thread::hardware_concurrency());
+    return true;
+  }();
+}
+
 void BM_StreamStepParallelPack(benchmark::State& state) {
   // High fan-out pack + send: 1 writer -> 16 readers, each reading a
   // narrow column band of a 2-D field so every piece takes the strided
@@ -272,14 +286,7 @@ void BM_StreamStepParallelPack(benchmark::State& state) {
   const int arg = static_cast<int>(state.range(0));
   const bool was = metrics::enabled();
   metrics::set_enabled(true);
-  // Ship the machine's core count in the report's counter block: the
-  // scaling gate only binds where 4 pack threads can actually run in
-  // parallel (check_bench_overhead.py skips it below 4 cores).
-  [[maybe_unused]] static const bool hw_once = [] {
-    metrics::counter("bench.hw_concurrency")
-        .add(std::thread::hardware_concurrency());
-    return true;
-  }();
+  note_hw_concurrency();
   Runtime rt;
   constexpr int kReaders = 16;
   constexpr std::uint64_t kRows = 2048;
@@ -387,6 +394,180 @@ BENCHMARK(BM_StreamStepParallelPack)
     ->Arg(4)
     ->UseManualTime()
     ->Iterations(48);
+
+void BM_StreamStepParallelUnpack(benchmark::State& state) {
+  // Mirror image of BM_StreamStepParallelPack: 16 writers -> 1 reader,
+  // each writer producing a narrow column band of a 2-D field so every
+  // delivered piece lands through the strided copy_region path (2048 runs
+  // of 32 B per piece). Manual time covers perform_reads only -- the recv
+  // drain plus the plug-in + placement work the reader's worker pool
+  // parallelizes. The arg is read_threads; arg 0 installs a zero-worker
+  // pool so CI can price the unpack-batch machinery itself at concurrency
+  // 1 against the plain serial path (/1). tools/check_bench_overhead.py
+  // gates /1 vs /4 (scaling) and /0 vs /1 (dispatch overhead).
+  const int arg = static_cast<int>(state.range(0));
+  const bool was = metrics::enabled();
+  metrics::set_enabled(true);
+  note_hw_concurrency();
+  Runtime rt;
+  constexpr int kWriters = 16;
+  constexpr std::uint64_t kRows = 2048;
+  constexpr std::uint64_t kCols = 64;                // 1 MiB of doubles
+  constexpr std::uint64_t kBand = kCols / kWriters;  // 4 columns per writer
+  // Warm-up step + the timed Iterations(48) below; writers produce exactly
+  // this many steps and close, which ends the reader's final drain loop.
+  constexpr int kSteps = 49;
+  Program sim("sim", kWriters);
+  Program viz("viz", 1);
+  xml::MethodConfig method;
+  method.method = "FLEXIO";
+  method.timeout_ms = 20000;
+  const std::string params =
+      "caching=all; batching=yes; async=yes; read_threads=" +
+      std::to_string(arg == 0 ? 1 : arg);
+  if (!xml::apply_method_params(params, &method).is_ok()) {
+    state.SkipWithError("bad method params");
+    return;
+  }
+  const std::string stream = "bench_parallel_unpack_" + std::to_string(arg);
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      StreamSpec spec;
+      spec.stream = stream;
+      spec.endpoint = EndpointSpec{&sim, w, evpath::Location{0, 0}};
+      spec.method = method;
+      auto wr = rt.open_writer(spec);
+      if (!wr.is_ok()) return;
+      const adios::Box band{{0, static_cast<std::uint64_t>(w) * kBand},
+                            {kRows, kBand}};
+      std::vector<double> data(kRows * kBand, 1.0);
+      const auto meta = adios::global_array_var(
+          "field", serial::DataType::kDouble, {kRows, kCols}, band);
+      for (int step = 0; step < kSteps; ++step) {
+        Status st = wr.value()->begin_step(step);
+        if (st.is_ok()) {
+          st = wr.value()->write(meta,
+                                 as_bytes_view(std::span<const double>(data)));
+        }
+        if (st.is_ok()) st = wr.value()->end_step();
+        if (!st.is_ok()) return;
+      }
+      (void)wr.value()->close();
+    });
+  }
+  StreamSpec spec;
+  spec.stream = stream;
+  spec.endpoint = EndpointSpec{&viz, 0, evpath::Location{0, 0}};
+  spec.method = method;
+  auto r = rt.open_reader(spec);
+  if (!r.is_ok()) {
+    for (auto& t : writers) t.join();
+    state.SkipWithError("open_reader failed");
+    return;
+  }
+  if (arg == 0) {
+    r.value()->set_read_pool_for_testing(std::make_shared<util::WorkPool>(0));
+  }
+  std::vector<double> out(kRows * kCols);
+  const auto run_step = [&](double* seconds) -> Status {
+    FLEXIO_RETURN_IF_ERROR(r.value()->begin_step().status());
+    FLEXIO_RETURN_IF_ERROR(r.value()->schedule_read(
+        "field", adios::Box{{0, 0}, {kRows, kCols}},
+        MutableByteView(std::as_writable_bytes(std::span<double>(out)))));
+    const auto t0 = std::chrono::steady_clock::now();
+    FLEXIO_RETURN_IF_ERROR(r.value()->perform_reads());
+    const auto t1 = std::chrono::steady_clock::now();
+    if (seconds != nullptr) {
+      *seconds = std::chrono::duration<double>(t1 - t0).count();
+    }
+    return r.value()->end_step();
+  };
+  // Warm-up step: pays the open handshake and transfer planning, so every
+  // timed iteration is a steady-state 16-piece unpack.
+  if (const Status st = run_step(nullptr); !st.is_ok()) {
+    state.SkipWithError(st.to_string().c_str());
+  } else {
+    for (auto _ : state) {
+      double seconds = 0.0;
+      if (const Status st = run_step(&seconds); !st.is_ok()) {
+        state.SkipWithError(st.to_string().c_str());
+        break;
+      }
+      state.SetIterationTime(seconds);
+    }
+  }
+  // Consume through the writers' close so their threads finish cleanly.
+  while (run_step(nullptr).is_ok()) {
+  }
+  for (auto& t : writers) t.join();
+  metrics::set_enabled(was);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRows * kCols *
+                                                    sizeof(double)));
+}
+BENCHMARK(BM_StreamStepParallelUnpack)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Iterations(48);
+
+void BM_EndpointMultiDestinationSend(benchmark::State& state) {
+  // Per-link send sharding at the Endpoint layer: N threads blast small
+  // frames at N disjoint destinations through ONE shared endpoint. Before
+  // the per-link split every send serialized on a single endpoint mutex,
+  // so this scaled flat; now threads only meet on the map's shared lock.
+  // Drainer threads keep the inproc queues from growing without bound;
+  // manual time covers each batch of sends only.
+  const int threads = static_cast<int>(state.range(0));
+  constexpr std::uint32_t kBatch = 4096;
+  constexpr std::size_t kPayload = 256;
+  evpath::MessageBus bus;
+  auto hub = bus.create_endpoint("hub", evpath::Location{0, 0}).value();
+  std::vector<std::shared_ptr<evpath::Endpoint>> sinks;
+  std::vector<std::thread> drainers;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < threads; ++t) {
+    sinks.push_back(
+        bus.create_endpoint("sink" + std::to_string(t), evpath::Location{0, 0})
+            .value());
+    drainers.emplace_back([&, t] {
+      evpath::Message msg;
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)sinks[static_cast<std::size_t>(t)]->recv(
+            &msg, std::chrono::milliseconds(5));
+      }
+    });
+  }
+  const std::vector<std::byte> payload(kPayload, std::byte{3});
+  for (auto _ : state) {
+    std::vector<std::thread> senders;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < threads; ++t) {
+      senders.emplace_back([&, t] {
+        const std::string dest = "sink" + std::to_string(t);
+        for (std::uint32_t i = 0; i < kBatch; ++i) {
+          if (!hub->send(dest, ByteView(payload)).is_ok()) return;
+        }
+      });
+    }
+    for (std::thread& th : senders) th.join();
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+  }
+  stop.store(true);
+  for (std::thread& th : drainers) th.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          threads * kBatch);
+}
+BENCHMARK(BM_EndpointMultiDestinationSend)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseManualTime();
 
 // ------------------------------------------------- observability overhead --
 // The CI perf-smoke gate compares these two: a disabled counter add must be

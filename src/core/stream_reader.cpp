@@ -51,6 +51,14 @@ metrics::Histogram& step_unpack_hist() {
   static metrics::Histogram& h = metrics::histogram("flexio.step.unpack.ns");
   return h;
 }
+// Parallel-unpack critical path: the slowest per-piece placement task of
+// the step. Sum (above) is thread-count invariant total work; the gap to
+// this max is what the read pool reclaims from the step's wall clock.
+metrics::Histogram& step_unpack_critical_hist() {
+  static metrics::Histogram& h =
+      metrics::histogram("flexio.step.unpack.critical.ns");
+  return h;
+}
 metrics::Histogram& step_total_hist() {
   static metrics::Histogram& h = metrics::histogram("flexio.step.total.ns");
   return h;
@@ -119,6 +127,17 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
       spec.endpoint.location, lopts);
   if (!ep.is_ok()) return ep.status();
   endpoint_ = std::move(ep).value();
+
+  // Unpack concurrency, the mirror of the writer's pack pool: method
+  // config wins, FLEXIO_READ_THREADS is the fallback, serial the default.
+  // Spawned once per stream; perform_reads dispatches per-piece placement
+  // tasks into it every step.
+  read_threads_ = spec.method.read_threads > 0
+                      ? spec.method.read_threads
+                      : util::WorkPool::env_read_threads(1);
+  if (read_threads_ > 1) {
+    read_pool_ = std::make_shared<util::WorkPool>(read_threads_ - 1);
+  }
 
   membership_ = rt->directory().membership_enabled();
   if (membership_ && spec.late_join) return open_late_join(rt);
@@ -706,7 +725,8 @@ Status StreamReader::migrate_plugin(const std::string& var,
   return install_plugin(var, source, to_writer);
 }
 
-Status StreamReader::place_piece(wire::DataPiece piece, int writer_rank) {
+Status StreamReader::place_piece(wire::DataPiece piece, int writer_rank,
+                                 std::vector<PgBlock>* pg_out) {
   if (piece.meta.shape == adios::ShapeKind::kLocalArray) {
     PgBlock block;
     block.writer_rank = writer_rank;
@@ -721,7 +741,7 @@ Status StreamReader::place_piece(wire::DataPiece piece, int writer_rank) {
       block.meta = piece.meta;
       block.payload = std::move(piece.payload);  // the piece is ours: no copy
     }
-    pg_blocks_.push_back(std::move(block));
+    pg_out->push_back(std::move(block));
     return Status::ok();
   }
   // Global-array piece: route the region into every overlapping pending
@@ -914,11 +934,20 @@ Status StreamReader::perform_reads_stream() {
   // instead of scanning the full expectation list -- O(pieces log buckets)
   // instead of O(pieces x expected).
   PerfMonitor::ScopedTimer t(&monitor_, "read.receive");
-  std::uint64_t unpack_ns = 0;
   std::multimap<std::pair<int, std::string>, const TransferPiece*> remaining;
   for (const TransferPiece& p : cached_expected_) {
     remaining.emplace(std::make_pair(p.writer_rank, p.var), &p);
   }
+  // Matched pieces in arrival order. Placement (plug-in + copy/move) is
+  // deferred to one batch after the drain so the read pool can run it in
+  // parallel; the frames themselves drain strictly serially, keeping
+  // receive order and control-frame handling unchanged.
+  struct MatchedPiece {
+    wire::DataPiece piece;
+    int writer_rank = 0;
+  };
+  std::vector<MatchedPiece> matched;
+  matched.reserve(cached_expected_.size());
   auto try_match = [&](wire::DataMsg& msg) -> StatusOr<bool> {
     bool any = false;
     for (wire::DataPiece& piece : msg.pieces) {
@@ -937,9 +966,7 @@ Status StreamReader::perform_reads_stream() {
       }
       remaining.erase(hit);
       const std::size_t piece_bytes = piece.bytes().size();
-      const std::uint64_t unpack_start = metrics::now_ns();
-      FLEXIO_RETURN_IF_ERROR(place_piece(std::move(piece), msg.writer_rank));
-      unpack_ns += metrics::now_ns() - unpack_start;
+      matched.push_back(MatchedPiece{std::move(piece), msg.writer_rank});
       monitor_.add_count("bytes.received", piece_bytes);
       stream_bytes_received_counter().add(piece_bytes);
       any = true;
@@ -1012,6 +1039,59 @@ Status StreamReader::perform_reads_stream() {
                           "unexpected control frame during perform_reads");
     }
   }
+
+  // Placement batch: one plug-in + place task per matched piece, the
+  // mirror of the writer's per-reader pack tasks. Expected pieces cover
+  // disjoint destination regions and per-task PgBlock slots keep delivery
+  // in arrival order, so tasks never write the same byte. Per-task timing
+  // slots are disjoint indices read after run_batch's completion wait (the
+  // synchronization point). All-run + first-error-wins, like the writer:
+  // one bad piece must not suppress its siblings' placement.
+  const std::size_t n_matched = matched.size();
+  std::vector<std::uint64_t> task_ns(n_matched, 0);
+  Status placed = Status::ok();
+  if (read_pool_ != nullptr && n_matched > 1) {
+    std::vector<std::vector<PgBlock>> pg_slots(n_matched);
+    // Tasks inherit this thread's trace identity: their spans parent under
+    // reader.perform_reads in the stitched timeline.
+    const trace::TaskContext tctx = trace::TaskContext::capture();
+    std::vector<util::WorkPool::Task> tasks;
+    tasks.reserve(n_matched);
+    for (std::size_t i = 0; i < n_matched; ++i) {
+      tasks.push_back(
+          [this, tctx, &matched, &pg_slots, &task_ns, i]() -> Status {
+            trace::TaskScope task_identity(tctx);
+            trace::Span task_span("reader.unpack_task");
+            const std::uint64_t t0 = metrics::now_ns();
+            const Status st = place_piece(std::move(matched[i].piece),
+                                          matched[i].writer_rank,
+                                          &pg_slots[i]);
+            task_ns[i] = metrics::now_ns() - t0;
+            return st;
+          });
+    }
+    placed = read_pool_->run_batch(std::move(tasks));
+    for (std::vector<PgBlock>& slot : pg_slots) {
+      for (PgBlock& block : slot) pg_blocks_.push_back(std::move(block));
+    }
+  } else {
+    // Serial path: same deferred batch, executed inline in arrival order.
+    for (std::size_t i = 0; i < n_matched; ++i) {
+      const std::uint64_t t0 = metrics::now_ns();
+      const Status st = place_piece(std::move(matched[i].piece),
+                                    matched[i].writer_rank, &pg_blocks_);
+      task_ns[i] = metrics::now_ns() - t0;
+      if (placed.is_ok()) placed = st;
+    }
+  }
+  if (!placed.is_ok()) return placed;
+  std::uint64_t unpack_ns = 0;
+  std::uint64_t unpack_max = 0;
+  for (const std::uint64_t t_ns : task_ns) {
+    unpack_ns += t_ns;
+    if (t_ns > unpack_max) unpack_max = t_ns;
+  }
+
   // Fold this step's phase timings into the registry histograms and the
   // per-endpoint monitor. Transfer time may have accumulated before the
   // step opened (stashed early arrivals), hence the per-step map.
@@ -1023,8 +1103,10 @@ Status StreamReader::perform_reads_stream() {
   }
   step_transfer_hist().record(transfer_ns);
   step_unpack_hist().record(unpack_ns);
+  step_unpack_critical_hist().record(unpack_max);
   monitor_.add_count("phase.transfer_ns", transfer_ns);
   monitor_.add_count("phase.unpack_ns", unpack_ns);
+  monitor_.add_count("phase.unpack_critical_ns", unpack_max);
   if (have_announce_ctx_ && announce_ctx_.step == step_) {
     const std::uint64_t now = metrics::now_ns();
     const std::uint64_t total =

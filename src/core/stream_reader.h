@@ -19,6 +19,7 @@
 #include "adios/bp_file.h"
 #include "core/redistribution.h"
 #include "core/runtime.h"
+#include "util/work_pool.h"
 
 namespace flexio {
 
@@ -119,6 +120,17 @@ class StreamReader {
   /// Reader-side monitoring.
   const PerfMonitor& monitor() const { return monitor_; }
 
+  /// Unpack concurrency this reader resolved at open (config > env > 1).
+  int read_threads() const { return read_threads_; }
+
+  /// Test/bench hook: replace the unpack pool (mirrors the writer's
+  /// set_pack_pool_for_testing). A zero-worker pool prices the dispatch
+  /// machinery at concurrency 1; nullptr restores the plain serial loop.
+  void set_read_pool_for_testing(std::shared_ptr<util::WorkPool> pool) {
+    read_pool_ = std::move(pool);
+    read_threads_ = read_pool_ ? read_pool_->workers() + 1 : 1;
+  }
+
   /// Writer-side monitoring shipped at stream close (stream mode only;
   /// valid after begin_step returned kEndOfStream).
   const std::optional<wire::MonitorReport>& writer_report() const {
@@ -146,8 +158,15 @@ class StreamReader {
   /// coordinator, stashing any early data messages.
   Status next_control(std::vector<std::byte>* out);
   /// Takes the piece by value: local-array payloads move straight into the
-  /// delivered PgBlock instead of being copied.
-  Status place_piece(wire::DataPiece piece, int writer_rank);
+  /// delivered PgBlock instead of being copied. Runs the reader-side
+  /// plug-in, then routes the payload: local arrays append to *pg_out,
+  /// global arrays copy_region into the scheduled dst buffers. Safe to run
+  /// concurrently for distinct pieces (DESIGN.md "Parallel unpack"):
+  /// expected pieces cover disjoint regions, pending_reads_ /
+  /// reader_plugins_ are read-only while a step's batch is in flight, and
+  /// each task gets its own pg_out slot.
+  Status place_piece(wire::DataPiece piece, int writer_rank,
+                     std::vector<PgBlock>* pg_out);
   /// Record a just-decoded data message's trace context: a clock sample
   /// for offset estimation plus its transfer latency, accumulated per step
   /// (a message may be decoded and stashed before its step opens).
@@ -194,6 +213,13 @@ class StreamReader {
   std::vector<wire::PluginInstall> pending_plugins_;  // coordinator only
   std::vector<PgBlock> pg_blocks_;
   std::map<std::string, PluginFn> reader_plugins_;
+
+  // Parallel unpack (DESIGN.md "Parallel unpack"): per-step piece placement
+  // runs as pool tasks. read_threads_ is the total concurrency including
+  // the caller; the pool holds read_threads_ - 1 workers and is absent when
+  // the reader unpacks serially (read_threads_ == 1).
+  int read_threads_ = 1;
+  std::shared_ptr<util::WorkPool> read_pool_;
 
   // Handshake caches.
   wire::ReadRequest cached_request_;

@@ -2,9 +2,22 @@
 
 #include <thread>
 
+#include "util/backoff.h"
 #include "util/log.h"
 
 namespace flexio::evpath {
+
+namespace {
+
+// recv polling: spin-yield first (a message is usually one scheduler slice
+// away in these in-process deployments), then back off into short sleeps so
+// an idle reader stops burning a core during a long step. The cap keeps
+// worst-case added latency well under any protocol timeout.
+constexpr int kRecvSpinYields = 64;
+constexpr util::BackoffPolicy kRecvBackoff{
+    std::chrono::microseconds(2), std::chrono::microseconds(256), 2.0};
+
+}  // namespace
 
 Endpoint::Endpoint(MessageBus* bus, std::string name, Location location,
                    LinkOptions options)
@@ -15,48 +28,69 @@ Endpoint::Endpoint(MessageBus* bus, std::string name, Location location,
 
 Endpoint::~Endpoint() { bus_->remove(name_); }
 
-SendLink* Endpoint::outbound(const std::string& to) const {
+std::shared_ptr<Endpoint::LinkEntry> Endpoint::outbound(
+    const std::string& to) const {
+  std::shared_lock<std::shared_mutex> lock(map_mutex_);
   const auto it = send_links_.find(to);
-  return it == send_links_.end() ? nullptr : it->second.get();
+  return it == send_links_.end() ? nullptr : it->second;
+}
+
+StatusOr<std::shared_ptr<Endpoint::LinkEntry>> Endpoint::outbound_or_connect(
+    const std::string& to) {
+  if (auto entry = outbound(to)) return entry;
+  // One dial per peer at a time: the double-checked lookup under
+  // connect_mutex_ makes concurrent first-sends to the same destination
+  // share a single link instead of racing two into existence.
+  std::lock_guard<std::mutex> connect_lock(connect_mutex_);
+  if (auto entry = outbound(to)) return entry;
+  auto created = bus_->connect(this, to);
+  if (!created.is_ok()) return created.status();
+  auto entry = std::make_shared<LinkEntry>();
+  entry->link = std::move(created).value();
+  {
+    std::unique_lock<std::shared_mutex> lock(map_mutex_);
+    send_links_.emplace(to, entry);
+  }
+  return entry;
 }
 
 Status Endpoint::send(const std::string& to, ByteView msg, SendMode mode) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
-  SendLink* link = outbound(to);
-  if (link == nullptr) {
-    auto created = bus_->connect(this, to);
-    if (!created.is_ok()) return created.status();
-    link = created.value().get();
-    send_links_.emplace(to, std::move(created).value());
-  }
-  return link->send(msg, mode);
+  auto entry = outbound_or_connect(to);
+  if (!entry.is_ok()) return entry.status();
+  std::lock_guard<std::mutex> link_lock(entry.value()->mutex);
+  return entry.value()->link->send(msg, mode);
 }
 
 Status Endpoint::send_iov(const std::string& to,
                           std::span<const ByteView> frags, SendMode mode) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
-  SendLink* link = outbound(to);
-  if (link == nullptr) {
-    auto created = bus_->connect(this, to);
-    if (!created.is_ok()) return created.status();
-    link = created.value().get();
-    send_links_.emplace(to, std::move(created).value());
-  }
-  return link->send_iov(frags, mode);
+  auto entry = outbound_or_connect(to);
+  if (!entry.is_ok()) return entry.status();
+  std::lock_guard<std::mutex> link_lock(entry.value()->mutex);
+  return entry.value()->link->send_iov(frags, mode);
 }
 
 Status Endpoint::close_to(const std::string& to) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
-  SendLink* link = outbound(to);
-  if (link == nullptr) {
+  auto entry = outbound(to);
+  if (entry == nullptr) {
     return make_error(ErrorCode::kNotFound, "no link to " + to);
   }
-  return link->close();
+  std::lock_guard<std::mutex> link_lock(entry->mutex);
+  return entry->link->close();
 }
 
 void Endpoint::drop_link(const std::string& to) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
-  send_links_.erase(to);
+  std::shared_ptr<LinkEntry> doomed;
+  {
+    std::unique_lock<std::shared_mutex> lock(map_mutex_);
+    const auto it = send_links_.find(to);
+    if (it == send_links_.end()) return;
+    doomed = std::move(it->second);
+    send_links_.erase(it);
+  }
+  // Deferred reclamation: if a send is in flight it still holds the entry
+  // and finishes on the detached link; the link destructor (which may
+  // release RDMA buffers) runs when the last holder lets go -- here, when
+  // no send is mid-call.
 }
 
 Status Endpoint::recv(Message* out, std::chrono::nanoseconds timeout) {
@@ -66,6 +100,8 @@ Status Endpoint::recv(Message* out, std::chrono::nanoseconds timeout) {
 Status Endpoint::recv_from(const std::string& from, Message* out,
                            std::chrono::nanoseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::Backoff backoff(kRecvBackoff);
+  int spins = 0;
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(recv_mutex_);
@@ -92,23 +128,29 @@ Status Endpoint::recv_from(const std::string& from, Message* out,
                         "recv timed out at " + name_ +
                             (from.empty() ? "" : " waiting for " + from));
     }
-    std::this_thread::yield();
+    if (spins < kRecvSpinYields) {
+      ++spins;
+      std::this_thread::yield();
+    } else {
+      backoff.sleep();
+    }
   }
 }
 
 StatusOr<TransportKind> Endpoint::transport_to(const std::string& to) const {
-  std::lock_guard<std::mutex> lock(send_mutex_);
-  const SendLink* link = outbound(to);
-  if (link == nullptr) {
+  const auto entry = outbound(to);
+  if (entry == nullptr) {
     return make_error(ErrorCode::kNotFound, "no link to " + to);
   }
-  return link->kind();
+  // kind() is immutable after construction; no entry lock needed.
+  return entry->link->kind();
 }
 
 LinkStats Endpoint::outbound_stats(const std::string& to) const {
-  std::lock_guard<std::mutex> lock(send_mutex_);
-  const SendLink* link = outbound(to);
-  return link == nullptr ? LinkStats{} : link->stats();
+  const auto entry = outbound(to);
+  if (entry == nullptr) return LinkStats{};
+  std::lock_guard<std::mutex> link_lock(entry->mutex);
+  return entry->link->stats();
 }
 
 void Endpoint::attach_recv_link(const std::string& from,

@@ -8,11 +8,24 @@
 // they do not (paper Section II.B: transports are configured automatically
 // from placement). Endpoints on the same node *and* same rank slot use the
 // trivial in-process transport (inline placement).
+//
+// Locking (DESIGN.md "Endpoint locking inventory"): the outbound side is
+// sharded per link. A reader-writer lock guards the name -> link map
+// (shared for lookup and stats scraping, exclusive only to insert or erase
+// an entry), and each link carries its own send mutex, so pack-pool tasks
+// targeting different readers enqueue concurrently while sends to the same
+// destination stay ordered -- the per-link monotone sequence and
+// duplicate-frame suppression in link.cpp depend on that order. Teardown
+// (drop_link, endpoint destruction) erases the map entry but the entry is
+// refcounted: an in-flight send holds it alive and finishes on the
+// detached link, so teardown never blocks behind a slow send and a send
+// never touches freed link state.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -49,7 +62,8 @@ class Endpoint {
   /// Forget the cached outbound link to `to` without closing it (no EOS).
   /// The next send reconnects from scratch. Used when a peer respawned
   /// under the same name: the old link points at the dead incarnation's
-  /// transport state. No-op if no link was cached.
+  /// transport state. No-op if no link was cached. Safe against in-flight
+  /// sends: a send already holding the entry finishes on the old link.
   void drop_link(const std::string& to);
 
   /// Receive the next message from any peer. EOS messages are delivered
@@ -63,9 +77,12 @@ class Endpoint {
                    std::chrono::nanoseconds timeout);
 
   /// Transport used to reach a peer; kNotFound before the first send.
+  /// Takes only the shared side of the link-map lock: never stalls sends.
   StatusOr<TransportKind> transport_to(const std::string& to) const;
 
   /// Counters for the outbound link to `to` (zeroes before first send).
+  /// Shared map lock + that one link's send mutex: stats scraping (flight
+  /// recorder) contends only with sends to the same peer, never the rest.
   LinkStats outbound_stats(const std::string& to) const;
 
  private:
@@ -73,17 +90,36 @@ class Endpoint {
   Endpoint(MessageBus* bus, std::string name, Location location,
            LinkOptions options);
 
+  /// One outbound link plus the mutex serializing every call into it.
+  /// SendLink implementations are not internally synchronized (per-link
+  /// sequence counters, outstanding-buffer maps, stats); holding `mutex`
+  /// across send/close/stats is what makes them safe. Entries are shared
+  /// so teardown can erase the map slot while a send is in flight: the
+  /// sender's reference keeps the entry (and link) alive until it returns.
+  struct LinkEntry {
+    std::mutex mutex;
+    std::unique_ptr<SendLink> link;
+  };
+
   void attach_recv_link(const std::string& from,
                         std::unique_ptr<RecvLink> link);
-  SendLink* outbound(const std::string& to) const;
+  std::shared_ptr<LinkEntry> outbound(const std::string& to) const;
+  StatusOr<std::shared_ptr<LinkEntry>> outbound_or_connect(
+      const std::string& to);
 
   MessageBus* bus_;
   std::string name_;
   Location location_;
   LinkOptions options_;
 
-  mutable std::mutex send_mutex_;
-  std::map<std::string, std::unique_ptr<SendLink>> send_links_;
+  // map_mutex_ guards the map structure only (shared: lookup; exclusive:
+  // insert/erase). connect_mutex_ serializes link *creation* so concurrent
+  // first-sends to the same peer dial once -- it is never held during a
+  // send, and map_mutex_ is only taken inside it (lock order: connect ->
+  // map; nothing takes them the other way around).
+  mutable std::shared_mutex map_mutex_;
+  std::map<std::string, std::shared_ptr<LinkEntry>> send_links_;
+  std::mutex connect_mutex_;
 
   mutable std::mutex recv_mutex_;
   struct Inbound {
@@ -112,7 +148,8 @@ class MessageBus {
   friend class Endpoint;
 
   /// Build a (send, recv) pair between two endpoints and attach the recv
-  /// side to the target. Called under the sender's send_mutex_.
+  /// side to the target. Called under the sender's connect_mutex_ (one
+  /// dial per peer at a time), never under its link-map lock.
   StatusOr<std::unique_ptr<SendLink>> connect(Endpoint* from,
                                               const std::string& to);
   std::shared_ptr<Endpoint> lookup(const std::string& name);

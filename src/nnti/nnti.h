@@ -90,6 +90,9 @@ class Nic {
 
   /// Enqueue a small message into the peer's receive queue (FMA-Put-style).
   /// Fails with kResourceExhausted when the peer queue is full.
+  /// Thread-safe (per-NIC mutex): each RDMA link owns a dedicated tx/rx
+  /// NIC pair, so concurrent sends on different links only meet at the
+  /// fabric's name-lookup mutex, never on a queue.
   Status put_message(const std::string& peer, ByteView msg);
 
   /// Scatter-gather put_message: the message is the concatenation of

@@ -11,6 +11,11 @@
 //    publishes its source buffer as a segment and blocks until the consumer
 //    copies directly out of it ("one memory copy"), mirroring
 //    xpmem_make()/xpmem_attach().
+//
+// Threading contract: one producer thread at a time per channel (the SPSC
+// queue and buffer-pool free list assume a single concurrent sender);
+// Endpoint's per-link send mutex enforces it. Distinct channels share no
+// state, so sends on different links proceed fully in parallel.
 #pragma once
 
 #include <atomic>

@@ -138,17 +138,29 @@ Status WorkPool::run_batch(std::vector<Task> tasks) {
   return Status::ok();
 }
 
-int WorkPool::env_pack_threads(int fallback) {
-  const char* v = std::getenv("FLEXIO_PACK_THREADS");
+namespace {
+
+int env_threads(const char* name, int fallback) {
+  const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const long n = std::strtol(v, &end, 10);
   if (end == v || *end != '\0' || n < 1 || n > 256) {
-    FLEXIO_LOG(kWarn) << "ignoring FLEXIO_PACK_THREADS=" << v
+    FLEXIO_LOG(kWarn) << "ignoring " << name << "=" << v
                       << " (must be an integer in [1, 256])";
     return fallback;
   }
   return static_cast<int>(n);
+}
+
+}  // namespace
+
+int WorkPool::env_pack_threads(int fallback) {
+  return env_threads("FLEXIO_PACK_THREADS", fallback);
+}
+
+int WorkPool::env_read_threads(int fallback) {
+  return env_threads("FLEXIO_READ_THREADS", fallback);
 }
 
 }  // namespace flexio::util

@@ -67,6 +67,10 @@ class WorkPool {
   /// caller wanting a pool passes (value - 1) workers.
   static int env_pack_threads(int fallback);
 
+  /// FLEXIO_READ_THREADS: the reader-side unpack mirror of
+  /// env_pack_threads, same range and total-concurrency semantics.
+  static int env_read_threads(int fallback);
+
  private:
   struct Batch {
     std::vector<Task>* tasks = nullptr;

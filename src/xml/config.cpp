@@ -92,6 +92,13 @@ Status apply_method_params(std::string_view params, MethodConfig* method) {
                           "bad pack_threads (want 1..256): " + std::string(val));
       }
       method->pack_threads = static_cast<int>(n);
+    } else if (key == "read_threads") {
+      long long n = 0;
+      if (!parse_int(val, &n) || n < 1 || n > 256) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad read_threads (want 1..256): " + std::string(val));
+      }
+      method->read_threads = static_cast<int>(n);
     } else if (key == "max_retries") {
       long long n = 0;
       if (!parse_int(val, &n) || n < 0) {

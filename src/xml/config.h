@@ -44,6 +44,10 @@ struct MethodConfig {
   // falls back to FLEXIO_PACK_THREADS, then to 1 (serial). 1 runs the
   // batch inline on the caller -- the serial path through the same code.
   int pack_threads = 0;
+  // Reader-side unpack concurrency (threads that run plugin + placement
+  // per delivered piece, *including* the calling thread). Same semantics
+  // as pack_threads; 0 = unset falls back to FLEXIO_READ_THREADS, then 1.
+  int read_threads = 0;
   std::map<std::string, std::string> extra;  // unrecognized hints, passed through
 };
 

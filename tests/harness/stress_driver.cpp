@@ -62,6 +62,9 @@ xml::MethodConfig make_method(const StressConfig& cfg) {
   if (cfg.pack_threads > 1) {
     params += "; pack_threads=" + std::to_string(cfg.pack_threads);
   }
+  if (cfg.read_threads > 1) {
+    params += "; read_threads=" + std::to_string(cfg.read_threads);
+  }
   FLEXIO_CHECK(xml::apply_method_params(params, &m).is_ok());
   return m;
 }
@@ -377,6 +380,7 @@ std::string StressConfig::label() const {
                                  async_writes ? "async" : "sync",
                                  std::string(placement_name(placement)).c_str());
   if (pack_threads > 1) label += str_format("_pack%d", pack_threads);
+  if (read_threads > 1) label += str_format("_read%d", read_threads);
   return label;
 }
 

@@ -56,6 +56,11 @@ struct StressConfig {
   /// caller. 1 = serial (the default and the baseline the parallel oracle
   /// compares against); stream placements only.
   int pack_threads = 1;
+  /// Reader-side unpack concurrency (read_threads method param): total
+  /// threads running plug-in + placement per delivered piece, including
+  /// the caller. Same serial-default semantics as pack_threads; stream
+  /// placements only.
+  int read_threads = 1;
   // Global 2-D field dimensions; must decompose evenly enough for
   // block_decompose on both sides.
   std::uint64_t rows = 24;

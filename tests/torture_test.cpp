@@ -178,22 +178,28 @@ std::vector<StressConfig> full_matrix() {
     for (const bool async : {false, true}) {
       for (const PlacementMode placement :
            {PlacementMode::kShm, PlacementMode::kRdma, PlacementMode::kFile}) {
-        // Pack-thread axis (stream placements only: the file engine never
-        // calls send_pieces). 1 is the serial baseline; 2 and 4 drive the
-        // worker pool, and under TSan the axis doubles as the race gate
-        // for plan-cache rebuilds between steps with pool threads alive.
+        // Pack- and read-thread axes (stream placements only: the file
+        // engine never calls send_pieces or perform_reads_stream). 1 is
+        // the serial baseline; higher counts drive the writer pack pool
+        // and the reader unpack pool, and under TSan the axes double as
+        // the race gate for plan-cache rebuilds and per-link concurrent
+        // sends with pool threads alive on both ends of the wire.
         const bool streaming = placement != PlacementMode::kFile;
         for (const int pack : streaming ? std::vector<int>{1, 2, 4}
                                         : std::vector<int>{1}) {
-          StressConfig cfg;
-          cfg.writers = 3;
-          cfg.readers = 2;
-          cfg.steps = 3;
-          cfg.caching = caching;
-          cfg.async_writes = async;
-          cfg.placement = placement;
-          cfg.pack_threads = pack;
-          cfgs.push_back(cfg);
+          for (const int read : streaming ? std::vector<int>{1, 4}
+                                          : std::vector<int>{1}) {
+            StressConfig cfg;
+            cfg.writers = 3;
+            cfg.readers = 2;
+            cfg.steps = 3;
+            cfg.caching = caching;
+            cfg.async_writes = async;
+            cfg.placement = placement;
+            cfg.pack_threads = pack;
+            cfg.read_threads = read;
+            cfgs.push_back(cfg);
+          }
         }
       }
     }
@@ -341,16 +347,20 @@ std::vector<StressConfig> membership_matrix() {
     for (const bool async : {false, true}) {
       for (const PlacementMode placement :
            {PlacementMode::kShm, PlacementMode::kRdma}) {
-        // pack=4 runs the kill/respawn scenarios with pool tasks in
-        // flight mid-step: a dying reader's send fails inside a task while
-        // sibling tasks keep sending, and the epoch-driven plan rebuild
-        // happens with pool threads alive between steps.
-        for (const int pack : {1, 4}) {
+        // pool=4 runs the kill/respawn scenarios with pool tasks in
+        // flight mid-step on *both* ends: a dying reader's send fails
+        // inside a writer pack task while sibling tasks keep sending on
+        // their own links, the epoch-driven plan rebuild happens with pool
+        // threads alive between steps, and the surviving readers place
+        // pieces from 4 unpack threads while membership churns. Pack and
+        // read scale together (the hardest case) to keep the matrix flat.
+        for (const int pool : {1, 4}) {
           StressConfig cfg;
           cfg.caching = caching;
           cfg.async_writes = async;
           cfg.placement = placement;
-          cfg.pack_threads = pack;
+          cfg.pack_threads = pool;
+          cfg.read_threads = pool;
           cfgs.push_back(membership_torture_config(cfg, nullptr));
         }
       }

@@ -13,14 +13,15 @@ kernel must stay at least PACK_SPEEDUP_MIN times faster than the seed's
 recursive kernel (both run the same workload, so the time ratio is the
 inverse throughput ratio).
 
-The transports report also carries BM_StreamStepParallelPack (1 writer ->
-16 readers, strided pieces, steady-state cached-plan steps): the parallel
-pack + send scaling gate. pack_threads=4 must beat serial by at least
-SCALE_SPEEDUP_MIN on the step's pack+send wall time, and the pool
-machinery itself, run at concurrency 1 (a zero-worker pool, arg 0), must
-cost within SCALE_OVERHEAD_REL of the plain serial path. The scaling half
-only binds when the report's bench.hw_concurrency counter shows at least
-SCALE_MIN_CORES cores -- four pack threads cannot speed anything up on a
+The transports report also carries the two worker-pool scaling benches:
+BM_StreamStepParallelPack (1 writer -> 16 readers, the pack + send phase)
+and its mirror BM_StreamStepParallelUnpack (16 writers -> 1 reader, the
+recv + placement phase). For each, 4 threads must beat serial by at least
+SCALE_SPEEDUP_MIN on the phase's wall time, and the pool machinery itself,
+run at concurrency 1 (a zero-worker pool, arg 0), must cost within
+SCALE_OVERHEAD_REL of the plain serial path. The scaling half only binds
+when the report's bench.hw_concurrency counter shows at least
+SCALE_MIN_CORES cores -- four threads cannot speed anything up on a
 one-core container, so there the gate reports itself skipped instead of
 failing the build.
 
@@ -41,8 +42,12 @@ PACK_SPEEDUP_MIN = 2.0
 PACK_SEED = "BM_PackSeedInterior3D"
 PACK_STRIDED = "BM_PackStridedInterior3D"
 
-SCALE_BENCH = "BM_StreamStepParallelPack"
-SCALE_SPEEDUP_MIN = 1.5   # pack_threads=4 vs serial, 16-reader fan-out
+# (benchmark name, phase label) for the worker-pool scaling gates.
+SCALE_BENCHES = [
+    ("BM_StreamStepParallelPack", "pack+send"),
+    ("BM_StreamStepParallelUnpack", "recv+unpack"),
+]
+SCALE_SPEEDUP_MIN = 1.5   # 4 threads vs serial, 16-way fan-out/fan-in
 SCALE_OVERHEAD_REL = 0.02  # zero-worker pool (arg 0) vs plain serial
 SCALE_MIN_CORES = 4
 
@@ -90,8 +95,8 @@ def check_pack_speedup(report):
     return not ok
 
 
-def scale_medians(report):
-    """Median ns per BM_StreamStepParallelPack arg (pack-thread count).
+def scale_medians(report, bench):
+    """Median ns per scaling-bench arg (worker-pool thread count).
 
     Matched by prefix: google-benchmark appends /iterations:N/manual_time
     to the registered name, and pinning those suffixes here would couple
@@ -100,18 +105,18 @@ def scale_medians(report):
     out = {}
     for metric in report["metrics"]:
         name = metric["name"]
-        if not name.startswith(SCALE_BENCH + "/"):
+        if not name.startswith(bench + "/"):
             continue
         arg = int(name.split("/")[1])
         out[arg] = metric["median"] * UNIT_TO_NS[metric["unit"]]
     return out
 
 
-def check_pack_scaling(report):
-    medians = scale_medians(report)
+def check_pool_scaling(report, bench, label):
+    medians = scale_medians(report, bench)
     missing = [a for a in (0, 1, 4) if a not in medians]
     if missing:
-        print(f"FAIL: {SCALE_BENCH} args {missing} missing from report")
+        print(f"FAIL: {bench} args {missing} missing from report")
         return True
     serial, pool1, four = medians[1], medians[0], medians[4]
     failed = False
@@ -119,7 +124,8 @@ def check_pack_scaling(report):
     overhead = pool1 / serial - 1.0
     ok = overhead <= SCALE_OVERHEAD_REL
     verdict = "ok" if ok else "FAIL"
-    print(f"{verdict}: pool-at-1-thread overhead {overhead * 100:+.1f}% "
+    print(f"{verdict}: {label} pool-at-1-thread overhead "
+          f"{overhead * 100:+.1f}% "
           f"(pool {pool1 / 1e3:.0f} us vs serial {serial / 1e3:.0f} us, "
           f"budget {SCALE_OVERHEAD_REL * 100:.0f}%)")
     failed |= not ok
@@ -127,14 +133,14 @@ def check_pack_scaling(report):
     cores = report.get("counters", {}).get("bench.hw_concurrency", 0)
     speedup = serial / four
     if cores < SCALE_MIN_CORES:
-        print(f"skip: pack scaling gate needs >= {SCALE_MIN_CORES} cores, "
+        print(f"skip: {label} scaling gate needs >= {SCALE_MIN_CORES} cores, "
               f"report ran on {cores} (measured {speedup:.2f}x at 4 threads)")
         return failed
     ok = speedup >= SCALE_SPEEDUP_MIN
     verdict = "ok" if ok else "FAIL"
     detail = ", ".join(f"{a}t {medians[a] / 1e3:.0f} us"
                        for a in sorted(medians) if a > 0)
-    print(f"{verdict}: pack+send speedup {speedup:.2f}x at 4 threads "
+    print(f"{verdict}: {label} speedup {speedup:.2f}x at 4 threads "
           f"({detail}; need >= {SCALE_SPEEDUP_MIN:.1f}x)")
     failed |= not ok
     return failed
@@ -145,7 +151,8 @@ def main():
         sys.exit(__doc__)
     transports = load_report(sys.argv[1])
     failed = check_overhead(transports)
-    failed |= check_pack_scaling(transports)
+    for bench, label in SCALE_BENCHES:
+        failed |= check_pool_scaling(transports, bench, label)
     if len(sys.argv) == 3:
         failed |= check_pack_speedup(load_report(sys.argv[2]))
     sys.exit(1 if failed else 0)
