@@ -16,6 +16,7 @@
 
 #include "core/monitor.h"
 #include "core/program.h"
+#include "core/stream_registry.h"
 #include "core/wire.h"
 #include "evpath/bus.h"
 #include "evpath/directory.h"
@@ -77,6 +78,7 @@ class Runtime {
 
   evpath::MessageBus& bus() { return bus_; }
   evpath::DirectoryServer& directory() { return directory_; }
+  StreamRegistry& registry() { return registry_; }
 
   /// Deliver an encoded wire::Heartbeat frame to the directory. Readers
   /// beat through this adapter (encode -> deliver -> decode) rather than
@@ -84,10 +86,13 @@ class Runtime {
   /// of process without a protocol change.
   Status deliver_heartbeat(ByteView frame);
 
-  /// Endpoint name convention: streams are isolated namespaces.
+  /// Endpoint name convention: streams are isolated namespaces. This is
+  /// the *dedicated* (default) convention; with shared_links the registry
+  /// names endpoints per (program, rank) instead -- always derive peer
+  /// names through StreamChannel::peer_name, which knows the mode.
   static std::string endpoint_name(const std::string& stream,
                                    const std::string& program, int rank) {
-    return stream + "|" + program + "." + std::to_string(rank);
+    return StreamRegistry::dedicated_endpoint_name(stream, program, rank);
   }
 
  private:
@@ -96,6 +101,9 @@ class Runtime {
 
   evpath::MessageBus bus_;
   evpath::DirectoryServer directory_;
+  // Declared after bus_ so channels and drainers are torn down while the
+  // bus (which their endpoints reference) is still alive.
+  StreamRegistry registry_{&bus_};
   mutable std::mutex mutex_;
   PluginCompiler plugin_compiler_;
 };

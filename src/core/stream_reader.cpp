@@ -122,11 +122,15 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
   lopts.rdma_pool_bytes = spec.method.rdma_pool_bytes;
   lopts.timeout = timeout_;
   lopts.max_retries = spec.method.max_retries;
-  auto ep = rt->bus().create_endpoint(
-      Runtime::endpoint_name(spec.stream, program_->name(), rank_),
-      spec.endpoint.location, lopts);
-  if (!ep.is_ok()) return ep.status();
-  endpoint_ = std::move(ep).value();
+  MuxOptions mux;
+  mux.shared_links = spec.method.shared_links;
+  mux.credit_bytes = spec.method.credit_bytes;
+  mux.drr_quantum_bytes = spec.method.drr_quantum_bytes;
+  mux.timeout = timeout_;
+  auto ch = rt->registry().attach(spec.stream, program_->name(), rank_,
+                                  spec.endpoint.location, lopts, mux);
+  if (!ch.is_ok()) return ch.status();
+  channel_ = std::move(ch).value();
 
   // Unpack concurrency, the mirror of the writer's pack pool: method
   // config wins, FLEXIO_READ_THREADS is the fallback, serial the default.
@@ -146,7 +150,7 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
     // every rank is in the group before the first announce can observe it:
     // the initial epoch is deterministically the program size.
     auto joined =
-        rt->directory().join_member(spec.stream, rank_, endpoint_->name());
+        rt->directory().join_member(spec.stream, rank_, channel_->name());
     if (!joined.is_ok()) return joined.status();
     incarnation_ = joined.value().incarnation;
     join_epoch_ = joined.value().join_epoch;
@@ -159,13 +163,21 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
     auto contact = rt->directory().lookup(spec.stream, timeout_);
     if (!contact.is_ok()) return contact.status();
     writer_coord_ = contact.value();
+    // Both sides must multiplex the same way: a dedicated-mode reader
+    // sending unprefixed frames at a shared writer endpoint (or the
+    // reverse) would only ever be dropped at the demux. Fail loudly here.
+    if (StreamRegistry::is_shared_name(writer_coord_) != channel_->shared()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "stream multiplexing mode mismatch: writer contact " +
+                            writer_coord_);
+    }
     wire::OpenRequest req;
     req.reader_program = program_->name();
     req.reader_size = program_->size();
     FLEXIO_RETURN_IF_ERROR(
-        endpoint_->send(writer_coord_, ByteView(wire::encode(req))));
+        channel_->send(writer_coord_, ByteView(wire::encode(req))));
     evpath::Message msg;
-    FLEXIO_RETURN_IF_ERROR(endpoint_->recv_from(writer_coord_, &msg, timeout_));
+    FLEXIO_RETURN_IF_ERROR(channel_->recv_from(writer_coord_, &msg, timeout_));
     auto reply = wire::decode_open_reply(ByteView(msg.payload));
     if (!reply.is_ok()) return reply.status();
     writer_program_ = reply.value().writer_program;
@@ -250,6 +262,11 @@ Status StreamReader::open_late_join(Runtime* rt) {
   auto contact = rt->directory().lookup(spec_.stream, timeout_);
   if (!contact.is_ok()) return contact.status();
   writer_coord_ = contact.value();
+  if (StreamRegistry::is_shared_name(writer_coord_) != channel_->shared()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "stream multiplexing mode mismatch: writer contact " +
+                          writer_coord_);
+  }
 
   // Rejoin under a fresh incarnation. The previous incarnation of this
   // rank may still be counted alive (its TTL has not expired yet), in
@@ -259,7 +276,7 @@ Status StreamReader::open_late_join(Runtime* rt) {
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   for (;;) {
     auto joined =
-        rt->directory().join_member(spec_.stream, rank_, endpoint_->name());
+        rt->directory().join_member(spec_.stream, rank_, channel_->name());
     if (joined.is_ok()) {
       incarnation_ = joined.value().incarnation;
       join_epoch_ = joined.value().join_epoch;
@@ -354,7 +371,7 @@ Status StreamReader::leave() {
   stop_heartbeats();
   FLEXIO_RETURN_IF_ERROR(rt_->directory().leave_member(spec_.stream, rank_));
   program_->deactivate(rank_);
-  endpoint_.reset();
+  channel_.reset();
   left_ = true;
   closed_ = true;
   return Status::ok();
@@ -364,11 +381,14 @@ void StreamReader::simulate_crash() {
   stop_heartbeats();
   crashed_ = true;
   closed_ = true;
-  // Destroying the endpoint tears down every inbound link, so senders
-  // observe receiver-gone fast-fails -- but the directory is *not* told:
-  // the failure detector has to notice the missing heartbeats, exactly as
-  // with a real crash.
-  endpoint_.reset();
+  // Destroying the channel tears down this stream's inbound path. In
+  // dedicated mode that destroys the endpoint and its links, so senders
+  // observe receiver-gone fast-fails; in shared mode only this stream's
+  // demux inbox detaches (its frames drop at the demux) and the shared
+  // endpoint lives on for the other streams. Either way the directory is
+  // *not* told: the failure detector has to notice the missing
+  // heartbeats, exactly as with a real crash.
+  channel_.reset();
 }
 
 void StreamReader::apply_membership(std::uint64_t announce_epoch) {
@@ -416,7 +436,7 @@ Status StreamReader::next_control(std::vector<std::byte>* out) {
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   for (;;) {
     evpath::Message msg;
-    FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
+    FLEXIO_RETURN_IF_ERROR(channel_->recv(&msg, timeout_));
     if (msg.eos) continue;  // link teardown marker, not a protocol frame
     auto type = wire::peek_type(ByteView(msg.payload));
     if (!type.is_ok()) return type.status();
@@ -528,7 +548,7 @@ StatusOr<StepId> StreamReader::begin_step_stream() {
           break;
         }
         evpath::Message msg;
-        FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
+        FLEXIO_RETURN_IF_ERROR(channel_->recv(&msg, timeout_));
         if (msg.eos) continue;
         auto type = wire::peek_type(ByteView(msg.payload));
         if (!type.is_ok()) return type.status();
@@ -860,7 +880,7 @@ Status StreamReader::perform_reads_stream() {
       merged_raw = wire::encode(merged);
       // Step 2: ship the reader-side distribution to the writer side.
       FLEXIO_RETURN_IF_ERROR(
-          endpoint_->send(writer_coord_, ByteView(merged_raw)));
+          channel_->send(writer_coord_, ByteView(merged_raw)));
     }
     // Step 3: every reader rank learns the full request (and plug-ins).
     FLEXIO_RETURN_IF_ERROR(program_->broadcast(rank_, &merged_raw, timeout_));
@@ -987,7 +1007,7 @@ Status StreamReader::perform_reads_stream() {
   }
   while (!remaining.empty()) {
     evpath::Message msg;
-    FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
+    FLEXIO_RETURN_IF_ERROR(channel_->recv(&msg, timeout_));
     if (msg.eos) continue;
     auto type = wire::peek_type(ByteView(msg.payload));
     if (!type.is_ok()) return type.status();

@@ -178,8 +178,10 @@ class StreamReader {
   int rank_ = 0;
   std::chrono::nanoseconds timeout_{};
 
-  // Stream mode.
-  std::shared_ptr<evpath::Endpoint> endpoint_;
+  // Stream mode. The channel is the reader's only path to the transport:
+  // dedicated per-stream endpoint by default, shared multiplexed endpoint
+  // under method shared_links (core/stream_registry.h).
+  std::shared_ptr<StreamChannel> channel_;
   std::string writer_program_;
   int writer_size_ = 0;
   std::string writer_coord_;

@@ -110,11 +110,15 @@ Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
   lopts.rdma_pool_bytes = spec.method.rdma_pool_bytes;
   lopts.timeout = timeout_;
   lopts.max_retries = spec.method.max_retries;
-  auto ep = rt->bus().create_endpoint(
-      Runtime::endpoint_name(spec.stream, program_->name(), rank_),
-      spec.endpoint.location, lopts);
-  if (!ep.is_ok()) return ep.status();
-  endpoint_ = std::move(ep).value();
+  MuxOptions mux;
+  mux.shared_links = spec.method.shared_links;
+  mux.credit_bytes = spec.method.credit_bytes;
+  mux.drr_quantum_bytes = spec.method.drr_quantum_bytes;
+  mux.timeout = timeout_;
+  auto ch = rt->registry().attach(spec.stream, program_->name(), rank_,
+                                  spec.endpoint.location, lopts, mux);
+  if (!ch.is_ok()) return ch.status();
+  channel_ = std::move(ch).value();
 
   membership_ = rt->directory().membership_enabled();
 
@@ -129,12 +133,17 @@ Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
     info.batching = spec.method.batching;
     info.async_writes = spec.method.async_writes;
     FLEXIO_RETURN_IF_ERROR(rt->directory().register_stream(
-        spec.stream, endpoint_->name(), wire::encode(info)));
+        spec.stream, channel_->name(), wire::encode(info)));
     // Wait for the reader coordinator's OpenRequest.
     evpath::Message msg;
-    FLEXIO_RETURN_IF_ERROR(endpoint_->recv(&msg, timeout_));
+    FLEXIO_RETURN_IF_ERROR(channel_->recv(&msg, timeout_));
     auto req = wire::decode_open_request(ByteView(msg.payload));
     if (!req.is_ok()) return req.status();
+    if (StreamRegistry::is_shared_name(msg.from) != channel_->shared()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "stream multiplexing mode mismatch: reader contact " +
+                            msg.from);
+    }
     reader_program_ = req.value().reader_program;
     reader_size_ = req.value().reader_size;
     reader_coord_ = msg.from;
@@ -145,7 +154,7 @@ Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
     reply.batching = spec.method.batching;
     reply.async_writes = spec.method.async_writes;
     FLEXIO_RETURN_IF_ERROR(
-        endpoint_->send(reader_coord_, ByteView(wire::encode(reply))));
+        channel_->send(reader_coord_, ByteView(wire::encode(reply))));
     serial::BufWriter w;
     w.put_string(reader_program_);
     w.put_varint(static_cast<std::uint64_t>(reader_size_));
@@ -323,7 +332,7 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
         // Ship the view behind the new epoch ahead of the announce (same
         // FIFO link), so the reader coordinator can admit joiners and
         // excise the departed without consulting the directory itself.
-        FLEXIO_RETURN_IF_ERROR(endpoint_->send(
+        FLEXIO_RETURN_IF_ERROR(channel_->send(
             reader_coord_, ByteView(wire::encode(member_update_))));
       }
       wire::StepAnnounce ann;
@@ -333,10 +342,10 @@ Status StreamWriter::run_handshake(bool* did_exchange) {
                                      metrics::now_ns()};
       if (membership_) ann.membership_epoch = step_epoch;
       FLEXIO_RETURN_IF_ERROR(
-          endpoint_->send(reader_coord_, ByteView(wire::encode(ann))));
+          channel_->send(reader_coord_, ByteView(wire::encode(ann))));
       evpath::Message msg;
       FLEXIO_RETURN_IF_ERROR(
-          endpoint_->recv_from(reader_coord_, &msg, timeout_));
+          channel_->recv_from(reader_coord_, &msg, timeout_));
       if (msg.eos) {
         return make_error(ErrorCode::kEndOfStream,
                           "reader disappeared mid-stream");
@@ -467,7 +476,7 @@ Status StreamWriter::send_pieces() {
   work.reserve(cached_plan_.size());
   for (const auto& [reader, planned] : cached_plan_) {
     std::string dest =
-        Runtime::endpoint_name(spec_.stream, reader_program_, reader);
+        channel_->peer_name(spec_.stream, reader_program_, reader);
     if (membership_ && have_members_) {
       const wire::MemberInfo* mi = member_info(reader);
       if (mi == nullptr || mi->state != 0) {
@@ -482,7 +491,7 @@ Status StreamWriter::send_pieces() {
       if (it != link_incarnation_.end() && it->second != mi->incarnation) {
         // The rank respawned under the same name: the cached link points
         // at the dead incarnation's transport state.
-        endpoint_->drop_link(dest);
+        channel_->drop_link(dest);
       }
       link_incarnation_[reader] = mi->incarnation;
     }
@@ -604,7 +613,7 @@ Status StreamWriter::send_to_reader(const ReaderWork& work,
     // payload views; transports gather them without a flat intermediate.
     const serial::IovMessage iov = wire::encode_data_iov(msg);
     const std::uint64_t enqueue_start = metrics::now_ns();
-    const Status st = endpoint_->send_iov(work.dest, iov.frags, send_mode);
+    const Status st = channel_->send_iov(work.dest, iov.frags, send_mode);
     *enqueue_ns += metrics::now_ns() - enqueue_start;
     return st;
   };
@@ -633,7 +642,7 @@ Status StreamWriter::send_to_reader(const ReaderWork& work,
     if (!membership_ || !reader_loss || !confirm_reader_gone(work.reader)) {
       return sent;
     }
-    endpoint_->drop_link(work.dest);
+    channel_->drop_link(work.dest);
     dropped_pieces_counter().add(planned.size());
     monitor_.add_count("membership.pieces_dropped", planned.size());
   }
@@ -712,11 +721,11 @@ Status StreamWriter::close() {
     // Ship writer-side monitoring to the analytics side, then EOS. A
     // reader that already exited cannot receive either; that is not a
     // writer-side failure.
-    Status st = endpoint_->send(reader_coord_,
-                                ByteView(wire::encode(build_report())));
+    Status st = channel_->send(reader_coord_,
+                               ByteView(wire::encode(build_report())));
     if (st.is_ok()) {
-      st = endpoint_->send(reader_coord_,
-                           ByteView(wire::encode_close(last_step_)));
+      st = channel_->send(reader_coord_,
+                          ByteView(wire::encode_close(last_step_)));
     }
     if (!st.is_ok() && st.code() != ErrorCode::kUnavailable) return st;
     FLEXIO_RETURN_IF_ERROR(rt_->directory().unregister_stream(spec_.stream));
@@ -731,8 +740,8 @@ Status StreamWriter::close() {
       const wire::MemberInfo* mi = member_info(r);
       if (mi == nullptr || mi->state != 0) continue;
     }
-    const Status st = endpoint_->close_to(
-        Runtime::endpoint_name(spec_.stream, reader_program_, r));
+    const Status st = channel_->close_to(
+        channel_->peer_name(spec_.stream, reader_program_, r));
     // kNotFound: we never sent to that rank. kUnavailable: the reader is
     // already gone, so there is nothing left to drain.
     if (!st.is_ok() && st.code() != ErrorCode::kNotFound &&

@@ -50,11 +50,11 @@ class StreamWriter {
   /// after data has been sent to it). Lets callers verify that a placement
   /// decision was enforced: same node -> shm, across nodes -> rdma.
   StatusOr<evpath::TransportKind> transport_to_reader(int reader_rank) const {
-    if (!endpoint_) {
+    if (!channel_) {
       return make_error(ErrorCode::kFailedPrecondition, "file mode");
     }
-    return endpoint_->transport_to(
-        Runtime::endpoint_name(spec_.stream, reader_program_, reader_rank));
+    return channel_->transport_to(
+        channel_->peer_name(spec_.stream, reader_program_, reader_rank));
   }
 
   /// Writer-side monitoring (Section II.G).
@@ -104,8 +104,10 @@ class StreamWriter {
   int rank_ = 0;
   std::chrono::nanoseconds timeout_{};
 
-  // Stream mode.
-  std::shared_ptr<evpath::Endpoint> endpoint_;
+  // Stream mode. The channel is the writer's only path to the transport:
+  // dedicated per-stream endpoint by default, shared multiplexed endpoint
+  // under method shared_links (core/stream_registry.h).
+  std::shared_ptr<StreamChannel> channel_;
   std::string reader_program_;
   int reader_size_ = 0;
   std::string reader_coord_;  // endpoint name of reader rank 0

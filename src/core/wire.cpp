@@ -115,6 +115,33 @@ StatusOr<MsgType> peek_type(ByteView raw) {
   return static_cast<MsgType>(tag);
 }
 
+std::vector<std::byte> encode_mux_prefix(std::uint64_t stream_id) {
+  BufWriter w;
+  w.put_u8(kMuxPrefixTag);
+  w.put_varint(stream_id);
+  return w.take();
+}
+
+StatusOr<MuxFrame> decode_mux(ByteView raw) {
+  if (raw.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty message");
+  }
+  MuxFrame f;
+  if (static_cast<std::uint8_t>(raw[0]) != kMuxPrefixTag) {
+    f.inner = raw;  // legacy unprefixed frame
+    return f;
+  }
+  BufReader r{raw};
+  std::uint8_t tag = 0;
+  FLEXIO_RETURN_IF_ERROR(r.get_u8(&tag));
+  FLEXIO_RETURN_IF_ERROR(r.get_varint(&f.stream_id));
+  if (f.stream_id == 0) {
+    return make_error(ErrorCode::kInvalidArgument, "mux prefix stream_id 0");
+  }
+  FLEXIO_RETURN_IF_ERROR(r.get_view(r.remaining(), &f.inner));
+  return f;
+}
+
 std::vector<std::byte> encode(const OpenRequest& m) {
   BufWriter w;
   w.put_u8(static_cast<std::uint8_t>(MsgType::kOpenRequest));

@@ -220,6 +220,32 @@ struct Heartbeat {
 /// Peek the type tag of an encoded message.
 StatusOr<MsgType> peek_type(ByteView raw);
 
+/// Multiplexing frame prefix (shared-link mode): `tag + varint stream_id`
+/// prepended to an ordinary protocol frame so many streams can share one
+/// link and the receiving registry can route each frame to its stream's
+/// inbox. The tag sits outside the MsgType range [1, 10], so a legacy
+/// decoder fed a prefixed frame fails loudly in peek_type instead of
+/// misparsing it -- and decode_mux treats a frame that starts with a valid
+/// MsgType tag as an unprefixed legacy frame (stream_id 0), so
+/// pre-multiplexing frames keep parsing (pinned by tests/multiplex_test.cpp).
+inline constexpr std::uint8_t kMuxPrefixTag = 0xF5;
+
+/// A demultiplexed frame: the routing key and a view of the inner protocol
+/// frame (aliasing the input buffer; zero copies).
+struct MuxFrame {
+  std::uint64_t stream_id = 0;  // 0 = legacy frame without a prefix
+  ByteView inner;
+};
+
+/// The prefix bytes for one stream: send them as the first iov fragment (or
+/// prepend them) ahead of any encoded protocol frame. stream_id must be
+/// non-zero (stream_id_hash never returns 0).
+std::vector<std::byte> encode_mux_prefix(std::uint64_t stream_id);
+
+/// Split a possibly-prefixed frame into {stream_id, inner}. Legacy frames
+/// (no prefix) pass through with stream_id 0 and inner == raw.
+StatusOr<MuxFrame> decode_mux(ByteView raw);
+
 std::vector<std::byte> encode(const OpenRequest& m);
 std::vector<std::byte> encode(const OpenReply& m);
 std::vector<std::byte> encode(const StepAnnounce& m);

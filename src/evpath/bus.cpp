@@ -24,7 +24,8 @@ Endpoint::Endpoint(MessageBus* bus, std::string name, Location location,
     : bus_(bus),
       name_(std::move(name)),
       location_(location),
-      options_(options) {}
+      options_(options),
+      recv_backoff_(kRecvBackoff) {}
 
 Endpoint::~Endpoint() { bus_->remove(name_); }
 
@@ -100,8 +101,6 @@ Status Endpoint::recv(Message* out, std::chrono::nanoseconds timeout) {
 Status Endpoint::recv_from(const std::string& from, Message* out,
                            std::chrono::nanoseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  util::Backoff backoff(kRecvBackoff);
-  int spins = 0;
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(recv_mutex_);
@@ -120,6 +119,15 @@ Status Endpoint::recv_from(const std::string& from, Message* out,
                             static_cast<std::ptrdiff_t>(i));
           if (rr_cursor_ >= recv_links_.size()) rr_cursor_ = 0;
         }
+        {
+          // A dequeue proves the senders are active again: restart the
+          // idle ladder at the spin tier so a burst following a long idle
+          // period is not paced by a stale max-backoff sleep (pinned by
+          // tests/endpoint_concurrency_test.cpp).
+          std::lock_guard<std::mutex> idle_lock(recv_idle_mutex_);
+          recv_spins_ = 0;
+          recv_backoff_.reset();
+        }
         return Status::ok();
       }
     }
@@ -128,11 +136,23 @@ Status Endpoint::recv_from(const std::string& from, Message* out,
                         "recv timed out at " + name_ +
                             (from.empty() ? "" : " waiting for " + from));
     }
-    if (spins < kRecvSpinYields) {
-      ++spins;
+    // The ladder state outlives this call (see bus.h): compute the step
+    // under the idle lock, spin or sleep outside it.
+    bool spin = false;
+    std::chrono::nanoseconds delay{};
+    {
+      std::lock_guard<std::mutex> idle_lock(recv_idle_mutex_);
+      if (recv_spins_ < kRecvSpinYields) {
+        ++recv_spins_;
+        spin = true;
+      } else {
+        delay = recv_backoff_.next_delay();
+      }
+    }
+    if (spin) {
       std::this_thread::yield();
     } else {
-      backoff.sleep();
+      util::Backoff::sleep_for(delay);
     }
   }
 }

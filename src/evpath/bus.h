@@ -32,6 +32,7 @@
 #include "evpath/link.h"
 #include "evpath/message.h"
 #include "nnti/nnti.h"
+#include "util/backoff.h"
 #include "util/status.h"
 
 namespace flexio::evpath {
@@ -128,6 +129,17 @@ class Endpoint {
   };
   std::vector<Inbound> recv_links_;
   std::size_t rr_cursor_ = 0;  // round-robin fairness across inbound links
+
+  // Idle-recv pacing state, persistent across recv calls so repeated short
+  // timed polls (a demux pump slicing one long wait into many recv calls)
+  // keep climbing the ladder instead of restarting the spin tier each call.
+  // A successful dequeue resets it to the spin tier: a burst arriving after
+  // an idle period must not eat a stale max-backoff sleep. Guarded by its
+  // own mutex (taken after recv_mutex_ is released, or nested inside it on
+  // the dequeue path; never the other way around).
+  mutable std::mutex recv_idle_mutex_;
+  int recv_spins_ = 0;
+  util::Backoff recv_backoff_;
 };
 
 class MessageBus {

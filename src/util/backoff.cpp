@@ -23,8 +23,9 @@ std::chrono::nanoseconds Backoff::next_delay() {
   return delay;
 }
 
-void Backoff::sleep() {
-  const std::chrono::nanoseconds delay = next_delay();
+void Backoff::sleep() { sleep_for(next_delay()); }
+
+void Backoff::sleep_for(std::chrono::nanoseconds delay) {
   const SleepFn fn = g_sleep.load(std::memory_order_acquire);
   if (fn != nullptr) {
     fn(delay);

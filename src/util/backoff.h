@@ -45,6 +45,11 @@ class Backoff {
   using SleepFn = void (*)(std::chrono::nanoseconds);
   static void set_sleep_for_testing(SleepFn fn);
 
+  /// Sleep an explicit delay through the same hook. For callers that hold
+  /// persistent backoff state under a lock: compute next_delay() inside the
+  /// critical section, sleep outside it.
+  static void sleep_for(std::chrono::nanoseconds delay);
+
  private:
   BackoffPolicy policy_;
   std::chrono::nanoseconds next_;

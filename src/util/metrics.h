@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -215,6 +216,67 @@ class ScopedTimerNs {
 Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Histogram& histogram(std::string_view name);
+
+/// Bounded-cardinality label family: with(label) resolves to the registry
+/// metric `<base>.<label>` for the first `max_labels` distinct labels and
+/// to the shared `<base>.other` rollover bucket for every label beyond
+/// that, so an unbounded label set (per-stream counters with thousands of
+/// streams) cannot bloat the registry or its snapshots. First-come,
+/// first-named: which labels get their own series depends on registration
+/// order, which is what a per-process family wants (the first N streams a
+/// process hosts are the ones worth telling apart; the long tail
+/// aggregates). Thread-safe; callers should cache the returned reference,
+/// exactly like the static-ref idiom used with counter()/gauge().
+template <typename Metric>
+class Family {
+ public:
+  Family(std::string base, std::size_t max_labels)
+      : base_(std::move(base)), max_labels_(max_labels) {}
+  Family(const Family&) = delete;
+  Family& operator=(const Family&) = delete;
+
+  /// The metric for `label` (stable for the life of the process).
+  Metric& with(std::string_view label) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = resolved_.find(label); it != resolved_.end()) {
+      return *it->second;
+    }
+    if (resolved_.size() < max_labels_) {
+      Metric& m = lookup(base_ + "." + std::string(label));
+      resolved_.emplace(std::string(label), &m);
+      return m;
+    }
+    if (other_ == nullptr) other_ = &lookup(base_ + ".other");
+    return *other_;
+  }
+
+  /// Distinct labels granted their own series so far (excludes rollover).
+  std::size_t distinct() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resolved_.size();
+  }
+
+ private:
+  Metric& lookup(const std::string& name);
+
+  const std::string base_;
+  const std::size_t max_labels_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric*, std::less<>> resolved_;
+  Metric* other_ = nullptr;
+};
+
+using CounterFamily = Family<Counter>;
+using GaugeFamily = Family<Gauge>;
+
+template <>
+inline Counter& Family<Counter>::lookup(const std::string& name) {
+  return counter(name);
+}
+template <>
+inline Gauge& Family<Gauge>::lookup(const std::string& name) {
+  return gauge(name);
+}
 
 /// One entry of a full-registry snapshot.
 struct MetricSnapshot {

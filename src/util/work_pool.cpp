@@ -39,6 +39,20 @@ WorkPool::~WorkPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // Stop wins over queued detached work in worker_loop, so tasks may still
+  // be queued after the join; run them here -- "submitted implies executed"
+  // holds through shutdown. A drained task that re-submits just appends to
+  // the same queue and runs in this loop.
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (detached_.empty()) break;
+      fn = std::move(detached_.front());
+      detached_.pop_front();
+    }
+    fn();
+  }
   // Shutdown-while-busy: a batch published from another thread keeps its
   // caller draining after the workers exit; wait for it to unpublish so
   // the mutex and condvars are never destroyed under a live run_batch.
@@ -46,16 +60,47 @@ WorkPool::~WorkPool() {
   done_cv_.wait(lock, [&] { return batch_ == nullptr; });
 }
 
+void WorkPool::submit(std::function<void()> fn) {
+  bool inline_run = threads_.empty();
+  if (!inline_run) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      inline_run = true;  // racing shutdown: the destructor may already be
+                          // past its queue drain, so do not enqueue
+    } else {
+      detached_.push_back(std::move(fn));
+    }
+  }
+  if (inline_run) {
+    fn();
+    return;
+  }
+  work_cv_.notify_one();
+}
+
 void WorkPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [&] {
-      return stop_ || (batch_ != nullptr && generation_ != seen_generation);
+      return stop_ || !detached_.empty() ||
+             (batch_ != nullptr && generation_ != seen_generation);
     });
-    // Stop wins: the batch's caller keeps draining, so leaving mid-batch
-    // only shifts work back onto it (shutdown-while-busy never deadlocks).
+    // Stop wins: the batch's caller keeps draining (shutdown-while-busy
+    // never deadlocks) and the destructor drains leftover detached tasks.
     if (stop_) return;
+    if (!detached_.empty()) {
+      std::function<void()> fn = std::move(detached_.front());
+      detached_.pop_front();
+      lock.unlock();
+      const std::uint64_t claim_ns = metrics::now_ns();
+      fn();
+      pool_exec_hist().record(metrics::now_ns() - claim_ns);
+      pool_tasks_counter().inc();
+      flight::maybe_sample();
+      lock.lock();
+      continue;
+    }
     Batch* batch = batch_;
     seen_generation = generation_;
     ++batch->active_workers;

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -62,6 +63,15 @@ class WorkPool {
   /// Rethrows the lowest-indexed captured exception after the batch joins.
   Status run_batch(std::vector<Task> tasks);
 
+  /// Detached execution: enqueue `fn` to run on a worker when one frees up;
+  /// the caller does not wait. A zero-worker pool runs it inline before
+  /// returning (the serial degenerate case, mirroring run_batch), as does a
+  /// submit that races pool shutdown -- "submitted implies executed" holds
+  /// unconditionally, and the destructor drains any tasks still queued.
+  /// Detached tasks report failure through their own channels (they out-
+  /// live the call site); they must not throw.
+  void submit(std::function<void()> fn);
+
   /// FLEXIO_PACK_THREADS, or `fallback` when unset/invalid. The value is
   /// the total packing concurrency including the submitting thread, so a
   /// caller wanting a pool passes (value - 1) workers.
@@ -86,9 +96,10 @@ class WorkPool {
   void drain(Batch* batch);
 
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  // workers wait here for a batch / stop
+  std::condition_variable work_cv_;  // workers wait here for work / stop
   std::condition_variable done_cv_;  // run_batch waits here for completion
   Batch* batch_ = nullptr;           // guarded by mutex_
+  std::deque<std::function<void()>> detached_;  // guarded by mutex_
   std::uint64_t generation_ = 0;     // bumped per published batch
   bool stop_ = false;
   std::vector<std::thread> threads_;

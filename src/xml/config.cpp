@@ -106,6 +106,20 @@ Status apply_method_params(std::string_view params, MethodConfig* method) {
                           "bad max_retries: " + std::string(val));
       }
       method->max_retries = static_cast<int>(n);
+    } else if (key == "shared_links") {
+      FLEXIO_RETURN_IF_ERROR(parse_bool(val, &method->shared_links));
+    } else if (key == "credit_bytes") {
+      if (!parse_size(val, &method->credit_bytes) ||
+          method->credit_bytes == 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad credit_bytes: " + std::string(val));
+      }
+    } else if (key == "drr_quantum") {
+      if (!parse_size(val, &method->drr_quantum_bytes) ||
+          method->drr_quantum_bytes == 0) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "bad drr_quantum: " + std::string(val));
+      }
     } else {
       method->extra.emplace(std::string(key), std::string(val));
     }

@@ -48,6 +48,17 @@ struct MethodConfig {
   // per delivered piece, *including* the calling thread). Same semantics
   // as pack_threads; 0 = unset falls back to FLEXIO_READ_THREADS, then 1.
   int read_threads = 0;
+  // Many-stream multiplexing (DESIGN.md "Stream multiplexing"). With
+  // shared_links every stream of a (program, rank) attaches to one shared
+  // endpoint and its link table instead of dialing per-stream connections:
+  // frames carry a wire::kMuxPrefixTag routing prefix, outbound sends run
+  // through per-stream queues drained under deficit round-robin, and each
+  // stream is bounded to credit_bytes of queued outbound data (a slow
+  // reader stalls only its own stream). Both sides of a stream must agree
+  // on the mode (the reader checks the writer's registered contact name).
+  bool shared_links = false;
+  std::size_t credit_bytes = 4ull << 20;       // per-stream outbound cap
+  std::size_t drr_quantum_bytes = 64ull << 10; // DRR deficit refill per turn
   std::map<std::string, std::string> extra;  // unrecognized hints, passed through
 };
 

@@ -316,24 +316,35 @@ void record_sleep(std::chrono::nanoseconds d) {
   recorded_sleeps().push_back(d);
 }
 
+/// Poll `ep` with short timed-out recvs until at least `want` delays have
+/// been recorded (bounded; fails the test if the ladder never grows). The
+/// idle-backoff state persists across recv calls, so repeated polls keep
+/// climbing the ladder even when scheduler load makes the spin-yield
+/// prefix eat a whole 2ms timeout on its own.
+void poll_idle_until(Endpoint& ep, std::size_t want) {
+  for (int i = 0; i < 200 && recorded_sleeps().size() < want; ++i) {
+    Message msg;
+    ASSERT_EQ(ep.recv(&msg, 2ms).code(), ErrorCode::kTimeout);
+  }
+  ASSERT_GE(recorded_sleeps().size(), want)
+      << "idle recv never reached " << want << " backoff sleeps";
+}
+
 TEST(EndpointRecvBackoffTest, IdleRecvBacksOffGeometricallyThenCaps) {
   // An idle recv spin-yields first, then falls into the 2us -> 256us
   // geometric schedule instead of busy-polling for the whole timeout. With
-  // the fake-sleep hook installed the wait costs no wall-clock beyond the
-  // (short) timeout itself, and the exact delay ladder is left behind.
+  // the fake-sleep hook installed the waits cost no wall-clock beyond the
+  // (short) timeouts themselves, and the exact delay ladder is left
+  // behind. The ladder spans recv calls (persistent idle state), so the
+  // schedule is deterministic no matter how the polls slice it.
   MessageBus bus;
   auto lonely = bus.create_endpoint("lonely", Location{0, 0}).value();
   recorded_sleeps().clear();
   util::Backoff::set_sleep_for_testing(&record_sleep);
-  Message msg;
-  const Status st = lonely->recv(&msg, 2ms);
+  poll_idle_until(*lonely, 10);
   util::Backoff::set_sleep_for_testing(nullptr);
 
-  EXPECT_EQ(st.code(), ErrorCode::kTimeout);
   const std::vector<std::chrono::nanoseconds>& sleeps = recorded_sleeps();
-  // 2ms of fake-sleeping iterations records far more than the 8 rungs of
-  // the ladder; the prefix must be the geometric schedule and everything
-  // after it pinned at the cap.
   ASSERT_GE(sleeps.size(), 10u);
   using std::chrono::microseconds;
   const std::vector<std::chrono::nanoseconds> ladder = {
@@ -345,6 +356,42 @@ TEST(EndpointRecvBackoffTest, IdleRecvBacksOffGeometricallyThenCaps) {
   for (std::size_t i = ladder.size(); i < sleeps.size(); ++i) {
     ASSERT_EQ(sleeps[i], microseconds(256)) << "post-cap sleep " << i;
   }
+  recorded_sleeps().clear();
+}
+
+TEST(EndpointRecvBackoffTest, LadderRestartsAfterSuccessfulDequeue) {
+  // The idle state persists across recv calls -- a fresh timed poll on a
+  // still-idle endpoint resumes at the cap, not at the spin tier -- but a
+  // successful dequeue resets it: a burst arriving after a long idle period
+  // must pay yields and a 2us rung, not a stale 256us sleep.
+  using std::chrono::microseconds;
+  MessageBus bus;
+  auto rx = bus.create_endpoint("backoff.rx", Location{0, 0}).value();
+  auto tx = bus.create_endpoint("backoff.tx", Location{0, 1}).value();
+  util::Backoff::set_sleep_for_testing(&record_sleep);
+
+  // Climb the ladder past the cap on an idle endpoint.
+  recorded_sleeps().clear();
+  poll_idle_until(*rx, 8);
+  EXPECT_EQ(recorded_sleeps().back(), microseconds(256));
+
+  // Still idle: the next recorded sleep continues at the cap (the
+  // spin-yield budget was consumed by the earlier calls, too).
+  recorded_sleeps().clear();
+  poll_idle_until(*rx, 1);
+  EXPECT_EQ(recorded_sleeps().front(), microseconds(256));
+
+  // A message lands and is dequeued: the ladder restarts from the bottom.
+  Message msg;
+  ASSERT_TRUE(tx->send("backoff.rx", bytes_of(Frame{7, 0})).is_ok());
+  ASSERT_TRUE(rx->recv(&msg, 10s).is_ok());
+  EXPECT_EQ(frame_of(msg).thread, 7u);
+  recorded_sleeps().clear();
+  poll_idle_until(*rx, 2);
+  EXPECT_EQ(recorded_sleeps()[0], microseconds(2)) << "ladder did not restart";
+  EXPECT_EQ(recorded_sleeps()[1], microseconds(4));
+
+  util::Backoff::set_sleep_for_testing(nullptr);
   recorded_sleeps().clear();
 }
 

@@ -1,9 +1,11 @@
 #include "harness/stress_driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -65,6 +67,7 @@ xml::MethodConfig make_method(const StressConfig& cfg) {
   if (cfg.read_threads > 1) {
     params += "; read_threads=" + std::to_string(cfg.read_threads);
   }
+  if (cfg.shared_links || cfg.streams > 1) params += "; shared_links=yes";
   FLEXIO_CHECK(xml::apply_method_params(params, &m).is_ok());
   return m;
 }
@@ -381,6 +384,11 @@ std::string StressConfig::label() const {
                                  std::string(placement_name(placement)).c_str());
   if (pack_threads > 1) label += str_format("_pack%d", pack_threads);
   if (read_threads > 1) label += str_format("_read%d", read_threads);
+  if (streams > 1) {
+    label += str_format("_mux%d", streams);
+  } else if (shared_links) {
+    label += "_shared";
+  }
   return label;
 }
 
@@ -456,31 +464,60 @@ StressResult run_stress(const StressConfig& cfg) {
       for (auto& t : readers) t.join();
     }
   } else {
+    const int nstreams = std::max(1, cfg.streams);
+    // Per-stream configs and program pairs. Extra streams (s > 0) reuse
+    // stream 0's program names, so under shared_links (implied by
+    // streams > 1) their channels multiplex over the same registry
+    // endpoints; they drop the fault plan's rank actions -- stream 0 takes
+    // the membership churn -- but still feel fabric-level faults, and must
+    // finish clean regardless of what happens to their link-mate.
+    std::vector<StressConfig> scfgs(static_cast<std::size_t>(nstreams), cfg);
+    std::vector<std::unique_ptr<Program>> programs;
     std::vector<std::thread> threads;
-    for (int w = 0; w < cfg.writers; ++w) {
-      threads.emplace_back([&, w] {
-        errors.record(writer_rank(rt, cfg, sim, w, &max_step_ns));
-      });
-    }
-    for (int r = 0; r < cfg.readers; ++r) {
-      RankOutcome* outcome = mem ? &result.reader_outcomes[r] : nullptr;
-      threads.emplace_back([&, r, outcome] {
-        errors.record(reader_body(rt, cfg, viz, r, /*late_join=*/false,
-                                  &verified, &result.report, outcome));
-      });
+    for (int s = 0; s < nstreams; ++s) {
+      StressConfig* scfg = &scfgs[static_cast<std::size_t>(s)];
+      Program* ssim = &sim;
+      Program* sviz = &viz;
+      if (nstreams > 1) scfg->stream = cfg.stream + "_m" + std::to_string(s);
+      if (s > 0) {
+        scfg->faults = nullptr;
+        programs.push_back(std::make_unique<Program>("sim", cfg.writers));
+        ssim = programs.back().get();
+        programs.push_back(std::make_unique<Program>("viz", cfg.readers));
+        sviz = programs.back().get();
+      }
+      for (int w = 0; w < cfg.writers; ++w) {
+        threads.emplace_back([&, scfg, ssim, s, w] {
+          errors.record(writer_rank(rt, *scfg, *ssim, w,
+                                    s == 0 ? &max_step_ns : nullptr));
+        });
+      }
+      for (int r = 0; r < cfg.readers; ++r) {
+        RankOutcome* outcome =
+            (mem && s == 0) ? &result.reader_outcomes[r] : nullptr;
+        threads.emplace_back([&, scfg, sviz, s, r, outcome] {
+          errors.record(reader_body(rt, *scfg, *sviz, r, /*late_join=*/false,
+                                    &verified,
+                                    s == 0 ? &result.report : nullptr,
+                                    outcome));
+        });
+      }
     }
     if (mem && cfg.faults != nullptr) {
       // One supervisor per respawn: wait for the prior incarnation's death
       // or departure to land in the directory, then rejoin the same rank as
       // a late-join incarnation and run it to end-of-stream.
+      // Rank actions ride on stream 0's config (the only one carrying the
+      // fault plan under multiplexing).
+      const StressConfig& scfg0 = scfgs[0];
       for (const RankAction& a : cfg.faults->rank_actions()) {
         if (a.op != RankOp::kRespawn) continue;
         threads.emplace_back([&, a] {
           const auto deadline = std::chrono::steady_clock::now() +
-                                std::chrono::milliseconds(cfg.timeout_ms);
+                                std::chrono::milliseconds(scfg0.timeout_ms);
           for (;;) {
             const evpath::MembershipView view =
-                rt.directory().membership(cfg.stream);
+                rt.directory().membership(scfg0.stream);
             const evpath::Member* m = view.find(a.rank);
             if (m != nullptr && m->state != evpath::MemberState::kAlive) break;
             if (std::chrono::steady_clock::now() >= deadline) {
@@ -493,9 +530,9 @@ StressResult run_stress(const StressConfig& cfg) {
             }
             std::this_thread::sleep_for(std::chrono::milliseconds(2));
           }
-          cfg.faults->note_rank_action(a, "respawning");
+          scfg0.faults->note_rank_action(a, "respawning");
           RankOutcome* outcome = &result.reader_outcomes[a.rank];
-          const Status s = reader_body(rt, cfg, viz, a.rank,
+          const Status s = reader_body(rt, scfg0, viz, a.rank,
                                        /*late_join=*/true, &verified, nullptr,
                                        outcome);
           errors.record(s);
@@ -512,8 +549,13 @@ StressResult run_stress(const StressConfig& cfg) {
       static_cast<double>(max_step_ns.load(std::memory_order_relaxed)) * 1e-9;
   // The group survives stream close as a tombstone, so this final read
   // (which also sweeps any straggler the TTL has expired) sees every
-  // join/leave/death the run produced.
-  if (mem) result.final_epoch = rt.directory().membership_epoch(cfg.stream);
+  // join/leave/death the run produced. Under multiplexing the membership
+  // churn (and thus the epoch of record) lives on stream 0.
+  if (mem) {
+    const std::string stream0 =
+        cfg.streams > 1 ? cfg.stream + "_m0" : cfg.stream;
+    result.final_epoch = rt.directory().membership_epoch(stream0);
+  }
   if (result.status.is_ok() && cfg.placement != PlacementMode::kFile) {
     if (!result.report.has_value()) {
       result.status =

@@ -61,6 +61,18 @@ struct StressConfig {
   /// the caller. Same serial-default semantics as pack_threads; stream
   /// placements only.
   int read_threads = 1;
+  /// Stream multiplexing (DESIGN.md "Stream multiplexing"): run this many
+  /// identical writer/reader pipelines concurrently through ONE Runtime.
+  /// streams > 1 forces shared_links, so every stream multiplexes over the
+  /// shared per-(program, rank) endpoints of a single registry. Fault-plan
+  /// rank actions and membership outcome checks apply to stream 0 only;
+  /// the other streams share its links and must finish clean regardless of
+  /// the churn (fabric-level faults still hit all of them). Stream
+  /// placements only.
+  int streams = 1;
+  /// Multiplex even a single stream over shared endpoints (implied by
+  /// streams > 1).
+  bool shared_links = false;
   // Global 2-D field dimensions; must decompose evenly enough for
   // block_decompose on both sides.
   std::uint64_t rows = 24;

@@ -270,5 +270,71 @@ TEST_F(MetricsTest, SnapshotJsonContainsRegisteredMetrics) {
       << json;
 }
 
+TEST_F(MetricsTest, FamilyRollsOverToOtherBeyondMaxLabels) {
+  // Bounded cardinality: the first max_labels distinct labels get their own
+  // registry series, everything past the cap shares `<base>.other` -- a
+  // thousand-stream process must not register a thousand counters.
+  CounterFamily fam("test.family.stalls", 3);
+  fam.with("s0").add(1);
+  fam.with("s1").add(2);
+  fam.with("s2").add(3);
+  EXPECT_EQ(fam.distinct(), 3u);
+  // Over the cap: distinct labels collapse into one rollover counter.
+  fam.with("s3").add(10);
+  fam.with("s4").add(20);
+  EXPECT_EQ(fam.distinct(), 3u);
+  EXPECT_EQ(&fam.with("s3"), &fam.with("s4"));
+  EXPECT_EQ(counter("test.family.stalls.other").value(), 30u);
+  // Already-admitted labels keep resolving to their own series.
+  fam.with("s1").add(5);
+  EXPECT_EQ(counter("test.family.stalls.s1").value(), 7u);
+  EXPECT_EQ(&fam.with("s1"), &counter("test.family.stalls.s1"));
+  // Re-probing a rolled-over label never steals an admitted slot.
+  EXPECT_EQ(&fam.with("s3"), &counter("test.family.stalls.other"));
+
+  // Gauges roll over the same way.
+  GaugeFamily gfam("test.family.queued", 1);
+  gfam.with("a").add(4);
+  gfam.with("b").add(6);
+  gfam.with("c").sub(1);
+  EXPECT_EQ(gauge("test.family.queued.a").value(), 4);
+  EXPECT_EQ(gauge("test.family.queued.other").value(), 5);
+}
+
+TEST_F(MetricsTest, FamilyConcurrentRegistrationIsConsistent) {
+  // Races on the admission boundary must resolve to exactly max_labels own
+  // series plus one rollover; every add lands in exactly one counter.
+  CounterFamily fam("test.family.race", 8);
+  constexpr int kThreads = 4;
+  constexpr int kLabels = 32;
+  constexpr int kAddsPerLabel = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fam] {
+      for (int i = 0; i < kAddsPerLabel; ++i) {
+        for (int l = 0; l < kLabels; ++l) {
+          fam.with("l" + std::to_string(l)).inc();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(fam.distinct(), 8u);
+  // Sum the distinct series (8 own + the rollover): every increment must
+  // have landed in exactly one of them.
+  std::uint64_t total = counter("test.family.race.other").value();
+  int own = 0;
+  for (int l = 0; l < kLabels; ++l) {
+    Counter& c = counter("test.family.race.l" + std::to_string(l));
+    if (&fam.with("l" + std::to_string(l)) == &c) {
+      total += c.value();
+      ++own;
+    }
+  }
+  EXPECT_EQ(own, 8);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kLabels *
+                       kAddsPerLabel);
+}
+
 }  // namespace
 }  // namespace flexio::metrics

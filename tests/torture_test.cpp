@@ -211,6 +211,56 @@ INSTANTIATE_TEST_SUITE_P(
     AllModes, StressMatrixTest, ::testing::ValuesIn(full_matrix()),
     [](const auto& suite_info) { return suite_info.param.label(); });
 
+// ------------------------------------------------- multiplexed streams --
+
+/// Streams axis (DESIGN.md "Stream multiplexing"): several identical
+/// pipelines run through one Runtime and multiplex over shared
+/// per-(program, rank) endpoints. streams=2 exercises the demux pairing;
+/// streams=8 forces the DRR drainers to rotate through many sub-queues per
+/// lane with every frame contended. The solo shared_links config prices
+/// the mux path with no sharing at all.
+std::vector<StressConfig> mux_matrix() {
+  std::vector<StressConfig> cfgs;
+  for (const int streams : {2, 8}) {
+    for (const PlacementMode placement :
+         {PlacementMode::kShm, PlacementMode::kRdma}) {
+      for (const char* caching : {"none", "all"}) {
+        StressConfig cfg;
+        cfg.writers = 2;
+        cfg.readers = 2;
+        cfg.steps = 3;
+        cfg.caching = caching;
+        cfg.async_writes = std::string(caching) == "all";
+        cfg.placement = placement;
+        cfg.streams = streams;
+        cfgs.push_back(cfg);
+      }
+    }
+  }
+  StressConfig solo;
+  solo.writers = 2;
+  solo.readers = 2;
+  solo.steps = 3;
+  solo.caching = "local";
+  solo.shared_links = true;
+  cfgs.push_back(solo);
+  return cfgs;
+}
+
+class MuxStressTest : public ::testing::TestWithParam<StressConfig> {};
+
+TEST_P(MuxStressTest, SharedLinkStreamsDeliverIndependently) {
+  StressConfig cfg = GetParam();
+  cfg.stream = "mux_" + cfg.label();
+  const StressResult result = run_stress(cfg);
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_GT(result.elements_verified, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SharedLinks, MuxStressTest, ::testing::ValuesIn(mux_matrix()),
+    [](const auto& suite_info) { return suite_info.param.label(); });
+
 // --------------------------------------------- seeded random fault runs --
 
 RandomProfile torture_profile() {
@@ -361,6 +411,18 @@ std::vector<StressConfig> membership_matrix() {
           cfg.placement = placement;
           cfg.pack_threads = pool;
           cfg.read_threads = pool;
+          cfgs.push_back(membership_torture_config(cfg, nullptr));
+        }
+        // Streams axis: the same kill/respawn churn rides stream 0 while a
+        // second stream shares its mux links. The sibling stream carries no
+        // rank actions and must deliver every step regardless -- a crash in
+        // shared mode detaches only the victim's demux inbox, so the link
+        // (and everyone else on it) lives on.
+        if (!async) {
+          StressConfig cfg;
+          cfg.caching = caching;
+          cfg.placement = placement;
+          cfg.streams = 2;
           cfgs.push_back(membership_torture_config(cfg, nullptr));
         }
       }

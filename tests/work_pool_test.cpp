@@ -10,8 +10,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unistd.h>
@@ -262,6 +264,63 @@ TEST(WorkPoolTest, TaskScopeNestsPoolSpansUnderSubmitter) {
   trace::set_enabled(false);
   trace::reset();
   metrics::set_enabled(was);
+}
+
+TEST(WorkPoolTest, SubmitRunsDetachedTasksExactlyOnce) {
+  // Detached tasks execute without the caller waiting; a latch proves all
+  // of them ran, and the counter that they ran exactly once each.
+  WorkPool pool(3);
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (ran.fetch_add(1, std::memory_order_relaxed) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, 10s, [&] {
+    return ran.load(std::memory_order_relaxed) == kTasks;
+  }));
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(WorkPoolTest, SubmitOnZeroWorkerPoolRunsInline) {
+  WorkPool pool(0);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);  // inline: done before submit returned
+}
+
+TEST(WorkPoolTest, DestructorExecutesQueuedDetachedTasks) {
+  // "Submitted implies executed" must hold through shutdown: tasks still
+  // queued when the destructor runs are drained by it, including tasks a
+  // drained task re-submits.
+  std::atomic<int> ran{0};
+  {
+    WorkPool pool(1);
+    // Park the single worker so later submissions stack up in the queue.
+    std::atomic<bool> release{false};
+    pool.submit([&] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&ran, &pool, i] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i == 0) {
+          pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    release.store(true, std::memory_order_release);
+  }
+  EXPECT_EQ(ran.load(), 9);
 }
 
 TEST(WorkPoolTest, EnvPackThreadsParsesAndRejectsGarbage) {

@@ -25,8 +25,18 @@ SCALE_MIN_CORES cores -- four threads cannot speed anything up on a
 one-core container, so there the gate reports itself skipped instead of
 failing the build.
 
-Usage: check_bench_overhead.py <BENCH_micro_transports.json>
-                               [<BENCH_micro_pack.json>]
+With a BENCH_micro_many_streams.json report it gates the multiplexing
+fairness and fan-in properties: pooled mouse p99 with elephant streams
+sharing the link must stay within MOUSE_P99_FACTOR of the mice-only
+baseline (skipped below SCALE_MIN_CORES cores, like the pool scaling
+gates), and the shared-link registry must have used O(links) connections
+-- at least MANY_STREAMS_MIN streams over at most MANY_ENDPOINTS_MAX
+shared endpoints (always binding; endpoint counting needs no parallelism).
+
+Reports are matched by their JSON "name" field, so arguments can come in
+any order and any subset.
+
+Usage: check_bench_overhead.py <BENCH_*.json> [<BENCH_*.json> ...]
 """
 import json
 import sys
@@ -51,15 +61,24 @@ SCALE_SPEEDUP_MIN = 1.5   # 4 threads vs serial, 16-way fan-out/fan-in
 SCALE_OVERHEAD_REL = 0.02  # zero-worker pool (arg 0) vs plain serial
 SCALE_MIN_CORES = 4
 
+# Many-stream multiplexing gates (BENCH_micro_many_streams.json).
+MOUSE_P99_FACTOR = 2.0     # mouse p99 with elephants vs mice-only
+MANY_STREAMS_MIN = 1000    # streams the bench must have multiplexed
+MANY_ENDPOINTS_MAX = 4     # shared endpoints those streams may cost
+
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def median_ns(report, name):
+def metric_ns(report, name, field):
     for metric in report["metrics"]:
         if metric["name"] == name:
-            return metric["median"] * UNIT_TO_NS[metric["unit"]]
+            return metric[field] * UNIT_TO_NS[metric["unit"]]
     sys.exit(f"FAIL: metric {name!r} missing from report "
              f"(have: {[m['name'] for m in report['metrics']]})")
+
+
+def median_ns(report, name):
+    return metric_ns(report, name, "median")
 
 
 def load_report(path):
@@ -146,15 +165,58 @@ def check_pool_scaling(report, bench, label):
     return failed
 
 
+def check_many_streams(report):
+    counters = report.get("counters", {})
+    streams = counters.get("bench.many_streams.streams", 0)
+    endpoints = counters.get("bench.many_streams.shared_endpoints", 0)
+    ok = streams >= MANY_STREAMS_MIN and endpoints <= MANY_ENDPOINTS_MAX
+    verdict = "ok" if ok else "FAIL"
+    print(f"{verdict}: shared-link mode multiplexed {streams} streams over "
+          f"{endpoints} shared endpoint(s) "
+          f"(need >= {MANY_STREAMS_MIN} streams, <= {MANY_ENDPOINTS_MAX} "
+          f"endpoints)")
+    failed = not ok
+
+    base = metric_ns(report, "many_streams.mouse_ns.mice_only", "p99")
+    mixed = metric_ns(report, "many_streams.mouse_ns.with_elephants", "p99")
+    factor = mixed / base
+    cores = counters.get("bench.hw_concurrency", 0)
+    if cores < SCALE_MIN_CORES:
+        print(f"skip: mouse-p99 fairness gate needs >= {SCALE_MIN_CORES} "
+              f"cores, report ran on {cores} (measured {factor:.2f}x)")
+        return failed
+    ok = factor <= MOUSE_P99_FACTOR
+    verdict = "ok" if ok else "FAIL"
+    print(f"{verdict}: mouse p99 {mixed / 1e3:.0f} us with elephants vs "
+          f"{base / 1e3:.0f} us mice-only ({factor:.2f}x, "
+          f"budget {MOUSE_P99_FACTOR:.1f}x)")
+    failed |= not ok
+    return failed
+
+
+CHECKS = {
+    "micro_transports": lambda r: check_overhead(r) | any(
+        [check_pool_scaling(r, bench, label) for bench, label in
+         SCALE_BENCHES]),
+    "micro_pack": check_pack_speedup,
+    "micro_many_streams": check_many_streams,
+}
+
+
 def main():
-    if len(sys.argv) not in (2, 3):
+    if len(sys.argv) < 2:
         sys.exit(__doc__)
-    transports = load_report(sys.argv[1])
-    failed = check_overhead(transports)
-    for bench, label in SCALE_BENCHES:
-        failed |= check_pool_scaling(transports, bench, label)
-    if len(sys.argv) == 3:
-        failed |= check_pack_speedup(load_report(sys.argv[2]))
+    failed = False
+    checked = 0
+    for path in sys.argv[1:]:
+        report = load_report(path)
+        check = CHECKS.get(report.get("name"))
+        if check is None:
+            continue  # e.g. the per-stream latency table artifact
+        failed |= bool(check(report))
+        checked += 1
+    if checked == 0:
+        sys.exit("FAIL: no gateable report among the arguments")
     sys.exit(1 if failed else 0)
 
 
