@@ -29,6 +29,7 @@
 #include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/trace.h"
+#include "util/watchdog.h"
 #include "util/work_pool.h"
 
 namespace {
@@ -639,6 +640,32 @@ void BM_FlightRecorderIdle(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FlightRecorderIdle);
+
+void BM_WatchdogDisabled(benchmark::State& state) {
+  // No watchdog running: the cooperative hook must be one relaxed load
+  // plus a branch, same budget as a disabled counter.
+  for (auto _ : state) {
+    telemetry::maybe_poll();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WatchdogDisabled);
+
+void BM_StatsExposeSnapshot(benchmark::State& state) {
+  // Cost of rendering one /metrics scrape over a populated registry. This
+  // runs on the stats-server thread, never the data path; the gate is a
+  // sanity budget, not a hot-path bound.
+  metrics::counter("bench.expose.counter").inc();
+  metrics::gauge("bench.expose.gauge").add(42);
+  metrics::histogram("bench.expose.hist").record(1000);
+  for (auto _ : state) {
+    std::string text = metrics::expose_text();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatsExposeSnapshot);
 
 }  // namespace
 

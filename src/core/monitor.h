@@ -13,6 +13,8 @@
 #include <mutex>
 #include <string>
 
+#include "core/wire.h"
+#include "evpath/directory.h"
 #include "util/metrics.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -74,5 +76,15 @@ class PerfMonitor {
   std::map<std::string, RunningStats> times_;
   std::map<std::string, std::uint64_t> counts_;
 };
+
+/// Fold the directory's aggregated cluster view into one wire::MonitorReport
+/// covering every rank of `program` (all programs when empty): per-phase
+/// flexio.step.* histogram sums land in the phase_ns fields, and the
+/// handshake / bytes counters in their scalar slots. This is the advisor's
+/// cross-rank context -- a writer-side close report describes one rank,
+/// while this report describes the whole deployment as seen through the
+/// heartbeat-piggyback aggregation path.
+wire::MonitorReport cluster_phase_report(const evpath::ClusterSnapshot& cluster,
+                                         const std::string& program = "");
 
 }  // namespace flexio

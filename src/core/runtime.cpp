@@ -22,8 +22,16 @@ StatusOr<std::unique_ptr<StreamReader>> Runtime::open_reader(
 Status Runtime::deliver_heartbeat(ByteView frame) {
   auto hb = wire::decode_heartbeat(frame);
   if (!hb.is_ok()) return hb.status();
-  return directory_.heartbeat(hb.value().stream, hb.value().rank,
-                              hb.value().incarnation);
+  const Status beat = directory_.heartbeat(
+      hb.value().stream, hb.value().rank, hb.value().incarnation);
+  // Fold a piggybacked telemetry frame even when the beat itself was
+  // rejected (a fenced rank's last stats are still real observations);
+  // aggregation errors never fail the liveness path.
+  if (!hb.value().stats.empty()) {
+    (void)directory_.fold_stats(hb.value().program, hb.value().rank,
+                                hb.value().stats);
+  }
+  return beat;
 }
 
 void Runtime::set_plugin_compiler(PluginCompiler compiler) {

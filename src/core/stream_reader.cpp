@@ -7,6 +7,7 @@
 #include "util/backoff.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/stats_server.h"
 #include "util/trace.h"
 
 namespace flexio {
@@ -92,6 +93,9 @@ Status StreamReader::open(Runtime* rt, const StreamSpec& spec) {
   timeout_ = ns_from_ms(spec.method.timeout_ms);
   FLEXIO_CHECK(program_ != nullptr);
   FLEXIO_CHECK(rank_ >= 0 && rank_ < program_->size());
+  if (spec.method.telemetry || !spec.method.stats_addr.empty()) {
+    telemetry::configure(spec.method.stats_addr, spec.method.telemetry);
+  }
 
   if (spec.method.method != "FLEXIO") {
     // Offline mode: wait (bounded) for the writer to finish its files --
@@ -300,6 +304,8 @@ Status StreamReader::open_late_join(Runtime* rt) {
 
 void StreamReader::start_heartbeats() {
   hb_stop_.store(false, std::memory_order_release);
+  hb_stats_.prime();  // piggybacked deltas start from the join, not birth
+  hb_stats_seq_ = 0;
   const auto ttl = rt_->directory().membership_options().ttl;
   auto interval = ttl / 4;
   if (interval < std::chrono::milliseconds(1)) {
@@ -318,6 +324,14 @@ void StreamReader::start_heartbeats() {
         hb.rank = rank_;
         hb.incarnation = incarnation_;
         hb.send_ns = metrics::now_ns();
+        if (telemetry::publish_enabled()) {
+          // Piggyback this rank's registry deltas since the last beat;
+          // empty when nothing changed (the trailer is then omitted).
+          hb.program = spec_.endpoint.program != nullptr
+                           ? spec_.endpoint.program->name()
+                           : "";
+          hb.stats = hb_stats_.next_line(++hb_stats_seq_, hb.send_ns);
+        }
         const Status st = rt_->deliver_heartbeat(ByteView(wire::encode(hb)));
         if (st.code() == ErrorCode::kFailedPrecondition) {
           // Fenced: the directory declared us dead while we were merely

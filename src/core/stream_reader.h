@@ -19,6 +19,7 @@
 #include "adios/bp_file.h"
 #include "core/redistribution.h"
 #include "core/runtime.h"
+#include "util/stats_delta.h"
 #include "util/work_pool.h"
 
 namespace flexio {
@@ -257,6 +258,11 @@ class StreamReader {
   std::thread hb_thread_;
   std::atomic<bool> hb_stop_{false};
   std::atomic<std::uint64_t> hb_pause_until_ns_{0};
+  /// Telemetry piggyback (owned by the heartbeat thread): deltas since
+  /// the previous beat, attached as the stats trailer when publishing is
+  /// enabled (telemetry::publish_enabled()).
+  telemetry::DeltaEncoder hb_stats_;
+  std::uint64_t hb_stats_seq_ = 0;
 
   // Early-arrival stashes: data messages for future steps, and control
   // frames (the next StepAnnounce can overtake the tail of the current

@@ -373,10 +373,13 @@ class SharedEndpoint : public std::enable_shared_from_this<SharedEndpoint> {
 StreamChannel::~StreamChannel() {
   if (shared_ != nullptr) {
     shared_->detach_stream(stream_id_);
-    if (registry_ != nullptr) registry_->detach_shared(stream_id_);
+    // Return credits before detach_shared: the last detach retires the
+    // stream's metric families, and the accounting should land on the
+    // live series, not on a retired (leaked) object.
     if (credits_gauge_ != nullptr) {
       credits_gauge_->sub(static_cast<std::int64_t>(opts_.credit_bytes));
     }
+    if (registry_ != nullptr) registry_->detach_shared(stream_id_);
     shared_.reset();
   }
   own_.reset();
@@ -595,6 +598,15 @@ void StreamRegistry::detach_shared(std::uint64_t stream_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = stream_ids_.find(stream_id);
   if (it != stream_ids_.end() && --it->second.second <= 0) {
+    // Last channel of this stream in the process: retire its per-stream
+    // series so scrapes stop showing the closed stream as live, and its
+    // cardinality slots free up for future streams. Cached references
+    // (CreditState, in-flight sends) stay valid -- retire leaks the
+    // metric objects by design.
+    const std::string& stream = it->second.first;
+    queued_bytes_family().retire(stream);
+    credits_family().retire(stream);
+    stalls_family().retire(stream);
     stream_ids_.erase(it);
   }
   if (attached_streams_ > 0) --attached_streams_;

@@ -5,6 +5,7 @@
 
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/stats_server.h"
 #include "util/trace.h"
 
 namespace flexio {
@@ -81,6 +82,9 @@ Status StreamWriter::open(Runtime* rt, const StreamSpec& spec) {
   timeout_ = ns_from_ms(spec.method.timeout_ms);
   FLEXIO_CHECK(program_ != nullptr);
   FLEXIO_CHECK(rank_ >= 0 && rank_ < program_->size());
+  if (spec.method.telemetry || !spec.method.stats_addr.empty()) {
+    telemetry::configure(spec.method.stats_addr, spec.method.telemetry);
+  }
 
   if (spec.method.method != "FLEXIO") {
     // File mode: any ADIOS-style file method name maps to the BP engine.

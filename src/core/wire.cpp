@@ -32,6 +32,7 @@ Status get_box(BufReader* r, adios::Box* box) {
 // tests/core_test.cpp and tests/serial_test.cpp).
 constexpr std::uint8_t kTraceTrailerV1 = 1;
 constexpr std::uint8_t kMembershipTrailerV2 = 2;
+constexpr std::uint8_t kStatsTrailerV3 = 3;
 
 void put_trace_trailer(BufWriter* w, const std::optional<TraceContext>& t) {
   if (!t) return;
@@ -79,6 +80,44 @@ Status get_trailers(BufReader* r, std::optional<TraceContext>* trace,
 
 Status get_trace_trailer(BufReader* r, std::optional<TraceContext>* out) {
   return get_trailers(r, out, nullptr);
+}
+
+/// Telemetry piggyback: sender program name + one flexio-stats-v1 delta
+/// line. Appended AFTER the trace trailer so v1-only decoders (which skip
+/// the rest of the frame at the first unknown tag) still see the trace.
+void put_stats_trailer(BufWriter* w, const std::string& program,
+                       const std::string& stats) {
+  if (program.empty() && stats.empty()) return;
+  w->put_u8(kStatsTrailerV3);
+  w->put_string(program);
+  w->put_string(stats);
+}
+
+/// Heartbeat trailer chain: trace (v1) and stats (v3), either absent.
+Status get_heartbeat_trailers(BufReader* r, std::optional<TraceContext>* trace,
+                              std::string* program, std::string* stats) {
+  trace->reset();
+  program->clear();
+  stats->clear();
+  while (!r->at_end()) {
+    std::uint8_t version = 0;
+    FLEXIO_RETURN_IF_ERROR(r->get_u8(&version));
+    if (version == kTraceTrailerV1) {
+      TraceContext t;
+      FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.stream_id));
+      FLEXIO_RETURN_IF_ERROR(r->get_i64(&t.step));
+      FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.span_id));
+      FLEXIO_RETURN_IF_ERROR(r->get_varint(&t.send_ns));
+      *trace = t;
+    } else if (version == kStatsTrailerV3) {
+      FLEXIO_RETURN_IF_ERROR(r->get_string(program));
+      FLEXIO_RETURN_IF_ERROR(r->get_string(stats));
+    } else {
+      ByteView rest;
+      return r->get_view(r->remaining(), &rest);  // skip unknown trailers
+    }
+  }
+  return Status::ok();
 }
 
 Status expect_type(BufReader* r, MsgType want) {
@@ -475,6 +514,7 @@ std::vector<std::byte> encode(const Heartbeat& m) {
   w.put_varint(m.incarnation);
   w.put_varint(m.send_ns);
   put_trace_trailer(&w, m.trace);
+  put_stats_trailer(&w, m.program, m.stats);
   return w.take();
 }
 
@@ -488,7 +528,8 @@ StatusOr<Heartbeat> decode_heartbeat(ByteView raw) {
   m.rank = static_cast<int>(rank);
   FLEXIO_RETURN_IF_ERROR(r.get_varint(&m.incarnation));
   FLEXIO_RETURN_IF_ERROR(r.get_varint(&m.send_ns));
-  FLEXIO_RETURN_IF_ERROR(get_trace_trailer(&r, &m.trace));
+  FLEXIO_RETURN_IF_ERROR(
+      get_heartbeat_trailers(&r, &m.trace, &m.program, &m.stats));
   return m;
 }
 

@@ -215,6 +215,13 @@ struct Heartbeat {
   std::uint64_t incarnation = 0;
   std::uint64_t send_ns = 0;
   std::optional<TraceContext> trace;
+  /// Telemetry piggyback (stats trailer, v3): the sender's program name
+  /// and one "flexio-stats-v1" delta line since its previous beat. Both
+  /// empty when telemetry publishing is off; pre-v3 frames decode with
+  /// both empty (the trailer is skipped by old readers and absent in old
+  /// frames). The directory folds these into its cluster view.
+  std::string program;
+  std::string stats;
 };
 
 /// Peek the type tag of an encoded message.

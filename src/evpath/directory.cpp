@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "util/json.h"
 #include "util/metrics.h"
+#include "util/strings.h"
 
 namespace flexio::evpath {
 
@@ -23,6 +25,20 @@ metrics::Counter& deaths_counter() {
 metrics::Gauge& epoch_gauge() {
   static metrics::Gauge& g = metrics::gauge("flexio.membership.epoch");
   return g;
+}
+metrics::Counter& stats_frames_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.telemetry.frames");
+  return c;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
 }
 
 }  // namespace
@@ -298,6 +314,126 @@ StatusOr<std::uint64_t> DirectoryServer::wait_for_epoch_change(
     }
     cv_.wait_until(lock, slice);
   }
+}
+
+Status DirectoryServer::fold_stats(const std::string& program, int rank,
+                                   const std::string& stats_line) {
+  auto parsed = json::parse(stats_line);
+  if (!parsed.is_ok()) return parsed.status();
+  const json::Value& v = parsed.value();
+  const json::Value* schema = v.find("schema");
+  if (schema == nullptr || schema->as_string() != "flexio-stats-v1") {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "stats frame is not flexio-stats-v1");
+  }
+  // Validate sections up front so a malformed frame leaves no partial fold.
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const json::Value* s = v.find(section);
+    if (s != nullptr && s->kind() != json::Value::Kind::kObject) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        std::string("stats section is not an object: ") +
+                            section);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  RankStats& rs = rank_stats_[{program, rank}];
+  rs.program = program;
+  rs.rank = rank;
+  ++rs.frames;
+  if (const json::Value* t = v.find("t_ns")) {
+    rs.last_ns = static_cast<std::uint64_t>(t->as_number());
+  }
+  if (const json::Value* counters = v.find("counters")) {
+    for (const auto& [name, delta] : counters->as_object()) {
+      rs.counters[name] += static_cast<std::uint64_t>(delta.as_number());
+    }
+  }
+  if (const json::Value* gauges = v.find("gauges")) {
+    for (const auto& [name, value] : gauges->as_object()) {
+      rs.gauges[name] = static_cast<std::int64_t>(value.as_number());
+    }
+  }
+  if (const json::Value* hists = v.find("histograms")) {
+    for (const auto& [name, h] : hists->as_object()) {
+      RankStats::Hist& agg = rs.histograms[name];
+      if (const json::Value* c = h.find("count")) {
+        agg.count += static_cast<std::uint64_t>(c->as_number());
+      }
+      if (const json::Value* s = h.find("sum")) {
+        agg.sum += static_cast<std::uint64_t>(s->as_number());
+      }
+      // Quantiles are cumulative positions, not deltas: latest wins.
+      if (const json::Value* p = h.find("p50")) agg.p50 = p->as_number();
+      if (const json::Value* p = h.find("p99")) agg.p99 = p->as_number();
+    }
+  }
+  stats_frames_counter().inc();
+  return Status::ok();
+}
+
+ClusterSnapshot DirectoryServer::cluster() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ClusterSnapshot out;
+  out.reserve(rank_stats_.size());
+  for (const auto& [key, rs] : rank_stats_) out.push_back(rs);
+  return out;
+}
+
+std::string DirectoryServer::cluster_json() const {
+  const ClusterSnapshot snap = cluster();
+  std::string out = "{\"schema\":\"flexio-cluster-v1\",\"ranks\":[";
+  bool first_rank = true;
+  for (const RankStats& rs : snap) {
+    if (!first_rank) out += ",";
+    first_rank = false;
+    out += str_format(
+        "\n{\"program\":\"%s\",\"rank\":%d,\"t_ns\":%llu,\"frames\":%llu",
+        json_escape(rs.program).c_str(), rs.rank,
+        static_cast<unsigned long long>(rs.last_ns),
+        static_cast<unsigned long long>(rs.frames));
+    const auto append_section = [&out](const char* name, const auto& entries,
+                                       const auto& render) {
+      if (entries.empty()) return;
+      out += str_format(",\"%s\":{", name);
+      bool first = true;
+      for (const auto& [key, value] : entries) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + json_escape(key) + "\":" + render(value);
+      }
+      out += "}";
+    };
+    append_section("counters", rs.counters, [](std::uint64_t v) {
+      return str_format("%llu", static_cast<unsigned long long>(v));
+    });
+    append_section("gauges", rs.gauges, [](std::int64_t v) {
+      return str_format("%lld", static_cast<long long>(v));
+    });
+    append_section("histograms", rs.histograms, [](const RankStats::Hist& h) {
+      return str_format("{\"count\":%llu,\"sum\":%llu,\"p50\":%.1f,"
+                        "\"p99\":%.1f}",
+                        static_cast<unsigned long long>(h.count),
+                        static_cast<unsigned long long>(h.sum), h.p50, h.p99);
+    });
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::vector<std::string> DirectoryServer::dead_members() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (auto& [stream, group] : groups_) {
+    sweep_locked(group);
+    for (const auto& [rank, member] : group.members) {
+      if (member.state == MemberState::kDead) {
+        out.push_back(stream + "/" + std::to_string(rank));
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace flexio::evpath

@@ -32,6 +32,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -87,6 +88,29 @@ struct MembershipView {
   const Member* find(int rank) const;
   int alive_count() const;
 };
+
+/// One rank's aggregated telemetry in the directory's cluster view:
+/// the fold of every "flexio-stats-v1" delta frame the rank piggybacked
+/// on its heartbeats. Counters and histogram count/sum accumulate the
+/// deltas; gauges and histogram p50/p99 keep the latest value.
+struct RankStats {
+  std::string program;  // logical program name (e.g. "sim", "viz")
+  int rank = 0;
+  std::uint64_t last_ns = 0;  // t_ns of the newest folded frame
+  std::uint64_t frames = 0;   // frames folded so far
+  struct Hist {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double p50 = 0;
+    double p99 = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, Hist> histograms;
+};
+
+/// Every rank's RankStats, ordered by (program, rank).
+using ClusterSnapshot = std::vector<RankStats>;
 
 class DirectoryServer {
  public:
@@ -150,6 +174,31 @@ class DirectoryServer {
                                                 std::uint64_t last_seen,
                                                 std::chrono::nanoseconds timeout);
 
+  // --- telemetry aggregation ---------------------------------------------
+
+  /// Fold one "flexio-stats-v1" delta line from (program, rank) into the
+  /// cluster view. Malformed lines are rejected (the cluster view never
+  /// holds partial folds). Called by the runtime's heartbeat delivery
+  /// adapter for frames carrying the stats trailer.
+  Status fold_stats(const std::string& program, int rank,
+                    const std::string& stats_line);
+
+  /// Snapshot of every rank's folded telemetry.
+  ClusterSnapshot cluster() const;
+
+  /// The snapshot rendered as one "flexio-cluster-v1" JSON document --
+  /// what the stats server serves at /cluster:
+  ///   {"schema":"flexio-cluster-v1","ranks":[
+  ///     {"program":"viz","rank":0,"t_ns":...,"frames":2,
+  ///      "counters":{...},"gauges":{...},
+  ///      "histograms":{"flexio.step.total.ns":
+  ///          {"count":4,"sum":812345,"p50":180224.0,"p99":229376.0}}}]}
+  std::string cluster_json() const;
+
+  /// Sweep every group and list members currently declared dead, as
+  /// "stream/rank" descriptors. Feeds the watchdog's rank-dead rule.
+  std::vector<std::string> dead_members();
+
  private:
   struct Group {
     std::uint64_t epoch = 0;
@@ -171,6 +220,8 @@ class DirectoryServer {
   std::map<std::string, Group> groups_;
   MembershipOptions membership_options_;
   DirectoryStats stats_;
+  /// Cluster telemetry keyed by (program, rank).
+  std::map<std::pair<std::string, int>, RankStats> rank_stats_;
 };
 
 }  // namespace flexio::evpath

@@ -1,15 +1,18 @@
 #include "util/flight_recorder.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <fstream>
-#include <map>
 #include <mutex>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "util/metrics.h"
+#include "util/stats_delta.h"
 #include "util/strings.h"
 
 namespace flexio::flight {
@@ -21,23 +24,8 @@ std::atomic<bool> g_due{false};
 
 namespace {
 
-/// Previous-sample state for one metric, enough to compute deltas.
-struct Prev {
-  std::uint64_t counter = 0;
-  std::int64_t gauge = 0;
-  std::uint64_t hist_count = 0;
-  std::uint64_t hist_sum = 0;
-};
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+/// Most recent lines kept in memory for telemetry::StatsServer /flight.
+constexpr std::size_t kTailCapacity = 256;
 
 /// Singleton recorder. All mutation happens under mutex_; the hot-path
 /// gates (g_active / g_due) are plain relaxed flags mirrored from it.
@@ -60,10 +48,7 @@ class Recorder {
       return make_error(ErrorCode::kInternal,
                         "cannot open flight-recorder file: " + options_.path);
     }
-    prev_.clear();
-    for (const auto& [name, snap] : metrics::snapshot_all()) {
-      note_prev(name, snap);
-    }
+    encoder_.prime();
     seq_ = 0;
     lines_ = 0;
     bytes_ = 0;
@@ -121,6 +106,22 @@ class Recorder {
     return lines_;
   }
 
+  void record_event(const std::string& line) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_) {
+      write_line(line);
+    } else {
+      push_tail(line);  // tail keeps events even with no file open
+    }
+  }
+
+  std::vector<std::string> tail(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t take = std::min(n, tail_.size());
+    return std::vector<std::string>(tail_.end() - static_cast<long>(take),
+                                    tail_.end());
+  }
+
  private:
   Recorder() = default;
 
@@ -133,64 +134,10 @@ class Recorder {
     }
   }
 
-  void note_prev(const std::string& name, const metrics::MetricSnapshot& s) {
-    Prev& p = prev_[name];
-    p.counter = s.counter;
-    p.gauge = s.gauge;
-    p.hist_count = s.hist.count;
-    p.hist_sum = s.hist.sum;
-  }
-
   void sample_locked() {
-    const auto snaps = metrics::snapshot_all();
-    std::string counters, gauges, hists;
-    for (const auto& [name, snap] : snaps) {
-      const Prev prev = prev_[name];  // default-zero for new metrics
-      switch (snap.kind) {
-        case metrics::MetricSnapshot::Kind::kCounter: {
-          if (snap.counter != prev.counter) {
-            if (!counters.empty()) counters += ",";
-            counters += str_format(
-                "\"%s\":%llu", json_escape(name).c_str(),
-                static_cast<unsigned long long>(snap.counter - prev.counter));
-          }
-          break;
-        }
-        case metrics::MetricSnapshot::Kind::kGauge: {
-          if (snap.gauge != prev.gauge) {
-            if (!gauges.empty()) gauges += ",";
-            gauges += str_format("\"%s\":%lld", json_escape(name).c_str(),
-                                 static_cast<long long>(snap.gauge));
-          }
-          break;
-        }
-        case metrics::MetricSnapshot::Kind::kHistogram: {
-          if (snap.hist.count != prev.hist_count ||
-              snap.hist.sum != prev.hist_sum) {
-            if (!hists.empty()) hists += ",";
-            hists += str_format(
-                "\"%s\":{\"count\":%llu,\"sum\":%llu}",
-                json_escape(name).c_str(),
-                static_cast<unsigned long long>(snap.hist.count -
-                                                prev.hist_count),
-                static_cast<unsigned long long>(snap.hist.sum -
-                                                prev.hist_sum));
-          }
-          break;
-        }
-      }
-      note_prev(name, snap);
-    }
-    if (counters.empty() && gauges.empty() && hists.empty()) return;
+    const std::string line = encoder_.next_line(seq_ + 1, metrics::now_ns());
+    if (line.empty()) return;
     ++seq_;
-    std::string line = str_format(
-        "{\"schema\":\"flexio-stats-v1\",\"seq\":%llu,\"t_ns\":%llu",
-        static_cast<unsigned long long>(seq_),
-        static_cast<unsigned long long>(metrics::now_ns()));
-    if (!counters.empty()) line += ",\"counters\":{" + counters + "}";
-    if (!gauges.empty()) line += ",\"gauges\":{" + gauges + "}";
-    if (!hists.empty()) line += ",\"histograms\":{" + hists + "}";
-    line += "}";
     write_line(line);
   }
 
@@ -202,6 +149,12 @@ class Recorder {
     out_.flush();
     bytes_ += line.size() + 1;
     ++lines_;
+    push_tail(line);
+  }
+
+  void push_tail(const std::string& line) {
+    tail_.push_back(line);
+    if (tail_.size() > kTailCapacity) tail_.pop_front();
   }
 
   void rotate() {
@@ -222,7 +175,8 @@ class Recorder {
   std::thread thread_;
   Options options_;
   std::ofstream out_;
-  std::map<std::string, Prev> prev_;
+  telemetry::DeltaEncoder encoder_;
+  std::deque<std::string> tail_;
   std::uint64_t seq_ = 0;
   std::uint64_t lines_ = 0;
   std::size_t bytes_ = 0;
@@ -247,5 +201,13 @@ void stop() { Recorder::instance().stop(); }
 Status sample_now() { return Recorder::instance().sample_now(); }
 
 std::uint64_t samples_taken() { return Recorder::instance().samples_taken(); }
+
+void record_event(const std::string& line) {
+  Recorder::instance().record_event(line);
+}
+
+std::vector<std::string> tail(std::size_t n) {
+  return Recorder::instance().tail(n);
+}
 
 }  // namespace flexio::flight

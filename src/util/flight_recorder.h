@@ -19,14 +19,17 @@
 //
 // File format: JSON lines. The first line marks the start of recording;
 // each subsequent line carries only what changed since the previous
-// sample (counter deltas, new gauge values, histogram count/sum deltas).
-// Samples where nothing changed are skipped.
+// sample (counter deltas, new gauge values, histogram count/sum deltas
+// plus current p50/p99 bucket-quantiles -- additive keys; consumers of
+// the original {count,sum}-only shape keep parsing). The shared encoder
+// lives in util/stats_delta.h. Samples where nothing changed are skipped.
 //
 //   {"schema":"flexio-stats-v1","seq":0,"t_ns":12000,"start":true}
 //   {"schema":"flexio-stats-v1","seq":1,"t_ns":17000,
 //    "counters":{"evpath.send.msgs":42},
 //    "gauges":{"shm.queue.occupancy":3},
-//    "histograms":{"flexio.step.total.ns":{"count":4,"sum":812345}}}
+//    "histograms":{"flexio.step.total.ns":
+//        {"count":4,"sum":812345,"p50":180224.0,"p99":229376.0}}}
 //
 // Rotation: when appending a line would push the current file past
 // Options::max_bytes, the file is renamed path -> path.1 (shifting
@@ -37,6 +40,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -88,5 +92,16 @@ Status sample_now();
 
 /// Lines written since start(), including the start marker. For tests.
 std::uint64_t samples_taken();
+
+/// Append one pre-rendered JSON line (e.g. a telemetry::Watchdog
+/// "flexio-health-v1" event) to the recorder stream. When a recorder is
+/// running the line lands in the file like any sample; either way it
+/// enters the in-memory tail, so the stats server's /flight endpoint can
+/// show recent events without a file open.
+void record_event(const std::string& line);
+
+/// The most recent lines (samples and events, oldest first), bounded by a
+/// fixed in-memory capacity. Serves telemetry::StatsServer /flight.
+std::vector<std::string> tail(std::size_t n);
 
 }  // namespace flexio::flight

@@ -192,6 +192,29 @@ class Registry {
     for (auto& [name, h] : histograms_) h->reset();
   }
 
+  bool unregister_metric(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Leak the object (release before erase): call sites cache references
+    // for the life of the process, and a retired stream's cached gauge
+    // pointer must stay writable even though nothing scrapes it anymore.
+    if (auto it = counters_.find(name); it != counters_.end()) {
+      it->second.release();
+      counters_.erase(it);
+      return true;
+    }
+    if (auto it = gauges_.find(name); it != gauges_.end()) {
+      it->second.release();
+      gauges_.erase(it);
+      return true;
+    }
+    if (auto it = histograms_.find(name); it != histograms_.end()) {
+      it->second.release();
+      histograms_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
  private:
   Registry() = default;
   std::mutex mutex_;
@@ -217,6 +240,12 @@ std::map<std::string, MetricSnapshot> snapshot_all() {
 }
 
 void reset_all() { Registry::instance().reset_all(); }
+
+namespace detail {
+bool unregister_metric(const std::string& name) {
+  return Registry::instance().unregister_metric(name);
+}
+}  // namespace detail
 
 std::string snapshot_json() {
   const auto snap = snapshot_all();
@@ -247,6 +276,57 @@ std::string snapshot_json() {
     }
   }
   out += "\n}\n";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric-name grammar: [a-zA-Z_:][a-zA-Z0-9_:]*. FlexIO names
+/// use dots, which become underscores.
+std::string sanitize_prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+                    c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+}  // namespace
+
+std::string expose_text() {
+  const auto snap = snapshot_all();
+  std::string out;
+  for (const auto& [name, m] : snap) {
+    const std::string prom = sanitize_prom_name(name);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += str_format("# TYPE %s counter\n%s %llu\n", prom.c_str(),
+                          prom.c_str(),
+                          static_cast<unsigned long long>(m.counter));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += str_format("# TYPE %s gauge\n%s %lld\n", prom.c_str(),
+                          prom.c_str(), static_cast<long long>(m.gauge));
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        out += str_format(
+            "# TYPE %s summary\n"
+            "%s{quantile=\"0.5\"} %.1f\n"
+            "%s{quantile=\"0.99\"} %.1f\n"
+            "%s_sum %llu\n"
+            "%s_count %llu\n",
+            prom.c_str(), prom.c_str(), m.hist.quantile(0.5), prom.c_str(),
+            m.hist.quantile(0.99), prom.c_str(),
+            static_cast<unsigned long long>(m.hist.sum), prom.c_str(),
+            static_cast<unsigned long long>(m.hist.count));
+        break;
+    }
+  }
   return out;
 }
 

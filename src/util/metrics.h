@@ -217,6 +217,16 @@ Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Histogram& histogram(std::string_view name);
 
+namespace detail {
+/// Drop a metric from the registry maps without destroying it (references
+/// handed out earlier stay valid; the object is leaked). Future snapshots
+/// and scrapes no longer include the name; a later lookup under the same
+/// name creates a fresh metric. Used by Family::retire when a labeled
+/// series (a closed stream's gauges) ends its life. Returns false when the
+/// name is not registered.
+bool unregister_metric(const std::string& name);
+}  // namespace detail
+
 /// Bounded-cardinality label family: with(label) resolves to the registry
 /// metric `<base>.<label>` for the first `max_labels` distinct labels and
 /// to the shared `<base>.other` rollover bucket for every label beyond
@@ -248,6 +258,22 @@ class Family {
     }
     if (other_ == nullptr) other_ = &lookup(base_ + ".other");
     return *other_;
+  }
+
+  /// Retire `label`: forget it (freeing its cardinality slot for a future
+  /// label) and drop its `<base>.<label>` series from registry snapshots,
+  /// so a scrape of a long-lived process stops showing closed streams as
+  /// live. The metric object itself is leaked, not destroyed -- cached
+  /// references stay valid; they just stop being scraped. A later with()
+  /// of the same label starts a fresh series. Returns false when the label
+  /// never had its own series (unknown, or rolled into `.other`).
+  bool retire(std::string_view label) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = resolved_.find(label);
+    if (it == resolved_.end()) return false;
+    detail::unregister_metric(base_ + "." + it->first);
+    resolved_.erase(it);
+    return true;
   }
 
   /// Distinct labels granted their own series so far (excludes rollover).
@@ -295,6 +321,14 @@ void reset_all();
 
 /// Snapshot rendered as a JSON object {"name": value-or-summary, ...}.
 std::string snapshot_json();
+
+/// Snapshot rendered in the Prometheus text exposition format: counters and
+/// gauges as single samples, histograms as summaries (`{quantile="0.5"}` /
+/// `{quantile="0.99"}` bucket-quantiles plus `_sum` / `_count`). Metric
+/// names are sanitized to the Prometheus grammar (`.` and other invalid
+/// characters become `_`). This is what telemetry::StatsServer serves at
+/// /metrics, so any Prometheus-compatible scraper can watch a live run.
+std::string expose_text();
 
 /// Write snapshot_json() to a file.
 Status dump_json(const std::string& path);

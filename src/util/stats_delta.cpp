@@ -1,0 +1,89 @@
+#include "util/stats_delta.h"
+
+#include "util/strings.h"
+
+namespace flexio::telemetry {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void DeltaEncoder::prime() {
+  prev_.clear();
+  for (const auto& [name, snap] : metrics::snapshot_all()) {
+    note_prev(name, snap);
+  }
+}
+
+void DeltaEncoder::note_prev(const std::string& name,
+                             const metrics::MetricSnapshot& s) {
+  Prev& p = prev_[name];
+  p.counter = s.counter;
+  p.gauge = s.gauge;
+  p.hist_count = s.hist.count;
+  p.hist_sum = s.hist.sum;
+}
+
+std::string DeltaEncoder::next_line(std::uint64_t seq, std::uint64_t t_ns) {
+  const auto snaps = metrics::snapshot_all();
+  std::string counters, gauges, hists;
+  for (const auto& [name, snap] : snaps) {
+    const Prev prev = prev_[name];  // default-zero for new metrics
+    switch (snap.kind) {
+      case metrics::MetricSnapshot::Kind::kCounter: {
+        if (snap.counter != prev.counter) {
+          if (!counters.empty()) counters += ",";
+          counters += str_format(
+              "\"%s\":%llu", json_escape(name).c_str(),
+              static_cast<unsigned long long>(snap.counter - prev.counter));
+        }
+        break;
+      }
+      case metrics::MetricSnapshot::Kind::kGauge: {
+        if (snap.gauge != prev.gauge) {
+          if (!gauges.empty()) gauges += ",";
+          gauges += str_format("\"%s\":%lld", json_escape(name).c_str(),
+                               static_cast<long long>(snap.gauge));
+        }
+        break;
+      }
+      case metrics::MetricSnapshot::Kind::kHistogram: {
+        if (snap.hist.count != prev.hist_count ||
+            snap.hist.sum != prev.hist_sum) {
+          if (!hists.empty()) hists += ",";
+          hists += str_format(
+              "\"%s\":{\"count\":%llu,\"sum\":%llu,\"p50\":%.1f,\"p99\":%.1f}",
+              json_escape(name).c_str(),
+              static_cast<unsigned long long>(snap.hist.count -
+                                              prev.hist_count),
+              static_cast<unsigned long long>(snap.hist.sum - prev.hist_sum),
+              snap.hist.quantile(0.5), snap.hist.quantile(0.99));
+        }
+        break;
+      }
+    }
+    note_prev(name, snap);
+  }
+  if (counters.empty() && gauges.empty() && hists.empty()) return {};
+  std::string line = str_format(
+      "{\"schema\":\"flexio-stats-v1\",\"seq\":%llu,\"t_ns\":%llu",
+      static_cast<unsigned long long>(seq),
+      static_cast<unsigned long long>(t_ns));
+  if (!counters.empty()) line += ",\"counters\":{" + counters + "}";
+  if (!gauges.empty()) line += ",\"gauges\":{" + gauges + "}";
+  if (!hists.empty()) line += ",\"histograms\":{" + hists + "}";
+  line += "}";
+  return line;
+}
+
+}  // namespace flexio::telemetry

@@ -1,0 +1,59 @@
+// Shared encoder for "flexio-stats-v1" delta lines.
+//
+// Both the flight recorder (local JSONL history) and the heartbeat
+// piggyback path (cluster aggregation, docs/OBSERVABILITY.md) emit the
+// same schema: one JSON object carrying only what changed since the
+// previous sample -- counter deltas, new gauge values, histogram
+// count/sum deltas plus current p50/p99 bucket-quantiles. This class owns
+// the previous-sample state and renders the line, so the two producers
+// cannot drift apart.
+//
+//   {"schema":"flexio-stats-v1","seq":3,"t_ns":17000,
+//    "counters":{"evpath.send.msgs":42},
+//    "gauges":{"shm.queue.occupancy":3},
+//    "histograms":{"flexio.step.total.ns":
+//        {"count":4,"sum":812345,"p50":180224.0,"p99":229376.0}}}
+//
+// p50/p99 are *cumulative* quantiles at sample time (not quantiles of the
+// delta window): the log-bucketed histogram cannot subtract snapshots
+// per-bucket cheaply, and the watchdog's stall detectors only need the
+// current tail position. Consumers written against the original schema
+// ({count,sum} only) keep parsing -- the new keys are additive.
+//
+// Not thread-safe; callers serialize (the flight recorder samples under
+// its mutex, a reader's heartbeat thread owns its encoder exclusively).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace flexio::telemetry {
+
+class DeltaEncoder {
+ public:
+  /// Baseline the current registry contents so the first next_line()
+  /// reports deltas since now, not since process birth.
+  void prime();
+
+  /// One "flexio-stats-v1" line of changes since the previous call (or
+  /// prime()). Returns an empty string when nothing changed -- callers
+  /// skip the sample. `seq` and `t_ns` are stamped into the line.
+  std::string next_line(std::uint64_t seq, std::uint64_t t_ns);
+
+ private:
+  struct Prev {
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    std::uint64_t hist_count = 0;
+    std::uint64_t hist_sum = 0;
+  };
+
+  void note_prev(const std::string& name, const metrics::MetricSnapshot& s);
+
+  std::map<std::string, Prev> prev_;
+};
+
+}  // namespace flexio::telemetry

@@ -1,0 +1,320 @@
+#include "util/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/flight_recorder.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+#include "util/watchdog.h"
+
+namespace flexio::telemetry {
+
+namespace {
+
+metrics::Counter& scrapes_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.telemetry.scrapes");
+  return c;
+}
+
+std::atomic<bool> g_publish{false};
+
+/// Split "host:port"; empty host means loopback.
+Status parse_addr(const std::string& addr, std::string* host,
+                  std::uint16_t* port) {
+  const auto colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "stats addr must be host:port, got: " + addr);
+  }
+  *host = addr.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  const std::string port_str = addr.substr(colon + 1);
+  char* end = nullptr;
+  const long p = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || p < 0 || p > 65535) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bad stats port: " + port_str);
+  }
+  *port = static_cast<std::uint16_t>(p);
+  return Status::ok();
+}
+
+/// Read until `stop` or EOF, with a small poll timeout per round.
+bool read_all(int fd, std::string* out, int timeout_ms) {
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;  // EOF
+    out->append(buf, static_cast<std::size_t>(n));
+    if (out->size() > (1u << 24)) return false;  // runaway peer
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string http_response(int code, const std::string& body) {
+  const char* reason = code == 200 ? "OK" : "Not Found";
+  return str_format("HTTP/1.0 %d %s\r\nContent-Type: text/plain\r\n"
+                    "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                    code, reason, body.size()) +
+         body;
+}
+
+}  // namespace
+
+StatsServer::~StatsServer() { stop(); }
+
+Status StatsServer::start(const std::string& addr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_.load(std::memory_order_relaxed)) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "stats server already running on " + address_);
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (Status s = parse_addr(addr, &host, &port); !s.is_ok()) return s;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+    ::close(fd);
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bad stats host (IPv4 literal expected): " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return make_error(ErrorCode::kInternal, "bind " + addr + ": " + err);
+  }
+  socklen_t len = sizeof(sin);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len);
+  char host_buf[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &sin.sin_addr, host_buf, sizeof(host_buf));
+  address_ = str_format("%s:%u", host_buf,
+                        static_cast<unsigned>(ntohs(sin.sin_port)));
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve(); });
+  FLEXIO_LOG(kInfo) << "stats server listening on " << address_;
+  return Status::ok();
+}
+
+void StatsServer::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load(std::memory_order_relaxed)) return;
+    running_.store(false, std::memory_order_relaxed);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+std::string StatsServer::address() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return address_;
+}
+
+void StatsServer::add_source(const std::string& path,
+                             std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sources_[path] = std::move(fn);
+}
+
+void StatsServer::set_watchdog(Watchdog* watchdog) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watchdog_ = watchdog;
+}
+
+void StatsServer::serve() {
+  for (;;) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fd = listen_fd_;
+    }
+    if (fd < 0) return;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by stop()
+    }
+    // Read the request line; one GET per connection.
+    std::string req;
+    char buf[1024];
+    while (req.find("\r\n") == std::string::npos && req.size() < 8192) {
+      pollfd pfd{conn, POLLIN, 0};
+      if (::poll(&pfd, 1, 2000) <= 0) break;
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      req.append(buf, static_cast<std::size_t>(n));
+    }
+    std::string path = "/";
+    if (req.compare(0, 4, "GET ") == 0) {
+      const auto sp = req.find(' ', 4);
+      path = req.substr(4, sp == std::string::npos ? req.find("\r\n") - 4
+                                                   : sp - 4);
+    }
+    const std::string response = respond(path);
+    write_all(conn, response);
+    ::close(conn);
+    if (!running_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+std::string StatsServer::respond(const std::string& path) {
+  scrapes_counter().inc();
+  if (path == "/metrics" || path == "/") {
+    return http_response(200, metrics::expose_text());
+  }
+  if (path == "/health") {
+    std::string body;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (watchdog_ != nullptr) body = watchdog_->events_json();
+    }
+    return http_response(200, body);
+  }
+  if (path == "/flight") {
+    std::string body;
+    for (const std::string& line : flight::tail(256)) {
+      body += line;
+      body += "\n";
+    }
+    return http_response(200, body);
+  }
+  std::function<std::string()> fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = sources_.find(path); it != sources_.end()) {
+      fn = it->second;
+    }
+  }
+  if (fn) return http_response(200, fn());
+  return http_response(404, "no such route: " + path + "\n");
+}
+
+Status scrape(const std::string& addr, const std::string& path,
+              std::string* body) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (Status s = parse_addr(addr, &host, &port); !s.is_ok()) return s;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+    ::close(fd);
+    return make_error(ErrorCode::kInvalidArgument, "bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return make_error(ErrorCode::kUnavailable,
+                      "connect " + addr + ": " + err);
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!write_all(fd, request)) {
+    ::close(fd);
+    return make_error(ErrorCode::kUnavailable, "scrape send failed");
+  }
+  std::string response;
+  const bool ok = read_all(fd, &response, 5000);
+  ::close(fd);
+  if (!ok) {
+    return make_error(ErrorCode::kUnavailable, "scrape read failed");
+  }
+  const auto header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return make_error(ErrorCode::kInternal, "malformed scrape response");
+  }
+  if (response.compare(0, 12, "HTTP/1.0 200") != 0) {
+    return make_error(ErrorCode::kNotFound,
+                      "scrape status: " + response.substr(0, 12));
+  }
+  *body = response.substr(header_end + 4);
+  return Status::ok();
+}
+
+bool publish_enabled() {
+  return g_publish.load(std::memory_order_relaxed);
+}
+
+void set_publish_enabled(bool on) {
+  g_publish.store(on, std::memory_order_relaxed);
+}
+
+StatsServer& global_server() {
+  static StatsServer* server = new StatsServer;  // leaked: scraped at exit
+  return *server;
+}
+
+StatsServer& configure(const std::string& stats_addr, bool publish) {
+  StatsServer& server = global_server();
+  if (publish) set_publish_enabled(true);
+  const char* env = std::getenv("FLEXIO_STATS_ADDR");
+  const std::string addr = env != nullptr && *env != '\0'
+                               ? std::string(env)
+                               : stats_addr;
+  if (!addr.empty() && !server.running()) {
+    if (Status s = server.start(addr); !s.is_ok()) {
+      FLEXIO_LOG(kWarn) << "stats server disabled: " << s.message();
+    } else {
+      set_publish_enabled(true);  // serving implies publishing
+    }
+  }
+  return server;
+}
+
+}  // namespace flexio::telemetry

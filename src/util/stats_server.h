@@ -1,0 +1,101 @@
+// StatsServer: live scrape endpoint for the telemetry plane.
+//
+// A tiny HTTP/1.0-style responder on a local TCP socket. Off by default;
+// a process opts in via the FLEXIO_STATS_ADDR environment variable or the
+// xml <stats_addr> knob (telemetry::configure wires both). When off,
+// nothing listens and the only residual cost in the data path is the
+// publish_enabled() load+branch on the heartbeat path.
+//
+// Routes:
+//   /metrics   metrics::expose_text() -- Prometheus text exposition
+//   /health    the attached Watchdog's "flexio-health-v1" events, one JSON
+//              line per event (empty body when no watchdog or no events)
+//   /flight    the flight recorder's in-memory tail, one JSON line each
+//   <custom>   anything registered with add_source(path, fn) -- the core
+//              runtime mounts "/cluster" (the DirectoryServer's aggregated
+//              flexio-cluster-v1 view) this way, keeping util/ free of an
+//              evpath dependency.
+//
+// The responder serves one request per connection (GET <path>, headers
+// ignored, connection closed after the body) -- enough for curl, for
+// tools/flexio_top, and for any Prometheus-compatible scraper. scrape()
+// is the matching in-process client.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace flexio::telemetry {
+
+class Watchdog;
+
+class StatsServer {
+ public:
+  StatsServer() = default;
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Bind `addr` ("host:port"; port 0 picks an ephemeral port) and start
+  /// the responder thread. Fails if already running or the bind fails.
+  Status start(const std::string& addr);
+
+  /// Close the socket and join the responder thread. No-op when stopped.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// Actual bound "host:port" (resolves an ephemeral port request).
+  std::string address() const;
+
+  /// Mount `fn` at `path` (must start with '/'). Replaces any previous
+  /// source at the same path; built-in routes win over custom sources.
+  void add_source(const std::string& path, std::function<std::string()> fn);
+
+  /// Attach the watchdog whose events /health serves (nullptr detaches).
+  void set_watchdog(Watchdog* watchdog);
+
+ private:
+  void serve();
+  std::string respond(const std::string& path);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::string address_;
+  std::thread thread_;
+  Watchdog* watchdog_ = nullptr;
+  std::map<std::string, std::function<std::string()>> sources_;
+};
+
+/// One-shot scrape client: GET `path` from a StatsServer at `addr` and
+/// return the response body. Used by tools/flexio_top, the pipeline
+/// cluster-snapshot export, and tests.
+Status scrape(const std::string& addr, const std::string& path,
+              std::string* body);
+
+/// True when ranks should piggyback flexio-stats-v1 deltas on their
+/// directory heartbeats. One relaxed load: cheap enough for the heartbeat
+/// thread to check every beat.
+bool publish_enabled();
+void set_publish_enabled(bool on);
+
+/// Process-wide opt-in, called from runtime wiring with the xml knobs.
+/// Enables delta publishing when `publish` is set, and starts the global
+/// stats server when either `stats_addr` or $FLEXIO_STATS_ADDR names an
+/// address (the environment wins; serving implies publishing). Idempotent:
+/// the first call that starts the server wins, later calls only OR in the
+/// publish flag. Returns the server (started or not) for route mounting.
+StatsServer& configure(const std::string& stats_addr, bool publish);
+
+/// The processwide server instance (never null; may not be running).
+StatsServer& global_server();
+
+}  // namespace flexio::telemetry

@@ -1,0 +1,310 @@
+#include "util/watchdog.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/flight_recorder.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace flexio::telemetry {
+
+namespace detail {
+std::atomic<bool> g_active{false};
+std::atomic<bool> g_due{false};
+}  // namespace detail
+
+namespace {
+
+metrics::Counter& health_events_counter() {
+  static metrics::Counter& c = metrics::counter("flexio.health.events");
+  return c;
+}
+
+metrics::Gauge& health_active_gauge() {
+  static metrics::Gauge& g = metrics::gauge("flexio.health.active");
+  return g;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+constexpr std::string_view kCreditsPrefix = "flexio.stream.credits.";
+
+/// The one running watchdog maybe_poll() dispatches to.
+std::mutex g_registered_mutex;
+Watchdog* g_registered = nullptr;
+
+}  // namespace
+
+std::string HealthEvent::to_json() const {
+  return str_format(
+      "{\"schema\":\"flexio-health-v1\",\"t_ns\":%llu,\"rule\":\"%s\","
+      "\"subject\":\"%s\",\"detail\":\"%s\"}",
+      static_cast<unsigned long long>(t_ns), json_escape(rule).c_str(),
+      json_escape(subject).c_str(), json_escape(detail).c_str());
+}
+
+namespace detail {
+void poll_due() {
+  if (!g_due.exchange(false, std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_registered_mutex);
+  if (g_registered != nullptr) g_registered->poll();
+}
+}  // namespace detail
+
+void request_poll() {
+  detail::g_due.store(true, std::memory_order_relaxed);
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+Status Watchdog::start(const WatchdogOptions& options) {
+  {
+    std::lock_guard<std::mutex> reg(g_registered_mutex);
+    if (g_registered != nullptr) {
+      return make_error(ErrorCode::kFailedPrecondition,
+                        "a watchdog is already running");
+    }
+    g_registered = this;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  options_ = options;
+  if (options_.interval_ns == 0) options_.interval_ns = 1;
+  running_ = true;
+  stop_requested_ = false;
+  last_eval_ns_ = metrics::now_ns();
+  full_spins_prev_ = 0;
+  exec_max_reported_ = 0;
+  streams_.clear();
+  dead_reported_.clear();
+  health_active_gauge().sub(static_cast<std::int64_t>(active_.size()));
+  active_.clear();
+  events_.clear();
+  // Baseline counters so the first interval sees deltas, not totals.
+  const auto snaps = metrics::snapshot_all();
+  if (const auto it = snaps.find("shm.queue.full_spins"); it != snaps.end()) {
+    full_spins_prev_ = it->second.counter;
+  }
+  if (const auto it = snaps.find("flexio.pool.exec_ns"); it != snaps.end()) {
+    exec_max_reported_ = it->second.hist.max;
+  }
+  detail::g_active.store(true, std::memory_order_relaxed);
+  detail::g_due.store(false, std::memory_order_relaxed);
+  if (options_.background) {
+    thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> bg(mutex_);
+      const auto period = std::chrono::nanoseconds(
+          std::max<std::uint64_t>(options_.interval_ns, 1'000'000));
+      while (!stop_requested_) {
+        cv_.wait_for(bg, period);
+        if (stop_requested_) break;
+        poll_locked(metrics::now_ns());
+      }
+    });
+  }
+  return Status::ok();
+}
+
+void Watchdog::stop() {
+  std::thread to_join;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+    cv_.notify_all();
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> reg(g_registered_mutex);
+    if (g_registered == this) g_registered = nullptr;
+  }
+  detail::g_active.store(false, std::memory_order_relaxed);
+  detail::g_due.store(false, std::memory_order_relaxed);
+}
+
+void Watchdog::poll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!running_) return;
+  poll_locked(metrics::now_ns());
+}
+
+void Watchdog::poll_locked(std::uint64_t now) {
+  if (now < last_eval_ns_ + options_.interval_ns) return;
+  last_eval_ns_ = now;
+
+  const auto snaps = metrics::snapshot_all();
+  const auto lookup = [&snaps](const std::string& name)
+      -> const metrics::MetricSnapshot* {
+    const auto it = snaps.find(name);
+    return it == snaps.end() ? nullptr : &it->second;
+  };
+
+  // --- per-stream rules -------------------------------------------------
+  std::set<std::string> seen;
+  for (const auto& [name, snap] : snaps) {
+    if (name.size() <= kCreditsPrefix.size() ||
+        name.compare(0, kCreditsPrefix.size(), kCreditsPrefix) != 0) {
+      continue;
+    }
+    const std::string label = name.substr(kCreditsPrefix.size());
+    if (label == "other") continue;  // rollover bucket aggregates streams
+    seen.insert(label);
+    StreamState& st = streams_[label];
+    const std::int64_t credits = snap.gauge;
+    const auto* stalls = lookup("flexio.stream.stalls." + label);
+    const auto* queued = lookup("flexio.stream.queued_bytes." + label);
+    const std::uint64_t stall_count = stalls ? stalls->counter : 0;
+    const std::int64_t queued_bytes = queued ? queued->gauge : 0;
+    if (!st.primed) {
+      // First sighting: baseline only, judge from the next interval.
+      st.primed = true;
+      st.stalls = stall_count;
+      st.queued = queued_bytes;
+      continue;
+    }
+    const bool starving = credits == 0 && stall_count > st.stalls;
+    const bool stuck =
+        credits > 0 && queued_bytes > 0 && queued_bytes == st.queued;
+    st.starved = starving ? st.starved + 1 : 0;
+    st.stuck = stuck ? st.stuck + 1 : 0;
+    if (st.starved >= options_.credit_intervals) {
+      emit_locked("credit-starved", label,
+                  str_format("credits pinned at 0, %llu stalls over %d "
+                             "intervals",
+                             static_cast<unsigned long long>(stall_count -
+                                                             st.stalls),
+                             st.starved),
+                  now);
+    } else {
+      clear_locked("credit-starved", label);
+    }
+    if (st.stuck >= options_.stall_intervals) {
+      emit_locked("stream-no-progress", label,
+                  str_format("%lld queued bytes unmoved for %d intervals "
+                             "with credits available",
+                             static_cast<long long>(queued_bytes), st.stuck),
+                  now);
+    } else {
+      clear_locked("stream-no-progress", label);
+    }
+    st.stalls = stall_count;
+    st.queued = queued_bytes;
+  }
+  // Streams whose series were retired drop their state and conditions.
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (seen.count(it->first) == 0) {
+      clear_locked("credit-starved", it->first);
+      clear_locked("stream-no-progress", it->first);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // --- shm-spin-runaway -------------------------------------------------
+  if (const auto* spins = lookup("shm.queue.full_spins")) {
+    const std::uint64_t delta = spins->counter - full_spins_prev_;
+    if (delta > options_.full_spin_limit) {
+      emit_locked("shm-spin-runaway", "shm.queue.full_spins",
+                  str_format("%llu full-queue spins in one interval "
+                             "(limit %llu)",
+                             static_cast<unsigned long long>(delta),
+                             static_cast<unsigned long long>(
+                                 options_.full_spin_limit)),
+                  now);
+    } else {
+      clear_locked("shm-spin-runaway", "shm.queue.full_spins");
+    }
+    full_spins_prev_ = spins->counter;
+  }
+
+  // --- pool-task-deadline -----------------------------------------------
+  if (options_.task_deadline_ns > 0) {
+    if (const auto* exec = lookup("flexio.pool.exec_ns")) {
+      const std::uint64_t max = exec->hist.max;
+      if (max > options_.task_deadline_ns && max > exec_max_reported_) {
+        exec_max_reported_ = max;
+        emit_locked("pool-task-deadline", "flexio.pool.exec_ns",
+                    str_format("task ran %llu ns (deadline %llu ns)",
+                               static_cast<unsigned long long>(max),
+                               static_cast<unsigned long long>(
+                                   options_.task_deadline_ns)),
+                    now);
+        // A strictly longer task should report again: clear the latch so
+        // the next max increase re-fires.
+        clear_locked("pool-task-deadline", "flexio.pool.exec_ns");
+      }
+    }
+  }
+
+  // --- rank-dead ---------------------------------------------------------
+  if (options_.membership_probe) {
+    for (const std::string& member : options_.membership_probe()) {
+      if (!dead_reported_.insert(member).second) continue;
+      emit_locked("rank-dead", member,
+                  "member declared dead by the directory (missed "
+                  "heartbeats)",
+                  now);
+    }
+  }
+}
+
+void Watchdog::emit_locked(const std::string& rule, const std::string& subject,
+                           std::string detail, std::uint64_t now) {
+  const std::string key = rule + '\0' + subject;
+  if (!active_.insert(key).second) return;  // already latched
+  health_active_gauge().add(1);
+  health_events_counter().inc();
+  HealthEvent ev;
+  ev.rule = rule;
+  ev.subject = subject;
+  ev.detail = std::move(detail);
+  ev.t_ns = now;
+  FLEXIO_LOG(kWarn) << "watchdog: " << rule << " [" << subject
+                    << "]: " << ev.detail;
+  flight::record_event(ev.to_json());
+  events_.push_back(std::move(ev));
+}
+
+void Watchdog::clear_locked(const std::string& rule,
+                            const std::string& subject) {
+  if (active_.erase(rule + '\0' + subject) > 0) {
+    health_active_gauge().sub(1);
+  }
+}
+
+std::vector<HealthEvent> Watchdog::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string Watchdog::events_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const HealthEvent& ev : events_) {
+    out += ev.to_json();
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t Watchdog::active_conditions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_.size();
+}
+
+}  // namespace flexio::telemetry

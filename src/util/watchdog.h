@@ -1,0 +1,164 @@
+// Health watchdog: rule-based detectors over metrics-registry deltas.
+//
+// The flight recorder answers "what happened"; the watchdog answers "is
+// something wrong right now". It polls the registry at a fixed interval
+// and evaluates a small catalogue of detectors (docs/OBSERVABILITY.md):
+//
+//   credit-starved      a stream whose flexio.stream.credits.<s> gauge is
+//                       pinned at 0 while flexio.stream.stalls.<s> keeps
+//                       climbing, for `credit_intervals` consecutive
+//                       intervals -- the writer is blocked on a reader
+//                       that is not draining.
+//   stream-no-progress  a stream with credits available and queued bytes
+//                       sitting unchanged for `stall_intervals` intervals
+//                       -- data is waiting but nothing moves it.
+//   shm-spin-runaway    shm.queue.full_spins grew by more than
+//                       `full_spin_limit` in one interval -- a producer is
+//                       burning a core against a full ring.
+//   pool-task-deadline  flexio.pool.exec_ns observed a task longer than
+//                       `task_deadline_ns` -- an analytics kernel wedged a
+//                       drain-pool worker.
+//   rank-dead           the membership probe reports a member the
+//                       directory declared dead (missed heartbeats).
+//
+// Rules are deliberately disjoint (credit-starved requires credits == 0;
+// no-progress requires credits > 0) so one underlying fault produces one
+// event stream, not a chorus. A firing condition emits exactly one
+// "flexio-health-v1" event when it first latches and may fire again only
+// after the condition clears:
+//
+//   {"schema":"flexio-health-v1","t_ns":400000,"rule":"credit-starved",
+//    "subject":"fields","detail":"credits pinned at 0, 12 stalls over 2
+//    intervals"}
+//
+// Events go to the log (kWarn), the flight recorder (flight::record_event,
+// so they interleave with stats samples and reach the stats server's
+// /flight tail), and the watchdog's own event list (served at /health).
+//
+// Cost model: the maybe_poll() hook is one relaxed load + branch when no
+// watchdog is running (BM_WatchdogDisabled gates this in perf-smoke).
+// Time comes from metrics::now_ns(), so every detector is deterministic
+// under the fake clock: tests advance the clock and call poll().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexio::telemetry {
+
+/// One detector firing. Rendered as a "flexio-health-v1" JSON object.
+struct HealthEvent {
+  std::string rule;     // detector name, e.g. "credit-starved"
+  std::string subject;  // stream label, rank descriptor, or metric name
+  std::string detail;   // human-readable context
+  std::uint64_t t_ns = 0;
+
+  std::string to_json() const;
+};
+
+struct WatchdogOptions {
+  std::uint64_t interval_ns = 100'000'000;  // rule-evaluation period
+  int credit_intervals = 2;   // starved intervals before credit-starved
+  int stall_intervals = 3;    // stuck intervals before stream-no-progress
+  std::uint64_t full_spin_limit = 1'000'000;  // full_spins delta per interval
+  std::uint64_t task_deadline_ns = 0;         // 0 disables pool-task-deadline
+  bool background = false;  // true: spawn a poller thread (real clock)
+  /// Dead members as reported by the directory (descriptors like
+  /// "viz/1"); empty function disables the rank-dead rule.
+  std::function<std::vector<std::string>()> membership_probe;
+};
+
+namespace detail {
+extern std::atomic<bool> g_active;
+extern std::atomic<bool> g_due;
+void poll_due();
+}  // namespace detail
+
+/// True while a watchdog is running (between start() and stop()).
+inline bool watchdog_active() {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+/// Cooperative polling hook for instrumented call sites: near-free when no
+/// watchdog is running or no poll has been requested; otherwise evaluates
+/// the rules (at most once per interval).
+inline void maybe_poll() {
+  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  if (!detail::g_due.load(std::memory_order_relaxed)) return;
+  detail::poll_due();
+}
+
+/// Mark a poll due; the next maybe_poll() on any thread performs it.
+void request_poll();
+
+/// Rule evaluator. One instance may run per process (start() registers it
+/// as the target of maybe_poll()); construction is cheap and instances are
+/// reusable across start()/stop() cycles.
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Begin watching. Baselines the registry so deltas start from now.
+  /// Fails if this or another watchdog is already running.
+  Status start(const WatchdogOptions& options);
+
+  /// Stop watching (joins the poller thread in background mode). Keeps
+  /// the accumulated event list for inspection. No-op when not running.
+  void stop();
+
+  /// Evaluate all rules once if at least one interval has elapsed since
+  /// the previous evaluation (per metrics::now_ns()); otherwise no-op.
+  void poll();
+
+  /// Events emitted since start(), oldest first.
+  std::vector<HealthEvent> events() const;
+
+  /// Events rendered as "flexio-health-v1" JSON lines (one per event).
+  std::string events_json() const;
+
+  /// Conditions currently latched (firing and not yet cleared).
+  std::size_t active_conditions() const;
+
+ private:
+  struct StreamState {
+    int starved = 0;        // consecutive starved intervals
+    int stuck = 0;          // consecutive no-progress intervals
+    std::uint64_t stalls = 0;
+    std::int64_t queued = 0;
+    bool primed = false;
+  };
+
+  void poll_locked(std::uint64_t now);
+  void emit_locked(const std::string& rule, const std::string& subject,
+                   std::string detail, std::uint64_t now);
+  void clear_locked(const std::string& rule, const std::string& subject);
+
+  mutable std::mutex mutex_;
+  WatchdogOptions options_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::uint64_t last_eval_ns_ = 0;
+  std::uint64_t full_spins_prev_ = 0;
+  std::uint64_t exec_max_reported_ = 0;
+  std::map<std::string, StreamState> streams_;
+  std::set<std::string> dead_reported_;
+  std::set<std::string> active_;  // latched "rule\0subject" conditions
+  std::vector<HealthEvent> events_;
+};
+
+}  // namespace flexio::telemetry

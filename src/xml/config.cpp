@@ -120,6 +120,10 @@ Status apply_method_params(std::string_view params, MethodConfig* method) {
         return make_error(ErrorCode::kInvalidArgument,
                           "bad drr_quantum: " + std::string(val));
       }
+    } else if (key == "telemetry") {
+      FLEXIO_RETURN_IF_ERROR(parse_bool(val, &method->telemetry));
+    } else if (key == "stats_addr") {
+      method->stats_addr = std::string(val);
     } else {
       method->extra.emplace(std::string(key), std::string(val));
     }

@@ -59,6 +59,14 @@ struct MethodConfig {
   bool shared_links = false;
   std::size_t credit_bytes = 4ull << 20;       // per-stream outbound cap
   std::size_t drr_quantum_bytes = 64ull << 10; // DRR deficit refill per turn
+  // Live telemetry plane (docs/OBSERVABILITY.md "Stats server"). telemetry
+  // turns on flexio-stats-v1 delta publishing over the heartbeat path;
+  // stats_addr ("host:port", port 0 = ephemeral) additionally starts the
+  // in-process stats server (which implies publishing). The
+  // FLEXIO_STATS_ADDR environment variable overrides stats_addr. Both off
+  // by default: the only residual cost is one load+branch per beat.
+  bool telemetry = false;
+  std::string stats_addr;
   std::map<std::string, std::string> extra;  // unrecognized hints, passed through
 };
 

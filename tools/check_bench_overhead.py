@@ -45,8 +45,14 @@ ABS_BUDGET_NS = 5.0  # a load+branch costs ~1 ns; 5 leaves CI noise room
 REL_BUDGET = 0.6     # disabled must be well under the enabled fetch_add
 
 DISABLED = ["BM_MetricsCounterDisabled", "BM_TraceSpanDisabled",
-            "BM_FlightRecorderDisabled", "BM_FlightRecorderIdle"]
+            "BM_FlightRecorderDisabled", "BM_FlightRecorderIdle",
+            "BM_WatchdogDisabled"]
 ENABLED = "BM_MetricsCounterEnabled"
+
+# Sanity bound on rendering one /metrics scrape (stats-server thread, not
+# the data path): generous, it only catches accidental O(huge) regressions.
+EXPOSE_BENCH = "BM_StatsExposeSnapshot"
+EXPOSE_BUDGET_NS = 1e6
 
 PACK_SPEEDUP_MIN = 2.0
 PACK_SEED = "BM_PackSeedInterior3D"
@@ -99,6 +105,12 @@ def check_overhead(report):
         print(f"{verdict}: {name} median {cost:.2f} ns "
               f"(budget {budget:.2f} ns, enabled counter {enabled:.2f} ns)")
         failed |= cost > budget
+    expose = median_ns(report, EXPOSE_BENCH)
+    ok = expose <= EXPOSE_BUDGET_NS
+    verdict = "ok" if ok else "FAIL"
+    print(f"{verdict}: {EXPOSE_BENCH} median {expose / 1e3:.1f} us "
+          f"(sanity budget {EXPOSE_BUDGET_NS / 1e3:.0f} us)")
+    failed |= not ok
     return failed
 
 

@@ -1,0 +1,212 @@
+// flexio_top: live terminal view of a running FlexIO deployment.
+//
+// Scrapes a telemetry::StatsServer (started in any FlexIO process via
+// FLEXIO_STATS_ADDR or the xml stats_addr knob) and renders, per refresh:
+//
+//   * cluster ranks from /cluster (the directory's flexio-cluster-v1
+//     aggregation of every rank's heartbeat-piggybacked deltas): per-phase
+//     step histograms with p50/p99, byte counters with rates computed
+//     between refreshes;
+//   * the local process's per-stream gauges from /metrics (queued bytes,
+//     credits, stall counts);
+//   * active health events from /health (flexio-health-v1 lines).
+//
+// Usage:
+//   flexio_top <host:port>             refresh loop (1 s period), clears
+//                                      the screen between frames like top
+//   flexio_top --once <host:port>      render one frame, no screen clear
+//                                      (CI and scripting)
+//   flexio_top --interval-ms N ...     custom refresh period
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/stats_server.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace flexio;
+
+struct RateTracker {
+  std::map<std::string, double> prev;
+  std::chrono::steady_clock::time_point prev_at;
+  bool primed = false;
+
+  /// Per-second rate of a monotone counter between refreshes.
+  double rate(const std::string& key, double now_value,
+              std::chrono::steady_clock::time_point now) {
+    if (!primed) return 0.0;
+    const double dt =
+        std::chrono::duration<double>(now - prev_at).count();
+    const auto it = prev.find(key);
+    if (it == prev.end() || dt <= 0) return 0.0;
+    return (now_value - it->second) / dt;
+  }
+};
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "flexio_top: %s\n", msg.c_str());
+  return 1;
+}
+
+void render_cluster(const std::string& body, RateTracker* rates,
+                    std::chrono::steady_clock::time_point now) {
+  auto doc = json::parse(body);
+  if (!doc.is_ok()) {
+    std::printf("cluster: unparseable (%s)\n",
+                doc.status().to_string().c_str());
+    return;
+  }
+  const json::Value* ranks = doc.value().find("ranks");
+  if (ranks == nullptr || ranks->kind() != json::Value::Kind::kArray ||
+      ranks->as_array().empty()) {
+    std::printf("cluster: no ranks reporting yet\n");
+    return;
+  }
+  std::printf("%-10s %4s %10s %12s  %s\n", "program", "rank", "frames",
+              "bytes/s", "step phases p50/p99 (us)");
+  std::map<std::string, double> next_prev;
+  for (const json::Value& r : ranks->as_array()) {
+    const json::Value* program = r.find("program");
+    const json::Value* rank = r.find("rank");
+    const json::Value* frames = r.find("frames");
+    const std::string prog =
+        program != nullptr ? program->as_string() : "?";
+    const int rk = rank != nullptr ? static_cast<int>(rank->as_number()) : 0;
+    double bytes = 0;
+    if (const json::Value* counters = r.find("counters")) {
+      const json::Value* b = counters->find("flexio.bytes.sent");
+      if (b == nullptr) b = counters->find("flexio.bytes.received");
+      if (b != nullptr) bytes = b->as_number();
+    }
+    const std::string key = prog + "/" + std::to_string(rk);
+    next_prev[key] = bytes;
+    std::string phases;
+    if (const json::Value* hists = r.find("histograms")) {
+      for (const char* phase :
+           {"pack", "enqueue", "transfer", "unpack", "total"}) {
+        const json::Value* h =
+            hists->find(std::string("flexio.step.") + phase + ".ns");
+        if (h == nullptr) continue;
+        const json::Value* p50 = h->find("p50");
+        const json::Value* p99 = h->find("p99");
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "%s%s %.0f/%.0f",
+                      phases.empty() ? "" : "  ", phase,
+                      (p50 != nullptr ? p50->as_number() : 0) / 1e3,
+                      (p99 != nullptr ? p99->as_number() : 0) / 1e3);
+        phases += buf;
+      }
+    }
+    std::printf("%-10s %4d %10.0f %12.0f  %s\n", prog.c_str(), rk,
+                frames != nullptr ? frames->as_number() : 0,
+                rates->rate(key, bytes, now), phases.c_str());
+  }
+  rates->prev = std::move(next_prev);
+  rates->prev_at = now;
+  rates->primed = true;
+}
+
+void render_streams(const std::string& metrics_body) {
+  // Pull flexio_stream_* sample lines out of the Prometheus text.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < metrics_body.size()) {
+    const std::size_t nl = metrics_body.find('\n', pos);
+    const std::string line = metrics_body.substr(
+        pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = nl == std::string::npos ? metrics_body.size() : nl + 1;
+    if (line.rfind("flexio_stream_", 0) == 0) lines.push_back(line);
+  }
+  if (lines.empty()) return;
+  std::printf("\nlocal streams:\n");
+  for (const std::string& line : lines) {
+    std::printf("  %s\n", line.c_str());
+  }
+}
+
+void render_health(const std::string& body) {
+  if (body.empty()) {
+    std::printf("\nhealth: ok (no events)\n");
+    return;
+  }
+  std::printf("\nhealth events:\n");
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t nl = body.find('\n', pos);
+    const std::string line =
+        body.substr(pos, nl == std::string::npos ? std::string::npos
+                                                 : nl - pos);
+    pos = nl == std::string::npos ? body.size() : nl + 1;
+    if (line.empty()) continue;
+    auto doc = json::parse(line);
+    if (!doc.is_ok()) continue;
+    const json::Value* rule = doc.value().find("rule");
+    const json::Value* subject = doc.value().find("subject");
+    const json::Value* detail = doc.value().find("detail");
+    std::printf("  [%s] %s: %s\n",
+                rule != nullptr ? rule->as_string().c_str() : "?",
+                subject != nullptr ? subject->as_string().c_str() : "?",
+                detail != nullptr ? detail->as_string().c_str() : "");
+  }
+}
+
+int frame(const std::string& addr, RateTracker* rates) {
+  std::string cluster, metrics_body, health;
+  const Status cs = telemetry::scrape(addr, "/cluster", &cluster);
+  const Status ms = telemetry::scrape(addr, "/metrics", &metrics_body);
+  const Status hs = telemetry::scrape(addr, "/health", &health);
+  if (!ms.is_ok()) return fail("scrape " + addr + ": " + ms.to_string());
+  std::printf("flexio_top -- %s\n\n", addr.c_str());
+  if (cs.is_ok()) {
+    render_cluster(cluster, rates, std::chrono::steady_clock::now());
+  } else {
+    std::printf("cluster: %s\n", cs.to_string().c_str());
+  }
+  render_streams(metrics_body);
+  if (hs.is_ok()) render_health(health);
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  long interval_ms = 1000;
+  std::string addr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+      if (interval_ms <= 0) interval_ms = 1000;
+    } else if (!arg.empty() && arg[0] != '-') {
+      addr = arg;
+    } else {
+      addr.clear();
+      break;
+    }
+  }
+  if (addr.empty()) {
+    std::fprintf(stderr,
+                 "usage: flexio_top [--once] [--interval-ms N] <host:port>\n");
+    return 2;
+  }
+  RateTracker rates;
+  if (once) return frame(addr, &rates);
+  for (;;) {
+    std::printf("\x1b[2J\x1b[H");  // clear screen, home cursor
+    if (const int rc = frame(addr, &rates); rc != 0) return rc;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

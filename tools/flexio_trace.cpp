@@ -17,12 +17,19 @@
 //                                              reader steps parented under
 //                                              writer steps)
 //   flexio_trace pipeline <outdir>             run a 1x1 shm writer/reader
-//                                              pipeline, export per-side
-//                                              traces + flight-recorder
-//                                              stats, and merge them
+//                                              pipeline with the live
+//                                              telemetry plane up (stats
+//                                              server, heartbeat stats
+//                                              aggregation, cooperative
+//                                              watchdog canary), export
+//                                              per-side traces + flight-
+//                                              recorder stats + scraped
+//                                              cluster view, and merge
 //                                              (writer.json, reader.json,
-//                                              merged.json, flight.jsonl)
+//                                              merged.json, flight.jsonl,
+//                                              cluster.json)
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <span>
@@ -39,8 +46,10 @@
 #include "util/flight_recorder.h"
 #include "util/json.h"
 #include "util/metrics.h"
+#include "util/stats_server.h"
 #include "util/trace.h"
 #include "util/trace_merge.h"
+#include "util/watchdog.h"
 
 namespace {
 
@@ -170,7 +179,12 @@ int merge(const std::string& a_path, const std::string& b_path,
 int pipeline(const std::string& outdir) {
   // A complete 1x1 coupled run over the shm transport, writer and reader
   // as virtual processes (pids 1 and 2), with the flight recorder sampling
-  // in the background. Produces the full telemetry artifact set CI uploads.
+  // in the background and the full live telemetry plane up: membership
+  // heartbeats piggybacking stats deltas into the directory's cluster
+  // view, a stats server scraped into cluster.json, and a cooperative
+  // watchdog that must stay silent -- a happy-path run emitting health
+  // events means a detector is trigger-happy, so any event fails the run.
+  // Produces the telemetry artifact set CI uploads.
   trace::set_enabled(true);
   trace::reset();
   metrics::set_enabled(true);
@@ -189,6 +203,29 @@ int pipeline(const std::string& outdir) {
   xml::MethodConfig method;
   method.method = "FLEXIO";
   method.timeout_ms = 20000;
+  method.telemetry = true;  // piggyback stats deltas on heartbeats
+
+  // Membership drives the heartbeat (and thus aggregation) path. The TTL
+  // is generous: this is a short cooperative run and a TTL-expiry death
+  // here would be a false positive by construction.
+  evpath::MembershipOptions mopt;
+  mopt.enabled = true;
+  mopt.ttl = std::chrono::seconds(5);
+  rt.directory().set_membership_options(mopt);
+
+  telemetry::StatsServer& stats = telemetry::configure("127.0.0.1:0", true);
+  stats.add_source("/cluster",
+                   [&rt] { return rt.directory().cluster_json(); });
+
+  telemetry::Watchdog watchdog;
+  telemetry::WatchdogOptions wopt;
+  wopt.interval_ns = 1'000'000;  // evaluate on every cooperative poll
+  wopt.membership_probe = [&rt] { return rt.directory().dead_members(); };
+  if (const Status st = watchdog.start(wopt); !st.is_ok()) {
+    flight::stop();
+    return fail(st.to_string());
+  }
+  stats.set_watchdog(&watchdog);
 
   std::thread reader_thread([&] {
     trace::set_thread_pid(2);
@@ -242,11 +279,49 @@ int pipeline(const std::string& outdir) {
                      st.to_string().c_str());
         write_failed = true;
       }
+      // Stretch the run past a few heartbeat intervals so the beats carry
+      // real per-step deltas into the cluster view, and give the
+      // cooperative watchdog its evaluation points.
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      watchdog.poll();
     }
     (void)w.value()->close();
   }
   reader_thread.join();
+  watchdog.poll();  // final evaluation with the run quiesced
   flight::stop();
+
+  // Export the aggregated cluster view through a real scrape (the same
+  // path flexio_top uses), then enforce the zero-health-events canary.
+  std::string cluster;
+  if (const Status st =
+          telemetry::scrape(stats.address(), "/cluster", &cluster);
+      !st.is_ok()) {
+    stats.set_watchdog(nullptr);
+    watchdog.stop();
+    return fail("cluster scrape: " + st.to_string());
+  }
+  {
+    std::ofstream out(outdir + "/cluster.json");
+    out << cluster;
+    if (!out) {
+      stats.set_watchdog(nullptr);
+      watchdog.stop();
+      return fail("cannot write " + outdir + "/cluster.json");
+    }
+  }
+  stats.set_watchdog(nullptr);
+  watchdog.stop();
+  const auto events = watchdog.events();
+  if (!events.empty()) {
+    for (const auto& ev : events) {
+      std::fprintf(stderr, "flexio_trace: unexpected health event: %s\n",
+                   ev.to_json().c_str());
+    }
+    return fail("happy-path pipeline emitted health events");
+  }
+  std::printf("cluster view scraped from %s -> %s/cluster.json\n",
+              stats.address().c_str(), outdir.c_str());
   if (write_failed) return 1;
 
   const std::string a_path = outdir + "/writer.json";
